@@ -1,0 +1,155 @@
+//! Ablation study: which design choice produces which paper effect?
+//!
+//! DESIGN.md calls out three load-bearing modeling decisions; this binary
+//! isolates each on the all-core Raptor Lake configuration:
+//!
+//! 1. **Synchronization style** — OpenBLAS-personality HPL with spin vs
+//!    blocking waits: spinning is what inflates the P-core instruction
+//!    share (Table III) and keeps package power high during stragglers.
+//! 2. **Partitioning** — static equal chunks vs dynamic queue at equal
+//!    blocking quality: the dynamic queue alone recovers most of the
+//!    hetero-aware speedup (Table II).
+//! 3. **Scheduler capacity awareness** — hetero-aware vs naive placement
+//!    for an unpinned task: capacity awareness is why unpinned work lands
+//!    P-first (§IV.F's 84/16 split).
+
+use bench_harness::common::*;
+use simcpu::machine::MachineSpec;
+use simcpu::types::CpuMask;
+use simos::kernel::{Kernel, KernelConfig};
+use workloads::hpl::{run_to_completion, spawn_hpl_tuned, HplTuning, HplVariant};
+
+fn hpl_with(tuning: HplTuning, variant: HplVariant) -> (f64, f64) {
+    let kernel = raptor_kernel();
+    kernel.lock().settle_temperature(35.0);
+    let (_, _, all) = raptor_core_sets();
+    let run = spawn_hpl_tuned(&kernel, hpl_config(), variant, tuning, all);
+    let gflops = run_to_completion(&kernel, &run, 3_600_000_000_000).expect("finishes");
+    let k = kernel.lock();
+    let mut by_type = [0u64; 2];
+    for &pid in &run.pids {
+        let st = k.task_stats(pid).unwrap();
+        by_type[0] += st.instructions_by_type[0];
+        by_type[1] += st.instructions_by_type[1];
+    }
+    let p_share = by_type[0] as f64 / (by_type[0] + by_type[1]).max(1) as f64 * 100.0;
+    (gflops, p_share)
+}
+
+fn main() {
+    header(&format!(
+        "Ablations (all-core Raptor Lake, N={}, scale 1/{})",
+        hpl_config().n,
+        hpl_scale()
+    ));
+
+    // --- 1 & 2: synchronization × partitioning, OpenBLAS personality ---
+    println!("\n[1+2] OpenBLAS-personality HPL, all cores:");
+    println!(
+        "{:<44} {:>10} {:>12}",
+        "configuration", "Gflops", "P-inst share"
+    );
+    let cases: [(&str, HplTuning); 4] = [
+        (
+            "static chunks + spin   (= OpenBLAS HPL)",
+            HplTuning::default(),
+        ),
+        (
+            "static chunks + block  (sync ablated)",
+            HplTuning {
+                spin_wait: Some(false),
+                ..Default::default()
+            },
+        ),
+        (
+            "dynamic queue + spin   (partition ablated)",
+            HplTuning {
+                dynamic_chunks_per_thread: Some(6),
+                ..Default::default()
+            },
+        ),
+        (
+            "dynamic queue + block  (≈ Intel scheduling)",
+            HplTuning {
+                spin_wait: Some(false),
+                dynamic_chunks_per_thread: Some(6),
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|(_, t)| {
+                let t = *t;
+                s.spawn(move || hpl_with(t, HplVariant::OpenBlas))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    });
+    for ((label, _), (gf, pshare)) in cases.iter().zip(&results) {
+        println!("{label:<44} {gf:>10.1} {pshare:>11.1}%");
+    }
+    println!(
+        "→ the dynamic queue buys the throughput; spinning shifts the\n\
+          instruction mix toward the P cores without helping Gflops."
+    );
+
+    // --- 3: scheduler capacity awareness under contention ---
+    println!("\n[3] §IV.F-style unpinned loop under P-core noise bursts:");
+    println!("{:<44} {:>12} {:>12}", "scheduler", "P share", "migrations");
+    for (label, aware) in [
+        ("capacity-aware (ITMT/EAS-like)", true),
+        ("naive (first-fit)", false),
+    ] {
+        let kernel = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig {
+                hetero_aware_sched: aware,
+                ..Default::default()
+            },
+        );
+        let noise = workloads::micro::spawn_noise(
+            &kernel,
+            CpuMask::parse_cpulist("0-15").unwrap(),
+            2_000_000,
+            10_000_000,
+        );
+        let pid = workloads::micro::spawn_hybrid_test(
+            &kernel,
+            &workloads::micro::HybridTestConfig {
+                repetitions: 100,
+                ..workloads::micro::HybridTestConfig::paper(24)
+            },
+        );
+        loop {
+            let hooks = {
+                let mut k = kernel.lock();
+                if k.task_state(pid) == Some(simos::task::TaskState::Exited)
+                    || k.time_ns() > 600_000_000_000
+                {
+                    break;
+                }
+                k.tick();
+                k.take_pending_hooks()
+            };
+            for (p, _) in hooks {
+                kernel.lock().resume(p).unwrap();
+            }
+        }
+        noise.stop();
+        let st = kernel.lock().task_stats(pid).unwrap();
+        let p_share = st.instructions_by_type[0] as f64
+            / (st.instructions_by_type[0] + st.instructions_by_type[1]).max(1) as f64
+            * 100.0;
+        println!("{label:<44} {p_share:>11.1}% {:>12}", st.migrations);
+    }
+    println!(
+        "→ capacity awareness is what pulls the task *back* to the P cores\n\
+          after each noise burst; the naive scheduler leaves it wherever it\n\
+          landed, eroding the P share the §IV.F numbers rest on."
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Figure 1**: measured core frequencies on the Raptor Lake
+//! system for both HPL variants, run on all cores (1 Hz polling).
+//!
+//! Paper observations to reproduce:
+//! * noisy P-core frequency for OpenBLAS (its spin/straggle cycle keeps
+//!   perturbing the power budget);
+//! * medians: OpenBLAS P ≈ 2.94 GHz / E ≈ 2.26 GHz; Intel P ≈ 2.61 GHz /
+//!   E ≈ 2.32 GHz — the Intel frequencies are *less dissimilar*;
+//! * an initial frequency spike while the short-term power cap lasts.
+
+use bench_harness::common::*;
+use telemetry::{ascii_chart, monitored_hpl_run, series_to_rows, write_csv, DriverConfig};
+use workloads::hpl::HplVariant;
+
+fn main() {
+    header(&format!(
+        "Figure 1 — core frequencies, all-core HPL (N={}, scale 1/{})",
+        hpl_config().n,
+        hpl_scale()
+    ));
+    let (_, _, all) = raptor_core_sets();
+    let driver = DriverConfig {
+        n_runs: 1,
+        ..Default::default()
+    };
+
+    let mut medians = Vec::new();
+    for (idx, variant) in [HplVariant::OpenBlas, HplVariant::IntelMkl]
+        .into_iter()
+        .enumerate()
+    {
+        let kernel = raptor_kernel();
+        let (p_mask, e_mask) = type_masks(&kernel);
+        let run = monitored_hpl_run(&kernel, &hpl_config(), variant, all, &driver, 0);
+        let p_series = run.trace.freq_series_mhz(&p_mask);
+        let e_series = run.trace.freq_series_mhz(&e_mask);
+        let p_med = run.trace.median_freq_mhz(&p_mask) / 1000.0;
+        let e_med = run.trace.median_freq_mhz(&e_mask) / 1000.0;
+        println!(
+            "\n{}",
+            ascii_chart(
+                &format!("Fig 1({}) {} — core frequency (MHz) vs time (s)",
+                    ['a', 'b'][idx], variant.name()),
+                "MHz",
+                &[("P cores", &p_series), ("E cores", &e_series)],
+                76,
+                18,
+            )
+        );
+        let paper = if variant == HplVariant::OpenBlas {
+            (2.94, 2.26)
+        } else {
+            (2.61, 2.32)
+        };
+        println!(
+            "median freq  P: {p_med:.2} GHz (paper {:.2})   E: {e_med:.2} GHz (paper {:.2})",
+            paper.0, paper.1
+        );
+        medians.push((p_med, e_med));
+        write_csv(
+            format!(
+                "results/fig1_{}.csv",
+                if idx == 0 { "openblas" } else { "intel" }
+            ),
+            &["t_s", "p_mhz", "e_mhz"],
+            &series_to_rows(&[&p_series, &e_series]),
+        )
+        .expect("csv");
+    }
+
+    println!(
+        "\nP/E dissimilarity (P−E median): OpenBLAS {:.2} GHz, Intel {:.2} GHz \
+         (paper: Intel less dissimilar: 0.68 vs 0.29 GHz)",
+        medians[0].0 - medians[0].1,
+        medians[1].0 - medians[1].1
+    );
+    println!("wrote results/fig1_openblas.csv, results/fig1_intel.csv");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 2**: measured power and package temperature on
+//! the Raptor Lake system for both HPL variants, run on all cores.
+//!
+//! Paper observations to reproduce:
+//! * Intel HPL briefly reaches the 219 W short-term (PL2) cap, then both
+//!   settle at the 65 W long-term (PL1) limit for the rest of the run;
+//! * OpenBLAS HPL cannot reach PL2 — it peaks around 165.7 W;
+//! * neither run approaches the 100 °C limit (no thermal throttling).
+
+use bench_harness::common::*;
+use telemetry::{ascii_chart, monitored_hpl_run, series_to_rows, write_csv, DriverConfig, Trace};
+use workloads::hpl::HplVariant;
+
+fn main() {
+    header(&format!(
+        "Figure 2 — package power & temperature, all-core HPL (N={}, scale 1/{})",
+        hpl_config().n,
+        hpl_scale()
+    ));
+    let (_, _, all) = raptor_core_sets();
+    let driver = DriverConfig {
+        n_runs: 1,
+        ..Default::default()
+    };
+
+    for (idx, variant) in [HplVariant::OpenBlas, HplVariant::IntelMkl]
+        .into_iter()
+        .enumerate()
+    {
+        let kernel = raptor_kernel();
+        let run = monitored_hpl_run(&kernel, &hpl_config(), variant, all, &driver, 0);
+        let power = run.trace.pkg_power_series();
+        let temp = run.trace.temp_series_c();
+        println!(
+            "\n{}",
+            ascii_chart(
+                &format!(
+                    "Fig 2({}) {} — package power (W) vs time (s)",
+                    ['a', 'b'][idx],
+                    variant.name()
+                ),
+                "W",
+                &[("RAPL pkg power", &power)],
+                76,
+                16,
+            )
+        );
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("{} — package temperature (°C)", variant.name()),
+                "degC",
+                &[("pkg temp", &temp)],
+                76,
+                10,
+            )
+        );
+        let peak_w = Trace::peak(&power);
+        let peak_t = Trace::peak(&temp);
+        // Steady power = median of the second half.
+        let steady = {
+            let half = &power[power.len() / 2..];
+            let mut v: Vec<f64> = half.iter().map(|p| p.1).collect();
+            v.sort_by(|a, b| a.total_cmp(b));
+            v.get(v.len() / 2).copied().unwrap_or(0.0)
+        };
+        let paper_peak = if variant == HplVariant::OpenBlas {
+            165.7
+        } else {
+            219.0
+        };
+        println!(
+            "peak power {peak_w:.1} W (paper ≈{paper_peak}),  steady {steady:.1} W \
+             (paper 65 = PL1),  peak temp {peak_t:.1} °C (paper <100, no throttling)"
+        );
+        write_csv(
+            format!(
+                "results/fig2_{}.csv",
+                if idx == 0 { "openblas" } else { "intel" }
+            ),
+            &["t_s", "pkg_w", "temp_c"],
+            &series_to_rows(&[&power, &temp]),
+        )
+        .expect("csv");
+    }
+    println!("\nwrote results/fig2_openblas.csv, results/fig2_intel.csv");
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Figure 3**: frequency-scaling behaviour on the ARM64
+//! big.LITTLE system (OrangePi 800 / RK3399) running HPL on the big cores.
+//!
+//! Paper observations to reproduce:
+//! * the big (Cortex-A72) cores ramp to 1.8 GHz quickly, then the SoC
+//!   temperature rises and the thermal governor steps them down;
+//! * most of the run executes at reduced frequency;
+//! * power is measured with an external WattsUpPro-style wall meter.
+
+use bench_harness::common::*;
+use simcpu::types::CpuMask;
+use telemetry::{ascii_chart, monitored_hpl_run, series_to_rows, write_csv, DriverConfig};
+use workloads::hpl::HplVariant;
+
+fn main() {
+    let cfg = opi_hpl_config();
+    header(&format!(
+        "Figure 3 — RK3399 frequency scaling, HPL on big cores (N={}, scale 1/{})",
+        cfg.n,
+        opi_scale()
+    ));
+    let kernel = orangepi_kernel();
+    let (big, little) = type_masks(&kernel);
+    let driver = DriverConfig {
+        n_runs: 1,
+        ..Default::default()
+    };
+    let run = monitored_hpl_run(
+        &kernel,
+        &cfg,
+        HplVariant::OpenBlas,
+        CpuMask::from_cpus(big.iter().map(|c| c.0)),
+        &driver,
+        0,
+    );
+
+    let f_big = run.trace.freq_series_mhz(&big);
+    let f_little = run.trace.freq_series_mhz(&little);
+    let temp = run.trace.temp_series_c();
+    let meter = run.trace.meter_series_w();
+
+    println!(
+        "\n{}",
+        ascii_chart(
+            "Fig 3 — cluster frequency (MHz) vs time (s)",
+            "MHz",
+            &[("big (A72)", &f_big), ("LITTLE (A53)", &f_little)],
+            76,
+            16,
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "SoC temperature (°C)",
+            "degC",
+            &[("soc-thermal", &temp)],
+            76,
+            10,
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "Wall power, WattsUpPro analogue (W)",
+            "W",
+            &[("meter", &meter)],
+            76,
+            10,
+        )
+    );
+
+    let max_f = f_big.iter().map(|p| p.1).fold(0.0, f64::max);
+    // Median big frequency over the second half (post-throttle).
+    let tail = &f_big[f_big.len() / 2..];
+    let mut tail_v: Vec<f64> = tail.iter().map(|p| p.1).collect();
+    tail_v.sort_by(|a, b| a.total_cmp(b));
+    let tail_med = tail_v.get(tail_v.len() / 2).copied().unwrap_or(0.0);
+    let peak_t = temp.iter().map(|p| p.1).fold(0.0, f64::max);
+    println!(
+        "big cores: peak {max_f:.0} MHz (paper: reaches 1800), \
+         post-throttle median {tail_med:.0} MHz (paper: well below max), \
+         peak SoC temp {peak_t:.1} °C"
+    );
+    println!("gflops: {:?}", run.gflops);
+
+    write_csv(
+        "results/fig3.csv",
+        &["t_s", "big_mhz", "little_mhz", "temp_c", "meter_w"],
+        &series_to_rows(&[&f_big, &f_little, &temp, &meter]),
+    )
+    .expect("csv");
+    println!("wrote results/fig3.csv");
+}

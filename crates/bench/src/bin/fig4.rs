@@ -1,0 +1,84 @@
+//! Regenerates **Figure 4**: OrangePi HPL performance as more cores are
+//! added.
+//!
+//! Paper observations to reproduce (with thermal throttling active):
+//! * four LITTLE cores complete HPL *faster* than both big cores;
+//! * all six cores give only a minimal improvement over the four LITTLE
+//!   cores alone.
+
+use bench_harness::common::*;
+use simcpu::types::CpuMask;
+use telemetry::{monitored_hpl_run, write_csv, DriverConfig};
+use workloads::hpl::HplVariant;
+
+fn main() {
+    let cfg = opi_hpl_config();
+    header(&format!(
+        "Figure 4 — OrangePi HPL performance as more cores added (N={}, scale 1/{})",
+        cfg.n,
+        opi_scale()
+    ));
+    // cpus 0-1 = big (A72), 2-5 = LITTLE (A53).
+    let sets = [
+        ("1 big", CpuMask::parse_cpulist("0").unwrap()),
+        ("2 big", CpuMask::parse_cpulist("0-1").unwrap()),
+        ("2 little", CpuMask::parse_cpulist("2-3").unwrap()),
+        ("4 little", CpuMask::parse_cpulist("2-5").unwrap()),
+        ("all 6", CpuMask::parse_cpulist("0-5").unwrap()),
+    ];
+    let driver = DriverConfig {
+        n_runs: n_runs(),
+        ..Default::default()
+    };
+
+    let mut results = vec![None; sets.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = sets
+            .iter()
+            
+            .map(|(_, cpus)| {
+                let cpus = *cpus;
+                let driver = driver.clone();
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let kernel = orangepi_kernel();
+                    let runs: Vec<_> = (0..driver.n_runs)
+                        .map(|r| monitored_hpl_run(&kernel, &cfg, HplVariant::OpenBlas, cpus, &driver, r))
+                        .collect();
+                    telemetry::average_runs(&runs)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i] = Some(h.join().unwrap());
+        }
+    });
+
+    println!("\n{:<10} {:>12} {:>12}", "cores", "solve (s)", "Gflops");
+    let mut rows = Vec::new();
+    let mut times = Vec::new();
+    for ((label, _), res) in sets.iter().zip(&results) {
+        let r = res.as_ref().unwrap();
+        let gf = r.gflops.expect("finished");
+        let t = cfg.total_flops() / gf / 1e9;
+        println!("{label:<10} {t:>12.1} {gf:>12.2}");
+        rows.push(vec![rows.len() as f64, t, gf]);
+        times.push(t);
+    }
+
+    let t_2big = times[1];
+    let t_4little = times[3];
+    let t_all = times[4];
+    println!(
+        "\n4 little vs 2 big: {:+.1}% time ({}; paper: little FASTER due to big-core throttling)",
+        (t_4little - t_2big) / t_2big * 100.0,
+        if t_4little < t_2big { "little faster ✓" } else { "little slower ✗" },
+    );
+    println!(
+        "all 6 vs 4 little: {:+.1}% time (paper: only minimal improvement)",
+        (t_all - t_4little) / t_4little * 100.0,
+    );
+
+    write_csv("results/fig4.csv", &["set", "solve_s", "gflops"], &rows).expect("csv");
+    println!("wrote results/fig4.csv");
+}

@@ -1,0 +1,93 @@
+//! Regenerates **Table II**: OpenBLAS HPL vs Intel HPL Gflops on the
+//! E-only / P-only / all-core sets of the Raptor Lake machine.
+//!
+//! Paper values (N=57024, NB=192, averages over 10 runs):
+//!
+//! | Enabled cores | OpenBLAS HPL | Intel HPL | % Change |
+//! |---------------|--------------|-----------|----------|
+//! | E only        | 188.62       | 198.95    | +5.4 %   |
+//! | P only        | 356.28       | 392.89    | +10.3 %  |
+//! | P and E       | 290.51       | 457.38    | +57.4 %  |
+//!
+//! Shape targets: Intel > OpenBLAS everywhere, widest on all-core;
+//! OpenBLAS all-core **below** its P-only (−18.5 %); Intel all-core
+//! **above** its P-only (+16.4 %).
+
+use bench_harness::common::*;
+use std::thread;
+use workloads::hpl::HplVariant;
+
+const PAPER: [(&str, f64, f64); 3] = [
+    ("E only", 188.62, 198.95),
+    ("P only", 356.28, 392.89),
+    ("P and E", 290.51, 457.38),
+];
+
+fn main() {
+    let (e_only, p_only, all) = raptor_core_sets();
+    let sets = [("E only", e_only), ("P only", p_only), ("P and E", all)];
+    let runs = n_runs();
+    header(&format!(
+        "Table II — HPL Gflops (N={}, NB=192, {} runs/cell, scale 1/{})",
+        hpl_config().n,
+        runs,
+        hpl_scale()
+    ));
+
+    // All six cells are independent machines: run them in parallel.
+    let mut results = vec![None; 6];
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (si, (_, cpus)) in sets.iter().enumerate() {
+            for (vi, variant) in [HplVariant::OpenBlas, HplVariant::IntelMkl]
+                .into_iter()
+                .enumerate()
+            {
+                let cpus = *cpus;
+                handles.push((si * 2 + vi, s.spawn(move || hpl_cell(variant, cpus, runs))));
+            }
+        }
+        for (idx, h) in handles {
+            results[idx] = Some(h.join().expect("cell run"));
+        }
+    });
+
+    println!(
+        "\n{:<10} {:>15} {:>15} {:>10}   (paper: {:>8} {:>8} {:>8})",
+        "cores", "OpenBLAS GF", "Intel GF", "% change", "OB", "Intel", "%"
+    );
+    let mut rows = Vec::new();
+    for (si, (label, _)) in sets.iter().enumerate() {
+        let ob = results[si * 2].as_ref().unwrap().gflops.expect("finished");
+        let mkl = results[si * 2 + 1].as_ref().unwrap().gflops.expect("finished");
+        let chg = pct_change(ob, mkl);
+        let (plabel, pob, pmkl) = PAPER[si];
+        assert_eq!(*label, plabel);
+        println!(
+            "{label:<10} {ob:>15.2} {mkl:>15.2} {chg:>+9.1}%   (paper: {pob:>8.2} {pmkl:>8.2} {:>+7.1}%)",
+            pct_change(pob, pmkl)
+        );
+        rows.push(vec![si as f64, ob, mkl, chg]);
+    }
+
+    let ob_p = results[2].as_ref().unwrap().gflops.unwrap();
+    let ob_all = results[4].as_ref().unwrap().gflops.unwrap();
+    let mkl_p = results[3].as_ref().unwrap().gflops.unwrap();
+    let mkl_all = results[5].as_ref().unwrap().gflops.unwrap();
+    println!(
+        "\nOpenBLAS all-core vs P-only: {:+.1}%  (paper: -18.5%)",
+        pct_change(ob_p, ob_all)
+    );
+    println!(
+        "Intel    all-core vs P-only: {:+.1}%  (paper: +16.4%)",
+        pct_change(mkl_p, mkl_all)
+    );
+
+    telemetry::write_csv(
+        "results/table2.csv",
+        &["core_set", "openblas_gflops", "intel_gflops", "pct_change"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("\nwrote results/table2.csv");
+}

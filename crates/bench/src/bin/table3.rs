@@ -1,0 +1,159 @@
+//! Regenerates **Table III**: hardware-counter measurements for the
+//! all-core runs — per-core-type LLC miss rate and instruction share.
+//!
+//! Paper values:
+//!
+//! |                          | OpenBLAS P | OpenBLAS E | Intel P | Intel E |
+//! |--------------------------|-----------:|-----------:|--------:|--------:|
+//! | LLC miss rate            | 86 %       | 0.05 %     | 64 %    | 0.03 %  |
+//! | % of total instructions  | 80 %       | 20 %       | 68 %    | 32 %    |
+//!
+//! Like the paper (which collected these with the `perf` tool, not PAPI),
+//! this binary opens system-wide per-CPU counting events directly against
+//! the perf layer: one group per CPU with `INST_RETIRED`,
+//! `LONGEST_LAT_CACHE:REFERENCE` and `LONGEST_LAT_CACHE:MISS` from that
+//! CPU's own PMU — the "perf tool way" of handling hybrid machines
+//! described in §IV.A.
+
+use bench_harness::common::*;
+use pfmlib::{Pfm, PfmOptions};
+use simcpu::types::{CoreType, CpuId};
+use simos::perf::{EventFd, Target};
+use workloads::hpl::{run_to_completion, spawn_hpl, HplVariant};
+
+struct CpuCounters {
+    cpu: CpuId,
+    core_type: CoreType,
+    inst: EventFd,
+    llc_ref: EventFd,
+    llc_miss: EventFd,
+}
+
+fn measure(variant: HplVariant) -> ([f64; 2], [f64; 2]) {
+    let kernel = raptor_kernel();
+    let (_, _, all) = raptor_core_sets();
+
+    // perf-stat -a style setup, through libpfm for event encoding.
+    let mut counters = Vec::new();
+    {
+        let mut k = kernel.lock();
+        let pfm = Pfm::initialize(&k, PfmOptions::default()).expect("pfm");
+        let n = k.machine().n_cpus();
+        for i in 0..n {
+            let cpu = CpuId(i);
+            let ct = k.machine().cpu_info(cpu).core_type();
+            let pmu = if ct == CoreType::Performance {
+                "adl_glc"
+            } else {
+                "adl_grt"
+            };
+            let ev = |name: &str| pfm.encode(&format!("{pmu}::{name}")).expect("encode").attr;
+            let leader = k
+                .perf_event_open(ev("INST_RETIRED:ANY"), Target::Cpu(cpu), None)
+                .expect("open inst");
+            let llc_ref = k
+                .perf_event_open(
+                    ev("LONGEST_LAT_CACHE:REFERENCE"),
+                    Target::Cpu(cpu),
+                    Some(leader),
+                )
+                .expect("open ref");
+            let llc_miss = k
+                .perf_event_open(
+                    ev("LONGEST_LAT_CACHE:MISS"),
+                    Target::Cpu(cpu),
+                    Some(leader),
+                )
+                .expect("open miss");
+            k.ioctl_enable(leader, true).expect("enable");
+            counters.push(CpuCounters {
+                cpu,
+                core_type: ct,
+                inst: leader,
+                llc_ref,
+                llc_miss,
+            });
+        }
+        k.settle_temperature(35.0);
+    }
+
+    let run = spawn_hpl(&kernel, hpl_config(), variant, all);
+    run_to_completion(&kernel, &run, 3_600_000_000_000).expect("HPL finishes");
+
+    let mut inst = [0u64; 2];
+    let mut llc_ref = [0u64; 2];
+    let mut llc_miss = [0u64; 2];
+    {
+        let mut k = kernel.lock();
+        for c in &counters {
+            let idx = if c.core_type == CoreType::Performance { 0 } else { 1 };
+            inst[idx] += k.read_event(c.inst).unwrap().value;
+            llc_ref[idx] += k.read_event(c.llc_ref).unwrap().value;
+            llc_miss[idx] += k.read_event(c.llc_miss).unwrap().value;
+            let _ = c.cpu;
+        }
+    }
+    let total_inst = (inst[0] + inst[1]) as f64;
+    let missrate = [
+        llc_miss[0] as f64 / llc_ref[0].max(1) as f64 * 100.0,
+        llc_miss[1] as f64 / llc_ref[1].max(1) as f64 * 100.0,
+    ];
+    let share = [
+        inst[0] as f64 / total_inst * 100.0,
+        inst[1] as f64 / total_inst * 100.0,
+    ];
+    (missrate, share)
+}
+
+fn main() {
+    header(&format!(
+        "Table III — Hardware counters, all-core runs (N={}, scale 1/{})",
+        hpl_config().n,
+        hpl_scale()
+    ));
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = [HplVariant::OpenBlas, HplVariant::IntelMkl]
+            .into_iter()
+            .map(|v| s.spawn(move || measure(v)))
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    });
+    let (ob_miss, ob_share) = results[0];
+    let (mkl_miss, mkl_share) = results[1];
+
+    println!("\n                      OpenBLAS HPL        Intel HPL        (paper OB / Intel)");
+    println!("core type             P        E          P        E");
+    println!(
+        "LLC missrate     {:>6.1}%  {:>6.3}%   {:>6.1}%  {:>6.3}%    (86%/0.05%  64%/0.03%)",
+        ob_miss[0], ob_miss[1], mkl_miss[0], mkl_miss[1]
+    );
+    println!(
+        "% of total inst  {:>6.1}%  {:>6.1}%    {:>6.1}%  {:>6.1}%     (80%/20%    68%/32%)",
+        ob_share[0], ob_share[1], mkl_share[0], mkl_share[1]
+    );
+    println!(
+        "\nLLC missrate change P: {:+.1}% (paper -26.3%), E: {:+.1}% (paper -39.8%)",
+        (mkl_miss[0] - ob_miss[0]) / ob_miss[0] * 100.0,
+        (mkl_miss[1] - ob_miss[1]) / ob_miss[1] * 100.0,
+    );
+
+    telemetry::write_csv(
+        "results/table3.csv",
+        &[
+            "variant",
+            "p_missrate_pct",
+            "e_missrate_pct",
+            "p_inst_share_pct",
+            "e_inst_share_pct",
+        ],
+        &[
+            vec![0.0, ob_miss[0], ob_miss[1], ob_share[0], ob_share[1]],
+            vec![1.0, mkl_miss[0], mkl_miss[1], mkl_share[0], mkl_share[1]],
+        ],
+    )
+    .expect("csv");
+    println!("\nwrote results/table3.csv");
+}

@@ -1,0 +1,21 @@
+//! # bench-harness — regenerates every table and figure of the paper
+//!
+//! Binaries (run with `--release`):
+//!
+//! | binary        | paper element |
+//! |---------------|---------------|
+//! | `table1`      | Table I — Raptor Lake hardware configuration |
+//! | `table2`      | Table II — OpenBLAS vs Intel HPL Gflops per core set |
+//! | `table3`      | Table III — per-core-type LLC miss rate + instruction share |
+//! | `table4`      | Table IV — OrangePi hardware configuration |
+//! | `fig1`        | Fig. 1 — core-frequency traces, both HPL variants |
+//! | `fig2`        | Fig. 2 — package power + temperature traces |
+//! | `fig3`        | Fig. 3 — RK3399 thermal throttling traces |
+//! | `fig4`        | Fig. 4 — OrangePi HPL time as cores are added |
+//! | `hybrid_test` | §IV.F `papi_hybrid_100m_one_eventset` |
+//! | `overhead`    | §V.5 measurement-overhead report |
+//!
+//! Environment knobs: `HPL_SCALE` (default 8; 1 = the paper's N=57024),
+//! `N_RUNS` (default 3; paper uses 10).
+
+pub mod common;

@@ -1,0 +1,88 @@
+//! `papi_avail` — the classic PAPI utility: hardware summary + preset
+//! availability, upgraded with the paper's heterogeneous reporting.
+//!
+//! Usage: `papi_avail [raptor|orangepi|skylake|dynamiq]` (default raptor).
+
+use papi::{Papi, Preset};
+use simcpu::machine::MachineSpec;
+use simos::kernel::{Kernel, KernelConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "raptor".into());
+    let spec = match name.as_str() {
+        "raptor" => MachineSpec::raptor_lake_i7_13700(),
+        "orangepi" => MachineSpec::orangepi_800(),
+        "skylake" => MachineSpec::skylake_quad(),
+        "dynamiq" => MachineSpec::dynamiq_tri(),
+        "adl-mobile" => MachineSpec::alder_lake_mobile(),
+        other => {
+            eprintln!("unknown machine '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let kernel = Kernel::boot_handle(spec, KernelConfig::default());
+    let papi = Papi::init(kernel).expect("PAPI init");
+    let hw = papi.hardware_info();
+
+    println!("Available PAPI preset and hardware information.");
+    println!("--------------------------------------------------------------------------------");
+    println!("Vendor string and code   : {}", hw.vendor_string);
+    println!("Model string             : {}", hw.model_string);
+    println!("CPUs in the system       : {}", hw.ncpus);
+    println!("Cores in the system      : {}", hw.ncores);
+    println!(
+        "Heterogeneous            : {}{}",
+        hw.heterogeneous,
+        hw.detection_method
+            .map(|m| format!(" (via {})", m.name()))
+            .unwrap_or_default()
+    );
+    for ct in &hw.core_types {
+        println!(
+            "  {:<22} : {} cores / {} cpus @ {:.2}-{:.2} GHz",
+            format!("{} cores", ct.core_type),
+            ct.n_cores,
+            ct.n_cpus,
+            ct.min_khz as f64 / 1e6,
+            ct.max_khz as f64 / 1e6
+        );
+    }
+    println!("--------------------------------------------------------------------------------");
+    println!(
+        "{:<14} {:<6} {:<9} Derived natives",
+        "Name", "Avail", "Derived"
+    );
+    let avail = papi.available_presets();
+    for &p in papi::presets::ALL_PRESETS {
+        let ok = avail.contains(&p);
+        let natives: String = if ok {
+            let mut probe = Papi::init(papi.kernel()).unwrap();
+            let es = probe.create_eventset();
+            probe.add_preset(es, p).unwrap();
+            let names = probe.native_names(es).unwrap();
+            format!(
+                "{} ({})",
+                names.join(" + "),
+                if names.len() > 1 { "DERIVED_ADD" } else { "direct" }
+            )
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<14} {:<6} {:<9} {}",
+            p.papi_name(),
+            if ok { "Yes" } else { "No" },
+            if ok { "hybrid" } else { "-" },
+            natives
+        );
+    }
+    let _ = Preset::TotIns;
+    println!("--------------------------------------------------------------------------------");
+    println!("Components:");
+    for c in papi.components() {
+        println!(
+            "  {:<20} enabled={:<5} deprecated={:<5} {}",
+            c.name, c.enabled, c.deprecated, c.description
+        );
+    }
+}

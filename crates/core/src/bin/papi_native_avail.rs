@@ -1,0 +1,46 @@
+//! `papi_native_avail` — list every native event of every detected PMU,
+//! the hybrid way: each core-type PMU gets its own section, so the
+//! asymmetries (TOPDOWN only under `adl_glc`) are visible at a glance.
+//!
+//! Usage: `papi_native_avail [raptor|orangepi|skylake|dynamiq]`.
+
+use papi::Papi;
+use simcpu::machine::MachineSpec;
+use simos::kernel::{Kernel, KernelConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "raptor".into());
+    let spec = match name.as_str() {
+        "raptor" => MachineSpec::raptor_lake_i7_13700(),
+        "orangepi" => MachineSpec::orangepi_800(),
+        "skylake" => MachineSpec::skylake_quad(),
+        "dynamiq" => MachineSpec::dynamiq_tri(),
+        "adl-mobile" => MachineSpec::alder_lake_mobile(),
+        other => {
+            eprintln!("unknown machine '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let kernel = Kernel::boot_handle(spec, KernelConfig::default());
+    let papi = Papi::init(kernel).expect("PAPI init");
+
+    println!("Available native events and hardware information.");
+    for pmu in papi.pfm().pmus() {
+        println!(
+            "\n=== PMU: {} (kernel: {}, type {}, cpus {}{}) ===",
+            pmu.pfm_name,
+            pmu.kernel_name,
+            pmu.pmu_id,
+            pmu.cpus.to_cpulist(),
+            if pmu.is_default { ", default" } else { "" }
+        );
+        match papi.pfm().list_events(&pmu.pfm_name) {
+            Ok(events) => {
+                for e in events {
+                    println!("  {e}");
+                }
+            }
+            Err(e) => println!("  <no table: {e}>"),
+        }
+    }
+}

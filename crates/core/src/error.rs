@@ -1,0 +1,123 @@
+//! PAPI error codes.
+//!
+//! Modeled on the C library's `PAPI_E*` returns, carried as a Rust enum
+//! with context. The historically interesting variant is
+//! [`PapiError::MultiPmuUnsupported`]: the error (the C code could also
+//! outright crash) that original PAPI produced when a heterogeneous
+//! machine handed it more than one core PMU — the starting point of the
+//! paper's §IV.D/§IV.E work. It is only produced in
+//! [`crate::PapiMode::Legacy`].
+
+use pfmlib::PfmError;
+use simos::perf::PerfError;
+
+/// Errors returned by the PAPI layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PapiError {
+    /// Event name did not resolve (PAPI_ENOEVNT).
+    NoSuchEvent(String),
+    /// Preset not defined / not available on this machine (PAPI_ENOEVNT).
+    PresetUnavailable(String),
+    /// No EventSet with that id (PAPI_ENOEVST).
+    NoSuchEventSet,
+    /// Operation invalid in the EventSet's current state (PAPI_EISRUN /
+    /// PAPI_ENOTRUN).
+    State(&'static str),
+    /// Legacy PAPI cannot mix PMU types in one EventSet (PAPI_ECNFLCT).
+    MultiPmuUnsupported {
+        existing: String,
+        adding: String,
+    },
+    /// Legacy component separation violated (e.g. RAPL event in a CPU
+    /// EventSet) (PAPI_ECNFLCT).
+    ComponentConflict {
+        eventset_component: &'static str,
+        event_component: &'static str,
+    },
+    /// Another EventSet of the same component is already running
+    /// (PAPI_EISRUN) — the restriction that defeats the "just use two
+    /// EventSets" workaround the paper discusses.
+    ComponentBusy(&'static str),
+    /// The EventSet has no attached task/cpu target (PAPI_EINVAL).
+    NotAttached,
+    /// Multiplexing must be requested before the first start (PAPI_EINVAL).
+    MultiplexTooLate,
+    /// Underlying perf_event failure.
+    Perf(PerfError),
+    /// Underlying libpfm failure.
+    Pfm(PfmError),
+}
+
+impl std::fmt::Display for PapiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PapiError::NoSuchEvent(e) => write!(f, "PAPI_ENOEVNT: no such event '{e}'"),
+            PapiError::PresetUnavailable(p) => {
+                write!(f, "PAPI_ENOEVNT: preset '{p}' unavailable on this machine")
+            }
+            PapiError::NoSuchEventSet => write!(f, "PAPI_ENOEVST: no such EventSet"),
+            PapiError::State(s) => write!(f, "PAPI_EISRUN/ENOTRUN: {s}"),
+            PapiError::MultiPmuUnsupported { existing, adding } => write!(
+                f,
+                "PAPI_ECNFLCT: legacy PAPI cannot mix PMUs in an EventSet \
+                 (have '{existing}', adding '{adding}')"
+            ),
+            PapiError::ComponentConflict {
+                eventset_component,
+                event_component,
+            } => write!(
+                f,
+                "PAPI_ECNFLCT: event belongs to component '{event_component}' but \
+                 EventSet is bound to '{eventset_component}'"
+            ),
+            PapiError::ComponentBusy(c) => {
+                write!(f, "PAPI_EISRUN: another EventSet of component '{c}' is running")
+            }
+            PapiError::NotAttached => write!(f, "PAPI_EINVAL: EventSet not attached"),
+            PapiError::MultiplexTooLate => {
+                write!(f, "PAPI_EINVAL: multiplex must be set before first start")
+            }
+            PapiError::Perf(e) => write!(f, "perf_event: {e}"),
+            PapiError::Pfm(e) => write!(f, "libpfm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PapiError {}
+
+impl From<PerfError> for PapiError {
+    fn from(e: PerfError) -> Self {
+        PapiError::Perf(e)
+    }
+}
+
+impl From<PfmError> for PapiError {
+    fn from(e: PfmError) -> Self {
+        PapiError::Pfm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_papi_codes() {
+        let e = PapiError::MultiPmuUnsupported {
+            existing: "adl_glc".into(),
+            adding: "adl_grt".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ECNFLCT"));
+        assert!(s.contains("adl_glc"));
+        assert!(PapiError::NoSuchEventSet.to_string().contains("ENOEVST"));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: PapiError = PerfError::BadFd.into();
+        assert_eq!(p, PapiError::Perf(PerfError::BadFd));
+        let q: PapiError = PfmError::NoDefaultPmu.into();
+        assert!(matches!(q, PapiError::Pfm(_)));
+    }
+}

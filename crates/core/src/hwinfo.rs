@@ -1,0 +1,282 @@
+//! Hetero-aware hardware reporting (`PAPI_get_hardware_info`).
+//!
+//! §V.1 of the paper: PAPI could report core/thread counts but not the
+//! *type* of each core. This module builds the upgraded report from the
+//! sysdetect probes (never from privileged knowledge of the machine spec):
+//! per-CPU core types, per-type counts, and which detection method
+//! supplied the classification.
+
+use crate::sysdetect::{detect, DetectMethod, DetectionReport};
+use simcpu::types::{CoreType, CpuId};
+use simos::kernel::Kernel;
+use simos::sysfs;
+
+/// Per-logical-CPU report row.
+#[derive(Debug, Clone)]
+pub struct CpuReport {
+    pub cpu: usize,
+    pub core: usize,
+    pub core_type: CoreType,
+    pub max_khz: u64,
+    pub cur_khz: u64,
+}
+
+/// Per-core-type summary.
+#[derive(Debug, Clone)]
+pub struct CoreTypeReport {
+    pub core_type: CoreType,
+    pub n_cpus: usize,
+    pub n_cores: usize,
+    pub max_khz: u64,
+    pub min_khz: u64,
+}
+
+/// The hardware info PAPI exposes.
+#[derive(Debug, Clone)]
+pub struct HardwareInfo {
+    pub model_string: String,
+    pub vendor_string: String,
+    pub ncpus: usize,
+    pub ncores: usize,
+    pub heterogeneous: bool,
+    /// Which sysdetect probe classified the cores.
+    pub detection_method: Option<DetectMethod>,
+    pub cpus: Vec<CpuReport>,
+    pub core_types: Vec<CoreTypeReport>,
+    pub mem_string: String,
+}
+
+impl HardwareInfo {
+    /// The core type of a CPU.
+    pub fn core_type_of(&self, cpu: usize) -> Option<CoreType> {
+        self.cpus.get(cpu).map(|c| c.core_type)
+    }
+
+    /// CPUs of a given type.
+    pub fn cpus_of_type(&self, t: CoreType) -> Vec<usize> {
+        self.cpus
+            .iter()
+            .filter(|c| c.core_type == t)
+            .map(|c| c.cpu)
+            .collect()
+    }
+
+    /// Render a Table I/IV-style configuration block.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("CPU               | {}\n", self.model_string));
+        for ct in &self.core_types {
+            let label = match ct.core_type {
+                CoreType::Performance => "P-cores (performance)",
+                CoreType::Efficiency => "E-cores (efficiency)",
+                CoreType::Mid => "Mid cores",
+                CoreType::Uniform => "cores",
+            };
+            let threads = if ct.n_cpus != ct.n_cores {
+                format!(" ({} threads)", ct.n_cpus)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{label:<18}| {}{} @{:.2}-{:.2} GHz\n",
+                ct.n_cores,
+                threads,
+                ct.min_khz as f64 / 1e6,
+                ct.max_khz as f64 / 1e6,
+            ));
+        }
+        out.push_str(&format!("Memory            | {}\n", self.mem_string));
+        out
+    }
+}
+
+/// Build the hardware info from sysfs + sysdetect.
+pub fn hardware_info(kernel: &Kernel) -> HardwareInfo {
+    let report = detect(kernel);
+    hardware_info_with(kernel, &report)
+}
+
+/// Build using an existing detection report.
+pub fn hardware_info_with(kernel: &Kernel, report: &DetectionReport) -> HardwareInfo {
+    let machine = kernel.machine();
+    let n = machine.n_cpus();
+    let tags = report
+        .chosen
+        .as_ref()
+        .map(|(_, t)| t.clone())
+        .unwrap_or_else(|| vec![0; n]);
+
+    // Rank tag groups by their max frequency to assign P/E/Mid labels.
+    let max_khz_of = |cpu: usize| -> u64 {
+        sysfs::read(
+            kernel,
+            &format!("/sys/devices/system/cpu/cpu{cpu}/cpufreq/cpuinfo_max_freq"),
+        )
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+    };
+    let mut groups: Vec<u64> = tags.clone();
+    groups.sort();
+    groups.dedup();
+    // Order groups by descending max frequency of their first CPU.
+    let mut ranked: Vec<(u64, u64)> = groups
+        .iter()
+        .map(|&g| {
+            let first = tags.iter().position(|&t| t == g).unwrap();
+            (g, max_khz_of(first))
+        })
+        .collect();
+    ranked.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+    let type_of_group = |g: u64| -> CoreType {
+        if ranked.len() <= 1 {
+            return CoreType::Uniform;
+        }
+        let pos = ranked.iter().position(|&(t, _)| t == g).unwrap();
+        if pos == 0 {
+            CoreType::Performance
+        } else if pos == ranked.len() - 1 {
+            CoreType::Efficiency
+        } else {
+            CoreType::Mid
+        }
+    };
+
+    let core_of = |cpu: usize| -> usize {
+        sysfs::read(
+            kernel,
+            &format!("/sys/devices/system/cpu/cpu{cpu}/topology/core_id"),
+        )
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cpu)
+    };
+
+    let cpus: Vec<CpuReport> = (0..n)
+        .map(|i| CpuReport {
+            cpu: i,
+            core: core_of(i),
+            core_type: type_of_group(tags[i]),
+            max_khz: max_khz_of(i),
+            cur_khz: machine.freq_khz(CpuId(i)),
+        })
+        .collect();
+
+    let mut core_types: Vec<CoreTypeReport> = Vec::new();
+    for &(g, _) in &ranked {
+        let member_cpus: Vec<&CpuReport> = cpus
+            .iter()
+            .zip(tags.iter())
+            .filter(|(_, &t)| t == g)
+            .map(|(c, _)| c)
+            .collect();
+        let mut cores: Vec<usize> = member_cpus.iter().map(|c| c.core).collect();
+        cores.sort();
+        cores.dedup();
+        let first_cpu = member_cpus[0].cpu;
+        let min_khz = sysfs::read(
+            kernel,
+            &format!("/sys/devices/system/cpu/cpu{first_cpu}/cpufreq/cpuinfo_min_freq"),
+        )
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+        core_types.push(CoreTypeReport {
+            core_type: type_of_group(g),
+            n_cpus: member_cpus.len(),
+            n_cores: cores.len(),
+            max_khz: member_cpus[0].max_khz,
+            min_khz,
+        });
+    }
+
+    let ncores = {
+        let mut cs: Vec<usize> = cpus.iter().map(|c| c.core).collect();
+        cs.sort();
+        cs.dedup();
+        cs.len()
+    };
+
+    HardwareInfo {
+        model_string: machine.spec().model_string.clone(),
+        vendor_string: match machine.spec().vendor {
+            simcpu::uarch::Vendor::Intel => "GenuineIntel".into(),
+            simcpu::uarch::Vendor::Arm => "ARM".into(),
+        },
+        ncpus: n,
+        ncores,
+        heterogeneous: report.is_hybrid(),
+        detection_method: report.chosen.as_ref().map(|(m, _)| *m),
+        cpus,
+        core_types,
+        mem_string: machine.spec().mem_string.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::machine::MachineSpec;
+    use simos::kernel::KernelConfig;
+
+    #[test]
+    fn raptor_lake_table1_shape() {
+        let k = Kernel::boot(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
+        let hw = hardware_info(&k);
+        assert!(hw.heterogeneous);
+        assert_eq!(hw.ncpus, 24);
+        assert_eq!(hw.ncores, 16);
+        assert_eq!(hw.core_types.len(), 2);
+        let p = &hw.core_types[0];
+        assert_eq!(p.core_type, CoreType::Performance);
+        assert_eq!(p.n_cores, 8);
+        assert_eq!(p.n_cpus, 16);
+        assert_eq!(p.max_khz, 5_100_000);
+        let e = &hw.core_types[1];
+        assert_eq!(e.core_type, CoreType::Efficiency);
+        assert_eq!(e.n_cores, 8);
+        assert_eq!(e.n_cpus, 8);
+        // Per-cpu classification.
+        assert_eq!(hw.core_type_of(0), Some(CoreType::Performance));
+        assert_eq!(hw.core_type_of(16), Some(CoreType::Efficiency));
+        let table = hw.to_table();
+        assert!(table.contains("i7-13700"));
+        assert!(table.contains("P-cores"));
+        assert!(table.contains("8 (16 threads)"));
+    }
+
+    #[test]
+    fn orangepi_table4_shape() {
+        let k = Kernel::boot(MachineSpec::orangepi_800(), KernelConfig::default());
+        let hw = hardware_info(&k);
+        assert!(hw.heterogeneous);
+        assert_eq!(hw.ncpus, 6);
+        assert_eq!(hw.core_types[0].n_cores, 2); // big
+        assert_eq!(hw.core_types[1].n_cores, 4); // LITTLE
+        assert_eq!(
+            hw.detection_method,
+            Some(crate::sysdetect::DetectMethod::CpuCapacity)
+        );
+        assert!(hw.to_table().contains("RK3399"));
+    }
+
+    #[test]
+    fn homogeneous_reports_uniform() {
+        let k = Kernel::boot(MachineSpec::skylake_quad(), KernelConfig::default());
+        let hw = hardware_info(&k);
+        assert!(!hw.heterogeneous);
+        assert_eq!(hw.core_types.len(), 1);
+        assert_eq!(hw.core_types[0].core_type, CoreType::Uniform);
+    }
+
+    #[test]
+    fn tri_cluster_has_mid_type() {
+        let k = Kernel::boot(MachineSpec::dynamiq_tri(), KernelConfig::default());
+        let hw = hardware_info(&k);
+        let types: Vec<CoreType> = hw.core_types.iter().map(|c| c.core_type).collect();
+        assert_eq!(
+            types,
+            vec![CoreType::Performance, CoreType::Mid, CoreType::Efficiency]
+        );
+    }
+}

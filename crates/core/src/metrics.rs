@@ -1,0 +1,126 @@
+//! Derived metrics over measured values.
+//!
+//! PAPI users rarely want raw counts; they want IPC, miss rates, FLOP
+//! rates. On hybrid machines these divide *sums* of per-core-type events
+//! (the derived-add presets), which is exactly what makes them meaningful
+//! again on P+E systems — divide only the P half by the combined cycles
+//! and the ratio is nonsense. These helpers work on the labeled value
+//! vectors `read`/`stop` return.
+
+use crate::Values;
+
+/// Look up a value by exact label.
+pub fn value(values: &Values, label: &str) -> Option<u64> {
+    values
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, v)| *v)
+}
+
+/// Ratio of two labeled values (None if either is missing or the
+/// denominator is zero).
+pub fn ratio(values: &Values, num: &str, den: &str) -> Option<f64> {
+    let n = value(values, num)? as f64;
+    let d = value(values, den)? as f64;
+    if d == 0.0 {
+        None
+    } else {
+        Some(n / d)
+    }
+}
+
+/// Instructions per cycle from `PAPI_TOT_INS` / `PAPI_TOT_CYC`.
+pub fn ipc(values: &Values) -> Option<f64> {
+    ratio(values, "PAPI_TOT_INS", "PAPI_TOT_CYC")
+}
+
+/// Last-level cache miss rate from `PAPI_L3_TCM` / `PAPI_L3_TCA`.
+pub fn llc_miss_rate(values: &Values) -> Option<f64> {
+    ratio(values, "PAPI_L3_TCM", "PAPI_L3_TCA")
+}
+
+/// Branch mispredict rate from `PAPI_BR_MSP` / `PAPI_BR_INS`.
+pub fn branch_miss_rate(values: &Values) -> Option<f64> {
+    ratio(values, "PAPI_BR_MSP", "PAPI_BR_INS")
+}
+
+/// GFLOP/s from `PAPI_FP_OPS` over a wall time in seconds.
+pub fn gflops(values: &Values, wall_s: f64) -> Option<f64> {
+    if wall_s <= 0.0 {
+        return None;
+    }
+    Some(value(values, "PAPI_FP_OPS")? as f64 / wall_s / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals() -> Values {
+        vec![
+            ("PAPI_TOT_INS".into(), 2_000_000),
+            ("PAPI_TOT_CYC".into(), 1_000_000),
+            ("PAPI_L3_TCA".into(), 10_000),
+            ("PAPI_L3_TCM".into(), 8_600),
+            ("PAPI_BR_INS".into(), 160_000),
+            ("PAPI_BR_MSP".into(), 160),
+            ("PAPI_FP_OPS".into(), 7_200_000),
+        ]
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let v = vals();
+        assert_eq!(ipc(&v), Some(2.0));
+        assert_eq!(llc_miss_rate(&v), Some(0.86));
+        assert_eq!(branch_miss_rate(&v), Some(0.001));
+        assert_eq!(gflops(&v, 0.001), Some(7.2));
+    }
+
+    #[test]
+    fn missing_and_zero_denominators() {
+        let v = vals();
+        assert_eq!(ratio(&v, "PAPI_TOT_INS", "PAPI_NOPE"), None);
+        assert_eq!(ratio(&v, "PAPI_NOPE", "PAPI_TOT_CYC"), None);
+        let z: Values = vec![("A".into(), 1), ("B".into(), 0)];
+        assert_eq!(ratio(&z, "A", "B"), None);
+        assert_eq!(gflops(&v, 0.0), None);
+    }
+
+    /// End-to-end: compute IPC from a real measured EventSet.
+    #[test]
+    fn ipc_from_live_eventset() {
+        use crate::{Attach, Papi, Preset};
+        use simcpu::machine::MachineSpec;
+        use simcpu::phase::Phase;
+        use simcpu::types::CpuMask;
+        use simos::kernel::{Kernel, KernelConfig};
+        use simos::task::{Op, ScriptedProgram};
+
+        let kernel = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        );
+        let pid = kernel.lock().spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(5_000_000)),
+                Op::Exit,
+            ])),
+            CpuMask::from_cpus([0, 16]),
+            0,
+        );
+        let mut papi = Papi::init(kernel.clone()).unwrap();
+        let es = papi.create_eventset();
+        papi.attach(es, Attach::Task(pid)).unwrap();
+        papi.add_preset(es, Preset::TotIns).unwrap();
+        papi.add_preset(es, Preset::TotCyc).unwrap();
+        papi.start(es).unwrap();
+        kernel.lock().run_to_completion(60_000_000_000);
+        let v = papi.stop(es).unwrap();
+        let ipc = ipc(&v).unwrap();
+        // A scalar loop on GoldenCove runs near (but below) its 4.6-wide
+        // issue limit.
+        assert!((2.0..=4.6).contains(&ipc), "ipc = {ipc}");
+    }
+}

@@ -1,0 +1,159 @@
+//! PAPI preset events and their hybrid "derived-add" expansion.
+//!
+//! Presets (`PAPI_TOT_INS`, `PAPI_L3_TCM`, …) let users name common
+//! quantities without knowing vendor event spellings. On a homogeneous
+//! machine a preset maps to one native event. On a hybrid machine the
+//! paper's §V.2 plan applies: the preset becomes a *derived* event that
+//! opens the equivalent native event on **every** core-type PMU and sums
+//! the results — `PAPI_TOT_INS = adl_glc::INST_RETIRED:ANY +
+//! adl_grt::INST_RETIRED:ANY` — so users do not have to care that they are
+//! on a hybrid machine.
+//!
+//! The table is keyed by vendor-generic *unprefixed* native names, which
+//! `pfmlib` resolves per default PMU; a preset is unavailable on machines
+//! where no default PMU has the native event (e.g. `PAPI_REF_CYC` on ARM).
+
+use simcpu::uarch::Vendor;
+
+/// The preset events this implementation defines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// Total retired instructions.
+    TotIns,
+    /// Total cycles.
+    TotCyc,
+    /// Reference cycles (Intel only).
+    RefCyc,
+    /// Branch instructions.
+    BrIns,
+    /// Mispredicted branches.
+    BrMsp,
+    /// L1 data cache misses.
+    L1Dcm,
+    /// L2 total accesses.
+    L2Tca,
+    /// L2 total misses.
+    L2Tcm,
+    /// L3 (last-level) total accesses.
+    L3Tca,
+    /// L3 (last-level) total misses.
+    L3Tcm,
+    /// Double-precision FLOPs.
+    FpOps,
+    /// Vector/SIMD instructions.
+    VecIns,
+    /// Cycles stalled on any resource (memory in this model).
+    ResStl,
+    /// Data TLB misses.
+    TlbDm,
+}
+
+/// All presets, for enumeration APIs.
+pub const ALL_PRESETS: &[Preset] = &[
+    Preset::TotIns,
+    Preset::TotCyc,
+    Preset::RefCyc,
+    Preset::BrIns,
+    Preset::BrMsp,
+    Preset::L1Dcm,
+    Preset::L2Tca,
+    Preset::L2Tcm,
+    Preset::L3Tca,
+    Preset::L3Tcm,
+    Preset::FpOps,
+    Preset::VecIns,
+    Preset::ResStl,
+    Preset::TlbDm,
+];
+
+impl Preset {
+    /// The classic PAPI name.
+    pub fn papi_name(self) -> &'static str {
+        match self {
+            Preset::TotIns => "PAPI_TOT_INS",
+            Preset::TotCyc => "PAPI_TOT_CYC",
+            Preset::RefCyc => "PAPI_REF_CYC",
+            Preset::BrIns => "PAPI_BR_INS",
+            Preset::BrMsp => "PAPI_BR_MSP",
+            Preset::L1Dcm => "PAPI_L1_DCM",
+            Preset::L2Tca => "PAPI_L2_TCA",
+            Preset::L2Tcm => "PAPI_L2_TCM",
+            Preset::L3Tca => "PAPI_L3_TCA",
+            Preset::L3Tcm => "PAPI_L3_TCM",
+            Preset::FpOps => "PAPI_FP_OPS",
+            Preset::VecIns => "PAPI_VEC_INS",
+            Preset::ResStl => "PAPI_RES_STL",
+            Preset::TlbDm => "PAPI_TLB_DM",
+        }
+    }
+
+    /// Parse a `PAPI_*` name.
+    pub fn from_papi_name(name: &str) -> Option<Preset> {
+        ALL_PRESETS
+            .iter()
+            .copied()
+            .find(|p| p.papi_name() == name.to_ascii_uppercase())
+    }
+
+    /// The unprefixed native event name implementing this preset for a
+    /// vendor, or `None` when the vendor has no equivalent.
+    pub fn native_name(self, vendor: Vendor) -> Option<&'static str> {
+        match (self, vendor) {
+            (Preset::TotIns, Vendor::Intel) => Some("INST_RETIRED:ANY"),
+            (Preset::TotIns, Vendor::Arm) => Some("INST_RETIRED"),
+            (Preset::TotCyc, Vendor::Intel) => Some("CPU_CLK_UNHALTED:THREAD"),
+            (Preset::TotCyc, Vendor::Arm) => Some("CPU_CYCLES"),
+            (Preset::RefCyc, Vendor::Intel) => Some("CPU_CLK_UNHALTED:REF_TSC"),
+            (Preset::RefCyc, Vendor::Arm) => None, // no ARM equivalent here
+            (Preset::BrIns, Vendor::Intel) => Some("BR_INST_RETIRED:ALL_BRANCHES"),
+            (Preset::BrIns, Vendor::Arm) => Some("BR_RETIRED"),
+            (Preset::BrMsp, Vendor::Intel) => Some("BR_MISP_RETIRED:ALL_BRANCHES"),
+            (Preset::BrMsp, Vendor::Arm) => Some("BR_MIS_PRED_RETIRED"),
+            (Preset::L1Dcm, Vendor::Intel) => Some("L1D:REPLACEMENT"),
+            (Preset::L1Dcm, Vendor::Arm) => Some("L1D_CACHE_REFILL"),
+            (Preset::L2Tca, Vendor::Intel) => Some("L2_RQSTS:REFERENCES"),
+            (Preset::L2Tca, Vendor::Arm) => Some("L2D_CACHE"),
+            (Preset::L2Tcm, Vendor::Intel) => Some("L2_RQSTS:MISS"),
+            (Preset::L2Tcm, Vendor::Arm) => Some("L2D_CACHE_REFILL"),
+            (Preset::L3Tca, Vendor::Intel) => Some("LONGEST_LAT_CACHE:REFERENCE"),
+            (Preset::L3Tca, Vendor::Arm) => Some("LL_CACHE_RD"),
+            (Preset::L3Tcm, Vendor::Intel) => Some("LONGEST_LAT_CACHE:MISS"),
+            (Preset::L3Tcm, Vendor::Arm) => Some("LL_CACHE_MISS_RD"),
+            (Preset::FpOps, Vendor::Intel) => Some("FP_ARITH_INST_RETIRED:ALL"),
+            (Preset::FpOps, Vendor::Arm) => Some("VFP_SPEC"),
+            (Preset::VecIns, Vendor::Intel) => Some("UOPS_RETIRED:VECTOR"),
+            (Preset::VecIns, Vendor::Arm) => Some("ASE_SPEC"),
+            (Preset::ResStl, Vendor::Intel) => Some("CYCLE_ACTIVITY:STALLS_MEM_ANY"),
+            (Preset::ResStl, Vendor::Arm) => Some("STALL_BACKEND"),
+            (Preset::TlbDm, Vendor::Intel) => Some("DTLB_LOAD_MISSES:WALK_COMPLETED"),
+            (Preset::TlbDm, Vendor::Arm) => Some("DTLB_WALK"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for &p in ALL_PRESETS {
+            assert_eq!(Preset::from_papi_name(p.papi_name()), Some(p));
+        }
+        assert_eq!(Preset::from_papi_name("papi_tot_ins"), Some(Preset::TotIns));
+        assert_eq!(Preset::from_papi_name("PAPI_NOPE"), None);
+    }
+
+    #[test]
+    fn every_preset_has_an_intel_native() {
+        for &p in ALL_PRESETS {
+            assert!(p.native_name(Vendor::Intel).is_some(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn ref_cyc_is_intel_only() {
+        assert!(Preset::RefCyc.native_name(Vendor::Arm).is_none());
+        assert!(Preset::TotIns.native_name(Vendor::Arm).is_some());
+    }
+}

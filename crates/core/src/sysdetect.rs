@@ -1,0 +1,288 @@
+//! The sysdetect component: discovering what core types a machine has.
+//!
+//! §IV.B of the paper: "Currently Linux has no standard way of doing
+//! this." So PAPI has to try a ladder of platform-specific probes, each of
+//! which works on some machines and not others. This module implements all
+//! five, *purely through the simulated sysfs/cpuid surface* (no peeking at
+//! the machine spec), and records which ones worked:
+//!
+//! 1. `cpu_capacity` — ARM only;
+//! 2. `/proc/cpuinfo` MIDR part numbers — ARM only (Intel hybrid parts are
+//!    indistinguishable there);
+//! 3. `cpuid` leaf 0x1A — Intel hybrid only;
+//! 4. PMU `cpus` files under `/sys/devices/` — works on both, but PMU
+//!    directory names vary (devicetree vs ACPI);
+//! 5. `cpuinfo_max_freq` — the last-resort heuristic, "cannot always be
+//!    guaranteed to work".
+
+use simos::kernel::Kernel;
+use simos::sysfs;
+
+/// The probes, in the order sysdetect tries them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectMethod {
+    CpuCapacity,
+    CpuinfoMidr,
+    CpuidLeaf1A,
+    PmuCpusFiles,
+    MaxFreqHeuristic,
+}
+
+impl DetectMethod {
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectMethod::CpuCapacity => "sysfs cpu_capacity",
+            DetectMethod::CpuinfoMidr => "/proc/cpuinfo MIDR",
+            DetectMethod::CpuidLeaf1A => "cpuid leaf 0x1A",
+            DetectMethod::PmuCpusFiles => "PMU cpus files",
+            DetectMethod::MaxFreqHeuristic => "cpuinfo_max_freq heuristic",
+        }
+    }
+
+    pub fn all() -> &'static [DetectMethod] {
+        &[
+            DetectMethod::CpuCapacity,
+            DetectMethod::CpuinfoMidr,
+            DetectMethod::CpuidLeaf1A,
+            DetectMethod::PmuCpusFiles,
+            DetectMethod::MaxFreqHeuristic,
+        ]
+    }
+}
+
+/// Result of one probe: per-CPU group tags (equal tag = same core type),
+/// or why the probe does not apply here.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    pub method: DetectMethod,
+    pub result: Result<Vec<u64>, String>,
+}
+
+impl MethodOutcome {
+    /// Number of distinct core types this probe found (None on failure).
+    pub fn n_types(&self) -> Option<usize> {
+        self.result.as_ref().ok().map(|tags| {
+            let mut t = tags.clone();
+            t.sort();
+            t.dedup();
+            t.len()
+        })
+    }
+}
+
+/// The full report.
+#[derive(Debug, Clone)]
+pub struct DetectionReport {
+    pub outcomes: Vec<MethodOutcome>,
+    /// First successful probe and its per-CPU tags.
+    pub chosen: Option<(DetectMethod, Vec<u64>)>,
+}
+
+impl DetectionReport {
+    /// Distinct core types found by the chosen method (1 on homogeneous).
+    pub fn n_core_types(&self) -> usize {
+        self.chosen
+            .as_ref()
+            .map(|(_, tags)| {
+                let mut t = tags.clone();
+                t.sort();
+                t.dedup();
+                t.len()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the machine was detected as heterogeneous.
+    pub fn is_hybrid(&self) -> bool {
+        self.n_core_types() > 1
+    }
+}
+
+/// Run every probe and pick the first that works.
+pub fn detect(kernel: &Kernel) -> DetectionReport {
+    let outcomes: Vec<MethodOutcome> = DetectMethod::all()
+        .iter()
+        .map(|&m| MethodOutcome {
+            method: m,
+            result: run_method(kernel, m),
+        })
+        .collect();
+    let chosen = outcomes
+        .iter()
+        .find_map(|o| o.result.as_ref().ok().map(|tags| (o.method, tags.clone())));
+    DetectionReport { outcomes, chosen }
+}
+
+fn n_cpus(kernel: &Kernel) -> usize {
+    // From sysfs, like a real tool would.
+    sysfs::read(kernel, "/sys/devices/system/cpu/possible")
+        .ok()
+        .and_then(|s| s.rsplit('-').next().and_then(|x| x.parse::<usize>().ok()))
+        .map(|last| last + 1)
+        .unwrap_or(0)
+}
+
+fn run_method(kernel: &Kernel, m: DetectMethod) -> Result<Vec<u64>, String> {
+    let n = n_cpus(kernel);
+    if n == 0 {
+        return Err("cannot enumerate CPUs".into());
+    }
+    match m {
+        DetectMethod::CpuCapacity => (0..n)
+            .map(|i| {
+                sysfs::read(kernel, &format!("/sys/devices/system/cpu/cpu{i}/cpu_capacity"))
+                    .map_err(|_| "cpu_capacity not present (not an ARM system?)".to_string())
+                    .and_then(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+            })
+            .collect(),
+        DetectMethod::CpuinfoMidr => {
+            let text = sysfs::read(kernel, "/proc/cpuinfo").map_err(|e| e.to_string())?;
+            let parts: Vec<u64> = text
+                .lines()
+                .filter_map(|l| l.strip_prefix("CPU part\t: "))
+                .filter_map(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+                .collect();
+            if parts.len() == n {
+                Ok(parts)
+            } else {
+                Err("no per-CPU part numbers (Intel hybrid cores share \
+                     family/model/stepping)"
+                    .into())
+            }
+        }
+        DetectMethod::CpuidLeaf1A => {
+            let tags: Vec<u64> = (0..n)
+                .map(|i| {
+                    let (eax, ..) = kernel.cpuid(simcpu::types::CpuId(i), 0x1a);
+                    (eax >> 24) as u64
+                })
+                .collect();
+            if tags.iter().all(|&t| t == 0) {
+                Err("cpuid leaf 0x1A absent (not hybrid Intel)".into())
+            } else {
+                Ok(tags)
+            }
+        }
+        DetectMethod::PmuCpusFiles => {
+            let dirs = sysfs::list(kernel, "/sys/devices").map_err(|e| e.to_string())?;
+            let mut tags = vec![u64::MAX; n];
+            let mut group = 0u64;
+            for d in dirs {
+                // Heuristic: core-PMU directory names.
+                let looks_core =
+                    d == "cpu" || d.starts_with("cpu_") || d.starts_with("armv8");
+                if !looks_core {
+                    continue;
+                }
+                let Ok(cpus) = sysfs::read(kernel, &format!("/sys/devices/{d}/cpus")) else {
+                    continue;
+                };
+                let mask = simcpu::types::CpuMask::parse_cpulist(&cpus)
+                    .map_err(|e| e.to_string())?;
+                for c in mask.iter() {
+                    if c.0 < n {
+                        tags[c.0] = group;
+                    }
+                }
+                group += 1;
+            }
+            if tags.contains(&u64::MAX) {
+                Err("some CPUs not covered by any core PMU".into())
+            } else {
+                Ok(tags)
+            }
+        }
+        DetectMethod::MaxFreqHeuristic => (0..n)
+            .map(|i| {
+                sysfs::read(
+                    kernel,
+                    &format!("/sys/devices/system/cpu/cpu{i}/cpufreq/cpuinfo_max_freq"),
+                )
+                .map_err(|e| e.to_string())
+                .and_then(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::machine::MachineSpec;
+    use simos::kernel::{Firmware, KernelConfig};
+
+    fn boot(spec: MachineSpec) -> Kernel {
+        Kernel::boot(spec, KernelConfig::default())
+    }
+
+    fn outcome(r: &DetectionReport, m: DetectMethod) -> &MethodOutcome {
+        r.outcomes.iter().find(|o| o.method == m).unwrap()
+    }
+
+    #[test]
+    fn raptor_lake_detected_via_cpuid() {
+        let k = boot(MachineSpec::raptor_lake_i7_13700());
+        let r = detect(&k);
+        // ARM-only probes fail on Intel.
+        assert!(outcome(&r, DetectMethod::CpuCapacity).result.is_err());
+        assert!(outcome(&r, DetectMethod::CpuinfoMidr).result.is_err());
+        // cpuid leaf 0x1A is the first success.
+        let (method, tags) = r.chosen.clone().unwrap();
+        assert_eq!(method, DetectMethod::CpuidLeaf1A);
+        assert_eq!(tags.len(), 24);
+        assert!(r.is_hybrid());
+        assert_eq!(r.n_core_types(), 2);
+        // The fallbacks also work here.
+        assert_eq!(outcome(&r, DetectMethod::PmuCpusFiles).n_types(), Some(2));
+        assert_eq!(
+            outcome(&r, DetectMethod::MaxFreqHeuristic).n_types(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn orangepi_detected_via_cpu_capacity() {
+        let k = boot(MachineSpec::orangepi_800());
+        let r = detect(&k);
+        let (method, tags) = r.chosen.clone().unwrap();
+        assert_eq!(method, DetectMethod::CpuCapacity);
+        assert_eq!(tags, vec![1024, 1024, 446, 446, 446, 446]);
+        assert!(r.is_hybrid());
+        // MIDR also works on ARM.
+        assert_eq!(outcome(&r, DetectMethod::CpuinfoMidr).n_types(), Some(2));
+        // cpuid does not.
+        assert!(outcome(&r, DetectMethod::CpuidLeaf1A).result.is_err());
+    }
+
+    #[test]
+    fn acpi_firmware_pmu_scan_still_groups() {
+        let k = Kernel::boot(
+            MachineSpec::orangepi_800(),
+            KernelConfig {
+                firmware: Firmware::Acpi,
+                ..Default::default()
+            },
+        );
+        let r = detect(&k);
+        assert_eq!(outcome(&r, DetectMethod::PmuCpusFiles).n_types(), Some(2));
+    }
+
+    #[test]
+    fn homogeneous_machine_one_type() {
+        let k = boot(MachineSpec::skylake_quad());
+        let r = detect(&k);
+        assert!(!r.is_hybrid());
+        assert_eq!(r.n_core_types(), 1);
+        // cpuid leaf 0x1A absent pre-hybrid → the PMU scan decides.
+        assert!(outcome(&r, DetectMethod::CpuidLeaf1A).result.is_err());
+        assert_eq!(r.chosen.as_ref().unwrap().0, DetectMethod::PmuCpusFiles);
+    }
+
+    #[test]
+    fn tri_cluster_three_types() {
+        let k = boot(MachineSpec::dynamiq_tri());
+        let r = detect(&k);
+        assert_eq!(r.n_core_types(), 3);
+        assert_eq!(r.chosen.as_ref().unwrap().0, DetectMethod::CpuCapacity);
+    }
+}

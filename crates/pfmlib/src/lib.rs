@@ -1,0 +1,589 @@
+//! # pfmlib — the libpfm4 analogue
+//!
+//! PAPI does not talk to PMU hardware directly: it delegates event naming
+//! and encoding to libpfm4. This crate plays that role for the simulated
+//! stack:
+//!
+//! * static per-PMU **event tables** ([`tables`]) with unit masks —
+//!   `adl_glc::INST_RETIRED:ANY` and friends;
+//! * **name parsing** ([`spec`]) with libpfm4's grammar;
+//! * **PMU detection** ([`Pfm::initialize`]) by scanning the (simulated)
+//!   `/sys/devices` tree, identifying Intel core PMUs through `cpuid`
+//!   (family/model + the hybrid leaf 0x1A) and ARM PMUs through MIDR part
+//!   numbers — the exact mechanisms §IV.B/§IV.C of the paper describes,
+//!   including the devicetree/ACPI naming wrinkle;
+//! * **multiple default PMUs** ([`Pfm::default_pmus`]): on a hybrid
+//!   machine every core PMU is a "default" event namespace — the §IV.D
+//!   fix. The pre-fix behaviour (stock libpfm4: only one ARM PMU detected)
+//!   is available via [`PfmOptions::arm_multi_pmu`] for the paper's
+//!   before/after comparisons.
+//!
+//! [`Pfm::encode`] turns an event name into the `perf_event_attr`-shaped
+//! [`simos::PerfAttr`] ready for `perf_event_open`.
+
+pub mod spec;
+pub mod tables;
+
+use simcpu::types::CpuMask;
+use simcpu::uarch::{Microarch, Vendor};
+use simos::kernel::Kernel;
+use simos::perf::{PerfAttr, PmuKind};
+use spec::{EventSpec, SpecError};
+use tables::{events_for_pmu, PfmEvent};
+
+/// Errors from event lookup/encoding and detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfmError {
+    Parse(SpecError),
+    UnknownPmu(String),
+    UnknownEvent(String),
+    UnknownUmask { event: String, umask: String },
+    /// No default (core) PMU — detection failed entirely.
+    NoDefaultPmu,
+    /// Event exists in no default PMU's table.
+    NotInDefaultPmus(String),
+}
+
+impl std::fmt::Display for PfmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfmError::Parse(e) => write!(f, "parse error: {e}"),
+            PfmError::UnknownPmu(p) => write!(f, "unknown PMU '{p}'"),
+            PfmError::UnknownEvent(e) => write!(f, "unknown event '{e}'"),
+            PfmError::UnknownUmask { event, umask } => {
+                write!(f, "unknown umask '{umask}' for event '{event}'")
+            }
+            PfmError::NoDefaultPmu => write!(f, "no default PMU detected"),
+            PfmError::NotInDefaultPmus(e) => {
+                write!(f, "event '{e}' not found in any default PMU")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfmError {}
+
+impl From<SpecError> for PfmError {
+    fn from(e: SpecError) -> Self {
+        PfmError::Parse(e)
+    }
+}
+
+/// A PMU found at detection time.
+#[derive(Debug, Clone)]
+pub struct DetectedPmu {
+    /// pfm table namespace ("adl_glc", "arm_ac53", "rapl", "unc_llc").
+    pub pfm_name: String,
+    /// Kernel sysfs name ("cpu_core", "armv8_pmuv3_0", "power").
+    pub kernel_name: String,
+    /// perf `type` id.
+    pub pmu_id: u32,
+    pub kind: PmuKind,
+    /// CPUs covered.
+    pub cpus: CpuMask,
+    pub uarch: Option<Microarch>,
+    /// Core PMUs are "default": unprefixed event names search them.
+    pub is_default: bool,
+}
+
+/// Detection options.
+#[derive(Debug, Clone)]
+pub struct PfmOptions {
+    /// With the paper's ARM patches applied, detection finds *all* core
+    /// PMUs; stock libpfm4 (`false`) stops after the first on ARM —
+    /// reproduces the §IV.C limitation.
+    pub arm_multi_pmu: bool,
+}
+
+impl Default for PfmOptions {
+    fn default() -> Self {
+        PfmOptions {
+            arm_multi_pmu: true,
+        }
+    }
+}
+
+/// A fully-resolved event: where it came from and how to open it.
+#[derive(Debug, Clone)]
+pub struct EncodedEvent {
+    /// Fully-qualified name ("adl_glc::INST_RETIRED:ANY").
+    pub fq_name: String,
+    /// The attr to hand to `perf_event_open`.
+    pub attr: PerfAttr,
+    /// Index of the owning PMU in [`Pfm::pmus`].
+    pub pmu_index: usize,
+}
+
+/// The initialized library.
+pub struct Pfm {
+    pmus: Vec<DetectedPmu>,
+}
+
+impl Pfm {
+    /// Detect PMUs by scanning the simulated sysfs, identifying each core
+    /// PMU's microarchitecture the way libpfm4 does on real metal.
+    pub fn initialize(kernel: &Kernel, opts: PfmOptions) -> Result<Pfm, PfmError> {
+        let mut pmus = Vec::new();
+        let entries =
+            simos::sysfs::list(kernel, "/sys/devices").map_err(|_| PfmError::NoDefaultPmu)?;
+        let mut arm_core_seen = false;
+        for name in entries {
+            let Ok(type_str) = simos::sysfs::read(kernel, &format!("/sys/devices/{name}/type"))
+            else {
+                continue; // not a PMU directory (e.g. "system")
+            };
+            let pmu_id: u32 = type_str.parse().map_err(|_| PfmError::NoDefaultPmu)?;
+            let cpus_str = simos::sysfs::read(kernel, &format!("/sys/devices/{name}/cpus"))
+                .unwrap_or_default();
+            let cpus = CpuMask::parse_cpulist(&cpus_str).unwrap_or(CpuMask::EMPTY);
+
+            // Classify: consult the kernel's registry for the kind, then
+            // identify core PMUs by vendor mechanism.
+            let Some(desc) = kernel.pmu_by_id(pmu_id) else {
+                continue;
+            };
+            match desc.kind {
+                PmuKind::CoreHw => {
+                    let Some(first_cpu) = cpus.iter().next() else {
+                        continue;
+                    };
+                    let uarch = identify_core(kernel, first_cpu);
+                    let Some(uarch) = uarch else { continue };
+                    let is_arm = uarch.params().vendor == Vendor::Arm;
+                    if is_arm && arm_core_seen && !opts.arm_multi_pmu {
+                        // Stock libpfm4: the ARM PMU scan stops after the
+                        // first core PMU (§IV.C).
+                        continue;
+                    }
+                    if is_arm {
+                        arm_core_seen = true;
+                    }
+                    pmus.push(DetectedPmu {
+                        pfm_name: uarch.params().pfm_name.to_string(),
+                        kernel_name: name.clone(),
+                        pmu_id,
+                        kind: PmuKind::CoreHw,
+                        cpus,
+                        uarch: Some(uarch),
+                        is_default: true,
+                    });
+                }
+                PmuKind::Rapl => pmus.push(DetectedPmu {
+                    pfm_name: "rapl".into(),
+                    kernel_name: name.clone(),
+                    pmu_id,
+                    kind: PmuKind::Rapl,
+                    cpus,
+                    uarch: None,
+                    is_default: false,
+                }),
+                PmuKind::Uncore => pmus.push(DetectedPmu {
+                    pfm_name: if name.contains("imc") {
+                        "unc_imc".into()
+                    } else {
+                        "unc_llc".into()
+                    },
+                    kernel_name: name.clone(),
+                    pmu_id,
+                    kind: PmuKind::Uncore,
+                    cpus,
+                    uarch: None,
+                    is_default: false,
+                }),
+                PmuKind::Software => pmus.push(DetectedPmu {
+                    pfm_name: "perf_sw".into(),
+                    kernel_name: name.clone(),
+                    pmu_id,
+                    kind: PmuKind::Software,
+                    cpus,
+                    uarch: None,
+                    is_default: false,
+                }),
+            }
+        }
+        if !pmus.iter().any(|p| p.is_default) {
+            return Err(PfmError::NoDefaultPmu);
+        }
+        // Default search order: biggest capacity first — "we currently
+        // choose the P core as the default" (§IV.D).
+        pmus.sort_by_key(|p| {
+            (
+                !p.is_default,
+                std::cmp::Reverse(p.uarch.map(|u| u.params().capacity).unwrap_or(0)),
+                p.pmu_id,
+            )
+        });
+        Ok(Pfm { pmus })
+    }
+
+    /// All detected PMUs (defaults first, capacity-descending).
+    pub fn pmus(&self) -> &[DetectedPmu] {
+        &self.pmus
+    }
+
+    /// The default (core) PMUs — plural on hybrid machines.
+    pub fn default_pmus(&self) -> Vec<&DetectedPmu> {
+        self.pmus.iter().filter(|p| p.is_default).collect()
+    }
+
+    /// Find a detected PMU by pfm name.
+    pub fn pmu_by_pfm_name(&self, name: &str) -> Option<(usize, &DetectedPmu)> {
+        self.pmus
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.pfm_name == name)
+    }
+
+    /// List the event names available on a detected PMU.
+    pub fn list_events(&self, pfm_name: &str) -> Result<Vec<String>, PfmError> {
+        let table = events_for_pmu(pfm_name)
+            .ok_or_else(|| PfmError::UnknownPmu(pfm_name.to_string()))?;
+        Ok(table
+            .iter()
+            .map(|e| format!("{pfm_name}::{}", e.name))
+            .collect())
+    }
+
+    /// Resolve and encode an event name into a `perf_event_attr`.
+    pub fn encode(&self, name: &str) -> Result<EncodedEvent, PfmError> {
+        let spec = EventSpec::parse(name)?;
+        let candidates: Vec<(usize, &DetectedPmu)> = match &spec.pmu {
+            Some(p) => {
+                let (i, d) = self
+                    .pmu_by_pfm_name(p)
+                    .ok_or_else(|| PfmError::UnknownPmu(p.clone()))?;
+                vec![(i, d)]
+            }
+            None => {
+                // Unprefixed: search default PMUs in order, plus the
+                // non-core PMUs (so RAPL_ENERGY_PKG works unprefixed).
+                let mut v: Vec<(usize, &DetectedPmu)> = self
+                    .pmus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.is_default)
+                    .collect();
+                v.extend(self.pmus.iter().enumerate().filter(|(_, p)| !p.is_default));
+                v
+            }
+        };
+        let mut last_err = PfmError::UnknownEvent(spec.event.clone());
+        for (idx, pmu) in candidates {
+            let Some(table) = events_for_pmu(&pmu.pfm_name) else {
+                continue;
+            };
+            match resolve_in_table(table, &spec) {
+                Ok((config, umask_name)) => {
+                    return Ok(EncodedEvent {
+                        fq_name: spec.fq_name(&pmu.pfm_name, umask_name),
+                        attr: PerfAttr {
+                            pmu_type: pmu.pmu_id,
+                            config,
+                            disabled: true,
+                            sample_period: spec.sample_period.unwrap_or(0),
+                            pinned: spec.pinned,
+                        },
+                        pmu_index: idx,
+                    });
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if spec.pmu.is_none() && matches!(last_err, PfmError::UnknownEvent(_)) {
+            return Err(PfmError::NotInDefaultPmus(spec.event));
+        }
+        Err(last_err)
+    }
+
+    /// Find *every* default-PMU variant of an unprefixed event — the
+    /// building block for derived presets that sum across core types.
+    pub fn encode_on_all_defaults(&self, name: &str) -> Result<Vec<EncodedEvent>, PfmError> {
+        let spec = EventSpec::parse(name)?;
+        if spec.pmu.is_some() {
+            return Ok(vec![self.encode(name)?]);
+        }
+        let mut out = Vec::new();
+        for (idx, pmu) in self.pmus.iter().enumerate().filter(|(_, p)| p.is_default) {
+            let Some(table) = events_for_pmu(&pmu.pfm_name) else {
+                continue;
+            };
+            if let Ok((config, umask_name)) = resolve_in_table(table, &spec) {
+                out.push(EncodedEvent {
+                    fq_name: spec.fq_name(&pmu.pfm_name, umask_name),
+                    attr: PerfAttr {
+                        pmu_type: pmu.pmu_id,
+                        config,
+                        disabled: true,
+                        sample_period: spec.sample_period.unwrap_or(0),
+                        pinned: spec.pinned,
+                    },
+                    pmu_index: idx,
+                });
+            }
+        }
+        if out.is_empty() {
+            return Err(PfmError::NotInDefaultPmus(spec.event));
+        }
+        Ok(out)
+    }
+}
+
+/// Identify a core's microarchitecture the way libpfm4 does: cpuid on
+/// Intel (family/model, plus hybrid leaf 0x1A), MIDR on ARM.
+fn identify_core(kernel: &Kernel, cpu: simcpu::types::CpuId) -> Option<Microarch> {
+    match kernel.machine().spec().vendor {
+        Vendor::Intel => {
+            let (eax1, ..) = kernel.cpuid(cpu, 0x1);
+            let family = (eax1 >> 8) & 0xf;
+            let model = ((eax1 >> 4) & 0xf) | ((eax1 >> 16) << 4);
+            let (eax1a, ..) = kernel.cpuid(cpu, 0x1a);
+            match (family, model, eax1a >> 24) {
+                (6, 0xb7, 0x40) => Some(Microarch::GoldenCove),
+                (6, 0xb7, 0x20) => Some(Microarch::Gracemont),
+                (6, 0x5e, _) => Some(Microarch::Skylake),
+                _ => None,
+            }
+        }
+        Vendor::Arm => {
+            let midr = simos::sysfs::read(
+                kernel,
+                &format!(
+                    "/sys/devices/system/cpu/cpu{}/regs/identification/midr_el1",
+                    cpu.0
+                ),
+            )
+            .ok()?;
+            let midr = u64::from_str_radix(midr.trim_start_matches("0x"), 16).ok()?;
+            let part = ((midr >> 4) & 0xfff) as u32;
+            match part {
+                0xd08 => Some(Microarch::CortexA72),
+                0xd03 => Some(Microarch::CortexA53),
+                0xd44 => Some(Microarch::CortexX1),
+                0xd0b => Some(Microarch::CortexA76),
+                0xd05 => Some(Microarch::CortexA55),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Resolve event+umask within one table.
+fn resolve_in_table(
+    table: &'static [PfmEvent],
+    spec: &EventSpec,
+) -> Result<(simos::perf::EventConfig, Option<&'static str>), PfmError> {
+    let ev = table
+        .iter()
+        .find(|e| e.name == spec.event)
+        .ok_or_else(|| PfmError::UnknownEvent(spec.event.clone()))?;
+    // First attr token that names a umask selects it; privilege-style
+    // tokens (U, K, H) are accepted and ignored.
+    let mut chosen: Option<&tables::PfmUmask> = None;
+    for a in &spec.attrs {
+        if matches!(a.as_str(), "U" | "K" | "H") {
+            continue;
+        }
+        let um = ev
+            .umasks
+            .iter()
+            .find(|u| u.name == a)
+            .ok_or_else(|| PfmError::UnknownUmask {
+                event: spec.event.clone(),
+                umask: a.clone(),
+            })?;
+        chosen = Some(um);
+    }
+    if chosen.is_none() {
+        chosen = ev.umasks.iter().find(|u| u.is_default);
+    }
+    let config = chosen.and_then(|u| u.config).unwrap_or(ev.config);
+    Ok((config, chosen.map(|u| u.name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::machine::MachineSpec;
+    use simos::kernel::{Firmware, KernelConfig};
+
+    fn pfm_for(spec: MachineSpec) -> (Kernel, Pfm) {
+        let k = Kernel::boot(spec, KernelConfig::default());
+        let p = Pfm::initialize(&k, PfmOptions::default()).unwrap();
+        (k, p)
+    }
+
+    #[test]
+    fn raptor_lake_detects_both_core_pmus() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let defaults = pfm.default_pmus();
+        assert_eq!(defaults.len(), 2, "hybrid: two default PMUs");
+        // P core first (capacity order — the paper's default choice).
+        assert_eq!(defaults[0].pfm_name, "adl_glc");
+        assert_eq!(defaults[1].pfm_name, "adl_grt");
+        assert_eq!(defaults[0].kernel_name, "cpu_core");
+        // RAPL and uncore detected, not default.
+        assert!(pfm.pmu_by_pfm_name("rapl").is_some());
+        assert!(pfm.pmu_by_pfm_name("unc_llc").is_some());
+    }
+
+    #[test]
+    fn skylake_detects_single_default() {
+        let (_, pfm) = pfm_for(MachineSpec::skylake_quad());
+        assert_eq!(pfm.default_pmus().len(), 1);
+        assert_eq!(pfm.default_pmus()[0].pfm_name, "skl");
+    }
+
+    #[test]
+    fn orangepi_detects_both_arm_pmus_with_patch() {
+        let (_, pfm) = pfm_for(MachineSpec::orangepi_800());
+        let names: Vec<&str> = pfm.default_pmus().iter().map(|p| p.pfm_name.as_str()).collect();
+        assert_eq!(names, vec!["arm_ac72", "arm_ac53"]);
+    }
+
+    #[test]
+    fn stock_libpfm4_misses_second_arm_pmu() {
+        // §IV.C: without the paper's patches, ARM detection stops at one.
+        let k = Kernel::boot(MachineSpec::orangepi_800(), KernelConfig::default());
+        let pfm = Pfm::initialize(&k, PfmOptions { arm_multi_pmu: false }).unwrap();
+        assert_eq!(pfm.default_pmus().len(), 1);
+    }
+
+    #[test]
+    fn acpi_naming_still_identified_via_midr() {
+        // The PMU dir names are useless under ACPI; MIDR still works.
+        let k = Kernel::boot(
+            MachineSpec::orangepi_800(),
+            KernelConfig {
+                firmware: Firmware::Acpi,
+                ..Default::default()
+            },
+        );
+        let pfm = Pfm::initialize(&k, PfmOptions::default()).unwrap();
+        let names: Vec<&str> = pfm.default_pmus().iter().map(|p| p.pfm_name.as_str()).collect();
+        assert_eq!(names, vec!["arm_ac72", "arm_ac53"]);
+        assert!(pfm.default_pmus()[0].kernel_name.starts_with("armv8_pmuv3"));
+    }
+
+    #[test]
+    fn tri_cluster_three_defaults() {
+        let (_, pfm) = pfm_for(MachineSpec::dynamiq_tri());
+        assert_eq!(pfm.default_pmus().len(), 3);
+    }
+
+    #[test]
+    fn encode_paper_events() {
+        let (k, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let p = pfm.encode("adl_glc::INST_RETIRED:ANY").unwrap();
+        let e = pfm.encode("adl_grt::INST_RETIRED:ANY").unwrap();
+        assert_ne!(p.attr.pmu_type, e.attr.pmu_type);
+        assert_eq!(
+            p.attr.pmu_type,
+            k.pmu_by_name("cpu_core").unwrap().id
+        );
+        assert_eq!(
+            p.attr.config,
+            simos::perf::EventConfig::Hw(simcpu::events::ArchEvent::Instructions)
+        );
+        assert_eq!(p.fq_name, "adl_glc::INST_RETIRED:ANY");
+    }
+
+    #[test]
+    fn unprefixed_event_uses_default_pmu_order() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let enc = pfm.encode("INST_RETIRED").unwrap();
+        // Resolves in the P-core PMU first.
+        assert!(enc.fq_name.starts_with("adl_glc::"));
+    }
+
+    #[test]
+    fn topdown_encodes_only_on_glc() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        assert!(pfm.encode("adl_glc::TOPDOWN:SLOTS").is_ok());
+        assert!(matches!(
+            pfm.encode("adl_grt::TOPDOWN:SLOTS"),
+            Err(PfmError::UnknownEvent(_))
+        ));
+        // Unprefixed resolves on the P core (where it exists).
+        assert!(pfm.encode("TOPDOWN:SLOTS").unwrap().fq_name.starts_with("adl_glc"));
+    }
+
+    #[test]
+    fn umask_switches_encoding() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let refs = pfm.encode("adl_glc::LONGEST_LAT_CACHE:REFERENCE").unwrap();
+        let miss = pfm.encode("adl_glc::LONGEST_LAT_CACHE:MISS").unwrap();
+        assert_ne!(refs.attr.config, miss.attr.config);
+    }
+
+    #[test]
+    fn bad_names_error() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        assert!(matches!(
+            pfm.encode("nope::INST_RETIRED"),
+            Err(PfmError::UnknownPmu(_))
+        ));
+        assert!(matches!(
+            pfm.encode("adl_glc::NOT_AN_EVENT"),
+            Err(PfmError::UnknownEvent(_))
+        ));
+        assert!(matches!(
+            pfm.encode("adl_glc::INST_RETIRED:NOT_A_UMASK"),
+            Err(PfmError::UnknownUmask { .. })
+        ));
+        assert!(matches!(
+            pfm.encode("TOTALLY_FAKE"),
+            Err(PfmError::NotInDefaultPmus(_))
+        ));
+    }
+
+    #[test]
+    fn encode_on_all_defaults_expands_hybrid() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let all = pfm.encode_on_all_defaults("INST_RETIRED").unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].fq_name.starts_with("adl_glc"));
+        assert!(all[1].fq_name.starts_with("adl_grt"));
+        // Asymmetric events only expand where they exist.
+        let td = pfm.encode_on_all_defaults("TOPDOWN:SLOTS").unwrap();
+        assert_eq!(td.len(), 1);
+        // On homogeneous machines: one entry.
+        let (_, skl) = pfm_for(MachineSpec::skylake_quad());
+        assert_eq!(skl.encode_on_all_defaults("INST_RETIRED").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rapl_events_encode_unprefixed() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let e = pfm.encode("RAPL_ENERGY_PKG").unwrap();
+        assert!(e.fq_name.starts_with("rapl::"));
+        let e2 = pfm.encode("rapl::RAPL_ENERGY_DRAM").unwrap();
+        assert!(matches!(
+            e2.attr.config,
+            simos::perf::EventConfig::Rapl(simos::perf::RaplConfig::EnergyRam)
+        ));
+    }
+
+    #[test]
+    fn sampling_modifier_flows_into_attr() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let e = pfm.encode("adl_glc::INST_RETIRED:ANY:period=12345").unwrap();
+        assert_eq!(e.attr.sample_period, 12345);
+    }
+
+    #[test]
+    fn list_events_nonempty() {
+        let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
+        let evs = pfm.list_events("adl_glc").unwrap();
+        assert!(evs.iter().any(|e| e == "adl_glc::TOPDOWN"));
+        assert!(pfm.list_events("bogus").is_err());
+    }
+
+    #[test]
+    fn arm_events_encode() {
+        let (_, pfm) = pfm_for(MachineSpec::orangepi_800());
+        let big = pfm.encode("arm_ac72::INST_RETIRED").unwrap();
+        let little = pfm.encode("arm_ac53::INST_RETIRED").unwrap();
+        assert_ne!(big.attr.pmu_type, little.attr.pmu_type);
+        assert!(pfm.encode("arm_ac72::LL_CACHE_MISS_RD").is_ok());
+    }
+}

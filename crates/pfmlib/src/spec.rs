@@ -1,0 +1,153 @@
+//! Event-name parsing: `pmu::EVENT:UMASK:mod:mod=value`.
+//!
+//! The grammar follows libpfm4: an optional PMU prefix separated by `::`,
+//! the event name, then colon-separated attributes which may be unit masks
+//! (resolved against the event's table entry) or modifiers (`u`, `k`,
+//! `period=N`, `pinned`).
+
+/// A parsed (but not yet table-resolved) event specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSpec {
+    /// Explicit PMU prefix, if any (`adl_glc` in `adl_glc::INST_RETIRED`).
+    pub pmu: Option<String>,
+    /// Event name, upper-cased.
+    pub event: String,
+    /// Attribute tokens in order, upper-cased (umasks and flag modifiers).
+    pub attrs: Vec<String>,
+    /// `:period=N` modifier.
+    pub sample_period: Option<u64>,
+    /// `:pinned` modifier.
+    pub pinned: bool,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    Empty,
+    BadPeriod(String),
+    EmptyToken(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty event specification"),
+            SpecError::BadPeriod(s) => write!(f, "bad period value '{s}'"),
+            SpecError::EmptyToken(s) => write!(f, "empty token in '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl EventSpec {
+    /// Parse an event string.
+    pub fn parse(s: &str) -> Result<EventSpec, SpecError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let (pmu, rest) = match s.split_once("::") {
+            Some((p, r)) => {
+                if p.is_empty() || r.is_empty() {
+                    return Err(SpecError::EmptyToken(s.into()));
+                }
+                (Some(p.to_string()), r)
+            }
+            None => (None, s),
+        };
+        let mut tokens = rest.split(':');
+        let event = tokens.next().filter(|t| !t.is_empty()).ok_or_else(|| {
+            SpecError::EmptyToken(s.into())
+        })?;
+        let mut attrs = Vec::new();
+        let mut sample_period = None;
+        let mut pinned = false;
+        for tok in tokens {
+            if tok.is_empty() {
+                return Err(SpecError::EmptyToken(s.into()));
+            }
+            let up = tok.to_ascii_uppercase();
+            if let Some(v) = up.strip_prefix("PERIOD=") {
+                sample_period =
+                    Some(v.parse().map_err(|_| SpecError::BadPeriod(tok.into()))?);
+            } else if up == "PINNED" {
+                pinned = true;
+            } else {
+                attrs.push(up);
+            }
+        }
+        Ok(EventSpec {
+            pmu,
+            event: event.to_ascii_uppercase(),
+            attrs,
+            sample_period,
+            pinned,
+        })
+    }
+
+    /// Fully-qualified display form.
+    pub fn fq_name(&self, resolved_pmu: &str, resolved_umask: Option<&str>) -> String {
+        let mut out = format!("{resolved_pmu}::{}", self.event);
+        if let Some(u) = resolved_umask {
+            out.push(':');
+            out.push_str(u);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let e = EventSpec::parse("adl_glc::INST_RETIRED:ANY").unwrap();
+        assert_eq!(e.pmu.as_deref(), Some("adl_glc"));
+        assert_eq!(e.event, "INST_RETIRED");
+        assert_eq!(e.attrs, vec!["ANY"]);
+        assert_eq!(e.sample_period, None);
+    }
+
+    #[test]
+    fn parses_without_pmu() {
+        let e = EventSpec::parse("LONGEST_LAT_CACHE:MISS").unwrap();
+        assert_eq!(e.pmu, None);
+        assert_eq!(e.attrs, vec!["MISS"]);
+    }
+
+    #[test]
+    fn case_insensitive_event_and_attrs() {
+        let e = EventSpec::parse("adl_grt::inst_retired:any").unwrap();
+        assert_eq!(e.event, "INST_RETIRED");
+        assert_eq!(e.attrs, vec!["ANY"]);
+        // PMU prefix keeps its case (PMU names are lowercase by convention).
+        assert_eq!(e.pmu.as_deref(), Some("adl_grt"));
+    }
+
+    #[test]
+    fn modifiers_extracted() {
+        let e = EventSpec::parse("adl_glc::INST_RETIRED:ANY:period=100000:pinned:u").unwrap();
+        assert_eq!(e.sample_period, Some(100_000));
+        assert!(e.pinned);
+        // :u stays as an (ignored-by-encode) attribute token.
+        assert_eq!(e.attrs, vec!["ANY", "U"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(EventSpec::parse(""), Err(SpecError::Empty));
+        assert!(EventSpec::parse("::EVENT").is_err());
+        assert!(EventSpec::parse("pmu::").is_err());
+        assert!(EventSpec::parse("EV::X:period=abc").is_err());
+        assert!(EventSpec::parse("EV::X:").is_err());
+    }
+
+    #[test]
+    fn fq_name_roundtrip() {
+        let e = EventSpec::parse("INST_RETIRED").unwrap();
+        assert_eq!(e.fq_name("adl_glc", Some("ANY")), "adl_glc::INST_RETIRED:ANY");
+        assert_eq!(e.fq_name("arm_ac53", None), "arm_ac53::INST_RETIRED");
+    }
+}

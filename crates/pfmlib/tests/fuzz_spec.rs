@@ -1,0 +1,61 @@
+//! Property tests: the event-spec parser and encoder never panic and
+//! respect their grammar on arbitrary input.
+
+use pfmlib::spec::EventSpec;
+use pfmlib::{Pfm, PfmOptions};
+use proptest::prelude::*;
+use simcpu::machine::MachineSpec;
+use simos::kernel::{Kernel, KernelConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parse_never_panics(s in ".{0,64}") {
+        let _ = EventSpec::parse(&s);
+    }
+
+    /// Well-formed specs round-trip their components.
+    #[test]
+    fn wellformed_specs_parse(
+        pmu in "[a-z][a-z0-9_]{0,12}",
+        ev in "[A-Z][A-Z0-9_]{0,20}",
+        umask in proptest::option::of("[A-Z][A-Z0-9_]{0,10}"),
+        period in proptest::option::of(1u64..1_000_000),
+    ) {
+        let mut s = format!("{pmu}::{ev}");
+        if let Some(u) = &umask {
+            s.push(':');
+            s.push_str(u);
+        }
+        if let Some(p) = period {
+            s.push_str(&format!(":period={p}"));
+        }
+        let parsed = EventSpec::parse(&s).unwrap();
+        prop_assert_eq!(parsed.pmu.as_deref(), Some(pmu.as_str()));
+        prop_assert_eq!(&parsed.event, &ev);
+        prop_assert_eq!(parsed.sample_period, period);
+        match umask {
+            // PERIOD=/PINNED are modifiers, not umasks; the generator
+            // cannot produce them (they contain '='… PINNED can occur!).
+            Some(u) if u != "PINNED" => {
+                prop_assert_eq!(parsed.attrs, vec![u]);
+            }
+            Some(_) => prop_assert!(parsed.pinned),
+            None => prop_assert!(parsed.attrs.is_empty()),
+        }
+    }
+
+    /// The encoder never panics on arbitrary names, on any machine.
+    #[test]
+    fn encode_never_panics(s in ".{0,48}") {
+        let k = Kernel::boot(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        );
+        let pfm = Pfm::initialize(&k, PfmOptions::default()).unwrap();
+        let _ = pfm.encode(&s);
+        let _ = pfm.encode_on_all_defaults(&s);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cache modeling.
+//!
+//! Two models live here, at different fidelities:
+//!
+//! * [`setassoc`] — a genuine set-associative, LRU, write-allocate cache
+//!   simulator driven by explicit address streams. It is far too slow to run
+//!   under the cycle-batch engine for the 10¹⁴-FLOP HPL runs, but it is the
+//!   ground truth used by tests (and the `cache_calibrate` example) to sanity
+//!   check the fast model's miss-rate curves.
+//! * [`analytic`] — the fast working-set model the execution engine uses:
+//!   closed-form miss rates from (working set, reuse fractions, effective
+//!   capacity share), including LLC sharing between heterogeneous clusters.
+
+pub mod analytic;
+pub mod setassoc;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u32,
+}
+
+impl CacheGeometry {
+    /// Construct and validate a geometry. Panics on degenerate shapes.
+    pub fn new(bytes: u64, ways: u32, line: u32) -> CacheGeometry {
+        assert!(bytes > 0 && ways > 0 && line > 0, "degenerate cache");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            bytes.is_multiple_of(ways as u64 * line as u64),
+            "capacity must be divisible by ways*line"
+        );
+        CacheGeometry { bytes, ways, line }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.bytes / (self.ways as u64 * self.line as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry::new(32 * 1024, 8, 64);
+        assert_eq!(g.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_odd_line() {
+        CacheGeometry::new(32 * 1024, 8, 48);
+    }
+}

@@ -1,0 +1,227 @@
+//! Workload phases — the unit of simulated computation.
+//!
+//! A [`Phase`] describes a homogeneous stretch of instructions with a fixed
+//! statistical character: how often it touches memory, how big and how
+//! well-blocked its working set is, how much floating-point work each
+//! instruction performs, and how branchy it is. The execution engine
+//! ([`crate::exec`]) turns a phase plus a core's microarchitecture and
+//! frequency into cycles, events and FLOPs.
+//!
+//! Constructors are provided for the phase kinds the paper's workloads need:
+//! dgemm-like trailing updates, panel factorizations, memory streams, and
+//! plain scalar/spin loops.
+
+/// A homogeneous stretch of simulated computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Number of instructions in the phase.
+    pub instructions: u64,
+    /// Memory references per instruction (loads+stores), 0..≈0.6.
+    pub mem_ref_rate: f64,
+    /// Total working set touched by the phase, in bytes.
+    pub working_set: u64,
+    /// Fraction of references absorbed by register/L1 blocking.
+    pub reuse_l1: f64,
+    /// Fraction of L1-missing references absorbed by L2-level blocking.
+    pub reuse_l2: f64,
+    /// Fraction of L2-missing references absorbed by LLC-level blocking —
+    /// the knob that distinguishes a well-tiled dgemm from a naïve stream.
+    pub reuse_llc: f64,
+    /// Double-precision FLOPs per instruction (average over the mix).
+    pub flops_per_inst: f64,
+    /// Fraction of instructions that are vector (SIMD) ops.
+    pub vector_frac: f64,
+    /// Branches per instruction.
+    pub branch_rate: f64,
+    /// Fraction of branches mispredicted.
+    pub branch_miss_rate: f64,
+}
+
+impl Phase {
+    /// A compute-dense, well-blocked matrix-multiply phase (the trailing
+    /// submatrix update of HPL). `reuse_llc` is the blocking-quality knob:
+    /// Intel's optimized HPL keeps more of the panel resident (paper
+    /// Table III: 64 % vs 86 % P-core LLC miss rate).
+    pub fn dgemm(instructions: u64, working_set: u64, reuse_llc: f64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.35,
+            working_set,
+            reuse_l1: 0.97,
+            reuse_l2: 0.90,
+            reuse_llc,
+            flops_per_inst: 3.6,
+            vector_frac: 0.55,
+            branch_rate: 0.04,
+            branch_miss_rate: 0.01,
+        }
+    }
+
+    /// Panel factorization: latency-bound, pivot searches, modest FLOPs,
+    /// small working set (one NB-wide panel).
+    pub fn panel(instructions: u64, working_set: u64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.42,
+            working_set,
+            reuse_l1: 0.80,
+            reuse_l2: 0.70,
+            reuse_llc: 0.50,
+            flops_per_inst: 0.9,
+            vector_frac: 0.25,
+            branch_rate: 0.12,
+            branch_miss_rate: 0.04,
+        }
+    }
+
+    /// Pure memory stream (STREAM-like): working set far beyond any cache,
+    /// no reuse, trivial FLOPs.
+    pub fn stream(instructions: u64, working_set: u64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.5,
+            working_set,
+            reuse_l1: 0.85, // spatial reuse within a 64 B line (8 doubles)
+            reuse_l2: 0.0,
+            reuse_llc: 0.0,
+            flops_per_inst: 0.25,
+            vector_frac: 0.5,
+            branch_rate: 0.02,
+            branch_miss_rate: 0.002,
+        }
+    }
+
+    /// Scalar integer work that lives in L1 (the §IV.F calibration loop:
+    /// a counted loop of simple ALU instructions).
+    pub fn scalar(instructions: u64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.10,
+            working_set: 8 * 1024,
+            reuse_l1: 0.99,
+            reuse_l2: 0.9,
+            reuse_llc: 0.9,
+            flops_per_inst: 0.0,
+            vector_frac: 0.0,
+            branch_rate: 0.08,
+            branch_miss_rate: 0.001,
+        }
+    }
+
+    /// Branch-heavy, poorly predicted work (for branch-miss experiments).
+    pub fn branchy(instructions: u64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.15,
+            working_set: 64 * 1024,
+            reuse_l1: 0.95,
+            reuse_l2: 0.8,
+            reuse_llc: 0.8,
+            flops_per_inst: 0.0,
+            vector_frac: 0.0,
+            branch_rate: 0.25,
+            branch_miss_rate: 0.12,
+        }
+    }
+
+    /// A busy-wait: spins in L1 doing nothing useful (used to model
+    /// synchronization/barrier wait loops when modeled as active spinning).
+    pub fn spin(instructions: u64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.02,
+            working_set: 512,
+            reuse_l1: 1.0,
+            reuse_l2: 1.0,
+            reuse_llc: 1.0,
+            flops_per_inst: 0.0,
+            vector_frac: 0.0,
+            branch_rate: 0.5,
+            branch_miss_rate: 0.0005,
+        }
+    }
+
+    /// Validate that all rates are inside their meaningful ranges; useful
+    /// as a debug assertion on workload generators.
+    pub fn validate(&self) -> Result<(), String> {
+        fn frac(name: &str, v: f64) -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} = {v} outside [0,1]"))
+            }
+        }
+        frac("reuse_l1", self.reuse_l1)?;
+        frac("reuse_l2", self.reuse_l2)?;
+        frac("reuse_llc", self.reuse_llc)?;
+        frac("vector_frac", self.vector_frac)?;
+        frac("branch_miss_rate", self.branch_miss_rate)?;
+        if !(0.0..=1.0).contains(&self.mem_ref_rate) {
+            return Err(format!("mem_ref_rate = {} outside [0,1]", self.mem_ref_rate));
+        }
+        if !(0.0..=1.0).contains(&self.branch_rate) {
+            return Err(format!("branch_rate = {} outside [0,1]", self.branch_rate));
+        }
+        if self.flops_per_inst < 0.0 || self.flops_per_inst > 32.0 {
+            return Err(format!("flops_per_inst = {} implausible", self.flops_per_inst));
+        }
+        Ok(())
+    }
+
+    /// Split off the first `n` instructions as a new phase with identical
+    /// character, reducing `self` by the same amount. Panics if `n` exceeds
+    /// the phase size.
+    pub fn split_front(&mut self, n: u64) -> Phase {
+        assert!(n <= self.instructions, "split beyond phase size");
+        self.instructions -= n;
+        Phase {
+            instructions: n,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        for p in [
+            Phase::dgemm(1_000_000, 1 << 30, 0.3),
+            Phase::panel(100_000, 300 << 10),
+            Phase::stream(1_000_000, 1 << 32),
+            Phase::scalar(1_000_000),
+            Phase::branchy(1_000_000),
+            Phase::spin(1_000),
+        ] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn split_front_conserves_instructions() {
+        let mut p = Phase::scalar(1000);
+        let head = p.split_front(300);
+        assert_eq!(head.instructions, 300);
+        assert_eq!(p.instructions, 700);
+        assert_eq!(head.mem_ref_rate, p.mem_ref_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "split beyond")]
+    fn split_front_checks_bounds() {
+        let mut p = Phase::scalar(10);
+        let _ = p.split_front(11);
+    }
+
+    #[test]
+    fn validate_catches_bad_rates() {
+        let mut p = Phase::scalar(10);
+        p.reuse_l1 = 1.5;
+        assert!(p.validate().is_err());
+        let mut q = Phase::scalar(10);
+        q.branch_rate = -0.1;
+        assert!(q.validate().is_err());
+    }
+}

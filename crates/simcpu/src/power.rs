@@ -1,0 +1,302 @@
+//! Package power modeling and RAPL (Running Average Power Limit).
+//!
+//! Power is computed per core from the `C·V²·f` model in [`crate::uarch`],
+//! weighted by utilization and an activity factor derived from the
+//! instruction mix (vector-heavy code toggles far more silicon). The
+//! package-level RAPL machinery then:
+//!
+//! * integrates energy into the PKG / PP0 (cores) / DRAM domain counters —
+//!   which, like the real MSRs, **wrap at 32 bits** of microjoule-scale
+//!   units, so consumers must handle wrap-around;
+//! * enforces the PL1 (long-term) and PL2 (short-term) limits with
+//!   exponentially-weighted running averages and an integral controller
+//!   that scales the frequency targets of every cluster.
+//!
+//! On the paper's Raptor Lake machine PL1 = 65 W and PL2 = 219 W: runs
+//! start with a turbo spike to the short-term cap and then settle at 65 W
+//! for the remainder (Figure 2).
+
+use crate::types::Nanos;
+
+/// RAPL energy domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaplDomain {
+    /// Whole package (cores + uncore).
+    Package,
+    /// Cores only (PP0).
+    Cores,
+    /// Memory controller + DIMMs.
+    Dram,
+    /// Platform (psys): package + DRAM + board.
+    Psys,
+}
+
+impl RaplDomain {
+    /// sysfs-style domain name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RaplDomain::Package => "package-0",
+            RaplDomain::Cores => "core",
+            RaplDomain::Dram => "dram",
+            RaplDomain::Psys => "psys",
+        }
+    }
+
+    /// All domains in report order.
+    pub fn all() -> &'static [RaplDomain] {
+        &[
+            RaplDomain::Package,
+            RaplDomain::Cores,
+            RaplDomain::Dram,
+            RaplDomain::Psys,
+        ]
+    }
+}
+
+/// RAPL energy counters wrap at 32 bits of µJ-scale units.
+pub const ENERGY_WRAP_UJ: u64 = 1 << 32;
+
+/// Configuration of the package power limiter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaplSpec {
+    /// Long-term power limit (watts) — 65 W on the paper's i7-13700.
+    pub pl1_w: f64,
+    /// PL1 averaging window (seconds).
+    pub tau1_s: f64,
+    /// Short-term power limit (watts) — 219 W on the paper's i7-13700.
+    pub pl2_w: f64,
+    /// PL2 averaging window (seconds).
+    pub tau2_s: f64,
+    /// Lowest frequency scale the limiter may impose.
+    pub min_scale: f64,
+}
+
+impl RaplSpec {
+    /// The paper's Raptor Lake desktop limits.
+    pub fn raptor_lake() -> RaplSpec {
+        RaplSpec {
+            pl1_w: 65.0,
+            tau1_s: 28.0,
+            pl2_w: 219.0,
+            tau2_s: 2.44,
+            min_scale: 0.25,
+        }
+    }
+}
+
+/// Energy accounting for one domain, with MSR-style wrap-around.
+#[derive(Debug, Clone, Default)]
+struct EnergyCounter {
+    /// Total energy in µJ since boot (unwrapped, for internal use).
+    total_uj: f64,
+}
+
+impl EnergyCounter {
+    fn add(&mut self, joules: f64) {
+        self.total_uj += joules * 1e6;
+    }
+
+    /// The value software reads: wrapped at 32 bits like the real MSR.
+    fn wrapped_uj(&self) -> u64 {
+        (self.total_uj as u64) % ENERGY_WRAP_UJ
+    }
+
+    fn total_uj(&self) -> f64 {
+        self.total_uj
+    }
+}
+
+/// Package power state: energy counters plus the PL1/PL2 limiter.
+#[derive(Debug, Clone)]
+pub struct RaplState {
+    spec: Option<RaplSpec>,
+    pkg: EnergyCounter,
+    cores: EnergyCounter,
+    dram: EnergyCounter,
+    psys: EnergyCounter,
+    /// EWMA of package power over tau1 / tau2.
+    avg_long_w: f64,
+    avg_short_w: f64,
+    /// Current frequency scale imposed on all clusters (0..=1].
+    scale: f64,
+}
+
+impl RaplState {
+    /// New state; `spec = None` models machines without RAPL (the OrangePi),
+    /// which still integrate energy (for the WattsUpPro-style meter) but
+    /// never limit.
+    pub fn new(spec: Option<RaplSpec>) -> RaplState {
+        RaplState {
+            spec,
+            pkg: EnergyCounter::default(),
+            cores: EnergyCounter::default(),
+            dram: EnergyCounter::default(),
+            psys: EnergyCounter::default(),
+            avg_long_w: 0.0,
+            avg_short_w: 0.0,
+            scale: 1.0,
+        }
+    }
+
+    /// Whether this machine exposes RAPL at all.
+    pub fn available(&self) -> bool {
+        self.spec.is_some()
+    }
+
+    /// Integrate one tick of power and update the limiter.
+    ///
+    /// Returns the frequency scale (0..=1] that DVFS must apply.
+    pub fn step(&mut self, dt_ns: Nanos, pkg_w: f64, cores_w: f64, dram_w: f64, psys_w: f64) -> f64 {
+        let dt_s = dt_ns as f64 / 1e9;
+        self.pkg.add(pkg_w * dt_s);
+        self.cores.add(cores_w * dt_s);
+        self.dram.add(dram_w * dt_s);
+        self.psys.add(psys_w * dt_s);
+
+        let Some(spec) = &self.spec else {
+            return 1.0;
+        };
+
+        // EWMA updates: alpha = dt/tau (exact exp form unnecessary at ms ticks).
+        let a1 = (dt_s / spec.tau1_s).min(1.0);
+        let a2 = (dt_s / spec.tau2_s).min(1.0);
+        self.avg_long_w += a1 * (pkg_w - self.avg_long_w);
+        self.avg_short_w += a2 * (pkg_w - self.avg_short_w);
+
+        // Integral controller on the most-violated limit.
+        let err_long = self.avg_long_w / spec.pl1_w - 1.0;
+        let err_short = self.avg_short_w / spec.pl2_w - 1.0;
+        let err = err_long.max(err_short);
+        // Gains: descend fast when over, recover slowly when under.
+        let k = if err > 0.0 { 0.6 } else { 0.05 };
+        self.scale = (self.scale - k * err * dt_s * 10.0).clamp(spec.min_scale, 1.0);
+        self.scale
+    }
+
+    /// Current limiter frequency scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// EWMA package power over the PL1 window.
+    pub fn avg_long_w(&self) -> f64 {
+        self.avg_long_w
+    }
+
+    /// EWMA package power over the PL2 window.
+    pub fn avg_short_w(&self) -> f64 {
+        self.avg_short_w
+    }
+
+    /// Read a domain's energy counter as software sees it (wrapped).
+    pub fn energy_uj(&self, dom: RaplDomain) -> u64 {
+        self.counter(dom).wrapped_uj()
+    }
+
+    /// Unwrapped total energy (ground truth, for tests and reports).
+    pub fn energy_total_uj(&self, dom: RaplDomain) -> f64 {
+        self.counter(dom).total_uj()
+    }
+
+    fn counter(&self, dom: RaplDomain) -> &EnergyCounter {
+        match dom {
+            RaplDomain::Package => &self.pkg,
+            RaplDomain::Cores => &self.cores,
+            RaplDomain::Dram => &self.dram,
+            RaplDomain::Psys => &self.psys,
+        }
+    }
+
+    /// The configured limits, if any.
+    pub fn spec(&self) -> Option<&RaplSpec> {
+        self.spec.as_ref()
+    }
+}
+
+/// Unwrap a pair of successive wrapped energy readings into a delta,
+/// handling at most one wrap (callers must poll faster than one wrap
+/// period — at 219 W, 2³² µJ wraps every ~19.6 s, so 1 Hz is fine).
+pub fn energy_delta_uj(prev: u64, now: u64) -> u64 {
+    if now >= prev {
+        now - prev
+    } else {
+        ENERGY_WRAP_UJ - prev + now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_integrates() {
+        let mut r = RaplState::new(None);
+        // 100 W for 1 s = 100 J = 1e8 µJ.
+        for _ in 0..1000 {
+            r.step(1_000_000, 100.0, 80.0, 5.0, 110.0);
+        }
+        assert!((r.energy_total_uj(RaplDomain::Package) - 1e8).abs() < 1e3);
+        assert!((r.energy_total_uj(RaplDomain::Cores) - 8e7).abs() < 1e3);
+        assert_eq!(r.scale(), 1.0); // no limiter
+    }
+
+    #[test]
+    fn limiter_pulls_down_to_pl1() {
+        let mut r = RaplState::new(Some(RaplSpec::raptor_lake()));
+        // Sustained 219 W: the long-term average must eventually violate
+        // PL1 and drive the scale well below 1.
+        let mut scale = 1.0;
+        for _ in 0..40_000 {
+            scale = r.step(1_000_000, 219.0, 200.0, 6.0, 225.0);
+        }
+        assert!(scale < 0.7, "scale after sustained PL2 power: {scale}");
+        // 40 s into a 28 s EWMA window: 219·(1−e^(−40/28)) ≈ 166 W.
+        assert!(r.avg_long_w() > 150.0, "avg_long = {}", r.avg_long_w());
+    }
+
+    #[test]
+    fn limiter_allows_turbo_spike() {
+        let mut r = RaplState::new(Some(RaplSpec::raptor_lake()));
+        // For the first ~2 s at 219 W the scale should stay high: the
+        // short-term window tolerates it and the long-term EWMA is still low.
+        let mut scale = 1.0;
+        for _ in 0..2_000 {
+            scale = r.step(1_000_000, 219.0, 200.0, 6.0, 225.0);
+        }
+        assert!(scale > 0.85, "turbo should survive ~2 s, scale = {scale}");
+    }
+
+    #[test]
+    fn limiter_recovers_when_idle() {
+        let mut r = RaplState::new(Some(RaplSpec::raptor_lake()));
+        for _ in 0..60_000 {
+            r.step(1_000_000, 219.0, 200.0, 6.0, 225.0);
+        }
+        let throttled = r.scale();
+        for _ in 0..60_000 {
+            r.step(1_000_000, 5.0, 2.0, 1.0, 8.0);
+        }
+        assert!(r.scale() > throttled + 0.2, "limiter should recover");
+    }
+
+    #[test]
+    fn wrapped_counter_wraps() {
+        let mut r = RaplState::new(None);
+        // Drive past the 32-bit µJ wrap: 2^32 µJ ≈ 4295 J at 1 kW = 4.3 s.
+        for _ in 0..5_000 {
+            r.step(1_000_000, 1000.0, 900.0, 50.0, 1100.0);
+        }
+        let total = r.energy_total_uj(RaplDomain::Package);
+        assert!(total > ENERGY_WRAP_UJ as f64);
+        assert!(r.energy_uj(RaplDomain::Package) < ENERGY_WRAP_UJ);
+    }
+
+    #[test]
+    fn delta_handles_wrap() {
+        assert_eq!(energy_delta_uj(100, 400), 300);
+        assert_eq!(
+            energy_delta_uj(ENERGY_WRAP_UJ - 50, 100),
+            150
+        );
+    }
+}

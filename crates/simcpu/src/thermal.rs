@@ -1,0 +1,251 @@
+//! Thermal modeling: a lumped-RC package model plus trip-point throttling.
+//!
+//! Two very different thermal designs appear in the paper:
+//!
+//! * The Raptor Lake desktop has a real cooler: under its 65 W long-term
+//!   power cap the package settles far below the 100 °C limit, so it is
+//!   *never* thermally throttled (Figure 2) — power limits dominate.
+//! * The OrangePi 800 is passively cooled: its big Cortex-A72 cores ramp to
+//!   1.8 GHz, heat the SoC within seconds, and get stepped down by the
+//!   thermal governor until most of the computation ends up on the LITTLE
+//!   cores (Figure 3) — thermals dominate.
+//!
+//! The model: `C·dT/dt = P − (T − T_amb)/R`, with a trip table capping the
+//! frequency of clusters of a given core type, with hysteresis.
+
+use crate::types::{CoreType, Nanos};
+
+/// One thermal trip point: above `temp_c`, clusters whose cores are of
+/// `core_type` are capped at `cap_khz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripPoint {
+    pub temp_c: f64,
+    pub core_type: CoreType,
+    pub cap_khz: u64,
+}
+
+/// Thermal configuration of a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalSpec {
+    /// Heat capacity of the package + heatsink, J/K.
+    pub c_j_per_k: f64,
+    /// Thermal resistance to ambient, K/W.
+    pub r_k_per_w: f64,
+    /// Ambient temperature, °C.
+    pub t_amb_c: f64,
+    /// Trip table, sorted by ascending temperature.
+    pub trips: Vec<TripPoint>,
+    /// Hysteresis in °C before a trip releases.
+    pub hysteresis_c: f64,
+    /// Hardware critical temperature (°C); reported, not enforced.
+    pub t_crit_c: f64,
+}
+
+impl ThermalSpec {
+    /// A desktop with a tower cooler (Raptor Lake class): low thermal
+    /// resistance, big heat capacity, a single catastrophic trip at 100 °C.
+    pub fn desktop_cooled() -> ThermalSpec {
+        ThermalSpec {
+            c_j_per_k: 60.0,
+            r_k_per_w: 0.42,
+            t_amb_c: 25.0,
+            trips: vec![TripPoint {
+                temp_c: 100.0,
+                core_type: CoreType::Performance,
+                cap_khz: 800_000,
+            }],
+            hysteresis_c: 3.0,
+            t_crit_c: 100.0,
+        }
+    }
+
+    /// A passively-cooled SBC (RK3399 class): high thermal resistance,
+    /// tiny heat capacity, a ladder of trips stepping the big cluster down.
+    pub fn passive_sbc() -> ThermalSpec {
+        ThermalSpec {
+            c_j_per_k: 7.0,
+            r_k_per_w: 16.0,
+            t_amb_c: 25.0,
+            trips: vec![
+                TripPoint { temp_c: 68.0, core_type: CoreType::Performance, cap_khz: 1_608_000 },
+                TripPoint { temp_c: 72.0, core_type: CoreType::Performance, cap_khz: 1_416_000 },
+                TripPoint { temp_c: 76.0, core_type: CoreType::Performance, cap_khz: 1_200_000 },
+                TripPoint { temp_c: 76.0, core_type: CoreType::Efficiency, cap_khz: 1_200_000 },
+                TripPoint { temp_c: 80.0, core_type: CoreType::Performance, cap_khz: 1_008_000 },
+                TripPoint { temp_c: 84.0, core_type: CoreType::Performance, cap_khz: 816_000 },
+                TripPoint { temp_c: 84.0, core_type: CoreType::Efficiency, cap_khz: 1_008_000 },
+                TripPoint { temp_c: 88.0, core_type: CoreType::Performance, cap_khz: 600_000 },
+            ],
+            hysteresis_c: 2.0,
+            t_crit_c: 115.0,
+        }
+    }
+}
+
+/// Live thermal state.
+#[derive(Debug, Clone)]
+pub struct ThermalState {
+    spec: ThermalSpec,
+    t_c: f64,
+    /// Index+1 of the deepest currently-latched trip (0 = none), per the
+    /// order of `spec.trips`; latched trips release `hysteresis_c` below.
+    latched: usize,
+}
+
+impl ThermalState {
+    /// Start at ambient temperature.
+    pub fn new(spec: ThermalSpec) -> ThermalState {
+        let t = spec.t_amb_c;
+        ThermalState {
+            spec,
+            t_c: t,
+            latched: 0,
+        }
+    }
+
+    /// Integrate one tick of package power.
+    pub fn step(&mut self, dt_ns: Nanos, power_w: f64) {
+        let dt_s = dt_ns as f64 / 1e9;
+        let leak = (self.t_c - self.spec.t_amb_c) / self.spec.r_k_per_w;
+        self.t_c += dt_s * (power_w - leak) / self.spec.c_j_per_k;
+        // Latch/release trips with hysteresis.
+        while self.latched < self.spec.trips.len()
+            && self.t_c >= self.spec.trips[self.latched].temp_c
+        {
+            self.latched += 1;
+        }
+        while self.latched > 0
+            && self.t_c < self.spec.trips[self.latched - 1].temp_c - self.spec.hysteresis_c
+        {
+            self.latched -= 1;
+        }
+    }
+
+    /// Current package temperature in °C.
+    pub fn temp_c(&self) -> f64 {
+        self.t_c
+    }
+
+    /// Temperature in milli-degrees, the unit of `thermal_zone*/temp`.
+    pub fn temp_mc(&self) -> i64 {
+        (self.t_c * 1000.0) as i64
+    }
+
+    /// Frequency cap for clusters of `core_type` implied by latched trips
+    /// (`u64::MAX` when unthrottled).
+    pub fn freq_cap_khz(&self, core_type: CoreType) -> u64 {
+        self.spec.trips[..self.latched]
+            .iter()
+            .filter(|t| t.core_type == core_type)
+            .map(|t| t.cap_khz)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Whether any trip is currently latched.
+    pub fn throttling(&self) -> bool {
+        self.latched > 0
+    }
+
+    /// The thermal spec.
+    pub fn spec(&self) -> &ThermalSpec {
+        &self.spec
+    }
+
+    /// Force the temperature (tests / "wait until settled" fast-forward).
+    pub fn set_temp_c(&mut self, t: f64) {
+        self.t_c = t;
+        self.latched = 0;
+        // Re-derive latched trips for consistency.
+        while self.latched < self.spec.trips.len()
+            && self.t_c >= self.spec.trips[self.latched].temp_c
+        {
+            self.latched += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Nanos = 1_000_000_000;
+
+    #[test]
+    fn steady_state_matches_rc() {
+        let mut t = ThermalState::new(ThermalSpec::desktop_cooled());
+        // 65 W forever: T_ss = 25 + 65·0.42 = 52.3 °C.
+        for _ in 0..4000 {
+            t.step(SEC / 10, 65.0);
+        }
+        assert!((t.temp_c() - 52.3).abs() < 1.0, "T = {}", t.temp_c());
+        assert!(!t.throttling());
+    }
+
+    #[test]
+    fn raptor_lake_never_thermally_throttles_at_pl1() {
+        // The paper: power limits + adequate cooling keep the package well
+        // below the 100 °C max.
+        let mut t = ThermalState::new(ThermalSpec::desktop_cooled());
+        for _ in 0..10_000 {
+            t.step(SEC / 10, 65.0);
+        }
+        assert!(t.temp_c() < 100.0);
+        assert_eq!(t.freq_cap_khz(CoreType::Performance), u64::MAX);
+    }
+
+    #[test]
+    fn sbc_trips_quickly_under_big_core_load() {
+        // ~6 W on a passive SBC: T_ss = 25 + 57 = 82 °C; trips latch on
+        // the way up within tens of seconds (C=7 J/K).
+        let mut t = ThermalState::new(ThermalSpec::passive_sbc());
+        let mut first_trip_s = None;
+        for i in 0..2_000 {
+            t.step(SEC / 10, 6.0);
+            if first_trip_s.is_none() && t.throttling() {
+                first_trip_s = Some(i as f64 / 10.0);
+            }
+        }
+        let when = first_trip_s.expect("SBC should throttle");
+        assert!(when < 120.0, "first trip at {when} s");
+        assert!(t.freq_cap_khz(CoreType::Performance) < 1_800_000);
+        // At sustained 6 W the ladder descends deep enough to also cap
+        // the LITTLE cluster (the all-core Fig. 4 situation).
+        assert!(t.freq_cap_khz(CoreType::Efficiency) <= 1_200_000);
+    }
+
+    #[test]
+    fn hysteresis_releases_below_trip() {
+        let mut t = ThermalState::new(ThermalSpec::passive_sbc());
+        t.set_temp_c(69.0);
+        assert!(t.throttling());
+        // Cool to just below the trip: still latched (hysteresis).
+        t.set_temp_c(69.0); // reset path exercises re-derive
+        let mut s = ThermalState::new(ThermalSpec::passive_sbc());
+        s.set_temp_c(69.0);
+        assert!(s.throttling());
+        s.step(SEC, 0.0); // cools a bit
+        // After enough cooling it must release.
+        for _ in 0..120 {
+            s.step(SEC, 0.0);
+        }
+        assert!(!s.throttling());
+    }
+
+    #[test]
+    fn deeper_trips_cap_lower() {
+        let mut t = ThermalState::new(ThermalSpec::passive_sbc());
+        t.set_temp_c(81.0);
+        assert_eq!(t.freq_cap_khz(CoreType::Performance), 1_008_000);
+        t.set_temp_c(93.0);
+        assert_eq!(t.freq_cap_khz(CoreType::Performance), 600_000);
+        assert_eq!(t.freq_cap_khz(CoreType::Efficiency), 1_008_000);
+    }
+
+    #[test]
+    fn temp_mc_units() {
+        let mut t = ThermalState::new(ThermalSpec::desktop_cooled());
+        t.set_temp_c(35.5);
+        assert_eq!(t.temp_mc(), 35_500);
+    }
+}

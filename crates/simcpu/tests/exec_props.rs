@@ -1,0 +1,111 @@
+//! Property tests on the execution engine's event accounting.
+
+use proptest::prelude::*;
+use simcpu::exec::{advance, ExecContext};
+use simcpu::events::ArchEvent;
+use simcpu::phase::Phase;
+use simcpu::uarch::{CORTEX_A53, CORTEX_A72, GOLDEN_COVE, GRACEMONT};
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    (
+        1u64..5_000_000,
+        0.0f64..0.6,
+        10u64..35,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..8.0,
+        0.0f64..1.0,
+        0.0f64..0.4,
+        0.0f64..0.2,
+    )
+        .prop_map(|(inst, mem, ws, r1, r2, r3, fpi, vf, br, bm)| Phase {
+            instructions: inst,
+            mem_ref_rate: mem,
+            working_set: 1u64 << ws,
+            reuse_l1: r1,
+            reuse_l2: r2,
+            reuse_llc: r3,
+            flops_per_inst: fpi,
+            vector_frac: vf,
+            branch_rate: br,
+            branch_miss_rate: bm,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever the phase, budget, µarch, frequency and cache situation:
+    /// instruction accounting is conservative and the cache event chain is
+    /// monotone (accesses ≥ misses at every level; each level's accesses
+    /// are bounded by the level above's misses).
+    #[test]
+    fn event_chain_is_consistent(
+        phase in arb_phase(),
+        budget_log in 4u32..36,
+        khz in 600_000u64..5_100_000,
+        share_log in 0u32..30,
+        smt in proptest::bool::ANY,
+        contention in 1.0f64..4.0,
+    ) {
+        for ua in [&GOLDEN_COVE, &GRACEMONT, &CORTEX_A72, &CORTEX_A53] {
+            let ctx = ExecContext {
+                uarch: ua,
+                freq_khz: khz,
+                ref_khz: 2_100_000,
+                llc_share_bytes: if share_log == 0 { 0 } else { 1u64 << share_log },
+                mem_contention: contention,
+                smt_factor: if smt { ua.smt_share } else { 1.0 },
+            };
+            let r = advance(&phase, (1u64 << budget_log) as f64, &ctx);
+            let ev = &r.events;
+            prop_assert!(r.instructions <= phase.instructions);
+            prop_assert_eq!(ev.get(ArchEvent::Instructions), r.instructions);
+            prop_assert_eq!(ev.get(ArchEvent::Cycles), r.cycles);
+            if r.instructions > 0 {
+                prop_assert!(r.cycles > 0, "work takes cycles");
+            }
+            // Cache chain monotonicity (rounding tolerance of 1).
+            let l1a = ev.get(ArchEvent::L1dAccesses);
+            let l1m = ev.get(ArchEvent::L1dMisses);
+            let l2a = ev.get(ArchEvent::L2Accesses);
+            let l2m = ev.get(ArchEvent::L2Misses);
+            let llca = ev.get(ArchEvent::LlcAccesses);
+            let llcm = ev.get(ArchEvent::LlcMisses);
+            prop_assert!(l1m <= l1a + 1, "{ev:?}");
+            prop_assert!(l2a <= l1m + 1);
+            prop_assert!(l2m <= l2a + 1);
+            prop_assert!(llcm <= llca + 1);
+            // Branches bounded by instructions; misses by branches.
+            let br = ev.get(ArchEvent::BranchInstructions);
+            prop_assert!(br <= r.instructions + 1);
+            prop_assert!(ev.get(ArchEvent::BranchMisses) <= br + 1);
+            // FLOPs match the phase mix exactly.
+            prop_assert!((r.flops - r.instructions as f64 * phase.flops_per_inst).abs() < 1.0);
+            // Memory traffic is non-negative and finite.
+            prop_assert!(r.mem_bytes.is_finite() && r.mem_bytes >= 0.0);
+            // Top-down slots only where the µarch has them.
+            if !ua.supports_event(ArchEvent::TopdownSlots) {
+                prop_assert_eq!(ev.get(ArchEvent::TopdownSlots), 0);
+            }
+        }
+    }
+
+    /// advance() is budget-monotone: more cycles never retire fewer
+    /// instructions.
+    #[test]
+    fn budget_monotone(phase in arb_phase(), b1 in 8u32..30, extra in 1u32..6) {
+        let ctx = ExecContext {
+            uarch: &GOLDEN_COVE,
+            freq_khz: 3_000_000,
+            ref_khz: 2_100_000,
+            llc_share_bytes: 16 << 20,
+            mem_contention: 1.0,
+            smt_factor: 1.0,
+        };
+        let small = advance(&phase, (1u64 << b1) as f64, &ctx);
+        let big = advance(&phase, (1u64 << (b1 + extra)) as f64, &ctx);
+        prop_assert!(big.instructions >= small.instructions);
+    }
+}

@@ -1,0 +1,2083 @@
+//! The kernel: tick loop, task syscalls, and the perf syscall surface.
+//!
+//! One [`Kernel`] owns a [`simcpu::Machine`] and a task table. Every tick it
+//! (1) runs the scheduler, (2) executes each CPU's task through the
+//! cycle-batch engine — honouring compute phases, barriers, instrumentation
+//! hooks and sleeps at exact instruction boundaries — (3) feeds the
+//! resulting event deltas to the perf subsystem and the PMU hardware, and
+//! (4) closes the hardware tick (power, thermal, DVFS, LLC shares).
+//!
+//! The perf implementation keeps the semantics the paper depends on: a
+//! per-thread event only counts on CPUs its PMU covers; groups are
+//! per-PMU; over-committed contexts multiplex by group rotation;
+//! `read()` carries simulated syscall latency while `rdpmc` reads are
+//! nearly free (§V.5's overhead concern, measurable via [`SyscallStats`]).
+
+use crate::perf::{
+    schedule_groups, EventConfig, EventFd, GroupReq, PerfAttr, PerfError, PerfEvent, PmuDesc,
+    PmuKind, RaplConfig, ReadValue, Target, UncoreConfig,
+};
+use crate::sched::{SchedCpu, Scheduler};
+use crate::task::{
+    core_type_index, BlockReason, HookId, Op, Pid, ProgCtx, Program, Task, TaskState, TaskStats,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcpu::events::{ArchEvent, EventCounts};
+use simcpu::exec;
+use simcpu::machine::{CpuLoad, Machine, MachineSpec};
+use simcpu::power::RaplDomain;
+use simcpu::types::{CpuId, CpuMask, Nanos};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How ARM firmware names PMUs in sysfs — the paper notes devicetree
+/// systems and ACPI servers can expose *different names for the same PMU*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Firmware {
+    /// Embedded style: `armv8_cortex_a72`.
+    DeviceTree,
+    /// Server style: `armv8_pmuv3_0`, `armv8_pmuv3_1`, …
+    Acpi,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Simulation tick, ns.
+    pub tick_ns: Nanos,
+    /// Capacity-aware (hetero-aware) scheduling.
+    pub hetero_aware_sched: bool,
+    /// Multiplex rotation interval, ns.
+    pub mux_interval_ns: Nanos,
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// ARM PMU naming style.
+    pub firmware: Firmware,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            tick_ns: 1_000_000,
+            hetero_aware_sched: true,
+            mux_interval_ns: 4_000_000,
+            seed: 0x5eed,
+            firmware: Firmware::DeviceTree,
+        }
+    }
+}
+
+/// Modeled syscall latencies (ns) — calibrated to the magnitudes reported
+/// for perf_event self-monitoring overhead studies.
+pub const LAT_OPEN_NS: u64 = 15_000;
+pub const LAT_READ_NS: u64 = 1_800;
+pub const LAT_IOCTL_NS: u64 = 1_200;
+pub const LAT_CLOSE_NS: u64 = 2_500;
+pub const LAT_RDPMC_NS: u64 = 30;
+
+/// Counts and cumulative latency of the perf syscalls issued so far —
+/// the measurement-overhead ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyscallStats {
+    pub opens: u64,
+    pub reads: u64,
+    pub ioctls: u64,
+    pub closes: u64,
+    pub rdpmc_reads: u64,
+    pub total_latency_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    expected: u32,
+    waiting: Vec<Pid>,
+    /// Completed generations (diagnostics).
+    generations: u64,
+}
+
+/// Per-CPU perf scheduling state.
+#[derive(Debug, Default, Clone)]
+struct CpuPerfState {
+    /// Which event fds currently hold hardware counters.
+    scheduled: Vec<EventFd>,
+    /// Task the current programming was computed for.
+    for_task: Option<Pid>,
+    /// perf generation the programming was computed at.
+    at_gen: u64,
+    /// Rotation cursor for multiplexing.
+    rotation: usize,
+    next_rotate_ns: Nanos,
+}
+
+/// A shared handle to a kernel, cloneable across the measurement library,
+/// telemetry pollers and the run driver.
+pub type KernelHandle = Arc<Mutex<Kernel>>;
+
+/// The simulated kernel.
+pub struct Kernel {
+    machine: Machine,
+    cfg: KernelConfig,
+    scheduler: Scheduler,
+    topo: Vec<SchedCpu>,
+    tasks: Vec<Option<Task>>,
+    current: Vec<Option<Pid>>,
+    barriers: HashMap<u32, BarrierState>,
+    pmus: Vec<PmuDesc>,
+    events: Vec<Option<PerfEvent>>,
+    cpu_perf: Vec<CpuPerfState>,
+    pending_hooks: Vec<(Pid, HookId)>,
+    time_ns: Nanos,
+    perf_gen: u64,
+    stats: SyscallStats,
+    #[allow(dead_code)]
+    rng: StdRng,
+    /// Previous tick's per-domain energy, for RAPL perf events.
+    rapl_prev_uj: [f64; 4],
+}
+
+impl Kernel {
+    /// Boot a kernel on the given machine.
+    pub fn boot(spec: MachineSpec, cfg: KernelConfig) -> Kernel {
+        let machine = Machine::new(spec);
+        let n = machine.n_cpus();
+        let topo = machine
+            .cpus()
+            .iter()
+            .map(|c| SchedCpu {
+                capacity: c.uarch.params().capacity,
+                sibling: c.smt_sibling.map(|s| s.0),
+            })
+            .collect();
+        let pmus = Self::register_pmus(&machine, cfg.firmware);
+        Kernel {
+            scheduler: Scheduler {
+                hetero_aware: cfg.hetero_aware_sched,
+                ..Default::default()
+            },
+            topo,
+            tasks: Vec::new(),
+            current: vec![None; n],
+            barriers: HashMap::new(),
+            pmus,
+            events: Vec::new(),
+            cpu_perf: vec![CpuPerfState::default(); n],
+            pending_hooks: Vec::new(),
+            time_ns: 0,
+            perf_gen: 0,
+            stats: SyscallStats::default(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            rapl_prev_uj: [0.0; 4],
+            machine,
+            cfg,
+        }
+    }
+
+    /// Boot with default config and wrap in a shareable handle.
+    pub fn boot_handle(spec: MachineSpec, cfg: KernelConfig) -> KernelHandle {
+        Arc::new(Mutex::new(Kernel::boot(spec, cfg)))
+    }
+
+    fn register_pmus(machine: &Machine, firmware: Firmware) -> Vec<PmuDesc> {
+        let mut pmus = Vec::new();
+        // Software PMU is always type 1 (PERF_TYPE_SOFTWARE).
+        pmus.push(PmuDesc {
+            id: 1,
+            name: "software".into(),
+            kind: PmuKind::Software,
+            cpus: CpuMask::first_n(machine.n_cpus()),
+            uarch: None,
+        });
+        let mut next_id = 4u32; // dynamic PMU ids start past the fixed ones
+        let hybrid = machine.is_hybrid();
+        let mut seen = Vec::new();
+        for (ci, cl) in machine.spec().clusters.iter().enumerate() {
+            if seen.contains(&cl.uarch) {
+                continue;
+            }
+            seen.push(cl.uarch);
+            let ua = cl.uarch.params();
+            let name = match (ua.vendor, firmware) {
+                (simcpu::uarch::Vendor::Intel, _) => {
+                    if hybrid {
+                        ua.kernel_pmu_name.to_string()
+                    } else {
+                        "cpu".to_string()
+                    }
+                }
+                (simcpu::uarch::Vendor::Arm, Firmware::DeviceTree) => {
+                    ua.kernel_pmu_name.to_string()
+                }
+                (simcpu::uarch::Vendor::Arm, Firmware::Acpi) => {
+                    format!("armv8_pmuv3_{ci}")
+                }
+            };
+            // Cover all cpus of clusters sharing this uarch.
+            let mut cpus = CpuMask::EMPTY;
+            for info in machine.cpus() {
+                if info.uarch == cl.uarch {
+                    cpus.set(info.cpu);
+                }
+            }
+            pmus.push(PmuDesc {
+                id: next_id,
+                name,
+                kind: PmuKind::CoreHw,
+                cpus,
+                uarch: Some(cl.uarch),
+            });
+            next_id += 1;
+        }
+        if machine.llc_bytes() > 0 {
+            pmus.push(PmuDesc {
+                id: next_id,
+                name: "uncore_llc".into(),
+                kind: PmuKind::Uncore,
+                cpus: CpuMask::from_cpus([0]),
+                uarch: None,
+            });
+            next_id += 1;
+        }
+        // Every machine has a memory controller PMU.
+        pmus.push(PmuDesc {
+            id: next_id,
+            name: "uncore_imc".into(),
+            kind: PmuKind::Uncore,
+            cpus: CpuMask::from_cpus([0]),
+            uarch: None,
+        });
+        next_id += 1;
+        if machine.rapl().available() {
+            pmus.push(PmuDesc {
+                id: next_id,
+                name: "power".into(),
+                kind: PmuKind::Rapl,
+                cpus: CpuMask::from_cpus([0]),
+                uarch: None,
+            });
+        }
+        pmus
+    }
+
+    // ---- introspection -----------------------------------------------------
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    pub fn time_ns(&self) -> Nanos {
+        self.time_ns
+    }
+
+    pub fn pmus(&self) -> &[PmuDesc] {
+        &self.pmus
+    }
+
+    /// Find a PMU by sysfs name.
+    pub fn pmu_by_name(&self, name: &str) -> Option<&PmuDesc> {
+        self.pmus.iter().find(|p| p.name == name)
+    }
+
+    /// Find a PMU by type id.
+    pub fn pmu_by_id(&self, id: u32) -> Option<&PmuDesc> {
+        self.pmus.iter().find(|p| p.id == id)
+    }
+
+    pub fn syscall_stats(&self) -> SyscallStats {
+        self.stats
+    }
+
+    /// Emulated `cpuid` (Intel only): leaf 0x1A returns the hybrid
+    /// core-type byte in EAX bits 31:24, zero on machines without the leaf.
+    pub fn cpuid(&self, cpu: CpuId, leaf: u32) -> (u32, u32, u32, u32) {
+        let info = self.machine.cpu_info(cpu);
+        let ua = info.uarch.params();
+        if ua.vendor != simcpu::uarch::Vendor::Intel {
+            return (0, 0, 0, 0);
+        }
+        match leaf {
+            0x1 => {
+                let (fam, model) = ua.x86_family_model;
+                let eax = (fam << 8) | ((model & 0xf) << 4) | ((model >> 4) << 16);
+                (eax, 0, 0, 0)
+            }
+            0x1a => ((ua.cpuid_1a_core_type as u32) << 24, 0, 0, 0),
+            _ => (0, 0, 0, 0),
+        }
+    }
+
+    // ---- task syscalls -----------------------------------------------------
+
+    /// Spawn a task. Panics on an empty affinity mask (caller bug).
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        program: Box<dyn Program>,
+        affinity: CpuMask,
+        nice: i32,
+    ) -> Pid {
+        let machine_cpus = CpuMask::first_n(self.machine.n_cpus());
+        let eff = affinity.and(&machine_cpus);
+        assert!(!eff.is_empty(), "task affinity selects no CPU");
+        let pid = Pid(self.tasks.len() as u32);
+        self.tasks
+            .push(Some(Task::new(pid, name.to_string(), program, eff, nice)));
+        pid
+    }
+
+    /// `sched_setaffinity`: change a task's CPU mask.
+    pub fn set_affinity(&mut self, pid: Pid, mask: CpuMask) -> Result<(), PerfError> {
+        let machine_cpus = CpuMask::first_n(self.machine.n_cpus());
+        let eff = mask.and(&machine_cpus);
+        if eff.is_empty() {
+            return Err(PerfError::InvalidState("affinity selects no CPU"));
+        }
+        let t = self
+            .tasks
+            .get_mut(pid.0 as usize)
+            .and_then(|t| t.as_mut())
+            .ok_or(PerfError::NoSuchProcess)?;
+        t.affinity = eff;
+        Ok(())
+    }
+
+    /// Register a barrier with a fixed participant count.
+    pub fn register_barrier(&mut self, id: u32, participants: u32) {
+        self.barriers.insert(
+            id,
+            BarrierState {
+                expected: participants,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Resume a task parked in an instrumentation hook.
+    pub fn resume(&mut self, pid: Pid) -> Result<(), PerfError> {
+        let t = self
+            .tasks
+            .get_mut(pid.0 as usize)
+            .and_then(|t| t.as_mut())
+            .ok_or(PerfError::NoSuchProcess)?;
+        match t.state {
+            TaskState::Blocked(BlockReason::Hook(_)) => {
+                t.state = TaskState::Runnable;
+                Ok(())
+            }
+            _ => Err(PerfError::InvalidState("task not parked in a hook")),
+        }
+    }
+
+    /// Inject ops to run *before* the task's own program continues (used by
+    /// the measurement library to model its in-process overhead).
+    pub fn inject_ops(&mut self, pid: Pid, ops: impl IntoIterator<Item = Op>) {
+        if let Some(t) = self.tasks.get_mut(pid.0 as usize).and_then(|t| t.as_mut()) {
+            for op in ops {
+                t.injected.push_back(op);
+            }
+        }
+    }
+
+    pub fn task_stats(&self, pid: Pid) -> Option<TaskStats> {
+        self.tasks
+            .get(pid.0 as usize)
+            .and_then(|t| t.as_ref())
+            .map(|t| t.stats)
+    }
+
+    pub fn task_state(&self, pid: Pid) -> Option<TaskState> {
+        self.tasks
+            .get(pid.0 as usize)
+            .and_then(|t| t.as_ref())
+            .map(|t| t.state)
+    }
+
+    pub fn task_name(&self, pid: Pid) -> Option<&str> {
+        self.tasks
+            .get(pid.0 as usize)
+            .and_then(|t| t.as_ref())
+            .map(|t| t.name.as_str())
+    }
+
+    /// Whether every spawned task has exited.
+    pub fn all_exited(&self) -> bool {
+        self.tasks
+            .iter()
+            .flatten()
+            .all(|t| t.state == TaskState::Exited)
+    }
+
+    /// Drain instrumentation hooks that fired since the last drain.
+    pub fn take_pending_hooks(&mut self) -> Vec<(Pid, HookId)> {
+        std::mem::take(&mut self.pending_hooks)
+    }
+
+    // ---- perf syscalls -------------------------------------------------------
+
+    /// `perf_event_open(2)`.
+    pub fn perf_event_open(
+        &mut self,
+        attr: PerfAttr,
+        target: Target,
+        group_fd: Option<EventFd>,
+    ) -> Result<EventFd, PerfError> {
+        self.charge(LAT_OPEN_NS);
+        self.stats.opens += 1;
+
+        let pmu = self
+            .pmus
+            .iter()
+            .find(|p| p.id == attr.pmu_type)
+            .ok_or(PerfError::NoSuchPmu(attr.pmu_type))?
+            .clone();
+
+        // Config validity per PMU kind.
+        match (pmu.kind, attr.config) {
+            (PmuKind::CoreHw, EventConfig::Hw(ev)) => {
+                let ua = pmu.uarch.expect("core pmu has uarch").params();
+                if !ua.supports_event(ev) {
+                    return Err(PerfError::EventNotSupported);
+                }
+            }
+            (PmuKind::Rapl, EventConfig::Rapl(_)) => {
+                if attr.sample_period > 0 {
+                    return Err(PerfError::BadConfig);
+                }
+            }
+            (PmuKind::Uncore, EventConfig::Uncore(_)) => {}
+            (
+                PmuKind::Software,
+                EventConfig::SwTaskClock
+                | EventConfig::SwContextSwitches
+                | EventConfig::SwCpuMigrations,
+            ) => {}
+            _ => return Err(PerfError::BadConfig),
+        }
+
+        // Target validity.
+        match (pmu.kind, target) {
+            (PmuKind::Rapl | PmuKind::Uncore, Target::Cpu(c)) => {
+                if !pmu.cpus.contains(c) {
+                    return Err(PerfError::CpuNotCovered);
+                }
+            }
+            (PmuKind::Rapl | PmuKind::Uncore, _) => {
+                // RAPL/uncore are per-socket: thread mode is meaningless.
+                return Err(PerfError::CpuNotCovered);
+            }
+            (_, Target::Cpu(c) | Target::ThreadOnCpu(_, c)) => {
+                if c.0 >= self.machine.n_cpus() {
+                    return Err(PerfError::CpuNotCovered);
+                }
+                if pmu.kind == PmuKind::CoreHw && !pmu.cpus.contains(c) {
+                    return Err(PerfError::CpuNotCovered);
+                }
+            }
+            (_, Target::Thread(_)) => {}
+        }
+        if let Some(pid) = target.pid() {
+            if self
+                .tasks
+                .get(pid.0 as usize)
+                .and_then(|t| t.as_ref())
+                .is_none()
+            {
+                return Err(PerfError::NoSuchProcess);
+            }
+        }
+
+        // Group membership: one PMU per group — the paper's constraint.
+        let fd = EventFd(self.events.len() as u32);
+        let leader = match group_fd {
+            None => fd,
+            Some(lfd) => {
+                let l = self
+                    .events
+                    .get(lfd.0 as usize)
+                    .and_then(|e| e.as_ref())
+                    .ok_or(PerfError::BadFd)?;
+                if !l.is_leader() {
+                    return Err(PerfError::BadFd);
+                }
+                if l.attr.pmu_type != attr.pmu_type {
+                    return Err(PerfError::CrossPmuGroup);
+                }
+                if l.target != target {
+                    return Err(PerfError::InvalidState("group members must share a target"));
+                }
+                lfd
+            }
+        };
+        let ev = PerfEvent::new(fd, attr, target, leader);
+        self.events.push(Some(ev));
+        if leader != fd {
+            self.events[leader.0 as usize]
+                .as_mut()
+                .unwrap()
+                .group
+                .push(fd);
+        }
+        self.perf_gen += 1;
+        Ok(fd)
+    }
+
+    fn event(&self, fd: EventFd) -> Result<&PerfEvent, PerfError> {
+        self.events
+            .get(fd.0 as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(PerfError::BadFd)
+    }
+
+    fn event_mut(&mut self, fd: EventFd) -> Result<&mut PerfEvent, PerfError> {
+        self.events
+            .get_mut(fd.0 as usize)
+            .and_then(|e| e.as_mut())
+            .ok_or(PerfError::BadFd)
+    }
+
+    /// `ioctl(PERF_EVENT_IOC_ENABLE)`; with `group`, applies to the whole
+    /// group led by `fd`.
+    pub fn ioctl_enable(&mut self, fd: EventFd, group: bool) -> Result<(), PerfError> {
+        self.charge(LAT_IOCTL_NS);
+        self.stats.ioctls += 1;
+        for f in self.group_fds(fd, group)? {
+            self.event_mut(f)?.enabled = true;
+        }
+        self.perf_gen += 1;
+        Ok(())
+    }
+
+    /// `ioctl(PERF_EVENT_IOC_DISABLE)`.
+    pub fn ioctl_disable(&mut self, fd: EventFd, group: bool) -> Result<(), PerfError> {
+        self.charge(LAT_IOCTL_NS);
+        self.stats.ioctls += 1;
+        for f in self.group_fds(fd, group)? {
+            self.event_mut(f)?.enabled = false;
+        }
+        self.perf_gen += 1;
+        Ok(())
+    }
+
+    /// `ioctl(PERF_EVENT_IOC_RESET)`: zero counts (not times).
+    pub fn ioctl_reset(&mut self, fd: EventFd, group: bool) -> Result<(), PerfError> {
+        self.charge(LAT_IOCTL_NS);
+        self.stats.ioctls += 1;
+        for f in self.group_fds(fd, group)? {
+            let e = self.event_mut(f)?;
+            e.count = 0;
+            e.sample_accum = 0;
+        }
+        Ok(())
+    }
+
+    fn group_fds(&self, fd: EventFd, group: bool) -> Result<Vec<EventFd>, PerfError> {
+        let e = self.event(fd)?;
+        if group {
+            let leader = self.event(e.leader)?;
+            Ok(leader.group.clone())
+        } else {
+            Ok(vec![fd])
+        }
+    }
+
+    /// `read(2)` on an event fd — carries syscall latency.
+    pub fn read_event(&mut self, fd: EventFd) -> Result<ReadValue, PerfError> {
+        self.charge(LAT_READ_NS);
+        self.stats.reads += 1;
+        Ok(self.event(fd)?.read_value())
+    }
+
+    /// Group read (`PERF_FORMAT_GROUP`): one syscall returns every member.
+    pub fn read_group(&mut self, fd: EventFd) -> Result<Vec<ReadValue>, PerfError> {
+        self.charge(LAT_READ_NS);
+        self.stats.reads += 1;
+        let leader_fd = self.event(fd)?.leader;
+        let leader = self.event(leader_fd)?;
+        leader
+            .group
+            .clone()
+            .into_iter()
+            .map(|f| self.event(f).map(|e| e.read_value()))
+            .collect()
+    }
+
+    /// `rdpmc` fast path: read the counter from user space without a
+    /// syscall, regardless of scheduling state (a convenience wrapper;
+    /// the strict protocol is [`Kernel::mmap_userpage`]).
+    pub fn rdpmc_read(&mut self, fd: EventFd) -> Result<u64, PerfError> {
+        self.charge(LAT_RDPMC_NS);
+        self.stats.rdpmc_reads += 1;
+        Ok(self.event(fd)?.count)
+    }
+
+    /// Whether `fd` currently holds a hardware counter somewhere. The
+    /// per-CPU schedules are recomputed lazily (at the next tick), so also
+    /// require the event's context to still be live on that CPU.
+    fn is_scheduled(&self, fd: EventFd) -> bool {
+        let Some(target) = self.event(fd).ok().map(|e| e.target) else {
+            return false;
+        };
+        let running_on = |p: Pid, c: usize| -> bool {
+            self.current[c] == Some(p)
+                && matches!(self.task_state(p), Some(TaskState::Running(_)))
+        };
+        match target {
+            Target::Cpu(c) => self.cpu_perf[c.0].scheduled.contains(&fd),
+            Target::ThreadOnCpu(p, c) => {
+                self.cpu_perf[c.0].scheduled.contains(&fd) && running_on(p, c.0)
+            }
+            Target::Thread(p) => self
+                .cpu_perf
+                .iter()
+                .enumerate()
+                .any(|(ci, s)| s.scheduled.contains(&fd) && running_on(p, ci)),
+        }
+    }
+
+    /// Snapshot the event's mmap'd userpage (`perf_event_mmap_page`): the
+    /// real mechanism behind rdpmc. `index == 0` in the result means the
+    /// fast path is unavailable *right now* — multiplexed out, wrong core
+    /// type, or the target is not running — and the reader must fall back
+    /// to the `read()` syscall. This is the §V.5 interaction the paper
+    /// flags for hybrid EventSets.
+    pub fn mmap_userpage(
+        &mut self,
+        fd: EventFd,
+    ) -> Result<crate::perf::UserPage, PerfError> {
+        self.charge(LAT_RDPMC_NS);
+        self.stats.rdpmc_reads += 1;
+        let scheduled = self.is_scheduled(fd);
+        let e = self.event(fd)?;
+        // Counting-mode hardware events only.
+        let hw = matches!(
+            self.pmus
+                .iter()
+                .find(|p| p.id == e.attr.pmu_type)
+                .map(|p| p.kind),
+            Some(PmuKind::CoreHw)
+        );
+        let on_hw = scheduled && hw && e.enabled && e.attr.sample_period == 0;
+        Ok(crate::perf::UserPage {
+            lock_seq: (self.perf_gen as u32) << 1, // always an even snapshot
+            index: if on_hw { 1 } else { 0 },
+            // The simulation folds hardware bits into the software count
+            // every tick, so the page's base is the count and the residual
+            // hardware delta is zero.
+            offset: e.count,
+            hw_value: 0,
+            time_enabled: e.time_enabled,
+            time_running: e.time_running,
+        })
+    }
+
+    /// Read an event's recorded samples (sampling mode).
+    pub fn event_samples(&self, fd: EventFd) -> Result<&[crate::perf::SampleRec], PerfError> {
+        Ok(&self.event(fd)?.samples)
+    }
+
+    /// `close(2)`: release the fd. Closing a leader closes the group.
+    pub fn close_event(&mut self, fd: EventFd) -> Result<(), PerfError> {
+        self.charge(LAT_CLOSE_NS);
+        self.stats.closes += 1;
+        let fds = self.group_fds(fd, true)?;
+        let e = self.event(fd)?;
+        if e.is_leader() {
+            for f in fds {
+                self.events[f.0 as usize] = None;
+            }
+        } else {
+            let leader = e.leader;
+            self.events[fd.0 as usize] = None;
+            if let Some(l) = self.events[leader.0 as usize].as_mut() {
+                l.group.retain(|&f| f != fd);
+            }
+        }
+        self.perf_gen += 1;
+        // Drop stale hardware schedules.
+        for st in &mut self.cpu_perf {
+            st.scheduled.retain(|f| {
+                self.events
+                    .get(f.0 as usize)
+                    .map(|e| e.is_some())
+                    .unwrap_or(false)
+            });
+        }
+        Ok(())
+    }
+
+    fn charge(&mut self, ns: u64) {
+        self.stats.total_latency_ns += ns;
+    }
+
+    // ---- the tick ------------------------------------------------------------
+
+    /// Advance the world by one tick.
+    pub fn tick(&mut self) {
+        let dt = self.cfg.tick_ns;
+        let n = self.machine.n_cpus();
+
+        // 1. Scheduling (keeping the previous assignment for context-switch
+        //    and migration accounting).
+        let prev_current = self.current.clone();
+        self.scheduler
+            .assign(&self.topo, &mut self.tasks, &mut self.current, self.time_ns);
+
+        // 2. Execute each CPU.
+        let mut loads = vec![CpuLoad::default(); n];
+        let mut deltas: Vec<EventCounts> = vec![EventCounts::ZERO; n];
+        let mut run_ns = vec![0u64; n];
+        // (context-switched-in, migrated) per CPU this tick.
+        let mut sw_meta = vec![(false, false); n];
+        for cpu_idx in 0..n {
+            let Some(pid) = self.current[cpu_idx] else {
+                continue;
+            };
+            let cpu = CpuId(cpu_idx);
+            let smt_busy = self
+                .machine
+                .cpu_info(cpu)
+                .smt_sibling
+                .map(|s| self.current[s.0].is_some())
+                .unwrap_or(false);
+            let ctx = self.machine.exec_context(cpu, smt_busy);
+            let cycles_avail = ctx.freq_khz as f64 * 1e3 * dt as f64 / 1e9;
+            let mut used = 0.0f64;
+            let mut tick_events = EventCounts::ZERO;
+            let mut mem_bytes = 0.0;
+            let mut flops = 0.0;
+            let mut act_cycles = 0.0;
+            let mut pressure = 0.0;
+
+            let info = *self.machine.cpu_info(cpu);
+            let ct_idx = core_type_index(info.core_type());
+
+            // Context-switch and migration accounting.
+            {
+                let switched_in = prev_current[cpu_idx] != Some(pid);
+                let t = self.tasks[pid.0 as usize].as_mut().unwrap();
+                let mut migrated = false;
+                if let Some(last) = t.last_cpu {
+                    if last != cpu {
+                        t.stats.migrations += 1;
+                        migrated = true;
+                        let last_ct = self.machine.cpu_info(last).core_type();
+                        if last_ct != info.core_type() {
+                            t.stats.core_type_migrations += 1;
+                        }
+                    }
+                }
+                t.last_cpu = Some(cpu);
+                sw_meta[cpu_idx] = (switched_in, migrated);
+            }
+
+            loop {
+                let budget = cycles_avail - used;
+                if budget < 1.0 {
+                    break;
+                }
+                // Ensure there is a current phase.
+                let need_op = self.tasks[pid.0 as usize]
+                    .as_ref()
+                    .unwrap()
+                    .current
+                    .is_none();
+                if need_op {
+                    let op = {
+                        let t = self.tasks[pid.0 as usize].as_mut().unwrap();
+                        t.injected.pop_front().unwrap_or_else(|| {
+                            t.program.next(&ProgCtx {
+                                pid,
+                                time_ns: self.time_ns,
+                                cpu,
+                            })
+                        })
+                    };
+                    let t = self.tasks[pid.0 as usize].as_mut().unwrap();
+                    match op {
+                        Op::Compute(ph) => {
+                            debug_assert!(ph.validate().is_ok(), "invalid phase from program");
+                            if ph.instructions > 0 {
+                                t.current = Some(ph);
+                            }
+                            continue;
+                        }
+                        Op::Barrier(id) => {
+                            t.state = TaskState::Blocked(BlockReason::Barrier(id));
+                            self.barriers.entry(id).or_default().waiting.push(pid);
+                            break;
+                        }
+                        Op::Call(h) => {
+                            t.state = TaskState::Blocked(BlockReason::Hook(h));
+                            self.pending_hooks.push((pid, h));
+                            break;
+                        }
+                        Op::Sleep(d) => {
+                            t.state =
+                                TaskState::Blocked(BlockReason::SleepUntil(self.time_ns + d));
+                            break;
+                        }
+                        Op::Exit => {
+                            t.state = TaskState::Exited;
+                            break;
+                        }
+                    }
+                }
+                // Advance the current phase.
+                let t = self.tasks[pid.0 as usize].as_mut().unwrap();
+                let ph = t.current.as_mut().unwrap();
+                let res = exec::advance(ph, budget, &ctx);
+                if res.instructions == 0 {
+                    // Cannot fit even one instruction in the leftover
+                    // budget: burn it (partial-cycle stall).
+                    used = cycles_avail;
+                    break;
+                }
+                ph.instructions -= res.instructions;
+                let phase_done = ph.instructions == 0;
+                let vec_frac = ph.vector_frac;
+                if phase_done {
+                    t.current = None;
+                }
+                t.stats.instructions += res.instructions;
+                t.stats.cycles += res.cycles;
+                t.stats.flops += res.flops;
+                t.stats.instructions_by_type[ct_idx] += res.instructions;
+                used += res.cycles as f64;
+                // Activity factor: vector-dense work toggles more silicon;
+                // memory-stalled cycles toggle much less.
+                let stall_frac = (res.events.get(ArchEvent::MemStallCycles) as f64
+                    / res.cycles.max(1) as f64)
+                    .min(1.0);
+                let mix_act = 0.55 + 0.45 * (vec_frac / 0.6).min(1.0);
+                act_cycles +=
+                    res.cycles as f64 * (mix_act * (1.0 - stall_frac) + 0.35 * stall_frac);
+                tick_events.add(&res.events);
+                mem_bytes += res.mem_bytes;
+                flops += res.flops;
+                let _ = flops;
+                if let Some(cur) = self.tasks[pid.0 as usize].as_ref().unwrap().current.as_ref() {
+                    pressure = exec::llc_pressure(cur, ctx.uarch, ctx.llc_share_bytes);
+                }
+            }
+
+            let util = (used / cycles_avail).clamp(0.0, 1.0);
+            let ran_ns = (dt as f64 * util) as u64;
+            {
+                let t = self.tasks[pid.0 as usize].as_mut().unwrap();
+                t.stats.runtime_ns += ran_ns;
+                t.stats.runtime_ns_by_type[ct_idx] += ran_ns;
+                t.charge_vruntime(ran_ns);
+            }
+            run_ns[cpu_idx] = ran_ns;
+            loads[cpu_idx] = CpuLoad {
+                util,
+                activity: if used > 0.0 { act_cycles / used } else { 0.0 },
+                mem_bytes,
+                llc_pressure: pressure,
+            };
+            deltas[cpu_idx] = tick_events;
+        }
+
+        // 3. Perf accounting.
+        self.perf_tick(dt, &deltas, &run_ns, &sw_meta);
+
+        // 4. Barrier releases.
+        let released: Vec<Pid> = self
+            .barriers
+            .values_mut()
+            .filter(|b| b.expected > 0 && b.waiting.len() as u32 >= b.expected)
+            .flat_map(|b| {
+                b.generations += 1;
+                std::mem::take(&mut b.waiting)
+            })
+            .collect();
+        for pid in released {
+            if let Some(t) = self.tasks[pid.0 as usize].as_mut() {
+                t.state = TaskState::Runnable;
+            }
+        }
+
+        // 5. Hardware tick, then package-level perf accounting (RAPL
+        //    energy integrates in end_tick, so the perf counters must read
+        //    *after* it — otherwise short measurement windows lag a tick).
+        let mem_bytes: f64 = loads.iter().map(|l| l.mem_bytes).sum();
+        self.machine.end_tick(dt, &loads);
+        self.perf_package_tick(dt, &deltas, mem_bytes);
+        self.time_ns += dt;
+    }
+
+    /// Package-scope perf events: RAPL energy and uncore traffic.
+    fn perf_package_tick(&mut self, dt: Nanos, deltas: &[EventCounts], mem_bytes: f64) {
+        // RAPL domain deltas (µJ) once per tick, post-integration.
+        let rapl_now = [
+            self.machine.rapl().energy_total_uj(RaplDomain::Package),
+            self.machine.rapl().energy_total_uj(RaplDomain::Cores),
+            self.machine.rapl().energy_total_uj(RaplDomain::Dram),
+            self.machine.rapl().energy_total_uj(RaplDomain::Psys),
+        ];
+        let rapl_delta: Vec<u64> = rapl_now
+            .iter()
+            .zip(self.rapl_prev_uj.iter())
+            .map(|(now, prev)| (now - prev).max(0.0) as u64)
+            .collect();
+        self.rapl_prev_uj = rapl_now;
+
+        // Package-wide uncore deltas.
+        let mut llc_lookups = 0u64;
+        let mut llc_misses = 0u64;
+        for d in deltas {
+            llc_lookups += d.get(ArchEvent::LlcAccesses);
+            llc_misses += d.get(ArchEvent::LlcMisses);
+        }
+
+        let time_ns = self.time_ns;
+        for ev in self.events.iter_mut().flatten() {
+            if !ev.enabled {
+                continue;
+            }
+            let kind = self
+                .pmus
+                .iter()
+                .find(|p| p.id == ev.attr.pmu_type)
+                .map(|p| p.kind);
+            match kind {
+                Some(PmuKind::Rapl) => {
+                    ev.time_enabled += dt;
+                    ev.time_running += dt;
+                    if let EventConfig::Rapl(dom) = ev.attr.config {
+                        let idx = match dom {
+                            RaplConfig::EnergyPkg => 0,
+                            RaplConfig::EnergyCores => 1,
+                            RaplConfig::EnergyRam => 2,
+                            RaplConfig::EnergyPsys => 3,
+                        };
+                        ev.add_count(rapl_delta[idx], time_ns, CpuId(0));
+                    }
+                }
+                Some(PmuKind::Uncore) => {
+                    ev.time_enabled += dt;
+                    ev.time_running += dt;
+                    if let EventConfig::Uncore(u) = ev.attr.config {
+                        // DRAM traffic splits ~2:1 reads:writes for the
+                        // modeled workloads; one CAS moves 64 bytes.
+                        let cas_total = (mem_bytes / 64.0) as u64;
+                        let d = match u {
+                            UncoreConfig::LlcLookups => llc_lookups,
+                            UncoreConfig::LlcMisses => llc_misses,
+                            UncoreConfig::ImcCasReads => cas_total * 2 / 3,
+                            UncoreConfig::ImcCasWrites => cas_total / 3,
+                        };
+                        ev.add_count(d, time_ns, CpuId(0));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Per-CPU perf bookkeeping for one tick.
+    fn perf_tick(
+        &mut self,
+        dt: Nanos,
+        deltas: &[EventCounts],
+        run_ns: &[u64],
+        sw_meta: &[(bool, bool)],
+    ) {
+        let n = self.machine.n_cpus();
+
+        // Recompute hardware scheduling per CPU when stale, then count.
+        for cpu_idx in 0..n {
+            let cpu = CpuId(cpu_idx);
+            let running = self.current[cpu_idx];
+            let needs_resched = {
+                let st = &self.cpu_perf[cpu_idx];
+                st.for_task != running
+                    || st.at_gen != self.perf_gen
+                    || self.time_ns >= st.next_rotate_ns
+            };
+            if needs_resched {
+                self.reschedule_cpu(cpu, running);
+            }
+
+            let pmu_of_cpu: Option<u32> = self
+                .pmus
+                .iter()
+                .find(|p| p.kind == PmuKind::CoreHw && p.cpus.contains(cpu))
+                .map(|p| p.id);
+            let ran = run_ns[cpu_idx];
+
+            let scheduled = self.cpu_perf[cpu_idx].scheduled.clone();
+            for ev in self.events.iter_mut().flatten() {
+                if !ev.enabled {
+                    continue;
+                }
+                let matches_ctx = match ev.target {
+                    Target::Thread(p) => running == Some(p),
+                    Target::Cpu(c) => c == cpu,
+                    Target::ThreadOnCpu(p, c) => running == Some(p) && c == cpu,
+                };
+                if !matches_ctx {
+                    continue;
+                }
+                match self
+                    .pmus
+                    .iter()
+                    .find(|p| p.id == ev.attr.pmu_type)
+                    .map(|p| p.kind)
+                {
+                    Some(PmuKind::CoreHw) => {
+                        // time_enabled advances whenever the context is
+                        // active (the thread ran / the cpu ticked).
+                        let active_ns = match ev.target {
+                            Target::Cpu(_) => dt,
+                            _ => ran,
+                        };
+                        if active_ns == 0 {
+                            continue;
+                        }
+                        ev.time_enabled += active_ns;
+                        let covers = Some(ev.attr.pmu_type) == pmu_of_cpu;
+                        let on_hw = scheduled.contains(&ev.fd);
+                        if covers && on_hw {
+                            ev.time_running += active_ns;
+                            if let EventConfig::Hw(arch) = ev.attr.config {
+                                let d = deltas[cpu_idx].get(arch);
+                                if d > 0 {
+                                    ev.add_count(d, self.time_ns, cpu);
+                                }
+                            }
+                        }
+                    }
+                    Some(PmuKind::Software) => {
+                        let active_ns = match ev.target {
+                            Target::Cpu(_) => dt,
+                            _ => ran,
+                        };
+                        ev.time_enabled += active_ns;
+                        ev.time_running += active_ns;
+                        let (switched_in, migrated) = sw_meta[cpu_idx];
+                        let delta = match ev.attr.config {
+                            EventConfig::SwTaskClock => active_ns,
+                            EventConfig::SwContextSwitches => switched_in as u64,
+                            EventConfig::SwCpuMigrations => migrated as u64,
+                            _ => 0,
+                        };
+                        if delta > 0 {
+                            ev.add_count(delta, self.time_ns, cpu);
+                        }
+                    }
+                    // RAPL/uncore are handled post-end_tick in
+                    // perf_package_tick.
+                    Some(PmuKind::Rapl) | Some(PmuKind::Uncore) | None => {}
+                }
+            }
+
+            // Mirror counting into the physical PMU slots (48-bit wrap
+            // exercised at the hardware layer).
+            if running.is_some() {
+                self.machine.pmu_mut(cpu).apply(&deltas[cpu_idx]);
+            }
+        }
+    }
+
+    /// Recompute which events hold hardware counters on `cpu`.
+    fn reschedule_cpu(&mut self, cpu: CpuId, running: Option<Pid>) {
+        let pmu = self
+            .pmus
+            .iter()
+            .find(|p| p.kind == PmuKind::CoreHw && p.cpus.contains(cpu));
+        let Some(pmu) = pmu else {
+            return;
+        };
+        let uarch = pmu.uarch.unwrap().params();
+        let pmu_id = pmu.id;
+
+        // Candidate groups: leaders of enabled hw events whose context
+        // matches this cpu right now. Pinned (cpu-target) groups first.
+        let mut cands: Vec<(bool, EventFd)> = Vec::new();
+        for ev in self.events.iter().flatten() {
+            if !ev.is_leader() || ev.attr.pmu_type != pmu_id {
+                continue;
+            }
+            let group_enabled = ev
+                .group
+                .iter()
+                .any(|f| self.events[f.0 as usize].as_ref().map(|e| e.enabled) == Some(true));
+            if !group_enabled {
+                continue;
+            }
+            let matches = match ev.target {
+                Target::Thread(p) => running == Some(p),
+                Target::Cpu(c) => c == cpu,
+                Target::ThreadOnCpu(p, c) => running == Some(p) && c == cpu,
+            };
+            if matches {
+                let pinned = matches!(ev.target, Target::Cpu(_)) || ev.attr.pinned;
+                cands.push((pinned, ev.fd));
+            }
+        }
+        // Pinned first; rotate the rest.
+        cands.sort_by_key(|(pinned, fd)| (!pinned, fd.0));
+        let st = &mut self.cpu_perf[cpu.0];
+        let n_unpinned = cands.iter().filter(|(p, _)| !p).count();
+        if n_unpinned > 1 {
+            let first_unpinned = cands.iter().position(|(p, _)| !p).unwrap();
+            let rot = st.rotation % n_unpinned;
+            cands[first_unpinned..].rotate_left(rot);
+        }
+        if self.time_ns >= st.next_rotate_ns {
+            st.rotation = st.rotation.wrapping_add(1);
+            st.next_rotate_ns = self.time_ns + self.cfg.mux_interval_ns;
+        }
+
+        let reqs: Vec<GroupReq> = cands
+            .iter()
+            .map(|(pinned, fd)| {
+                let leader = self.events[fd.0 as usize].as_ref().unwrap();
+                GroupReq {
+                    leader: *fd,
+                    events: leader
+                        .group
+                        .iter()
+                        .filter_map(|f| self.events[f.0 as usize].as_ref())
+                        .filter_map(|e| match e.attr.config {
+                            EventConfig::Hw(a) => Some(a),
+                            _ => None,
+                        })
+                        .collect(),
+                    pinned: *pinned,
+                }
+            })
+            .collect();
+        let fit = schedule_groups(uarch, &reqs);
+        let mut scheduled = Vec::new();
+        for (req, ok) in reqs.iter().zip(fit) {
+            if ok {
+                let leader = self.events[req.leader.0 as usize].as_ref().unwrap();
+                scheduled.extend(leader.group.iter().copied());
+            }
+        }
+        let st = &mut self.cpu_perf[cpu.0];
+        st.scheduled = scheduled;
+        st.for_task = running;
+        st.at_gen = self.perf_gen;
+    }
+
+    // ---- run helpers -----------------------------------------------------------
+
+    /// Tick until every task has exited or `max_ns` elapses. Panics if
+    /// an instrumentation hook fires (use [`run_with_hooks`]).
+    pub fn run_to_completion(&mut self, max_ns: Nanos) {
+        let deadline = self.time_ns + max_ns;
+        while !self.all_exited() && self.time_ns < deadline {
+            self.tick();
+            assert!(
+                self.pending_hooks.is_empty(),
+                "instrumentation hook fired without a handler; use run_with_hooks"
+            );
+        }
+    }
+
+    /// Fast-forward the package temperature to `temp_c` (the telemetry
+    /// driver's "wait for thermal settle" shortcut).
+    pub fn settle_temperature(&mut self, temp_c: f64) {
+        self.machine.thermal_mut().set_temp_c(temp_c);
+    }
+}
+
+/// Drive a kernel handle until all tasks exit, dispatching instrumentation
+/// hooks to `handler`. The handler may issue PAPI-style syscalls through the
+/// same handle; the hooked task stays parked until `handler` returns, after
+/// which it is resumed automatically.
+pub fn run_with_hooks(
+    handle: &KernelHandle,
+    max_ns: Nanos,
+    mut handler: impl FnMut(&KernelHandle, Pid, HookId),
+) {
+    let deadline = {
+        let k = handle.lock();
+        k.time_ns() + max_ns
+    };
+    loop {
+        let hooks = {
+            let mut k = handle.lock();
+            if k.all_exited() || k.time_ns() >= deadline {
+                return;
+            }
+            k.tick();
+            k.take_pending_hooks()
+        };
+        for (pid, hook) in hooks {
+            handler(handle, pid, hook);
+            handle.lock().resume(pid).expect("hooked task resumable");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ScriptedProgram;
+    use simcpu::phase::Phase;
+
+    fn raptor() -> Kernel {
+        Kernel::boot(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        )
+    }
+
+    fn orangepi() -> Kernel {
+        Kernel::boot(MachineSpec::orangepi_800(), KernelConfig::default())
+    }
+
+    #[test]
+    fn pmu_registry_hybrid_intel() {
+        let k = raptor();
+        let names: Vec<&str> = k.pmus().iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"cpu_core"));
+        assert!(names.contains(&"cpu_atom"));
+        assert!(names.contains(&"power"));
+        assert!(names.contains(&"uncore_llc"));
+        let core = k.pmu_by_name("cpu_core").unwrap();
+        let atom = k.pmu_by_name("cpu_atom").unwrap();
+        assert_ne!(core.id, atom.id);
+        assert_eq!(core.cpus.to_cpulist(), "0-15");
+        assert_eq!(atom.cpus.to_cpulist(), "16-23");
+    }
+
+    #[test]
+    fn pmu_registry_homogeneous_is_plain_cpu() {
+        let k = Kernel::boot(MachineSpec::skylake_quad(), KernelConfig::default());
+        assert!(k.pmu_by_name("cpu").is_some());
+        assert!(k.pmu_by_name("cpu_core").is_none());
+    }
+
+    #[test]
+    fn pmu_registry_arm_firmware_naming() {
+        let dt = orangepi();
+        assert!(dt.pmu_by_name("armv8_cortex_a72").is_some());
+        assert!(dt.pmu_by_name("armv8_cortex_a53").is_some());
+        let acpi = Kernel::boot(
+            MachineSpec::orangepi_800(),
+            KernelConfig {
+                firmware: Firmware::Acpi,
+                ..Default::default()
+            },
+        );
+        assert!(acpi.pmu_by_name("armv8_pmuv3_0").is_some());
+        assert!(acpi.pmu_by_name("armv8_cortex_a72").is_none());
+    }
+
+    #[test]
+    fn cpuid_leaf_1a_distinguishes_core_types() {
+        let k = raptor();
+        let (p, ..) = k.cpuid(CpuId(0), 0x1a);
+        let (e, ..) = k.cpuid(CpuId(16), 0x1a);
+        assert_eq!(p >> 24, 0x40);
+        assert_eq!(e >> 24, 0x20);
+        // ARM has no cpuid.
+        let a = orangepi();
+        assert_eq!(a.cpuid(CpuId(0), 0x1a), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn simple_task_runs_to_exit() {
+        let mut k = raptor();
+        let pid = k.spawn(
+            "loop",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(5_000_000)),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        k.run_to_completion(1_000_000_000);
+        assert!(k.all_exited());
+        let st = k.task_stats(pid).unwrap();
+        assert_eq!(st.instructions, 5_000_000);
+        assert!(st.cycles > 0);
+        assert!(st.runtime_ns > 0);
+    }
+
+    #[test]
+    fn pinned_task_runs_only_there() {
+        let mut k = raptor();
+        let pid = k.spawn(
+            "pinned",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(3_000_000)),
+                Op::Exit,
+            ])),
+            CpuMask::from_cpus([17]), // an E-core
+            0,
+        );
+        k.run_to_completion(1_000_000_000);
+        let st = k.task_stats(pid).unwrap();
+        assert_eq!(st.instructions_by_type[1], 3_000_000); // Efficiency
+        assert_eq!(st.instructions_by_type[0], 0);
+        assert_eq!(st.migrations, 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_two_tasks() {
+        let mut k = raptor();
+        k.register_barrier(1, 2);
+        let fast = k.spawn(
+            "fast",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(1_000)),
+                Op::Barrier(1),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        let slow = k.spawn(
+            "slow",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(50_000_000)),
+                Op::Barrier(1),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        k.run_to_completion(10_000_000_000);
+        assert!(k.all_exited());
+        // The fast task must have waited: its total wall time is bounded by
+        // the slow one's compute.
+        assert!(k.task_stats(fast).unwrap().runtime_ns < k.task_stats(slow).unwrap().runtime_ns);
+    }
+
+    #[test]
+    fn barrier_reusable_across_generations() {
+        // HPL-style lockstep: the same barrier id synchronizes every
+        // iteration; the kernel must reset it after each release.
+        let mut k = raptor();
+        k.register_barrier(9, 2);
+        for _ in 0..2 {
+            k.spawn(
+                "iter",
+                Box::new(ScriptedProgram::new([
+                    Op::Compute(Phase::scalar(100_000)),
+                    Op::Barrier(9),
+                    Op::Compute(Phase::scalar(100_000)),
+                    Op::Barrier(9),
+                    Op::Compute(Phase::scalar(100_000)),
+                    Op::Barrier(9),
+                    Op::Exit,
+                ])),
+                CpuMask::first_n(24),
+                0,
+            );
+        }
+        k.run_to_completion(10_000_000_000);
+        assert!(k.all_exited(), "three barrier generations must all release");
+    }
+
+    #[test]
+    fn resume_requires_hooked_state() {
+        let mut k = raptor();
+        let pid = k.spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(1_000)),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        assert!(k.resume(pid).is_err(), "not parked in a hook");
+        assert!(k.resume(Pid(99)).is_err(), "no such process");
+    }
+
+    #[test]
+    #[should_panic(expected = "affinity selects no CPU")]
+    fn spawn_rejects_empty_affinity() {
+        let mut k = raptor();
+        k.spawn(
+            "w",
+            Box::new(ScriptedProgram::new([])),
+            CpuMask::EMPTY,
+            0,
+        );
+    }
+
+    #[test]
+    fn set_affinity_validates() {
+        let mut k = raptor();
+        let pid = k.spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(1_000)),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        assert!(k.set_affinity(pid, CpuMask::from_cpus([120])).is_err());
+        assert!(k.set_affinity(Pid(99), CpuMask::first_n(1)).is_err());
+        assert!(k.set_affinity(pid, CpuMask::from_cpus([5])).is_ok());
+    }
+
+    #[test]
+    fn hooks_fire_and_resume() {
+        let handle = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        );
+        let pid = handle.lock().spawn(
+            "instrumented",
+            Box::new(ScriptedProgram::new([
+                Op::Call(HookId(1)),
+                Op::Compute(Phase::scalar(1_000_000)),
+                Op::Call(HookId(2)),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        let mut seen = Vec::new();
+        run_with_hooks(&handle, 1_000_000_000, |_, p, h| {
+            assert_eq!(p, pid);
+            seen.push(h.0);
+        });
+        assert_eq!(seen, vec![1, 2]);
+        assert!(handle.lock().all_exited());
+    }
+
+    #[test]
+    fn sleep_delays_execution() {
+        let mut k = raptor();
+        let pid = k.spawn(
+            "sleeper",
+            Box::new(ScriptedProgram::new([
+                Op::Sleep(50_000_000),
+                Op::Compute(Phase::scalar(1_000)),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(24),
+            0,
+        );
+        for _ in 0..10 {
+            k.tick();
+        }
+        assert_ne!(k.task_state(pid), Some(TaskState::Exited));
+        k.run_to_completion(1_000_000_000);
+        assert!(k.all_exited());
+    }
+
+    // ---- perf semantics ---------------------------------------------------
+
+    fn spawn_loop(k: &mut Kernel, cpus: CpuMask, inst: u64) -> Pid {
+        k.spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(inst)),
+                Op::Exit,
+            ])),
+            cpus,
+            0,
+        )
+    }
+
+    #[test]
+    fn perf_counts_instructions_exactly() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 2_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(1_000_000_000);
+        let rv = k.read_event(fd).unwrap();
+        assert_eq!(rv.value, 2_000_000);
+        assert_eq!(rv.time_enabled, rv.time_running);
+    }
+
+    #[test]
+    fn hybrid_event_counts_only_on_matching_core_type() {
+        // A P-core PMU event on a task pinned to an E-core: counts nothing,
+        // and time_running stays zero while time_enabled advances — the
+        // kernel behaviour §IV.A describes.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([16]), 2_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let atom = k.pmu_by_name("cpu_atom").unwrap().id;
+        let fd_p = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        let fd_e = k
+            .perf_event_open(
+                PerfAttr::counting(atom, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd_p, false).unwrap();
+        k.ioctl_enable(fd_e, false).unwrap();
+        k.run_to_completion(1_000_000_000);
+        let p = k.read_event(fd_p).unwrap();
+        let e = k.read_event(fd_e).unwrap();
+        assert_eq!(p.value, 0);
+        assert!(p.time_enabled > 0);
+        assert_eq!(p.time_running, 0);
+        assert_eq!(e.value, 2_000_000);
+        assert!(e.time_running > 0);
+    }
+
+    #[test]
+    fn cross_pmu_group_rejected() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::first_n(24), 1000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let atom = k.pmu_by_name("cpu_atom").unwrap().id;
+        let leader = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        let err = k
+            .perf_event_open(
+                PerfAttr::counting(atom, ArchEvent::Instructions),
+                Target::Thread(pid),
+                Some(leader),
+            )
+            .unwrap_err();
+        assert_eq!(err, PerfError::CrossPmuGroup);
+    }
+
+    #[test]
+    fn topdown_rejected_on_atom_pmu() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::first_n(24), 1000);
+        let atom = k.pmu_by_name("cpu_atom").unwrap().id;
+        let err = k
+            .perf_event_open(
+                PerfAttr::counting(atom, ArchEvent::TopdownSlots),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, PerfError::EventNotSupported);
+    }
+
+    #[test]
+    fn cpu_pinned_event_must_match_pmu_coverage() {
+        let mut k = raptor();
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        // cpu 16 is an E-core: the P PMU cannot be opened there.
+        let err = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Cpu(CpuId(16)),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, PerfError::CpuNotCovered);
+    }
+
+    #[test]
+    fn group_read_returns_members_in_order() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 1_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let leader = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        let member = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Cycles),
+                Target::Thread(pid),
+                Some(leader),
+            )
+            .unwrap();
+        k.ioctl_enable(leader, true).unwrap();
+        k.run_to_completion(1_000_000_000);
+        let vals = k.read_group(leader).unwrap();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[0].fd, leader);
+        assert_eq!(vals[1].fd, member);
+        assert_eq!(vals[0].value, 1_000_000);
+        assert!(vals[1].value > 0);
+    }
+
+    #[test]
+    fn multiplexing_scales_counts() {
+        // Open 9 single-event groups of GP-only events on GoldenCove
+        // (8 GP counters): they must multiplex, and scaled estimates must
+        // land near the true value.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 400_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let mut fds = Vec::new();
+        for _ in 0..9 {
+            let fd = k
+                .perf_event_open(
+                    PerfAttr::counting(core, ArchEvent::BranchInstructions),
+                    Target::Thread(pid),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            fds.push(fd);
+        }
+        k.run_to_completion(10_000_000_000);
+        let truth = 400_000_000.0 * 0.08; // scalar phase branch rate
+        let mut any_scaled = false;
+        for fd in fds {
+            let rv = k.read_event(fd).unwrap();
+            assert!(rv.time_running > 0, "every event should get turns");
+            if rv.time_running < rv.time_enabled {
+                any_scaled = true;
+            }
+            let est = rv.scaled() as f64;
+            let err = (est - truth).abs() / truth;
+            assert!(err < 0.25, "scaled estimate off by {:.1}%", err * 100.0);
+        }
+        assert!(any_scaled, "9 events on 8 counters must multiplex");
+    }
+
+    #[test]
+    fn sampling_collects_records() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 10_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr {
+                    sample_period: 1_000_000,
+                    ..PerfAttr::counting(core, ArchEvent::Instructions)
+                },
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(1_000_000_000);
+        let n = k.event_samples(fd).unwrap().len();
+        assert_eq!(n, 10, "10 M instructions / 1 M period = 10 samples");
+    }
+
+    #[test]
+    fn thread_on_cpu_counts_only_there() {
+        // (pid, cpu) mode: counts the thread only while it runs on that
+        // exact CPU.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0, 2]), 40_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let on0 = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::ThreadOnCpu(pid, CpuId(0)),
+                None,
+            )
+            .unwrap();
+        let on2 = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::ThreadOnCpu(pid, CpuId(2)),
+                None,
+            )
+            .unwrap();
+        let anywhere = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        for fd in [on0, on2, anywhere] {
+            k.ioctl_enable(fd, false).unwrap();
+        }
+        // Force a migration midway.
+        for _ in 0..2 {
+            k.tick();
+        }
+        k.set_affinity(pid, CpuMask::from_cpus([2])).unwrap();
+        k.run_to_completion(10_000_000_000);
+        let v0 = k.read_event(on0).unwrap().value;
+        let v2 = k.read_event(on2).unwrap().value;
+        let all = k.read_event(anywhere).unwrap().value;
+        assert_eq!(all, 40_000_000);
+        assert_eq!(v0 + v2, all, "per-cpu slices partition the total");
+        assert!(v0 > 0 && v2 > 0, "ran on both: {v0} + {v2}");
+    }
+
+    #[test]
+    fn fixed_counter_event_survives_gp_overcommit() {
+        // 10 GP-hungry events on Gracemont's 6 GP counters must rotate,
+        // but an Instructions event rides the fixed counter and is never
+        // multiplexed out — and its count stays exact.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([16]), 200_000_000);
+        let atom = k.pmu_by_name("cpu_atom").unwrap().id;
+        let mut gp_fds = Vec::new();
+        for _ in 0..10 {
+            let fd = k
+                .perf_event_open(
+                    PerfAttr::counting(atom, ArchEvent::BranchMisses),
+                    Target::Thread(pid),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            gp_fds.push(fd);
+        }
+        let inst_fd = k
+            .perf_event_open(
+                PerfAttr::counting(atom, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(inst_fd, false).unwrap();
+        k.run_to_completion(120_000_000_000);
+        let inst = k.read_event(inst_fd).unwrap();
+        assert_eq!(
+            inst.time_enabled, inst.time_running,
+            "fixed-counter event never rotated out"
+        );
+        assert_eq!(inst.value, 200_000_000);
+        let rotated = gp_fds
+            .iter()
+            .map(|&fd| k.read_event(fd).unwrap())
+            .any(|rv| rv.time_running < rv.time_enabled);
+        assert!(rotated, "10 GP events on 6 counters must multiplex");
+    }
+
+    #[test]
+    fn rapl_event_counts_energy() {
+        let mut k = raptor();
+        let _pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 200_000_000);
+        let rapl = k.pmu_by_name("power").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr {
+                    config: EventConfig::Rapl(RaplConfig::EnergyPkg),
+                    ..PerfAttr::counting(rapl, ArchEvent::Instructions)
+                },
+                Target::Cpu(CpuId(0)),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(10_000_000_000);
+        let uj = k.read_event(fd).unwrap().value;
+        assert!(uj > 0, "package energy should accumulate");
+        // Thread-mode RAPL is rejected.
+        let pid2 = spawn_loop(&mut k, CpuMask::from_cpus([0]), 1000);
+        let err = k
+            .perf_event_open(
+                PerfAttr {
+                    config: EventConfig::Rapl(RaplConfig::EnergyPkg),
+                    ..PerfAttr::counting(rapl, ArchEvent::Instructions)
+                },
+                Target::Thread(pid2),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, PerfError::CpuNotCovered);
+    }
+
+    #[test]
+    fn uncore_event_counts_llc_traffic() {
+        let mut k = raptor();
+        let _ = k.spawn(
+            "stream",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::stream(50_000_000, 8 << 30)),
+                Op::Exit,
+            ])),
+            CpuMask::from_cpus([0]),
+            0,
+        );
+        let unc = k.pmu_by_name("uncore_llc").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr {
+                    config: EventConfig::Uncore(UncoreConfig::LlcLookups),
+                    ..PerfAttr::counting(unc, ArchEvent::Instructions)
+                },
+                Target::Cpu(CpuId(0)),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(10_000_000_000);
+        assert!(k.read_event(fd).unwrap().value > 0);
+    }
+
+    #[test]
+    fn software_events_count_switches_and_migrations() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 400_000_000);
+        let sw = k.pmu_by_name("software").unwrap().id;
+        let open_sw = |k: &mut Kernel, cfg| {
+            let fd = k
+                .perf_event_open(
+                    PerfAttr {
+                        config: cfg,
+                        ..PerfAttr::counting(sw, ArchEvent::Instructions)
+                    },
+                    Target::Thread(pid),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            fd
+        };
+        let fd_clk = open_sw(&mut k, EventConfig::SwTaskClock);
+        let fd_ctx = open_sw(&mut k, EventConfig::SwContextSwitches);
+        let fd_mig = open_sw(&mut k, EventConfig::SwCpuMigrations);
+        // Run a while on cpu0, then force two migrations.
+        for _ in 0..20 {
+            k.tick();
+        }
+        k.set_affinity(pid, CpuMask::from_cpus([16])).unwrap();
+        for _ in 0..20 {
+            k.tick();
+        }
+        k.set_affinity(pid, CpuMask::from_cpus([2])).unwrap();
+        k.run_to_completion(60_000_000_000);
+        let clk = k.read_event(fd_clk).unwrap().value;
+        let ctx = k.read_event(fd_ctx).unwrap().value;
+        let mig = k.read_event(fd_mig).unwrap().value;
+        let st = k.task_stats(pid).unwrap();
+        assert!(clk > 0, "task clock advanced");
+        assert!((clk as i64 - st.runtime_ns as i64).abs() <= 1_000_000);
+        assert_eq!(mig, st.migrations, "perf and stats agree on migrations");
+        assert!(mig >= 2, "two forced migrations: {mig}");
+        assert!(ctx >= mig, "every migration implies a switch-in: {ctx} >= {mig}");
+    }
+
+    #[test]
+    fn userpage_rdpmc_protocol() {
+        // §V.5: rdpmc works only while the event holds a hardware counter.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([16]), 100_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let atom = k.pmu_by_name("cpu_atom").unwrap().id;
+        let fd_e = k
+            .perf_event_open(
+                PerfAttr::counting(atom, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        let fd_p = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd_e, false).unwrap();
+        k.ioctl_enable(fd_p, false).unwrap();
+        for _ in 0..5 {
+            k.tick();
+        }
+        // While running on the E core: the matching event is rdpmc-able…
+        let page_e = k.mmap_userpage(fd_e).unwrap();
+        assert!(page_e.index != 0, "{page_e:?}");
+        assert!(page_e.rdpmc().unwrap() > 0);
+        assert_eq!(page_e.lock_seq % 2, 0, "stable snapshot");
+        // …and the wrong-core-type event is not: fallback required.
+        let page_p = k.mmap_userpage(fd_p).unwrap();
+        assert_eq!(page_p.index, 0, "{page_p:?}");
+        assert_eq!(page_p.rdpmc(), None);
+        // After exit, nothing is on hardware.
+        k.run_to_completion(60_000_000_000);
+        let page_done = k.mmap_userpage(fd_e).unwrap();
+        assert_eq!(page_done.index, 0);
+        // RAPL events never expose rdpmc.
+        let rapl = k.pmu_by_name("power").unwrap().id;
+        let fd_r = k
+            .perf_event_open(
+                PerfAttr {
+                    config: EventConfig::Rapl(RaplConfig::EnergyPkg),
+                    ..PerfAttr::counting(rapl, ArchEvent::Instructions)
+                },
+                Target::Cpu(CpuId(0)),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd_r, false).unwrap();
+        k.tick();
+        assert_eq!(k.mmap_userpage(fd_r).unwrap().index, 0);
+    }
+
+    #[test]
+    fn imc_uncore_counts_dram_traffic() {
+        let mut k = raptor();
+        let _ = k.spawn(
+            "stream",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::stream(100_000_000, 8 << 30)),
+                Op::Exit,
+            ])),
+            CpuMask::from_cpus([0]),
+            0,
+        );
+        let imc = k.pmu_by_name("uncore_imc").unwrap().id;
+        let open = |k: &mut Kernel, cfg| {
+            let fd = k
+                .perf_event_open(
+                    PerfAttr {
+                        config: cfg,
+                        ..PerfAttr::counting(imc, ArchEvent::Instructions)
+                    },
+                    Target::Cpu(CpuId(0)),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            fd
+        };
+        let rd = open(&mut k, EventConfig::Uncore(UncoreConfig::ImcCasReads));
+        let wr = open(&mut k, EventConfig::Uncore(UncoreConfig::ImcCasWrites));
+        k.run_to_completion(60_000_000_000);
+        let r = k.read_event(rd).unwrap().value;
+        let w = k.read_event(wr).unwrap().value;
+        assert!(r > 0 && w > 0, "CAS traffic counted: rd={r} wr={w}");
+        assert!(r > w, "reads dominate the modeled split");
+        // A stream touching ~working-set bytes should move megabytes.
+        assert!((r + w) * 64 > 10 << 20, "total DRAM bytes {}", (r + w) * 64);
+    }
+
+    #[test]
+    fn sample_ring_caps_at_limit() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 8_000_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr {
+                    sample_period: 100_000, // 80 k samples > the 65536 cap
+                    ..PerfAttr::counting(core, ArchEvent::Instructions)
+                },
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(600_000_000_000);
+        let n = k.event_samples(fd).unwrap().len();
+        assert_eq!(n, crate::perf::SAMPLE_RING_CAP, "ring overwrites oldest");
+        // Count is unaffected by ring overflow.
+        assert_eq!(k.read_event(fd).unwrap().value, 8_000_000_000);
+    }
+
+    #[test]
+    fn reset_zeroes_counts_not_times() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 1_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(1_000_000_000);
+        let before = k.read_event(fd).unwrap();
+        assert!(before.value > 0);
+        k.ioctl_reset(fd, false).unwrap();
+        let after = k.read_event(fd).unwrap();
+        assert_eq!(after.value, 0);
+        assert_eq!(after.time_enabled, before.time_enabled);
+    }
+
+    #[test]
+    fn close_releases_group() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 1000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let leader = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        let member = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Cycles),
+                Target::Thread(pid),
+                Some(leader),
+            )
+            .unwrap();
+        k.close_event(leader).unwrap();
+        assert_eq!(k.read_event(leader).unwrap_err(), PerfError::BadFd);
+        assert_eq!(k.read_event(member).unwrap_err(), PerfError::BadFd);
+    }
+
+    #[test]
+    fn syscall_stats_accumulate() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 1000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        let _ = k.read_event(fd).unwrap();
+        let _ = k.rdpmc_read(fd).unwrap();
+        let s = k.syscall_stats();
+        assert_eq!(s.opens, 1);
+        assert_eq!(s.ioctls, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.rdpmc_reads, 1);
+        assert!(s.total_latency_ns >= LAT_OPEN_NS + LAT_IOCTL_NS + LAT_READ_NS);
+    }
+
+    #[test]
+    fn unpinned_task_on_hybrid_prefers_p_cores() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::first_n(24), 50_000_000);
+        k.run_to_completion(10_000_000_000);
+        let st = k.task_stats(pid).unwrap();
+        assert_eq!(st.instructions_by_type[0], 50_000_000, "{st:?}");
+    }
+
+    #[test]
+    fn orangepi_runs_tasks() {
+        let mut k = orangepi();
+        let pid = spawn_loop(&mut k, CpuMask::first_n(6), 10_000_000);
+        k.run_to_completion(10_000_000_000);
+        assert!(k.all_exited());
+        assert_eq!(k.task_stats(pid).unwrap().instructions, 10_000_000);
+    }
+}

@@ -1,0 +1,33 @@
+//! # simos — a simulated operating-system kernel over `simcpu`
+//!
+//! This crate reproduces the slice of Linux that the paper's PAPI work is
+//! written against:
+//!
+//! * [`task`] — processes/threads as streams of workload operations
+//!   (compute phases, barriers, instrumentation hooks), with affinity
+//!   masks (`taskset`), nice levels and per-task statistics.
+//! * [`sched`] — a CFS-like scheduler: weighted vruntime fairness,
+//!   per-tick preemption, idle-CPU placement with optional capacity
+//!   (hetero) awareness, and migration accounting.
+//! * [`perf`] — the `perf_event_open` analogue, faithful to the semantics
+//!   the paper leans on: one PMU per event, groups cannot span PMUs,
+//!   per-thread events count **only while the thread runs on a core whose
+//!   PMU type matches**, `time_enabled`/`time_running` diverge otherwise,
+//!   group multiplexing, counting vs sampling, and an `rdpmc` fast path.
+//! * [`sysfs`] — the `/sys` and `/proc/cpuinfo` surface used for core-type
+//!   detection (§IV.B of the paper), including its warts: `cpu_capacity`
+//!   only on ARM, identical family/model for Intel P/E cores, devicetree
+//!   vs ACPI PMU naming on ARM, and RAPL `powercap` energy counters.
+//! * [`kernel`] — the tick loop that binds scheduler, execution model and
+//!   PMU hardware together, plus the syscall surface and its latency
+//!   accounting (for the paper's §V.5 overhead questions).
+
+pub mod kernel;
+pub mod perf;
+pub mod sched;
+pub mod sysfs;
+pub mod task;
+
+pub use kernel::{Kernel, KernelConfig, KernelHandle, SyscallStats};
+pub use perf::{EventFd, PerfAttr, PerfError, PmuDesc, PmuKind, ReadValue, Target};
+pub use task::{HookId, Op, Pid, ProgCtx, Program, TaskStats};

@@ -1,0 +1,502 @@
+//! The `perf_event` subsystem analogue.
+//!
+//! This module reproduces the Linux kernel behaviours the paper's PAPI work
+//! has to cope with:
+//!
+//! * **One PMU per event.** Every event names a PMU `type` (the integer in
+//!   `/sys/devices/<pmu>/type`); hybrid machines export one core PMU per
+//!   core type (`cpu_core` / `cpu_atom` on Intel, one per cluster on ARM).
+//! * **Groups cannot span PMUs.** Adding an event to a group whose leader
+//!   belongs to a different PMU fails with `EINVAL` — the exact restriction
+//!   that forces PAPI to maintain *multiple* event groups per EventSet.
+//! * **Core-type filtered counting.** A per-thread event only counts while
+//!   the thread runs on a CPU covered by the event's PMU; elsewhere
+//!   `time_enabled` advances but `time_running` does not. Measuring
+//!   "instructions anywhere" on a hybrid machine therefore takes one event
+//!   per core type.
+//! * **Multiplexing.** When a context has more events than hardware
+//!   counters, groups rotate; readers scale by
+//!   `time_enabled / time_running`.
+//! * **Counting vs sampling**, and the `rdpmc` fast read path.
+//!
+//! The scheduling of event groups onto fixed/general counters is the pure
+//! function [`schedule_groups`], unit-tested in isolation; the kernel tick
+//! wires its output to the actual `simcpu` PMU hardware.
+
+use crate::task::Pid;
+use simcpu::events::ArchEvent;
+use simcpu::types::{CpuId, CpuMask, Nanos};
+use simcpu::uarch::{Microarch, UarchParams};
+
+/// File-descriptor-like handle returned by `perf_event_open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventFd(pub u32);
+
+/// What kind of PMU a [`PmuDesc`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PmuKind {
+    /// A CPU-core PMU (one per core type on hybrid machines).
+    CoreHw,
+    /// An uncore PMU (LLC boxes, memory controller).
+    Uncore,
+    /// The RAPL energy PMU.
+    Rapl,
+    /// Kernel software events.
+    Software,
+}
+
+/// A PMU as exported through sysfs.
+#[derive(Debug, Clone)]
+pub struct PmuDesc {
+    /// The `type` value passed in `perf_event_attr.type`.
+    pub id: u32,
+    /// Directory name under `/sys/devices/`.
+    pub name: String,
+    pub kind: PmuKind,
+    /// CPUs this PMU's events may count on (the sysfs `cpus` file).
+    pub cpus: CpuMask,
+    /// Microarchitecture, for core PMUs.
+    pub uarch: Option<Microarch>,
+}
+
+/// Events the RAPL PMU exposes (its `config` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaplConfig {
+    EnergyPkg,
+    EnergyCores,
+    EnergyRam,
+    EnergyPsys,
+}
+
+/// Events the uncore PMUs expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UncoreConfig {
+    /// LLC box: package-wide lookups.
+    LlcLookups,
+    /// LLC box: package-wide misses.
+    LlcMisses,
+    /// Memory controller: read CAS commands (64 B each).
+    ImcCasReads,
+    /// Memory controller: write CAS commands (64 B each).
+    ImcCasWrites,
+}
+
+/// The `config` field of an attr: which event, in the PMU's own vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventConfig {
+    Hw(ArchEvent),
+    Rapl(RaplConfig),
+    Uncore(UncoreConfig),
+    /// Software wall-clock (task clock, ns).
+    SwTaskClock,
+    /// Times the target was switched in (PERF_COUNT_SW_CONTEXT_SWITCHES).
+    SwContextSwitches,
+    /// Cross-CPU migrations of the target (PERF_COUNT_SW_CPU_MIGRATIONS).
+    SwCpuMigrations,
+}
+
+/// The subset of `perf_event_attr` the simulation honours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfAttr {
+    /// PMU type id (from `/sys/devices/<pmu>/type`).
+    pub pmu_type: u32,
+    pub config: EventConfig,
+    /// Start disabled (enable later via ioctl)?
+    pub disabled: bool,
+    /// Sampling period (0 = pure counting).
+    pub sample_period: u64,
+    /// Pinned groups are always scheduled, never multiplexed out.
+    pub pinned: bool,
+}
+
+impl PerfAttr {
+    /// Counting attr for a hardware event on the given PMU type.
+    pub fn counting(pmu_type: u32, ev: ArchEvent) -> PerfAttr {
+        PerfAttr {
+            pmu_type,
+            config: EventConfig::Hw(ev),
+            disabled: true,
+            sample_period: 0,
+            pinned: false,
+        }
+    }
+}
+
+/// What an event is attached to — mirrors the `(pid, cpu)` pair of
+/// `perf_event_open(2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `(pid, -1)`: follow the thread wherever it is scheduled.
+    Thread(Pid),
+    /// `(-1, cpu)`: count everything on one CPU (requires the PMU to cover
+    /// that CPU).
+    Cpu(CpuId),
+    /// `(pid, cpu)`: count the thread only while it runs on that CPU.
+    ThreadOnCpu(Pid, CpuId),
+}
+
+impl Target {
+    pub fn pid(&self) -> Option<Pid> {
+        match self {
+            Target::Thread(p) | Target::ThreadOnCpu(p, _) => Some(*p),
+            Target::Cpu(_) => None,
+        }
+    }
+
+    pub fn cpu(&self) -> Option<CpuId> {
+        match self {
+            Target::Cpu(c) | Target::ThreadOnCpu(_, c) => Some(*c),
+            Target::Thread(_) => None,
+        }
+    }
+}
+
+/// Errors from the perf syscall surface (errno-flavoured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// Unknown PMU type (ENODEV).
+    NoSuchPmu(u32),
+    /// The PMU cannot count this event (ENOENT) — e.g. top-down slots on
+    /// an E-core PMU.
+    EventNotSupported,
+    /// Group leader belongs to a different PMU (EINVAL) — the restriction
+    /// at the heart of the paper's §IV.E.
+    CrossPmuGroup,
+    /// Target CPU is not covered by the PMU (EINVAL).
+    CpuNotCovered,
+    /// Bad file descriptor (EBADF).
+    BadFd,
+    /// Target process does not exist (ESRCH).
+    NoSuchProcess,
+    /// Config value not valid for this PMU kind (EINVAL).
+    BadConfig,
+    /// Operation not valid in this state.
+    InvalidState(&'static str),
+}
+
+impl std::fmt::Display for PerfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfError::NoSuchPmu(t) => write!(f, "no PMU with type {t} (ENODEV)"),
+            PerfError::EventNotSupported => write!(f, "event not supported by PMU (ENOENT)"),
+            PerfError::CrossPmuGroup => {
+                write!(f, "cannot group events from different PMUs (EINVAL)")
+            }
+            PerfError::CpuNotCovered => write!(f, "cpu not covered by PMU (EINVAL)"),
+            PerfError::BadFd => write!(f, "bad perf event fd (EBADF)"),
+            PerfError::NoSuchProcess => write!(f, "no such process (ESRCH)"),
+            PerfError::BadConfig => write!(f, "bad config for PMU (EINVAL)"),
+            PerfError::InvalidState(s) => write!(f, "invalid state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+/// One recorded sample (sampling mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRec {
+    pub time_ns: Nanos,
+    pub cpu: CpuId,
+    pub pid: Option<Pid>,
+    /// Counter value at the time of the sample.
+    pub value: u64,
+}
+
+/// Maximum retained samples per event (older ones are dropped, like an
+/// overwritten ring buffer).
+pub const SAMPLE_RING_CAP: usize = 65_536;
+
+/// The mmap'd perf userpage a self-monitoring process reads for the
+/// `rdpmc` fast path (`struct perf_event_mmap_page` in Linux).
+///
+/// The protocol: read `lock_seq`, read the fields, re-read `lock_seq`; if
+/// it changed, retry. `index == 0` means the event is not currently on a
+/// hardware counter — multiplexed out, wrong core type, or target not
+/// running — and the reader must fall back to the `read()` syscall. This
+/// is exactly the §V.5 interaction the paper flags: on a hybrid machine,
+/// an EventSet's wrong-core-type halves are *never* rdpmc-readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserPage {
+    /// Seqlock generation (even = stable snapshot).
+    pub lock_seq: u32,
+    /// Hardware counter index + 1; 0 = rdpmc unavailable right now.
+    pub index: u32,
+    /// Software offset to add to the hardware counter value.
+    pub offset: u64,
+    /// Raw hardware counter bits to add when `index != 0`.
+    pub hw_value: u64,
+    pub time_enabled: Nanos,
+    pub time_running: Nanos,
+}
+
+impl UserPage {
+    /// Complete an rdpmc read: None when the fast path is unavailable.
+    pub fn rdpmc(&self) -> Option<u64> {
+        if self.index == 0 {
+            None
+        } else {
+            Some(self.offset.wrapping_add(self.hw_value))
+        }
+    }
+}
+
+/// What `read()` returns for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadValue {
+    pub fd: EventFd,
+    pub value: u64,
+    pub time_enabled: Nanos,
+    pub time_running: Nanos,
+}
+
+impl ReadValue {
+    /// Multiplex-scaled estimate: `value · enabled/running`.
+    pub fn scaled(&self) -> u64 {
+        if self.time_running == 0 {
+            0
+        } else if self.time_running >= self.time_enabled {
+            self.value
+        } else {
+            (self.value as f64 * self.time_enabled as f64 / self.time_running as f64) as u64
+        }
+    }
+}
+
+/// Kernel-internal state of one perf event.
+pub struct PerfEvent {
+    pub fd: EventFd,
+    pub attr: PerfAttr,
+    pub target: Target,
+    /// Leader of this event's group (== `fd` for leaders).
+    pub leader: EventFd,
+    /// Members of the group, leader first (maintained on the leader only).
+    pub group: Vec<EventFd>,
+    pub enabled: bool,
+    /// Accumulated count (64-bit software counter).
+    pub count: u64,
+    pub time_enabled: Nanos,
+    pub time_running: Nanos,
+    /// Sampling accumulator and ring.
+    pub sample_accum: u64,
+    pub samples: Vec<SampleRec>,
+}
+
+impl PerfEvent {
+    pub fn new(fd: EventFd, attr: PerfAttr, target: Target, leader: EventFd) -> PerfEvent {
+        PerfEvent {
+            fd,
+            attr,
+            target,
+            leader,
+            group: if leader == fd { vec![fd] } else { Vec::new() },
+            enabled: !attr.disabled,
+            count: 0,
+            time_enabled: 0,
+            time_running: 0,
+            sample_accum: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.leader == self.fd
+    }
+
+    /// Record a counting delta; emits samples when in sampling mode.
+    pub fn add_count(&mut self, delta: u64, time_ns: Nanos, cpu: CpuId) {
+        self.count = self.count.saturating_add(delta);
+        if self.attr.sample_period > 0 {
+            self.sample_accum += delta;
+            while self.sample_accum >= self.attr.sample_period {
+                self.sample_accum -= self.attr.sample_period;
+                if self.samples.len() >= SAMPLE_RING_CAP {
+                    self.samples.remove(0);
+                }
+                self.samples.push(SampleRec {
+                    time_ns,
+                    cpu,
+                    pid: self.target.pid(),
+                    value: self.count,
+                });
+            }
+        }
+    }
+
+    /// Snapshot for `read()`.
+    pub fn read_value(&self) -> ReadValue {
+        ReadValue {
+            fd: self.fd,
+            value: self.count,
+            time_enabled: self.time_enabled,
+            time_running: self.time_running,
+        }
+    }
+}
+
+/// A group's hardware needs, as seen by the counter scheduler.
+#[derive(Debug, Clone)]
+pub struct GroupReq {
+    pub leader: EventFd,
+    /// Architectural events of every member (hardware groups only).
+    pub events: Vec<ArchEvent>,
+    pub pinned: bool,
+}
+
+/// Decide which groups get counters this rotation.
+///
+/// Greedy in the order given (callers put pinned groups first and rotate
+/// the rest): a group is scheduled only if *all* its members fit, using
+/// each fixed counter at most once and general counters for the rest.
+/// Returns, per group, whether it was scheduled.
+pub fn schedule_groups(uarch: &UarchParams, groups: &[GroupReq]) -> Vec<bool> {
+    let mut fixed_used = vec![false; uarch.fixed_counters.len()];
+    let mut gp_free = uarch.n_gp_counters;
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        // Tentatively allocate.
+        let mut fixed_try = fixed_used.clone();
+        let mut gp_need = 0usize;
+        let mut ok = true;
+        for &ev in &g.events {
+            if !uarch.supports_event(ev) {
+                ok = false;
+                break;
+            }
+            let fixed_idx = uarch.fixed_counters.iter().position(|&f| f == ev);
+            match fixed_idx {
+                Some(i) if !fixed_try[i] => fixed_try[i] = true,
+                _ => gp_need += 1,
+            }
+        }
+        if ok && gp_need <= gp_free {
+            fixed_used = fixed_try;
+            gp_free -= gp_need;
+            out.push(true);
+        } else {
+            out.push(false);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::uarch::{GOLDEN_COVE, GRACEMONT};
+
+    fn grp(leader: u32, events: &[ArchEvent]) -> GroupReq {
+        GroupReq {
+            leader: EventFd(leader),
+            events: events.to_vec(),
+            pinned: false,
+        }
+    }
+
+    #[test]
+    fn read_value_scaling() {
+        let rv = ReadValue {
+            fd: EventFd(1),
+            value: 500,
+            time_enabled: 1000,
+            time_running: 500,
+        };
+        assert_eq!(rv.scaled(), 1000);
+        let full = ReadValue {
+            time_running: 1000,
+            ..rv
+        };
+        assert_eq!(full.scaled(), 500);
+        let never = ReadValue {
+            time_running: 0,
+            ..rv
+        };
+        assert_eq!(never.scaled(), 0);
+    }
+
+    #[test]
+    fn schedule_single_group_fits() {
+        let g = grp(1, &[ArchEvent::Instructions, ArchEvent::Cycles, ArchEvent::LlcMisses]);
+        assert_eq!(schedule_groups(&GOLDEN_COVE, &[g]), vec![true]);
+    }
+
+    #[test]
+    fn fixed_counters_free_up_gp() {
+        // Instructions+Cycles+RefCycles ride fixed counters on Intel, so a
+        // group of 3 fixed + 8 GP events fits GoldenCove exactly.
+        let mut evs = vec![
+            ArchEvent::Instructions,
+            ArchEvent::Cycles,
+            ArchEvent::RefCycles,
+        ];
+        evs.extend([
+            ArchEvent::BranchInstructions,
+            ArchEvent::BranchMisses,
+            ArchEvent::L1dAccesses,
+            ArchEvent::L1dMisses,
+            ArchEvent::L2Accesses,
+            ArchEvent::L2Misses,
+            ArchEvent::LlcAccesses,
+            ArchEvent::LlcMisses,
+        ]);
+        assert_eq!(schedule_groups(&GOLDEN_COVE, &[grp(1, &evs)]), vec![true]);
+        // One more GP event and it no longer fits.
+        let mut too_many = evs.clone();
+        too_many.push(ArchEvent::DtlbMisses);
+        assert_eq!(
+            schedule_groups(&GOLDEN_COVE, &[grp(1, &too_many)]),
+            vec![false]
+        );
+    }
+
+    #[test]
+    fn second_instructions_event_takes_gp() {
+        // Two separate groups both counting Instructions: first gets the
+        // fixed counter, second falls back to GP — both schedulable.
+        let g1 = grp(1, &[ArchEvent::Instructions]);
+        let g2 = grp(2, &[ArchEvent::Instructions]);
+        assert_eq!(schedule_groups(&GOLDEN_COVE, &[g1, g2]), vec![true, true]);
+    }
+
+    #[test]
+    fn overcommit_multiplexes_later_groups_out() {
+        // Gracemont has 6 GP counters; seven 1-GP-event groups → the last
+        // one misses out.
+        let groups: Vec<GroupReq> = (0..7)
+            .map(|i| grp(i, &[ArchEvent::BranchMisses]))
+            .collect();
+        let sched = schedule_groups(&GRACEMONT, &groups);
+        assert_eq!(sched.iter().filter(|&&b| b).count(), 6);
+        assert!(!sched[6]);
+    }
+
+    #[test]
+    fn unsupported_event_never_scheduled() {
+        let g = grp(1, &[ArchEvent::TopdownSlots]);
+        assert_eq!(schedule_groups(&GRACEMONT, &[g]), vec![false]);
+    }
+
+    #[test]
+    fn sampling_emits_records() {
+        let attr = PerfAttr {
+            sample_period: 100,
+            ..PerfAttr::counting(4, ArchEvent::Instructions)
+        };
+        let mut ev = PerfEvent::new(EventFd(1), attr, Target::Thread(Pid(1)), EventFd(1));
+        ev.add_count(250, 1000, CpuId(0));
+        assert_eq!(ev.samples.len(), 2);
+        ev.add_count(50, 2000, CpuId(0));
+        assert_eq!(ev.samples.len(), 3);
+        assert_eq!(ev.count, 300);
+    }
+
+    #[test]
+    fn target_accessors() {
+        assert_eq!(Target::Thread(Pid(3)).pid(), Some(Pid(3)));
+        assert_eq!(Target::Thread(Pid(3)).cpu(), None);
+        assert_eq!(Target::Cpu(CpuId(2)).cpu(), Some(CpuId(2)));
+        let t = Target::ThreadOnCpu(Pid(1), CpuId(5));
+        assert_eq!(t.pid(), Some(Pid(1)));
+        assert_eq!(t.cpu(), Some(CpuId(5)));
+    }
+}

@@ -1,0 +1,366 @@
+//! A CFS-like scheduler with optional heterogeneity (capacity) awareness.
+//!
+//! Fairness is weighted vruntime, as in Linux's CFS; placement prefers idle
+//! CPUs, idle *cores* before busy SMT siblings, and — when capacity
+//! awareness is on, as in post-ITMT/EAS kernels — higher-capacity cores
+//! first, which is why unpinned work lands on P-cores and spills to E-cores
+//! under contention (the behaviour behind the paper's §IV.F hybrid test
+//! split of ≈84 % P / ≈16 % E).
+//!
+//! The scheduler is a pure policy over the task table: [`Scheduler::assign`]
+//! rewrites the per-CPU assignment each tick. Preemption happens when a
+//! waiting task's vruntime lags the running one by more than the
+//! granularity, which round-robins equal-weight tasks at a few-ms cadence.
+
+use crate::task::{BlockReason, Pid, Task, TaskState};
+use simcpu::types::Nanos;
+
+/// Per-CPU topology facts the scheduler needs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedCpu {
+    /// Linux-style capacity (0–1024).
+    pub capacity: u32,
+    /// Index of the SMT sibling, if any.
+    pub sibling: Option<usize>,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Capacity-aware placement (ITMT/EAS-style): prefer big cores.
+    pub hetero_aware: bool,
+    /// Minimum vruntime lead (ns) before preempting a running task.
+    pub granularity_ns: u64,
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler {
+            hetero_aware: true,
+            granularity_ns: 3_000_000,
+        }
+    }
+}
+
+impl Scheduler {
+    /// Recompute the CPU→task assignment for one tick.
+    ///
+    /// * `topo` — per-CPU capacities and SMT siblings;
+    /// * `tasks` — the task table (`None` = free pid slot);
+    /// * `current` — per-CPU running pid, rewritten in place;
+    /// * `now_ns` — current time, used to wake sleepers.
+    pub fn assign(
+        &self,
+        topo: &[SchedCpu],
+        tasks: &mut [Option<Task>],
+        current: &mut [Option<Pid>],
+        now_ns: Nanos,
+    ) {
+        assert_eq!(topo.len(), current.len());
+
+        // 1. Wake sleepers whose deadline passed.
+        let mut min_vruntime = f64::INFINITY;
+        for t in tasks.iter().flatten() {
+            if t.is_runnable() {
+                min_vruntime = min_vruntime.min(t.vruntime);
+            }
+        }
+        if !min_vruntime.is_finite() {
+            min_vruntime = 0.0;
+        }
+        for t in tasks.iter_mut().flatten() {
+            if let TaskState::Blocked(BlockReason::SleepUntil(when)) = t.state {
+                if now_ns >= when {
+                    t.state = TaskState::Runnable;
+                    // CFS-style wakeup placement on the vruntime clock: do
+                    // not let a long sleeper starve everyone.
+                    t.vruntime = t.vruntime.max(min_vruntime - self.granularity_ns as f64);
+                }
+            }
+        }
+
+        // 2. Drop assignments whose task is gone/blocked/exited, or whose
+        //    affinity no longer allows its current CPU (sched_setaffinity
+        //    migrates a running task immediately).
+        for (ci, slot) in current.iter_mut().enumerate() {
+            if let Some(pid) = *slot {
+                let keep = tasks
+                    .get(pid.0 as usize)
+                    .and_then(|t| t.as_ref())
+                    .map(|t| {
+                        t.is_runnable() && t.affinity.contains(simcpu::types::CpuId(ci))
+                    })
+                    .unwrap_or(false);
+                if !keep {
+                    if let Some(t) = tasks.get_mut(pid.0 as usize).and_then(|t| t.as_mut()) {
+                        if t.is_runnable() {
+                            t.state = TaskState::Runnable;
+                        }
+                    }
+                    *slot = None;
+                }
+            }
+        }
+
+        // 3. Gather unplaced runnable tasks, lowest vruntime first.
+        let placed: Vec<Pid> = current.iter().flatten().copied().collect();
+        let mut waiting: Vec<(f64, Pid)> = tasks
+            .iter()
+            .flatten()
+            .filter(|t| t.is_runnable() && !placed.contains(&t.pid))
+            .map(|t| (t.vruntime, t.pid))
+            .collect();
+        waiting.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // 4. Place waiting tasks on free CPUs (best CPU per task).
+        let queue: Vec<(f64, Pid)> = waiting.clone();
+        for (_, pid) in queue {
+            let task = tasks[pid.0 as usize].as_ref().expect("task exists");
+            let affinity = task.affinity;
+            let last = task.last_cpu.map(|c| c.0);
+            let mut best: Option<(i64, usize)> = None;
+            for (ci, tc) in topo.iter().enumerate() {
+                if current[ci].is_some() || !affinity.contains(simcpu::types::CpuId(ci)) {
+                    continue;
+                }
+                // Score: capacity (if aware), idle-sibling bonus, warmth.
+                let sibling_busy = tc
+                    .sibling
+                    .map(|s| current[s].is_some())
+                    .unwrap_or(false);
+                let mut score: i64 = 0;
+                if self.hetero_aware {
+                    score += tc.capacity as i64 * 100;
+                }
+                if !sibling_busy {
+                    // A whole idle core beats sharing a busy one, even a
+                    // higher-capacity one (the capacity term spans ≤102k).
+                    score += 150_000;
+                }
+                if Some(ci) == last {
+                    score += 10_000; // cache warmth
+                }
+                if !self.hetero_aware {
+                    score -= ci as i64; // stable low-index preference
+                }
+                if best.map(|(s, _)| score > s).unwrap_or(true) {
+                    best = Some((score, ci));
+                }
+            }
+            if let Some((_, ci)) = best {
+                current[ci] = Some(pid);
+                waiting.retain(|&(_, p)| p != pid);
+            }
+        }
+
+        // 5. Preempt laggards for the still-waiting (one preemption per
+        //    waiting task per tick, highest-vruntime victim first).
+        for &(wv, pid) in waiting.iter() {
+            let affinity = tasks[pid.0 as usize].as_ref().unwrap().affinity;
+            let mut victim: Option<(f64, usize)> = None;
+            for (ci, _) in topo.iter().enumerate() {
+                if !affinity.contains(simcpu::types::CpuId(ci)) {
+                    continue;
+                }
+                if let Some(run_pid) = current[ci] {
+                    let rv = tasks[run_pid.0 as usize].as_ref().unwrap().vruntime;
+                    if rv > wv + self.granularity_ns as f64
+                        && victim.map(|(v, _)| rv > v).unwrap_or(true)
+                    {
+                        victim = Some((rv, ci));
+                    }
+                }
+            }
+            if let Some((_, ci)) = victim {
+                let old = current[ci].take().unwrap();
+                if let Some(t) = tasks[old.0 as usize].as_mut() {
+                    t.state = TaskState::Runnable;
+                }
+                current[ci] = Some(pid);
+            }
+        }
+
+        // 6. Mark states.
+        for (ci, slot) in current.iter().enumerate() {
+            if let Some(pid) = *slot {
+                if let Some(t) = tasks[pid.0 as usize].as_mut() {
+                    t.state = TaskState::Running(simcpu::types::CpuId(ci));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ScriptedProgram;
+    use simcpu::types::{CpuId, CpuMask};
+
+    fn topo_hybrid() -> Vec<SchedCpu> {
+        // 2 P cpus (SMT pair) + 2 E cpus.
+        vec![
+            SchedCpu {
+                capacity: 1024,
+                sibling: Some(1),
+            },
+            SchedCpu {
+                capacity: 1024,
+                sibling: Some(0),
+            },
+            SchedCpu {
+                capacity: 446,
+                sibling: None,
+            },
+            SchedCpu {
+                capacity: 446,
+                sibling: None,
+            },
+        ]
+    }
+
+    fn mk_task(pid: u32, affinity: CpuMask) -> Option<Task> {
+        Some(Task::new(
+            Pid(pid),
+            format!("t{pid}"),
+            Box::new(ScriptedProgram::new([])),
+            affinity,
+            0,
+        ))
+    }
+
+    fn table(n: u32, affinity: CpuMask) -> Vec<Option<Task>> {
+        (0..n).map(|i| mk_task(i, affinity)).collect()
+    }
+
+    #[test]
+    fn aware_placement_prefers_big_cores() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        Scheduler::default().assign(&topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)), "lone task should land on a P cpu");
+    }
+
+    #[test]
+    fn unaware_placement_uses_low_index() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let s = Scheduler {
+            hetero_aware: false,
+            ..Default::default()
+        };
+        s.assign(&topo, &mut tasks, &mut cur, 0);
+        // Index 0 has an idle sibling like index 2/3; ties break low-index.
+        assert_eq!(cur[0], Some(Pid(0)));
+    }
+
+    #[test]
+    fn spreads_to_whole_cores_before_smt() {
+        let topo = topo_hybrid();
+        let mut tasks = table(2, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        Scheduler::default().assign(&topo, &mut tasks, &mut cur, 0);
+        // Second task should take an E cpu (whole core) rather than the
+        // P sibling (cpu1).
+        assert!(cur[1].is_none(), "SMT sibling should stay idle: {cur:?}");
+        assert!(cur[2].is_some() || cur[3].is_some());
+    }
+
+    #[test]
+    fn respects_affinity() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::from_cpus([3]));
+        let mut cur = vec![None; 4];
+        Scheduler::default().assign(&topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[3], Some(Pid(0)));
+        assert!(cur[0].is_none());
+    }
+
+    #[test]
+    fn preempts_laggard_for_low_vruntime_waiter() {
+        let topo = vec![SchedCpu {
+            capacity: 1024,
+            sibling: None,
+        }];
+        let mut tasks = table(2, CpuMask::first_n(1));
+        // Task 0 running with big vruntime; task 1 fresh.
+        tasks[0].as_mut().unwrap().vruntime = 50_000_000.0;
+        let mut cur = vec![Some(Pid(0))];
+        tasks[0].as_mut().unwrap().state = TaskState::Running(CpuId(0));
+        Scheduler::default().assign(&topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(1)), "laggard should be preempted");
+        assert_eq!(tasks[0].as_ref().unwrap().state, TaskState::Runnable);
+    }
+
+    #[test]
+    fn no_preemption_within_granularity() {
+        let topo = vec![SchedCpu {
+            capacity: 1024,
+            sibling: None,
+        }];
+        let mut tasks = table(2, CpuMask::first_n(1));
+        tasks[0].as_mut().unwrap().vruntime = 1_000_000.0; // < 3 ms lead
+        let mut cur = vec![Some(Pid(0))];
+        tasks[0].as_mut().unwrap().state = TaskState::Running(CpuId(0));
+        Scheduler::default().assign(&topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)));
+    }
+
+    #[test]
+    fn wakes_sleepers() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        tasks[0].as_mut().unwrap().state =
+            TaskState::Blocked(BlockReason::SleepUntil(5_000));
+        let mut cur = vec![None; 4];
+        let s = Scheduler::default();
+        s.assign(&topo, &mut tasks, &mut cur, 1_000);
+        assert!(cur.iter().all(|c| c.is_none()), "still asleep");
+        s.assign(&topo, &mut tasks, &mut cur, 5_000);
+        assert!(cur.iter().any(|c| c.is_some()), "woken and placed");
+    }
+
+    #[test]
+    fn blocked_task_is_unscheduled() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let s = Scheduler::default();
+        s.assign(&topo, &mut tasks, &mut cur, 0);
+        assert!(cur[0].is_some());
+        tasks[0].as_mut().unwrap().state = TaskState::Blocked(BlockReason::Barrier(7));
+        s.assign(&topo, &mut tasks, &mut cur, 1_000_000);
+        assert!(cur.iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn affinity_change_migrates_running_task() {
+        // Regression: sched_setaffinity must move a *running* task off a
+        // CPU its new mask excludes, immediately at the next tick.
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let s = Scheduler::default();
+        s.assign(&topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)));
+        tasks[0].as_mut().unwrap().affinity = CpuMask::from_cpus([3]);
+        s.assign(&topo, &mut tasks, &mut cur, 1_000_000);
+        assert_eq!(cur[0], None, "old slot vacated");
+        assert_eq!(cur[3], Some(Pid(0)), "moved to the allowed CPU");
+    }
+
+    #[test]
+    fn sticky_placement_keeps_running_task() {
+        let topo = topo_hybrid();
+        let mut tasks = table(2, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let s = Scheduler::default();
+        s.assign(&topo, &mut tasks, &mut cur, 0);
+        let snapshot = cur.clone();
+        // Nothing changed: assignment stays identical.
+        s.assign(&topo, &mut tasks, &mut cur, 1_000_000);
+        assert_eq!(cur, snapshot);
+    }
+}

@@ -1,0 +1,394 @@
+//! Virtual `/sys` + `/proc` surface for core-type detection.
+//!
+//! §IV.B of the paper catalogues the (absence of a) standard way to learn
+//! what core types a Linux machine has. This module reproduces every probe
+//! the paper lists, *with its platform quirks*:
+//!
+//! * `/sys/devices/system/cpu/cpuN/cpu_capacity` — an opaque 0–1024 value,
+//!   **present only on ARM**;
+//! * `/proc/cpuinfo` — ARM rows carry distinct `CPU part` (MIDR) values
+//!   per core type, while Intel hybrid parts report **identical**
+//!   family/model/stepping for P and E cores;
+//! * `cpuid` leaf 0x1A — Intel-only (emulated on the Kernel, not here);
+//! * `/sys/devices/<pmu>/{type,cpus}` — the perf-tool detection route,
+//!   complicated on ARM by devicetree-vs-ACPI naming;
+//! * `/sys/devices/system/cpu/cpuN/cpufreq/cpuinfo_max_freq` and
+//!   `…/cache/index*/size` — the last-resort heuristics;
+//! * `/sys/class/thermal/…` and `/sys/class/powercap/intel-rapl*` — the
+//!   telemetry sources the paper's `mon_hpl.py` polls.
+//!
+//! Reads return live values (current frequency, temperature, energy), so a
+//! poller reading this tree behaves like the paper's Python scripts.
+
+use crate::kernel::Kernel;
+use simcpu::power::RaplDomain;
+use simcpu::types::CpuId;
+use simcpu::uarch::Vendor;
+
+/// Error for unknown paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysfsError(pub String);
+
+impl std::fmt::Display for SysfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no such file or directory: {}", self.0)
+    }
+}
+
+impl std::error::Error for SysfsError {}
+
+fn enoent(p: &str) -> SysfsError {
+    SysfsError(p.to_string())
+}
+
+/// Read a virtual sysfs/procfs file.
+pub fn read(k: &Kernel, path: &str) -> Result<String, SysfsError> {
+    let m = k.machine();
+    let n = m.n_cpus();
+
+    if path == "/proc/cpuinfo" {
+        return Ok(proc_cpuinfo(k));
+    }
+    if path == "/sys/devices/system/cpu/possible" || path == "/sys/devices/system/cpu/online" {
+        return Ok(format!("0-{}", n - 1));
+    }
+
+    // /sys/devices/system/cpu/cpuN/...
+    if let Some(rest) = path.strip_prefix("/sys/devices/system/cpu/cpu") {
+        let (idx, file) = rest.split_once('/').ok_or_else(|| enoent(path))?;
+        let cpu: usize = idx.parse().map_err(|_| enoent(path))?;
+        if cpu >= n {
+            return Err(enoent(path));
+        }
+        let info = m.cpu_info(CpuId(cpu));
+        let ua = info.uarch.params();
+        let cl = m.cluster_spec(info.cluster);
+        return match file {
+            // cpu_capacity exists only on ARM — the paper's first probe.
+            "cpu_capacity" => {
+                if m.spec().vendor == Vendor::Arm {
+                    Ok(ua.capacity.to_string())
+                } else {
+                    Err(enoent(path))
+                }
+            }
+            "cpufreq/cpuinfo_max_freq" => Ok(cl.f_max_khz.to_string()),
+            "cpufreq/cpuinfo_min_freq" => Ok(cl.f_min_khz.to_string()),
+            "cpufreq/scaling_cur_freq" => Ok(m.freq_khz(CpuId(cpu)).to_string()),
+            "topology/core_id" => Ok(info.core.0.to_string()),
+            "topology/physical_package_id" => Ok("0".to_string()),
+            "topology/cluster_id" => Ok(info.cluster.0.to_string()),
+            "cache/index0/size" => Ok(format!("{}K", ua.l1d_bytes / 1024)),
+            "cache/index2/size" => Ok(format!("{}K", ua.l2_bytes / 1024)),
+            "cache/index3/size" => {
+                if m.llc_bytes() > 0 {
+                    Ok(format!("{}K", m.llc_bytes() / 1024))
+                } else {
+                    Err(enoent(path))
+                }
+            }
+            "regs/identification/midr_el1" => {
+                if m.spec().vendor == Vendor::Arm {
+                    // MIDR: implementer=0x41(ARM) | part | revision.
+                    let midr: u64 = (0x41 << 24) | ((ua.midr_part as u64) << 4);
+                    Ok(format!("{midr:#018x}"))
+                } else {
+                    Err(enoent(path))
+                }
+            }
+            _ => Err(enoent(path)),
+        };
+    }
+
+    // /sys/devices/<pmu>/{type,cpus}
+    if let Some(rest) = path.strip_prefix("/sys/devices/") {
+        if let Some((name, file)) = rest.split_once('/') {
+            if let Some(pmu) = k.pmu_by_name(name) {
+                return match file {
+                    "type" => Ok(pmu.id.to_string()),
+                    "cpus" | "cpumask" => Ok(pmu.cpus.to_cpulist()),
+                    _ => Err(enoent(path)),
+                };
+            }
+        }
+        return Err(enoent(path));
+    }
+
+    // Thermal zones: zone0 is the package/SoC sensor.
+    if let Some(rest) = path.strip_prefix("/sys/class/thermal/thermal_zone0/") {
+        return match rest {
+            "type" => Ok(match m.spec().vendor {
+                Vendor::Intel => "x86_pkg_temp".to_string(),
+                Vendor::Arm => "soc-thermal".to_string(),
+            }),
+            "temp" => Ok(m.thermal().temp_mc().to_string()),
+            _ => Err(enoent(path)),
+        };
+    }
+
+    // RAPL powercap tree (Intel machines with RAPL only).
+    if let Some(rest) = path.strip_prefix("/sys/class/powercap/") {
+        if !m.rapl().available() {
+            return Err(enoent(path));
+        }
+        let (zone, file) = rest.split_once('/').ok_or_else(|| enoent(path))?;
+        let dom = match zone {
+            "intel-rapl:0" => RaplDomain::Package,
+            "intel-rapl:0:0" => RaplDomain::Cores,
+            "intel-rapl:0:1" => RaplDomain::Dram,
+            "intel-rapl:1" => RaplDomain::Psys,
+            _ => return Err(enoent(path)),
+        };
+        return match file {
+            "name" => Ok(dom.name().to_string()),
+            "energy_uj" => Ok(m.energy_uj(dom).to_string()),
+            "max_energy_range_uj" => Ok((simcpu::power::ENERGY_WRAP_UJ - 1).to_string()),
+            "constraint_0_power_limit_uw" => Ok(m
+                .rapl()
+                .spec()
+                .map(|s| ((s.pl1_w * 1e6) as u64).to_string())
+                .unwrap_or_default()),
+            "constraint_1_power_limit_uw" => Ok(m
+                .rapl()
+                .spec()
+                .map(|s| ((s.pl2_w * 1e6) as u64).to_string())
+                .unwrap_or_default()),
+            _ => Err(enoent(path)),
+        };
+    }
+
+    Err(enoent(path))
+}
+
+/// List a virtual directory (used by PMU scans of `/sys/devices/`).
+pub fn list(k: &Kernel, dir: &str) -> Result<Vec<String>, SysfsError> {
+    match dir.trim_end_matches('/') {
+        "/sys/devices" => {
+            let mut v: Vec<String> = k.pmus().iter().map(|p| p.name.clone()).collect();
+            v.push("system".to_string());
+            Ok(v)
+        }
+        "/sys/devices/system/cpu" => {
+            let mut v: Vec<String> = (0..k.machine().n_cpus()).map(|i| format!("cpu{i}")).collect();
+            v.push("possible".into());
+            v.push("online".into());
+            Ok(v)
+        }
+        "/sys/class/powercap" => {
+            if k.machine().rapl().available() {
+                Ok(vec![
+                    "intel-rapl:0".into(),
+                    "intel-rapl:0:0".into(),
+                    "intel-rapl:0:1".into(),
+                ])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        "/sys/class/thermal" => Ok(vec!["thermal_zone0".into()]),
+        _ => Err(enoent(dir)),
+    }
+}
+
+/// Generate `/proc/cpuinfo`.
+fn proc_cpuinfo(k: &Kernel) -> String {
+    let m = k.machine();
+    let mut out = String::new();
+    for info in m.cpus() {
+        let ua = info.uarch.params();
+        match m.spec().vendor {
+            Vendor::Intel => {
+                let (fam, model) = ua.x86_family_model;
+                out.push_str(&format!(
+                    "processor\t: {}\nvendor_id\t: GenuineIntel\ncpu family\t: {}\nmodel\t\t: {}\nmodel name\t: {}\nstepping\t: 1\ncpu MHz\t\t: {:.3}\n\n",
+                    info.cpu.0,
+                    fam,
+                    model,
+                    m.spec().model_string,
+                    m.freq_khz(info.cpu) as f64 / 1000.0,
+                ));
+            }
+            Vendor::Arm => {
+                out.push_str(&format!(
+                    "processor\t: {}\nBogoMIPS\t: 48.00\nCPU implementer\t: 0x41\nCPU architecture: 8\nCPU variant\t: 0x0\nCPU part\t: {:#05x}\nCPU revision\t: 2\n\n",
+                    info.cpu.0, ua.midr_part,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Firmware, KernelConfig};
+    use simcpu::machine::MachineSpec;
+
+    fn raptor() -> Kernel {
+        Kernel::boot(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default())
+    }
+
+    fn orangepi() -> Kernel {
+        Kernel::boot(MachineSpec::orangepi_800(), KernelConfig::default())
+    }
+
+    #[test]
+    fn cpu_capacity_is_arm_only() {
+        let a = orangepi();
+        assert_eq!(
+            read(&a, "/sys/devices/system/cpu/cpu0/cpu_capacity").unwrap(),
+            "1024"
+        );
+        assert_eq!(
+            read(&a, "/sys/devices/system/cpu/cpu2/cpu_capacity").unwrap(),
+            "446"
+        );
+        let i = raptor();
+        assert!(read(&i, "/sys/devices/system/cpu/cpu0/cpu_capacity").is_err());
+    }
+
+    #[test]
+    fn pmu_type_files_expose_ids() {
+        let k = raptor();
+        let core_t = read(&k, "/sys/devices/cpu_core/type").unwrap();
+        let atom_t = read(&k, "/sys/devices/cpu_atom/type").unwrap();
+        assert_ne!(core_t, atom_t);
+        assert_eq!(
+            read(&k, "/sys/devices/cpu_core/cpus").unwrap(),
+            "0-15"
+        );
+        assert_eq!(
+            read(&k, "/sys/devices/cpu_atom/cpus").unwrap(),
+            "16-23"
+        );
+    }
+
+    #[test]
+    fn devices_listing_contains_pmus() {
+        let k = raptor();
+        let names = list(&k, "/sys/devices").unwrap();
+        assert!(names.contains(&"cpu_core".to_string()));
+        assert!(names.contains(&"cpu_atom".to_string()));
+        assert!(names.contains(&"power".to_string()));
+    }
+
+    #[test]
+    fn intel_cpuinfo_cannot_distinguish_core_types() {
+        // The paper: family/model/stepping are identical for P and E.
+        let k = raptor();
+        let text = read(&k, "/proc/cpuinfo").unwrap();
+        let blocks: Vec<&str> = text.split("\n\n").filter(|b| !b.is_empty()).collect();
+        assert_eq!(blocks.len(), 24);
+        let sig = |b: &str| -> String {
+            b.lines()
+                .filter(|l| l.starts_with("cpu family") || l.starts_with("model\t"))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let first = sig(blocks[0]);
+        assert!(blocks.iter().all(|b| sig(b) == first));
+    }
+
+    #[test]
+    fn arm_cpuinfo_distinguishes_by_part() {
+        let k = orangepi();
+        let text = read(&k, "/proc/cpuinfo").unwrap();
+        assert!(text.contains("0xd08"), "A72 part");
+        assert!(text.contains("0xd03"), "A53 part");
+    }
+
+    #[test]
+    fn max_freq_heuristic_works_on_both() {
+        let i = raptor();
+        let p: u64 = read(&i, "/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let e: u64 = read(&i, "/sys/devices/system/cpu/cpu16/cpufreq/cpuinfo_max_freq")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(p > e);
+    }
+
+    #[test]
+    fn thermal_zone_live_reads() {
+        let k = raptor();
+        assert_eq!(
+            read(&k, "/sys/class/thermal/thermal_zone0/type").unwrap(),
+            "x86_pkg_temp"
+        );
+        let t: i64 = read(&k, "/sys/class/thermal/thermal_zone0/temp")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((20_000..40_000).contains(&t), "boot temp {t} m°C");
+    }
+
+    #[test]
+    fn rapl_powercap_present_only_with_rapl() {
+        let i = raptor();
+        assert_eq!(
+            read(&i, "/sys/class/powercap/intel-rapl:0/name").unwrap(),
+            "package-0"
+        );
+        let _e: u64 = read(&i, "/sys/class/powercap/intel-rapl:0/energy_uj")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(
+            read(&i, "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw").unwrap(),
+            "65000000"
+        );
+        let a = orangepi();
+        assert!(read(&a, "/sys/class/powercap/intel-rapl:0/energy_uj").is_err());
+        assert!(list(&a, "/sys/class/powercap").unwrap().is_empty());
+    }
+
+    #[test]
+    fn midr_register_on_arm() {
+        let a = orangepi();
+        let midr = read(&a, "/sys/devices/system/cpu/cpu0/regs/identification/midr_el1").unwrap();
+        assert!(midr.contains("d08"), "{midr}");
+        let i = raptor();
+        assert!(read(&i, "/sys/devices/system/cpu/cpu0/regs/identification/midr_el1").is_err());
+    }
+
+    #[test]
+    fn acpi_naming_changes_pmu_dirs() {
+        let acpi = Kernel::boot(
+            MachineSpec::orangepi_800(),
+            KernelConfig {
+                firmware: Firmware::Acpi,
+                ..Default::default()
+            },
+        );
+        assert!(read(&acpi, "/sys/devices/armv8_pmuv3_0/type").is_ok());
+        assert!(read(&acpi, "/sys/devices/armv8_cortex_a72/type").is_err());
+    }
+
+    #[test]
+    fn unknown_paths_enoent() {
+        let k = raptor();
+        assert!(read(&k, "/sys/nonsense").is_err());
+        assert!(read(&k, "/sys/devices/system/cpu/cpu99/cpu_capacity").is_err());
+        assert!(list(&k, "/sys/nonsense").is_err());
+    }
+
+    #[test]
+    fn cache_sizes_reported() {
+        let k = raptor();
+        assert_eq!(
+            read(&k, "/sys/devices/system/cpu/cpu0/cache/index0/size").unwrap(),
+            "48K"
+        );
+        assert_eq!(
+            read(&k, "/sys/devices/system/cpu/cpu16/cache/index2/size").unwrap(),
+            "4096K"
+        );
+        // The OrangePi has no index3 (no L3).
+        let a = orangepi();
+        assert!(read(&a, "/sys/devices/system/cpu/cpu0/cache/index3/size").is_err());
+    }
+}

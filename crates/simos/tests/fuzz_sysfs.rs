@@ -1,0 +1,67 @@
+//! Property tests: the virtual sysfs never panics, and live values parse.
+
+use proptest::prelude::*;
+use simcpu::machine::MachineSpec;
+use simos::kernel::{Kernel, KernelConfig};
+use simos::sysfs;
+
+fn machines() -> Vec<Kernel> {
+    vec![
+        Kernel::boot(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default()),
+        Kernel::boot(MachineSpec::orangepi_800(), KernelConfig::default()),
+        Kernel::boot(MachineSpec::skylake_quad(), KernelConfig::default()),
+        Kernel::boot(MachineSpec::dynamiq_tri(), KernelConfig::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary paths never panic (only clean ENOENT errors).
+    #[test]
+    fn read_never_panics(path in ".{0,80}") {
+        for k in machines() {
+            let _ = sysfs::read(&k, &path);
+            let _ = sysfs::list(&k, &path);
+        }
+    }
+
+    /// Per-CPU numeric files parse for every in-range CPU, and fail for
+    /// every out-of-range index.
+    #[test]
+    fn per_cpu_files_consistent(extra in 0usize..1000) {
+        for k in machines() {
+            let n = k.machine().n_cpus();
+            for cpu in 0..n {
+                for file in ["cpufreq/cpuinfo_max_freq", "cpufreq/scaling_cur_freq",
+                             "topology/core_id"] {
+                    let path = format!("/sys/devices/system/cpu/cpu{cpu}/{file}");
+                    let text = sysfs::read(&k, &path).unwrap();
+                    prop_assert!(text.parse::<u64>().is_ok(), "{path} -> {text}");
+                }
+            }
+            let bad = format!(
+                "/sys/devices/system/cpu/cpu{}/cpufreq/cpuinfo_max_freq",
+                n + extra
+            );
+            prop_assert!(sysfs::read(&k, &bad).is_err());
+        }
+    }
+}
+
+/// Every PMU the kernel registers is reachable through the sysfs scan
+/// (the invariant libpfm4 detection relies on).
+#[test]
+fn all_pmus_scannable() {
+    for k in machines() {
+        let dirs = sysfs::list(&k, "/sys/devices").unwrap();
+        for pmu in k.pmus() {
+            assert!(dirs.contains(&pmu.name), "{} missing from scan", pmu.name);
+            let t: u32 = sysfs::read(&k, &format!("/sys/devices/{}/type", pmu.name))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(t, pmu.id);
+        }
+    }
+}

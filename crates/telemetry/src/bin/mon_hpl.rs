@@ -1,0 +1,160 @@
+//! `mon_hpl` — the paper's data-acquisition script (artifact A2, task T1),
+//! with the same command-line surface:
+//!
+//! ```text
+//! mon_hpl --n_runs 10 --cores 0,2,4,6,8,10,12,14,16-23 \
+//!         --settled_temps thermal_zone0:35000 \
+//!         [--variant openblas|intel] [--machine raptor|orangepi] \
+//!         [--n 57024] [--nb 192] [--out results/raw]
+//! ```
+//!
+//! Produces one CSV per run under `--out` (freq/temp/energy/meter at 1 Hz)
+//! plus a `summary.csv`; feed the directory to `process_runs` (task T2).
+
+use simcpu::machine::MachineSpec;
+use simcpu::types::CpuMask;
+use simos::kernel::{Kernel, KernelConfig};
+use telemetry::{monitored_hpl_run, write_csv, DriverConfig};
+use workloads::hpl::{HplConfig, HplVariant};
+
+struct Args {
+    n_runs: u32,
+    cores: String,
+    settle_mc: i64,
+    variant: HplVariant,
+    machine: String,
+    n: u64,
+    nb: u64,
+    out: String,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        n_runs: 10,
+        cores: "0,2,4,6,8,10,12,14,16-23".into(),
+        settle_mc: 35_000,
+        variant: HplVariant::OpenBlas,
+        machine: "raptor".into(),
+        n: 57024,
+        nb: 192,
+        out: "results/raw".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let mut val = || {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_default()
+        };
+        match key {
+            "--n_runs" => a.n_runs = val().parse().unwrap_or(10),
+            "--cores" => a.cores = val(),
+            "--settled_temps" => {
+                // "thermal_zone9:35000" — we model one package zone.
+                let v = val();
+                a.settle_mc = v
+                    .rsplit(':')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(35_000);
+            }
+            "--variant" => {
+                a.variant = match val().as_str() {
+                    "intel" | "mkl" => HplVariant::IntelMkl,
+                    _ => HplVariant::OpenBlas,
+                }
+            }
+            "--machine" => a.machine = val(),
+            "--n" => a.n = val().parse().unwrap_or(57024),
+            "--nb" => a.nb = val().parse().unwrap_or(192),
+            "--out" => a.out = val(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse();
+    let spec = match args.machine.as_str() {
+        "raptor" => MachineSpec::raptor_lake_i7_13700(),
+        "orangepi" => MachineSpec::orangepi_800(),
+        other => {
+            eprintln!("unknown machine '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let cfg = HplConfig {
+        n: args.n,
+        nb: args.nb,
+        p: 1,
+        q: 1,
+    };
+    let cpus = CpuMask::parse_cpulist(&args.cores).unwrap_or_else(|e| {
+        eprintln!("bad --cores: {e}");
+        std::process::exit(2);
+    });
+    let driver = DriverConfig {
+        n_runs: args.n_runs,
+        settle_temp_c: args.settle_mc as f64 / 1000.0,
+        ..Default::default()
+    };
+    println!(
+        "mon_hpl: {} on {} (N={}, NB={}), cores {}, {} runs, settle at {} m°C",
+        args.variant.name(),
+        args.machine,
+        cfg.n,
+        cfg.nb,
+        args.cores,
+        args.n_runs,
+        args.settle_mc
+    );
+
+    let kernel = Kernel::boot_handle(
+        spec,
+        KernelConfig {
+            tick_ns: 200_000,
+            ..Default::default()
+        },
+    );
+    let mut summary = Vec::new();
+    for run_idx in 0..args.n_runs {
+        let r = monitored_hpl_run(&kernel, &cfg, args.variant, cpus, &driver, run_idx);
+        let gf = r.gflops.unwrap_or(0.0);
+        println!("run {run_idx}: {:.2} Gflops, {:.1} s wall", gf, r.wall_s);
+        // Raw per-run CSV: t, per-cpu freq…, temp, energy, meter.
+        let n_cpus = r.trace.samples.first().map(|s| s.freq_khz.len()).unwrap_or(0);
+        let mut headers: Vec<String> = vec!["t_s".into()];
+        headers.extend((0..n_cpus).map(|i| format!("cpu{i}_khz")));
+        headers.extend(["temp_mc".into(), "energy_pkg_uj".into(), "meter_w".into()]);
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<f64>> = r
+            .trace
+            .samples
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.t_s];
+                row.extend(s.freq_khz.iter().map(|&f| f as f64));
+                row.push(s.temp_mc as f64);
+                row.push(s.rapl_uj.map(|(p, _, _)| p as f64).unwrap_or(f64::NAN));
+                row.push(s.meter_w);
+                row
+            })
+            .collect();
+        write_csv(format!("{}/run{run_idx}.csv", args.out), &header_refs, &rows)
+            .expect("write run csv");
+        summary.push(vec![run_idx as f64, gf, r.wall_s]);
+    }
+    write_csv(
+        format!("{}/summary.csv", args.out),
+        &["run", "gflops", "wall_s"],
+        &summary,
+    )
+    .expect("write summary");
+    println!("raw data written to {}/", args.out);
+}

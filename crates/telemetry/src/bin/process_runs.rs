@@ -1,0 +1,110 @@
+//! `process_runs` — artifact A2's task T2: read the raw per-run CSVs that
+//! `mon_hpl` produced and emit the processed (averaged) data set.
+//!
+//! ```text
+//! process_runs results/raw [results/processed.csv]
+//! ```
+//!
+//! Averages across runs sample-by-sample (truncating to the shortest run),
+//! converts the RAPL energy column to power (wrap-aware), and prints the
+//! summary statistics the paper reports (mean Gflops, median frequencies).
+
+use simcpu::power::energy_delta_uj;
+use telemetry::write_csv;
+
+fn read_csv(path: &std::path::Path) -> Option<(Vec<String>, Vec<Vec<f64>>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines.next()?.split(',').map(|s| s.to_string()).collect();
+    let rows = lines
+        .map(|l| {
+            l.split(',')
+                .map(|v| v.parse::<f64>().unwrap_or(f64::NAN))
+                .collect::<Vec<f64>>()
+        })
+        .filter(|r| r.len() == headers.len())
+        .collect();
+    Some((headers, rows))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| "results/raw".into());
+    let out = args.next().unwrap_or_else(|| "results/processed.csv".into());
+
+    // Load run CSVs.
+    let mut runs = Vec::new();
+    let mut headers: Vec<String> = Vec::new();
+    let mut idx = 0;
+    loop {
+        let path = std::path::PathBuf::from(&dir).join(format!("run{idx}.csv"));
+        let Some((h, rows)) = read_csv(&path) else {
+            break;
+        };
+        if headers.is_empty() {
+            headers = h;
+        }
+        runs.push(rows);
+        idx += 1;
+    }
+    if runs.is_empty() {
+        eprintln!("no run*.csv files found under {dir}");
+        std::process::exit(1);
+    }
+    println!("process_runs: {} runs from {dir}", runs.len());
+
+    // Average sample-by-sample across runs (truncate to shortest).
+    let min_len = runs.iter().map(|r| r.len()).min().unwrap();
+    let width = headers.len();
+    let mut avg: Vec<Vec<f64>> = Vec::with_capacity(min_len);
+    for si in 0..min_len {
+        let mut row = vec![0.0; width];
+        for run in &runs {
+            for (c, v) in row.iter_mut().zip(&run[si]) {
+                *c += v / runs.len() as f64;
+            }
+        }
+        avg.push(row);
+    }
+
+    // Derive package power from the (first run's) energy column, wrap-aware.
+    let e_col = headers.iter().position(|h| h == "energy_pkg_uj");
+    let mut out_headers: Vec<String> = headers.clone();
+    if let Some(ec) = e_col {
+        out_headers.push("pkg_w".into());
+        let first = &runs[0];
+        for si in 0..min_len {
+            let w = if si == 0 || first[si][ec].is_nan() {
+                f64::NAN
+            } else {
+                let dt = first[si][0] - first[si - 1][0];
+                let d = energy_delta_uj(first[si - 1][ec] as u64, first[si][ec] as u64);
+                if dt > 0.0 {
+                    d as f64 / 1e6 / dt
+                } else {
+                    f64::NAN
+                }
+            };
+            avg[si].push(w);
+        }
+    }
+
+    let header_refs: Vec<&str> = out_headers.iter().map(|s| s.as_str()).collect();
+    write_csv(&out, &header_refs, &avg).expect("write processed csv");
+    println!("processed data written to {out}");
+
+    // Summary stats.
+    if let Some((_, srows)) = read_csv(&std::path::PathBuf::from(&dir).join("summary.csv")) {
+        let gfs: Vec<f64> = srows.iter().map(|r| r[1]).collect();
+        let mean = gfs.iter().sum::<f64>() / gfs.len().max(1) as f64;
+        println!("mean Gflops over {} runs: {mean:.2}", gfs.len());
+    }
+    // Median per-cpu frequency of cpu0 as a quick sanity stat.
+    if let Some(c0) = headers.iter().position(|h| h == "cpu0_khz") {
+        let mut f: Vec<f64> = avg.iter().map(|r| r[c0]).collect();
+        f.sort_by(|a, b| a.total_cmp(b));
+        if !f.is_empty() {
+            println!("median cpu0 frequency: {:.2} GHz", f[f.len() / 2] / 1e6);
+        }
+    }
+}

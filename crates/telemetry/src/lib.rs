@@ -1,0 +1,19 @@
+//! # telemetry — the monitoring harness (`mon_hpl.py` analogue)
+//!
+//! Reproduces the paper's data-acquisition pipeline (artifact A2):
+//!
+//! * [`poller`] — 1 Hz sampling of per-CPU frequency, package thermal
+//!   zone, RAPL energy counters (with 32-bit wrap handling), and the
+//!   external wall-power meter;
+//! * [`driver`] — multi-run orchestration with the 35 °C thermal-settle
+//!   gate and run averaging (T1 → T2);
+//! * [`plot`] — ASCII charts + CSV writers used by the figure
+//!   regeneration binaries.
+
+pub mod driver;
+pub mod plot;
+pub mod poller;
+
+pub use driver::{average_runs, gflops_stats, monitored_hpl_run, monitored_hpl_runs, settle, DriverConfig, MonitoredRun};
+pub use plot::{ascii_chart, series_to_rows, write_csv};
+pub use poller::{Poller, Sample, Trace};

@@ -1,0 +1,183 @@
+//! ASCII line charts and CSV output for the paper's figures.
+//!
+//! The paper plots with matplotlib; this harness renders each figure as an
+//! ASCII chart on stdout (so `cargo run --bin fig1` is self-contained) and
+//! writes the underlying series to CSV under `results/` for external
+//! plotting.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Render one or more `(label, series)` pairs as an ASCII chart.
+///
+/// Series are `(x, y)` points; the x-range and y-range are fit to the
+/// union of all series. Each series draws with its own glyph.
+pub fn ascii_chart(
+    title: &str,
+    y_label: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .collect();
+    if pts.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    // Pad the y-range slightly.
+    let pad = (y1 - y0) * 0.05;
+    y0 -= pad;
+    y1 += pad;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let g = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s.iter() {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = g;
+        }
+    }
+    for (ri, row) in grid.iter().enumerate() {
+        let y_here = y1 - (y1 - y0) * ri as f64 / (height - 1) as f64;
+        let label = if ri % 4 == 0 {
+            format!("{y_here:>9.1} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        let _ = writeln!(out, "{label}{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>10}+{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10} {:<12.1}{:>w$.1}",
+        y_label,
+        x0,
+        x1,
+        w = width.saturating_sub(12)
+    );
+    let _ = writeln!(
+        out,
+        "   legend: {}",
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, (l, _))| format!("{} = {l}", GLYPHS[i % GLYPHS.len()]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out
+}
+
+/// Write rows to a CSV file, creating parent directories.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<f64>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Merge several series on a shared x-grid into CSV rows
+/// (x, s1, s2, …); missing points are carried from the previous value.
+pub fn series_to_rows(series: &[&[(f64, f64)]]) -> Vec<Vec<f64>> {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let mut rows = Vec::with_capacity(xs.len());
+    let mut cursors = vec![0usize; series.len()];
+    let mut last = vec![f64::NAN; series.len()];
+    for x in xs {
+        let mut row = vec![x];
+        for (si, s) in series.iter().enumerate() {
+            while cursors[si] < s.len() && s[cursors[si]].0 <= x + 1e-9 {
+                last[si] = s[cursors[si]].1;
+                cursors[si] += 1;
+            }
+            row.push(last[si]);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_with_legend() {
+        let a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64).sin())).collect();
+        let b: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64 / 5.0).cos())).collect();
+        let s = ascii_chart("test", "y", &[("sin", &a), ("cos", &b)], 60, 16);
+        assert!(s.contains("== test =="));
+        assert!(s.contains("* = sin"));
+        assert!(s.contains("o = cos"));
+        assert!(s.contains('*'));
+        assert!(s.lines().count() > 16);
+    }
+
+    #[test]
+    fn chart_handles_empty_and_flat() {
+        let s = ascii_chart("empty", "y", &[("none", &[])], 40, 8);
+        assert!(s.contains("(no data)"));
+        let flat = [(0.0, 5.0), (1.0, 5.0)];
+        let s2 = ascii_chart("flat", "y", &[("flat", &flat)], 40, 8);
+        assert!(s2.contains('*'));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hetero_papi_test_csv");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["t", "v"], &[vec![0.0, 1.5], vec![1.0, 2.5]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("t,v\n"));
+        assert!(text.contains("1,2.5"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn series_merge_carries_values() {
+        let a = [(0.0, 1.0), (2.0, 3.0)];
+        let b = [(1.0, 10.0)];
+        let rows = series_to_rows(&[&a, &b]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1][0], 1.0);
+        assert_eq!(rows[1][1], 1.0); // carried from x=0
+        assert_eq!(rows[1][2], 10.0);
+        assert_eq!(rows[2][1], 3.0);
+    }
+}

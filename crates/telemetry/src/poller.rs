@@ -1,0 +1,271 @@
+//! The 1 Hz telemetry poller — the `mon_hpl.py` analogue.
+//!
+//! Like the paper's script, the poller reads *the same interfaces a real
+//! tool would*: per-CPU `scaling_cur_freq`, the package thermal zone, and
+//! the RAPL `powercap` energy counters (which wrap at 32 bits and must be
+//! unwrapped by the consumer). The wall-power meter (WattsUpPro in the
+//! paper's ARM setup) is modeled as an out-of-band reading of the
+//! machine's meter rail, since it is external hardware, not sysfs.
+
+use simcpu::power::energy_delta_uj;
+use simcpu::types::{CpuMask, Nanos};
+use simos::kernel::KernelHandle;
+use simos::sysfs;
+
+/// One telemetry sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Simulated time of the sample, seconds.
+    pub t_s: f64,
+    /// Per-CPU current frequency (kHz), from `scaling_cur_freq`.
+    pub freq_khz: Vec<u64>,
+    /// Package temperature, milli-°C, from `thermal_zone0/temp`.
+    pub temp_mc: i64,
+    /// Wrapped RAPL energy readings (µJ), if the machine has RAPL:
+    /// (package, cores, dram).
+    pub rapl_uj: Option<(u64, u64, u64)>,
+    /// Wall-meter power, watts (WattsUpPro analogue).
+    pub meter_w: f64,
+}
+
+/// A time series of samples at a fixed interval.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub interval_ns: Nanos,
+    pub samples: Vec<Sample>,
+}
+
+impl Trace {
+    pub fn new(interval_ns: Nanos) -> Trace {
+        Trace {
+            interval_ns,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Package power derived from successive RAPL energy deltas
+    /// (unwrapping the 32-bit counter), as `(t_s, watts)`.
+    pub fn pkg_power_series(&self) -> Vec<(f64, f64)> {
+        self.energy_power_series(|s| s.rapl_uj.map(|(pkg, _, _)| pkg))
+    }
+
+    /// DRAM power series from RAPL.
+    pub fn dram_power_series(&self) -> Vec<(f64, f64)> {
+        self.energy_power_series(|s| s.rapl_uj.map(|(_, _, dram)| dram))
+    }
+
+    fn energy_power_series(&self, get: impl Fn(&Sample) -> Option<u64>) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for w in self.samples.windows(2) {
+            let (Some(a), Some(b)) = (get(&w[0]), get(&w[1])) else {
+                continue;
+            };
+            let dt = w[1].t_s - w[0].t_s;
+            if dt > 0.0 {
+                out.push((w[1].t_s, energy_delta_uj(a, b) as f64 / 1e6 / dt));
+            }
+        }
+        out
+    }
+
+    /// Mean frequency (MHz) over a CPU subset, per sample.
+    pub fn freq_series_mhz(&self, cpus: &CpuMask) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| {
+                let sel: Vec<u64> = cpus
+                    .iter()
+                    .filter_map(|c| s.freq_khz.get(c.0).copied())
+                    .collect();
+                let mean = if sel.is_empty() {
+                    0.0
+                } else {
+                    sel.iter().sum::<u64>() as f64 / sel.len() as f64 / 1000.0
+                };
+                (s.t_s, mean)
+            })
+            .collect()
+    }
+
+    /// Median over the whole trace of the mean frequency of a CPU subset
+    /// (the per-core-type medians reported for Fig. 1).
+    pub fn median_freq_mhz(&self, cpus: &CpuMask) -> f64 {
+        let mut vals: Vec<f64> = self.freq_series_mhz(cpus).iter().map(|p| p.1).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals[vals.len() / 2]
+    }
+
+    /// Temperature series in °C.
+    pub fn temp_series_c(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.t_s, s.temp_mc as f64 / 1000.0))
+            .collect()
+    }
+
+    /// Meter power series.
+    pub fn meter_series_w(&self) -> Vec<(f64, f64)> {
+        self.samples.iter().map(|s| (s.t_s, s.meter_w)).collect()
+    }
+
+    /// Peak of a series.
+    pub fn peak(series: &[(f64, f64)]) -> f64 {
+        series.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+}
+
+/// Samples a kernel at a fixed simulated interval.
+pub struct Poller {
+    kernel: KernelHandle,
+    next_sample_ns: Nanos,
+    t0_ns: Nanos,
+    pub trace: Trace,
+}
+
+impl Poller {
+    /// Start polling now, at the given interval (the paper uses 1 Hz).
+    pub fn new(kernel: KernelHandle, interval_ns: Nanos) -> Poller {
+        let now = kernel.lock().time_ns();
+        Poller {
+            kernel,
+            next_sample_ns: now,
+            t0_ns: now,
+            trace: Trace::new(interval_ns),
+        }
+    }
+
+    /// Take a sample if the interval elapsed; call this from the run loop.
+    pub fn poll(&mut self) {
+        let k = self.kernel.lock();
+        let now = k.time_ns();
+        if now < self.next_sample_ns {
+            return;
+        }
+        self.next_sample_ns = now + self.trace.interval_ns;
+
+        let n = k.machine().n_cpus();
+        let freq_khz: Vec<u64> = (0..n)
+            .map(|i| {
+                sysfs::read(
+                    &k,
+                    &format!("/sys/devices/system/cpu/cpu{i}/cpufreq/scaling_cur_freq"),
+                )
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+            })
+            .collect();
+        let temp_mc = sysfs::read(&k, "/sys/class/thermal/thermal_zone0/temp")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let rapl_uj = if k.machine().rapl().available() {
+            let rd = |zone: &str| -> u64 {
+                sysfs::read(&k, &format!("/sys/class/powercap/{zone}/energy_uj"))
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0)
+            };
+            Some((
+                rd("intel-rapl:0"),
+                rd("intel-rapl:0:0"),
+                rd("intel-rapl:0:1"),
+            ))
+        } else {
+            None
+        };
+        let meter_w = k.machine().power().meter_w;
+        self.trace.samples.push(Sample {
+            t_s: (now - self.t0_ns) as f64 / 1e9,
+            freq_khz,
+            temp_mc,
+            rapl_uj,
+            meter_w,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::machine::MachineSpec;
+    use simos::kernel::{Kernel, KernelConfig};
+
+    fn sample_at(t: f64, pkg: Option<u64>) -> Sample {
+        Sample {
+            t_s: t,
+            freq_khz: vec![2_000_000, 3_000_000],
+            temp_mc: 40_000,
+            rapl_uj: pkg.map(|p| (p, p / 2, p / 10)),
+            meter_w: 50.0,
+        }
+    }
+
+    #[test]
+    fn power_from_energy_deltas() {
+        let mut tr = Trace::new(1_000_000_000);
+        tr.samples.push(sample_at(0.0, Some(0)));
+        tr.samples.push(sample_at(1.0, Some(65_000_000))); // 65 J in 1 s
+        let p = tr.pkg_power_series();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].1 - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_handles_counter_wrap() {
+        let wrap = simcpu::power::ENERGY_WRAP_UJ;
+        let mut tr = Trace::new(1_000_000_000);
+        tr.samples.push(sample_at(0.0, Some(wrap - 10_000_000)));
+        tr.samples.push(sample_at(1.0, Some(55_000_000)));
+        let p = tr.pkg_power_series();
+        assert!((p[0].1 - 65.0).abs() < 1e-9, "wrapped delta: {p:?}");
+    }
+
+    #[test]
+    fn freq_series_and_median() {
+        let mut tr = Trace::new(1_000_000_000);
+        for t in 0..5 {
+            tr.samples.push(sample_at(t as f64, None));
+        }
+        let m = CpuMask::from_cpus([0, 1]);
+        let s = tr.freq_series_mhz(&m);
+        assert!((s[0].1 - 2500.0).abs() < 1e-9);
+        assert!((tr.median_freq_mhz(&m) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poller_samples_live_kernel() {
+        let kernel = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        );
+        let mut poller = Poller::new(kernel.clone(), 100_000_000); // 10 Hz
+        for _ in 0..1000 {
+            kernel.lock().tick();
+            poller.poll();
+        }
+        // 1 s of sim at 10 Hz → ~10 samples.
+        let n = poller.trace.samples.len();
+        assert!((9..=11).contains(&n), "samples = {n}");
+        let s = &poller.trace.samples[0];
+        assert_eq!(s.freq_khz.len(), 24);
+        assert!(s.rapl_uj.is_some());
+        assert!(s.temp_mc > 0);
+    }
+
+    #[test]
+    fn poller_no_rapl_on_arm() {
+        let kernel =
+            Kernel::boot_handle(MachineSpec::orangepi_800(), KernelConfig::default());
+        let mut poller = Poller::new(kernel.clone(), 100_000_000);
+        for _ in 0..200 {
+            kernel.lock().tick();
+            poller.poll();
+        }
+        assert!(poller.trace.samples[0].rapl_uj.is_none());
+        assert!(poller.trace.samples[0].meter_w > 0.0, "board idle power");
+    }
+}

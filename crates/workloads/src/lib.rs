@@ -1,0 +1,22 @@
+//! # workloads — the benchmark programs the paper runs
+//!
+//! * [`hpl`] — the High-Performance Linpack model with the two
+//!   personalities the paper compares: hetero-unaware "OpenBLAS HPL"
+//!   (equal static partitioning, spin waits) and hetero-aware "Intel HPL"
+//!   (dynamic chunk queue, blocking waits, deeper blocking).
+//! * [`lu`] — a *real* blocked LU factorization with partial pivoting:
+//!   ground truth for the model's FLOP accounting and an address-trace
+//!   generator for the set-associative cache simulator.
+//! * [`micro`] — the §IV.F `papi_hybrid_100m_one_eventset` loop, the
+//!   noise tasks that induce core-type migrations, and STREAM/branchy
+//!   helpers used by examples and benches.
+
+pub mod hpl;
+pub mod lu;
+pub mod micro;
+
+pub use hpl::{run_to_completion, spawn_hpl, spawn_hpl_tuned, HplConfig, HplRun, HplTuning, HplVariant};
+pub use micro::{
+    spawn_branchy, spawn_hybrid_test, spawn_noise, spawn_stream, HybridTestConfig, NoiseHandle,
+    HOOK_START, HOOK_STOP,
+};

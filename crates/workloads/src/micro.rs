@@ -1,0 +1,312 @@
+//! Microbenchmarks: the §IV.F validation test and supporting workloads.
+//!
+//! `papi_hybrid_100m_one_eventset` runs a counted loop of 1 million
+//! instructions 100 times, with PAPI calipers around each repetition. On a
+//! hybrid machine, an unpinned run migrates between core types; original
+//! PAPI could only count one PMU (getting 0, 1 M, or something in between),
+//! while the patched multi-PMU EventSet reports per-core-type counts whose
+//! sum is ≈1 M per repetition.
+//!
+//! [`spawn_noise`] provides the deterministic background load that induces
+//! migrations: duty-cycled spinners pinned to the P-cores, so the measured
+//! task periodically gets pushed to an E-core and pulled back.
+
+use parking_lot::Mutex;
+use simcpu::phase::Phase;
+use simcpu::types::{CpuMask, Nanos};
+use simos::kernel::KernelHandle;
+use simos::task::{HookId, Op, Pid, ProgCtx};
+use std::sync::Arc;
+
+/// Caliper hooks used by the instrumented loop.
+pub const HOOK_START: HookId = HookId(0xCA11);
+pub const HOOK_STOP: HookId = HookId(0xCA12);
+
+/// Configuration of the hybrid counting test.
+#[derive(Debug, Clone)]
+pub struct HybridTestConfig {
+    /// Instructions per measured repetition (1 M in the paper).
+    pub instructions: u64,
+    /// Number of repetitions (100 in the paper).
+    pub repetitions: u32,
+    /// Affinity of the measured task.
+    pub cpus: CpuMask,
+    /// Gap between repetitions (lets the scheduler shuffle things).
+    pub gap_ns: Nanos,
+}
+
+impl HybridTestConfig {
+    /// The paper's test: 1 M instructions × 100, unpinned.
+    pub fn paper(n_cpus: usize) -> HybridTestConfig {
+        HybridTestConfig {
+            instructions: 1_000_000,
+            repetitions: 100,
+            cpus: CpuMask::first_n(n_cpus),
+            gap_ns: 2_000_000,
+        }
+    }
+}
+
+/// Spawn the instrumented loop: `Call(HOOK_START); work; Call(HOOK_STOP)`
+/// repeated; drive it with `Papi::run_instrumented_task`.
+pub fn spawn_hybrid_test(kernel: &KernelHandle, cfg: &HybridTestConfig) -> Pid {
+    let reps = cfg.repetitions;
+    let inst = cfg.instructions;
+    let gap = cfg.gap_ns;
+    let mut rep = 0u32;
+    let mut step = 0u8;
+    let mut seed = 0x2545_f491_4f6c_dd1du64;
+    let program = move |_: &ProgCtx| -> Op {
+        if rep >= reps {
+            return Op::Exit;
+        }
+        match step {
+            0 => {
+                step = 1;
+                Op::Call(HOOK_START)
+            }
+            1 => {
+                step = 2;
+                Op::Compute(Phase::scalar(inst))
+            }
+            2 => {
+                step = 3;
+                Op::Call(HOOK_STOP)
+            }
+            _ => {
+                step = 0;
+                rep += 1;
+                if gap > 0 {
+                    // Jittered gap (deterministic LCG): avoids phase lock
+                    // with periodic background load.
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let f = 0.5 + ((seed >> 33) as f64 / (1u64 << 31) as f64);
+                    Op::Sleep(((gap as f64 * f) as Nanos).max(1))
+                } else {
+                    Op::Compute(Phase::spin(1))
+                }
+            }
+        }
+    };
+    kernel
+        .lock()
+        .spawn("papi_hybrid_100m", Box::new(program), cfg.cpus, 0)
+}
+
+/// Handle to stop background noise tasks.
+pub struct NoiseHandle {
+    stop: Arc<Mutex<bool>>,
+    pub pids: Vec<Pid>,
+}
+
+impl NoiseHandle {
+    /// Ask every noise task to exit at its next scheduling point.
+    pub fn stop(&self) {
+        *self.stop.lock() = true;
+    }
+}
+
+/// Spawn duty-cycled spinner tasks, one per CPU in `cpus`: they run
+/// `busy_ns` of scalar work, sleep `idle_ns`, repeat — in phase with each
+/// other, so during each burst *every* covered CPU is busy at once and an
+/// unpinned task there gets displaced (to an E-core, in the §IV.F setup),
+/// then drifts back when the burst ends.
+pub fn spawn_noise(
+    kernel: &KernelHandle,
+    cpus: CpuMask,
+    busy_ns: Nanos,
+    idle_ns: Nanos,
+) -> NoiseHandle {
+    let stop = Arc::new(Mutex::new(false));
+    let mut pids = Vec::new();
+    let period = (busy_ns + idle_ns).max(1);
+    for cpu in cpus.iter() {
+        let stop_c = Arc::clone(&stop);
+        // Per-task LCG: frays the burst edges so the system never
+        // phase-locks with the measured task, while burst cores still
+        // overlap across all noise tasks.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(cpu.0 as u64 + 7);
+        let program = move |ctx: &ProgCtx| -> Op {
+            if *stop_c.lock() {
+                return Op::Exit;
+            }
+            let burst_idx = ctx.time_ns / period;
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(burst_idx | 1);
+            let jitter = 0.8 + 0.4 * ((seed >> 33) as f64 / (1u64 << 31) as f64);
+            let busy_eff = (busy_ns as f64 * jitter) as Nanos;
+            let t = ctx.time_ns % period;
+            if t < busy_eff {
+                // ~0.5 ms of work per op so the window is honoured closely.
+                Op::Compute(Phase::scalar(4_000_000))
+            } else {
+                Op::Sleep((period - t).max(1))
+            }
+        };
+        // Nice +1: noise should pressure, not starve, the measured task.
+        let pid = kernel.lock().spawn(
+            &format!("noise-{}", cpu.0),
+            Box::new(program),
+            CpuMask::from_cpus([cpu.0]),
+            1,
+        );
+        pids.push(pid);
+    }
+    NoiseHandle { stop, pids }
+}
+
+/// A STREAM-like bandwidth-bound task.
+pub fn spawn_stream(
+    kernel: &KernelHandle,
+    cpus: CpuMask,
+    total_bytes: u64,
+    working_set: u64,
+) -> Pid {
+    let mut remaining = total_bytes;
+    let program = move |_: &ProgCtx| -> Op {
+        if remaining == 0 {
+            return Op::Exit;
+        }
+        let slice = remaining.min(64 << 20);
+        remaining -= slice;
+        Op::Compute(Phase::stream(slice / 4, working_set))
+    };
+    kernel.lock().spawn("stream", Box::new(program), cpus, 0)
+}
+
+/// A branch-mispredict-heavy task.
+pub fn spawn_branchy(kernel: &KernelHandle, cpus: CpuMask, instructions: u64) -> Pid {
+    let mut remaining = instructions;
+    let program = move |_: &ProgCtx| -> Op {
+        if remaining == 0 {
+            return Op::Exit;
+        }
+        let slice = remaining.min(10_000_000);
+        remaining -= slice;
+        Op::Compute(Phase::branchy(slice))
+    };
+    kernel.lock().spawn("branchy", Box::new(program), cpus, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::machine::MachineSpec;
+    use simos::kernel::{Kernel, KernelConfig};
+    use simos::task::TaskState;
+
+    fn raptor() -> KernelHandle {
+        Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        )
+    }
+
+    #[test]
+    fn hybrid_test_program_shape() {
+        let kernel = raptor();
+        let cfg = HybridTestConfig {
+            repetitions: 3,
+            ..HybridTestConfig::paper(24)
+        };
+        let pid = spawn_hybrid_test(&kernel, &cfg);
+        let mut hooks = Vec::new();
+        simos::kernel::run_with_hooks(&kernel, 60_000_000_000, |_, p, h| {
+            assert_eq!(p, pid);
+            hooks.push(h);
+        });
+        // start,stop × 3 repetitions.
+        assert_eq!(hooks.len(), 6);
+        assert_eq!(hooks[0], HOOK_START);
+        assert_eq!(hooks[1], HOOK_STOP);
+        let st = kernel.lock().task_stats(pid).unwrap();
+        assert_eq!(st.instructions, 3_000_000);
+    }
+
+    #[test]
+    fn noise_tasks_stop_on_request() {
+        let kernel = raptor();
+        let noise = spawn_noise(
+            &kernel,
+            CpuMask::parse_cpulist("0,2").unwrap(),
+            500_000,
+            500_000,
+        );
+        for _ in 0..50 {
+            kernel.lock().tick();
+        }
+        noise.stop();
+        for _ in 0..5000 {
+            kernel.lock().tick();
+            if kernel.lock().all_exited() {
+                break;
+            }
+        }
+        for pid in &noise.pids {
+            assert_eq!(kernel.lock().task_state(*pid), Some(TaskState::Exited));
+            assert!(kernel.lock().task_stats(*pid).unwrap().instructions > 0);
+        }
+    }
+
+    #[test]
+    fn noise_displaces_measured_task_to_e_cores() {
+        // With all P cpus under noise pressure, an unpinned task must spend
+        // some instructions on E cores — the §IV.F migration mechanism.
+        let kernel = raptor();
+        let _noise = spawn_noise(
+            &kernel,
+            CpuMask::parse_cpulist("0-15").unwrap(),
+            3_000_000,
+            7_000_000,
+        );
+        let cfg = HybridTestConfig {
+            repetitions: 40,
+            instructions: 1_000_000,
+            cpus: CpuMask::first_n(24),
+            gap_ns: 1_000_000,
+        };
+        let pid = spawn_hybrid_test(&kernel, &cfg);
+        // Drive manually (hooks just resumed, no PAPI here).
+        loop {
+            let hooks = {
+                let mut k = kernel.lock();
+                if k.task_state(pid) == Some(TaskState::Exited)
+                    || k.time_ns() > 120_000_000_000
+                {
+                    break;
+                }
+                k.tick();
+                k.take_pending_hooks()
+            };
+            for (p, _) in hooks {
+                kernel.lock().resume(p).unwrap();
+            }
+        }
+        let st = kernel.lock().task_stats(pid).unwrap();
+        assert_eq!(st.instructions, 40_000_000);
+        assert!(
+            st.instructions_by_type[1] > 0,
+            "some work must land on E cores: {st:?}"
+        );
+        assert!(
+            st.instructions_by_type[0] > st.instructions_by_type[1],
+            "P cores should still dominate: {st:?}"
+        );
+        assert!(st.core_type_migrations > 0);
+    }
+
+    #[test]
+    fn stream_and_branchy_complete() {
+        let kernel = raptor();
+        let s = spawn_stream(&kernel, CpuMask::from_cpus([0]), 256 << 20, 1 << 30);
+        let b = spawn_branchy(&kernel, CpuMask::from_cpus([16]), 5_000_000);
+        kernel.lock().run_to_completion(120_000_000_000);
+        let ks = kernel.lock();
+        assert_eq!(ks.task_state(s), Some(TaskState::Exited));
+        assert_eq!(ks.task_state(b), Some(TaskState::Exited));
+        assert_eq!(ks.task_stats(b).unwrap().instructions, 5_000_000);
+    }
+}

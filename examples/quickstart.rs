@@ -1,0 +1,65 @@
+//! Quickstart: boot the paper's Raptor Lake machine, inspect it with the
+//! hetero-aware hardware info, and measure a small task with a multi-PMU
+//! EventSet — the `adl_glc` + `adl_grt` pairing from §IV.E of the paper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hetero_papi::prelude::*;
+
+fn main() {
+    // 1. Boot the simulated 8P+8E Raptor Lake desktop and initialize PAPI.
+    let session = Session::raptor_lake();
+    let mut papi = session.papi().expect("PAPI init");
+
+    // 2. Hetero-aware hardware info (§V.1): core types, detection method.
+    let hw = papi.hardware_info();
+    println!("{}", hw.to_table());
+    println!(
+        "hybrid: {}   (core types found via {})\n",
+        hw.heterogeneous,
+        hw.detection_method.map(|m| m.name()).unwrap_or("-")
+    );
+
+    // 3. Spawn a task that is free to run on every CPU.
+    let kernel = session.kernel();
+    let pid = kernel.lock().spawn(
+        "quickstart-work",
+        Box::new(ScriptedProgram::new([
+            Op::Compute(Phase::scalar(5_000_000)),
+            Op::Compute(Phase::branchy(1_000_000)),
+            Op::Exit,
+        ])),
+        CpuMask::first_n(24),
+        0,
+    );
+
+    // 4. One EventSet, both core types' PMUs, plus a derived preset and a
+    //    RAPL energy event — everything the old PAPI could not combine.
+    let es = papi.create_eventset();
+    papi.attach(es, Attach::Task(pid)).unwrap();
+    papi.add_named(es, "adl_glc::INST_RETIRED:ANY").unwrap();
+    papi.add_named(es, "adl_grt::INST_RETIRED:ANY").unwrap();
+    papi.add_preset(es, Preset::BrMsp).unwrap();
+    papi.add_named(es, "rapl::RAPL_ENERGY_PKG").unwrap();
+    println!(
+        "EventSet spans {} perf event groups: {:?}\n",
+        papi.num_groups(es).unwrap(),
+        papi.native_names(es).unwrap()
+    );
+
+    // 5. Measure.
+    papi.start(es).unwrap();
+    kernel.lock().run_to_completion(60_000_000_000);
+    let values = papi.stop(es).unwrap();
+    for (name, value) in &values {
+        println!("{name:<32} {value:>14}");
+    }
+    let p = values[0].1;
+    let e = values[1].1;
+    println!(
+        "\ntotal instructions: {} (P {:.1}% / E {:.1}%)",
+        p + e,
+        p as f64 / (p + e) as f64 * 100.0,
+        e as f64 / (p + e) as f64 * 100.0,
+    );
+}

@@ -1,0 +1,72 @@
+//! The paper's §II.A motivation study in miniature: run hetero-unaware
+//! (OpenBLAS-style) and hetero-aware (Intel-style) HPL on the Raptor Lake
+//! model across the three core sets and watch the Table II shape emerge.
+//!
+//! Run with: `cargo run --release --example raptor_lake_hpl`
+//! (set `HPL_SCALE=1` for the paper's full N=57024; default is 1/8 scale)
+
+use hetero_papi::prelude::*;
+use simos::kernel::KernelConfig;
+use telemetry::{monitored_hpl_run, DriverConfig};
+
+fn scale() -> u64 {
+    std::env::var("HPL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+fn main() {
+    let cfg = HplConfig::scaled(scale());
+    println!(
+        "HPL N={} NB={} (paper: N=57024), per-variant Gflops by core set:\n",
+        cfg.n, cfg.nb
+    );
+    let sets = [
+        ("E only", "16-23"),
+        ("P only", "0,2,4,6,8,10,12,14"),
+        ("P and E", "0,2,4,6,8,10,12,14,16-23"),
+    ];
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}",
+        "cores", "hetero-unaware", "hetero-aware", "benefit"
+    );
+    for (label, cpulist) in sets {
+        let mut gf = [0.0f64; 2];
+        for (vi, variant) in [HplVariant::OpenBlas, HplVariant::IntelMkl]
+            .into_iter()
+            .enumerate()
+        {
+            let session = Session::boot_with(
+                simcpu::machine::MachineSpec::raptor_lake_i7_13700(),
+                KernelConfig {
+                    tick_ns: 200_000,
+                    ..Default::default()
+                },
+            );
+            let run = monitored_hpl_run(
+                &session.kernel(),
+                &cfg,
+                variant,
+                CpuMask::parse_cpulist(cpulist).unwrap(),
+                &DriverConfig {
+                    n_runs: 1,
+                    ..Default::default()
+                },
+                0,
+            );
+            gf[vi] = run.gflops.expect("run finishes");
+        }
+        println!(
+            "{label:<10} {:>13.1} GF {:>13.1} GF {:>+9.1}%",
+            gf[0],
+            gf[1],
+            (gf[1] - gf[0]) / gf[0] * 100.0
+        );
+    }
+    println!(
+        "\nThe paper's Table II shape: the hetero-aware build wins everywhere,\n\
+         most dramatically on the mixed core set — and at full scale the\n\
+         hetero-unaware build is *slower* with E-cores added than without."
+    );
+}

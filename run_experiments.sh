@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerate every table and figure at full paper scale.
+set -e
+cd "$(dirname "$0")"
+export HPL_SCALE=1 N_RUNS=${N_RUNS:-3} OPI_SCALE=1
+for bin in table1 table2 table3 table4 fig1 fig2 fig3 fig4 hybrid_test overhead ablation; do
+  echo "--- $bin ---"
+  ./target/release/$bin | tee results/${bin}.txt
+done

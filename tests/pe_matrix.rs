@@ -1,0 +1,330 @@
+//! §V.4 — "a comprehensive set of unit tests … on all combinations of P
+//! and E-cores". The paper notes this "increases the surface area and
+//! will be a lot of work"; this file is that matrix: EventSet behaviour
+//! exercised across every (machine, pinning, event-origin PMU)
+//! combination, asserting the counting and time-accounting rules.
+
+use hetero_papi::prelude::*;
+
+/// One matrix cell: machine + a pinning choice + the per-PMU events to
+/// open + what each should count when the task retires `INST` ops.
+struct Cell {
+    machine: fn() -> Session,
+    machine_name: &'static str,
+    /// cpulist the task is pinned to.
+    pin: &'static str,
+    /// (event name, expected count when the work is `INST`).
+    expectations: &'static [(&'static str, Expect)],
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Expect {
+    /// Counts all the work (plus start overhead).
+    All,
+    /// Counts nothing, and time_running stays 0 (wrong core type).
+    Nothing,
+}
+
+const INST: u64 = 2_000_000;
+const OVERHEAD: u64 = 4_300;
+
+fn cells() -> Vec<Cell> {
+    vec![
+        // --- Raptor Lake: every pinning × both PMUs -----------------------
+        Cell {
+            machine: Session::raptor_lake,
+            machine_name: "raptor",
+            pin: "0", // P core, first SMT sibling
+            expectations: &[
+                ("adl_glc::INST_RETIRED:ANY", Expect::All),
+                ("adl_grt::INST_RETIRED:ANY", Expect::Nothing),
+            ],
+        },
+        Cell {
+            machine: Session::raptor_lake,
+            machine_name: "raptor",
+            pin: "1", // P core, second SMT sibling
+            expectations: &[
+                ("adl_glc::INST_RETIRED:ANY", Expect::All),
+                ("adl_grt::INST_RETIRED:ANY", Expect::Nothing),
+            ],
+        },
+        Cell {
+            machine: Session::raptor_lake,
+            machine_name: "raptor",
+            pin: "16", // first E core
+            expectations: &[
+                ("adl_glc::INST_RETIRED:ANY", Expect::Nothing),
+                ("adl_grt::INST_RETIRED:ANY", Expect::All),
+            ],
+        },
+        Cell {
+            machine: Session::raptor_lake,
+            machine_name: "raptor",
+            pin: "23", // last E core
+            expectations: &[
+                ("adl_glc::INST_RETIRED:ANY", Expect::Nothing),
+                ("adl_grt::INST_RETIRED:ANY", Expect::All),
+            ],
+        },
+        // --- OrangePi: big and LITTLE -------------------------------------
+        Cell {
+            machine: Session::orangepi_800,
+            machine_name: "orangepi",
+            pin: "0",
+            expectations: &[
+                ("arm_ac72::INST_RETIRED", Expect::All),
+                ("arm_ac53::INST_RETIRED", Expect::Nothing),
+            ],
+        },
+        Cell {
+            machine: Session::orangepi_800,
+            machine_name: "orangepi",
+            pin: "5",
+            expectations: &[
+                ("arm_ac72::INST_RETIRED", Expect::Nothing),
+                ("arm_ac53::INST_RETIRED", Expect::All),
+            ],
+        },
+        // --- tri-cluster: all three PMUs against each cluster -------------
+        Cell {
+            machine: Session::dynamiq,
+            machine_name: "dynamiq",
+            pin: "0", // X1
+            expectations: &[
+                ("arm_x1::INST_RETIRED", Expect::All),
+                ("arm_a76::INST_RETIRED", Expect::Nothing),
+                ("arm_a55::INST_RETIRED", Expect::Nothing),
+            ],
+        },
+        Cell {
+            machine: Session::dynamiq,
+            machine_name: "dynamiq",
+            pin: "2", // A76
+            expectations: &[
+                ("arm_x1::INST_RETIRED", Expect::Nothing),
+                ("arm_a76::INST_RETIRED", Expect::All),
+                ("arm_a55::INST_RETIRED", Expect::Nothing),
+            ],
+        },
+        Cell {
+            machine: Session::dynamiq,
+            machine_name: "dynamiq",
+            pin: "7", // A55
+            expectations: &[
+                ("arm_x1::INST_RETIRED", Expect::Nothing),
+                ("arm_a76::INST_RETIRED", Expect::Nothing),
+                ("arm_a55::INST_RETIRED", Expect::All),
+            ],
+        },
+        // --- Alder Lake mobile: same hybrid PMUs, different topology -------
+        Cell {
+            machine: Session::alder_mobile,
+            machine_name: "adl-mobile",
+            pin: "0", // P core
+            expectations: &[
+                ("adl_glc::INST_RETIRED:ANY", Expect::All),
+                ("adl_grt::INST_RETIRED:ANY", Expect::Nothing),
+            ],
+        },
+        Cell {
+            machine: Session::alder_mobile,
+            machine_name: "adl-mobile",
+            pin: "8", // first E core (4 P cores × 2 threads = cpus 0-7)
+            expectations: &[
+                ("adl_glc::INST_RETIRED:ANY", Expect::Nothing),
+                ("adl_grt::INST_RETIRED:ANY", Expect::All),
+            ],
+        },
+        // --- homogeneous control -------------------------------------------
+        Cell {
+            machine: Session::skylake,
+            machine_name: "skylake",
+            pin: "3",
+            expectations: &[("skl::INST_RETIRED:ANY", Expect::All)],
+        },
+    ]
+}
+
+#[test]
+fn matrix_counting_rules() {
+    for cell in cells() {
+        let session = (cell.machine)();
+        let kernel = session.kernel();
+        let pid = kernel.lock().spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(INST)),
+                Op::Exit,
+            ])),
+            CpuMask::parse_cpulist(cell.pin).unwrap(),
+            0,
+        );
+        let mut papi = session.papi().unwrap();
+        let es = papi.create_eventset();
+        papi.attach(es, Attach::Task(pid)).unwrap();
+        for (name, _) in cell.expectations {
+            papi.add_named(es, name).unwrap();
+        }
+        papi.start(es).unwrap();
+        kernel.lock().run_to_completion(120_000_000_000);
+        let values = papi.stop(es).unwrap();
+        for ((name, expect), (_, value)) in cell.expectations.iter().zip(&values) {
+            match expect {
+                Expect::All => assert_eq!(
+                    *value,
+                    INST + OVERHEAD,
+                    "{} pin {} event {name}",
+                    cell.machine_name,
+                    cell.pin
+                ),
+                Expect::Nothing => assert_eq!(
+                    *value, 0,
+                    "{} pin {} event {name}",
+                    cell.machine_name, cell.pin
+                ),
+            }
+        }
+        // Conservation: exactly one PMU saw everything.
+        let total: u64 = values.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, INST + OVERHEAD);
+    }
+}
+
+/// The same matrix through *presets*: PAPI_TOT_INS must be exact on every
+/// machine regardless of pinning.
+#[test]
+fn matrix_preset_exact_everywhere() {
+    for cell in cells() {
+        let session = (cell.machine)();
+        let kernel = session.kernel();
+        let pid = kernel.lock().spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(INST)),
+                Op::Exit,
+            ])),
+            CpuMask::parse_cpulist(cell.pin).unwrap(),
+            0,
+        );
+        let mut papi = session.papi().unwrap();
+        let es = papi.create_eventset();
+        papi.attach(es, Attach::Task(pid)).unwrap();
+        papi.add_preset(es, Preset::TotIns).unwrap();
+        papi.start(es).unwrap();
+        kernel.lock().run_to_completion(120_000_000_000);
+        let v = papi.stop(es).unwrap();
+        assert_eq!(
+            v[0].1,
+            INST + OVERHEAD,
+            "{} pin {}",
+            cell.machine_name,
+            cell.pin
+        );
+    }
+}
+
+/// time_enabled vs time_running across the matrix: a wrong-core-type
+/// event must show enabled > 0 and running == 0 (the §IV.A kernel rule
+/// visible through PAPI's plumbing).
+#[test]
+fn matrix_time_accounting() {
+    let session = Session::raptor_lake();
+    let kernel = session.kernel();
+    let pid = kernel.lock().spawn(
+        "w",
+        Box::new(ScriptedProgram::new([
+            Op::Compute(Phase::scalar(20_000_000)),
+            Op::Exit,
+        ])),
+        CpuMask::parse_cpulist("16").unwrap(),
+        0,
+    );
+    // Direct perf events (PAPI hides the times; the kernel reports them).
+    let mut fds = Vec::new();
+    {
+        let mut k = kernel.lock();
+        for pmu in ["cpu_core", "cpu_atom"] {
+            let id = k.pmu_by_name(pmu).unwrap().id;
+            let fd = k
+                .perf_event_open(
+                    simos::perf::PerfAttr::counting(
+                        id,
+                        simcpu::events::ArchEvent::Instructions,
+                    ),
+                    simos::perf::Target::Thread(pid),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            fds.push(fd);
+        }
+        k.run_to_completion(120_000_000_000);
+    }
+    let mut k = kernel.lock();
+    let p = k.read_event(fds[0]).unwrap();
+    let e = k.read_event(fds[1]).unwrap();
+    assert!(p.time_enabled > 0 && p.time_running == 0, "{p:?}");
+    assert!(e.time_enabled > 0 && e.time_running == e.time_enabled, "{e:?}");
+    assert_eq!(p.value, 0);
+    assert_eq!(e.value, 20_000_000);
+}
+
+/// Migrating across *every* CPU of a hybrid machine in sequence: the two
+/// PMU halves must partition the work exactly.
+#[test]
+fn matrix_walk_every_cpu() {
+    let session = Session::raptor_lake();
+    let kernel = session.kernel();
+    const PER_CPU: u64 = 20_000_000;
+    let n = 24;
+    // A program that computes on one cpu, then asks to move to the next.
+    let pid = kernel.lock().spawn(
+        "walker",
+        Box::new(ScriptedProgram::new(
+            (0..n)
+                .map(|_| Op::Compute(Phase::scalar(PER_CPU)))
+                .chain([Op::Exit])
+                .collect::<Vec<_>>(),
+        )),
+        CpuMask::from_cpus([0]),
+        0,
+    );
+    let mut papi = papi::Papi::init_with(
+        kernel.clone(),
+        papi::PapiConfig {
+            overhead_instructions: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let es = papi.create_eventset();
+    papi.attach(es, Attach::Task(pid)).unwrap();
+    papi.add_named(es, "adl_glc::INST_RETIRED:ANY").unwrap();
+    papi.add_named(es, "adl_grt::INST_RETIRED:ANY").unwrap();
+    papi.start(es).unwrap();
+    // Walk the affinity across every cpu while it runs, advancing only
+    // after the task has retired its share on the current cpu.
+    for cpu in 0..n {
+        kernel
+            .lock()
+            .set_affinity(pid, CpuMask::from_cpus([cpu]))
+            .unwrap();
+        loop {
+            let mut k = kernel.lock();
+            let done = k.task_stats(pid).unwrap().instructions
+                >= (cpu as u64 + 1) * PER_CPU
+                || k.all_exited();
+            if done {
+                break;
+            }
+            k.tick();
+        }
+    }
+    kernel.lock().run_to_completion(120_000_000_000);
+    let v = papi.stop(es).unwrap();
+    let total = v[0].1 + v[1].1;
+    assert_eq!(total, PER_CPU * n as u64);
+    assert!(v[0].1 > 0, "P half saw work: {v:?}");
+    assert!(v[1].1 > 0, "E half saw work: {v:?}");
+}
