@@ -83,6 +83,16 @@ impl std::fmt::Display for PapiError {
     }
 }
 
+impl PapiError {
+    /// True for errors a caller should retry (EINTR/EBUSY from the
+    /// kernel). The PAPI layer itself retries these with a bounded
+    /// backoff before surfacing them; see the fault-model notes in
+    /// DESIGN.md.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PapiError::Perf(e) if e.is_transient())
+    }
+}
+
 impl std::error::Error for PapiError {}
 
 impl From<PerfError> for PapiError {
@@ -119,5 +129,13 @@ mod tests {
         assert_eq!(p, PapiError::Perf(PerfError::BadFd));
         let q: PapiError = PfmError::NoDefaultPmu.into();
         assert!(matches!(q, PapiError::Pfm(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(PapiError::Perf(PerfError::TransientEintr).is_transient());
+        assert!(PapiError::Perf(PerfError::TransientEbusy).is_transient());
+        assert!(!PapiError::Perf(PerfError::BadFd).is_transient());
+        assert!(!PapiError::NoSuchEventSet.is_transient());
     }
 }

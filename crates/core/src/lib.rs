@@ -45,9 +45,10 @@ pub use sysdetect::{DetectMethod, DetectionReport};
 use eventset::{plan_groups, Entry, NativeRef};
 use pfmlib::{Pfm, PfmOptions};
 use simcpu::phase::Phase;
+use simcpu::pmu::COUNTER_MASK;
 use simcpu::types::{CpuId, Nanos};
 use simos::kernel::KernelHandle;
-use simos::perf::{EventFd, PmuKind, ReadValue};
+use simos::perf::{EventFd, PerfError, PmuKind, ReadValue};
 use simos::task::{HookId, Op, Pid};
 use std::collections::HashMap;
 
@@ -93,6 +94,99 @@ pub struct ComponentInfo {
 /// One measured region's values, labeled as added.
 pub type Values = Vec<(String, u64)>;
 
+/// How trustworthy one returned value is (graceful-degradation metadata
+/// for [`Papi::read_with_quality`]).
+///
+/// Ordered worst-last so entry qualities aggregate with `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReadQuality {
+    /// Counted the whole time it could have: the value is exact. (A
+    /// zero from the wrong-core-type half of a hybrid derived preset is
+    /// still `Ok` — that gap is expected, not a measurement failure.)
+    Ok,
+    /// The event lost its hardware counter part of the time (kernel
+    /// multiplexing, NMI-watchdog theft) and the value is scaled up over
+    /// the involuntarily uncounted window.
+    Scaled,
+    /// No usable measurement: the event never held a counter while its
+    /// context was live, or its group read kept failing. The value is
+    /// whatever partial data exists (usually 0) — never silently wrong,
+    /// always flagged.
+    Lost,
+}
+
+/// Labeled values plus per-entry quality.
+pub type QualifiedValues = Vec<(String, u64, ReadQuality)>;
+
+/// Per-fd counter snapshots plus the group leaders whose reads kept
+/// failing past the transient-retry budget.
+type GroupReads = (HashMap<EventFd, ReadValue>, Vec<(EventFd, PerfError)>);
+
+/// Bounded retry for transient kernel errors (EINTR/EBUSY injected by
+/// the fault layer). Deterministic: a fixed attempt budget, no clocks.
+/// Every failed attempt has already been charged to the kernel's syscall
+/// ledger, so retry cost shows up in [`Papi::syscall_stats`].
+const TRANSIENT_RETRY_BUDGET: u32 = 8;
+
+fn retry_transient<T>(mut f: impl FnMut() -> Result<T, PerfError>) -> Result<T, PerfError> {
+    let mut attempts = 0;
+    loop {
+        match f() {
+            Err(e) if e.is_transient() && attempts < TRANSIENT_RETRY_BUDGET => attempts += 1,
+            other => return other,
+        }
+    }
+}
+
+/// Sum one entry's member counters, 48-bit-unwrapping and loss-scaling
+/// each, and report the worst member quality.
+///
+/// * A member absent from `by_fd` (its group read failed persistently)
+///   is `Lost` and contributes nothing.
+/// * `time_running == 0` with `time_matched > 0` means the event had
+///   countable time but never held a counter: `Lost`.
+/// * `time_running < time_matched` means it held a counter part of that
+///   time: scale the count over the gap, `Scaled`.
+/// * Time outside `time_matched` (wrong core type for this PMU) is the
+///   expected hybrid gap and is neither scaled over nor penalized.
+fn entry_value(
+    es: &EventSet,
+    entry: &Entry,
+    by_fd: &HashMap<EventFd, ReadValue>,
+    wrap_base: &HashMap<EventFd, u64>,
+) -> Result<(u64, ReadQuality), PapiError> {
+    let mut total = 0u64;
+    let mut quality = ReadQuality::Ok;
+    for &ni in &entry.native_indices {
+        let fd = es.natives[ni]
+            .fd
+            .ok_or(PapiError::State("event not opened"))?;
+        let Some(rv) = by_fd.get(&fd) else {
+            quality = quality.max(ReadQuality::Lost);
+            continue;
+        };
+        let raw = rv.value;
+        let unwrapped = match wrap_base.get(&fd) {
+            Some(base) => raw.wrapping_sub(*base) & COUNTER_MASK,
+            None => raw,
+        };
+        if rv.time_running == 0 {
+            if rv.time_matched > 0 {
+                quality = quality.max(ReadQuality::Lost);
+            }
+            // matched == 0: nothing to count (e.g. wrong-core-type half
+            // of a derived preset) — an exact zero.
+        } else if rv.time_running < rv.time_matched {
+            total +=
+                (unwrapped as f64 * rv.time_matched as f64 / rv.time_running as f64) as u64;
+            quality = quality.max(ReadQuality::Scaled);
+        } else {
+            total += unwrapped;
+        }
+    }
+    Ok((total, quality))
+}
+
 /// The initialized library.
 pub struct Papi {
     kernel: KernelHandle,
@@ -105,6 +199,11 @@ pub struct Papi {
     preset_defs: Vec<preset_table::PresetDef>,
     /// High-water marks of consumed overflow records per (eventset, entry).
     overflow_seen: HashMap<(usize, usize), usize>,
+    /// 48-bit unwrap state: the raw counter value observed at the last
+    /// start/reset, per core-PMU fd. Counters may begin anywhere in the
+    /// 48-bit range (and wrap mid-run); `(raw − base) & COUNTER_MASK`
+    /// recovers the exact delta regardless.
+    wrap_base: HashMap<EventFd, u64>,
 }
 
 impl Papi {
@@ -149,6 +248,7 @@ impl Papi {
             preset_defs: preset_table::parse_preset_csv(preset_table::BUILTIN_CSV)
                 .expect("built-in preset table is valid"),
             overflow_seen: HashMap::new(),
+            wrap_base: HashMap::new(),
         })
     }
 
@@ -320,7 +420,9 @@ impl Papi {
                 .native_indices
                 .first()
                 .ok_or(PapiError::State("entry has no natives"))?;
-            es.natives[ni].fd.expect("opened")
+            es.natives[ni]
+                .fd
+                .ok_or(PapiError::State("event not opened"))?
         };
         let k = self.kernel.lock();
         let samples = k.event_samples(fd)?;
@@ -332,7 +434,7 @@ impl Papi {
             .map(|r| (r.time_ns, r.cpu.0, r.value))
             .collect();
         drop(k);
-        self.overflow_seen.insert(key, seen.max(0) + fresh.len());
+        self.overflow_seen.insert(key, seen + fresh.len());
         Ok(fresh)
     }
 
@@ -604,14 +706,47 @@ impl Papi {
             }
         }
         self.ensure_opened(id)?;
-        let es = self.eventsets[id.0].as_ref().unwrap();
+        // Automatic multiplexing fallback (graceful degradation): a group
+        // that cannot hold all its counters at once — GP overcommit, or
+        // the NMI watchdog squatting on a fixed counter it needs — would
+        // never be co-scheduled and would read zero forever. Detect that
+        // here and transparently re-open the set as single-event groups;
+        // rotation then time-shares the counters and reads surface as
+        // scaled estimates flagged [`ReadQuality::Scaled`].
+        if !self.es(id)?.multiplex {
+            let leaders = self.es(id)?.group_leaders.clone();
+            let unfit = {
+                let k = self.kernel.lock();
+                leaders
+                    .iter()
+                    .any(|l| !k.group_schedulable(*l).unwrap_or(true))
+            };
+            if unfit {
+                self.reopen_multiplexed(id)?;
+            }
+        }
+        let es = self.es(id)?;
         let leaders = es.group_leaders.clone();
         let attach = es.attach;
+        let core_fds: Vec<EventFd> = es
+            .natives
+            .iter()
+            .filter(|n| n.pmu_kind == PmuKind::CoreHw)
+            .filter_map(|n| n.fd)
+            .collect();
+        let mut bases = Vec::with_capacity(core_fds.len());
         {
             let mut k = self.kernel.lock();
             for fd in &leaders {
                 k.ioctl_reset(*fd, true)?;
                 k.ioctl_enable(*fd, true)?;
+            }
+            // Baseline the 48-bit unwrap state: a freshly reset hardware
+            // counter shows an arbitrary point in its 48-bit range, not
+            // zero. Later reads subtract this modulo 2^48.
+            for fd in core_fds {
+                let rv = retry_transient(|| k.read_event(fd))?;
+                bases.push((fd, rv.value));
             }
             // In-process overhead: PAPI_start's tail executes inside the
             // measurement window.
@@ -624,6 +759,7 @@ impl Papi {
                 }
             }
         }
+        self.wrap_base.extend(bases);
         self.es_mut(id)?.state = EsState::Running;
         Ok(())
     }
@@ -650,43 +786,94 @@ impl Papi {
 
     /// `PAPI_read`: one read syscall **per group** — the latency cost the
     /// paper attributes to heterogeneous measurement.
+    ///
+    /// Transient kernel errors are retried up to [`TRANSIENT_RETRY_BUDGET`]
+    /// times; a group that still fails surfaces its error (no partial
+    /// results on this strict path — use [`Papi::read_with_quality`] to
+    /// degrade gracefully instead). Values from events that lost their
+    /// hardware counter involuntarily (multiplexing, watchdog theft) are
+    /// scaled over the uncounted window; time spent on a wrong-type core
+    /// is never scaled over.
     pub fn read(&mut self, id: EventSetId) -> Result<Values, PapiError> {
-        let es = self.es(id)?;
-        if !es.opened() {
-            return Err(PapiError::State("EventSet never started"));
-        }
-        let leaders = es.group_leaders.clone();
-        let multiplex = es.multiplex;
-        let mut by_fd: HashMap<EventFd, ReadValue> = HashMap::new();
-        {
-            let mut k = self.kernel.lock();
-            for leader in leaders {
-                for rv in k.read_group(leader)? {
-                    by_fd.insert(rv.fd, rv);
-                }
-            }
+        let (by_fd, mut failed) = self.read_groups(id)?;
+        if let Some((_, e)) = failed.pop() {
+            return Err(e.into());
         }
         let es = self.es(id)?;
         let mut out = Vec::with_capacity(es.entries.len());
         for entry in &es.entries {
-            let mut total = 0u64;
-            for &ni in &entry.native_indices {
-                let fd = es.natives[ni].fd.expect("opened");
-                let rv = by_fd.get(&fd).expect("read covered all fds");
-                total += if multiplex { rv.scaled() } else { rv.value };
-            }
+            let (total, _) = entry_value(es, entry, &by_fd, &self.wrap_base)?;
             out.push((entry.label.clone(), total));
         }
         Ok(out)
     }
 
+    /// Like [`Papi::read`], but degrades instead of failing: entries whose
+    /// group read kept failing, or whose events never held a counter while
+    /// countable, are returned with [`ReadQuality::Lost`] (and whatever
+    /// partial value exists); scaled estimates carry
+    /// [`ReadQuality::Scaled`]. Only errors that leave no EventSet to read
+    /// (bad id, never started) are returned as `Err`.
+    pub fn read_with_quality(&mut self, id: EventSetId) -> Result<QualifiedValues, PapiError> {
+        let (by_fd, _failed) = self.read_groups(id)?;
+        let es = self.es(id)?;
+        let mut out = Vec::with_capacity(es.entries.len());
+        for entry in &es.entries {
+            let (total, q) = entry_value(es, entry, &by_fd, &self.wrap_base)?;
+            out.push((entry.label.clone(), total, q));
+        }
+        Ok(out)
+    }
+
+    /// Read every group with transient-retry, collecting per-fd results.
+    /// Persistently failing groups are reported in the second return
+    /// slot; hard errors propagate.
+    fn read_groups(&mut self, id: EventSetId) -> Result<GroupReads, PapiError> {
+        let es = self.es(id)?;
+        if !es.opened() {
+            return Err(PapiError::State("EventSet never started"));
+        }
+        let leaders = es.group_leaders.clone();
+        let mut by_fd: HashMap<EventFd, ReadValue> = HashMap::new();
+        let mut failed = Vec::new();
+        let mut k = self.kernel.lock();
+        for leader in leaders {
+            match retry_transient(|| k.read_group(leader)) {
+                Ok(rvs) => {
+                    for rv in rvs {
+                        by_fd.insert(rv.fd, rv);
+                    }
+                }
+                Err(e) if e.is_transient() => failed.push((leader, e)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok((by_fd, failed))
+    }
+
     /// `PAPI_reset`.
     pub fn reset(&mut self, id: EventSetId) -> Result<(), PapiError> {
-        let leaders = self.es(id)?.group_leaders.clone();
-        let mut k = self.kernel.lock();
-        for fd in leaders {
-            k.ioctl_reset(fd, true)?;
+        let es = self.es(id)?;
+        let leaders = es.group_leaders.clone();
+        let core_fds: Vec<EventFd> = es
+            .natives
+            .iter()
+            .filter(|n| n.pmu_kind == PmuKind::CoreHw)
+            .filter_map(|n| n.fd)
+            .collect();
+        let mut bases = Vec::with_capacity(core_fds.len());
+        {
+            let mut k = self.kernel.lock();
+            for fd in leaders {
+                k.ioctl_reset(fd, true)?;
+            }
+            // Reset re-baselines the 48-bit unwrap state (see `start`).
+            for fd in core_fds {
+                let rv = retry_transient(|| k.read_event(fd))?;
+                bases.push((fd, rv.value));
+            }
         }
+        self.wrap_base.extend(bases);
         Ok(())
     }
 
@@ -722,17 +909,27 @@ impl Papi {
             .ok_or(PapiError::State("no such entry"))?
             .native_indices
             .iter()
-            .map(|&ni| es.natives[ni].fd.expect("opened"))
-            .collect();
-        let mut k = self.kernel.lock();
+            .map(|&ni| {
+                es.natives[ni]
+                    .fd
+                    .ok_or(PapiError::State("event not opened"))
+            })
+            .collect::<Result<_, _>>()?;
         let mut total = 0u64;
-        for fd in fds {
-            let page = k.mmap_userpage(fd)?;
-            total += match page.rdpmc() {
-                Some(v) => v,
-                // Not on a hardware counter: take the syscall.
-                None => k.read_event(fd)?.value,
-            };
+        {
+            let mut k = self.kernel.lock();
+            for &fd in &fds {
+                let page = k.mmap_userpage(fd)?;
+                let raw = match page.rdpmc() {
+                    Some(v) => v,
+                    // Not on a hardware counter: take the syscall.
+                    None => retry_transient(|| k.read_event(fd))?.value,
+                };
+                total += match self.wrap_base.get(&fd) {
+                    Some(base) => raw.wrapping_sub(*base) & COUNTER_MASK,
+                    None => raw,
+                };
+            }
         }
         Ok(total)
     }
@@ -754,17 +951,38 @@ impl Papi {
         let mut fds: Vec<Option<EventFd>> = vec![None; attrs.len()];
         {
             let mut k = self.kernel.lock();
-            for group in &plan {
+            let mut open_err: Option<PerfError> = None;
+            'open: for group in &plan {
                 let leader_idx = group[0];
-                let leader_fd =
-                    k.perf_event_open(attrs[leader_idx], targets[leader_idx], None)?;
+                let leader_fd = match retry_transient(|| {
+                    k.perf_event_open(attrs[leader_idx], targets[leader_idx], None)
+                }) {
+                    Ok(fd) => fd,
+                    Err(e) => {
+                        open_err = Some(e);
+                        break 'open;
+                    }
+                };
                 fds[leader_idx] = Some(leader_fd);
                 leaders.push(leader_fd);
                 for &member in &group[1..] {
-                    let fd =
-                        k.perf_event_open(attrs[member], targets[member], Some(leader_fd))?;
-                    fds[member] = Some(fd);
+                    match retry_transient(|| {
+                        k.perf_event_open(attrs[member], targets[member], Some(leader_fd))
+                    }) {
+                        Ok(fd) => fds[member] = Some(fd),
+                        Err(e) => {
+                            open_err = Some(e);
+                            break 'open;
+                        }
+                    }
                 }
+            }
+            if let Some(e) = open_err {
+                // Don't leak half an EventSet: close whatever opened.
+                for fd in fds.iter().flatten() {
+                    let _ = k.close_event(*fd);
+                }
+                return Err(e.into());
             }
         }
         let es = self.es_mut(id)?;
@@ -773,6 +991,28 @@ impl Papi {
         }
         es.group_leaders = leaders;
         Ok(())
+    }
+
+    /// Close an EventSet's fds and re-open it with every event as its own
+    /// group leader — the tail of `start()`'s automatic multiplexing
+    /// fallback.
+    fn reopen_multiplexed(&mut self, id: EventSetId) -> Result<(), PapiError> {
+        let old_fds: Vec<EventFd> = {
+            let es = self.es_mut(id)?;
+            es.group_leaders.clear();
+            es.multiplex = true;
+            es.natives.iter_mut().filter_map(|n| n.fd.take()).collect()
+        };
+        {
+            let mut k = self.kernel.lock();
+            for fd in &old_fds {
+                let _ = k.close_event(*fd);
+            }
+        }
+        for fd in &old_fds {
+            self.wrap_base.remove(fd);
+        }
+        self.ensure_opened(id)
     }
 
     fn es(&self, id: EventSetId) -> Result<&EventSet, PapiError> {
@@ -1169,6 +1409,49 @@ mod tests {
             let err = (val as f64 - truth).abs() / truth;
             assert!(err < 0.3, "scaled multiplex estimate off by {err:.2}");
         }
+    }
+
+    #[test]
+    fn unschedulable_group_auto_falls_back_to_multiplex() {
+        use simos::faults::{FaultKind, FaultPlan};
+        let kernel = boot(MachineSpec::raptor_lake_i7_13700());
+        kernel.lock().install_faults(&FaultPlan::new(2).at(
+            0,
+            FaultKind::NmiWatchdog {
+                steal: simcpu::events::ArchEvent::Instructions,
+                hold_ns: None,
+            },
+        ));
+        let pid = spawn_loop(&kernel, CpuMask::from_cpus([0]), 400_000_000);
+        let mut papi = Papi::init(kernel.clone()).unwrap();
+        let es = papi.create_eventset();
+        papi.attach(es, Attach::Task(pid)).unwrap();
+        // INST_RETIRED's fixed counter is stolen, so this 9-event group
+        // needs 9 GP counters on an 8-GP PMU: never co-schedulable.
+        papi.add_named(es, "adl_glc::INST_RETIRED:ANY").unwrap();
+        for _ in 0..8 {
+            papi.add_named(es, "adl_glc::BR_INST_RETIRED:ALL_BRANCHES")
+                .unwrap();
+        }
+        assert_eq!(papi.num_groups(es).unwrap(), 1);
+        papi.start(es).unwrap();
+        assert_eq!(
+            papi.num_groups(es).unwrap(),
+            9,
+            "start() must fall back to single-event groups"
+        );
+        run_all(&kernel);
+        let q = papi.read_with_quality(es).unwrap();
+        assert!(
+            q.iter().any(|(_, _, qq)| *qq == ReadQuality::Scaled),
+            "rotation must be flagged: {q:?}"
+        );
+        let inst = q[0].1 as f64;
+        let truth = 400_000_000.0;
+        assert!(
+            (inst - truth).abs() / truth < 0.3,
+            "scaled estimate usable: {inst}"
+        );
     }
 
     #[test]

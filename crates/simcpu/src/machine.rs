@@ -381,6 +381,10 @@ impl Machine {
         &self.rapl
     }
 
+    pub fn rapl_mut(&mut self) -> &mut RaplState {
+        &mut self.rapl
+    }
+
     pub fn thermal(&self) -> &ThermalState {
         &self.thermal
     }

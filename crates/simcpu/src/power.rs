@@ -211,6 +211,21 @@ impl RaplState {
     pub fn spec(&self) -> Option<&RaplSpec> {
         self.spec.as_ref()
     }
+
+    /// Fault injection: dump `uj` microjoules of package energy into the
+    /// counters in one step, bypassing the power model. Used to force the
+    /// wrapped 32-bit readings through one or more wraps between two
+    /// samples (note that a multiple of 2³² µJ moves the *wrapped* value
+    /// not at all — only the unwrapped truth). The split across domains
+    /// mirrors a compute burst: all of it in pkg/psys, 85 % in cores,
+    /// 5 % extra on DRAM.
+    pub fn inject_energy_uj(&mut self, uj: f64) {
+        let j = uj / 1e6;
+        self.pkg.add(j);
+        self.cores.add(j * 0.85);
+        self.dram.add(j * 0.05);
+        self.psys.add(j * 1.05);
+    }
 }
 
 /// Unwrap a pair of successive wrapped energy readings into a delta,
@@ -222,6 +237,25 @@ pub fn energy_delta_uj(prev: u64, now: u64) -> u64 {
     } else {
         ENERGY_WRAP_UJ - prev + now
     }
+}
+
+/// [`energy_delta_uj`] for arbitrarily long sampling gaps.
+///
+/// Two wrapped readings alone cannot distinguish a delta of `d` from
+/// `d + k·2³²`; `expected_uj` supplies the missing wrap count `k` from an
+/// independent estimate — typically `estimated power × gap duration`
+/// (from an EWMA of recent samples or an external meter). The estimate
+/// only needs to be within ±2³¹ µJ (≈ ±2.1 kJ) of the truth, i.e. within
+/// half a wrap, for the reconstruction to be *exact*; the returned delta
+/// always agrees with the raw readings modulo 2³².
+pub fn energy_delta_uj_hinted(prev: u64, now: u64, expected_uj: u64) -> u64 {
+    let base = energy_delta_uj(prev, now);
+    if expected_uj <= base {
+        return base;
+    }
+    // Whole wraps the base delta missed, rounded to the nearest.
+    let wraps = (expected_uj - base + ENERGY_WRAP_UJ / 2) / ENERGY_WRAP_UJ;
+    base + wraps * ENERGY_WRAP_UJ
 }
 
 #[cfg(test)]
@@ -297,6 +331,71 @@ mod tests {
         assert_eq!(
             energy_delta_uj(ENERGY_WRAP_UJ - 50, 100),
             150
+        );
+    }
+
+    #[test]
+    fn hinted_delta_recovers_multiple_wraps_exactly() {
+        // Counter went from 1000 through 3 full wraps plus 500 more.
+        let prev = 1000u64;
+        let truth = 3 * ENERGY_WRAP_UJ + 500;
+        let now = (prev + truth) % ENERGY_WRAP_UJ;
+        // Naive unwrapping sees only the fractional wrap.
+        assert_eq!(energy_delta_uj(prev, now), 500);
+        // A hint anywhere within half a wrap of the truth pins it exactly:
+        // the accepted interval is [truth − W/2, truth + W/2).
+        assert_eq!(energy_delta_uj_hinted(prev, now, truth), truth);
+        assert_eq!(
+            energy_delta_uj_hinted(prev, now, truth - ENERGY_WRAP_UJ / 2),
+            truth
+        );
+        assert_eq!(
+            energy_delta_uj_hinted(prev, now, truth + ENERGY_WRAP_UJ / 2 - 1),
+            truth
+        );
+    }
+
+    #[test]
+    fn hinted_delta_degenerates_to_plain_for_short_gaps() {
+        // Hint below the base delta (or zero) changes nothing: fast
+        // pollers keep the exact single-wrap behaviour.
+        assert_eq!(energy_delta_uj_hinted(100, 400, 0), 300);
+        assert_eq!(energy_delta_uj_hinted(100, 400, 250), 300);
+        assert_eq!(
+            energy_delta_uj_hinted(ENERGY_WRAP_UJ - 50, 100, 140),
+            150
+        );
+        // Hint modestly above base but under half a wrap: still base.
+        assert_eq!(
+            energy_delta_uj_hinted(100, 400, 300 + ENERGY_WRAP_UJ / 2 - 1),
+            300
+        );
+    }
+
+    #[test]
+    fn injected_burst_moves_truth_more_than_wrapped_reading() {
+        let mut r = RaplState::new(Some(RaplSpec::raptor_lake()));
+        r.step(1_000_000, 100.0, 85.0, 5.0, 105.0);
+        let before_wrapped = r.energy_uj(RaplDomain::Package);
+        let before_total = r.energy_total_uj(RaplDomain::Package);
+        // Two whole wraps plus 700 µJ: the wrapped MSR view moves by 700
+        // only, while ground truth moves by the full amount.
+        let burst = 2 * ENERGY_WRAP_UJ + 700;
+        r.inject_energy_uj(burst as f64);
+        assert_eq!(
+            r.energy_uj(RaplDomain::Package),
+            (before_wrapped + 700) % ENERGY_WRAP_UJ
+        );
+        let dt_total = r.energy_total_uj(RaplDomain::Package) - before_total;
+        assert!((dt_total - burst as f64).abs() < 1.0, "{dt_total}");
+        // The hinted delta recovers the truth from the wrapped readings.
+        assert_eq!(
+            energy_delta_uj_hinted(
+                before_wrapped,
+                r.energy_uj(RaplDomain::Package),
+                burst
+            ),
+            burst
         );
     }
 }

@@ -13,9 +13,10 @@
 //! `read()` carries simulated syscall latency while `rdpmc` reads are
 //! nearly free (§V.5's overhead concern, measurable via [`SyscallStats`]).
 
+use crate::faults::{FaultKind, FaultPlan, FaultRecord, FaultState, Undo};
 use crate::perf::{
-    schedule_groups, EventConfig, EventFd, GroupReq, PerfAttr, PerfError, PerfEvent, PmuDesc,
-    PmuKind, RaplConfig, ReadValue, Target, UncoreConfig,
+    schedule_groups_with, EventConfig, EventFd, GroupReq, PerfAttr, PerfError, PerfEvent,
+    PmuDesc, PmuKind, RaplConfig, ReadValue, Target, UncoreConfig,
 };
 use crate::sched::{SchedCpu, Scheduler};
 use crate::task::{
@@ -135,6 +136,11 @@ pub struct Kernel {
     rng: StdRng,
     /// Previous tick's per-domain energy, for RAPL perf events.
     rapl_prev_uj: [f64; 4],
+    /// Per-CPU hotplug state; offline CPUs run nothing and their perf
+    /// contexts freeze.
+    online: Vec<bool>,
+    /// Installed fault-injection state, if any.
+    faults: Option<FaultState>,
 }
 
 impl Kernel {
@@ -169,6 +175,8 @@ impl Kernel {
             stats: SyscallStats::default(),
             rng: StdRng::seed_from_u64(cfg.seed),
             rapl_prev_uj: [0.0; 4],
+            online: vec![true; n],
+            faults: None,
             machine,
             cfg,
         }
@@ -421,6 +429,137 @@ impl Kernel {
         std::mem::take(&mut self.pending_hooks)
     }
 
+    // ---- fault injection -----------------------------------------------------
+
+    /// Install a fault plan (see [`crate::faults`]). Faults scheduled at
+    /// or before the current time fire immediately; the rest fire at tick
+    /// boundaries. Replaces any previously installed plan wholesale —
+    /// install once, before the run.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+        self.apply_due_faults();
+    }
+
+    /// Log of every fault injected so far. Identical plans on identically
+    /// configured kernels produce identical logs — the determinism
+    /// contract fault tests assert on.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.faults.as_ref().map(|f| f.log()).unwrap_or(&[])
+    }
+
+    pub fn cpu_online(&self, cpu: CpuId) -> bool {
+        self.online.get(cpu.0).copied().unwrap_or(false)
+    }
+
+    /// Mask of currently online CPUs (the sysfs `online` file).
+    pub fn online_mask(&self) -> CpuMask {
+        let mut m = CpuMask::EMPTY;
+        for (ci, &on) in self.online.iter().enumerate() {
+            if on {
+                m.set(CpuId(ci));
+            }
+        }
+        m
+    }
+
+    /// Whether sysfs reads are failing right now (flaky-sysfs fault).
+    pub(crate) fn sysfs_faulty_now(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.sysfs_faulty_at(self.time_ns))
+    }
+
+    /// Fire every fault (and fault reversal) due at the current time.
+    fn apply_due_faults(&mut self) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        let now = self.time_ns;
+        while let Some((at, undo)) = fs.pop_due_undo(now) {
+            match undo {
+                Undo::Reonline(cpu) => {
+                    if let Some(slot) = self.online.get_mut(cpu.0) {
+                        *slot = true;
+                    }
+                    self.perf_gen += 1;
+                    fs.record(at, format!("cpu{} back online", cpu.0));
+                }
+                Undo::WatchdogRelease(ev) => {
+                    if let Some(pos) = fs.watchdog_stolen.iter().position(|&e| e == ev) {
+                        fs.watchdog_stolen.remove(pos);
+                    }
+                    self.perf_gen += 1;
+                    fs.record(at, format!("nmi watchdog released {ev:?}"));
+                }
+            }
+        }
+        while let Some(fe) = fs.pop_due(now) {
+            match fe.kind {
+                FaultKind::CpuOffline { cpu, down_ns } => {
+                    if self.online.get(cpu.0).copied() == Some(true) {
+                        self.online[cpu.0] = false;
+                        // Kick whatever was running there back to the run
+                        // queue; its per-thread events resume on the next
+                        // CPU the scheduler finds.
+                        if let Some(pid) = self.current[cpu.0].take() {
+                            if let Some(t) =
+                                self.tasks.get_mut(pid.0 as usize).and_then(|t| t.as_mut())
+                            {
+                                if matches!(t.state, TaskState::Running(_)) {
+                                    t.state = TaskState::Runnable;
+                                }
+                            }
+                        }
+                        // Per-CPU contexts lose their counters immediately.
+                        let st = &mut self.cpu_perf[cpu.0];
+                        st.scheduled.clear();
+                        st.for_task = None;
+                        self.perf_gen += 1;
+                        if let Some(d) = down_ns {
+                            fs.push_undo(now + d, Undo::Reonline(cpu));
+                        }
+                        fs.record(now, format!("cpu{} offline", cpu.0));
+                    }
+                }
+                FaultKind::NmiWatchdog { steal, hold_ns } => {
+                    if !fs.watchdog_stolen.contains(&steal) {
+                        fs.watchdog_stolen.push(steal);
+                    }
+                    self.perf_gen += 1;
+                    if let Some(d) = hold_ns {
+                        fs.push_undo(now + d, Undo::WatchdogRelease(steal));
+                    }
+                    fs.record(now, format!("nmi watchdog stole fixed {steal:?}"));
+                }
+                FaultKind::TransientOpen { errno, count } => {
+                    fs.arm_open_failures(errno, count);
+                    fs.record(
+                        now,
+                        format!("next {count} perf_event_open calls fail {errno:?}"),
+                    );
+                }
+                FaultKind::TransientRead { errno, count } => {
+                    fs.arm_read_failures(errno, count);
+                    fs.record(now, format!("next {count} perf read calls fail {errno:?}"));
+                }
+                FaultKind::CounterWrap { headroom } => {
+                    fs.arm_wrap(headroom);
+                    fs.record(now, format!("48-bit counter wrap armed (headroom {headroom})"));
+                }
+                FaultKind::RaplWrapBurst { wraps, extra_uj } => {
+                    let uj = wraps as u64 * simcpu::power::ENERGY_WRAP_UJ + extra_uj;
+                    self.machine.rapl_mut().inject_energy_uj(uj as f64);
+                    fs.record(now, format!("rapl energy burst: {wraps} wraps + {extra_uj} uj"));
+                }
+                FaultKind::SysfsFlaky { dur_ns } => {
+                    // Window membership is precomputed; this entry only logs.
+                    fs.record(now, format!("sysfs flaky for {dur_ns} ns"));
+                }
+            }
+        }
+        self.faults = Some(fs);
+    }
+
     // ---- perf syscalls -------------------------------------------------------
 
     /// `perf_event_open(2)`.
@@ -432,6 +571,9 @@ impl Kernel {
     ) -> Result<EventFd, PerfError> {
         self.charge(LAT_OPEN_NS);
         self.stats.opens += 1;
+        if let Some(errno) = self.faults.as_mut().and_then(|f| f.take_open_failure()) {
+            return Err(errno.to_perf_error());
+        }
 
         let pmu = self
             .pmus
@@ -517,14 +659,25 @@ impl Kernel {
                 lfd
             }
         };
-        let ev = PerfEvent::new(fd, attr, target, leader);
+        let mut ev = PerfEvent::new(fd, attr, target, leader);
+        // Armed 48-bit wrap fault: core counting events start near the
+        // hardware counter limit. The draw is logged so two same-seed
+        // runs can be diffed.
+        if pmu.kind == PmuKind::CoreHw && attr.sample_period == 0 {
+            let time_ns = self.time_ns;
+            if let Some(fs) = self.faults.as_mut() {
+                let bias = fs.draw_wrap_bias();
+                if bias != 0 {
+                    ev.wrap_bias = bias;
+                    fs.record(time_ns, format!("fd{} wrap bias {bias}", fd.0));
+                }
+            }
+        }
         self.events.push(Some(ev));
         if leader != fd {
-            self.events[leader.0 as usize]
-                .as_mut()
-                .unwrap()
-                .group
-                .push(fd);
+            if let Some(l) = self.events[leader.0 as usize].as_mut() {
+                l.group.push(fd);
+            }
         }
         self.perf_gen += 1;
         Ok(fd)
@@ -593,6 +746,9 @@ impl Kernel {
     pub fn read_event(&mut self, fd: EventFd) -> Result<ReadValue, PerfError> {
         self.charge(LAT_READ_NS);
         self.stats.reads += 1;
+        if let Some(errno) = self.faults.as_mut().and_then(|f| f.take_read_failure()) {
+            return Err(errno.to_perf_error());
+        }
         Ok(self.event(fd)?.read_value())
     }
 
@@ -600,6 +756,9 @@ impl Kernel {
     pub fn read_group(&mut self, fd: EventFd) -> Result<Vec<ReadValue>, PerfError> {
         self.charge(LAT_READ_NS);
         self.stats.reads += 1;
+        if let Some(errno) = self.faults.as_mut().and_then(|f| f.take_read_failure()) {
+            return Err(errno.to_perf_error());
+        }
         let leader_fd = self.event(fd)?.leader;
         let leader = self.event(leader_fd)?;
         leader
@@ -616,7 +775,7 @@ impl Kernel {
     pub fn rdpmc_read(&mut self, fd: EventFd) -> Result<u64, PerfError> {
         self.charge(LAT_RDPMC_NS);
         self.stats.rdpmc_reads += 1;
-        Ok(self.event(fd)?.count)
+        Ok(self.event(fd)?.visible_count())
     }
 
     /// Whether `fd` currently holds a hardware counter somewhere. The
@@ -641,6 +800,50 @@ impl Kernel {
                 .enumerate()
                 .any(|(ci, s)| s.scheduled.contains(&fd) && running_on(p, ci)),
         }
+    }
+
+    /// Whether `leader`'s group could hold all its counters *at once* on
+    /// its PMU, given counters the kernel has claimed for itself (NMI
+    /// watchdog theft). `false` means the group as constituted will never
+    /// be co-scheduled — the measurement library's cue to fall back to
+    /// multiplexed single-event groups instead of reading zeros forever.
+    /// Non-core PMUs (RAPL, uncore, software) have no counter contention
+    /// and always report `true`.
+    pub fn group_schedulable(&self, leader: EventFd) -> Result<bool, PerfError> {
+        let ev = self
+            .events
+            .get(leader.0 as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(PerfError::BadFd)?;
+        let Some(pmu) = self
+            .pmus
+            .iter()
+            .find(|p| p.id == ev.attr.pmu_type && p.kind == PmuKind::CoreHw)
+        else {
+            return Ok(true);
+        };
+        let Some(arch) = pmu.uarch else {
+            return Ok(false);
+        };
+        let req = GroupReq {
+            leader: ev.fd,
+            events: ev
+                .group
+                .iter()
+                .filter_map(|f| self.events[f.0 as usize].as_ref())
+                .filter_map(|e| match e.attr.config {
+                    EventConfig::Hw(a) => Some(a),
+                    _ => None,
+                })
+                .collect(),
+            pinned: false,
+        };
+        let stolen: Vec<ArchEvent> = self
+            .faults
+            .as_ref()
+            .map(|f| f.watchdog_stolen.clone())
+            .unwrap_or_default();
+        Ok(schedule_groups_with(arch.params(), &[req], &stolen)[0])
     }
 
     /// Snapshot the event's mmap'd userpage (`perf_event_mmap_page`): the
@@ -670,9 +873,10 @@ impl Kernel {
             lock_seq: (self.perf_gen as u32) << 1, // always an even snapshot
             index: if on_hw { 1 } else { 0 },
             // The simulation folds hardware bits into the software count
-            // every tick, so the page's base is the count and the residual
+            // every tick, so the page's base is the count (wrap bias
+            // included — rdpmc sees raw hardware bits) and the residual
             // hardware delta is zero.
-            offset: e.count,
+            offset: e.visible_count(),
             hw_value: 0,
             time_enabled: e.time_enabled,
             time_running: e.time_running,
@@ -725,11 +929,20 @@ impl Kernel {
         let dt = self.cfg.tick_ns;
         let n = self.machine.n_cpus();
 
+        // 0. Fire due faults (hotplug, watchdog theft, bursts) before the
+        //    scheduler looks at the world.
+        self.apply_due_faults();
+
         // 1. Scheduling (keeping the previous assignment for context-switch
         //    and migration accounting).
         let prev_current = self.current.clone();
-        self.scheduler
-            .assign(&self.topo, &mut self.tasks, &mut self.current, self.time_ns);
+        self.scheduler.assign_masked(
+            &self.topo,
+            &self.online,
+            &mut self.tasks,
+            &mut self.current,
+            self.time_ns,
+        );
 
         // 2. Execute each CPU.
         let mut loads = vec![CpuLoad::default(); n];
@@ -952,6 +1165,7 @@ impl Kernel {
             match kind {
                 Some(PmuKind::Rapl) => {
                     ev.time_enabled += dt;
+                    ev.time_matched += dt;
                     ev.time_running += dt;
                     if let EventConfig::Rapl(dom) = ev.attr.config {
                         let idx = match dom {
@@ -965,6 +1179,7 @@ impl Kernel {
                 }
                 Some(PmuKind::Uncore) => {
                     ev.time_enabled += dt;
+                    ev.time_matched += dt;
                     ev.time_running += dt;
                     if let EventConfig::Uncore(u) = ev.attr.config {
                         // DRAM traffic splits ~2:1 reads:writes for the
@@ -996,6 +1211,13 @@ impl Kernel {
 
         // Recompute hardware scheduling per CPU when stale, then count.
         for cpu_idx in 0..n {
+            // An offline CPU's perf contexts freeze entirely: neither
+            // time_enabled nor time_running advances, exactly like a
+            // hot-unplugged CPU's events on Linux. Thread events are
+            // untouched — they tick on whichever CPU the thread moved to.
+            if !self.online[cpu_idx] {
+                continue;
+            }
             let cpu = CpuId(cpu_idx);
             let running = self.current[cpu_idx];
             let needs_resched = {
@@ -1047,12 +1269,18 @@ impl Kernel {
                         ev.time_enabled += active_ns;
                         let covers = Some(ev.attr.pmu_type) == pmu_of_cpu;
                         let on_hw = scheduled.contains(&ev.fd);
-                        if covers && on_hw {
-                            ev.time_running += active_ns;
-                            if let EventConfig::Hw(arch) = ev.attr.config {
-                                let d = deltas[cpu_idx].get(arch);
-                                if d > 0 {
-                                    ev.add_count(d, self.time_ns, cpu);
+                        if covers {
+                            // Countable in principle (right core type);
+                            // `matched − running` is then pure counter
+                            // loss (multiplexing, watchdog theft).
+                            ev.time_matched += active_ns;
+                            if on_hw {
+                                ev.time_running += active_ns;
+                                if let EventConfig::Hw(arch) = ev.attr.config {
+                                    let d = deltas[cpu_idx].get(arch);
+                                    if d > 0 {
+                                        ev.add_count(d, self.time_ns, cpu);
+                                    }
                                 }
                             }
                         }
@@ -1063,6 +1291,7 @@ impl Kernel {
                             _ => ran,
                         };
                         ev.time_enabled += active_ns;
+                        ev.time_matched += active_ns;
                         ev.time_running += active_ns;
                         let (switched_in, migrated) = sw_meta[cpu_idx];
                         let delta = match ev.attr.config {
@@ -1098,7 +1327,13 @@ impl Kernel {
         let Some(pmu) = pmu else {
             return;
         };
-        let uarch = pmu.uarch.unwrap().params();
+        // A core PMU without a uarch is a registration bug; degrade to
+        // "nothing schedulable" rather than panicking mid-tick.
+        let Some(arch) = pmu.uarch else {
+            self.cpu_perf[cpu.0].scheduled.clear();
+            return;
+        };
+        let uarch = arch.params();
         let pmu_id = pmu.id;
 
         // Candidate groups: leaders of enabled hw events whose context
@@ -1141,9 +1376,9 @@ impl Kernel {
 
         let reqs: Vec<GroupReq> = cands
             .iter()
-            .map(|(pinned, fd)| {
-                let leader = self.events[fd.0 as usize].as_ref().unwrap();
-                GroupReq {
+            .filter_map(|(pinned, fd)| {
+                let leader = self.events[fd.0 as usize].as_ref()?;
+                Some(GroupReq {
                     leader: *fd,
                     events: leader
                         .group
@@ -1155,15 +1390,22 @@ impl Kernel {
                         })
                         .collect(),
                     pinned: *pinned,
-                }
+                })
             })
             .collect();
-        let fit = schedule_groups(uarch, &reqs);
+        // Fixed counters the NMI watchdog holds are off the table.
+        let stolen: Vec<ArchEvent> = self
+            .faults
+            .as_ref()
+            .map(|f| f.watchdog_stolen.clone())
+            .unwrap_or_default();
+        let fit = schedule_groups_with(uarch, &reqs, &stolen);
         let mut scheduled = Vec::new();
         for (req, ok) in reqs.iter().zip(fit) {
             if ok {
-                let leader = self.events[req.leader.0 as usize].as_ref().unwrap();
-                scheduled.extend(leader.group.iter().copied());
+                if let Some(leader) = self.events[req.leader.0 as usize].as_ref() {
+                    scheduled.extend(leader.group.iter().copied());
+                }
             }
         }
         let st = &mut self.cpu_perf[cpu.0];
@@ -1218,7 +1460,9 @@ pub fn run_with_hooks(
         };
         for (pid, hook) in hooks {
             handler(handle, pid, hook);
-            handle.lock().resume(pid).expect("hooked task resumable");
+            // The handler may legitimately have resumed (or exited) the
+            // task itself; a failed resume here is not an error.
+            let _ = handle.lock().resume(pid);
         }
     }
 }
@@ -2079,5 +2323,252 @@ mod tests {
         k.run_to_completion(10_000_000_000);
         assert!(k.all_exited());
         assert_eq!(k.task_stats(pid).unwrap().instructions, 10_000_000);
+    }
+
+    // ---- fault injection --------------------------------------------------
+
+    use crate::faults::{FaultKind, FaultPlan, TransientErrno};
+
+    #[test]
+    fn hotplug_freezes_cpu_pinned_event_clocks() {
+        // A task pinned to cpu0 alone: it starves during the outage and
+        // resumes in place afterwards, so the CPU-pinned event must both
+        // freeze its clocks (no scaling over the dead window) and resume
+        // counting when the CPU returns.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 500_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Cycles),
+                Target::Cpu(CpuId(0)),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.install_faults(&FaultPlan::new(42).at(
+            10_000_000,
+            FaultKind::CpuOffline {
+                cpu: CpuId(0),
+                down_ns: Some(20_000_000),
+            },
+        ));
+        while k.time_ns() < 30_000_000 {
+            k.tick();
+        }
+        // Both clocks froze for the whole outage — of the 30 ms elapsed,
+        // exactly the first 10 ms were countable. No scaling applies.
+        let mid = k.read_event(fd).unwrap();
+        assert_eq!(mid.time_enabled, 10_000_000);
+        assert_eq!(mid.time_running, 10_000_000);
+        while k.time_ns() < 40_000_000 {
+            k.tick();
+        }
+        // Back online: both clocks resume, and so does counting.
+        let end = k.read_event(fd).unwrap();
+        assert_eq!(end.time_enabled, 20_000_000);
+        assert_eq!(end.time_running, 20_000_000);
+        assert!(end.value > mid.value, "counting again after re-online");
+        k.run_to_completion(100_000_000_000);
+        assert_eq!(k.task_stats(pid).unwrap().instructions, 500_000_000);
+        let log: Vec<&str> = k.fault_log().iter().map(|r| r.desc.as_str()).collect();
+        assert!(log.iter().any(|d| d.contains("cpu0 offline")), "{log:?}");
+        assert!(log.iter().any(|d| d.contains("cpu0 back online")), "{log:?}");
+    }
+
+    #[test]
+    fn hotplug_migrates_tasks_and_loses_no_thread_counts() {
+        // A task that may run on cpu0 or cpu1 gets kicked off cpu0 when it
+        // goes down for good; its per-thread event keeps counting on cpu1
+        // and the total stays exact.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0, 1]), 500_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.install_faults(&FaultPlan::new(7).at(
+            10_000_000,
+            FaultKind::CpuOffline {
+                cpu: CpuId(0),
+                down_ns: None,
+            },
+        ));
+        k.run_to_completion(100_000_000_000);
+        assert!(!k.cpu_online(CpuId(0)), "cpu0 stays down");
+        let st = k.task_stats(pid).unwrap();
+        assert_eq!(st.instructions, 500_000_000);
+        assert!(st.migrations >= 1, "task left the offlined CPU");
+        let rv = k.read_event(fd).unwrap();
+        assert_eq!(rv.value, 500_000_000, "thread event followed the task");
+    }
+
+    #[test]
+    fn watchdog_theft_forces_multiplexing_and_scaling() {
+        // Fill all 8 GoldenCove GP counters and let Instructions ride its
+        // fixed counter; then the NMI watchdog steals the fixed counter.
+        // Instructions must spill to the (full) GP file and rotate, with
+        // scaled estimates staying honest.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 400_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let inst_fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(inst_fd, false).unwrap();
+        let mut gp_fds = Vec::new();
+        for _ in 0..8 {
+            let fd = k
+                .perf_event_open(
+                    PerfAttr::counting(core, ArchEvent::BranchInstructions),
+                    Target::Thread(pid),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            gp_fds.push(fd);
+        }
+        k.install_faults(&FaultPlan::new(5).at(
+            0,
+            FaultKind::NmiWatchdog {
+                steal: ArchEvent::Instructions,
+                hold_ns: None,
+            },
+        ));
+        k.run_to_completion(60_000_000_000);
+        let inst = k.read_event(inst_fd).unwrap();
+        assert!(
+            inst.time_running < inst.time_enabled,
+            "without its fixed counter, Instructions must rotate: {inst:?}"
+        );
+        let est = inst.scaled() as f64;
+        let err = (est - 400e6).abs() / 400e6;
+        assert!(err < 0.25, "scaled estimate off by {:.1}%", err * 100.0);
+        let log: Vec<&str> = k.fault_log().iter().map(|r| r.desc.as_str()).collect();
+        assert!(log.iter().any(|d| d.contains("watchdog")), "{log:?}");
+    }
+
+    #[test]
+    fn transient_open_and_read_errors_fire_then_clear() {
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 1_000_000);
+        k.install_faults(
+            &FaultPlan::new(9)
+                .at(
+                    0,
+                    FaultKind::TransientOpen {
+                        errno: TransientErrno::Eintr,
+                        count: 2,
+                    },
+                )
+                .at(
+                    0,
+                    FaultKind::TransientRead {
+                        errno: TransientErrno::Ebusy,
+                        count: 1,
+                    },
+                ),
+        );
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let attr = PerfAttr::counting(core, ArchEvent::Instructions);
+        let e1 = k
+            .perf_event_open(attr, Target::Thread(pid), None)
+            .unwrap_err();
+        assert_eq!(e1, PerfError::TransientEintr);
+        assert!(e1.is_transient());
+        let e2 = k
+            .perf_event_open(attr, Target::Thread(pid), None)
+            .unwrap_err();
+        assert!(e2.is_transient());
+        // Third attempt goes through: the fault is transient, not sticky.
+        let fd = k.perf_event_open(attr, Target::Thread(pid), None).unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(1_000_000_000);
+        assert_eq!(k.read_event(fd).unwrap_err(), PerfError::TransientEbusy);
+        let rv = k.read_event(fd).unwrap();
+        assert_eq!(rv.value, 1_000_000, "retried read is exact");
+    }
+
+    #[test]
+    fn wrap_bias_unwraps_exactly_with_48bit_arithmetic() {
+        use simcpu::pmu::COUNTER_MASK;
+        let mut k = raptor();
+        // Bias every new counter to within 1 M events of the 48-bit limit,
+        // so a 5 M-instruction run is guaranteed to wrap.
+        k.install_faults(
+            &FaultPlan::new(11).at(0, FaultKind::CounterWrap { headroom: 1_000_000 }),
+        );
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 5_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        let raw0 = k.read_event(fd).unwrap().value;
+        assert!(
+            raw0 > COUNTER_MASK - 1_000_000,
+            "baseline starts near the wrap point: {raw0:#x}"
+        );
+        k.run_to_completion(10_000_000_000);
+        let raw1 = k.read_event(fd).unwrap().value;
+        assert!(raw1 < raw0, "the visible counter wrapped past 2^48");
+        // Modular 48-bit subtraction recovers the exact count.
+        assert_eq!(raw1.wrapping_sub(raw0) & COUNTER_MASK, 5_000_000);
+        let log: Vec<&str> = k.fault_log().iter().map(|r| r.desc.as_str()).collect();
+        assert!(log.iter().any(|d| d.contains("wrap bias")), "{log:?}");
+    }
+
+    #[test]
+    fn same_seed_fault_plans_replay_identically() {
+        let run = |seed: u64| -> (Vec<String>, u64, u64) {
+            let mut k = raptor();
+            k.install_faults(
+                &FaultPlan::new(seed)
+                    .at(0, FaultKind::CounterWrap { headroom: 500_000 })
+                    .at(
+                        5_000_000,
+                        FaultKind::CpuOffline {
+                            cpu: CpuId(3),
+                            down_ns: Some(10_000_000),
+                        },
+                    ),
+            );
+            let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 3_000_000);
+            let core = k.pmu_by_name("cpu_core").unwrap().id;
+            let fd = k
+                .perf_event_open(
+                    PerfAttr::counting(core, ArchEvent::Instructions),
+                    Target::Thread(pid),
+                    None,
+                )
+                .unwrap();
+            k.ioctl_enable(fd, false).unwrap();
+            let base = k.read_event(fd).unwrap().value;
+            k.run_to_completion(30_000_000_000);
+            let log = k
+                .fault_log()
+                .iter()
+                .map(|r| format!("{}:{}", r.at_ns, r.desc))
+                .collect();
+            (log, base, k.read_event(fd).unwrap().value)
+        };
+        let a = run(1234);
+        let b = run(1234);
+        assert_eq!(a, b, "same seed ⇒ identical log, bias and final counts");
+        let c = run(99);
+        assert_ne!(a.1, c.1, "different seed draws a different wrap bias");
     }
 }

@@ -21,13 +21,19 @@
 //! * [`kernel`] — the tick loop that binds scheduler, execution model and
 //!   PMU hardware together, plus the syscall surface and its latency
 //!   accounting (for the paper's §V.5 overhead questions).
+//! * [`faults`] — seeded, deterministic fault injection: CPU hotplug,
+//!   NMI-watchdog counter theft, transient `EINTR`/`EBUSY`, 48-bit
+//!   counter wrap, RAPL energy-wrap bursts and flaky sysfs, all
+//!   replayable byte-for-byte from a `FaultPlan`.
 
+pub mod faults;
 pub mod kernel;
 pub mod perf;
 pub mod sched;
 pub mod sysfs;
 pub mod task;
 
+pub use faults::{FaultKind, FaultPlan, FaultRecord, TransientErrno};
 pub use kernel::{Kernel, KernelConfig, KernelHandle, SyscallStats};
 pub use perf::{EventFd, PerfAttr, PerfError, PmuDesc, PmuKind, ReadValue, Target};
 pub use task::{HookId, Op, Pid, ProgCtx, Program, TaskStats};

@@ -25,6 +25,7 @@
 
 use crate::task::Pid;
 use simcpu::events::ArchEvent;
+use simcpu::pmu::COUNTER_MASK;
 use simcpu::types::{CpuId, CpuMask, Nanos};
 use simcpu::uarch::{Microarch, UarchParams};
 
@@ -172,6 +173,20 @@ pub enum PerfError {
     BadConfig,
     /// Operation not valid in this state.
     InvalidState(&'static str),
+    /// The call was interrupted before completing (EINTR). Transient:
+    /// retrying the identical call is the correct response.
+    TransientEintr,
+    /// The PMU was momentarily busy, e.g. mid-hotplug or contended with
+    /// the NMI watchdog (EBUSY). Transient: retry after a short backoff.
+    TransientEbusy,
+}
+
+impl PerfError {
+    /// Whether retrying the same call can succeed. Drives the PAPI layer's
+    /// retry-with-backoff loop; every other variant is a hard error.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PerfError::TransientEintr | PerfError::TransientEbusy)
+    }
 }
 
 impl std::fmt::Display for PerfError {
@@ -187,6 +202,8 @@ impl std::fmt::Display for PerfError {
             PerfError::NoSuchProcess => write!(f, "no such process (ESRCH)"),
             PerfError::BadConfig => write!(f, "bad config for PMU (EINVAL)"),
             PerfError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            PerfError::TransientEintr => write!(f, "interrupted system call (EINTR)"),
+            PerfError::TransientEbusy => write!(f, "device or resource busy (EBUSY)"),
         }
     }
 }
@@ -248,6 +265,13 @@ pub struct ReadValue {
     pub value: u64,
     pub time_enabled: Nanos,
     pub time_running: Nanos,
+    /// Time the event's context was active on a CPU its PMU covers,
+    /// whether or not it held a hardware counter. The gap
+    /// `enabled − matched` is expected hybrid behaviour (wrong core
+    /// type); the gap `matched − running` is involuntary loss
+    /// (multiplexed out, counter stolen) and is the only part a reader
+    /// should scale over.
+    pub time_matched: Nanos,
 }
 
 impl ReadValue {
@@ -259,6 +283,20 @@ impl ReadValue {
             self.value
         } else {
             (self.value as f64 * self.time_enabled as f64 / self.time_running as f64) as u64
+        }
+    }
+
+    /// Coverage-aware estimate: `value · matched/running`. Extrapolates
+    /// only over involuntary counter loss, never over time spent on a
+    /// core type the PMU does not cover — the scaling a hybrid-aware
+    /// reader wants.
+    pub fn scaled_matched(&self) -> u64 {
+        if self.time_running == 0 {
+            0
+        } else if self.time_running >= self.time_matched {
+            self.value
+        } else {
+            (self.value as f64 * self.time_matched as f64 / self.time_running as f64) as u64
         }
     }
 }
@@ -277,6 +315,12 @@ pub struct PerfEvent {
     pub count: u64,
     pub time_enabled: Nanos,
     pub time_running: Nanos,
+    /// See [`ReadValue::time_matched`].
+    pub time_matched: Nanos,
+    /// Fault injection: a fixed offset near the 48-bit counter limit,
+    /// applied modulo 2^48 at read time so the counter visibly wraps
+    /// mid-run. Zero means no wrap fault armed (values pass through).
+    pub wrap_bias: u64,
     /// Sampling accumulator and ring.
     pub sample_accum: u64,
     pub samples: Vec<SampleRec>,
@@ -294,6 +338,8 @@ impl PerfEvent {
             count: 0,
             time_enabled: 0,
             time_running: 0,
+            time_matched: 0,
+            wrap_bias: 0,
             sample_accum: 0,
             samples: Vec::new(),
         }
@@ -323,13 +369,25 @@ impl PerfEvent {
         }
     }
 
+    /// The counter value as user space sees it: the true count plus any
+    /// armed wrap bias, truncated to the 48 hardware bits. With no wrap
+    /// fault armed this is the count itself.
+    pub fn visible_count(&self) -> u64 {
+        if self.wrap_bias == 0 {
+            self.count
+        } else {
+            self.count.wrapping_add(self.wrap_bias) & COUNTER_MASK
+        }
+    }
+
     /// Snapshot for `read()`.
     pub fn read_value(&self) -> ReadValue {
         ReadValue {
             fd: self.fd,
-            value: self.count,
+            value: self.visible_count(),
             time_enabled: self.time_enabled,
             time_running: self.time_running,
+            time_matched: self.time_matched,
         }
     }
 }
@@ -350,7 +408,24 @@ pub struct GroupReq {
 /// each fixed counter at most once and general counters for the rest.
 /// Returns, per group, whether it was scheduled.
 pub fn schedule_groups(uarch: &UarchParams, groups: &[GroupReq]) -> Vec<bool> {
-    let mut fixed_used = vec![false; uarch.fixed_counters.len()];
+    schedule_groups_with(uarch, groups, &[])
+}
+
+/// [`schedule_groups`] with some fixed counters pre-claimed by the kernel
+/// itself — e.g. the NMI watchdog sitting on the fixed cycles counter.
+/// An event whose fixed counter is stolen falls back to a general
+/// counter, so theft shows up to user space as extra GP pressure and,
+/// under load, multiplexing.
+pub fn schedule_groups_with(
+    uarch: &UarchParams,
+    groups: &[GroupReq],
+    stolen_fixed: &[ArchEvent],
+) -> Vec<bool> {
+    let mut fixed_used: Vec<bool> = uarch
+        .fixed_counters
+        .iter()
+        .map(|f| stolen_fixed.contains(f))
+        .collect();
     let mut gp_free = uarch.n_gp_counters;
     let mut out = Vec::with_capacity(groups.len());
     for g in groups {
@@ -400,6 +475,7 @@ mod tests {
             value: 500,
             time_enabled: 1000,
             time_running: 500,
+            time_matched: 1000,
         };
         assert_eq!(rv.scaled(), 1000);
         let full = ReadValue {
@@ -412,6 +488,43 @@ mod tests {
             ..rv
         };
         assert_eq!(never.scaled(), 0);
+    }
+
+    #[test]
+    fn matched_scaling_ignores_wrong_core_time() {
+        // Thread enabled 1000 ns total, but only 400 ns on this PMU's core
+        // type; counted for 200 of those 400 (multiplexed half the time).
+        let rv = ReadValue {
+            fd: EventFd(1),
+            value: 300,
+            time_enabled: 1000,
+            time_running: 200,
+            time_matched: 400,
+        };
+        // enabled/running would extrapolate the P-core rate across E-core
+        // residency (1500); matched/running stops at the covered window.
+        assert_eq!(rv.scaled(), 1500);
+        assert_eq!(rv.scaled_matched(), 600);
+        // Fully counted while covered: value passes through.
+        let full = ReadValue {
+            time_running: 400,
+            ..rv
+        };
+        assert_eq!(full.scaled_matched(), 300);
+    }
+
+    #[test]
+    fn wrap_bias_is_invisible_until_the_counter_wraps() {
+        let attr = PerfAttr::counting(4, ArchEvent::Instructions);
+        let mut ev = PerfEvent::new(EventFd(1), attr, Target::Thread(Pid(1)), EventFd(1));
+        ev.wrap_bias = COUNTER_MASK - 99; // 100 counts of headroom
+        ev.add_count(60, 0, CpuId(0));
+        assert_eq!(ev.visible_count(), COUNTER_MASK - 39);
+        // 60 more counts carries the visible value across the 48-bit edge.
+        ev.add_count(60, 0, CpuId(0));
+        assert_eq!(ev.visible_count(), 20);
+        // The true count is untouched: an unwrapping reader can recover it.
+        assert_eq!(ev.count, 120);
     }
 
     #[test]
@@ -468,6 +581,76 @@ mod tests {
         let sched = schedule_groups(&GRACEMONT, &groups);
         assert_eq!(sched.iter().filter(|&&b| b).count(), 6);
         assert!(!sched[6]);
+    }
+
+    #[test]
+    fn stolen_fixed_counter_falls_back_to_gp() {
+        // Fixed cycles stolen by the watchdog: a lone Cycles group still
+        // schedules, but now burns a general counter — a second group
+        // needing all 8 GP slots no longer fits beside it.
+        let g1 = grp(1, &[ArchEvent::Cycles]);
+        let gp8: Vec<ArchEvent> = vec![
+            ArchEvent::BranchInstructions,
+            ArchEvent::BranchMisses,
+            ArchEvent::L1dAccesses,
+            ArchEvent::L1dMisses,
+            ArchEvent::L2Accesses,
+            ArchEvent::L2Misses,
+            ArchEvent::LlcAccesses,
+            ArchEvent::LlcMisses,
+        ];
+        let g2 = grp(2, &gp8);
+        assert_eq!(
+            schedule_groups(&GOLDEN_COVE, &[g1.clone(), g2.clone()]),
+            vec![true, true]
+        );
+        assert_eq!(
+            schedule_groups_with(&GOLDEN_COVE, &[g1, g2], &[ArchEvent::Cycles]),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn watchdog_theft_forces_rotation_on_small_pmu() {
+        // Gracemont: 6 GP counters. Two groups that coexist normally
+        // (fixed Instructions + 6 GP) are forced into rotation once the
+        // watchdog steals the fixed Instructions counter.
+        let g1 = grp(1, &[ArchEvent::Instructions, ArchEvent::BranchMisses]);
+        let g2 = grp(
+            2,
+            &[
+                ArchEvent::L1dAccesses,
+                ArchEvent::L1dMisses,
+                ArchEvent::L2Accesses,
+                ArchEvent::L2Misses,
+                ArchEvent::LlcMisses,
+            ],
+        );
+        assert_eq!(
+            schedule_groups(&GRACEMONT, &[g1.clone(), g2.clone()]),
+            vec![true, true]
+        );
+        let stolen = [ArchEvent::Instructions];
+        assert_eq!(
+            schedule_groups_with(&GRACEMONT, &[g1.clone(), g2.clone()], &stolen),
+            vec![true, false]
+        );
+        // Rotation's other phase: g2 first, g1 multiplexed out.
+        assert_eq!(
+            schedule_groups_with(&GRACEMONT, &[g2, g1], &stolen),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn theft_of_an_unused_fixed_counter_is_invisible() {
+        // The watchdog stealing RefCycles doesn't disturb groups that
+        // never wanted it.
+        let g = grp(1, &[ArchEvent::Cycles, ArchEvent::Instructions]);
+        assert_eq!(
+            schedule_groups_with(&GRACEMONT, &[g], &[ArchEvent::RefCycles]),
+            vec![true]
+        );
     }
 
     #[test]

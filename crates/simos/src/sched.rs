@@ -56,7 +56,22 @@ impl Scheduler {
         current: &mut [Option<Pid>],
         now_ns: Nanos,
     ) {
+        self.assign_masked(topo, &vec![true; topo.len()], tasks, current, now_ns);
+    }
+
+    /// [`Scheduler::assign`] restricted to online CPUs: offline slots are
+    /// never placed on, and anything found running there is kicked back to
+    /// the run queue (CPU hotplug).
+    pub fn assign_masked(
+        &self,
+        topo: &[SchedCpu],
+        online: &[bool],
+        tasks: &mut [Option<Task>],
+        current: &mut [Option<Pid>],
+        now_ns: Nanos,
+    ) {
         assert_eq!(topo.len(), current.len());
+        assert_eq!(topo.len(), online.len());
 
         // 1. Wake sleepers whose deadline passed.
         let mut min_vruntime = f64::INFINITY;
@@ -79,18 +94,20 @@ impl Scheduler {
             }
         }
 
-        // 2. Drop assignments whose task is gone/blocked/exited, or whose
+        // 2. Drop assignments whose task is gone/blocked/exited, whose
         //    affinity no longer allows its current CPU (sched_setaffinity
-        //    migrates a running task immediately).
+        //    migrates a running task immediately), or whose CPU went
+        //    offline.
         for (ci, slot) in current.iter_mut().enumerate() {
             if let Some(pid) = *slot {
-                let keep = tasks
-                    .get(pid.0 as usize)
-                    .and_then(|t| t.as_ref())
-                    .map(|t| {
-                        t.is_runnable() && t.affinity.contains(simcpu::types::CpuId(ci))
-                    })
-                    .unwrap_or(false);
+                let keep = online[ci]
+                    && tasks
+                        .get(pid.0 as usize)
+                        .and_then(|t| t.as_ref())
+                        .map(|t| {
+                            t.is_runnable() && t.affinity.contains(simcpu::types::CpuId(ci))
+                        })
+                        .unwrap_or(false);
                 if !keep {
                     if let Some(t) = tasks.get_mut(pid.0 as usize).and_then(|t| t.as_mut()) {
                         if t.is_runnable() {
@@ -120,7 +137,10 @@ impl Scheduler {
             let last = task.last_cpu.map(|c| c.0);
             let mut best: Option<(i64, usize)> = None;
             for (ci, tc) in topo.iter().enumerate() {
-                if current[ci].is_some() || !affinity.contains(simcpu::types::CpuId(ci)) {
+                if !online[ci]
+                    || current[ci].is_some()
+                    || !affinity.contains(simcpu::types::CpuId(ci))
+                {
                     continue;
                 }
                 // Score: capacity (if aware), idle-sibling bonus, warmth.
@@ -159,7 +179,7 @@ impl Scheduler {
             let affinity = tasks[pid.0 as usize].as_ref().unwrap().affinity;
             let mut victim: Option<(f64, usize)> = None;
             for (ci, _) in topo.iter().enumerate() {
-                if !affinity.contains(simcpu::types::CpuId(ci)) {
+                if !online[ci] || !affinity.contains(simcpu::types::CpuId(ci)) {
                     continue;
                 }
                 if let Some(run_pid) = current[ci] {
@@ -349,6 +369,24 @@ mod tests {
         s.assign(&topo, &mut tasks, &mut cur, 1_000_000);
         assert_eq!(cur[0], None, "old slot vacated");
         assert_eq!(cur[3], Some(Pid(0)), "moved to the allowed CPU");
+    }
+
+    #[test]
+    fn offline_cpu_is_vacated_and_avoided() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let s = Scheduler::default();
+        s.assign(&topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)), "starts on the big core");
+        // cpu0 goes offline: the task must migrate off it this tick and
+        // never come back while it stays down.
+        let online = vec![false, true, true, true];
+        s.assign_masked(&topo, &online, &mut tasks, &mut cur, 1_000_000);
+        assert_eq!(cur[0], None, "offline slot vacated");
+        assert!(cur[1..].contains(&Some(Pid(0))), "{cur:?}");
+        s.assign_masked(&topo, &online, &mut tasks, &mut cur, 2_000_000);
+        assert_eq!(cur[0], None);
     }
 
     #[test]

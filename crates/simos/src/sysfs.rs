@@ -42,15 +42,26 @@ fn enoent(p: &str) -> SysfsError {
 }
 
 /// Read a virtual sysfs/procfs file.
+///
+/// Under an installed [`crate::faults::FaultPlan`] with `SysfsFlaky`
+/// windows, any read inside a window fails with a transient I/O error —
+/// pollers are expected to skip the sample and carry on (the paper's
+/// scripts tolerate exactly this).
 pub fn read(k: &Kernel, path: &str) -> Result<String, SysfsError> {
+    if k.sysfs_faulty_now() {
+        return Err(SysfsError(format!("{path} (transient EIO)")));
+    }
     let m = k.machine();
     let n = m.n_cpus();
 
     if path == "/proc/cpuinfo" {
         return Ok(proc_cpuinfo(k));
     }
-    if path == "/sys/devices/system/cpu/possible" || path == "/sys/devices/system/cpu/online" {
+    if path == "/sys/devices/system/cpu/possible" {
         return Ok(format!("0-{}", n - 1));
+    }
+    if path == "/sys/devices/system/cpu/online" {
+        return Ok(k.online_mask().to_cpulist());
     }
 
     // /sys/devices/system/cpu/cpuN/...
@@ -58,6 +69,11 @@ pub fn read(k: &Kernel, path: &str) -> Result<String, SysfsError> {
         let (idx, file) = rest.split_once('/').ok_or_else(|| enoent(path))?;
         let cpu: usize = idx.parse().map_err(|_| enoent(path))?;
         if cpu >= n {
+            return Err(enoent(path));
+        }
+        // Like Linux, the cpufreq directory vanishes while a CPU is
+        // hot-unplugged; identity files (topology, caches) stay.
+        if file.starts_with("cpufreq/") && !k.cpu_online(CpuId(cpu)) {
             return Err(enoent(path));
         }
         let info = m.cpu_info(CpuId(cpu));
@@ -106,7 +122,9 @@ pub fn read(k: &Kernel, path: &str) -> Result<String, SysfsError> {
             if let Some(pmu) = k.pmu_by_name(name) {
                 return match file {
                     "type" => Ok(pmu.id.to_string()),
-                    "cpus" | "cpumask" => Ok(pmu.cpus.to_cpulist()),
+                    // Offlined CPUs drop out of the PMU's cpumask, exactly
+                    // as perf's sysfs does during hotplug.
+                    "cpus" | "cpumask" => Ok(pmu.cpus.and(&k.online_mask()).to_cpulist()),
                     _ => Err(enoent(path)),
                 };
             }
@@ -374,6 +392,56 @@ mod tests {
         assert!(read(&k, "/sys/nonsense").is_err());
         assert!(read(&k, "/sys/devices/system/cpu/cpu99/cpu_capacity").is_err());
         assert!(list(&k, "/sys/nonsense").is_err());
+    }
+
+    #[test]
+    fn hotplug_updates_online_file_and_pmu_masks() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let mut k = raptor();
+        assert_eq!(read(&k, "/sys/devices/system/cpu/online").unwrap(), "0-23");
+        let plan = FaultPlan::new(7).at(
+            0,
+            FaultKind::CpuOffline {
+                cpu: CpuId(17),
+                down_ns: None,
+            },
+        );
+        k.install_faults(&plan);
+        assert_eq!(
+            read(&k, "/sys/devices/system/cpu/online").unwrap(),
+            "0-16,18-23"
+        );
+        // `possible` is immutable, like real sysfs.
+        assert_eq!(read(&k, "/sys/devices/system/cpu/possible").unwrap(), "0-23");
+        // The E-core PMU's cpumask loses cpu17…
+        assert_eq!(
+            read(&k, "/sys/devices/cpu_atom/cpus").unwrap(),
+            "16,18-23"
+        );
+        // …the P-core PMU is untouched…
+        assert_eq!(read(&k, "/sys/devices/cpu_core/cpus").unwrap(), "0-15");
+        // …cpufreq vanishes for the dead CPU but identity files stay.
+        assert!(
+            read(&k, "/sys/devices/system/cpu/cpu17/cpufreq/scaling_cur_freq").is_err()
+        );
+        assert!(read(&k, "/sys/devices/system/cpu/cpu17/topology/core_id").is_ok());
+    }
+
+    #[test]
+    fn flaky_window_fails_reads_then_recovers() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let mut k = raptor();
+        let plan = FaultPlan::new(3).at(
+            0,
+            FaultKind::SysfsFlaky { dur_ns: 2_000_000 },
+        );
+        k.install_faults(&plan);
+        let path = "/sys/class/thermal/thermal_zone0/temp";
+        assert!(read(&k, path).is_err(), "inside the window");
+        while k.time_ns() < 2_000_000 {
+            k.tick();
+        }
+        assert!(read(&k, path).is_ok(), "after the window");
     }
 
     #[test]

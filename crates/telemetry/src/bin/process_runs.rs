@@ -74,7 +74,8 @@ fn main() {
         out_headers.push("pkg_w".into());
         let first = &runs[0];
         for si in 0..min_len {
-            let w = if si == 0 || first[si][ec].is_nan() {
+            let w = if si == 0 || first[si][ec].is_nan() || first[si - 1][ec].is_nan() {
+                // A missed sample on either side of the window: no delta.
                 f64::NAN
             } else {
                 let dt = first[si][0] - first[si - 1][0];

@@ -7,7 +7,7 @@
 //! paper's ARM setup) is modeled as an out-of-band reading of the
 //! machine's meter rail, since it is external hardware, not sysfs.
 
-use simcpu::power::energy_delta_uj;
+use simcpu::power::{energy_delta_uj, energy_delta_uj_hinted};
 use simcpu::types::{CpuMask, Nanos};
 use simos::kernel::KernelHandle;
 use simos::sysfs;
@@ -33,6 +33,9 @@ pub struct Sample {
 pub struct Trace {
     pub interval_ns: Nanos,
     pub samples: Vec<Sample>,
+    /// Sampling instants where sysfs was unreadable and the sample was
+    /// dropped rather than recorded with made-up values.
+    pub missed: usize,
 }
 
 impl Trace {
@@ -40,6 +43,7 @@ impl Trace {
         Trace {
             interval_ns,
             samples: Vec::new(),
+            missed: 0,
         }
     }
 
@@ -54,16 +58,37 @@ impl Trace {
         self.energy_power_series(|s| s.rapl_uj.map(|(_, _, dram)| dram))
     }
 
+    /// Derive a power series from wrapped energy readings, bridging gaps.
+    ///
+    /// Deltas are taken between **consecutive valid** samples, so missed
+    /// samples (flaky sysfs) merely widen the window instead of dropping
+    /// the interval. Over a widened window the 32-bit counter may wrap
+    /// more than once; an EWMA of the recent power serves as the expected
+    /// energy hint for [`energy_delta_uj_hinted`], which recovers the
+    /// exact multi-wrap delta as long as the estimate is within half a
+    /// wrap (±2 147 J) of the truth.
     fn energy_power_series(&self, get: impl Fn(&Sample) -> Option<u64>) -> Vec<(f64, f64)> {
         let mut out = Vec::new();
-        for w in self.samples.windows(2) {
-            let (Some(a), Some(b)) = (get(&w[0]), get(&w[1])) else {
-                continue;
-            };
-            let dt = w[1].t_s - w[0].t_s;
-            if dt > 0.0 {
-                out.push((w[1].t_s, energy_delta_uj(a, b) as f64 / 1e6 / dt));
+        let mut last: Option<(f64, u64)> = None;
+        let mut ewma_w: Option<f64> = None;
+        for s in &self.samples {
+            let Some(uj) = get(s) else { continue };
+            if let Some((t0, a)) = last {
+                let dt = s.t_s - t0;
+                if dt > 0.0 {
+                    let d = match ewma_w {
+                        Some(p) => energy_delta_uj_hinted(a, uj, (p * dt * 1e6) as u64),
+                        None => energy_delta_uj(a, uj),
+                    };
+                    let watts = d as f64 / 1e6 / dt;
+                    ewma_w = Some(match ewma_w {
+                        Some(p) => 0.7 * p + 0.3 * watts,
+                        None => watts,
+                    });
+                    out.push((s.t_s, watts));
+                }
             }
+            last = Some((s.t_s, uj));
         }
         out
     }
@@ -146,9 +171,21 @@ impl Poller {
         }
         self.next_sample_ns = now + self.trace.interval_ns;
 
+        // The thermal zone is the canary: if sysfs is down (fault
+        // injection's flaky windows), drop the whole sample rather than
+        // record fabricated zeros — downstream consumers bridge the gap.
+        let Some(temp_mc) = sysfs::read(&k, "/sys/class/thermal/thermal_zone0/temp")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        else {
+            self.trace.missed += 1;
+            return;
+        };
         let n = k.machine().n_cpus();
         let freq_khz: Vec<u64> = (0..n)
             .map(|i| {
+                // 0 for an offline CPU (its cpufreq directory is gone),
+                // matching what the paper's script records.
                 sysfs::read(
                     &k,
                     &format!("/sys/devices/system/cpu/cpu{i}/cpufreq/scaling_cur_freq"),
@@ -158,22 +195,18 @@ impl Poller {
                 .unwrap_or(0)
             })
             .collect();
-        let temp_mc = sysfs::read(&k, "/sys/class/thermal/thermal_zone0/temp")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
         let rapl_uj = if k.machine().rapl().available() {
-            let rd = |zone: &str| -> u64 {
+            let rd = |zone: &str| -> Option<u64> {
                 sysfs::read(&k, &format!("/sys/class/powercap/{zone}/energy_uj"))
                     .ok()
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or(0)
             };
-            Some((
-                rd("intel-rapl:0"),
-                rd("intel-rapl:0:0"),
-                rd("intel-rapl:0:1"),
-            ))
+            // All-or-nothing: a partially read RAPL triple would silently
+            // corrupt the energy deltas downstream.
+            match (rd("intel-rapl:0"), rd("intel-rapl:0:0"), rd("intel-rapl:0:1")) {
+                (Some(p), Some(c), Some(d)) => Some((p, c, d)),
+                _ => None,
+            }
         } else {
             None
         };
@@ -254,6 +287,95 @@ mod tests {
         assert_eq!(s.freq_khz.len(), 24);
         assert!(s.rapl_uj.is_some());
         assert!(s.temp_mc > 0);
+    }
+
+    #[test]
+    fn gap_bridged_power_recovers_multiwrap_exactly() {
+        // Steady 200 W at 1 Hz, then a 60 s blackout (flaky sysfs dropped
+        // the samples). The 32-bit counter wraps 2.79× during the gap;
+        // the EWMA-hinted delta must pin the bridged power at exactly
+        // 200 W, where the naive unwrap would report 56.8 W.
+        let wrap = simcpu::power::ENERGY_WRAP_UJ;
+        let per_s: u64 = 200_000_000; // 200 W in µJ/s
+        let mut tr = Trace::new(1_000_000_000);
+        for t in 0..4u64 {
+            tr.samples
+                .push(sample_at(t as f64, Some((t * per_s) % wrap)));
+        }
+        tr.samples
+            .push(sample_at(63.0, Some((63 * per_s) % wrap)));
+        let p = tr.pkg_power_series();
+        assert_eq!(p.len(), 4, "3 adjacent pairs + 1 bridged gap");
+        for (_, w) in &p[..3] {
+            assert!((w - 200.0).abs() < 1e-9, "steady prefix: {w}");
+        }
+        let (t, w) = p[3];
+        assert!((t - 63.0).abs() < 1e-9);
+        assert!((w - 200.0).abs() < 1e-9, "bridged multi-wrap gap: {w}");
+        // Sanity: without the hint the gap would be multiple wraps short.
+        let naive = energy_delta_uj((3 * per_s) % wrap, (63 * per_s) % wrap);
+        assert_eq!(naive + 2 * wrap, 60 * per_s);
+    }
+
+    #[test]
+    fn poller_drops_samples_in_flaky_windows() {
+        use simos::faults::{FaultKind, FaultPlan};
+        let kernel = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        );
+        kernel.lock().install_faults(&FaultPlan::new(21).at(
+            300_000_000,
+            FaultKind::SysfsFlaky {
+                dur_ns: 300_000_000,
+            },
+        ));
+        let mut poller = Poller::new(kernel.clone(), 100_000_000); // 10 Hz
+        for _ in 0..1000 {
+            kernel.lock().tick();
+            poller.poll();
+        }
+        let tr = &poller.trace;
+        assert!(tr.missed >= 2, "0.3 s blackout at 10 Hz: {}", tr.missed);
+        assert!(
+            tr.samples.len() + tr.missed >= 9,
+            "sampling cadence kept: {} + {}",
+            tr.samples.len(),
+            tr.missed
+        );
+        // No fabricated values in the surviving samples.
+        for s in &tr.samples {
+            assert!(s.temp_mc > 0);
+            assert!(s.rapl_uj.is_some());
+        }
+        // The power series still covers the blackout via widened windows.
+        let p = tr.pkg_power_series();
+        assert_eq!(p.len(), tr.samples.len() - 1);
+    }
+
+    #[test]
+    fn poller_reports_zero_freq_for_offline_cpu() {
+        use simos::faults::{FaultKind, FaultPlan};
+        let kernel = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig::default(),
+        );
+        kernel.lock().install_faults(&FaultPlan::new(4).at(
+            0,
+            FaultKind::CpuOffline {
+                cpu: simcpu::types::CpuId(17),
+                down_ns: None,
+            },
+        ));
+        let mut poller = Poller::new(kernel.clone(), 100_000_000);
+        for _ in 0..50 {
+            kernel.lock().tick();
+            poller.poll();
+        }
+        let s = &poller.trace.samples[0];
+        assert_eq!(s.freq_khz.len(), 24, "vector keeps full width");
+        assert_eq!(s.freq_khz[17], 0, "offline CPU reads as 0");
+        assert!(s.freq_khz[16] > 0, "online sibling still reports");
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass fully offline (deps are
+# vendored under vendor/, see the workspace Cargo.toml).
+#
+#   build      — workspace compiles, all targets
+#   test       — every crate's suite plus the root integration tests
+#   clippy     — first-party crates lint clean with -D warnings
+#                (vendored drop-ins are excluded: their code is kept
+#                 close to upstream and only has to compile)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIRST_PARTY=(simcpu simos pfmlib papi workloads telemetry perftool hetero-papi)
+
+echo "== build (offline, all targets) =="
+cargo build --offline --workspace --all-targets
+
+echo "== test (offline, full workspace) =="
+cargo test --offline --workspace
+
+echo "== clippy (first-party, -D warnings) =="
+args=()
+for c in "${FIRST_PARTY[@]}"; do args+=(-p "$c"); done
+cargo clippy --offline "${args[@]}" --all-targets -- -D warnings
+
+echo "tier1: OK"

@@ -132,9 +132,12 @@ impl Session {
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::Session;
-    pub use papi::{Attach, EventSetId, Papi, PapiError, PapiMode, Preset};
+    pub use papi::{
+        Attach, EventSetId, Papi, PapiError, PapiMode, Preset, QualifiedValues, ReadQuality,
+    };
     pub use simcpu::phase::Phase;
     pub use simcpu::types::{CoreType, CpuId, CpuMask};
+    pub use simos::faults::{FaultKind, FaultPlan};
     pub use simos::kernel::{run_with_hooks, Kernel, KernelConfig, KernelHandle};
     pub use simos::task::{HookId, Op, Pid, ScriptedProgram};
     pub use workloads::{HplConfig, HplVariant};

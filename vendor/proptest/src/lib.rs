@@ -1,0 +1,228 @@
+//! Offline drop-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The container building this repo has no registry access, so the real
+//! crate cannot be fetched. This shim keeps the property tests running
+//! with the same source syntax:
+//!
+//! - `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] ... }`
+//! - numeric `Range` strategies (`0u64..100`, `0.0f64..1.0`, `1u128..x`)
+//! - tuple strategies + `.prop_map(..)`
+//! - `proptest::collection::vec`, `proptest::option::of`,
+//!   `proptest::bool::ANY`, string strategies from a regex subset
+//! - `prop_assert!` / `prop_assert_eq!`
+//!
+//! Differences from real proptest: generation is purely random (no
+//! shrinking on failure) and deterministic per case index, so failures
+//! reproduce across runs without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// `proptest::bool::ANY`
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `proptest::collection::vec(strategy, size)`
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Accepted size arguments: an exact `usize` or a `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option::of(strategy)`
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Roughly 1 in 4 None, matching real proptest's default weight.
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The `proptest!` macro: a config header plus one or more `#[test]`
+/// functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(__case as u64);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), &mut __rng);
+                )+
+                let __result: ::core::result::Result<
+                    (), $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let Err(__e) = __result {
+                    ::core::panic!("proptest case {} failed: {}", __case, __e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", ..)`
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __left, __right
+                )),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                    __left, __right, format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if *__left == *__right {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `left != right`\n  both: {:?}",
+                    __left
+                )),
+            );
+        }
+    }};
+}

@@ -1,0 +1,278 @@
+//! The `Strategy` trait and the strategy implementations the workspace
+//! relies on: numeric ranges, tuples, `prop_map`, `Just`, and string
+//! generation from a small regex subset.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always yields a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128)
+                    % span;
+                self.start + draw as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.end > self.start, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.end > self.start, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset: `.` and `[...]` character atoms,
+// each with an optional `{m,n}` repetition. Covers every pattern used by
+// the workspace's property tests (e.g. ".{0,64}", "[a-z][a-z0-9_]{0,12}").
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum CharClass {
+    /// `.` — any printable ASCII, with occasional controls/non-ASCII to
+    /// keep "never panics" tests honest.
+    Any,
+    /// `[...]` — explicit characters expanded from literals and ranges.
+    Set(Vec<char>),
+}
+
+impl CharClass {
+    fn draw(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Any => {
+                match rng.below(16) {
+                    // Mostly printable ASCII (includes ':', '=', ',', …).
+                    0..=12 => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+                    13 => '\t',
+                    14 => char::from_u32(0x00A1 + rng.below(0xFF) as u32).unwrap_or('¡'),
+                    _ => char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('丁'),
+                }
+            }
+            CharClass::Set(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '.' => {
+                i += 1;
+                CharClass::Any
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated char class in pattern {pattern:?}"
+                );
+                i += 1; // consume ']'
+                assert!(!set.is_empty(), "empty char class in pattern {pattern:?}");
+                CharClass::Set(set)
+            }
+            c => {
+                i += 1;
+                CharClass::Set(vec![c])
+            }
+        };
+        // Optional {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {m,n}")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (m, n) = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().expect("bad {m,n}"),
+                    n.parse().expect("bad {m,n}"),
+                ),
+                None => {
+                    let exact: usize = body.parse().expect("bad {n}");
+                    (exact, exact)
+                }
+            };
+            i = close + 1;
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(atom.class.draw(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_respects_grammar() {
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,12}".generate(&mut rng);
+            assert!((1..=13).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+
+            let dot = ".{0,64}".generate(&mut rng);
+            assert!(dot.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case(9);
+        for _ in 0..500 {
+            let v = (1u64..100, 0.0f64..1.0, 0usize..3).generate(&mut rng);
+            assert!((1..100).contains(&v.0));
+            assert!((0.0..1.0).contains(&v.1));
+            assert!(v.2 < 3);
+            let w = (1u128..(1u128 << 48)).generate(&mut rng);
+            assert!((1..(1u128 << 48)).contains(&w));
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let a = {
+            let mut rng = TestRng::for_case(7);
+            (".{0,32}", 0u64..1000).generate(&mut rng)
+        };
+        let b = {
+            let mut rng = TestRng::for_case(7);
+            (".{0,32}", 0u64..1000).generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+}
