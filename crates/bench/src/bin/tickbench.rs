@@ -1,0 +1,135 @@
+//! Tick-throughput benchmark: serial vs parallel execution, per preset.
+//!
+//! Emits `BENCH_tick.json` so future PRs have a perf baseline to regress
+//! against (`scripts/tier1.sh` runs this in `--quick` mode). For each
+//! machine preset it boots a fully loaded kernel (one immortal dgemm-ish
+//! worker per CPU), measures ticks/second in `ExecMode::Serial` and
+//! `ExecMode::Parallel { threads: 0 }` on fresh kernels, and cross-checks
+//! that both modes retired bit-identical instruction counts (`counter_drift`
+//! must be 0). The speedup column is only meaningful on a multi-core host —
+//! `host_cpus` is recorded so readers can judge (a 1-CPU CI box will
+//! honestly report ≈1× or below).
+//!
+//! Knobs: `--quick` (300 timed ticks instead of 2000), `TICKBENCH_TICKS`.
+
+use simcpu::machine::MachineSpec;
+use simcpu::phase::Phase;
+use simcpu::types::CpuMask;
+use simos::kernel::{ExecMode, Kernel, KernelConfig};
+use simos::task::{Op, Pid};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct ModeResult {
+    ticks_per_s: f64,
+    /// Total retired instructions across all tasks (drift detector).
+    instructions: u64,
+}
+
+fn load_kernel(spec: MachineSpec, mode: ExecMode) -> Kernel {
+    let mut k = Kernel::boot(
+        spec,
+        KernelConfig {
+            exec_mode: mode,
+            ..Default::default()
+        },
+    );
+    let n = k.machine().n_cpus();
+    for i in 0..n {
+        // A blocked dgemm-like phase: heavy enough that each tick runs
+        // dozens of cycle batches per CPU, like the paper's HPL runs.
+        k.spawn(
+            &format!("w{i}"),
+            Box::new(move |_: &simos::task::ProgCtx| {
+                Op::Compute(Phase::dgemm(200_000, 8 << 20, 0.35))
+            }),
+            CpuMask::from_cpus([i]),
+            0,
+        );
+    }
+    k
+}
+
+fn run_mode(spec: MachineSpec, mode: ExecMode, warmup: usize, ticks: usize) -> ModeResult {
+    let mut k = load_kernel(spec, mode);
+    for _ in 0..warmup {
+        k.tick();
+    }
+    let start = Instant::now();
+    for _ in 0..ticks {
+        k.tick();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let mut instructions = 0u64;
+    let mut pid = 0;
+    while let Some(s) = k.task_stats(Pid(pid)) {
+        instructions += s.instructions;
+        pid += 1;
+    }
+    ModeResult {
+        ticks_per_s: ticks as f64 / secs.max(1e-9),
+        instructions,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ticks = std::env::var("TICKBENCH_TICKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 300 } else { 2000 });
+    let warmup = ticks / 10;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+
+    let presets: [(&str, fn() -> MachineSpec); 4] = [
+        ("raptor_lake_i7_13700", MachineSpec::raptor_lake_i7_13700),
+        ("orangepi_800", MachineSpec::orangepi_800),
+        ("skylake_quad", MachineSpec::skylake_quad),
+        ("alder_lake_mobile", MachineSpec::alder_lake_mobile),
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"ticks\": {ticks},");
+    let _ = writeln!(json, "  \"presets\": {{");
+
+    println!("tickbench: {ticks} timed ticks/preset, host_cpus={host_cpus}");
+    for (i, (name, spec)) in presets.iter().enumerate() {
+        let serial = run_mode(spec(), ExecMode::Serial, warmup, ticks);
+        let parallel = run_mode(spec(), ExecMode::Parallel { threads: 0 }, warmup, ticks);
+        let speedup = parallel.ticks_per_s / serial.ticks_per_s;
+        let drift = serial.instructions.abs_diff(parallel.instructions);
+        println!(
+            "  {name:<22} serial {:>9.1} t/s   parallel {:>9.1} t/s   speedup {speedup:>5.2}x   drift {drift}",
+            serial.ticks_per_s, parallel.ticks_per_s
+        );
+        assert_eq!(drift, 0, "{name}: parallel mode drifted from serial");
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(
+            json,
+            "      \"serial_ticks_per_s\": {:.2},",
+            serial.ticks_per_s
+        );
+        let _ = writeln!(
+            json,
+            "      \"parallel_ticks_per_s\": {:.2},",
+            parallel.ticks_per_s
+        );
+        let _ = writeln!(json, "      \"speedup\": {speedup:.3},");
+        let _ = writeln!(json, "      \"counter_drift\": {drift}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < presets.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
+    println!("wrote BENCH_tick.json");
+}

@@ -89,20 +89,27 @@ pub fn miss_profile(phase: &Phase, uarch: &UarchParams, llc_share_bytes: u64) ->
 /// an LLC of `llc_bytes`. Shares are proportional to pressure, with idle
 /// contexts getting nothing; a lone context gets the whole cache.
 pub fn llc_shares(llc_bytes: u64, pressures: &[f64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    llc_shares_into(llc_bytes, pressures, &mut out);
+    out
+}
+
+/// [`llc_shares`] into a caller-owned buffer, so the per-tick machine
+/// update can run without allocating once the buffer's capacity settles.
+pub fn llc_shares_into(llc_bytes: u64, pressures: &[f64], out: &mut Vec<u64>) {
+    out.clear();
     let total: f64 = pressures.iter().copied().filter(|p| *p > 0.0).sum();
     if total <= 0.0 {
-        return vec![0; pressures.len()];
+        out.resize(pressures.len(), 0);
+        return;
     }
-    pressures
-        .iter()
-        .map(|&p| {
-            if p <= 0.0 {
-                0
-            } else {
-                ((p / total) * llc_bytes as f64) as u64
-            }
-        })
-        .collect()
+    out.extend(pressures.iter().map(|&p| {
+        if p <= 0.0 {
+            0
+        } else {
+            ((p / total) * llc_bytes as f64) as u64
+        }
+    }));
 }
 
 #[cfg(test)]

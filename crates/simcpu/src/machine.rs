@@ -104,20 +104,50 @@ pub struct PowerReadings {
     pub cluster_w: [f64; 4],
 }
 
-/// Live machine state.
-pub struct Machine {
-    spec: MachineSpec,
-    cpus: Vec<CpuInfo>,
-    pmus: Vec<CorePmu>,
+/// The mutable hardware state private to one logical CPU.
+///
+/// Everything here is touched by exactly one CPU's execution within a
+/// tick, so a caller may hand disjoint `&mut CoreSeat` slices (via
+/// [`Machine::seats_mut`] and `split_at_mut`) to worker threads and step
+/// cores in parallel. Cross-core state — the LLC analytic model, the RC
+/// thermal node, RAPL, the per-cluster DVFS governors — stays behind the
+/// shared side of [`Machine`] and is only updated serially in
+/// [`Machine::end_tick`].
+pub struct CoreSeat {
+    /// This CPU's performance-monitoring hardware.
+    pub pmu: CorePmu,
+    /// This CPU's current share of the LLC in bytes (recomputed every
+    /// tick by `end_tick`; read-only during execution).
+    pub llc_share: u64,
+}
+
+/// Hardware shared across all cores: anything one core's tick may not
+/// mutate, because another core's tick reads it concurrently.
+struct SharedHw {
     domains: Vec<FreqDomain>,
     rapl: RaplState,
     thermal: ThermalState,
-    /// Per-CPU LLC share in bytes (updated every tick).
-    llc_share: Vec<u64>,
     /// Memory latency multiplier from bus contention (≥ 1).
     mem_contention: f64,
     power: PowerReadings,
+}
+
+/// Reusable buffers for [`Machine::end_tick`], so closing a tick never
+/// allocates after boot.
+struct EndTickScratch {
+    seen_core: Vec<bool>,
+    pressures: Vec<f64>,
+    shares: Vec<u64>,
+}
+
+/// Live machine state, split into per-core seats and shared hardware.
+pub struct Machine {
+    spec: MachineSpec,
+    cpus: Vec<CpuInfo>,
+    seats: Vec<CoreSeat>,
+    shared: SharedHw,
     time_ns: Nanos,
+    scratch: EndTickScratch,
 }
 
 impl Machine {
@@ -125,7 +155,7 @@ impl Machine {
     pub fn new(spec: MachineSpec) -> Machine {
         assert!(!spec.clusters.is_empty(), "machine needs at least one cluster");
         let mut cpus = Vec::new();
-        let mut pmus = Vec::new();
+        let mut seats = Vec::new();
         let mut domains = Vec::new();
         let mut core_idx = 0usize;
         let mut cpu_idx = 0usize;
@@ -149,7 +179,10 @@ impl Machine {
                         smt_sibling: sibling,
                         uarch: cl.uarch,
                     });
-                    pmus.push(CorePmu::new(cl.uarch.params()));
+                    seats.push(CoreSeat {
+                        pmu: CorePmu::new(cl.uarch.params()),
+                        llc_share: 0,
+                    });
                     cpu_idx += 1;
                 }
                 core_idx += 1;
@@ -157,16 +190,26 @@ impl Machine {
         }
         let n = cpus.len();
         let llc0 = if n > 0 { spec.llc_bytes / n as u64 } else { 0 };
+        for seat in &mut seats {
+            seat.llc_share = llc0;
+        }
+        let n_cores = cpus.iter().map(|c| c.core.0).max().map_or(0, |m| m + 1);
         Machine {
-            rapl: RaplState::new(spec.rapl.clone()),
-            thermal: ThermalState::new(spec.thermal.clone()),
-            llc_share: vec![llc0; n],
-            mem_contention: 1.0,
-            power: PowerReadings::default(),
+            shared: SharedHw {
+                domains,
+                rapl: RaplState::new(spec.rapl.clone()),
+                thermal: ThermalState::new(spec.thermal.clone()),
+                mem_contention: 1.0,
+                power: PowerReadings::default(),
+            },
             time_ns: 0,
+            scratch: EndTickScratch {
+                seen_core: vec![false; n_cores],
+                pressures: Vec::with_capacity(n),
+                shares: Vec::with_capacity(n),
+            },
             cpus,
-            pmus,
-            domains,
+            seats,
             spec,
         }
     }
@@ -237,18 +280,29 @@ impl Machine {
     // ---- PMU access ------------------------------------------------------
 
     pub fn pmu(&self, cpu: CpuId) -> &CorePmu {
-        &self.pmus[cpu.0]
+        &self.seats[cpu.0].pmu
     }
 
     pub fn pmu_mut(&mut self, cpu: CpuId) -> &mut CorePmu {
-        &mut self.pmus[cpu.0]
+        &mut self.seats[cpu.0].pmu
+    }
+
+    /// The per-CPU hardware seats, indexed by logical CPU.
+    pub fn seats(&self) -> &[CoreSeat] {
+        &self.seats
+    }
+
+    /// Mutable per-CPU seats: the parallel tick path splits this slice
+    /// with `split_at_mut` and hands disjoint chunks to worker threads.
+    pub fn seats_mut(&mut self) -> &mut [CoreSeat] {
+        &mut self.seats
     }
 
     // ---- execution context -------------------------------------------------
 
     /// Current frequency of a CPU's cluster.
     pub fn freq_khz(&self, cpu: CpuId) -> Khz {
-        self.domains[self.cpus[cpu.0].cluster.0].cur_khz()
+        self.shared.domains[self.cpus[cpu.0].cluster.0].cur_khz()
     }
 
     /// Build the execution context for a CPU this tick. `smt_busy` says
@@ -260,8 +314,8 @@ impl Machine {
             uarch: ua,
             freq_khz: self.freq_khz(cpu),
             ref_khz: self.spec.ref_khz,
-            llc_share_bytes: self.llc_share[cpu.0],
-            mem_contention: self.mem_contention,
+            llc_share_bytes: self.seats[cpu.0].llc_share,
+            mem_contention: self.shared.mem_contention,
             smt_factor: if smt_busy { ua.smt_share } else { 1.0 },
         }
     }
@@ -281,7 +335,8 @@ impl Machine {
         let mut cluster_w = [0.0f64; 4];
         let mut cluster_util = [0.0f64; 4];
         let n_clusters = self.spec.clusters.len();
-        let mut seen_core = vec![false; self.n_cores()];
+        let seen_core = &mut self.scratch.seen_core;
+        seen_core.fill(false);
         for info in &self.cpus {
             if seen_core[info.core.0] {
                 continue;
@@ -306,7 +361,7 @@ impl Machine {
             let cl = info.cluster.0;
             let cs = &self.spec.clusters[cl];
             let ua = info.uarch.params();
-            let f = self.domains[cl].cur_khz();
+            let f = self.shared.domains[cl].cur_khz();
             let p = ua.dyn_power_w(f, cs.f_min_khz, cs.f_max_khz, (util * act).min(1.2))
                 + ua.idle_w;
             if cl < 4 {
@@ -332,7 +387,7 @@ impl Machine {
         let bw_gbps = loads.iter().map(|l| l.mem_bytes).sum::<f64>() / dt_s / 1e9;
         let dram_w = 1.2 + 0.25 * bw_gbps;
         let meter_w = pkg_w + dram_w + self.spec.board_idle_w;
-        self.power = PowerReadings {
+        self.shared.power = PowerReadings {
             pkg_w,
             cores_w,
             dram_w,
@@ -341,30 +396,35 @@ impl Machine {
         };
 
         // --- RAPL + thermal ---
-        let scale = self.rapl.step(dt_ns, pkg_w, cores_w, dram_w, meter_w);
-        self.thermal.step(dt_ns, pkg_w);
+        let scale = self.shared.rapl.step(dt_ns, pkg_w, cores_w, dram_w, meter_w);
+        self.shared.thermal.step(dt_ns, pkg_w);
 
         // --- DVFS per cluster ---
-        for (ci, dom) in self.domains.iter_mut().enumerate() {
+        let shared = &mut self.shared;
+        for (ci, dom) in shared.domains.iter_mut().enumerate() {
             let ct = self.spec.clusters[ci].uarch.params().core_type;
-            let cap = self.thermal.freq_cap_khz(ct);
+            let cap = shared.thermal.freq_cap_khz(ct);
             dom.step(dt_ns, cluster_util[ci.min(3)], scale, cap);
         }
 
         // --- LLC shares & memory contention for next tick ---
         if self.spec.llc_bytes > 0 {
-            let pressures: Vec<f64> = loads.iter().map(|l| l.llc_pressure).collect();
-            let shares = crate::cache::analytic::llc_shares(self.spec.llc_bytes, &pressures);
-            for (i, s) in shares.into_iter().enumerate() {
+            self.scratch.pressures.clear();
+            self.scratch
+                .pressures
+                .extend(loads.iter().map(|l| l.llc_pressure));
+            crate::cache::analytic::llc_shares_into(
+                self.spec.llc_bytes,
+                &self.scratch.pressures,
+                &mut self.scratch.shares,
+            );
+            let nominal = self.spec.llc_bytes / self.cpus.len() as u64;
+            for (seat, &s) in self.seats.iter_mut().zip(self.scratch.shares.iter()) {
                 // An idle CPU keeps a nominal share so cold starts are sane.
-                self.llc_share[i] = if s == 0 {
-                    self.spec.llc_bytes / self.cpus.len() as u64
-                } else {
-                    s
-                };
+                seat.llc_share = if s == 0 { nominal } else { s };
             }
         }
-        self.mem_contention = (bw_gbps / self.spec.mem_bw_gbps).max(1.0);
+        self.shared.mem_contention = (bw_gbps / self.spec.mem_bw_gbps).max(1.0);
     }
 
     // ---- readings ----------------------------------------------------------
@@ -374,28 +434,28 @@ impl Machine {
     }
 
     pub fn power(&self) -> &PowerReadings {
-        &self.power
+        &self.shared.power
     }
 
     pub fn rapl(&self) -> &RaplState {
-        &self.rapl
+        &self.shared.rapl
     }
 
     pub fn rapl_mut(&mut self) -> &mut RaplState {
-        &mut self.rapl
+        &mut self.shared.rapl
     }
 
     pub fn thermal(&self) -> &ThermalState {
-        &self.thermal
+        &self.shared.thermal
     }
 
     pub fn thermal_mut(&mut self) -> &mut ThermalState {
-        &mut self.thermal
+        &mut self.shared.thermal
     }
 
     /// Wrapped RAPL energy counter (µJ), as `powercap` sysfs exposes it.
     pub fn energy_uj(&self, dom: RaplDomain) -> u64 {
-        self.rapl.energy_uj(dom)
+        self.shared.rapl.energy_uj(dom)
     }
 
     /// Shared-LLC size.

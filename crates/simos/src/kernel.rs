@@ -27,9 +27,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simcpu::events::{ArchEvent, EventCounts};
 use simcpu::exec;
-use simcpu::machine::{CpuLoad, Machine, MachineSpec};
+use simcpu::machine::{CoreSeat, CpuLoad, Machine, MachineSpec};
+use simcpu::pmu::CorePmu;
 use simcpu::power::RaplDomain;
-use simcpu::types::{CpuId, CpuMask, Nanos};
+use simcpu::types::{CoreType, CpuId, CpuMask, Nanos};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -41,6 +42,49 @@ pub enum Firmware {
     DeviceTree,
     /// Server style: `armv8_pmuv3_0`, `armv8_pmuv3_1`, …
     Acpi,
+}
+
+/// How the tick loop drives per-CPU execution.
+///
+/// Per-core work within a tick is independent until [`simcpu::Machine`]
+/// aggregates thermals/power/LLC in `end_tick`, so it can fan out across
+/// host threads. Results are reduced in fixed CPU order either way, so the
+/// two modes are bit-identical for any program whose behaviour does not
+/// depend on cross-thread timing (see DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Execute CPUs one after another on the calling thread (reference
+    /// path; allocation-free in steady state).
+    #[default]
+    Serial,
+    /// Fan per-CPU execution out over `threads` host threads via
+    /// `std::thread::scope`. `threads: 0` means "ask the host"
+    /// (`available_parallelism`).
+    Parallel { threads: usize },
+}
+
+impl ExecMode {
+    /// Parse `"serial"`, `"parallel"` or `"parallel:<n>"`.
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s.trim() {
+            "serial" => Some(ExecMode::Serial),
+            "parallel" => Some(ExecMode::Parallel { threads: 0 }),
+            other => {
+                let n = other.strip_prefix("parallel:")?;
+                Some(ExecMode::Parallel {
+                    threads: n.parse().ok()?,
+                })
+            }
+        }
+    }
+
+    /// Read `SIM_EXEC_MODE` from the environment (default: serial).
+    pub fn from_env() -> ExecMode {
+        std::env::var("SIM_EXEC_MODE")
+            .ok()
+            .and_then(|s| ExecMode::parse(&s))
+            .unwrap_or_default()
+    }
 }
 
 /// Kernel configuration.
@@ -56,6 +100,8 @@ pub struct KernelConfig {
     pub seed: u64,
     /// ARM PMU naming style.
     pub firmware: Firmware,
+    /// Serial or parallel per-CPU execution within a tick.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for KernelConfig {
@@ -66,6 +112,7 @@ impl Default for KernelConfig {
             mux_interval_ns: 4_000_000,
             seed: 0x5eed,
             firmware: Firmware::DeviceTree,
+            exec_mode: ExecMode::Serial,
         }
     }
 }
@@ -112,6 +159,84 @@ struct CpuPerfState {
     next_rotate_ns: Nanos,
 }
 
+/// A side effect of one core's execution that must be merged into shared
+/// kernel state. Workers record these per slot; the drain loop applies them
+/// in fixed CPU order, which keeps barrier queues and hook order identical
+/// between serial and parallel execution.
+#[derive(Debug, Clone, Copy)]
+enum CtrlOp {
+    Barrier(u32),
+    Hook(HookId),
+}
+
+/// Everything one core needs to execute its tick, captured up front so the
+/// worker touches no shared kernel state.
+#[derive(Debug, Clone)]
+struct CoreWork {
+    pid: Pid,
+    cpu: CpuId,
+    /// Who ran here last tick (context-switch accounting).
+    prev: Option<Pid>,
+    ctx: exec::ExecContext<'static>,
+}
+
+/// One core's outputs for the tick, written into its indexed slot.
+#[derive(Debug, Clone, Copy)]
+struct CoreOut {
+    load: CpuLoad,
+    delta: EventCounts,
+    run_ns: u64,
+    /// (context-switched-in, migrated).
+    sw: (bool, bool),
+    ctrl: Option<CtrlOp>,
+}
+
+impl Default for CoreOut {
+    fn default() -> CoreOut {
+        CoreOut {
+            load: CpuLoad::default(),
+            delta: EventCounts::ZERO,
+            run_ns: 0,
+            sw: (false, false),
+            ctrl: None,
+        }
+    }
+}
+
+/// Per-CPU staging slot for the parallel path: the task is moved out of the
+/// table into its slot, executed by whichever worker owns the slot's chunk,
+/// and moved back during the in-order drain.
+#[derive(Default)]
+struct ExecSlot {
+    task: Option<Task>,
+    work: Option<CoreWork>,
+    out: CoreOut,
+}
+
+/// Reusable per-tick buffers. Everything `tick()` used to allocate lives
+/// here, sized once at boot, so the steady-state hot loop is allocation-free.
+struct TickScratch {
+    prev_current: Vec<Option<Pid>>,
+    loads: Vec<CpuLoad>,
+    deltas: Vec<EventCounts>,
+    run_ns: Vec<u64>,
+    sw_meta: Vec<(bool, bool)>,
+    slots: Vec<ExecSlot>,
+}
+
+impl TickScratch {
+    fn new(n: usize) -> TickScratch {
+        TickScratch {
+            prev_current: Vec::with_capacity(n),
+            loads: vec![CpuLoad::default(); n],
+            deltas: vec![EventCounts::ZERO; n],
+            run_ns: vec![0; n],
+            sw_meta: vec![(false, false); n],
+            slots: (0..n).map(|_| ExecSlot::default()).collect(),
+        }
+    }
+}
+
 /// A shared handle to a kernel, cloneable across the measurement library,
 /// telemetry pollers and the run driver.
 pub type KernelHandle = Arc<Mutex<Kernel>>;
@@ -141,6 +266,12 @@ pub struct Kernel {
     online: Vec<bool>,
     /// Installed fault-injection state, if any.
     faults: Option<FaultState>,
+    /// Core type per CPU index (immutable topology, shared with workers).
+    core_types: Vec<CoreType>,
+    /// Worker threads for per-CPU execution; 0 = the serial reference path.
+    exec_threads: usize,
+    /// Reusable per-tick buffers.
+    scratch: TickScratch,
 }
 
 impl Kernel {
@@ -157,11 +288,15 @@ impl Kernel {
             })
             .collect();
         let pmus = Self::register_pmus(&machine, cfg.firmware);
+        let exec_threads = match cfg.exec_mode {
+            ExecMode::Serial => 0,
+            ExecMode::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+            ExecMode::Parallel { threads } => threads,
+        };
         Kernel {
-            scheduler: Scheduler {
-                hetero_aware: cfg.hetero_aware_sched,
-                ..Default::default()
-            },
+            scheduler: Scheduler::new(cfg.hetero_aware_sched),
             topo,
             tasks: Vec::new(),
             current: vec![None; n],
@@ -177,6 +312,9 @@ impl Kernel {
             rapl_prev_uj: [0.0; 4],
             online: vec![true; n],
             faults: None,
+            core_types: machine.cpus().iter().map(|c| c.core_type()).collect(),
+            exec_threads,
+            scratch: TickScratch::new(n),
             machine,
             cfg,
         }
@@ -927,7 +1065,6 @@ impl Kernel {
     /// Advance the world by one tick.
     pub fn tick(&mut self) {
         let dt = self.cfg.tick_ns;
-        let n = self.machine.n_cpus();
 
         // 0. Fire due faults (hotplug, watchdog theft, bursts) before the
         //    scheduler looks at the world.
@@ -935,7 +1072,8 @@ impl Kernel {
 
         // 1. Scheduling (keeping the previous assignment for context-switch
         //    and migration accounting).
-        let prev_current = self.current.clone();
+        self.scratch.prev_current.clear();
+        self.scratch.prev_current.extend_from_slice(&self.current);
         self.scheduler.assign_masked(
             &self.topo,
             &self.online,
@@ -944,164 +1082,21 @@ impl Kernel {
             self.time_ns,
         );
 
-        // 2. Execute each CPU.
-        let mut loads = vec![CpuLoad::default(); n];
-        let mut deltas: Vec<EventCounts> = vec![EventCounts::ZERO; n];
-        let mut run_ns = vec![0u64; n];
-        // (context-switched-in, migrated) per CPU this tick.
-        let mut sw_meta = vec![(false, false); n];
-        for cpu_idx in 0..n {
-            let Some(pid) = self.current[cpu_idx] else {
-                continue;
-            };
-            let cpu = CpuId(cpu_idx);
-            let smt_busy = self
-                .machine
-                .cpu_info(cpu)
-                .smt_sibling
-                .map(|s| self.current[s.0].is_some())
-                .unwrap_or(false);
-            let ctx = self.machine.exec_context(cpu, smt_busy);
-            let cycles_avail = ctx.freq_khz as f64 * 1e3 * dt as f64 / 1e9;
-            let mut used = 0.0f64;
-            let mut tick_events = EventCounts::ZERO;
-            let mut mem_bytes = 0.0;
-            let mut flops = 0.0;
-            let mut act_cycles = 0.0;
-            let mut pressure = 0.0;
-
-            let info = *self.machine.cpu_info(cpu);
-            let ct_idx = core_type_index(info.core_type());
-
-            // Context-switch and migration accounting.
-            {
-                let switched_in = prev_current[cpu_idx] != Some(pid);
-                let t = self.tasks[pid.0 as usize].as_mut().unwrap();
-                let mut migrated = false;
-                if let Some(last) = t.last_cpu {
-                    if last != cpu {
-                        t.stats.migrations += 1;
-                        migrated = true;
-                        let last_ct = self.machine.cpu_info(last).core_type();
-                        if last_ct != info.core_type() {
-                            t.stats.core_type_migrations += 1;
-                        }
-                    }
-                }
-                t.last_cpu = Some(cpu);
-                sw_meta[cpu_idx] = (switched_in, migrated);
-            }
-
-            loop {
-                let budget = cycles_avail - used;
-                if budget < 1.0 {
-                    break;
-                }
-                // Ensure there is a current phase.
-                let need_op = self.tasks[pid.0 as usize]
-                    .as_ref()
-                    .unwrap()
-                    .current
-                    .is_none();
-                if need_op {
-                    let op = {
-                        let t = self.tasks[pid.0 as usize].as_mut().unwrap();
-                        t.injected.pop_front().unwrap_or_else(|| {
-                            t.program.next(&ProgCtx {
-                                pid,
-                                time_ns: self.time_ns,
-                                cpu,
-                            })
-                        })
-                    };
-                    let t = self.tasks[pid.0 as usize].as_mut().unwrap();
-                    match op {
-                        Op::Compute(ph) => {
-                            debug_assert!(ph.validate().is_ok(), "invalid phase from program");
-                            if ph.instructions > 0 {
-                                t.current = Some(ph);
-                            }
-                            continue;
-                        }
-                        Op::Barrier(id) => {
-                            t.state = TaskState::Blocked(BlockReason::Barrier(id));
-                            self.barriers.entry(id).or_default().waiting.push(pid);
-                            break;
-                        }
-                        Op::Call(h) => {
-                            t.state = TaskState::Blocked(BlockReason::Hook(h));
-                            self.pending_hooks.push((pid, h));
-                            break;
-                        }
-                        Op::Sleep(d) => {
-                            t.state =
-                                TaskState::Blocked(BlockReason::SleepUntil(self.time_ns + d));
-                            break;
-                        }
-                        Op::Exit => {
-                            t.state = TaskState::Exited;
-                            break;
-                        }
-                    }
-                }
-                // Advance the current phase.
-                let t = self.tasks[pid.0 as usize].as_mut().unwrap();
-                let ph = t.current.as_mut().unwrap();
-                let res = exec::advance(ph, budget, &ctx);
-                if res.instructions == 0 {
-                    // Cannot fit even one instruction in the leftover
-                    // budget: burn it (partial-cycle stall).
-                    used = cycles_avail;
-                    break;
-                }
-                ph.instructions -= res.instructions;
-                let phase_done = ph.instructions == 0;
-                let vec_frac = ph.vector_frac;
-                if phase_done {
-                    t.current = None;
-                }
-                t.stats.instructions += res.instructions;
-                t.stats.cycles += res.cycles;
-                t.stats.flops += res.flops;
-                t.stats.instructions_by_type[ct_idx] += res.instructions;
-                used += res.cycles as f64;
-                // Activity factor: vector-dense work toggles more silicon;
-                // memory-stalled cycles toggle much less.
-                let stall_frac = (res.events.get(ArchEvent::MemStallCycles) as f64
-                    / res.cycles.max(1) as f64)
-                    .min(1.0);
-                let mix_act = 0.55 + 0.45 * (vec_frac / 0.6).min(1.0);
-                act_cycles +=
-                    res.cycles as f64 * (mix_act * (1.0 - stall_frac) + 0.35 * stall_frac);
-                tick_events.add(&res.events);
-                mem_bytes += res.mem_bytes;
-                flops += res.flops;
-                let _ = flops;
-                if let Some(cur) = self.tasks[pid.0 as usize].as_ref().unwrap().current.as_ref() {
-                    pressure = exec::llc_pressure(cur, ctx.uarch, ctx.llc_share_bytes);
-                }
-            }
-
-            let util = (used / cycles_avail).clamp(0.0, 1.0);
-            let ran_ns = (dt as f64 * util) as u64;
-            {
-                let t = self.tasks[pid.0 as usize].as_mut().unwrap();
-                t.stats.runtime_ns += ran_ns;
-                t.stats.runtime_ns_by_type[ct_idx] += ran_ns;
-                t.charge_vruntime(ran_ns);
-            }
-            run_ns[cpu_idx] = ran_ns;
-            loads[cpu_idx] = CpuLoad {
-                util,
-                activity: if used > 0.0 { act_cycles / used } else { 0.0 },
-                mem_bytes,
-                llc_pressure: pressure,
-            };
-            deltas[cpu_idx] = tick_events;
+        // 2. Execute each CPU into its indexed scratch slot. Both paths
+        //    produce identical scratch contents; the parallel one merely
+        //    computes them on several host threads.
+        self.scratch.loads.fill(CpuLoad::default());
+        self.scratch.deltas.fill(EventCounts::ZERO);
+        self.scratch.run_ns.fill(0);
+        self.scratch.sw_meta.fill((false, false));
+        if self.exec_threads == 0 {
+            self.exec_cores_serial(dt);
+        } else {
+            self.exec_cores_parallel(dt);
         }
 
         // 3. Perf accounting.
-        self.perf_tick(dt, &deltas, &run_ns, &sw_meta);
+        self.perf_tick(dt);
 
         // 4. Barrier releases.
         let released: Vec<Pid> = self
@@ -1122,14 +1117,140 @@ impl Kernel {
         // 5. Hardware tick, then package-level perf accounting (RAPL
         //    energy integrates in end_tick, so the perf counters must read
         //    *after* it — otherwise short measurement windows lag a tick).
-        let mem_bytes: f64 = loads.iter().map(|l| l.mem_bytes).sum();
-        self.machine.end_tick(dt, &loads);
-        self.perf_package_tick(dt, &deltas, mem_bytes);
+        let mem_bytes: f64 = self.scratch.loads.iter().map(|l| l.mem_bytes).sum();
+        self.machine.end_tick(dt, &self.scratch.loads);
+        self.perf_package_tick(dt, mem_bytes);
         self.time_ns += dt;
     }
 
+    /// Stage [`CoreWork`] for `cpu` if a task is scheduled there.
+    fn stage_core(&self, cpu_idx: usize) -> Option<CoreWork> {
+        let pid = self.current[cpu_idx]?;
+        let cpu = CpuId(cpu_idx);
+        let smt_busy = self
+            .machine
+            .cpu_info(cpu)
+            .smt_sibling
+            .map(|s| self.current[s.0].is_some())
+            .unwrap_or(false);
+        Some(CoreWork {
+            pid,
+            cpu,
+            prev: self.scratch.prev_current[cpu_idx],
+            ctx: self.machine.exec_context(cpu, smt_busy),
+        })
+    }
+
+    /// Merge one core's outputs into the shared kernel state. Called in
+    /// ascending CPU order by both execution paths.
+    fn apply_core_out(&mut self, cpu_idx: usize, pid: Pid, out: &CoreOut) {
+        self.scratch.loads[cpu_idx] = out.load;
+        self.scratch.deltas[cpu_idx] = out.delta;
+        self.scratch.run_ns[cpu_idx] = out.run_ns;
+        self.scratch.sw_meta[cpu_idx] = out.sw;
+        match out.ctrl {
+            Some(CtrlOp::Barrier(id)) => {
+                self.barriers.entry(id).or_default().waiting.push(pid);
+            }
+            Some(CtrlOp::Hook(h)) => self.pending_hooks.push((pid, h)),
+            None => {}
+        }
+    }
+
+    /// The reference execution path: one CPU after another, in index order,
+    /// on the calling thread.
+    fn exec_cores_serial(&mut self, dt: Nanos) {
+        let now = self.time_ns;
+        for cpu_idx in 0..self.machine.n_cpus() {
+            let Some(work) = self.stage_core(cpu_idx) else {
+                continue;
+            };
+            let pid = work.pid;
+            let mut out = CoreOut::default();
+            exec_core(
+                dt,
+                now,
+                &work,
+                &self.core_types,
+                self.tasks[pid.0 as usize]
+                    .as_mut()
+                    .expect("scheduled pid has a task"),
+                &mut self.machine.seats_mut()[cpu_idx].pmu,
+                &mut out,
+            );
+            self.apply_core_out(cpu_idx, pid, &out);
+        }
+    }
+
+    /// Fan per-CPU execution out over `exec_threads` host threads. Each
+    /// worker owns a contiguous `split_at_mut` chunk of slots and the
+    /// matching [`simcpu::machine::CoreSeat`] chunk; outputs land in indexed
+    /// slots and are reduced in ascending CPU order afterwards, so the
+    /// result is bit-identical to [`Kernel::exec_cores_serial`].
+    fn exec_cores_parallel(&mut self, dt: Nanos) {
+        let now = self.time_ns;
+        let n = self.machine.n_cpus();
+
+        // Stage: move each scheduled task out of the table into its slot.
+        let mut busy = 0usize;
+        for cpu_idx in 0..n {
+            let work = self.stage_core(cpu_idx);
+            let slot = &mut self.scratch.slots[cpu_idx];
+            slot.out = CoreOut::default();
+            slot.task = match &work {
+                Some(w) => {
+                    busy += 1;
+                    self.tasks[w.pid.0 as usize].take()
+                }
+                None => None,
+            };
+            slot.work = work;
+        }
+
+        if busy > 0 {
+            let workers = self.exec_threads.min(busy).max(1);
+            let core_types = &self.core_types;
+            let mut slots = &mut self.scratch.slots[..];
+            let mut seats = self.machine.seats_mut();
+            if workers <= 1 {
+                run_core_chunk(dt, now, core_types, slots, seats);
+            } else {
+                let per = n.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    while slots.len() > per {
+                        let (slot_head, slot_tail) = slots.split_at_mut(per);
+                        let (seat_head, seat_tail) = seats.split_at_mut(per);
+                        slots = slot_tail;
+                        seats = seat_tail;
+                        if slot_head.iter().any(|s| s.work.is_some()) {
+                            scope.spawn(move || {
+                                run_core_chunk(dt, now, core_types, slot_head, seat_head)
+                            });
+                        }
+                    }
+                    run_core_chunk(dt, now, core_types, slots, seats);
+                });
+            }
+        }
+
+        // Drain in ascending CPU order: tasks go back to the table and side
+        // effects merge in the same order the serial path produced them.
+        for cpu_idx in 0..n {
+            let (pid, task, out) = {
+                let slot = &mut self.scratch.slots[cpu_idx];
+                let Some(work) = slot.work.take() else {
+                    continue;
+                };
+                let task = slot.task.take().expect("staged slot kept its task");
+                (work.pid, task, slot.out)
+            };
+            self.tasks[pid.0 as usize] = Some(task);
+            self.apply_core_out(cpu_idx, pid, &out);
+        }
+    }
+
     /// Package-scope perf events: RAPL energy and uncore traffic.
-    fn perf_package_tick(&mut self, dt: Nanos, deltas: &[EventCounts], mem_bytes: f64) {
+    fn perf_package_tick(&mut self, dt: Nanos, mem_bytes: f64) {
         // RAPL domain deltas (µJ) once per tick, post-integration.
         let rapl_now = [
             self.machine.rapl().energy_total_uj(RaplDomain::Package),
@@ -1137,17 +1258,19 @@ impl Kernel {
             self.machine.rapl().energy_total_uj(RaplDomain::Dram),
             self.machine.rapl().energy_total_uj(RaplDomain::Psys),
         ];
-        let rapl_delta: Vec<u64> = rapl_now
-            .iter()
-            .zip(self.rapl_prev_uj.iter())
-            .map(|(now, prev)| (now - prev).max(0.0) as u64)
-            .collect();
+        let mut rapl_delta = [0u64; 4];
+        for (d, (now, prev)) in rapl_delta
+            .iter_mut()
+            .zip(rapl_now.iter().zip(self.rapl_prev_uj.iter()))
+        {
+            *d = (now - prev).max(0.0) as u64;
+        }
         self.rapl_prev_uj = rapl_now;
 
         // Package-wide uncore deltas.
         let mut llc_lookups = 0u64;
         let mut llc_misses = 0u64;
-        for d in deltas {
+        for d in &self.scratch.deltas {
             llc_lookups += d.get(ArchEvent::LlcAccesses);
             llc_misses += d.get(ArchEvent::LlcMisses);
         }
@@ -1199,14 +1322,9 @@ impl Kernel {
         }
     }
 
-    /// Per-CPU perf bookkeeping for one tick.
-    fn perf_tick(
-        &mut self,
-        dt: Nanos,
-        deltas: &[EventCounts],
-        run_ns: &[u64],
-        sw_meta: &[(bool, bool)],
-    ) {
+    /// Per-CPU perf bookkeeping for one tick, reading this tick's per-core
+    /// deltas out of the scratch buffers.
+    fn perf_tick(&mut self, dt: Nanos) {
         let n = self.machine.n_cpus();
 
         // Recompute hardware scheduling per CPU when stale, then count.
@@ -1235,9 +1353,9 @@ impl Kernel {
                 .iter()
                 .find(|p| p.kind == PmuKind::CoreHw && p.cpus.contains(cpu))
                 .map(|p| p.id);
-            let ran = run_ns[cpu_idx];
+            let ran = self.scratch.run_ns[cpu_idx];
 
-            let scheduled = self.cpu_perf[cpu_idx].scheduled.clone();
+            let scheduled = &self.cpu_perf[cpu_idx].scheduled;
             for ev in self.events.iter_mut().flatten() {
                 if !ev.enabled {
                     continue;
@@ -1277,7 +1395,7 @@ impl Kernel {
                             if on_hw {
                                 ev.time_running += active_ns;
                                 if let EventConfig::Hw(arch) = ev.attr.config {
-                                    let d = deltas[cpu_idx].get(arch);
+                                    let d = self.scratch.deltas[cpu_idx].get(arch);
                                     if d > 0 {
                                         ev.add_count(d, self.time_ns, cpu);
                                     }
@@ -1293,7 +1411,7 @@ impl Kernel {
                         ev.time_enabled += active_ns;
                         ev.time_matched += active_ns;
                         ev.time_running += active_ns;
-                        let (switched_in, migrated) = sw_meta[cpu_idx];
+                        let (switched_in, migrated) = self.scratch.sw_meta[cpu_idx];
                         let delta = match ev.attr.config {
                             EventConfig::SwTaskClock => active_ns,
                             EventConfig::SwContextSwitches => switched_in as u64,
@@ -1309,12 +1427,8 @@ impl Kernel {
                     Some(PmuKind::Rapl) | Some(PmuKind::Uncore) | None => {}
                 }
             }
-
-            // Mirror counting into the physical PMU slots (48-bit wrap
-            // exercised at the hardware layer).
-            if running.is_some() {
-                self.machine.pmu_mut(cpu).apply(&deltas[cpu_idx]);
-            }
+            // (The physical PMU slots were updated by `exec_core` — per-CPU
+            // state, so it happens on whichever thread ran the core.)
         }
     }
 
@@ -1360,6 +1474,22 @@ impl Kernel {
                 cands.push((pinned, ev.fd));
             }
         }
+        // Nothing wants a counter here (the common case on CPUs without
+        // open events): skip the group-fitting machinery — and its
+        // allocations — but keep the rotation clock and programming stamp
+        // exactly as the full path would have left them.
+        if cands.is_empty() {
+            let st = &mut self.cpu_perf[cpu.0];
+            st.scheduled.clear();
+            if self.time_ns >= st.next_rotate_ns {
+                st.rotation = st.rotation.wrapping_add(1);
+                st.next_rotate_ns = self.time_ns + self.cfg.mux_interval_ns;
+            }
+            st.for_task = running;
+            st.at_gen = self.perf_gen;
+            return;
+        }
+
         // Pinned first; rotate the rest.
         cands.sort_by_key(|(pinned, fd)| (!pinned, fd.0));
         let st = &mut self.cpu_perf[cpu.0];
@@ -1434,6 +1564,165 @@ impl Kernel {
     pub fn settle_temperature(&mut self, temp_c: f64) {
         self.machine.thermal_mut().set_temp_c(temp_c);
     }
+}
+
+/// Execute every staged slot in a contiguous chunk, against the matching
+/// chunk of per-core hardware seats. Free function (no `&mut Kernel`) so the
+/// parallel path can run it from scoped worker threads.
+fn run_core_chunk(
+    dt: Nanos,
+    now: Nanos,
+    core_types: &[CoreType],
+    slots: &mut [ExecSlot],
+    seats: &mut [CoreSeat],
+) {
+    for (slot, seat) in slots.iter_mut().zip(seats.iter_mut()) {
+        let Some(work) = slot.work.as_ref() else {
+            continue;
+        };
+        let task = slot.task.as_mut().expect("staged slot has its task");
+        exec_core(dt, now, work, core_types, task, &mut seat.pmu, &mut slot.out);
+    }
+}
+
+/// Execute one core's tick: drive the task's program through the
+/// cycle-batch engine for up to one tick's worth of cycles, accounting
+/// context switches, migrations, stats and PMU counts.
+///
+/// This touches only the task, this core's PMU and the output slot — no
+/// shared kernel state — which is what makes the per-core fan-out safe.
+/// Both execution modes funnel through here, so they cannot diverge.
+fn exec_core(
+    dt: Nanos,
+    now: Nanos,
+    work: &CoreWork,
+    core_types: &[CoreType],
+    task: &mut Task,
+    pmu: &mut CorePmu,
+    out: &mut CoreOut,
+) {
+    let cpu = work.cpu;
+    let ctx = &work.ctx;
+    let cycles_avail = ctx.freq_khz as f64 * 1e3 * dt as f64 / 1e9;
+    let mut used = 0.0f64;
+    let mut tick_events = EventCounts::ZERO;
+    let mut mem_bytes = 0.0;
+    let mut flops = 0.0;
+    let mut act_cycles = 0.0;
+    let mut pressure = 0.0;
+
+    let core_type = core_types[cpu.0];
+    let ct_idx = core_type_index(core_type);
+
+    // Context-switch and migration accounting.
+    let switched_in = work.prev != Some(work.pid);
+    let mut migrated = false;
+    if let Some(last) = task.last_cpu {
+        if last != cpu {
+            task.stats.migrations += 1;
+            migrated = true;
+            if core_types[last.0] != core_type {
+                task.stats.core_type_migrations += 1;
+            }
+        }
+    }
+    task.last_cpu = Some(cpu);
+    out.sw = (switched_in, migrated);
+
+    loop {
+        let budget = cycles_avail - used;
+        if budget < 1.0 {
+            break;
+        }
+        // Ensure there is a current phase.
+        if task.current.is_none() {
+            let op = task.injected.pop_front().unwrap_or_else(|| {
+                task.program.next(&ProgCtx {
+                    pid: work.pid,
+                    time_ns: now,
+                    cpu,
+                })
+            });
+            match op {
+                Op::Compute(ph) => {
+                    debug_assert!(ph.validate().is_ok(), "invalid phase from program");
+                    if ph.instructions > 0 {
+                        task.current = Some(ph);
+                    }
+                    continue;
+                }
+                Op::Barrier(id) => {
+                    task.state = TaskState::Blocked(BlockReason::Barrier(id));
+                    out.ctrl = Some(CtrlOp::Barrier(id));
+                    break;
+                }
+                Op::Call(h) => {
+                    task.state = TaskState::Blocked(BlockReason::Hook(h));
+                    out.ctrl = Some(CtrlOp::Hook(h));
+                    break;
+                }
+                Op::Sleep(d) => {
+                    task.state = TaskState::Blocked(BlockReason::SleepUntil(now + d));
+                    break;
+                }
+                Op::Exit => {
+                    task.state = TaskState::Exited;
+                    break;
+                }
+            }
+        }
+        // Advance the current phase.
+        let ph = task.current.as_mut().unwrap();
+        let res = exec::advance(ph, budget, ctx);
+        if res.instructions == 0 {
+            // Cannot fit even one instruction in the leftover budget:
+            // burn it (partial-cycle stall).
+            used = cycles_avail;
+            break;
+        }
+        ph.instructions -= res.instructions;
+        let phase_done = ph.instructions == 0;
+        let vec_frac = ph.vector_frac;
+        if phase_done {
+            task.current = None;
+        }
+        task.stats.instructions += res.instructions;
+        task.stats.cycles += res.cycles;
+        task.stats.flops += res.flops;
+        task.stats.instructions_by_type[ct_idx] += res.instructions;
+        used += res.cycles as f64;
+        // Activity factor: vector-dense work toggles more silicon;
+        // memory-stalled cycles toggle much less.
+        let stall_frac = (res.events.get(ArchEvent::MemStallCycles) as f64
+            / res.cycles.max(1) as f64)
+            .min(1.0);
+        let mix_act = 0.55 + 0.45 * (vec_frac / 0.6).min(1.0);
+        act_cycles += res.cycles as f64 * (mix_act * (1.0 - stall_frac) + 0.35 * stall_frac);
+        tick_events.add(&res.events);
+        mem_bytes += res.mem_bytes;
+        flops += res.flops;
+        let _ = flops;
+        if let Some(cur) = task.current.as_ref() {
+            pressure = exec::llc_pressure(cur, ctx.uarch, ctx.llc_share_bytes);
+        }
+    }
+
+    let util = (used / cycles_avail).clamp(0.0, 1.0);
+    let ran_ns = (dt as f64 * util) as u64;
+    task.stats.runtime_ns += ran_ns;
+    task.stats.runtime_ns_by_type[ct_idx] += ran_ns;
+    task.charge_vruntime(ran_ns);
+    out.run_ns = ran_ns;
+    out.load = CpuLoad {
+        util,
+        activity: if used > 0.0 { act_cycles / used } else { 0.0 },
+        mem_bytes,
+        llc_pressure: pressure,
+    };
+    out.delta = tick_events;
+    // Mirror counting into the physical PMU slots (48-bit wrap exercised
+    // at the hardware layer).
+    pmu.apply(&tick_events);
 }
 
 /// Drive a kernel handle until all tasks exit, dispatching instrumentation
@@ -2570,5 +2859,128 @@ mod tests {
         assert_eq!(a, b, "same seed ⇒ identical log, bias and final counts");
         let c = run(99);
         assert_ne!(a.1, c.1, "different seed draws a different wrap bias");
+    }
+
+    // ---- execution modes --------------------------------------------------
+
+    #[test]
+    fn exec_mode_parses() {
+        assert_eq!(ExecMode::parse("serial"), Some(ExecMode::Serial));
+        assert_eq!(
+            ExecMode::parse("parallel"),
+            Some(ExecMode::Parallel { threads: 0 })
+        );
+        assert_eq!(
+            ExecMode::parse("parallel:6"),
+            Some(ExecMode::Parallel { threads: 6 })
+        );
+        assert_eq!(ExecMode::parse("parallel:x"), None);
+        assert_eq!(ExecMode::parse("turbo"), None);
+    }
+
+    /// Boot a kernel in the given mode with a mixed workload: more tasks
+    /// than big cores, mixed phase shapes, a sleeper and pinned tasks, so
+    /// scheduling, migration and context-switch paths all fire.
+    fn mixed_workload_kernel(mode: ExecMode) -> Kernel {
+        let mut k = Kernel::boot(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig {
+                exec_mode: mode,
+                ..Default::default()
+            },
+        );
+        let n = k.machine().n_cpus();
+        for i in 0..(n + 4) {
+            let ops = [
+                Op::Compute(Phase::scalar(4_000_000 + i as u64 * 137_000)),
+                Op::Sleep(2_000_000),
+                Op::Compute(Phase::stream(2_000_000, 64 << 20)),
+                Op::Compute(Phase::dgemm(3_000_000, 8 << 20, 0.3)),
+                Op::Exit,
+            ];
+            let mask = if i % 3 == 0 {
+                CpuMask::from_cpus([i % n])
+            } else {
+                CpuMask::first_n(n)
+            };
+            k.spawn(
+                &format!("w{i}"),
+                Box::new(ScriptedProgram::new(ops)),
+                mask,
+                0,
+            );
+        }
+        k
+    }
+
+    /// Full observable state after a run: every task's stats, every CPU's
+    /// raw PMU registers, and the RAPL energy ledger.
+    fn observable_state(k: &Kernel) -> (Vec<TaskStats>, Vec<Vec<u64>>, Vec<u64>) {
+        let stats = (0..)
+            .map_while(|i| k.task_stats(Pid(i)))
+            .collect::<Vec<_>>();
+        let pmu = (0..k.machine().n_cpus())
+            .map(|ci| {
+                let p = k.machine().pmu(CpuId(ci));
+                (0..p.n_fixed())
+                    .map(|i| p.read_fixed(i).unwrap())
+                    .chain((0..p.n_gp()).map(|i| p.read_gp(i).unwrap()))
+                    .collect()
+            })
+            .collect();
+        let energy = [
+            RaplDomain::Package,
+            RaplDomain::Cores,
+            RaplDomain::Dram,
+            RaplDomain::Psys,
+        ]
+        .iter()
+        .map(|&d| k.machine().energy_uj(d))
+        .collect();
+        (stats, pmu, energy)
+    }
+
+    #[test]
+    fn parallel_tick_is_bit_identical_to_serial() {
+        let run = |mode: ExecMode| {
+            let mut k = mixed_workload_kernel(mode);
+            for _ in 0..120 {
+                k.tick();
+            }
+            observable_state(&k)
+        };
+        let serial = run(ExecMode::Serial);
+        for threads in [1, 3, 8] {
+            let par = run(ExecMode::Parallel { threads });
+            assert_eq!(serial, par, "parallel:{threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn scratch_does_not_leak_between_ticks() {
+        // After the only task on cpu0 exits, its per-CPU scratch slots must
+        // read as idle — a cpu-target event on cpu0 must stop counting.
+        let mut k = raptor();
+        spawn_loop(&mut k, CpuMask::from_cpus([0]), 2_000_000);
+        let core = k.pmu_by_name("cpu_core").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr::counting(core, ArchEvent::Instructions),
+                Target::Cpu(CpuId(0)),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(1_000_000_000);
+        let at_exit = k.read_event(fd).unwrap().value;
+        assert_eq!(at_exit, 2_000_000);
+        for _ in 0..50 {
+            k.tick();
+        }
+        let after_idle = k.read_event(fd).unwrap().value;
+        assert_eq!(
+            at_exit, after_idle,
+            "stale scratch deltas re-counted on an idle CPU"
+        );
     }
 }

@@ -34,6 +34,6 @@ pub mod sysfs;
 pub mod task;
 
 pub use faults::{FaultKind, FaultPlan, FaultRecord, TransientErrno};
-pub use kernel::{Kernel, KernelConfig, KernelHandle, SyscallStats};
+pub use kernel::{ExecMode, Kernel, KernelConfig, KernelHandle, SyscallStats};
 pub use perf::{EventFd, PerfAttr, PerfError, PmuDesc, PmuKind, ReadValue, Target};
 pub use task::{HookId, Op, Pid, ProgCtx, Program, TaskStats};

@@ -24,25 +24,37 @@ pub struct SchedCpu {
     pub sibling: Option<usize>,
 }
 
-/// Scheduler configuration.
+/// Scheduler configuration plus reusable run-queue scratch.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     /// Capacity-aware placement (ITMT/EAS-style): prefer big cores.
     pub hetero_aware: bool,
     /// Minimum vruntime lead (ns) before preempting a running task.
     pub granularity_ns: u64,
+    /// Unplaced runnable tasks, rebuilt every call (kept between calls so
+    /// the tick hot path stops allocating once capacities settle).
+    waiting: Vec<(f64, Pid)>,
+    /// Snapshot of `waiting` iterated during placement.
+    queue: Vec<(f64, Pid)>,
 }
 
 impl Default for Scheduler {
     fn default() -> Scheduler {
-        Scheduler {
-            hetero_aware: true,
-            granularity_ns: 3_000_000,
-        }
+        Scheduler::new(true)
     }
 }
 
 impl Scheduler {
+    /// A scheduler with default granularity and the given placement policy.
+    pub fn new(hetero_aware: bool) -> Scheduler {
+        Scheduler {
+            hetero_aware,
+            granularity_ns: 3_000_000,
+            waiting: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+
     /// Recompute the CPU→task assignment for one tick.
     ///
     /// * `topo` — per-CPU capacities and SMT siblings;
@@ -50,7 +62,7 @@ impl Scheduler {
     /// * `current` — per-CPU running pid, rewritten in place;
     /// * `now_ns` — current time, used to wake sleepers.
     pub fn assign(
-        &self,
+        &mut self,
         topo: &[SchedCpu],
         tasks: &mut [Option<Task>],
         current: &mut [Option<Pid>],
@@ -63,7 +75,7 @@ impl Scheduler {
     /// never placed on, and anything found running there is kicked back to
     /// the run queue (CPU hotplug).
     pub fn assign_masked(
-        &self,
+        &mut self,
         topo: &[SchedCpu],
         online: &[bool],
         tasks: &mut [Option<Task>],
@@ -119,19 +131,27 @@ impl Scheduler {
             }
         }
 
-        // 3. Gather unplaced runnable tasks, lowest vruntime first.
-        let placed: Vec<Pid> = current.iter().flatten().copied().collect();
-        let mut waiting: Vec<(f64, Pid)> = tasks
-            .iter()
-            .flatten()
-            .filter(|t| t.is_runnable() && !placed.contains(&t.pid))
-            .map(|t| (t.vruntime, t.pid))
-            .collect();
-        waiting.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // 3. Gather unplaced runnable tasks, lowest vruntime first. The
+        //    scratch buffers are taken out of `self` for the duration
+        //    (restored at the end) so steady-state ticks do not allocate.
+        let mut waiting = std::mem::take(&mut self.waiting);
+        let mut queue = std::mem::take(&mut self.queue);
+        waiting.clear();
+        waiting.extend(
+            tasks
+                .iter()
+                .flatten()
+                .filter(|t| t.is_runnable() && !current.contains(&Some(t.pid)))
+                .map(|t| (t.vruntime, t.pid)),
+        );
+        // Unstable sort (no allocation); `waiting` is built in pid order, so
+        // the explicit pid tiebreak reproduces the old stable order exactly.
+        waiting.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
 
         // 4. Place waiting tasks on free CPUs (best CPU per task).
-        let queue: Vec<(f64, Pid)> = waiting.clone();
-        for (_, pid) in queue {
+        queue.clear();
+        queue.extend_from_slice(&waiting);
+        for &(_, pid) in queue.iter() {
             let task = tasks[pid.0 as usize].as_ref().expect("task exists");
             let affinity = task.affinity;
             let last = task.last_cpu.map(|c| c.0);
@@ -199,6 +219,8 @@ impl Scheduler {
                 current[ci] = Some(pid);
             }
         }
+        self.waiting = waiting;
+        self.queue = queue;
 
         // 6. Mark states.
         for (ci, slot) in current.iter().enumerate() {
@@ -267,7 +289,7 @@ mod tests {
         let topo = topo_hybrid();
         let mut tasks = table(1, CpuMask::first_n(4));
         let mut cur = vec![None; 4];
-        let s = Scheduler {
+        let mut s = Scheduler {
             hetero_aware: false,
             ..Default::default()
         };
@@ -335,7 +357,7 @@ mod tests {
         tasks[0].as_mut().unwrap().state =
             TaskState::Blocked(BlockReason::SleepUntil(5_000));
         let mut cur = vec![None; 4];
-        let s = Scheduler::default();
+        let mut s = Scheduler::default();
         s.assign(&topo, &mut tasks, &mut cur, 1_000);
         assert!(cur.iter().all(|c| c.is_none()), "still asleep");
         s.assign(&topo, &mut tasks, &mut cur, 5_000);
@@ -347,7 +369,7 @@ mod tests {
         let topo = topo_hybrid();
         let mut tasks = table(1, CpuMask::first_n(4));
         let mut cur = vec![None; 4];
-        let s = Scheduler::default();
+        let mut s = Scheduler::default();
         s.assign(&topo, &mut tasks, &mut cur, 0);
         assert!(cur[0].is_some());
         tasks[0].as_mut().unwrap().state = TaskState::Blocked(BlockReason::Barrier(7));
@@ -362,7 +384,7 @@ mod tests {
         let topo = topo_hybrid();
         let mut tasks = table(1, CpuMask::first_n(4));
         let mut cur = vec![None; 4];
-        let s = Scheduler::default();
+        let mut s = Scheduler::default();
         s.assign(&topo, &mut tasks, &mut cur, 0);
         assert_eq!(cur[0], Some(Pid(0)));
         tasks[0].as_mut().unwrap().affinity = CpuMask::from_cpus([3]);
@@ -376,7 +398,7 @@ mod tests {
         let topo = topo_hybrid();
         let mut tasks = table(1, CpuMask::first_n(4));
         let mut cur = vec![None; 4];
-        let s = Scheduler::default();
+        let mut s = Scheduler::default();
         s.assign(&topo, &mut tasks, &mut cur, 0);
         assert_eq!(cur[0], Some(Pid(0)), "starts on the big core");
         // cpu0 goes offline: the task must migrate off it this tick and
@@ -394,7 +416,7 @@ mod tests {
         let topo = topo_hybrid();
         let mut tasks = table(2, CpuMask::first_n(4));
         let mut cur = vec![None; 4];
-        let s = Scheduler::default();
+        let mut s = Scheduler::default();
         s.assign(&topo, &mut tasks, &mut cur, 0);
         let snapshot = cur.clone();
         // Nothing changed: assignment stays identical.

@@ -23,4 +23,14 @@ args=()
 for c in "${FIRST_PARTY[@]}"; do args+=(-p "$c"); done
 cargo clippy --offline "${args[@]}" --all-targets -- -D warnings
 
+echo "== bench (compile only) =="
+cargo bench --offline --workspace --no-run
+
+echo "== tick throughput (quick, emits BENCH_tick.json) =="
+# Perf *baseline*, not a gate: ticks/sec and serial-vs-parallel speedup per
+# preset land in BENCH_tick.json for future PRs to diff. The only hard
+# assertion inside is counter_drift == 0 (parallel must match serial
+# bit-for-bit); speedup depends on host_cpus and is judged by the reader.
+cargo run --offline --release -p bench-harness --bin tickbench -- --quick
+
 echo "tier1: OK"

@@ -1,0 +1,75 @@
+//! The steady-state tick hot loop must not allocate.
+//!
+//! A counting global allocator wraps `System`; after a warm-up (scratch
+//! buffers and scheduler queues grow to their working capacity), windows of
+//! pure compute ticks are measured. At least one window must be completely
+//! allocation-free — per-tick `vec![...]`/`clone()` churn would show up in
+//! *every* window. Runs single-threaded per test binary, so the count is
+//! attributable to the tick loop.
+
+use simcpu::machine::MachineSpec;
+use simcpu::phase::Phase;
+use simcpu::types::CpuMask;
+use simos::kernel::{Kernel, KernelConfig};
+use simos::task::Op;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_tick_is_allocation_free() {
+    let mut k = Kernel::boot(
+        MachineSpec::raptor_lake_i7_13700(),
+        KernelConfig::default(),
+    );
+    let n = k.machine().n_cpus();
+    // One immortal compute-bound worker per CPU, pinned so the scheduler
+    // reaches a fixed point (no migrations, no run-queue churn).
+    for i in 0..n {
+        k.spawn(
+            &format!("w{i}"),
+            Box::new(move |_: &simos::task::ProgCtx| Op::Compute(Phase::scalar(50_000_000))),
+            CpuMask::from_cpus([i]),
+            0,
+        );
+    }
+    // Warm-up: grow every scratch buffer to steady-state capacity.
+    for _ in 0..100 {
+        k.tick();
+    }
+    // Measure several windows; accept the minimum so an unlucky one-off
+    // (e.g. a phase boundary pulling the next op) cannot flake the test.
+    let mut min_window = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..50 {
+            k.tick();
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        min_window = min_window.min(after - before);
+    }
+    assert_eq!(
+        min_window, 0,
+        "the steady-state tick loop allocated (min over 5×50-tick windows)"
+    );
+}

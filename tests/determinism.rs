@@ -1,0 +1,366 @@
+//! Golden determinism conformance suite.
+//!
+//! The parallel tick path (DESIGN.md §7) promises: same seed, same machine,
+//! same workload ⇒ **bit-identical** observable state at any thread count,
+//! including under fault injection. This suite runs a seeded mixed workload
+//! with a full `FaultPlan` on every machine preset, folds *everything*
+//! observable (perf reads, raw PMU registers, RAPL energy, the fault log,
+//! task stats, DVFS frequencies) into one FNV-1a hash, and asserts the hash
+//! is identical across `ExecMode::Serial`, `parallel:1`, `parallel:3`,
+//! `parallel:8`, and two back-to-back same-seed serial runs.
+
+use simcpu::events::ArchEvent;
+use simcpu::machine::MachineSpec;
+use simcpu::power::RaplDomain;
+use simcpu::types::{CpuId, CpuMask};
+use simos::faults::{FaultKind, FaultPlan, TransientErrno};
+use simos::kernel::{ExecMode, Kernel, KernelConfig};
+use simos::perf::{EventConfig, EventFd, PerfAttr, PmuKind, RaplConfig, Target, UncoreConfig};
+use simcpu::phase::Phase;
+use simos::task::{Op, Pid, ScriptedProgram};
+
+// ---- FNV-1a ----------------------------------------------------------------
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        self.u64(s.len() as u64);
+    }
+}
+
+// ---- the workload ----------------------------------------------------------
+
+/// Every fault kind PR 1 can inject, timed inside the 400 ms run, touching
+/// only CPUs that exist on the smallest preset (skylake_quad has 8 CPUs).
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new(0xd15ea5e)
+        .at(10_000_000, FaultKind::CounterWrap { headroom: 5_000_000 })
+        .at(
+            50_000_000,
+            FaultKind::CpuOffline {
+                cpu: CpuId(1),
+                down_ns: Some(100_000_000),
+            },
+        )
+        .at(
+            80_000_000,
+            FaultKind::NmiWatchdog {
+                steal: ArchEvent::Instructions,
+                hold_ns: Some(120_000_000),
+            },
+        )
+        .at(
+            150_000_000,
+            FaultKind::TransientRead {
+                errno: TransientErrno::Eintr,
+                count: 3,
+            },
+        )
+        .at(
+            150_000_000,
+            FaultKind::TransientOpen {
+                errno: TransientErrno::Ebusy,
+                count: 1,
+            },
+        )
+        .at(
+            250_000_000,
+            FaultKind::RaplWrapBurst {
+                wraps: 2,
+                extra_uj: 10_000,
+            },
+        )
+        .at(300_000_000, FaultKind::SysfsFlaky { dur_ns: 50_000_000 })
+}
+
+/// Mixed scripted workload: more tasks than CPUs, pinned and free tasks,
+/// sleepers, a two-party barrier, and phase shapes spanning compute-bound
+/// to stream-bound.
+fn spawn_workload(k: &mut Kernel) {
+    let n = k.machine().n_cpus();
+    for i in 0..n + 3 {
+        let mut ops = vec![Op::Compute(Phase::scalar(3_000_000 + 251_000 * i as u64))];
+        match i % 4 {
+            0 => ops.push(Op::Compute(Phase::stream(2_000_000, 48 << 20))),
+            1 => ops.push(Op::Sleep(7_000_000)),
+            2 => ops.push(Op::Compute(Phase::dgemm(2_500_000, 8 << 20, 0.3))),
+            _ => {}
+        }
+        ops.push(Op::Compute(Phase::scalar(30_000_000)));
+        ops.push(Op::Exit);
+        let mask = if i % 3 == 0 {
+            CpuMask::from_cpus([i % n])
+        } else {
+            CpuMask::first_n(n)
+        };
+        k.spawn(&format!("w{i}"), Box::new(ScriptedProgram::new(ops)), mask, 0);
+    }
+    // Two tasks meet at a barrier mid-run.
+    k.register_barrier(1, 2);
+    for j in 0..2u64 {
+        k.spawn(
+            &format!("bar{j}"),
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(4_000_000 + j * 900_000)),
+                Op::Barrier(1),
+                Op::Compute(Phase::scalar(6_000_000)),
+                Op::Exit,
+            ])),
+            CpuMask::first_n(n),
+            0,
+        );
+    }
+}
+
+/// Open events generically against every registered PMU, exercising every
+/// perf path: per-thread and per-CPU hardware events, an over-committed
+/// group (multiplexing), software events, RAPL and uncore.
+fn open_events(k: &mut Kernel) -> Vec<EventFd> {
+    let mut fds = Vec::new();
+    let pmus: Vec<_> = k
+        .pmus()
+        .iter()
+        .map(|p| (p.id, p.kind, p.cpus.iter().next().unwrap_or(CpuId(0))))
+        .collect();
+    let open = |k: &mut Kernel, attr: PerfAttr, target, group| {
+        k.perf_event_open(attr, target, group).ok()
+    };
+    for (id, kind, first_cpu) in pmus {
+        match kind {
+            PmuKind::CoreHw => {
+                fds.extend(open(
+                    k,
+                    PerfAttr::counting(id, ArchEvent::Cycles),
+                    Target::Cpu(first_cpu),
+                    None,
+                ));
+                fds.extend(open(
+                    k,
+                    PerfAttr::counting(id, ArchEvent::Instructions),
+                    Target::Thread(Pid(0)),
+                    None,
+                ));
+                // A wide group plus the singles above over-commits the GP
+                // counters and forces rotation on `first_cpu`'s PMU.
+                if let Some(leader) = open(
+                    k,
+                    PerfAttr::counting(id, ArchEvent::LlcAccesses),
+                    Target::Thread(Pid(1)),
+                    None,
+                ) {
+                    fds.push(leader);
+                    for ev in [
+                        ArchEvent::LlcMisses,
+                        ArchEvent::BranchInstructions,
+                        ArchEvent::BranchMisses,
+                    ] {
+                        fds.extend(open(
+                            k,
+                            PerfAttr::counting(id, ev),
+                            Target::Thread(Pid(1)),
+                            Some(leader),
+                        ));
+                    }
+                }
+            }
+            PmuKind::Software => {
+                for cfg in [
+                    EventConfig::SwTaskClock,
+                    EventConfig::SwContextSwitches,
+                    EventConfig::SwCpuMigrations,
+                ] {
+                    let attr = PerfAttr {
+                        pmu_type: id,
+                        config: cfg,
+                        disabled: true,
+                        sample_period: 0,
+                        pinned: false,
+                    };
+                    fds.extend(open(k, attr, Target::Thread(Pid(2)), None));
+                }
+            }
+            PmuKind::Rapl => {
+                for cfg in [RaplConfig::EnergyPkg, RaplConfig::EnergyCores] {
+                    let attr = PerfAttr {
+                        pmu_type: id,
+                        config: EventConfig::Rapl(cfg),
+                        disabled: true,
+                        sample_period: 0,
+                        pinned: false,
+                    };
+                    fds.extend(open(k, attr, Target::Cpu(CpuId(0)), None));
+                }
+            }
+            PmuKind::Uncore => {
+                for cfg in [UncoreConfig::LlcLookups, UncoreConfig::ImcCasReads] {
+                    let attr = PerfAttr {
+                        pmu_type: id,
+                        config: EventConfig::Uncore(cfg),
+                        disabled: true,
+                        sample_period: 0,
+                        pinned: false,
+                    };
+                    fds.extend(open(k, attr, Target::Cpu(CpuId(0)), None));
+                }
+            }
+        }
+    }
+    for &fd in &fds {
+        k.ioctl_enable(fd, false).unwrap();
+    }
+    fds
+}
+
+/// Run the scenario for 400 ticks and fold all observable state into a hash.
+fn run_case(spec: MachineSpec, mode: ExecMode) -> u64 {
+    let mut k = Kernel::boot(
+        spec,
+        KernelConfig {
+            exec_mode: mode,
+            seed: 0x5eed_cafe,
+            ..Default::default()
+        },
+    );
+    spawn_workload(&mut k);
+    let mut fds = open_events(&mut k);
+    k.install_faults(&fault_plan());
+
+    let mut h = Fnv::new();
+    for step in 0..400 {
+        k.tick();
+        if step == 200 {
+            // A mid-run open draws its wrap bias from the kernel RNG and
+            // races the TransientOpen fault — both must replay identically.
+            let core = k
+                .pmus()
+                .iter()
+                .find(|p| p.kind == PmuKind::CoreHw)
+                .map(|p| p.id)
+                .unwrap();
+            match k.perf_event_open(
+                PerfAttr::counting(core, ArchEvent::RefCycles),
+                Target::Cpu(CpuId(0)),
+                None,
+            ) {
+                Ok(fd) => {
+                    k.ioctl_enable(fd, false).unwrap();
+                    fds.push(fd);
+                    h.str("open:ok");
+                }
+                Err(e) => h.str(&format!("open:{e:?}")),
+            }
+        }
+    }
+
+    // 1. Every perf event read (value + the three clocks), errors included.
+    for &fd in &fds {
+        match k.read_event(fd) {
+            Ok(v) => {
+                h.u64(v.value);
+                h.u64(v.time_enabled);
+                h.u64(v.time_running);
+                h.u64(v.time_matched);
+            }
+            Err(e) => h.str(&format!("read:{e:?}")),
+        }
+    }
+    // 2. Raw PMU registers on every CPU (48-bit wrap state included).
+    for ci in 0..k.machine().n_cpus() {
+        let p = k.machine().pmu(CpuId(ci));
+        for i in 0..p.n_fixed() {
+            h.u64(p.read_fixed(i).unwrap());
+        }
+        for i in 0..p.n_gp() {
+            h.u64(p.read_gp(i).unwrap());
+        }
+    }
+    // 3. RAPL energy ledger.
+    for dom in [
+        RaplDomain::Package,
+        RaplDomain::Cores,
+        RaplDomain::Dram,
+        RaplDomain::Psys,
+    ] {
+        h.u64(k.machine().energy_uj(dom));
+    }
+    // 4. Fault log.
+    for r in k.fault_log() {
+        h.u64(r.at_ns);
+        h.str(&r.desc);
+    }
+    // 5. Task stats, every field.
+    let mut pid = 0;
+    while let Some(s) = k.task_stats(Pid(pid)) {
+        h.u64(s.instructions);
+        h.u64(s.cycles);
+        h.u64(s.runtime_ns);
+        h.f64(s.flops);
+        h.u64(s.migrations);
+        h.u64(s.core_type_migrations);
+        for v in s.instructions_by_type {
+            h.u64(v);
+        }
+        for v in s.runtime_ns_by_type {
+            h.u64(v);
+        }
+        pid += 1;
+    }
+    // 6. DVFS state.
+    for ci in 0..k.machine().n_cpus() {
+        h.u64(k.machine().freq_khz(CpuId(ci)));
+    }
+    h.0
+}
+
+fn conformance(name: &str, spec: fn() -> MachineSpec) {
+    let golden = run_case(spec(), ExecMode::Serial);
+    let replay = run_case(spec(), ExecMode::Serial);
+    assert_eq!(
+        golden, replay,
+        "{name}: serial replay with the same seed diverged"
+    );
+    for threads in [1usize, 3, 8] {
+        let par = run_case(spec(), ExecMode::Parallel { threads });
+        assert_eq!(
+            golden, par,
+            "{name}: parallel:{threads} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn determinism_raptor_lake_i7_13700() {
+    conformance("raptor_lake_i7_13700", MachineSpec::raptor_lake_i7_13700);
+}
+
+#[test]
+fn determinism_orangepi_800() {
+    conformance("orangepi_800", MachineSpec::orangepi_800);
+}
+
+#[test]
+fn determinism_skylake_quad() {
+    conformance("skylake_quad", MachineSpec::skylake_quad);
+}
+
+#[test]
+fn determinism_alder_lake_mobile() {
+    conformance("alder_lake_mobile", MachineSpec::alder_lake_mobile);
+}

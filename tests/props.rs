@@ -238,6 +238,80 @@ proptest! {
             prop_assert!((1_500_000..=4_100_000).contains(&d.cur_khz()));
         }
     }
+
+    /// Differential check behind DESIGN.md §7: whatever random programs,
+    /// affinity masks, tick counts and worker counts are thrown at the
+    /// kernel, the parallel tick path produces *exactly* the counters of
+    /// the serial reference path — event counts, migrations and
+    /// context-switch stats included.
+    #[test]
+    fn parallel_tick_equals_serial(
+        progs in proptest::collection::vec(
+            (
+                proptest::collection::vec(arb_phase(), 1..4),
+                0u64..4_000_000,                                 // sleep ns
+                proptest::collection::vec(0usize..24, 1..4),     // affinity
+            ),
+            1..8,
+        ),
+        ticks in 1usize..150,
+        threads in 1usize..5,
+    ) {
+        let boot = |mode| {
+            let mut k = Kernel::boot(
+                MachineSpec::raptor_lake_i7_13700(),
+                KernelConfig { exec_mode: mode, ..Default::default() },
+            );
+            let sw = k.pmu_by_name("software").unwrap().id;
+            let mut fds = Vec::new();
+            for (phases, sleep_ns, cpus) in &progs {
+                let mut ops: Vec<Op> = Vec::new();
+                for (i, ph) in phases.iter().enumerate() {
+                    ops.push(Op::Compute(ph.clone()));
+                    if i == 0 && *sleep_ns > 0 {
+                        ops.push(Op::Sleep(*sleep_ns));
+                    }
+                }
+                ops.push(Op::Exit);
+                let pid = k.spawn(
+                    "w",
+                    Box::new(ScriptedProgram::new(ops)),
+                    CpuMask::from_cpus(cpus.iter().copied()),
+                    0,
+                );
+                for cfg in [
+                    simos::perf::EventConfig::SwContextSwitches,
+                    simos::perf::EventConfig::SwCpuMigrations,
+                ] {
+                    let attr = simos::perf::PerfAttr {
+                        pmu_type: sw,
+                        config: cfg,
+                        disabled: true,
+                        sample_period: 0,
+                        pinned: false,
+                    };
+                    fds.push(k.perf_event_open(attr, Target::Thread(pid), None).unwrap());
+                }
+            }
+            for &fd in &fds {
+                k.ioctl_enable(fd, false).unwrap();
+            }
+            for _ in 0..ticks {
+                k.tick();
+            }
+            let stats: Vec<_> = (0..progs.len())
+                .map(|i| k.task_stats(simos::task::Pid(i as u32)).unwrap())
+                .collect();
+            let reads: Vec<_> = fds
+                .into_iter()
+                .map(|fd| k.read_event(fd).unwrap())
+                .collect();
+            (stats, reads)
+        };
+        let serial = boot(simos::kernel::ExecMode::Serial);
+        let parallel = boot(simos::kernel::ExecMode::Parallel { threads });
+        prop_assert_eq!(serial, parallel);
+    }
 }
 
 /// Exact instruction accounting survives hook/injection boundaries.
