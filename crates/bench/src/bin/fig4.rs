@@ -45,7 +45,7 @@ fn main() {
                     let runs: Vec<_> = (0..driver.n_runs)
                         .map(|r| monitored_hpl_run(&kernel, &cfg, HplVariant::OpenBlas, cpus, &driver, r))
                         .collect();
-                    telemetry::average_runs(&runs)
+                    telemetry::average_runs(&runs).expect("n_runs >= 1")
                 })
             })
             .collect();

@@ -91,7 +91,7 @@ pub fn hpl_cell(variant: HplVariant, cpus: CpuMask, n_runs: u32) -> MonitoredRun
         ..Default::default()
     };
     let runs = monitored_hpl_runs(&kernel, &hpl_config(), variant, cpus, &driver);
-    average_runs(&runs)
+    average_runs(&runs).expect("n_runs >= 1 produces at least one run")
 }
 
 /// Percent change from `a` to `b`.

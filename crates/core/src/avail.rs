@@ -1,0 +1,121 @@
+//! Machine-readable availability report: the `--json` side of
+//! `papi_avail`, consumed by `loadgen` and future tooling instead of
+//! scraping the text tables.
+
+use crate::{presets, Papi};
+use jsonw::JsonWriter;
+
+/// The full `papi_avail` report as one JSON document: hardware summary,
+/// per-preset availability with derived-native mappings, and the
+/// component registry.
+pub fn avail_json(papi: &Papi) -> String {
+    let hw = papi.hardware_info();
+    let avail = papi.available_presets();
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("tool", "papi_avail");
+
+    w.key("hardware");
+    w.begin_obj();
+    w.field_str("vendor_string", &hw.vendor_string);
+    w.field_str("model_string", &hw.model_string);
+    w.field_u64("ncpus", hw.ncpus as u64);
+    w.field_u64("ncores", hw.ncores as u64);
+    w.field_bool("heterogeneous", hw.heterogeneous);
+    match hw.detection_method {
+        Some(m) => w.field_str("detection_method", m.name()),
+        None => w.field_null("detection_method"),
+    }
+    w.field_str("memory", &hw.mem_string);
+    w.key("core_types");
+    w.begin_arr();
+    for ct in &hw.core_types {
+        w.begin_obj();
+        w.field_str("core_type", &format!("{}", ct.core_type));
+        w.field_u64("n_cores", ct.n_cores as u64);
+        w.field_u64("n_cpus", ct.n_cpus as u64);
+        w.field_u64("min_khz", ct.min_khz);
+        w.field_u64("max_khz", ct.max_khz);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.key("cpus");
+    w.begin_arr();
+    for c in &hw.cpus {
+        w.begin_obj();
+        w.field_u64("cpu", c.cpu as u64);
+        w.field_u64("core", c.core as u64);
+        w.field_str("core_type", &format!("{}", c.core_type));
+        w.field_u64("max_khz", c.max_khz);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+
+    w.key("presets");
+    w.begin_arr();
+    for &p in presets::ALL_PRESETS {
+        let ok = avail.contains(&p);
+        w.begin_obj();
+        w.field_str("name", p.papi_name());
+        w.field_bool("avail", ok);
+        w.key("natives");
+        w.begin_arr();
+        if ok {
+            if let Ok(names) = papi.preset_native_names(p) {
+                for n in &names {
+                    w.elem_str(n);
+                }
+            }
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+    w.end_arr();
+
+    w.key("components");
+    w.begin_arr();
+    for c in papi.components() {
+        w.begin_obj();
+        w.field_str("name", c.name);
+        w.field_bool("enabled", c.enabled);
+        w.field_bool("deprecated", c.deprecated);
+        w.field_str("description", &c.description);
+        w.end_obj();
+    }
+    w.end_arr();
+
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::machine::MachineSpec;
+    use simos::kernel::{Kernel, KernelConfig};
+
+    #[test]
+    fn avail_json_is_valid_and_covers_presets() {
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
+        let papi = Papi::init(kernel).unwrap();
+        let s = avail_json(&papi);
+        assert!(jsonw::validate(&s), "invalid JSON: {s}");
+        assert!(s.contains("\"heterogeneous\":true"));
+        for &p in presets::ALL_PRESETS {
+            assert!(s.contains(p.papi_name()), "missing {}", p.papi_name());
+        }
+        // Hybrid machine: PAPI_TOT_INS must be derived from > 1 native.
+        assert!(s.contains("::"), "expected fully-qualified natives: {s}");
+    }
+
+    #[test]
+    fn avail_json_on_homogeneous_machine() {
+        let kernel = Kernel::boot_handle(MachineSpec::skylake_quad(), KernelConfig::default());
+        let papi = Papi::init(kernel).unwrap();
+        let s = avail_json(&papi);
+        assert!(jsonw::validate(&s), "invalid JSON: {s}");
+        assert!(s.contains("\"heterogeneous\":false"));
+    }
+}

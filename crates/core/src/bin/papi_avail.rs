@@ -1,14 +1,23 @@
 //! `papi_avail` — the classic PAPI utility: hardware summary + preset
 //! availability, upgraded with the paper's heterogeneous reporting.
 //!
-//! Usage: `papi_avail [raptor|orangepi|skylake|dynamiq]` (default raptor).
+//! Usage: `papi_avail [--json] [raptor|orangepi|skylake|dynamiq]`
+//! (default raptor). `--json` emits the machine-readable report from
+//! [`papi::avail::avail_json`] instead of the text tables.
 
 use papi::{Papi, Preset};
 use simcpu::machine::MachineSpec;
 use simos::kernel::{Kernel, KernelConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "raptor".into());
+    let mut json = false;
+    let mut name = "raptor".to_string();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            other => name = other.to_string(),
+        }
+    }
     let spec = match name.as_str() {
         "raptor" => MachineSpec::raptor_lake_i7_13700(),
         "orangepi" => MachineSpec::orangepi_800(),
@@ -22,6 +31,10 @@ fn main() {
     };
     let kernel = Kernel::boot_handle(spec, KernelConfig::default());
     let papi = Papi::init(kernel).expect("PAPI init");
+    if json {
+        println!("{}", papi::avail::avail_json(&papi));
+        return;
+    }
     let hw = papi.hardware_info();
 
     println!("Available PAPI preset and hardware information.");
@@ -55,18 +68,17 @@ fn main() {
     let avail = papi.available_presets();
     for &p in papi::presets::ALL_PRESETS {
         let ok = avail.contains(&p);
-        let natives: String = if ok {
-            let mut probe = Papi::init(papi.kernel()).unwrap();
-            let es = probe.create_eventset();
-            probe.add_preset(es, p).unwrap();
-            let names = probe.native_names(es).unwrap();
-            format!(
+        let natives: String = match papi.preset_native_names(p) {
+            Ok(names) if ok => format!(
                 "{} ({})",
                 names.join(" + "),
-                if names.len() > 1 { "DERIVED_ADD" } else { "direct" }
-            )
-        } else {
-            "-".into()
+                if names.len() > 1 {
+                    "DERIVED_ADD"
+                } else {
+                    "direct"
+                }
+            ),
+            _ => "-".into(),
         };
         println!(
             "{:<14} {:<6} {:<9} {}",

@@ -34,10 +34,8 @@ fn main() {
         "EventSet", "start ns", "stop ns", "read ns", "reset ns", "rdpmc ns"
     );
     for (label, events) in scenarios {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = kernel.lock().spawn(
             "w",
             Box::new(ScriptedProgram::new([

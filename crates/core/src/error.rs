@@ -24,10 +24,7 @@ pub enum PapiError {
     /// PAPI_ENOTRUN).
     State(&'static str),
     /// Legacy PAPI cannot mix PMU types in one EventSet (PAPI_ECNFLCT).
-    MultiPmuUnsupported {
-        existing: String,
-        adding: String,
-    },
+    MultiPmuUnsupported { existing: String, adding: String },
     /// Legacy component separation violated (e.g. RAPL event in a CPU
     /// EventSet) (PAPI_ECNFLCT).
     ComponentConflict {
@@ -71,7 +68,10 @@ impl std::fmt::Display for PapiError {
                  EventSet is bound to '{eventset_component}'"
             ),
             PapiError::ComponentBusy(c) => {
-                write!(f, "PAPI_EISRUN: another EventSet of component '{c}' is running")
+                write!(
+                    f,
+                    "PAPI_EISRUN: another EventSet of component '{c}' is running"
+                )
             }
             PapiError::NotAttached => write!(f, "PAPI_EINVAL: EventSet not attached"),
             PapiError::MultiplexTooLate => {

@@ -236,7 +236,10 @@ mod tests {
 
     #[test]
     fn component_mapping() {
-        assert_eq!(Component::for_pmu_kind(PmuKind::CoreHw), Component::PerfEvent);
+        assert_eq!(
+            Component::for_pmu_kind(PmuKind::CoreHw),
+            Component::PerfEvent
+        );
         assert_eq!(Component::for_pmu_kind(PmuKind::Rapl), Component::Rapl);
         assert_eq!(Component::for_pmu_kind(PmuKind::Uncore), Component::Uncore);
         assert_eq!(Component::Uncore.name(), "perf_event_uncore");

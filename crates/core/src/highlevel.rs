@@ -144,10 +144,8 @@ mod tests {
     /// Drive a two-region instrumented task through the HL API.
     #[test]
     fn regions_accumulate_per_name() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         // Region "a" runs 2×200k, region "b" runs 1×500k.
         let pid = kernel.lock().spawn(
             "hl",
@@ -166,8 +164,8 @@ mod tests {
             CpuMask::from_cpus([0, 16]),
             0,
         );
-        let mut hl = HighLevel::new(kernel.clone(), pid, &["PAPI_TOT_INS", "PAPI_TOT_CYC"])
-            .unwrap();
+        let mut hl =
+            HighLevel::new(kernel.clone(), pid, &["PAPI_TOT_INS", "PAPI_TOT_CYC"]).unwrap();
         // Drive hooks: 1/2 = region a, 3/4 = region b.
         loop {
             let hooks = {
@@ -204,10 +202,8 @@ mod tests {
 
     #[test]
     fn region_state_errors() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = kernel.lock().spawn(
             "hl",
             Box::new(ScriptedProgram::new([
@@ -228,10 +224,8 @@ mod tests {
 
     #[test]
     fn mixed_native_and_preset_events() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = kernel.lock().spawn(
             "hl",
             Box::new(ScriptedProgram::new([
@@ -244,7 +238,11 @@ mod tests {
         let hl = HighLevel::new(
             kernel,
             pid,
-            &["PAPI_TOT_INS", "adl_glc::TOPDOWN:SLOTS", "perf_sw::CPU_MIGRATIONS"],
+            &[
+                "PAPI_TOT_INS",
+                "adl_glc::TOPDOWN:SLOTS",
+                "perf_sw::CPU_MIGRATIONS",
+            ],
         )
         .unwrap();
         assert_eq!(hl.labels().len(), 3);

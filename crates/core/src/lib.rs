@@ -25,6 +25,7 @@
 //! [`Papi::start`]/[`Papi::stop`] driven from instrumentation hooks;
 //! [`Papi::run_instrumented`] is the canonical loop.
 
+pub mod avail;
 pub mod error;
 pub mod eventset;
 pub mod highlevel;
@@ -177,8 +178,7 @@ fn entry_value(
             // matched == 0: nothing to count (e.g. wrong-core-type half
             // of a derived preset) — an exact zero.
         } else if rv.time_running < rv.time_matched {
-            total +=
-                (unwrapped as f64 * rv.time_matched as f64 / rv.time_running as f64) as u64;
+            total += (unwrapped as f64 * rv.time_matched as f64 / rv.time_running as f64) as u64;
             quality = quality.max(ReadQuality::Scaled);
         } else {
             total += unwrapped;
@@ -313,8 +313,7 @@ impl Papi {
             v.push(ComponentInfo {
                 name: "perf_event_uncore",
                 description: if hybrid {
-                    "deprecated alias: uncore events now join ordinary EventSets (§V.3)"
-                        .into()
+                    "deprecated alias: uncore events now join ordinary EventSets (§V.3)".into()
                 } else {
                     "separate uncore component".into()
                 },
@@ -330,8 +329,22 @@ impl Papi {
         presets::ALL_PRESETS
             .iter()
             .copied()
-            .filter(|p| self.preset_natives(*p).map(|v| !v.is_empty()).unwrap_or(false))
+            .filter(|p| {
+                self.preset_natives(*p)
+                    .map(|v| !v.is_empty())
+                    .unwrap_or(false)
+            })
             .collect()
+    }
+
+    /// Fully-qualified native event names a preset maps to on this machine
+    /// (one per covered PMU in hybrid mode), without creating an EventSet.
+    pub fn preset_native_names(&self, preset: Preset) -> Result<Vec<String>, PapiError> {
+        Ok(self
+            .preset_natives(preset)?
+            .into_iter()
+            .map(|e| e.fq_name)
+            .collect())
     }
 
     // ---- EventSet lifecycle -------------------------------------------------
@@ -387,7 +400,9 @@ impl Papi {
         }
         let es = self.es_mut(id)?;
         if es.opened() {
-            return Err(PapiError::State("overflow must be armed before first start"));
+            return Err(PapiError::State(
+                "overflow must be armed before first start",
+            ));
         }
         let ni = *es
             .entries
@@ -528,7 +543,9 @@ impl Papi {
             PapiMode::Hybrid => self.pfm.encode_on_all_defaults(&native),
             PapiMode::Legacy => {
                 let first = self.pfm.default_pmus()[0].pfm_name.clone();
-                self.pfm.encode(&format!("{first}::{native}")).map(|e| vec![e])
+                self.pfm
+                    .encode(&format!("{first}::{native}"))
+                    .map(|e| vec![e])
             }
         }
         .map_err(|_| PapiError::PresetUnavailable(name.to_string()))?;
@@ -575,7 +592,9 @@ impl Papi {
             PapiMode::Legacy => {
                 // One default PMU only.
                 let first = self.pfm.default_pmus()[0].pfm_name.clone();
-                self.pfm.encode(&format!("{first}::{native}")).map(|e| vec![e])
+                self.pfm
+                    .encode(&format!("{first}::{native}"))
+                    .map(|e| vec![e])
             }
         };
         encs.map_err(|_| PapiError::PresetUnavailable(preset.papi_name().into()))
@@ -622,11 +641,9 @@ impl Papi {
                     }
                 }
                 if n.pmu_kind == PmuKind::CoreHw {
-                    if let Some(existing) = es
-                        .natives
-                        .iter()
-                        .find(|e| e.pmu_kind == PmuKind::CoreHw && e.attr.pmu_type != n.attr.pmu_type)
-                    {
+                    if let Some(existing) = es.natives.iter().find(|e| {
+                        e.pmu_kind == PmuKind::CoreHw && e.attr.pmu_type != n.attr.pmu_type
+                    }) {
                         return Err(PapiError::MultiPmuUnsupported {
                             existing: existing.fq_name.clone(),
                             adding: n.fq_name.clone(),
@@ -659,12 +676,22 @@ impl Papi {
 
     /// Labels in add order.
     pub fn event_labels(&self, id: EventSetId) -> Result<Vec<String>, PapiError> {
-        Ok(self.es(id)?.entries.iter().map(|e| e.label.clone()).collect())
+        Ok(self
+            .es(id)?
+            .entries
+            .iter()
+            .map(|e| e.label.clone())
+            .collect())
     }
 
     /// Fully-qualified native names (presets expand to several).
     pub fn native_names(&self, id: EventSetId) -> Result<Vec<String>, PapiError> {
-        Ok(self.es(id)?.natives.iter().map(|n| n.fq_name.clone()).collect())
+        Ok(self
+            .es(id)?
+            .natives
+            .iter()
+            .map(|n| n.fq_name.clone())
+            .collect())
     }
 
     /// How many perf event groups this EventSet spans (the §V.5
@@ -675,7 +702,10 @@ impl Papi {
             Ok(es.group_leaders.len())
         } else {
             Ok(plan_groups(
-                &es.natives.iter().map(|n| n.attr.pmu_type).collect::<Vec<_>>(),
+                &es.natives
+                    .iter()
+                    .map(|n| n.attr.pmu_type)
+                    .collect::<Vec<_>>(),
                 es.multiplex,
             )
             .len())
@@ -698,9 +728,7 @@ impl Papi {
             es.component.unwrap_or(Component::PerfEvent)
         };
         for other in self.eventsets.iter().flatten() {
-            if other.id != id
-                && other.state == EsState::Running
-                && other.component == Some(my_comp)
+            if other.id != id && other.state == EsState::Running && other.component == Some(my_comp)
             {
                 return Err(PapiError::ComponentBusy(my_comp.name()));
             }
@@ -942,8 +970,7 @@ impl Papi {
             let es = self.es(id)?;
             let pmu_types: Vec<u32> = es.natives.iter().map(|n| n.attr.pmu_type).collect();
             let plan = plan_groups(&pmu_types, es.multiplex);
-            let targets: Result<Vec<_>, _> =
-                es.natives.iter().map(|n| es.target_for(n)).collect();
+            let targets: Result<Vec<_>, _> = es.natives.iter().map(|n| es.target_for(n)).collect();
             let attrs: Vec<_> = es.natives.iter().map(|n| n.attr).collect();
             (plan, targets?, attrs)
         };
@@ -1324,11 +1351,17 @@ mod tests {
         let kernel = boot(MachineSpec::raptor_lake_i7_13700());
         let hybrid = Papi::init(kernel.clone()).unwrap();
         let comps = hybrid.components();
-        let uncore = comps.iter().find(|c| c.name == "perf_event_uncore").unwrap();
+        let uncore = comps
+            .iter()
+            .find(|c| c.name == "perf_event_uncore")
+            .unwrap();
         assert!(uncore.deprecated && !uncore.enabled, "§V.3 merge");
         let legacy = Papi::init_legacy(kernel).unwrap();
         let comps = legacy.components();
-        let uncore = comps.iter().find(|c| c.name == "perf_event_uncore").unwrap();
+        let uncore = comps
+            .iter()
+            .find(|c| c.name == "perf_event_uncore")
+            .unwrap();
         assert!(!uncore.deprecated && uncore.enabled);
     }
 

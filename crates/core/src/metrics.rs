@@ -11,10 +11,7 @@ use crate::Values;
 
 /// Look up a value by exact label.
 pub fn value(values: &Values, label: &str) -> Option<u64> {
-    values
-        .iter()
-        .find(|(l, _)| l == label)
-        .map(|(_, v)| *v)
+    values.iter().find(|(l, _)| l == label).map(|(_, v)| *v)
 }
 
 /// Ratio of two labeled values (None if either is missing or the
@@ -97,10 +94,8 @@ mod tests {
         use simos::kernel::{Kernel, KernelConfig};
         use simos::task::{Op, ScriptedProgram};
 
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = kernel.lock().spawn(
             "w",
             Box::new(ScriptedProgram::new([

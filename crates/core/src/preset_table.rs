@@ -233,8 +233,7 @@ PAPI_TOT_INS,DERIVED_ADD,intel=INST_RETIRED:ANY_P
 
     #[test]
     fn case_insensitive_fields() {
-        let defs =
-            parse_preset_csv("papi_tot_ins,derived_add,INTEL=INST_RETIRED:ANY").unwrap();
+        let defs = parse_preset_csv("papi_tot_ins,derived_add,INTEL=INST_RETIRED:ANY").unwrap();
         assert_eq!(defs[0].name, "PAPI_TOT_INS");
         assert!(defs[0].native_for(Vendor::Intel).is_some());
     }

@@ -130,9 +130,12 @@ fn run_method(kernel: &Kernel, m: DetectMethod) -> Result<Vec<u64>, String> {
     match m {
         DetectMethod::CpuCapacity => (0..n)
             .map(|i| {
-                sysfs::read(kernel, &format!("/sys/devices/system/cpu/cpu{i}/cpu_capacity"))
-                    .map_err(|_| "cpu_capacity not present (not an ARM system?)".to_string())
-                    .and_then(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+                sysfs::read(
+                    kernel,
+                    &format!("/sys/devices/system/cpu/cpu{i}/cpu_capacity"),
+                )
+                .map_err(|_| "cpu_capacity not present (not an ARM system?)".to_string())
+                .and_then(|s| s.parse::<u64>().map_err(|e| e.to_string()))
             })
             .collect(),
         DetectMethod::CpuinfoMidr => {
@@ -169,16 +172,15 @@ fn run_method(kernel: &Kernel, m: DetectMethod) -> Result<Vec<u64>, String> {
             let mut group = 0u64;
             for d in dirs {
                 // Heuristic: core-PMU directory names.
-                let looks_core =
-                    d == "cpu" || d.starts_with("cpu_") || d.starts_with("armv8");
+                let looks_core = d == "cpu" || d.starts_with("cpu_") || d.starts_with("armv8");
                 if !looks_core {
                     continue;
                 }
                 let Ok(cpus) = sysfs::read(kernel, &format!("/sys/devices/{d}/cpus")) else {
                     continue;
                 };
-                let mask = simcpu::types::CpuMask::parse_cpulist(&cpus)
-                    .map_err(|e| e.to_string())?;
+                let mask =
+                    simcpu::types::CpuMask::parse_cpulist(&cpus).map_err(|e| e.to_string())?;
                 for c in mask.iter() {
                     if c.0 < n {
                         tags[c.0] = group;

@@ -1,0 +1,469 @@
+//! Minimal JSON emission and validation, kept dependency-free so the
+//! workspace stays `--offline`-friendly (no serde in the vendored set).
+//!
+//! Two halves:
+//!
+//! * [`JsonWriter`] — a streaming writer with automatic comma placement
+//!   and string escaping, used by the `--json` modes of `papi_avail` and
+//!   `simperf stat`, by `loadgen`'s `BENCH_metricsd.json`, and by any
+//!   future machine-readable tool output.
+//! * [`validate`] — a strict recursive-descent syntax checker, so tests
+//!   of every emitter can assert well-formedness without a JSON parser
+//!   dependency.
+
+/// Escape a string for inclusion in a JSON string literal (no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    Obj { first: bool },
+    Arr { first: bool },
+}
+
+/// A streaming JSON writer: handles commas, nesting and escaping.
+///
+/// ```
+/// let mut w = jsonw::JsonWriter::new();
+/// w.begin_obj();
+/// w.field_str("name", "metricsd");
+/// w.key("shards");
+/// w.begin_arr();
+/// w.elem_u64(1);
+/// w.elem_u64(4);
+/// w.end_arr();
+/// w.end_obj();
+/// let s = w.finish();
+/// assert!(jsonw::validate(&s));
+/// assert_eq!(s, r#"{"name":"metricsd","shards":[1,4]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    stack: Vec<Ctx>,
+    after_key: bool,
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Comma bookkeeping before a value (or a key) in the current context.
+    /// A value directly following its key needs no separator.
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(top) = self.stack.last_mut() {
+            match top {
+                Ctx::Obj { first } | Ctx::Arr { first } => {
+                    if *first {
+                        *first = false;
+                    } else {
+                        self.buf.push(',');
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn begin_obj(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.stack.push(Ctx::Obj { first: true });
+    }
+
+    pub fn end_obj(&mut self) {
+        assert!(matches!(self.stack.pop(), Some(Ctx::Obj { .. })));
+        self.buf.push('}');
+    }
+
+    pub fn begin_arr(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.stack.push(Ctx::Arr { first: true });
+    }
+
+    pub fn end_arr(&mut self) {
+        assert!(matches!(self.stack.pop(), Some(Ctx::Arr { .. })));
+        self.buf.push(']');
+    }
+
+    /// Emit `"key":` inside an object; the next emission is its value.
+    pub fn key(&mut self, k: &str) {
+        assert!(
+            matches!(self.stack.last(), Some(Ctx::Obj { .. })) && !self.after_key,
+            "key() outside object or after a dangling key"
+        );
+        self.pre_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        self.after_key = true;
+    }
+
+    fn raw_value(&mut self, v: &str) {
+        self.pre_value();
+        self.buf.push_str(v);
+    }
+
+    fn str_value(&mut self, v: &str) {
+        self.pre_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+    }
+
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_value(v);
+    }
+
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.raw_value(&v.to_string());
+    }
+
+    pub fn field_i64(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.raw_value(&v.to_string());
+    }
+
+    /// Finite floats only; NaN/inf are emitted as `null` (JSON has no
+    /// representation for them).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.elem_f64_inner(v);
+    }
+
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.raw_value(if v { "true" } else { "false" });
+    }
+
+    pub fn field_null(&mut self, k: &str) {
+        self.key(k);
+        self.raw_value("null");
+    }
+
+    pub fn elem_str(&mut self, v: &str) {
+        self.str_value(v);
+    }
+
+    pub fn elem_u64(&mut self, v: u64) {
+        self.raw_value(&v.to_string());
+    }
+
+    pub fn elem_f64(&mut self, v: f64) {
+        self.elem_f64_inner(v);
+    }
+
+    fn elem_f64_inner(&mut self, v: f64) {
+        let s = if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".into()
+        };
+        self.raw_value(&s);
+    }
+
+    /// Finish and return the document. Panics if nesting is unbalanced —
+    /// an emitter bug, caught in tests.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty() && !self.after_key,
+            "unbalanced JSON nesting"
+        );
+        self.buf
+    }
+}
+
+// ---- validator -------------------------------------------------------------
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit(b"true"),
+            Some(b'f') => self.lit(b"false"),
+            Some(b'n') => self.lit(b"null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => false,
+        }
+    }
+
+    fn lit(&mut self, s: &[u8]) -> bool {
+        if self.b[self.i..].starts_with(s) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        self.eat(b'{');
+        self.ws();
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            self.ws();
+            if !self.string() {
+                return false;
+            }
+            self.ws();
+            if !self.eat(b':') {
+                return false;
+            }
+            if !self.value() {
+                return false;
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b'}');
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        self.eat(b'[');
+        self.ws();
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            if !self.value() {
+                return false;
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b']');
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return true,
+                b'\\' => {
+                    let Some(e) = self.peek() else { return false };
+                    self.i += 1;
+                    match e {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let Some(h) = self.peek() else { return false };
+                                if !h.is_ascii_hexdigit() {
+                                    return false;
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        let mut digits = 0;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+        if self.eat(b'.') {
+            let mut frac = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return false;
+            }
+        }
+        if self.peek() == Some(b'e') || self.peek() == Some(b'E') {
+            self.i += 1;
+            if self.peek() == Some(b'+') || self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Whether `s` is one well-formed JSON value (strict syntax check; no
+/// value is materialized).
+pub fn validate(s: &str) -> bool {
+    let mut p = P {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    if !p.value() {
+        return false;
+    }
+    p.ws();
+    p.i == p.b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_objects_arrays_fields() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("tool", "papi_avail");
+        w.field_u64("ncpus", 24);
+        w.field_bool("hybrid", true);
+        w.field_f64("ghz", 5.1);
+        w.key("presets");
+        w.begin_arr();
+        w.elem_str("PAPI_TOT_INS");
+        w.elem_u64(7);
+        w.elem_f64(0.5);
+        w.end_arr();
+        w.key("nested");
+        w.begin_obj();
+        w.field_i64("t", -3);
+        w.end_obj();
+        w.end_obj();
+        let s = w.finish();
+        assert!(validate(&s), "{s}");
+        assert_eq!(
+            s,
+            r#"{"tool":"papi_avail","ncpus":24,"hybrid":true,"ghz":5.1,"presets":["PAPI_TOT_INS",7,0.5],"nested":{"t":-3}}"#
+        );
+    }
+
+    #[test]
+    fn escaping_round_trips_through_validator() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("s", "a\"b\\c\nd\te\u{1}");
+        w.end_obj();
+        let s = w.finish();
+        assert!(validate(&s), "{s}");
+        assert!(s.contains("\\u0001"));
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_f64("bad", f64::NAN);
+        w.end_obj();
+        let s = w.finish();
+        assert_eq!(s, r#"{"bad":null}"#);
+        assert!(validate(&s));
+    }
+
+    #[test]
+    fn validator_accepts_valid() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"c"}],"d":null}"#,
+            "  { \"x\" : [ ] } ",
+        ] {
+            assert!(validate(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01e",
+            "1.",
+            "\"unterminated",
+            "{} extra",
+            "{'a':1}",
+            "nul",
+        ] {
+            assert!(!validate(s), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_nesting_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.finish();
+    }
+}

@@ -1,0 +1,457 @@
+//! loadgen — drive thousands of simulated client sessions against the
+//! daemon and prove the serving layer does not perturb the measurement.
+//!
+//! For each worker-shard count in {1, 4, 8} it boots an identical
+//! kernel (same spec, seed, workload, fault plan), connects N sessions
+//! plus one deliberately slow streaming consumer (tiny outbox, never
+//! drains — it must be evicted, not wedge the daemon), runs T lockstep
+//! pumps with a deterministic per-session read cadence, then reads every
+//! subscription one final time and digests the counter values (FNV-1a).
+//!
+//! The digests must be bit-identical across 1/4/8 shards AND match a
+//! serial reference: a single client session holding all N
+//! subscriptions on a 1-shard daemon. Throughput and latency are
+//! allowed to differ; counts are not.
+//!
+//! Emits `BENCH_metricsd.json`. Exit status is non-zero on any digest
+//! mismatch or a missing eviction.
+//!
+//! ```text
+//! loadgen [--quick] [--sessions N] [--pumps T] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use metricsd::queue::ClientPipe;
+use metricsd::wire::{metrics, Request, Response};
+use metricsd::{Daemon, DaemonConfig, MetricsClient};
+use simcpu::machine::MachineSpec;
+use simcpu::phase::Phase;
+use simcpu::types::{CpuId, CpuMask};
+use simos::faults::{FaultKind, FaultPlan};
+use simos::kernel::{Kernel, KernelConfig, KernelHandle};
+use simos::task::{Op, ScriptedProgram};
+
+const SEED: u64 = 42;
+const TICKS_PER_PUMP: u32 = 20;
+
+/// Deterministic per-session subscription shape.
+fn session_mask(i: usize, n_cpus: usize) -> u64 {
+    let width = n_cpus.min(64);
+    let a = i % width;
+    let b = (i * 7 + 3) % width;
+    (1u64 << a) | (1u64 << b)
+}
+
+fn session_metrics(i: usize) -> u8 {
+    (i % metrics::ALL as usize) as u8 + 1
+}
+
+fn session_cadence(i: usize) -> u64 {
+    1 + (i % 7) as u64
+}
+
+/// Identical machine for every configuration: fixed seed, standing
+/// workload, and a fault plan that exercises hotplug + flaky sysfs +
+/// RAPL wrap bursts while serving.
+fn boot_machine() -> KernelHandle {
+    let kernel = Kernel::boot_handle(
+        MachineSpec::raptor_lake_i7_13700(),
+        KernelConfig {
+            seed: SEED,
+            ..KernelConfig::default()
+        },
+    );
+    {
+        let mut k = kernel.lock();
+        let n_cpus = k.machine().n_cpus();
+        for cpu in (0..n_cpus).step_by(3) {
+            k.spawn(
+                &format!("w{cpu}"),
+                Box::new(ScriptedProgram::new([
+                    Op::Compute(Phase::scalar(u64::MAX / 4)),
+                    Op::Exit,
+                ])),
+                CpuMask::from_cpus([cpu]),
+                0,
+            );
+        }
+        k.install_faults(
+            &FaultPlan::new(SEED)
+                .at(
+                    100_000_000,
+                    FaultKind::CpuOffline {
+                        cpu: CpuId(17),
+                        down_ns: Some(150_000_000),
+                    },
+                )
+                .at(150_000_000, FaultKind::SysfsFlaky { dur_ns: 60_000_000 })
+                .at(
+                    250_000_000,
+                    FaultKind::RaplWrapBurst {
+                        wraps: 2,
+                        extra_uj: 5_000_000,
+                    },
+                ),
+        );
+    }
+    kernel
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+struct ConfigResult {
+    shards: usize,
+    reads: u64,
+    wall_s: f64,
+    latencies_ns: Vec<u64>,
+    digest: u64,
+    evicted_slow_consumer: bool,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drain every pending reply on a client, recording Counters for the
+/// digest/latency accounting.
+fn drain(
+    c: &mut MetricsClient<ClientPipe>,
+    latencies: &mut Vec<u64>,
+    reads: &mut u64,
+    last_counters: &mut Vec<(u8, u64)>,
+) {
+    while let Ok(Some(resp)) = c.try_take() {
+        if let Response::Counters {
+            latency_ns, values, ..
+        } = resp
+        {
+            *reads += 1;
+            latencies.push(latency_ns);
+            last_counters.clear();
+            last_counters.extend(values.iter().map(|v| (v.metric, v.value)));
+        }
+    }
+}
+
+/// One full load run against a daemon with `shards` worker shards.
+fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
+    let mut daemon = Daemon::new(
+        boot_machine(),
+        DaemonConfig {
+            shards,
+            ticks_per_pump: TICKS_PER_PUMP,
+            ..DaemonConfig::default()
+        },
+    );
+    let n_cpus = daemon.n_cpus() as usize;
+    let connector = daemon.connector();
+
+    let mut clients: Vec<MetricsClient<ClientPipe>> = (0..n_sessions)
+        .map(|_| MetricsClient::new(connector.connect()))
+        .collect();
+    // The slow consumer: tiny outbox, streams every pump, never drains.
+    let mut slow = MetricsClient::new(connector.connect_with_outbox_cap(2));
+
+    // Pump 1: hellos.
+    for c in clients.iter_mut() {
+        c.post(&Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        })
+        .expect("post hello");
+    }
+    slow.post(&Request::Hello {
+        proto: metricsd::PROTO_VERSION,
+    })
+    .expect("post hello");
+    daemon.pump();
+    for c in clients.iter_mut() {
+        while let Ok(Some(_)) = c.try_take() {}
+    }
+    while let Ok(Some(_)) = slow.try_take() {}
+
+    // Pump 2: subscriptions (baseline snapshot identical across configs).
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.post(&Request::Subscribe {
+            cpu_mask: session_mask(i, n_cpus),
+            metrics: session_metrics(i),
+        })
+        .expect("post subscribe");
+    }
+    slow.post(&Request::Subscribe {
+        cpu_mask: 1,
+        metrics: metrics::ALL,
+    })
+    .expect("post subscribe");
+    slow.post(&Request::Stream { every_pumps: 1 })
+        .expect("post stream");
+    daemon.pump();
+    let mut sub_ids = vec![0u32; n_sessions];
+    for (i, c) in clients.iter_mut().enumerate() {
+        while let Ok(Some(resp)) = c.try_take() {
+            if let Response::Subscribed { sub_id, .. } = resp {
+                sub_ids[i] = sub_id;
+            }
+        }
+        assert!(sub_ids[i] != 0, "session {i} got its subscription");
+    }
+    // The slow consumer stops draining here, for good.
+
+    // Steady state: deterministic read cadence, thousands in flight.
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut reads: u64 = 0;
+    let mut last: Vec<Vec<(u8, u64)>> = vec![Vec::new(); n_sessions];
+    let t0 = Instant::now();
+    for pump in 0..pumps {
+        for (i, c) in clients.iter_mut().enumerate() {
+            if pump % session_cadence(i) == 0 {
+                let submit_ns = c.last_seen_ns;
+                c.post(&Request::Read {
+                    sub_id: sub_ids[i],
+                    submit_ns,
+                })
+                .expect("post read");
+            }
+            // A sprinkle of hot-path queries served from the cache.
+            if i % 97 == 0 && pump % 5 == 0 {
+                c.post(&Request::LatestSample).expect("post sample");
+            }
+        }
+        daemon.pump();
+        for (i, c) in clients.iter_mut().enumerate() {
+            drain(c, &mut latencies, &mut reads, &mut last[i]);
+        }
+    }
+
+    // Final read: every session, one more pump, then digest.
+    for (i, c) in clients.iter_mut().enumerate() {
+        let submit_ns = c.last_seen_ns;
+        c.post(&Request::Read {
+            sub_id: sub_ids[i],
+            submit_ns,
+        })
+        .expect("post final read");
+    }
+    daemon.pump();
+    for (i, c) in clients.iter_mut().enumerate() {
+        drain(c, &mut latencies, &mut reads, &mut last[i]);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut digest: u64 = 0xcbf29ce484222325;
+    for (i, vals) in last.iter().enumerate() {
+        fnv1a(&mut digest, &(i as u64).to_le_bytes());
+        for (metric, value) in vals {
+            fnv1a(&mut digest, &[*metric]);
+            fnv1a(&mut digest, &value.to_le_bytes());
+        }
+    }
+
+    // The slow consumer must have been evicted — daemon still serving,
+    // its queue closed with a best-effort Evicted notice at the tail.
+    let mut saw_evicted = false;
+    loop {
+        match slow.try_take() {
+            Ok(Some(Response::Evicted { .. })) | Err(metricsd::ClientError::Evicted { .. }) => {
+                saw_evicted = true;
+                break;
+            }
+            Ok(Some(_)) => continue,
+            Ok(None) | Err(_) => break,
+        }
+    }
+    let evicted = saw_evicted && daemon.stats().evictions == 1;
+
+    latencies.sort_unstable();
+    ConfigResult {
+        shards,
+        reads,
+        wall_s,
+        latencies_ns: latencies,
+        digest,
+        evicted_slow_consumer: evicted,
+    }
+}
+
+/// Serial reference: ONE client session holding all N subscriptions on
+/// a 1-shard daemon, same kernel, same pump count. Sessions never touch
+/// the kernel, so its final counter values must match the load runs
+/// bit-for-bit.
+fn run_reference(n_sessions: usize, pumps: u64) -> u64 {
+    let mut daemon = Daemon::new(
+        boot_machine(),
+        DaemonConfig {
+            shards: 1,
+            ticks_per_pump: TICKS_PER_PUMP,
+            inbox_cap: n_sessions + 16,
+            outbox_cap: n_sessions + 16,
+            max_requests_per_pump: u32::MAX,
+            ..DaemonConfig::default()
+        },
+    );
+    let n_cpus = daemon.n_cpus() as usize;
+    let connector = daemon.connector();
+    let mut c = MetricsClient::new(connector.connect());
+
+    c.post(&Request::Hello {
+        proto: metricsd::PROTO_VERSION,
+    })
+    .expect("post hello");
+    daemon.pump();
+    while let Ok(Some(_)) = c.try_take() {}
+
+    for i in 0..n_sessions {
+        c.post(&Request::Subscribe {
+            cpu_mask: session_mask(i, n_cpus),
+            metrics: session_metrics(i),
+        })
+        .expect("post subscribe");
+    }
+    daemon.pump();
+    let mut sub_ids = Vec::with_capacity(n_sessions);
+    while let Ok(Some(resp)) = c.try_take() {
+        if let Response::Subscribed { sub_id, .. } = resp {
+            sub_ids.push(sub_id);
+        }
+    }
+    assert_eq!(sub_ids.len(), n_sessions, "reference subscriptions");
+
+    // Same number of pumps; no reads needed — reads are kernel-free.
+    for _ in 0..pumps {
+        daemon.pump();
+    }
+
+    for &sub_id in &sub_ids {
+        c.post(&Request::Read {
+            sub_id,
+            submit_ns: 0,
+        })
+        .expect("post read");
+    }
+    daemon.pump();
+    let mut per_sub: Vec<Vec<(u8, u64)>> = vec![Vec::new(); n_sessions];
+    while let Ok(Some(resp)) = c.try_take() {
+        if let Response::Counters { sub_id, values, .. } = resp {
+            let idx = sub_ids
+                .iter()
+                .position(|&s| s == sub_id)
+                .expect("known sub");
+            per_sub[idx] = values.iter().map(|v| (v.metric, v.value)).collect();
+        }
+    }
+
+    let mut digest: u64 = 0xcbf29ce484222325;
+    for (i, vals) in per_sub.iter().enumerate() {
+        fnv1a(&mut digest, &(i as u64).to_le_bytes());
+        for (metric, value) in vals {
+            fnv1a(&mut digest, &[*metric]);
+            fnv1a(&mut digest, &value.to_le_bytes());
+        }
+    }
+    digest
+}
+
+fn main() {
+    let mut quick = false;
+    let mut sessions: Option<usize> = None;
+    let mut pumps: Option<u64> = None;
+    let mut out = "BENCH_metricsd.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--sessions" => {
+                sessions = Some(args.next().expect("--sessions N").parse().expect("count"))
+            }
+            "--pumps" => pumps = Some(args.next().expect("--pumps T").parse().expect("count")),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--help" | "-h" => {
+                eprintln!("usage: loadgen [--quick] [--sessions N] [--pumps T] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n_sessions = sessions.unwrap_or(if quick { 200 } else { 1200 });
+    let pumps = pumps.unwrap_or(if quick { 16 } else { 40 });
+
+    eprintln!("loadgen: {n_sessions} sessions, {pumps} pumps, shards 1/4/8 + serial reference");
+    let results: Vec<ConfigResult> = [1usize, 4, 8]
+        .iter()
+        .map(|&s| {
+            let r = run_config(s, n_sessions, pumps);
+            eprintln!(
+                "  shards={}: {} reads in {:.3}s ({:.0} reads/s), p50={}ns p99={}ns, \
+                 digest={:016x}, evicted_slow_consumer={}",
+                r.shards,
+                r.reads,
+                r.wall_s,
+                r.reads as f64 / r.wall_s.max(1e-9),
+                percentile(&r.latencies_ns, 0.50),
+                percentile(&r.latencies_ns, 0.99),
+                r.digest,
+                r.evicted_slow_consumer
+            );
+            r
+        })
+        .collect();
+    let reference = run_reference(n_sessions, pumps);
+    eprintln!("  serial reference digest={reference:016x}");
+
+    let digests_match = results.iter().all(|r| r.digest == reference);
+    let evictions_ok = results.iter().all(|r| r.evicted_slow_consumer);
+
+    let mut w = jsonw::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("bench", "metricsd");
+    w.field_bool("quick", quick);
+    w.field_u64("sessions", n_sessions as u64);
+    w.field_u64("pumps", pumps);
+    w.field_u64("ticks_per_pump", TICKS_PER_PUMP as u64);
+    w.key("configs");
+    w.begin_arr();
+    for r in &results {
+        w.begin_obj();
+        w.field_u64("shards", r.shards as u64);
+        w.field_u64("reads", r.reads);
+        w.field_f64("wall_s", r.wall_s);
+        w.field_f64("reads_per_sec", r.reads as f64 / r.wall_s.max(1e-9));
+        w.field_u64("p50_latency_sim_ns", percentile(&r.latencies_ns, 0.50));
+        w.field_u64("p99_latency_sim_ns", percentile(&r.latencies_ns, 0.99));
+        w.field_str("digest", &format!("{:016x}", r.digest));
+        w.field_bool("evicted_slow_consumer", r.evicted_slow_consumer);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.field_str("serial_reference_digest", &format!("{reference:016x}"));
+    w.field_bool("digests_match", digests_match);
+    w.field_bool("evictions_ok", evictions_ok);
+    w.end_obj();
+    let json = w.finish();
+    assert!(jsonw::validate(&json), "loadgen emits valid JSON");
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    if !digests_match {
+        eprintln!("FAIL: shard digests diverge from the serial reference");
+        std::process::exit(1);
+    }
+    if !evictions_ok {
+        eprintln!("FAIL: slow consumer was not evicted");
+        std::process::exit(1);
+    }
+}

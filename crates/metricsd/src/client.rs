@@ -1,0 +1,256 @@
+//! `metrics-client` — the client library over any frame transport.
+//!
+//! [`MetricsClient`] wraps a [`Transport`] (the in-process
+//! [`ClientPipe`] or the TCP transport in [`crate::tcp`]) with typed
+//! request/response calls. Two usage styles:
+//!
+//! * blocking RPC (`hello`, `read`, …) — each call sends one request
+//!   and waits for the matching reply; used by tools and tests.
+//! * posted I/O (`post` + `try_take`) — fire requests without waiting,
+//!   drain replies later; used by `loadgen` to keep thousands of
+//!   sessions in flight against the daemon's lockstep pump.
+
+use std::time::Duration;
+
+use crate::queue::{ClientPipe, PushError};
+use crate::wire::{Request, Response, WireError, PROTO_VERSION};
+
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport refused the frame (backpressure or closed connection).
+    Send(&'static str),
+    /// No reply within the timeout.
+    Timeout,
+    /// Reply failed to decode.
+    Wire(WireError),
+    /// The daemon answered with an error response.
+    Daemon { code: u16, msg: String },
+    /// The daemon evicted this session.
+    Evicted { reason: String },
+    /// Got a structurally valid but contextually wrong reply.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Send(w) => write!(f, "send failed: {w}"),
+            ClientError::Timeout => write!(f, "timed out waiting for reply"),
+            ClientError::Wire(e) => write!(f, "bad reply frame: {e}"),
+            ClientError::Daemon { code, msg } => write!(f, "daemon error {code}: {msg}"),
+            ClientError::Evicted { reason } => write!(f, "evicted: {reason}"),
+            ClientError::Unexpected(w) => write!(f, "unexpected reply: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A bidirectional frame transport.
+pub trait Transport {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), ClientError>;
+    fn recv(&mut self, timeout: Duration) -> Option<Vec<u8>>;
+    fn try_recv(&mut self) -> Option<Vec<u8>>;
+}
+
+impl Transport for ClientPipe {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), ClientError> {
+        ClientPipe::send(self, frame).map_err(|e| match e {
+            PushError::Full => ClientError::Send("inbox full"),
+            PushError::Closed => ClientError::Send("connection closed"),
+        })
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        self.recv_blocking(timeout)
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        ClientPipe::try_recv(self)
+    }
+}
+
+/// A client session.
+pub struct MetricsClient<T: Transport> {
+    t: T,
+    /// Session id assigned by the daemon's Welcome.
+    pub session_id: u64,
+    /// CPU count reported at Hello.
+    pub n_cpus: u32,
+    /// Sim time of the newest snapshot seen in any reply — the client's
+    /// clock for stamping `submit_ns`.
+    pub last_seen_ns: u64,
+    timeout: Duration,
+}
+
+impl<T: Transport> MetricsClient<T> {
+    /// Wrap a transport; call [`MetricsClient::hello`] before anything
+    /// else.
+    pub fn new(t: T) -> MetricsClient<T> {
+        MetricsClient {
+            t,
+            session_id: 0,
+            n_cpus: 0,
+            last_seen_ns: 0,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Fire a request without waiting for the reply.
+    pub fn post(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.t.send(req.encode())
+    }
+
+    /// Non-blocking: decode the next pending reply, if any.
+    pub fn try_take(&mut self) -> Result<Option<Response>, ClientError> {
+        match self.t.try_recv() {
+            None => Ok(None),
+            Some(frame) => {
+                let resp = Response::decode(&frame)?;
+                self.observe(&resp);
+                Ok(Some(resp))
+            }
+        }
+    }
+
+    /// Blocking: decode the next reply or time out.
+    pub fn take(&mut self) -> Result<Response, ClientError> {
+        match self.t.recv(self.timeout) {
+            None => Err(ClientError::Timeout),
+            Some(frame) => {
+                let resp = Response::decode(&frame)?;
+                self.observe(&resp);
+                Ok(resp)
+            }
+        }
+    }
+
+    fn observe(&mut self, resp: &Response) {
+        match resp {
+            Response::Counters { time_ns, .. } | Response::Sample { time_ns, .. } => {
+                self.last_seen_ns = self.last_seen_ns.max(*time_ns);
+            }
+            _ => {}
+        }
+    }
+
+    fn rpc(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.post(req)?;
+        let resp = self.take()?;
+        match resp {
+            Response::Err { code, msg } => Err(ClientError::Daemon { code, msg }),
+            Response::Evicted { reason } => Err(ClientError::Evicted { reason }),
+            other => Ok(other),
+        }
+    }
+
+    /// Handshake; must be the first call on a session.
+    pub fn hello(&mut self) -> Result<(), ClientError> {
+        match self.rpc(&Request::Hello {
+            proto: PROTO_VERSION,
+        })? {
+            Response::Welcome {
+                session_id, n_cpus, ..
+            } => {
+                self.session_id = session_id;
+                self.n_cpus = n_cpus;
+                Ok(())
+            }
+            _ => Err(ClientError::Unexpected("wanted Welcome")),
+        }
+    }
+
+    /// Hardware description as JSON (served from the snapshot cache).
+    pub fn hardware_info(&mut self) -> Result<String, ClientError> {
+        match self.rpc(&Request::GetHardwareInfo)? {
+            Response::HardwareInfo { json } => Ok(json),
+            _ => Err(ClientError::Unexpected("wanted HardwareInfo")),
+        }
+    }
+
+    /// Available preset names (served from the snapshot cache).
+    pub fn presets(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.rpc(&Request::ListPresets)? {
+            Response::Presets { names } => Ok(names),
+            _ => Err(ClientError::Unexpected("wanted Presets")),
+        }
+    }
+
+    /// Subscribe to a metric set over a CPU bitmask; returns the sub id.
+    pub fn subscribe(&mut self, cpu_mask: u64, metrics: u8) -> Result<u32, ClientError> {
+        match self.rpc(&Request::Subscribe { cpu_mask, metrics })? {
+            Response::Subscribed { sub_id, .. } => Ok(sub_id),
+            _ => Err(ClientError::Unexpected("wanted Subscribed")),
+        }
+    }
+
+    /// Read a subscription's deltas since baseline.
+    pub fn read(&mut self, sub_id: u32) -> Result<Response, ClientError> {
+        let submit_ns = self.last_seen_ns;
+        match self.rpc(&Request::Read { sub_id, submit_ns })? {
+            r @ Response::Counters { .. } => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted Counters")),
+        }
+    }
+
+    /// Re-baseline a subscription at the current snapshot.
+    pub fn reset(&mut self, sub_id: u32) -> Result<(), ClientError> {
+        match self.rpc(&Request::ResetSub { sub_id })? {
+            Response::Subscribed { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Subscribed")),
+        }
+    }
+
+    /// Latest telemetry sample (temperature / energy / mean frequency).
+    pub fn latest_sample(&mut self) -> Result<Response, ClientError> {
+        match self.rpc(&Request::LatestSample)? {
+            r @ Response::Sample { .. } => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted Sample")),
+        }
+    }
+
+    /// Ask the daemon to push Counters for every subscription each
+    /// `every_pumps` pumps (0 disables).
+    pub fn stream(&mut self, every_pumps: u32) -> Result<(), ClientError> {
+        match self.rpc(&Request::Stream { every_pumps })? {
+            Response::Subscribed { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ack")),
+        }
+    }
+
+    /// Daemon-wide serving statistics.
+    pub fn stats(&mut self) -> Result<crate::server::DaemonStats, ClientError> {
+        match self.rpc(&Request::Stats)? {
+            Response::Stats {
+                sessions,
+                reads_served,
+                evictions,
+                pumps,
+            } => Ok(crate::server::DaemonStats {
+                sessions,
+                reads_served,
+                evictions,
+                pumps,
+            }),
+            _ => Err(ClientError::Unexpected("wanted Stats")),
+        }
+    }
+
+    /// Close the session (best-effort; the daemon reaps it next pump).
+    pub fn close(&mut self) -> Result<(), ClientError> {
+        match self.rpc(&Request::Close)? {
+            Response::Closed => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Closed")),
+        }
+    }
+}

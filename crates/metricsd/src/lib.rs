@@ -1,0 +1,35 @@
+//! metricsd — a sharded, multi-client counter-serving daemon over the
+//! simulated kernel.
+//!
+//! Many tools want the same counters at the same time; giving each its
+//! own `Papi` instance over `Arc<Mutex<Kernel>>` serialises every read
+//! on the kernel lock and perturbs the very counts being measured. This
+//! crate inverts the arrangement: a single [`snapshot::Collector`] does
+//! exactly one kernel pass per pump (the batching window), publishes an
+//! immutable [`snapshot::TickSnapshot`] to a [`snapshot::SnapshotCache`],
+//! and a sharded [`server::Daemon`] answers every client session from
+//! that snapshot — hot static queries (hardware info, preset list) are
+//! pre-encoded frames that never touch the kernel lock at all.
+//!
+//! Because sessions never touch the kernel, the kernel-op sequence —
+//! and therefore every served count — depends only on the pump schedule,
+//! not on how many sessions exist or how many worker shards serve them.
+//! `loadgen` exploits this: aggregate digests are bit-identical across
+//! 1/4/8 shards and match a collector-only serial reference.
+//!
+//! Transports: an in-process [`queue::ClientPipe`] (bounded frame queues
+//! in both directions, explicit backpressure, slow-consumer eviction)
+//! and a TCP-loopback listener ([`tcp`]) speaking the same
+//! length-prefixed [`wire`] protocol.
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+pub mod tcp;
+pub mod wire;
+
+pub use client::{ClientError, MetricsClient, Transport};
+pub use server::{Connector, Daemon, DaemonConfig, DaemonStats};
+pub use snapshot::{Collector, CpuCounters, SnapshotCache, TickSnapshot};
+pub use wire::{Request, Response, PROTO_VERSION};

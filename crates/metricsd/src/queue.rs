@@ -1,0 +1,190 @@
+//! Bounded frame queues — the in-process transport and the daemon's
+//! per-session mailboxes.
+//!
+//! The vendored `parking_lot` has no `Condvar`, so blocking receives
+//! spin with `yield_now`; in daemon use the queues are drained in
+//! lockstep with `pump()` and the blocking path only matters for the
+//! TCP glue threads.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity — backpressure; the caller decides whether to
+    /// retry next pump or escalate to eviction.
+    Full,
+    /// The other side closed the queue.
+    Closed,
+}
+
+struct Inner {
+    q: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish queue of encoded frames.
+pub struct FrameQueue {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl FrameQueue {
+    pub fn new(cap: usize) -> Arc<FrameQueue> {
+        Arc::new(FrameQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            cap: cap.max(1),
+        })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueue, refusing at capacity (explicit backpressure).
+    pub fn push(&self, frame: Vec<u8>) -> Result<(), PushError> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.q.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        g.q.push_back(frame);
+        Ok(())
+    }
+
+    /// Enqueue even at capacity by dropping the oldest frame — used for
+    /// the final Evicted notice so the slow consumer can learn its fate.
+    pub fn force_push(&self, frame: Vec<u8>) {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return;
+        }
+        while g.q.len() >= self.cap {
+            g.q.pop_front();
+        }
+        g.q.push_back(frame);
+    }
+
+    pub fn try_pop(&self) -> Option<Vec<u8>> {
+        self.inner.lock().q.pop_front()
+    }
+
+    /// Pop, spinning until a frame arrives, the queue closes empty, or
+    /// the timeout expires.
+    pub fn pop_blocking(&self, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut g = self.inner.lock();
+                if let Some(f) = g.q.pop_front() {
+                    return Some(f);
+                }
+                if g.closed {
+                    return None;
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().q.is_empty()
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Close: further pushes fail, pops drain what remains.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+    }
+}
+
+/// The client's end of an in-process connection: two queues crossed
+/// with the daemon's session (client tx = session inbox, client rx =
+/// session outbox).
+pub struct ClientPipe {
+    pub tx: Arc<FrameQueue>,
+    pub rx: Arc<FrameQueue>,
+}
+
+impl ClientPipe {
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), PushError> {
+        self.tx.push(frame)
+    }
+
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.rx.try_pop()
+    }
+
+    pub fn recv_blocking(&self, timeout: Duration) -> Option<Vec<u8>> {
+        self.rx.pop_blocking(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = FrameQueue::new(4);
+        q.push(vec![1]).unwrap();
+        q.push(vec![2]).unwrap();
+        assert_eq!(q.try_pop(), Some(vec![1]));
+        assert_eq!(q.try_pop(), Some(vec![2]));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let q = FrameQueue::new(2);
+        q.push(vec![1]).unwrap();
+        q.push(vec![2]).unwrap();
+        assert_eq!(q.push(vec![3]), Err(PushError::Full));
+        // force_push evicts the oldest instead of refusing.
+        q.force_push(vec![9]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(vec![2]));
+        assert_eq!(q.try_pop(), Some(vec![9]));
+    }
+
+    #[test]
+    fn close_stops_pushes_drains_pops() {
+        let q = FrameQueue::new(4);
+        q.push(vec![1]).unwrap();
+        q.close();
+        assert_eq!(q.push(vec![2]), Err(PushError::Closed));
+        assert_eq!(q.try_pop(), Some(vec![1]));
+        assert_eq!(q.pop_blocking(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn pop_blocking_sees_cross_thread_push() {
+        let q = FrameQueue::new(4);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(vec![7]).unwrap();
+        });
+        let got = q.pop_blocking(Duration::from_secs(2));
+        t.join().unwrap();
+        assert_eq!(got, Some(vec![7]));
+    }
+}

@@ -1,0 +1,590 @@
+//! The daemon: sharded session registry, lockstep pump, backpressure.
+//!
+//! A [`Daemon`] owns the [`Collector`] and a set of worker shards. Each
+//! connected session lives in exactly one shard (`session_id % shards`),
+//! and each `pump()`:
+//!
+//! 1. admits pending connections into their shards,
+//! 2. advances the kernel once and publishes the new [`TickSnapshot`]
+//!    to the [`SnapshotCache`] (the single cache-invalidation point),
+//! 3. serves every shard — on scoped threads when `shards > 1` — with
+//!    all reads answered from the immutable snapshot,
+//! 4. reaps closed and evicted sessions.
+//!
+//! Backpressure is explicit: a session whose outbox is full keeps its
+//! requests queued in its inbox (nothing is dropped), and a session that
+//! stays stalled for `eviction_grace` consecutive pumps is evicted — a
+//! best-effort [`Response::Evicted`] is forced into its outbox and the
+//! queue closes. The daemon never blocks on a slow consumer.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use simos::kernel::KernelHandle;
+
+use crate::queue::{ClientPipe, FrameQueue, PushError};
+use crate::snapshot::{Collector, SnapshotCache, TickSnapshot};
+use crate::wire::{errcode, metrics, MetricValue, Request, Response, PROTO_VERSION};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker shards serving sessions (aggregate counts are identical at
+    /// any value; latency distribution is not).
+    pub shards: usize,
+    /// Kernel ticks simulated per pump — the batching window: every read
+    /// arriving within one pump is served from the same kernel pass.
+    pub ticks_per_pump: u32,
+    /// Per-session outbox capacity (frames) before backpressure.
+    pub outbox_cap: usize,
+    /// Per-session inbox capacity (frames).
+    pub inbox_cap: usize,
+    /// Consecutive stalled pumps tolerated before eviction.
+    pub eviction_grace: u32,
+    /// Virtual serving cost per request (sim-ns), the queueing term in
+    /// reported latency.
+    pub serve_ns: u64,
+    /// Per-session request budget per pump (fairness cap).
+    pub max_requests_per_pump: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            shards: 4,
+            ticks_per_pump: 20,
+            outbox_cap: 64,
+            inbox_cap: 64,
+            eviction_grace: 8,
+            serve_ns: 500,
+            max_requests_per_pump: 16,
+        }
+    }
+}
+
+/// A counter subscription: baseline values at subscribe time; reads
+/// return the delta.
+struct Subscription {
+    id: u32,
+    cpu_mask: u64,
+    metrics: u8,
+    /// Baselines in wire metric order.
+    base: Vec<u64>,
+    /// Per-CPU offline epochs at baseline (full width).
+    base_epochs: Vec<u32>,
+    base_gaps: u32,
+}
+
+struct Session {
+    id: u64,
+    inbox: Arc<FrameQueue>,
+    outbox: Arc<FrameQueue>,
+    helloed: bool,
+    subs: Vec<Subscription>,
+    next_sub_id: u32,
+    /// Push Counters frames every N pumps (0 = off).
+    stream_every: u32,
+    stalled_pumps: u32,
+    closed: bool,
+    evicted: bool,
+}
+
+struct Shard {
+    sessions: Vec<Session>,
+    reads_served: u64,
+}
+
+/// Cross-thread connection intake, clonable into acceptor threads.
+#[derive(Clone)]
+pub struct Connector {
+    pending: Arc<Mutex<Vec<Session>>>,
+    next_id: Arc<AtomicU64>,
+    inbox_cap: usize,
+    outbox_cap: usize,
+}
+
+impl Connector {
+    /// Open an in-process connection; the session is admitted to its
+    /// shard on the next pump.
+    pub fn connect(&self) -> ClientPipe {
+        self.connect_with_outbox_cap(self.outbox_cap)
+    }
+
+    /// As [`Connector::connect`] with a custom outbox capacity (small
+    /// caps make slow-consumer eviction easy to exercise).
+    pub fn connect_with_outbox_cap(&self, outbox_cap: usize) -> ClientPipe {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let inbox = FrameQueue::new(self.inbox_cap);
+        let outbox = FrameQueue::new(outbox_cap);
+        self.pending.lock().push(Session {
+            id,
+            inbox: inbox.clone(),
+            outbox: outbox.clone(),
+            helloed: false,
+            subs: Vec::new(),
+            next_sub_id: 1,
+            stream_every: 0,
+            stalled_pumps: 0,
+            closed: false,
+            evicted: false,
+        });
+        ClientPipe {
+            tx: inbox,
+            rx: outbox,
+        }
+    }
+}
+
+/// Aggregate serving statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    pub sessions: u64,
+    pub reads_served: u64,
+    pub evictions: u64,
+    pub pumps: u64,
+}
+
+pub struct Daemon {
+    cfg: DaemonConfig,
+    collector: Collector,
+    cache: Arc<SnapshotCache>,
+    shards: Vec<Shard>,
+    connector: Connector,
+    evictions: u64,
+    pumps: u64,
+    n_cpus: u32,
+    tick_ns: u64,
+}
+
+impl Daemon {
+    /// Boot the serving layer over an already-booted kernel. Probes the
+    /// hardware once (via the PAPI layer) to pre-encode the static
+    /// hot-query responses, then opens the collector's counters.
+    pub fn new(kernel: KernelHandle, cfg: DaemonConfig) -> Daemon {
+        let (n_cpus, tick_ns) = {
+            let k = kernel.lock();
+            (k.machine().n_cpus() as u32, k.config().tick_ns)
+        };
+        let papi = papi::Papi::init(kernel.clone()).expect("papi init");
+        let hw_frame = Response::HardwareInfo {
+            json: papi::avail::avail_json(&papi),
+        }
+        .encode();
+        let presets_frame = Response::Presets {
+            names: papi
+                .available_presets()
+                .iter()
+                .map(|p| p.papi_name().to_string())
+                .collect(),
+        }
+        .encode();
+        drop(papi);
+        let collector = Collector::new(kernel);
+        let first = collector_boot_snapshot(&collector);
+        let cache = Arc::new(SnapshotCache::new(first, hw_frame, presets_frame));
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| Shard {
+                sessions: Vec::new(),
+                reads_served: 0,
+            })
+            .collect();
+        Daemon {
+            connector: Connector {
+                pending: Arc::new(Mutex::new(Vec::new())),
+                next_id: Arc::new(AtomicU64::new(1)),
+                inbox_cap: cfg.inbox_cap,
+                outbox_cap: cfg.outbox_cap,
+            },
+            cfg,
+            collector,
+            cache,
+            shards,
+            evictions: 0,
+            pumps: 0,
+            n_cpus,
+            tick_ns,
+        }
+    }
+
+    /// Handle for opening connections (clonable into acceptor threads).
+    pub fn connector(&self) -> Connector {
+        self.connector.clone()
+    }
+
+    /// The snapshot cache (shared with transports and tests).
+    pub fn cache(&self) -> Arc<SnapshotCache> {
+        self.cache.clone()
+    }
+
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            sessions: self.shards.iter().map(|s| s.sessions.len() as u64).sum(),
+            reads_served: self.shards.iter().map(|s| s.reads_served).sum(),
+            evictions: self.evictions,
+            pumps: self.pumps,
+        }
+    }
+
+    /// One lockstep serving round. Returns the snapshot it served from.
+    pub fn pump(&mut self) -> Arc<TickSnapshot> {
+        // 1. Admit pending connections to their shards.
+        let n_shards = self.shards.len();
+        for s in self.connector.pending.lock().drain(..) {
+            self.shards[(s.id % n_shards as u64) as usize]
+                .sessions
+                .push(s);
+        }
+
+        // 2. One kernel pass; publish the snapshot (cache invalidation).
+        let snap = self.collector.advance(self.cfg.ticks_per_pump);
+        self.cache.publish(snap.clone());
+        self.pumps += 1;
+
+        // 3. Serve every shard from the immutable snapshot.
+        let stats_view = self.stats();
+        let cfg = &self.cfg;
+        let cache = &self.cache;
+        let tick_ns = self.tick_ns;
+        if n_shards == 1 {
+            serve_shard(&mut self.shards[0], &snap, cache, cfg, stats_view, tick_ns);
+        } else {
+            std::thread::scope(|scope| {
+                for shard in &mut self.shards {
+                    let snap = &snap;
+                    scope.spawn(move || {
+                        serve_shard(shard, snap, cache, cfg, stats_view, tick_ns);
+                    });
+                }
+            });
+        }
+
+        // 4. Reap.
+        for shard in &mut self.shards {
+            let before = shard.sessions.len();
+            let evicted_here = shard.sessions.iter().filter(|s| s.evicted).count();
+            shard.sessions.retain(|s| !s.closed && !s.evicted);
+            self.evictions += evicted_here as u64;
+            debug_assert!(shard.sessions.len() + evicted_here <= before + 1);
+        }
+        snap
+    }
+
+    pub fn n_cpus(&self) -> u32 {
+        self.n_cpus
+    }
+}
+
+/// The collector takes its own boot snapshot internally; re-derive a
+/// matching tick-0 view for the cache without another kernel pass.
+fn collector_boot_snapshot(c: &Collector) -> Arc<TickSnapshot> {
+    // The collector's boot sample is not retained; an empty placeholder
+    // with tick 0 suffices until the first pump publishes (hot static
+    // queries don't read it, and counter queries require a pump first).
+    let k = c.kernel().lock();
+    Arc::new(TickSnapshot {
+        tick: 0,
+        time_ns: k.time_ns(),
+        cpus: vec![Default::default(); k.machine().n_cpus()],
+        temp_mc: 0,
+        energy_pkg_uj: 0,
+        sysfs_gaps: 0,
+        gap: false,
+    })
+}
+
+fn serve_shard(
+    shard: &mut Shard,
+    snap: &Arc<TickSnapshot>,
+    cache: &SnapshotCache,
+    cfg: &DaemonConfig,
+    stats_view: DaemonStats,
+    tick_ns: u64,
+) {
+    // Virtual serving clock for this shard this pump: request k in the
+    // shard completes at snapshot-time + (k+1)·serve_ns. More shards →
+    // shorter per-shard queues → lower reported tail latency.
+    let mut served_in_shard: u64 = 0;
+    for session in &mut shard.sessions {
+        if session.closed || session.evicted {
+            continue;
+        }
+        let mut stalled = false;
+
+        // Stream pushes first (they contend for outbox space like replies).
+        if session.stream_every > 0 && snap.tick.is_multiple_of(session.stream_every as u64) {
+            for si in 0..session.subs.len() {
+                let resp = counters_response(&session.subs[si], snap, 0, cfg, served_in_shard);
+                match session.outbox.push(resp.encode()) {
+                    Ok(()) => served_in_shard += 1,
+                    Err(PushError::Full) => {
+                        stalled = true;
+                        break;
+                    }
+                    Err(PushError::Closed) => {
+                        session.closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Serve queued requests FIFO, up to the fairness cap, stopping
+        // (not dropping) when the outbox has no room for a reply.
+        let mut budget = cfg.max_requests_per_pump;
+        while budget > 0 && !session.closed {
+            if session.outbox.len() >= session.outbox.capacity() {
+                stalled = true;
+                break;
+            }
+            let Some(frame) = session.inbox.try_pop() else {
+                break;
+            };
+            budget -= 1;
+            let reply = handle_frame(
+                session,
+                &frame,
+                snap,
+                cache,
+                cfg,
+                served_in_shard,
+                &stats_view,
+                tick_ns,
+            );
+            served_in_shard += 1;
+            shard.reads_served += 1;
+            match session.outbox.push(reply) {
+                Ok(()) => {
+                    // An orderly Close: the ack is in the queue; seal it
+                    // behind the ack so the client can still drain.
+                    if session.closed {
+                        session.outbox.close();
+                    }
+                }
+                Err(PushError::Full) => {
+                    // Raced with capacity check; treat as a stall but the
+                    // reply must not vanish.
+                    session.outbox.force_push(
+                        Response::Err {
+                            code: errcode::BAD_FRAME,
+                            msg: "outbox overflow".into(),
+                        }
+                        .encode(),
+                    );
+                    stalled = true;
+                    break;
+                }
+                Err(PushError::Closed) => session.closed = true,
+            }
+        }
+
+        if stalled {
+            session.stalled_pumps += 1;
+            if session.stalled_pumps > cfg.eviction_grace {
+                session.evicted = true;
+                session.outbox.force_push(
+                    Response::Evicted {
+                        reason: format!(
+                            "slow consumer: outbox full for {} consecutive pumps",
+                            session.stalled_pumps
+                        ),
+                    }
+                    .encode(),
+                );
+                session.outbox.close();
+                session.inbox.close();
+            }
+        } else {
+            session.stalled_pumps = 0;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    session: &mut Session,
+    frame: &[u8],
+    snap: &Arc<TickSnapshot>,
+    cache: &SnapshotCache,
+    cfg: &DaemonConfig,
+    served_in_shard: u64,
+    stats_view: &DaemonStats,
+    tick_ns: u64,
+) -> Vec<u8> {
+    let req = match Request::decode(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Err {
+                code: errcode::BAD_FRAME,
+                msg: e.to_string(),
+            }
+            .encode()
+        }
+    };
+    if !session.helloed && !matches!(req, Request::Hello { .. }) {
+        return Response::Err {
+            code: errcode::NOT_HELLOED,
+            msg: "first frame must be Hello".into(),
+        }
+        .encode();
+    }
+    match req {
+        Request::Hello { proto } => {
+            if proto != PROTO_VERSION {
+                return Response::Err {
+                    code: errcode::BAD_PROTO,
+                    msg: format!("daemon speaks proto {PROTO_VERSION}, client sent {proto}"),
+                }
+                .encode();
+            }
+            session.helloed = true;
+            Response::Welcome {
+                session_id: session.id,
+                proto: PROTO_VERSION,
+                n_cpus: snap.cpus.len() as u32,
+                tick_ns,
+            }
+            .encode()
+        }
+        // Hot static queries: pre-encoded bytes, no kernel lock, no
+        // re-encoding.
+        Request::GetHardwareInfo => cache.hardware_info_frame.clone(),
+        Request::ListPresets => cache.presets_frame.clone(),
+        Request::Subscribe {
+            cpu_mask,
+            metrics: m,
+        } => {
+            let width_mask = if snap.cpus.len() >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << snap.cpus.len()) - 1
+            };
+            let eff_mask = cpu_mask & width_mask;
+            if (m & metrics::ALL == 0) || (eff_mask == 0 && m & !metrics::ENERGY_PKG != 0) {
+                return Response::Err {
+                    code: errcode::EMPTY_MASK,
+                    msg: "empty cpu mask or metric set".into(),
+                }
+                .encode();
+            }
+            let sub_id = session.next_sub_id;
+            session.next_sub_id += 1;
+            session.subs.push(Subscription {
+                id: sub_id,
+                cpu_mask: eff_mask,
+                metrics: m,
+                base: metrics::iter(m)
+                    .map(|metric| snap.sum_metric(eff_mask, metric))
+                    .collect(),
+                base_epochs: snap.cpus.iter().map(|c| c.offline_epochs).collect(),
+                base_gaps: snap.sysfs_gaps,
+            });
+            Response::Subscribed {
+                sub_id,
+                base_tick: snap.tick,
+            }
+            .encode()
+        }
+        Request::Read { sub_id, submit_ns } => match session.subs.iter().find(|s| s.id == sub_id) {
+            Some(sub) => counters_response(sub, snap, submit_ns, cfg, served_in_shard).encode(),
+            None => Response::Err {
+                code: errcode::NO_SUCH_SUB,
+                msg: format!("no subscription {sub_id}"),
+            }
+            .encode(),
+        },
+        Request::ResetSub { sub_id } => match session.subs.iter_mut().find(|s| s.id == sub_id) {
+            Some(sub) => {
+                sub.base = metrics::iter(sub.metrics)
+                    .map(|metric| snap.sum_metric(sub.cpu_mask, metric))
+                    .collect();
+                sub.base_epochs = snap.cpus.iter().map(|c| c.offline_epochs).collect();
+                sub.base_gaps = snap.sysfs_gaps;
+                Response::Subscribed {
+                    sub_id,
+                    base_tick: snap.tick,
+                }
+                .encode()
+            }
+            None => Response::Err {
+                code: errcode::NO_SUCH_SUB,
+                msg: format!("no subscription {sub_id}"),
+            }
+            .encode(),
+        },
+        Request::LatestSample => Response::Sample {
+            tick: snap.tick,
+            time_ns: snap.time_ns,
+            temp_mc: snap.temp_mc,
+            energy_pkg_uj: snap.energy_pkg_uj,
+            mean_freq_khz: snap.mean_freq_khz(),
+            gap: snap.gap,
+        }
+        .encode(),
+        Request::Stream { every_pumps } => {
+            session.stream_every = every_pumps;
+            Response::Subscribed {
+                sub_id: 0,
+                base_tick: snap.tick,
+            }
+            .encode()
+        }
+        Request::Stats => Response::Stats {
+            sessions: stats_view.sessions,
+            reads_served: stats_view.reads_served,
+            evictions: stats_view.evictions,
+            pumps: stats_view.pumps,
+        }
+        .encode(),
+        Request::Close => {
+            session.closed = true;
+            Response::Closed.encode()
+        }
+    }
+}
+
+/// Build a Counters reply for a subscription from the snapshot, with
+/// the `ReadQuality` aggregation:
+///
+/// * any covered CPU currently offline → `Lost` (2),
+/// * any covered CPU hotplugged since baseline, a stale counter, or a
+///   sysfs gap affecting a subscribed energy metric → `Scaled` (1),
+/// * otherwise `Ok` (0).
+fn counters_response(
+    sub: &Subscription,
+    snap: &TickSnapshot,
+    submit_ns: u64,
+    cfg: &DaemonConfig,
+    served_in_shard: u64,
+) -> Response {
+    let mut quality = 0u8;
+    for (i, c) in snap.cpus.iter().enumerate() {
+        if i >= 64 || sub.cpu_mask & (1 << i) == 0 {
+            continue;
+        }
+        if !c.online {
+            quality = quality.max(2);
+        } else if c.offline_epochs != sub.base_epochs.get(i).copied().unwrap_or(0) || c.stale {
+            quality = quality.max(1);
+        }
+    }
+    if sub.metrics & metrics::ENERGY_PKG != 0 && snap.sysfs_gaps != sub.base_gaps {
+        quality = quality.max(1);
+    }
+    let values = metrics::iter(sub.metrics)
+        .zip(&sub.base)
+        .map(|(metric, base)| MetricValue {
+            metric,
+            value: snap.sum_metric(sub.cpu_mask, metric).saturating_sub(*base),
+        })
+        .collect();
+    let serve_virtual_ns = snap.time_ns + (served_in_shard + 1) * cfg.serve_ns;
+    Response::Counters {
+        sub_id: sub.id,
+        tick: snap.tick,
+        time_ns: snap.time_ns,
+        latency_ns: serve_virtual_ns.saturating_sub(submit_ns.min(serve_virtual_ns)),
+        quality,
+        values,
+    }
+}

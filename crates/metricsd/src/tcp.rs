@@ -1,0 +1,243 @@
+//! TCP-loopback transport: the same length-prefixed frames as the
+//! in-process pipe, over a socket.
+//!
+//! The listener accepts connections and bridges each one onto a daemon
+//! session with two glue threads: a reader (socket → session inbox,
+//! retrying on backpressure so a full inbox slows the socket rather
+//! than dropping frames) and a writer (session outbox → socket). When
+//! the daemon evicts or closes the session, the outbox drains and the
+//! socket shuts down.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::client::{ClientError, Transport};
+use crate::queue::PushError;
+use crate::server::Connector;
+use crate::wire::MAX_FRAME;
+
+/// Poll interval for the non-blocking accept loop and glue retries.
+const POLL: Duration = Duration::from_millis(2);
+
+/// A running TCP listener bridging sockets onto daemon sessions.
+pub struct Listener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Listener {
+    /// Bind (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting. Each accepted socket becomes one daemon session.
+    pub fn spawn(connector: Connector, bind: &str) -> std::io::Result<Listener> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => glue(stream, &connector),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Listener {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections (existing sessions keep running).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bridge one accepted socket onto a fresh daemon session.
+fn glue(stream: TcpStream, connector: &Connector) {
+    let _ = stream.set_nodelay(true);
+    let pipe = connector.connect();
+    let inbox = pipe.tx;
+    let outbox = pipe.rx;
+
+    let mut rd = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let _ = rd.set_read_timeout(Some(Duration::from_millis(50)));
+    std::thread::spawn(move || {
+        loop {
+            match read_frame(&mut rd) {
+                Ok(Some(frame)) => {
+                    // Backpressure: a full inbox slows the socket down
+                    // (frames are small; the retry clone is cheap).
+                    loop {
+                        match inbox.push(frame.clone()) {
+                            Ok(()) => break,
+                            Err(PushError::Full) => std::thread::sleep(POLL),
+                            Err(PushError::Closed) => {
+                                let _ = rd.shutdown(Shutdown::Both);
+                                return;
+                            }
+                        }
+                    }
+                }
+                Ok(None) => continue, // read timeout; poll for closure
+                Err(_) => {
+                    // Peer went away: the daemon reaps the session next
+                    // pump via the closed inbox.
+                    inbox.close();
+                    return;
+                }
+            }
+            if inbox.is_closed() {
+                let _ = rd.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    });
+
+    let mut wr = stream;
+    std::thread::spawn(move || loop {
+        match outbox.pop_blocking(Duration::from_millis(100)) {
+            Some(frame) => {
+                if wr.write_all(&frame).is_err() {
+                    outbox.close();
+                    return;
+                }
+            }
+            None => {
+                if outbox.is_closed() && outbox.is_empty() {
+                    let _ = wr.flush();
+                    let _ = wr.shutdown(Shutdown::Write);
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// Read one whole frame (prefix included). `Ok(None)` means the read
+/// timed out before a frame started; mid-frame timeouts keep waiting.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match read_exact_persistent(stream, &mut header, true)? {
+        ReadOutcome::Done => {}
+        ReadOutcome::TimedOutAtStart => return Ok(None),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&header);
+    match read_exact_persistent(stream, &mut frame[4..], false)? {
+        ReadOutcome::Done => Ok(Some(frame)),
+        ReadOutcome::TimedOutAtStart => unreachable!("persistent body read"),
+    }
+}
+
+enum ReadOutcome {
+    Done,
+    TimedOutAtStart,
+}
+
+/// `read_exact` across read-timeout boundaries. With `allow_idle`, a
+/// timeout before the first byte reports `TimedOutAtStart`; once bytes
+/// have arrived (or without `allow_idle`) timeouts keep retrying so a
+/// frame is never torn.
+fn read_exact_persistent(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    allow_idle: bool,
+) -> std::io::Result<ReadOutcome> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if got == 0 && allow_idle {
+                    return Ok(ReadOutcome::TimedOutAtStart);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+/// Client-side transport over a connected socket.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), ClientError> {
+        self.stream
+            .write_all(&frame)
+            .map_err(|_| ClientError::Send("socket write failed"))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match read_frame(&mut self.stream) {
+                Ok(Some(frame)) => return Some(frame),
+                Ok(None) => {
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        read_frame(&mut self.stream).unwrap_or_default()
+    }
+}

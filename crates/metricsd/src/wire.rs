@@ -1,0 +1,647 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is `[u32 payload_len LE][u8 tag][payload]`. Integers are
+//! little-endian; strings are `u16 len + UTF-8 bytes`. The same framing
+//! runs over both transports (in-process queues carry one decoded frame
+//! per `Vec<u8>`; TCP carries the byte stream and re-frames on read).
+//!
+//! Requests (client → daemon) use tags `0x01..=0x7f`, responses
+//! `0x80..=0xff`. Unknown request tags get [`Response::Err`], not a
+//! dropped connection — version skew degrades, it does not wedge.
+
+/// Protocol version spoken by this build.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Hard cap on one frame's payload; a frame above this is a framing
+/// error (protects the TCP reader from a corrupt length prefix).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Counter metrics a subscription can select, as a bitmask.
+pub mod metrics {
+    pub const INSTRUCTIONS: u8 = 1 << 0;
+    pub const CYCLES: u8 = 1 << 1;
+    /// Package energy (µJ, unwrapped since subscribe).
+    pub const ENERGY_PKG: u8 = 1 << 2;
+    pub const ALL: u8 = INSTRUCTIONS | CYCLES | ENERGY_PKG;
+
+    /// Iterate set bits in ascending metric order (wire order).
+    pub fn iter(mask: u8) -> impl Iterator<Item = u8> {
+        [INSTRUCTIONS, CYCLES, ENERGY_PKG]
+            .into_iter()
+            .filter(move |m| mask & m != 0)
+    }
+}
+
+/// Client → daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake; must be the session's first frame.
+    Hello { proto: u16 },
+    /// Hardware summary (served from the snapshot cache).
+    GetHardwareInfo,
+    /// Available preset list (served from the snapshot cache).
+    ListPresets,
+    /// Start a counter subscription over a CPU set.
+    Subscribe { cpu_mask: u64, metrics: u8 },
+    /// Read a subscription's counters (delta since subscribe).
+    /// `submit_ns` is the client's last-seen snapshot time, echoed into
+    /// the reply's latency figure.
+    Read { sub_id: u32, submit_ns: u64 },
+    /// Re-baseline a subscription to the current snapshot.
+    ResetSub { sub_id: u32 },
+    /// Latest cached telemetry sample (freq/temp/energy).
+    LatestSample,
+    /// Push a Counters frame for every subscription every `every_pumps`
+    /// pumps (0 cancels).
+    Stream { every_pumps: u32 },
+    /// Daemon-wide serving statistics.
+    Stats,
+    /// Orderly goodbye.
+    Close,
+}
+
+/// Per-metric value in a counters reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricValue {
+    pub metric: u8,
+    pub value: u64,
+}
+
+/// Daemon → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Welcome {
+        session_id: u64,
+        proto: u16,
+        n_cpus: u32,
+        tick_ns: u64,
+    },
+    /// `papi_avail --json`-shaped document.
+    HardwareInfo {
+        json: String,
+    },
+    Presets {
+        names: Vec<String>,
+    },
+    Subscribed {
+        sub_id: u32,
+        base_tick: u64,
+    },
+    Counters {
+        sub_id: u32,
+        tick: u64,
+        time_ns: u64,
+        latency_ns: u64,
+        /// papi::ReadQuality as 0=Ok, 1=Scaled, 2=Lost.
+        quality: u8,
+        values: Vec<MetricValue>,
+    },
+    Sample {
+        tick: u64,
+        time_ns: u64,
+        temp_mc: i64,
+        energy_pkg_uj: u64,
+        mean_freq_khz: u64,
+        /// Sysfs was unreadable this pump; the values are carried over.
+        gap: bool,
+    },
+    Stats {
+        sessions: u64,
+        reads_served: u64,
+        evictions: u64,
+        pumps: u64,
+    },
+    Err {
+        code: u16,
+        msg: String,
+    },
+    /// Pushed (best-effort) when the daemon evicts a slow consumer.
+    Evicted {
+        reason: String,
+    },
+    Closed,
+}
+
+/// Error codes carried by [`Response::Err`].
+pub mod errcode {
+    pub const BAD_FRAME: u16 = 1;
+    pub const BAD_PROTO: u16 = 2;
+    pub const NO_SUCH_SUB: u16 = 3;
+    pub const UNKNOWN_TAG: u16 = 4;
+    pub const NOT_HELLOED: u16 = 5;
+    pub const EMPTY_MASK: u16 = 6;
+}
+
+// ---- encoding --------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(tag: u8) -> Enc {
+        // Length prefix patched in finish().
+        let mut buf = Vec::with_capacity(32);
+        buf.extend_from_slice(&[0, 0, 0, 0, tag]);
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        let b = s.as_bytes();
+        self.u16(b.len().min(u16::MAX as usize) as u16);
+        self.buf
+            .extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let payload = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&payload.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+/// A frame that failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.i + n > self.b.len() {
+            return Err(WireError("truncated frame"));
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| WireError("bad utf-8"))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError("trailing bytes"))
+        }
+    }
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello { proto } => {
+                let mut e = Enc::new(0x01);
+                e.u16(*proto);
+                e.finish()
+            }
+            Request::GetHardwareInfo => Enc::new(0x02).finish(),
+            Request::ListPresets => Enc::new(0x03).finish(),
+            Request::Subscribe { cpu_mask, metrics } => {
+                let mut e = Enc::new(0x04);
+                e.u64(*cpu_mask);
+                e.u8(*metrics);
+                e.finish()
+            }
+            Request::Read { sub_id, submit_ns } => {
+                let mut e = Enc::new(0x05);
+                e.u32(*sub_id);
+                e.u64(*submit_ns);
+                e.finish()
+            }
+            Request::ResetSub { sub_id } => {
+                let mut e = Enc::new(0x06);
+                e.u32(*sub_id);
+                e.finish()
+            }
+            Request::LatestSample => Enc::new(0x07).finish(),
+            Request::Stream { every_pumps } => {
+                let mut e = Enc::new(0x08);
+                e.u32(*every_pumps);
+                e.finish()
+            }
+            Request::Stats => Enc::new(0x09).finish(),
+            Request::Close => Enc::new(0x0a).finish(),
+        }
+    }
+
+    /// Decode one whole frame (including the length prefix).
+    pub fn decode(frame: &[u8]) -> Result<Request, WireError> {
+        let (tag, mut d) = split_frame(frame)?;
+        let req = match tag {
+            0x01 => Request::Hello { proto: d.u16()? },
+            0x02 => Request::GetHardwareInfo,
+            0x03 => Request::ListPresets,
+            0x04 => Request::Subscribe {
+                cpu_mask: d.u64()?,
+                metrics: d.u8()?,
+            },
+            0x05 => Request::Read {
+                sub_id: d.u32()?,
+                submit_ns: d.u64()?,
+            },
+            0x06 => Request::ResetSub { sub_id: d.u32()? },
+            0x07 => Request::LatestSample,
+            0x08 => Request::Stream {
+                every_pumps: d.u32()?,
+            },
+            0x09 => Request::Stats,
+            0x0a => Request::Close,
+            _ => return Err(WireError("unknown request tag")),
+        };
+        d.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Welcome {
+                session_id,
+                proto,
+                n_cpus,
+                tick_ns,
+            } => {
+                let mut e = Enc::new(0x81);
+                e.u64(*session_id);
+                e.u16(*proto);
+                e.u32(*n_cpus);
+                e.u64(*tick_ns);
+                e.finish()
+            }
+            Response::HardwareInfo { json } => {
+                let mut e = Enc::new(0x82);
+                // JSON can exceed u16: length-prefix with u32.
+                e.u32(json.len() as u32);
+                e.buf.extend_from_slice(json.as_bytes());
+                e.finish()
+            }
+            Response::Presets { names } => {
+                let mut e = Enc::new(0x83);
+                e.u16(names.len() as u16);
+                for n in names {
+                    e.str(n);
+                }
+                e.finish()
+            }
+            Response::Subscribed { sub_id, base_tick } => {
+                let mut e = Enc::new(0x84);
+                e.u32(*sub_id);
+                e.u64(*base_tick);
+                e.finish()
+            }
+            Response::Counters {
+                sub_id,
+                tick,
+                time_ns,
+                latency_ns,
+                quality,
+                values,
+            } => {
+                let mut e = Enc::new(0x85);
+                e.u32(*sub_id);
+                e.u64(*tick);
+                e.u64(*time_ns);
+                e.u64(*latency_ns);
+                e.u8(*quality);
+                e.u8(values.len() as u8);
+                for v in values {
+                    e.u8(v.metric);
+                    e.u64(v.value);
+                }
+                e.finish()
+            }
+            Response::Sample {
+                tick,
+                time_ns,
+                temp_mc,
+                energy_pkg_uj,
+                mean_freq_khz,
+                gap,
+            } => {
+                let mut e = Enc::new(0x86);
+                e.u64(*tick);
+                e.u64(*time_ns);
+                e.i64(*temp_mc);
+                e.u64(*energy_pkg_uj);
+                e.u64(*mean_freq_khz);
+                e.u8(u8::from(*gap));
+                e.finish()
+            }
+            Response::Stats {
+                sessions,
+                reads_served,
+                evictions,
+                pumps,
+            } => {
+                let mut e = Enc::new(0x87);
+                e.u64(*sessions);
+                e.u64(*reads_served);
+                e.u64(*evictions);
+                e.u64(*pumps);
+                e.finish()
+            }
+            Response::Err { code, msg } => {
+                let mut e = Enc::new(0x88);
+                e.u16(*code);
+                e.str(msg);
+                e.finish()
+            }
+            Response::Evicted { reason } => {
+                let mut e = Enc::new(0x89);
+                e.str(reason);
+                e.finish()
+            }
+            Response::Closed => Enc::new(0x8a).finish(),
+        }
+    }
+
+    pub fn decode(frame: &[u8]) -> Result<Response, WireError> {
+        let (tag, mut d) = split_frame(frame)?;
+        let resp = match tag {
+            0x81 => Response::Welcome {
+                session_id: d.u64()?,
+                proto: d.u16()?,
+                n_cpus: d.u32()?,
+                tick_ns: d.u64()?,
+            },
+            0x82 => {
+                let n = d.u32()? as usize;
+                let json =
+                    String::from_utf8(d.take(n)?.to_vec()).map_err(|_| WireError("bad utf-8"))?;
+                Response::HardwareInfo { json }
+            }
+            0x83 => {
+                let n = d.u16()? as usize;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(d.str()?);
+                }
+                Response::Presets { names }
+            }
+            0x84 => Response::Subscribed {
+                sub_id: d.u32()?,
+                base_tick: d.u64()?,
+            },
+            0x85 => {
+                let sub_id = d.u32()?;
+                let tick = d.u64()?;
+                let time_ns = d.u64()?;
+                let latency_ns = d.u64()?;
+                let quality = d.u8()?;
+                let n = d.u8()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(MetricValue {
+                        metric: d.u8()?,
+                        value: d.u64()?,
+                    });
+                }
+                Response::Counters {
+                    sub_id,
+                    tick,
+                    time_ns,
+                    latency_ns,
+                    quality,
+                    values,
+                }
+            }
+            0x86 => Response::Sample {
+                tick: d.u64()?,
+                time_ns: d.u64()?,
+                temp_mc: d.i64()?,
+                energy_pkg_uj: d.u64()?,
+                mean_freq_khz: d.u64()?,
+                gap: d.u8()? != 0,
+            },
+            0x87 => Response::Stats {
+                sessions: d.u64()?,
+                reads_served: d.u64()?,
+                evictions: d.u64()?,
+                pumps: d.u64()?,
+            },
+            0x88 => Response::Err {
+                code: d.u16()?,
+                msg: d.str()?,
+            },
+            0x89 => Response::Evicted { reason: d.str()? },
+            0x8a => Response::Closed,
+            _ => return Err(WireError("unknown response tag")),
+        };
+        d.done()?;
+        Ok(resp)
+    }
+}
+
+/// Validate the length prefix and return (tag, payload decoder).
+fn split_frame(frame: &[u8]) -> Result<(u8, Dec<'_>), WireError> {
+    if frame.len() < 5 {
+        return Err(WireError("frame shorter than header"));
+    }
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError("frame exceeds MAX_FRAME"));
+    }
+    if frame.len() != 4 + len {
+        return Err(WireError("length prefix mismatch"));
+    }
+    Ok((
+        frame[4],
+        Dec {
+            b: &frame[5..],
+            i: 0,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Hello {
+                proto: PROTO_VERSION,
+            },
+            Request::GetHardwareInfo,
+            Request::ListPresets,
+            Request::Subscribe {
+                cpu_mask: 0b1011,
+                metrics: metrics::ALL,
+            },
+            Request::Read {
+                sub_id: 7,
+                submit_ns: 123_456,
+            },
+            Request::ResetSub { sub_id: 7 },
+            Request::LatestSample,
+            Request::Stream { every_pumps: 4 },
+            Request::Stats,
+            Request::Close,
+        ];
+        for r in reqs {
+            let f = r.encode();
+            assert_eq!(Request::decode(&f).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Welcome {
+                session_id: 42,
+                proto: 1,
+                n_cpus: 24,
+                tick_ns: 1_000_000,
+            },
+            Response::HardwareInfo {
+                json: "{\"x\":1}".into(),
+            },
+            Response::Presets {
+                names: vec!["PAPI_TOT_INS".into(), "PAPI_TOT_CYC".into()],
+            },
+            Response::Subscribed {
+                sub_id: 3,
+                base_tick: 9,
+            },
+            Response::Counters {
+                sub_id: 3,
+                tick: 10,
+                time_ns: 5_000,
+                latency_ns: 1_800,
+                quality: 1,
+                values: vec![
+                    MetricValue {
+                        metric: metrics::INSTRUCTIONS,
+                        value: 1_000_000,
+                    },
+                    MetricValue {
+                        metric: metrics::ENERGY_PKG,
+                        value: 55,
+                    },
+                ],
+            },
+            Response::Sample {
+                tick: 10,
+                time_ns: 5_000,
+                temp_mc: 45_000,
+                energy_pkg_uj: 12_345,
+                mean_freq_khz: 3_200_000,
+                gap: true,
+            },
+            Response::Stats {
+                sessions: 1000,
+                reads_served: 99,
+                evictions: 1,
+                pumps: 12,
+            },
+            Response::Err {
+                code: errcode::NO_SUCH_SUB,
+                msg: "no sub 9".into(),
+            },
+            Response::Evicted {
+                reason: "outbox full for 8 pumps".into(),
+            },
+            Response::Closed,
+        ];
+        for r in resps {
+            let f = r.encode();
+            assert_eq!(Response::decode(&f).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_panicked() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[1, 0, 0, 0]).is_err());
+        // Bad length prefix.
+        let mut f = Request::Stats.encode();
+        f[0] ^= 0xff;
+        assert!(Request::decode(&f).is_err());
+        // Truncated payload.
+        let f = Request::Subscribe {
+            cpu_mask: 1,
+            metrics: 1,
+        }
+        .encode();
+        assert!(Request::decode(&f[..f.len() - 2]).is_err());
+        // Trailing garbage inside the declared length.
+        let mut f = Request::Close.encode();
+        f.push(0);
+        f[0] = 2;
+        assert!(Request::decode(&f).is_err());
+        // Unknown tags.
+        let mut f = Request::Close.encode();
+        f[4] = 0x7f;
+        assert!(Request::decode(&f).is_err());
+        let mut f = Response::Closed.encode();
+        f[4] = 0xff;
+        assert!(Response::decode(&f).is_err());
+    }
+
+    #[test]
+    fn metric_iteration_is_in_wire_order() {
+        let got: Vec<u8> = metrics::iter(metrics::ALL).collect();
+        assert_eq!(
+            got,
+            vec![metrics::INSTRUCTIONS, metrics::CYCLES, metrics::ENERGY_PKG]
+        );
+        assert_eq!(metrics::iter(0).count(), 0);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! simperf list
-//! simperf stat   [-m machine] [-a] [-C cpulist] [-e ev,ev] [-w workload] [-I ms]
+//! simperf stat   [-m machine] [-a] [-C cpulist] [-e ev,ev] [-w workload] [-I ms] [--json]
 //! simperf record [-m machine] [-c period] [-e event] [-w workload]
 //! ```
 //!
@@ -53,6 +53,7 @@ struct Args {
     workload: String,
     period: u64,
     interval_ms: Option<u64>,
+    json: bool,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -64,6 +65,7 @@ fn parse_args(argv: &[String]) -> Args {
         workload: "scalar:10000000".into(),
         period: 100_000,
         interval_ms: None,
+        json: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -94,6 +96,7 @@ fn parse_args(argv: &[String]) -> Args {
                 i += 1;
                 a.interval_ms = argv[i].parse().ok();
             }
+            "--json" => a.json = true,
             other => a.events.push(other.to_string()),
         }
         i += 1;
@@ -155,21 +158,27 @@ fn main() {
                 std::process::exit(1);
             });
             if let Some(ms) = args.interval_ms {
-                let snaps = perftool::stat::run_interval(
-                    session,
-                    ms * 1_000_000,
-                    3_600_000_000_000,
-                )
-                .unwrap();
-                println!("#           time   counts event");
-                for (t, rows) in snaps {
-                    for r in rows {
-                        println!("{t:>16.6} {:>10} {}", r.value, r.label);
+                let snaps =
+                    perftool::stat::run_interval(session, ms * 1_000_000, 3_600_000_000_000)
+                        .unwrap();
+                if args.json {
+                    println!("{}", perftool::stat::interval_json(&snaps));
+                } else {
+                    println!("#           time   counts event");
+                    for (t, rows) in snaps {
+                        for r in rows {
+                            println!("{t:>16.6} {:>10} {}", r.value, r.label);
+                        }
                     }
                 }
             } else {
                 kernel.lock().run_to_completion(3_600_000_000_000);
-                println!("{}", session.finish().unwrap().render());
+                let res = session.finish().unwrap();
+                if args.json {
+                    println!("{}", res.render_json());
+                } else {
+                    println!("{}", res.render());
+                }
             }
         }
         "record" => {

@@ -136,10 +136,8 @@ mod tests {
 
     #[test]
     fn sampling_profile_matches_pinning() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = kernel.lock().spawn(
             "w",
             Box::new(ScriptedProgram::new([
@@ -170,10 +168,8 @@ mod tests {
 
     #[test]
     fn hybrid_migrating_task_samples_on_both_types() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let noise = workloads::micro::spawn_noise(
             &kernel,
             CpuMask::parse_cpulist("0-15").unwrap(),
@@ -184,12 +180,7 @@ mod tests {
             "w",
             Box::new(ScriptedProgram::new(
                 (0..60)
-                    .flat_map(|_| {
-                        [
-                            Op::Compute(Phase::scalar(1_000_000)),
-                            Op::Sleep(1_500_000),
-                        ]
-                    })
+                    .flat_map(|_| [Op::Compute(Phase::scalar(1_000_000)), Op::Sleep(1_500_000)])
                     .chain([Op::Exit])
                     .collect::<Vec<_>>(),
             )),

@@ -77,10 +77,32 @@ impl StatResult {
             } else {
                 String::new()
             };
-            out.push_str(&format!("{:>16}      {}{}\n", group_digits(r.value), r.label, note));
+            out.push_str(&format!(
+                "{:>16}      {}{}\n",
+                group_digits(r.value),
+                r.label,
+                note
+            ));
         }
         out.push_str(&format!("\n{:>12.6} seconds time elapsed\n", self.wall_s));
         out
+    }
+
+    /// Machine-readable variant of [`StatResult::render`], for tooling
+    /// that would otherwise scrape the text table.
+    pub fn render_json(&self) -> String {
+        let mut w = jsonw::JsonWriter::new();
+        w.begin_obj();
+        w.field_str("tool", "simperf-stat");
+        w.key("rows");
+        w.begin_arr();
+        for r in &self.rows {
+            push_row_json(&mut w, r);
+        }
+        w.end_arr();
+        w.field_f64("wall_s", self.wall_s);
+        w.end_obj();
+        w.finish()
     }
 
     /// Sum of all rows whose label contains `needle` (e.g. sum the hybrid
@@ -92,6 +114,40 @@ impl StatResult {
             .map(|r| r.value)
             .sum()
     }
+}
+
+fn push_row_json(w: &mut jsonw::JsonWriter, r: &StatRow) {
+    w.begin_obj();
+    w.field_str("event", &r.label);
+    w.field_u64("value", r.value);
+    w.field_u64("time_enabled", r.time_enabled);
+    w.field_u64("time_running", r.time_running);
+    w.field_f64("running_pct", r.running_pct());
+    w.end_obj();
+}
+
+/// JSON for `perf stat -I`-style interval snapshots (delta rows per
+/// timestamp), as produced by [`run_interval`].
+pub fn interval_json(snaps: &[(f64, Vec<StatRow>)]) -> String {
+    let mut w = jsonw::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("tool", "simperf-stat-interval");
+    w.key("intervals");
+    w.begin_arr();
+    for (t_s, rows) in snaps {
+        w.begin_obj();
+        w.field_f64("t_s", *t_s);
+        w.key("rows");
+        w.begin_arr();
+        for r in rows {
+            push_row_json(&mut w, r);
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
 }
 
 fn group_digits(v: u64) -> String {
@@ -200,11 +256,7 @@ pub fn arm(
     })
 }
 
-fn open_and_enable(
-    k: &mut Kernel,
-    attr: PerfAttr,
-    target: Target,
-) -> Result<EventFd, StatError> {
+fn open_and_enable(k: &mut Kernel, attr: PerfAttr, target: Target) -> Result<EventFd, StatError> {
     let fd = k.perf_event_open(attr, target, None)?;
     k.ioctl_enable(fd, false)?;
     Ok(fd)
@@ -297,10 +349,7 @@ mod tests {
     use simos::task::{Op, ScriptedProgram};
 
     fn boot() -> KernelHandle {
-        Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        )
+        Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default())
     }
 
     fn spawn(kernel: &KernelHandle, cpus: &str, inst: u64) -> Pid {
@@ -335,6 +384,12 @@ mod tests {
         assert!(res.wall_s > 0.0);
         let text = res.render();
         assert!(text.contains("cpu_core/instructions/"), "{text}");
+        let json = res.render_json();
+        assert!(jsonw::validate(&json), "{json}");
+        assert!(
+            json.contains("\"event\":\"cpu_core/instructions/\""),
+            "{json}"
+        );
     }
 
     #[test]
@@ -359,6 +414,9 @@ mod tests {
         for w in snaps.windows(2) {
             assert!(w[1].0 > w[0].0);
         }
+        let json = interval_json(&snaps);
+        assert!(jsonw::validate(&json), "{json}");
+        assert_eq!(json.matches("\"t_s\":").count(), snaps.len());
     }
 
     #[test]

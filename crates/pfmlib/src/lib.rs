@@ -37,7 +37,10 @@ pub enum PfmError {
     Parse(SpecError),
     UnknownPmu(String),
     UnknownEvent(String),
-    UnknownUmask { event: String, umask: String },
+    UnknownUmask {
+        event: String,
+        umask: String,
+    },
     /// No default (core) PMU — detection failed entirely.
     NoDefaultPmu,
     /// Event exists in no default PMU's table.
@@ -236,8 +239,8 @@ impl Pfm {
 
     /// List the event names available on a detected PMU.
     pub fn list_events(&self, pfm_name: &str) -> Result<Vec<String>, PfmError> {
-        let table = events_for_pmu(pfm_name)
-            .ok_or_else(|| PfmError::UnknownPmu(pfm_name.to_string()))?;
+        let table =
+            events_for_pmu(pfm_name).ok_or_else(|| PfmError::UnknownPmu(pfm_name.to_string()))?;
         Ok(table
             .iter()
             .map(|e| format!("{pfm_name}::{}", e.name))
@@ -436,7 +439,11 @@ mod tests {
     #[test]
     fn orangepi_detects_both_arm_pmus_with_patch() {
         let (_, pfm) = pfm_for(MachineSpec::orangepi_800());
-        let names: Vec<&str> = pfm.default_pmus().iter().map(|p| p.pfm_name.as_str()).collect();
+        let names: Vec<&str> = pfm
+            .default_pmus()
+            .iter()
+            .map(|p| p.pfm_name.as_str())
+            .collect();
         assert_eq!(names, vec!["arm_ac72", "arm_ac53"]);
     }
 
@@ -444,7 +451,13 @@ mod tests {
     fn stock_libpfm4_misses_second_arm_pmu() {
         // §IV.C: without the paper's patches, ARM detection stops at one.
         let k = Kernel::boot(MachineSpec::orangepi_800(), KernelConfig::default());
-        let pfm = Pfm::initialize(&k, PfmOptions { arm_multi_pmu: false }).unwrap();
+        let pfm = Pfm::initialize(
+            &k,
+            PfmOptions {
+                arm_multi_pmu: false,
+            },
+        )
+        .unwrap();
         assert_eq!(pfm.default_pmus().len(), 1);
     }
 
@@ -459,7 +472,11 @@ mod tests {
             },
         );
         let pfm = Pfm::initialize(&k, PfmOptions::default()).unwrap();
-        let names: Vec<&str> = pfm.default_pmus().iter().map(|p| p.pfm_name.as_str()).collect();
+        let names: Vec<&str> = pfm
+            .default_pmus()
+            .iter()
+            .map(|p| p.pfm_name.as_str())
+            .collect();
         assert_eq!(names, vec!["arm_ac72", "arm_ac53"]);
         assert!(pfm.default_pmus()[0].kernel_name.starts_with("armv8_pmuv3"));
     }
@@ -476,10 +493,7 @@ mod tests {
         let p = pfm.encode("adl_glc::INST_RETIRED:ANY").unwrap();
         let e = pfm.encode("adl_grt::INST_RETIRED:ANY").unwrap();
         assert_ne!(p.attr.pmu_type, e.attr.pmu_type);
-        assert_eq!(
-            p.attr.pmu_type,
-            k.pmu_by_name("cpu_core").unwrap().id
-        );
+        assert_eq!(p.attr.pmu_type, k.pmu_by_name("cpu_core").unwrap().id);
         assert_eq!(
             p.attr.config,
             simos::perf::EventConfig::Hw(simcpu::events::ArchEvent::Instructions)
@@ -504,7 +518,11 @@ mod tests {
             Err(PfmError::UnknownEvent(_))
         ));
         // Unprefixed resolves on the P core (where it exists).
-        assert!(pfm.encode("TOPDOWN:SLOTS").unwrap().fq_name.starts_with("adl_glc"));
+        assert!(pfm
+            .encode("TOPDOWN:SLOTS")
+            .unwrap()
+            .fq_name
+            .starts_with("adl_glc"));
     }
 
     #[test]
@@ -566,7 +584,9 @@ mod tests {
     #[test]
     fn sampling_modifier_flows_into_attr() {
         let (_, pfm) = pfm_for(MachineSpec::raptor_lake_i7_13700());
-        let e = pfm.encode("adl_glc::INST_RETIRED:ANY:period=12345").unwrap();
+        let e = pfm
+            .encode("adl_glc::INST_RETIRED:ANY:period=12345")
+            .unwrap();
         assert_eq!(e.attr.sample_period, 12345);
     }
 

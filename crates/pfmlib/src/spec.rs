@@ -57,9 +57,10 @@ impl EventSpec {
             None => (None, s),
         };
         let mut tokens = rest.split(':');
-        let event = tokens.next().filter(|t| !t.is_empty()).ok_or_else(|| {
-            SpecError::EmptyToken(s.into())
-        })?;
+        let event = tokens
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| SpecError::EmptyToken(s.into()))?;
         let mut attrs = Vec::new();
         let mut sample_period = None;
         let mut pinned = false;
@@ -69,8 +70,7 @@ impl EventSpec {
             }
             let up = tok.to_ascii_uppercase();
             if let Some(v) = up.strip_prefix("PERIOD=") {
-                sample_period =
-                    Some(v.parse().map_err(|_| SpecError::BadPeriod(tok.into()))?);
+                sample_period = Some(v.parse().map_err(|_| SpecError::BadPeriod(tok.into()))?);
             } else if up == "PINNED" {
                 pinned = true;
             } else {
@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn fq_name_roundtrip() {
         let e = EventSpec::parse("INST_RETIRED").unwrap();
-        assert_eq!(e.fq_name("adl_glc", Some("ANY")), "adl_glc::INST_RETIRED:ANY");
+        assert_eq!(
+            e.fq_name("adl_glc", Some("ANY")),
+            "adl_glc::INST_RETIRED:ANY"
+        );
         assert_eq!(e.fq_name("arm_ac53", None), "arm_ac53::INST_RETIRED");
     }
 }

@@ -352,22 +352,20 @@ pub static UNCORE_LLC_EVENTS: &[PfmEvent] = &[
 ];
 
 /// Memory-controller (IMC) uncore events.
-pub static UNCORE_IMC_EVENTS: &[PfmEvent] = &[
-    PfmEvent {
-        name: "UNC_M_CAS_COUNT",
-        desc: "DRAM CAS commands",
-        config: EventConfig::Uncore(UncoreConfig::ImcCasReads),
-        umasks: &[
-            um("RD", "read CAS commands (64 B each)", true),
-            um_cfg(
-                "WR",
-                "write CAS commands (64 B each)",
-                false,
-                EventConfig::Uncore(UncoreConfig::ImcCasWrites),
-            ),
-        ],
-    },
-];
+pub static UNCORE_IMC_EVENTS: &[PfmEvent] = &[PfmEvent {
+    name: "UNC_M_CAS_COUNT",
+    desc: "DRAM CAS commands",
+    config: EventConfig::Uncore(UncoreConfig::ImcCasReads),
+    umasks: &[
+        um("RD", "read CAS commands (64 B each)", true),
+        um_cfg(
+            "WR",
+            "write CAS commands (64 B each)",
+            false,
+            EventConfig::Uncore(UncoreConfig::ImcCasWrites),
+        ),
+    ],
+}];
 
 /// Table lookup by pfm PMU name.
 pub fn events_for_pmu(pfm_name: &str) -> Option<&'static [PfmEvent]> {
@@ -455,9 +453,6 @@ mod tests {
             .find(|e| e.name == "LONGEST_LAT_CACHE")
             .unwrap();
         let miss = llc.umasks.iter().find(|u| u.name == "MISS").unwrap();
-        assert_eq!(
-            miss.config,
-            Some(EventConfig::Hw(ArchEvent::LlcMisses))
-        );
+        assert_eq!(miss.config, Some(EventConfig::Hw(ArchEvent::LlcMisses)));
     }
 }

@@ -130,7 +130,10 @@ mod tests {
         let p = Phase::stream(1_000_000, 26 << 30);
         let m = miss_profile(&p, &GOLDEN_COVE, 30 << 20);
         assert!(m.l1 > 0.1, "stream should miss L1 at line rate: {m:?}");
-        assert!(m.llc > 0.9, "P-core demand LLC miss rate should be huge: {m:?}");
+        assert!(
+            m.llc > 0.9,
+            "P-core demand LLC miss rate should be huge: {m:?}"
+        );
     }
 
     #[test]
@@ -141,7 +144,10 @@ mod tests {
         let on_p = miss_profile(&p, &GOLDEN_COVE, 15 << 20);
         let on_e = miss_profile(&p, &GRACEMONT, 15 << 20);
         assert!(on_p.llc > 0.5);
-        assert!(on_e.llc < 0.005, "E-core demand miss rate must be tiny: {on_e:?}");
+        assert!(
+            on_e.llc < 0.005,
+            "E-core demand miss rate must be tiny: {on_e:?}"
+        );
     }
 
     #[test]

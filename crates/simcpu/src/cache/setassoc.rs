@@ -292,7 +292,7 @@ mod tests {
         ]);
         assert_eq!(h.access(0), 2); // cold: misses both, hits memory
         assert_eq!(h.access(0), 0); // L1 hit
-        // Push L1 out with conflicting lines; L2 still holds line 0.
+                                    // Push L1 out with conflicting lines; L2 still holds line 0.
         for addr in (4096..4096 + 2048).step_by(64) {
             h.access(addr);
         }
@@ -333,7 +333,7 @@ mod tests {
         let mut c = SetAssocCache::new(geom);
         c.access(0); // clean fill
         c.access_write(0); // dirty via hit
-        // Conflict it out: two more lines in set 0 (stride 512).
+                           // Conflict it out: two more lines in set 0 (stride 512).
         c.access(512);
         c.access(1024);
         assert_eq!(c.writebacks(), 1, "dirtied-on-hit line written back");

@@ -281,10 +281,7 @@ mod tests {
     fn advance_zero_budget_or_empty_phase() {
         let c = ctx(&GOLDEN_COVE, 3_000_000);
         assert_eq!(advance(&Phase::scalar(0), 1e6, &c), ExecResult::default());
-        assert_eq!(
-            advance(&Phase::scalar(100), 0.0, &c),
-            ExecResult::default()
-        );
+        assert_eq!(advance(&Phase::scalar(100), 0.0, &c), ExecResult::default());
     }
 
     #[test]
@@ -357,7 +354,10 @@ mod tests {
         let r = advance(&p, 1e9, &c);
         let acc = r.events[ArchEvent::LlcAccesses] as f64;
         let miss = r.events[ArchEvent::LlcMisses] as f64;
-        assert!(miss / acc.max(1.0) < 0.2, "LITTLE demand miss rate too high");
+        assert!(
+            miss / acc.max(1.0) < 0.2,
+            "LITTLE demand miss rate too high"
+        );
     }
 
     #[test]

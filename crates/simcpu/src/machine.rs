@@ -153,7 +153,10 @@ pub struct Machine {
 impl Machine {
     /// Instantiate hardware from a spec.
     pub fn new(spec: MachineSpec) -> Machine {
-        assert!(!spec.clusters.is_empty(), "machine needs at least one cluster");
+        assert!(
+            !spec.clusters.is_empty(),
+            "machine needs at least one cluster"
+        );
         let mut cpus = Vec::new();
         let mut seats = Vec::new();
         let mut domains = Vec::new();
@@ -225,7 +228,11 @@ impl Machine {
     }
 
     pub fn n_cores(&self) -> usize {
-        self.cpus.iter().map(|c| c.core.0).max().map_or(0, |m| m + 1)
+        self.cpus
+            .iter()
+            .map(|c| c.core.0)
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     pub fn cpu_info(&self, cpu: CpuId) -> &CpuInfo {
@@ -349,8 +356,7 @@ impl Machine {
                     // Second thread adds ~30 % more switching activity.
                     let u = (l0.util.max(l1.util) + 0.3 * l0.util.min(l1.util)).min(1.2);
                     let a = if l0.util + l1.util > 0.0 {
-                        (l0.activity * l0.util + l1.activity * l1.util)
-                            / (l0.util + l1.util)
+                        (l0.activity * l0.util + l1.activity * l1.util) / (l0.util + l1.util)
                     } else {
                         0.0
                     };
@@ -362,8 +368,8 @@ impl Machine {
             let cs = &self.spec.clusters[cl];
             let ua = info.uarch.params();
             let f = self.shared.domains[cl].cur_khz();
-            let p = ua.dyn_power_w(f, cs.f_min_khz, cs.f_max_khz, (util * act).min(1.2))
-                + ua.idle_w;
+            let p =
+                ua.dyn_power_w(f, cs.f_min_khz, cs.f_max_khz, (util * act).min(1.2)) + ua.idle_w;
             if cl < 4 {
                 cluster_w[cl] += p;
             }
@@ -396,7 +402,10 @@ impl Machine {
         };
 
         // --- RAPL + thermal ---
-        let scale = self.shared.rapl.step(dt_ns, pkg_w, cores_w, dram_w, meter_w);
+        let scale = self
+            .shared
+            .rapl
+            .step(dt_ns, pkg_w, cores_w, dram_w, meter_w);
         self.shared.thermal.step(dt_ns, pkg_w);
 
         // --- DVFS per cluster ---

@@ -157,13 +157,19 @@ impl Phase {
         frac("vector_frac", self.vector_frac)?;
         frac("branch_miss_rate", self.branch_miss_rate)?;
         if !(0.0..=1.0).contains(&self.mem_ref_rate) {
-            return Err(format!("mem_ref_rate = {} outside [0,1]", self.mem_ref_rate));
+            return Err(format!(
+                "mem_ref_rate = {} outside [0,1]",
+                self.mem_ref_rate
+            ));
         }
         if !(0.0..=1.0).contains(&self.branch_rate) {
             return Err(format!("branch_rate = {} outside [0,1]", self.branch_rate));
         }
         if self.flops_per_inst < 0.0 || self.flops_per_inst > 32.0 {
-            return Err(format!("flops_per_inst = {} implausible", self.flops_per_inst));
+            return Err(format!(
+                "flops_per_inst = {} implausible",
+                self.flops_per_inst
+            ));
         }
         Ok(())
     }

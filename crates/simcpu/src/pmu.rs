@@ -107,9 +107,7 @@ impl CorePmu {
 
     /// Enable the fixed counter for `ev`, returning its index.
     pub fn enable_fixed(&mut self, ev: ArchEvent) -> Result<usize, PmuError> {
-        let idx = self
-            .fixed_index(ev)
-            .ok_or(PmuError::EventUnsupported(ev))?;
+        let idx = self.fixed_index(ev).ok_or(PmuError::EventUnsupported(ev))?;
         self.fixed[idx].enabled = true;
         Ok(idx)
     }

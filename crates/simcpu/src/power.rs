@@ -146,7 +146,14 @@ impl RaplState {
     /// Integrate one tick of power and update the limiter.
     ///
     /// Returns the frequency scale (0..=1] that DVFS must apply.
-    pub fn step(&mut self, dt_ns: Nanos, pkg_w: f64, cores_w: f64, dram_w: f64, psys_w: f64) -> f64 {
+    pub fn step(
+        &mut self,
+        dt_ns: Nanos,
+        pkg_w: f64,
+        cores_w: f64,
+        dram_w: f64,
+        psys_w: f64,
+    ) -> f64 {
         let dt_s = dt_ns as f64 / 1e9;
         self.pkg.add(pkg_w * dt_s);
         self.cores.add(cores_w * dt_s);
@@ -328,10 +335,7 @@ mod tests {
     #[test]
     fn delta_handles_wrap() {
         assert_eq!(energy_delta_uj(100, 400), 300);
-        assert_eq!(
-            energy_delta_uj(ENERGY_WRAP_UJ - 50, 100),
-            150
-        );
+        assert_eq!(energy_delta_uj(ENERGY_WRAP_UJ - 50, 100), 150);
     }
 
     #[test]
@@ -361,10 +365,7 @@ mod tests {
         // pollers keep the exact single-wrap behaviour.
         assert_eq!(energy_delta_uj_hinted(100, 400, 0), 300);
         assert_eq!(energy_delta_uj_hinted(100, 400, 250), 300);
-        assert_eq!(
-            energy_delta_uj_hinted(ENERGY_WRAP_UJ - 50, 100, 140),
-            150
-        );
+        assert_eq!(energy_delta_uj_hinted(ENERGY_WRAP_UJ - 50, 100, 140), 150);
         // Hint modestly above base but under half a wrap: still base.
         assert_eq!(
             energy_delta_uj_hinted(100, 400, 300 + ENERGY_WRAP_UJ / 2 - 1),
@@ -390,11 +391,7 @@ mod tests {
         assert!((dt_total - burst as f64).abs() < 1.0, "{dt_total}");
         // The hinted delta recovers the truth from the wrapped readings.
         assert_eq!(
-            energy_delta_uj_hinted(
-                before_wrapped,
-                r.energy_uj(RaplDomain::Package),
-                burst
-            ),
+            energy_delta_uj_hinted(before_wrapped, r.energy_uj(RaplDomain::Package), burst),
             burst
         );
     }

@@ -67,14 +67,46 @@ impl ThermalSpec {
             r_k_per_w: 16.0,
             t_amb_c: 25.0,
             trips: vec![
-                TripPoint { temp_c: 68.0, core_type: CoreType::Performance, cap_khz: 1_608_000 },
-                TripPoint { temp_c: 72.0, core_type: CoreType::Performance, cap_khz: 1_416_000 },
-                TripPoint { temp_c: 76.0, core_type: CoreType::Performance, cap_khz: 1_200_000 },
-                TripPoint { temp_c: 76.0, core_type: CoreType::Efficiency, cap_khz: 1_200_000 },
-                TripPoint { temp_c: 80.0, core_type: CoreType::Performance, cap_khz: 1_008_000 },
-                TripPoint { temp_c: 84.0, core_type: CoreType::Performance, cap_khz: 816_000 },
-                TripPoint { temp_c: 84.0, core_type: CoreType::Efficiency, cap_khz: 1_008_000 },
-                TripPoint { temp_c: 88.0, core_type: CoreType::Performance, cap_khz: 600_000 },
+                TripPoint {
+                    temp_c: 68.0,
+                    core_type: CoreType::Performance,
+                    cap_khz: 1_608_000,
+                },
+                TripPoint {
+                    temp_c: 72.0,
+                    core_type: CoreType::Performance,
+                    cap_khz: 1_416_000,
+                },
+                TripPoint {
+                    temp_c: 76.0,
+                    core_type: CoreType::Performance,
+                    cap_khz: 1_200_000,
+                },
+                TripPoint {
+                    temp_c: 76.0,
+                    core_type: CoreType::Efficiency,
+                    cap_khz: 1_200_000,
+                },
+                TripPoint {
+                    temp_c: 80.0,
+                    core_type: CoreType::Performance,
+                    cap_khz: 1_008_000,
+                },
+                TripPoint {
+                    temp_c: 84.0,
+                    core_type: CoreType::Performance,
+                    cap_khz: 816_000,
+                },
+                TripPoint {
+                    temp_c: 84.0,
+                    core_type: CoreType::Efficiency,
+                    cap_khz: 1_008_000,
+                },
+                TripPoint {
+                    temp_c: 88.0,
+                    core_type: CoreType::Performance,
+                    cap_khz: 600_000,
+                },
             ],
             hysteresis_c: 2.0,
             t_crit_c: 115.0,
@@ -225,7 +257,7 @@ mod tests {
         s.set_temp_c(69.0);
         assert!(s.throttling());
         s.step(SEC, 0.0); // cools a bit
-        // After enough cooling it must release.
+                          // After enough cooling it must release.
         for _ in 0..120 {
             s.step(SEC, 0.0);
         }

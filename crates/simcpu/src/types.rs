@@ -190,8 +190,14 @@ impl CpuMask {
                 continue;
             }
             if let Some((a, b)) = part.split_once('-') {
-                let a: usize = a.trim().parse().map_err(|e| format!("bad cpulist '{part}': {e}"))?;
-                let b: usize = b.trim().parse().map_err(|e| format!("bad cpulist '{part}': {e}"))?;
+                let a: usize = a
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad cpulist '{part}': {e}"))?;
+                let b: usize = b
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad cpulist '{part}': {e}"))?;
                 if a > b || b >= 128 {
                     return Err(format!("bad cpulist range '{part}'"));
                 }
@@ -199,7 +205,9 @@ impl CpuMask {
                     m.set(CpuId(c));
                 }
             } else {
-                let c: usize = part.parse().map_err(|e| format!("bad cpulist '{part}': {e}"))?;
+                let c: usize = part
+                    .parse()
+                    .map_err(|e| format!("bad cpulist '{part}': {e}"))?;
                 if c >= 128 {
                     return Err(format!("cpu {c} out of range"));
                 }

@@ -501,15 +501,9 @@ mod tests {
     #[test]
     fn hybrid_intel_family_model_identical() {
         // The paper: Intel P/E cores cannot be told apart by family/model.
-        assert_eq!(
-            GOLDEN_COVE.x86_family_model,
-            GRACEMONT.x86_family_model
-        );
+        assert_eq!(GOLDEN_COVE.x86_family_model, GRACEMONT.x86_family_model);
         // …but cpuid leaf 0x1A does distinguish them.
-        assert_ne!(
-            GOLDEN_COVE.cpuid_1a_core_type,
-            GRACEMONT.cpuid_1a_core_type
-        );
+        assert_ne!(GOLDEN_COVE.cpuid_1a_core_type, GRACEMONT.cpuid_1a_core_type);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property tests on the execution engine's event accounting.
 
 use proptest::prelude::*;
-use simcpu::exec::{advance, ExecContext};
 use simcpu::events::ArchEvent;
+use simcpu::exec::{advance, ExecContext};
 use simcpu::phase::Phase;
 use simcpu::uarch::{CORTEX_A53, CORTEX_A72, GOLDEN_COVE, GRACEMONT};
 

@@ -61,10 +61,7 @@ impl TransientErrno {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultKind {
     /// Take a CPU offline; back online after `down_ns` (forever if `None`).
-    CpuOffline {
-        cpu: CpuId,
-        down_ns: Option<Nanos>,
-    },
+    CpuOffline { cpu: CpuId, down_ns: Option<Nanos> },
     /// The NMI watchdog steals the fixed counter for `steal`; released
     /// after `hold_ns` (never, if `None`).
     NmiWatchdog {
@@ -234,7 +231,11 @@ impl FaultState {
 
     fn take_failure(slot: &mut Option<(TransientErrno, u32)>) -> Option<TransientErrno> {
         let (errno, left) = (*slot)?;
-        *slot = if left > 1 { Some((errno, left - 1)) } else { None };
+        *slot = if left > 1 {
+            Some((errno, left - 1))
+        } else {
+            None
+        };
         Some(errno)
     }
 
@@ -300,10 +301,9 @@ mod tests {
     fn wrap_bias_is_seed_deterministic_and_near_limit() {
         let plan = FaultPlan::new(42).at(0, FaultKind::CounterWrap { headroom: 1 << 20 });
         let draw = |seed: u64| {
-            let mut fs = FaultState::new(&FaultPlan::new(seed).at(
-                0,
-                FaultKind::CounterWrap { headroom: 1 << 20 },
-            ));
+            let mut fs = FaultState::new(
+                &FaultPlan::new(seed).at(0, FaultKind::CounterWrap { headroom: 1 << 20 }),
+            );
             fs.arm_wrap(1 << 20);
             (0..4).map(|_| fs.draw_wrap_bias()).collect::<Vec<_>>()
         };

@@ -15,8 +15,8 @@
 
 use crate::faults::{FaultKind, FaultPlan, FaultRecord, FaultState, Undo};
 use crate::perf::{
-    schedule_groups_with, EventConfig, EventFd, GroupReq, PerfAttr, PerfError, PerfEvent,
-    PmuDesc, PmuKind, RaplConfig, ReadValue, Target, UncoreConfig,
+    schedule_groups_with, EventConfig, EventFd, GroupReq, PerfAttr, PerfError, PerfEvent, PmuDesc,
+    PmuKind, RaplConfig, ReadValue, Target, UncoreConfig,
 };
 use crate::sched::{SchedCpu, Scheduler};
 use crate::task::{
@@ -682,12 +682,18 @@ impl Kernel {
                 }
                 FaultKind::CounterWrap { headroom } => {
                     fs.arm_wrap(headroom);
-                    fs.record(now, format!("48-bit counter wrap armed (headroom {headroom})"));
+                    fs.record(
+                        now,
+                        format!("48-bit counter wrap armed (headroom {headroom})"),
+                    );
                 }
                 FaultKind::RaplWrapBurst { wraps, extra_uj } => {
                     let uj = wraps as u64 * simcpu::power::ENERGY_WRAP_UJ + extra_uj;
                     self.machine.rapl_mut().inject_energy_uj(uj as f64);
-                    fs.record(now, format!("rapl energy burst: {wraps} wraps + {extra_uj} uj"));
+                    fs.record(
+                        now,
+                        format!("rapl energy burst: {wraps} wraps + {extra_uj} uj"),
+                    );
                 }
                 FaultKind::SysfsFlaky { dur_ns } => {
                     // Window membership is precomputed; this entry only logs.
@@ -924,8 +930,7 @@ impl Kernel {
             return false;
         };
         let running_on = |p: Pid, c: usize| -> bool {
-            self.current[c] == Some(p)
-                && matches!(self.task_state(p), Some(TaskState::Running(_)))
+            self.current[c] == Some(p) && matches!(self.task_state(p), Some(TaskState::Running(_)))
         };
         match target {
             Target::Cpu(c) => self.cpu_perf[c.0].scheduled.contains(&fd),
@@ -990,10 +995,7 @@ impl Kernel {
     /// type, or the target is not running — and the reader must fall back
     /// to the `read()` syscall. This is the §V.5 interaction the paper
     /// flags for hybrid EventSets.
-    pub fn mmap_userpage(
-        &mut self,
-        fd: EventFd,
-    ) -> Result<crate::perf::UserPage, PerfError> {
+    pub fn mmap_userpage(&mut self, fd: EventFd) -> Result<crate::perf::UserPage, PerfError> {
         self.charge(LAT_RDPMC_NS);
         self.stats.rdpmc_reads += 1;
         let scheduled = self.is_scheduled(fd);
@@ -1581,7 +1583,15 @@ fn run_core_chunk(
             continue;
         };
         let task = slot.task.as_mut().expect("staged slot has its task");
-        exec_core(dt, now, work, core_types, task, &mut seat.pmu, &mut slot.out);
+        exec_core(
+            dt,
+            now,
+            work,
+            core_types,
+            task,
+            &mut seat.pmu,
+            &mut slot.out,
+        );
     }
 }
 
@@ -1693,9 +1703,8 @@ fn exec_core(
         used += res.cycles as f64;
         // Activity factor: vector-dense work toggles more silicon;
         // memory-stalled cycles toggle much less.
-        let stall_frac = (res.events.get(ArchEvent::MemStallCycles) as f64
-            / res.cycles.max(1) as f64)
-            .min(1.0);
+        let stall_frac =
+            (res.events.get(ArchEvent::MemStallCycles) as f64 / res.cycles.max(1) as f64).min(1.0);
         let mix_act = 0.55 + 0.45 * (vec_frac / 0.6).min(1.0);
         act_cycles += res.cycles as f64 * (mix_act * (1.0 - stall_frac) + 0.35 * stall_frac);
         tick_events.add(&res.events);
@@ -1763,10 +1772,7 @@ mod tests {
     use simcpu::phase::Phase;
 
     fn raptor() -> Kernel {
-        Kernel::boot(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        )
+        Kernel::boot(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default())
     }
 
     fn orangepi() -> Kernel {
@@ -1939,12 +1945,7 @@ mod tests {
     #[should_panic(expected = "affinity selects no CPU")]
     fn spawn_rejects_empty_affinity() {
         let mut k = raptor();
-        k.spawn(
-            "w",
-            Box::new(ScriptedProgram::new([])),
-            CpuMask::EMPTY,
-            0,
-        );
+        k.spawn("w", Box::new(ScriptedProgram::new([])), CpuMask::EMPTY, 0);
     }
 
     #[test]
@@ -1966,10 +1967,8 @@ mod tests {
 
     #[test]
     fn hooks_fire_and_resume() {
-        let handle = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let handle =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = handle.lock().spawn(
             "instrumented",
             Box::new(ScriptedProgram::new([
@@ -2407,7 +2406,10 @@ mod tests {
         assert!((clk as i64 - st.runtime_ns as i64).abs() <= 1_000_000);
         assert_eq!(mig, st.migrations, "perf and stats agree on migrations");
         assert!(mig >= 2, "two forced migrations: {mig}");
-        assert!(ctx >= mig, "every migration implies a switch-in: {ctx} >= {mig}");
+        assert!(
+            ctx >= mig,
+            "every migration implies a switch-in: {ctx} >= {mig}"
+        );
     }
 
     #[test]
@@ -2662,7 +2664,10 @@ mod tests {
         assert_eq!(k.task_stats(pid).unwrap().instructions, 500_000_000);
         let log: Vec<&str> = k.fault_log().iter().map(|r| r.desc.as_str()).collect();
         assert!(log.iter().any(|d| d.contains("cpu0 offline")), "{log:?}");
-        assert!(log.iter().any(|d| d.contains("cpu0 back online")), "{log:?}");
+        assert!(
+            log.iter().any(|d| d.contains("cpu0 back online")),
+            "{log:?}"
+        );
     }
 
     #[test]
@@ -2793,9 +2798,12 @@ mod tests {
         let mut k = raptor();
         // Bias every new counter to within 1 M events of the 48-bit limit,
         // so a 5 M-instruction run is guaranteed to wrap.
-        k.install_faults(
-            &FaultPlan::new(11).at(0, FaultKind::CounterWrap { headroom: 1_000_000 }),
-        );
+        k.install_faults(&FaultPlan::new(11).at(
+            0,
+            FaultKind::CounterWrap {
+                headroom: 1_000_000,
+            },
+        ));
         let pid = spawn_loop(&mut k, CpuMask::from_cpus([0]), 5_000_000);
         let core = k.pmu_by_name("cpu_core").unwrap().id;
         let fd = k

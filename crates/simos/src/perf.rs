@@ -529,7 +529,14 @@ mod tests {
 
     #[test]
     fn schedule_single_group_fits() {
-        let g = grp(1, &[ArchEvent::Instructions, ArchEvent::Cycles, ArchEvent::LlcMisses]);
+        let g = grp(
+            1,
+            &[
+                ArchEvent::Instructions,
+                ArchEvent::Cycles,
+                ArchEvent::LlcMisses,
+            ],
+        );
         assert_eq!(schedule_groups(&GOLDEN_COVE, &[g]), vec![true]);
     }
 
@@ -575,9 +582,7 @@ mod tests {
     fn overcommit_multiplexes_later_groups_out() {
         // Gracemont has 6 GP counters; seven 1-GP-event groups → the last
         // one misses out.
-        let groups: Vec<GroupReq> = (0..7)
-            .map(|i| grp(i, &[ArchEvent::BranchMisses]))
-            .collect();
+        let groups: Vec<GroupReq> = (0..7).map(|i| grp(i, &[ArchEvent::BranchMisses])).collect();
         let sched = schedule_groups(&GRACEMONT, &groups);
         assert_eq!(sched.iter().filter(|&&b| b).count(), 6);
         assert!(!sched[6]);

@@ -116,9 +116,7 @@ impl Scheduler {
                     && tasks
                         .get(pid.0 as usize)
                         .and_then(|t| t.as_ref())
-                        .map(|t| {
-                            t.is_runnable() && t.affinity.contains(simcpu::types::CpuId(ci))
-                        })
+                        .map(|t| t.is_runnable() && t.affinity.contains(simcpu::types::CpuId(ci)))
                         .unwrap_or(false);
                 if !keep {
                     if let Some(t) = tasks.get_mut(pid.0 as usize).and_then(|t| t.as_mut()) {
@@ -164,10 +162,7 @@ impl Scheduler {
                     continue;
                 }
                 // Score: capacity (if aware), idle-sibling bonus, warmth.
-                let sibling_busy = tc
-                    .sibling
-                    .map(|s| current[s].is_some())
-                    .unwrap_or(false);
+                let sibling_busy = tc.sibling.map(|s| current[s].is_some()).unwrap_or(false);
                 let mut score: i64 = 0;
                 if self.hetero_aware {
                     score += tc.capacity as i64 * 100;
@@ -354,8 +349,7 @@ mod tests {
     fn wakes_sleepers() {
         let topo = topo_hybrid();
         let mut tasks = table(1, CpuMask::first_n(4));
-        tasks[0].as_mut().unwrap().state =
-            TaskState::Blocked(BlockReason::SleepUntil(5_000));
+        tasks[0].as_mut().unwrap().state = TaskState::Blocked(BlockReason::SleepUntil(5_000));
         let mut cur = vec![None; 4];
         let mut s = Scheduler::default();
         s.assign(&topo, &mut tasks, &mut cur, 1_000);

@@ -187,7 +187,9 @@ pub fn list(k: &Kernel, dir: &str) -> Result<Vec<String>, SysfsError> {
             Ok(v)
         }
         "/sys/devices/system/cpu" => {
-            let mut v: Vec<String> = (0..k.machine().n_cpus()).map(|i| format!("cpu{i}")).collect();
+            let mut v: Vec<String> = (0..k.machine().n_cpus())
+                .map(|i| format!("cpu{i}"))
+                .collect();
             v.push("possible".into());
             v.push("online".into());
             Ok(v)
@@ -272,14 +274,8 @@ mod tests {
         let core_t = read(&k, "/sys/devices/cpu_core/type").unwrap();
         let atom_t = read(&k, "/sys/devices/cpu_atom/type").unwrap();
         assert_ne!(core_t, atom_t);
-        assert_eq!(
-            read(&k, "/sys/devices/cpu_core/cpus").unwrap(),
-            "0-15"
-        );
-        assert_eq!(
-            read(&k, "/sys/devices/cpu_atom/cpus").unwrap(),
-            "16-23"
-        );
+        assert_eq!(read(&k, "/sys/devices/cpu_core/cpus").unwrap(), "0-15");
+        assert_eq!(read(&k, "/sys/devices/cpu_atom/cpus").unwrap(), "16-23");
     }
 
     #[test]
@@ -356,7 +352,11 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(
-            read(&i, "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw").unwrap(),
+            read(
+                &i,
+                "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw"
+            )
+            .unwrap(),
             "65000000"
         );
         let a = orangepi();
@@ -367,10 +367,18 @@ mod tests {
     #[test]
     fn midr_register_on_arm() {
         let a = orangepi();
-        let midr = read(&a, "/sys/devices/system/cpu/cpu0/regs/identification/midr_el1").unwrap();
+        let midr = read(
+            &a,
+            "/sys/devices/system/cpu/cpu0/regs/identification/midr_el1",
+        )
+        .unwrap();
         assert!(midr.contains("d08"), "{midr}");
         let i = raptor();
-        assert!(read(&i, "/sys/devices/system/cpu/cpu0/regs/identification/midr_el1").is_err());
+        assert!(read(
+            &i,
+            "/sys/devices/system/cpu/cpu0/regs/identification/midr_el1"
+        )
+        .is_err());
     }
 
     #[test]
@@ -412,18 +420,16 @@ mod tests {
             "0-16,18-23"
         );
         // `possible` is immutable, like real sysfs.
-        assert_eq!(read(&k, "/sys/devices/system/cpu/possible").unwrap(), "0-23");
-        // The E-core PMU's cpumask loses cpu17…
         assert_eq!(
-            read(&k, "/sys/devices/cpu_atom/cpus").unwrap(),
-            "16,18-23"
+            read(&k, "/sys/devices/system/cpu/possible").unwrap(),
+            "0-23"
         );
+        // The E-core PMU's cpumask loses cpu17…
+        assert_eq!(read(&k, "/sys/devices/cpu_atom/cpus").unwrap(), "16,18-23");
         // …the P-core PMU is untouched…
         assert_eq!(read(&k, "/sys/devices/cpu_core/cpus").unwrap(), "0-15");
         // …cpufreq vanishes for the dead CPU but identity files stay.
-        assert!(
-            read(&k, "/sys/devices/system/cpu/cpu17/cpufreq/scaling_cur_freq").is_err()
-        );
+        assert!(read(&k, "/sys/devices/system/cpu/cpu17/cpufreq/scaling_cur_freq").is_err());
         assert!(read(&k, "/sys/devices/system/cpu/cpu17/topology/core_id").is_ok());
     }
 
@@ -431,10 +437,7 @@ mod tests {
     fn flaky_window_fails_reads_then_recovers() {
         use crate::faults::{FaultKind, FaultPlan};
         let mut k = raptor();
-        let plan = FaultPlan::new(3).at(
-            0,
-            FaultKind::SysfsFlaky { dur_ns: 2_000_000 },
-        );
+        let plan = FaultPlan::new(3).at(0, FaultKind::SysfsFlaky { dur_ns: 2_000_000 });
         k.install_faults(&plan);
         let path = "/sys/class/thermal/thermal_zone0/temp";
         assert!(read(&k, path).is_err(), "inside the window");

@@ -168,7 +168,13 @@ pub struct Task {
 }
 
 impl Task {
-    pub fn new(pid: Pid, name: String, program: Box<dyn Program>, affinity: CpuMask, nice: i32) -> Task {
+    pub fn new(
+        pid: Pid,
+        name: String,
+        program: Box<dyn Program>,
+        affinity: CpuMask,
+        nice: i32,
+    ) -> Task {
         Task {
             pid,
             name,

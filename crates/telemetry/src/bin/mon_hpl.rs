@@ -128,7 +128,12 @@ fn main() {
         let gf = r.gflops.unwrap_or(0.0);
         println!("run {run_idx}: {:.2} Gflops, {:.1} s wall", gf, r.wall_s);
         // Raw per-run CSV: t, per-cpu freq…, temp, energy, meter.
-        let n_cpus = r.trace.samples.first().map(|s| s.freq_khz.len()).unwrap_or(0);
+        let n_cpus = r
+            .trace
+            .samples
+            .first()
+            .map(|s| s.freq_khz.len())
+            .unwrap_or(0);
         let mut headers: Vec<String> = vec!["t_s".into()];
         headers.extend((0..n_cpus).map(|i| format!("cpu{i}_khz")));
         headers.extend(["temp_mc".into(), "energy_pkg_uj".into(), "meter_w".into()]);
@@ -146,8 +151,12 @@ fn main() {
                 row
             })
             .collect();
-        write_csv(format!("{}/run{run_idx}.csv", args.out), &header_refs, &rows)
-            .expect("write run csv");
+        write_csv(
+            format!("{}/run{run_idx}.csv", args.out),
+            &header_refs,
+            &rows,
+        )
+        .expect("write run csv");
         summary.push(vec![run_idx as f64, gf, r.wall_s]);
     }
     write_csv(

@@ -10,7 +10,7 @@
 //! summary statistics the paper reports (mean Gflops, median frequencies).
 
 use simcpu::power::energy_delta_uj;
-use telemetry::write_csv;
+use telemetry::{average_sample_rows, write_csv};
 
 fn read_csv(path: &std::path::Path) -> Option<(Vec<String>, Vec<Vec<f64>>)> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -30,7 +30,9 @@ fn read_csv(path: &std::path::Path) -> Option<(Vec<String>, Vec<Vec<f64>>)> {
 fn main() {
     let mut args = std::env::args().skip(1);
     let dir = args.next().unwrap_or_else(|| "results/raw".into());
-    let out = args.next().unwrap_or_else(|| "results/processed.csv".into());
+    let out = args
+        .next()
+        .unwrap_or_else(|| "results/processed.csv".into());
 
     // Load run CSVs.
     let mut runs = Vec::new();
@@ -47,25 +49,19 @@ fn main() {
         runs.push(rows);
         idx += 1;
     }
-    if runs.is_empty() {
-        eprintln!("no run*.csv files found under {dir}");
-        std::process::exit(1);
-    }
     println!("process_runs: {} runs from {dir}", runs.len());
 
-    // Average sample-by-sample across runs (truncate to shortest).
-    let min_len = runs.iter().map(|r| r.len()).min().unwrap();
-    let width = headers.len();
-    let mut avg: Vec<Vec<f64>> = Vec::with_capacity(min_len);
-    for si in 0..min_len {
-        let mut row = vec![0.0; width];
-        for run in &runs {
-            for (c, v) in row.iter_mut().zip(&run[si]) {
-                *c += v / runs.len() as f64;
-            }
+    // Average sample-by-sample across runs (truncate to shortest). An
+    // empty run set is reported, not panicked on (regression: the old
+    // `.min().unwrap()` aborted with a backtrace here).
+    let mut avg = match average_sample_rows(&runs) {
+        Ok(avg) => avg,
+        Err(e) => {
+            eprintln!("no run*.csv files found under {dir}: {e}");
+            std::process::exit(1);
         }
-        avg.push(row);
-    }
+    };
+    let min_len = avg.len();
 
     // Derive package power from the (first run's) energy column, wrap-aware.
     let e_col = headers.iter().position(|h| h == "energy_pkg_uj");

@@ -162,11 +162,59 @@ pub fn gflops_stats(runs: &[MonitoredRun]) -> Option<(f64, f64)> {
     Some((mean, var.sqrt()))
 }
 
+/// Aggregation failed — e.g. the acquire stage produced no runs at all
+/// (every run CSV was missing or rejected), so there is nothing to average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateError {
+    /// The input run set was empty.
+    NoRuns,
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::NoRuns => write!(f, "no runs to aggregate"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// Average raw per-run sample rows column-by-column, truncating to the
+/// shortest run. The row-oriented core of T2, shared by `process_runs`.
+///
+/// Runs with zero rows are legal (the shared length is then zero); an
+/// empty *run set* is not — that means the acquire stage produced nothing.
+pub fn average_sample_rows(runs: &[Vec<Vec<f64>>]) -> Result<Vec<Vec<f64>>, AggregateError> {
+    let min_len = runs
+        .iter()
+        .map(|r| r.len())
+        .min()
+        .ok_or(AggregateError::NoRuns)?;
+    let mut avg: Vec<Vec<f64>> = Vec::with_capacity(min_len);
+    for si in 0..min_len {
+        let mut row = vec![0.0; runs[0][si].len()];
+        for run in runs {
+            for (c, v) in row.iter_mut().zip(&run[si]) {
+                *c += v / runs.len() as f64;
+            }
+        }
+        avg.push(row);
+    }
+    Ok(avg)
+}
+
 /// The T2 pipeline (`process_runs.py`): average several runs' traces into
 /// one (truncated to the shortest), and average the scalar outcomes.
-pub fn average_runs(runs: &[MonitoredRun]) -> MonitoredRun {
-    assert!(!runs.is_empty(), "need at least one run to average");
-    let min_len = runs.iter().map(|r| r.trace.samples.len()).min().unwrap();
+///
+/// Errs (instead of panicking) when `runs` is empty — a timed-out or
+/// fault-killed acquire stage can legitimately deliver zero runs.
+pub fn average_runs(runs: &[MonitoredRun]) -> Result<MonitoredRun, AggregateError> {
+    let min_len = runs
+        .iter()
+        .map(|r| r.trace.samples.len())
+        .min()
+        .ok_or(AggregateError::NoRuns)?;
     let interval = runs[0].trace.interval_ns;
     let n = runs.len() as f64;
     let mut avg = Trace::new(interval);
@@ -201,10 +249,9 @@ pub fn average_runs(runs: &[MonitoredRun]) -> MonitoredRun {
     let gflops: Vec<f64> = runs.iter().filter_map(|r| r.gflops).collect();
     let mut by_type = [0u64; 4];
     for (i, slot) in by_type.iter_mut().enumerate() {
-        *slot =
-            runs.iter().map(|r| r.instructions_by_type[i]).sum::<u64>() / runs.len() as u64;
+        *slot = runs.iter().map(|r| r.instructions_by_type[i]).sum::<u64>() / runs.len() as u64;
     }
-    MonitoredRun {
+    Ok(MonitoredRun {
         run_idx: u32::MAX,
         trace: avg,
         gflops: if gflops.is_empty() {
@@ -215,7 +262,7 @@ pub fn average_runs(runs: &[MonitoredRun]) -> MonitoredRun {
         wall_s: runs.iter().map(|r| r.wall_s).sum::<f64>() / n,
         instructions_by_type: by_type,
         flops: runs.iter().map(|r| r.flops).sum::<f64>() / n,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -235,10 +282,8 @@ mod tests {
 
     #[test]
     fn monitored_run_produces_trace_and_gflops() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let driver = DriverConfig {
             n_runs: 1,
             poll_interval_ns: 10_000_000, // 100 Hz for the tiny problem
@@ -262,10 +307,8 @@ mod tests {
 
     #[test]
     fn settling_resets_temperature() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         kernel.lock().settle_temperature(80.0);
         settle(&kernel, 35.0, true);
         assert!(kernel.lock().machine().thermal().temp_c() <= 35.0);
@@ -273,10 +316,8 @@ mod tests {
 
     #[test]
     fn slow_settling_cools_by_simulation() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         kernel.lock().settle_temperature(45.0);
         settle(&kernel, 35.0, false);
         assert!(kernel.lock().machine().thermal().temp_c() <= 35.0);
@@ -302,10 +343,8 @@ mod tests {
 
     #[test]
     fn averaging_runs() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let driver = DriverConfig {
             n_runs: 2,
             poll_interval_ns: 10_000_000,
@@ -319,12 +358,57 @@ mod tests {
             &driver,
         );
         assert_eq!(runs.len(), 2);
-        let avg = average_runs(&runs);
+        let avg = average_runs(&runs).unwrap();
         assert!(avg.gflops.unwrap() > 0.0);
         assert!(!avg.trace.samples.is_empty());
         let g0 = runs[0].gflops.unwrap();
         let g1 = runs[1].gflops.unwrap();
         let ga = avg.gflops.unwrap();
         assert!((ga - (g0 + g1) / 2.0).abs() < 1e-9);
+    }
+
+    /// Regression: empty run sets used to panic on `.min().unwrap()`.
+    #[test]
+    fn averaging_empty_run_set_is_an_error_not_a_panic() {
+        assert!(matches!(average_runs(&[]), Err(AggregateError::NoRuns)));
+        assert!(matches!(
+            average_sample_rows(&[]),
+            Err(AggregateError::NoRuns)
+        ));
+        assert_eq!(
+            format!("{}", AggregateError::NoRuns),
+            "no runs to aggregate"
+        );
+    }
+
+    /// Runs that produced zero samples are legal input: the averaged trace
+    /// is simply empty (shortest-run truncation), no panic.
+    #[test]
+    fn averaging_runs_with_empty_traces_yields_empty_trace() {
+        let mk = || MonitoredRun {
+            run_idx: 0,
+            trace: crate::poller::Trace::new(1_000_000_000),
+            gflops: Some(1.0),
+            wall_s: 1.0,
+            instructions_by_type: [4, 0, 0, 0],
+            flops: 8.0,
+        };
+        let avg = average_runs(&[mk(), mk()]).unwrap();
+        assert!(avg.trace.samples.is_empty());
+        assert_eq!(avg.gflops, Some(1.0));
+        assert_eq!(avg.instructions_by_type, [4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn average_sample_rows_truncates_to_shortest() {
+        let r1 = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let r2 = vec![vec![3.0, 30.0], vec![4.0, 40.0]];
+        let avg = average_sample_rows(&[r1, r2]).unwrap();
+        assert_eq!(avg.len(), 2);
+        assert_eq!(avg[0], vec![2.0, 20.0]);
+        assert_eq!(avg[1], vec![3.0, 30.0]);
+        // One run with zero rows shortens everything to zero — still Ok.
+        let avg = average_sample_rows(&[vec![vec![1.0]], vec![]]).unwrap();
+        assert!(avg.is_empty());
     }
 }

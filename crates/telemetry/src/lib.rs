@@ -14,6 +14,9 @@ pub mod driver;
 pub mod plot;
 pub mod poller;
 
-pub use driver::{average_runs, gflops_stats, monitored_hpl_run, monitored_hpl_runs, settle, DriverConfig, MonitoredRun};
+pub use driver::{
+    average_runs, average_sample_rows, gflops_stats, monitored_hpl_run, monitored_hpl_runs, settle,
+    AggregateError, DriverConfig, MonitoredRun,
+};
 pub use plot::{ascii_chart, series_to_rows, write_csv};
 pub use poller::{Poller, Sample, Trace};

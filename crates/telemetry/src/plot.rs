@@ -23,10 +23,7 @@ pub fn ascii_chart(
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    let pts: Vec<(f64, f64)> = series
-        .iter()
-        .flat_map(|(_, s)| s.iter().copied())
-        .collect();
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     if pts.is_empty() {
         let _ = writeln!(out, "(no data)");
         return out;
@@ -140,7 +137,9 @@ mod tests {
     #[test]
     fn chart_renders_with_legend() {
         let a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64).sin())).collect();
-        let b: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64 / 5.0).cos())).collect();
+        let b: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, (i as f64 / 5.0).cos()))
+            .collect();
         let s = ascii_chart("test", "y", &[("sin", &a), ("cos", &b)], 60, 16);
         assert!(s.contains("== test =="));
         assert!(s.contains("* = sin"));

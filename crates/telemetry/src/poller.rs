@@ -203,7 +203,11 @@ impl Poller {
             };
             // All-or-nothing: a partially read RAPL triple would silently
             // corrupt the energy deltas downstream.
-            match (rd("intel-rapl:0"), rd("intel-rapl:0:0"), rd("intel-rapl:0:1")) {
+            match (
+                rd("intel-rapl:0"),
+                rd("intel-rapl:0:0"),
+                rd("intel-rapl:0:1"),
+            ) {
                 (Some(p), Some(c), Some(d)) => Some((p, c, d)),
                 _ => None,
             }
@@ -271,10 +275,8 @@ mod tests {
 
     #[test]
     fn poller_samples_live_kernel() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let mut poller = Poller::new(kernel.clone(), 100_000_000); // 10 Hz
         for _ in 0..1000 {
             kernel.lock().tick();
@@ -302,8 +304,7 @@ mod tests {
             tr.samples
                 .push(sample_at(t as f64, Some((t * per_s) % wrap)));
         }
-        tr.samples
-            .push(sample_at(63.0, Some((63 * per_s) % wrap)));
+        tr.samples.push(sample_at(63.0, Some((63 * per_s) % wrap)));
         let p = tr.pkg_power_series();
         assert_eq!(p.len(), 4, "3 adjacent pairs + 1 bridged gap");
         for (_, w) in &p[..3] {
@@ -320,10 +321,8 @@ mod tests {
     #[test]
     fn poller_drops_samples_in_flaky_windows() {
         use simos::faults::{FaultKind, FaultPlan};
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         kernel.lock().install_faults(&FaultPlan::new(21).at(
             300_000_000,
             FaultKind::SysfsFlaky {
@@ -353,13 +352,88 @@ mod tests {
         assert_eq!(p.len(), tr.samples.len() - 1);
     }
 
+    /// Satellite coverage: flaky-sysfs windows *and* RAPL wrap bursts
+    /// active in the same run. Samples inside the blackouts must be
+    /// gap-marked (counted in `missed`, never recorded with fabricated
+    /// values), and the derived power series must bridge both kinds of
+    /// damage without producing NaN or negative watts.
+    #[test]
+    fn poller_survives_flaky_sysfs_plus_rapl_wrap_bursts() {
+        use simos::faults::{FaultKind, FaultPlan};
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
+        // Two blackouts with wrap bursts landing both inside and outside
+        // the unreadable windows.
+        let plan = FaultPlan::new(77)
+            .at(
+                200_000_000,
+                FaultKind::SysfsFlaky {
+                    dur_ns: 250_000_000,
+                },
+            )
+            .at(
+                300_000_000,
+                FaultKind::RaplWrapBurst {
+                    wraps: 2,
+                    extra_uj: 5_000_000,
+                },
+            )
+            .at(
+                600_000_000,
+                FaultKind::RaplWrapBurst {
+                    wraps: 1,
+                    extra_uj: 0,
+                },
+            )
+            .at(
+                800_000_000,
+                FaultKind::SysfsFlaky {
+                    dur_ns: 150_000_000,
+                },
+            );
+        kernel.lock().install_faults(&plan);
+
+        let mut poller = Poller::new(kernel.clone(), 50_000_000); // 20 Hz
+        for _ in 0..1500 {
+            kernel.lock().tick();
+            poller.poll();
+        }
+        let tr = &poller.trace;
+        // ~0.4 s of blackout at 20 Hz: several gap-marked instants.
+        assert!(tr.missed >= 4, "gap-marked samples: {}", tr.missed);
+        assert!(
+            tr.samples.len() + tr.missed >= 27,
+            "cadence kept through the faults: {} + {}",
+            tr.samples.len(),
+            tr.missed
+        );
+        // Surviving samples carry real readings only.
+        for s in &tr.samples {
+            assert!(s.temp_mc > 0, "no fabricated temperature");
+            assert!(s.rapl_uj.is_some(), "all-or-nothing RAPL triple held");
+            assert!(s.meter_w > 0.0 && s.meter_w.is_finite());
+        }
+        // The derived power series bridges every gap: one point per
+        // consecutive-valid pair, all finite and non-negative even where
+        // a wrap burst landed inside a widened window.
+        let p = tr.pkg_power_series();
+        assert_eq!(p.len(), tr.samples.len() - 1);
+        for (t, w) in &p {
+            assert!(w.is_finite(), "NaN/inf watts at t={t}");
+            assert!(*w >= 0.0, "negative watts at t={t}: {w}");
+        }
+        let d = tr.dram_power_series();
+        assert_eq!(d.len(), tr.samples.len() - 1);
+        for (t, w) in &d {
+            assert!(w.is_finite() && *w >= 0.0, "dram watts at t={t}: {w}");
+        }
+    }
+
     #[test]
     fn poller_reports_zero_freq_for_offline_cpu() {
         use simos::faults::{FaultKind, FaultPlan};
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         kernel.lock().install_faults(&FaultPlan::new(4).at(
             0,
             FaultKind::CpuOffline {
@@ -380,8 +454,7 @@ mod tests {
 
     #[test]
     fn poller_no_rapl_on_arm() {
-        let kernel =
-            Kernel::boot_handle(MachineSpec::orangepi_800(), KernelConfig::default());
+        let kernel = Kernel::boot_handle(MachineSpec::orangepi_800(), KernelConfig::default());
         let mut poller = Poller::new(kernel.clone(), 100_000_000);
         for _ in 0..200 {
             kernel.lock().tick();

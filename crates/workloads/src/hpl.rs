@@ -286,7 +286,11 @@ pub fn spawn_hpl_tuned(
         update_done: vec![0; iters],
         chunks_left: vec![
             params.dynamic_chunks_per_thread * nthreads as u32;
-            if params.dynamic_chunks_per_thread > 0 { iters } else { 0 }
+            if params.dynamic_chunks_per_thread > 0 {
+                iters
+            } else {
+                0
+            }
         ],
         t_start_ns: None,
         t_end_ns: None,
@@ -393,8 +397,7 @@ fn worker_program(
                     if !computed {
                         // Each thread factorizes its share of the panel.
                         stage = Stage::Panel { k, computed: true };
-                        let inst =
-                            (cfg.panel_flops(k) / 0.9 / nthreads as f64).max(1.0) as u64;
+                        let inst = (cfg.panel_flops(k) / 0.9 / nthreads as f64).max(1.0) as u64;
                         let ws = cfg.nb * (cfg.n - k * cfg.nb) * 8;
                         drop(s);
                         return Op::Compute(panel_phase(inst, ws));
@@ -521,7 +524,9 @@ mod tests {
         let fl = cfg.total_flops();
         assert!((fl - 1.236e14).abs() / 1.236e14 < 0.01, "{fl:e}");
         // Update flops sum ≈ total.
-        let sum: f64 = (0..cfg.iterations()).map(|k| cfg.update_flops(k) + cfg.panel_flops(k)).sum();
+        let sum: f64 = (0..cfg.iterations())
+            .map(|k| cfg.update_flops(k) + cfg.panel_flops(k))
+            .sum();
         assert!((sum - fl).abs() / fl < 0.05, "sum={sum:e} total={fl:e}");
         assert_eq!(cfg.matrix_bytes(), 57024 * 57024 * 8);
     }
@@ -539,10 +544,8 @@ mod tests {
 
     #[test]
     fn small_run_completes_and_reports_gflops() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let cfg = HplConfig {
             n: 1536,
             nb: 192,
@@ -574,10 +577,8 @@ mod tests {
         };
         let mut inst = Vec::new();
         for variant in [HplVariant::OpenBlas, HplVariant::IntelMkl] {
-            let kernel = Kernel::boot_handle(
-                MachineSpec::raptor_lake_i7_13700(),
-                KernelConfig::default(),
-            );
+            let kernel =
+                Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
             let run = spawn_hpl(
                 &kernel,
                 cfg.clone(),
@@ -600,10 +601,8 @@ mod tests {
 
     #[test]
     fn solve_excludes_setup() {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let cfg = HplConfig {
             n: 768,
             nb: 192,

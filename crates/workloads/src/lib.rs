@@ -15,7 +15,9 @@ pub mod hpl;
 pub mod lu;
 pub mod micro;
 
-pub use hpl::{run_to_completion, spawn_hpl, spawn_hpl_tuned, HplConfig, HplRun, HplTuning, HplVariant};
+pub use hpl::{
+    run_to_completion, spawn_hpl, spawn_hpl_tuned, HplConfig, HplRun, HplTuning, HplVariant,
+};
 pub use micro::{
     spawn_branchy, spawn_hybrid_test, spawn_noise, spawn_stream, HybridTestConfig, NoiseHandle,
     HOOK_START, HOOK_STOP,

@@ -31,7 +31,9 @@ impl Matrix {
         let mut a = vec![0.0; n * n];
         for j in 0..n {
             for i in 0..n {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let r = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
                 a[j * n + i] = if i == j { n as f64 + r } else { r };
             }
@@ -225,11 +227,7 @@ pub fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let n = a.n;
     let mut worst: f64 = 0.0;
     for (i, bi) in b.iter().enumerate().take(n) {
-        let acc: f64 = x
-            .iter()
-            .enumerate()
-            .map(|(j, xj)| a.at(i, j) * xj)
-            .sum();
+        let acc: f64 = x.iter().enumerate().map(|(j, xj)| a.at(i, j) * xj).sum();
         worst = worst.max((acc - bi).abs());
     }
     worst
@@ -281,7 +279,10 @@ mod tests {
         let expect = 2.0 / 3.0 * (n as f64).powi(3);
         let got = stats.total_flops() as f64;
         let err = (got - expect).abs() / expect;
-        assert!(err < 0.10, "flops {got:.0} vs 2/3·n³ {expect:.0} ({err:.2})");
+        assert!(
+            err < 0.10,
+            "flops {got:.0} vs 2/3·n³ {expect:.0} ({err:.2})"
+        );
         // The trailing update dominates, as the workload model assumes
         // (the dominance grows with n/nb; at n=96, nb=24 it is ~4×, at
         // HPL's n=57024, nb=192 it is ~300×).

@@ -199,10 +199,7 @@ mod tests {
     use simos::task::TaskState;
 
     fn raptor() -> KernelHandle {
-        Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        )
+        Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default())
     }
 
     #[test]
@@ -273,9 +270,7 @@ mod tests {
         loop {
             let hooks = {
                 let mut k = kernel.lock();
-                if k.task_state(pid) == Some(TaskState::Exited)
-                    || k.time_ns() > 120_000_000_000
-                {
+                if k.task_state(pid) == Some(TaskState::Exited) || k.time_ns() > 120_000_000_000 {
                     break;
                 }
                 k.tick();

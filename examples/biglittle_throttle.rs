@@ -58,9 +58,7 @@ fn main() {
             s.temp_mc as f64 / 1000.0
         );
     }
-    println!(
-        "  → ramps to 1800 MHz, then the trip ladder steps the big cluster down\n"
-    );
+    println!("  → ramps to 1800 MHz, then the trip ladder steps the big cluster down\n");
 
     // --- Figure 4 punchline: little cores beat throttled big cores ---
     let driver = DriverConfig {

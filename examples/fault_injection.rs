@@ -22,7 +22,12 @@ fn main() {
     let kernel = session.kernel();
     kernel.lock().install_faults(
         &FaultPlan::new(seed)
-            .at(0, FaultKind::CounterWrap { headroom: 5_000_000 })
+            .at(
+                0,
+                FaultKind::CounterWrap {
+                    headroom: 5_000_000,
+                },
+            )
             .at(
                 0,
                 FaultKind::NmiWatchdog {

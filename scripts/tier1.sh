@@ -2,6 +2,7 @@
 # Tier-1 verification: everything must pass fully offline (deps are
 # vendored under vendor/, see the workspace Cargo.toml).
 #
+#   fmt        — first-party crates are rustfmt-clean
 #   build      — workspace compiles, all targets
 #   test       — every crate's suite plus the root integration tests
 #   clippy     — first-party crates lint clean with -D warnings
@@ -10,7 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FIRST_PARTY=(simcpu simos pfmlib papi workloads telemetry perftool hetero-papi)
+FIRST_PARTY=(simcpu simos pfmlib papi workloads telemetry perftool jsonw metricsd hetero-papi)
+
+echo "== fmt (first-party, --check) =="
+fmt_args=()
+for c in "${FIRST_PARTY[@]}"; do fmt_args+=(-p "$c"); done
+cargo fmt "${fmt_args[@]}" --check
 
 echo "== build (offline, all targets) =="
 cargo build --offline --workspace --all-targets
@@ -32,5 +38,12 @@ echo "== tick throughput (quick, emits BENCH_tick.json) =="
 # assertion inside is counter_drift == 0 (parallel must match serial
 # bit-for-bit); speedup depends on host_cpus and is judged by the reader.
 cargo run --offline --release -p bench-harness --bin tickbench -- --quick
+
+echo "== metricsd load smoke (quick, emits BENCH_metricsd.json) =="
+# Hard gates inside: counter digests bit-identical across 1/4/8 worker
+# shards AND vs a serial single-client reference; the deliberately slow
+# consumer must be evicted, not wedge the daemon. Throughput/latency are
+# recorded for the reader, not asserted.
+cargo run --offline --release -p metricsd --bin loadgen -- --quick
 
 echo "tier1: OK"

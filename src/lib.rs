@@ -24,6 +24,12 @@
 //! * [`telemetry`] — the `mon_hpl.py`-style monitoring harness.
 //! * [`perftool`] — a `perf stat`/`perf record` analogue (`simperf`),
 //!   the tool the paper contrasts PAPI with.
+//! * [`metricsd`] — a sharded, multi-client counter-serving daemon over
+//!   the sim kernel (one collector pass per pump, snapshot-cached hot
+//!   queries, backpressure with slow-consumer eviction), plus the
+//!   `metrics-client` library and `loadgen` load generator.
+//! * [`jsonw`] — the tiny dependency-free JSON writer the `--json`
+//!   outputs and benchmark reports share.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +63,8 @@
 //! assert!(values[1].1 >= 1_000_000);   // everything on the E core
 //! ```
 
+pub use jsonw;
+pub use metricsd;
 pub use papi;
 pub use perftool;
 pub use pfmlib;
@@ -158,6 +166,50 @@ mod tests {
         ] {
             let papi = s.papi().unwrap();
             assert!(papi.hardware_info().ncpus > 0);
+        }
+    }
+
+    #[test]
+    fn metricsd_serves_counters_over_the_facade() {
+        use metricsd::wire::{metrics, Request, Response};
+        let s = Session::raptor_lake();
+        s.kernel().lock().spawn(
+            "w",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(u64::MAX / 4)),
+                Op::Exit,
+            ])),
+            CpuMask::from_cpus([0]),
+            0,
+        );
+        let mut d = metricsd::Daemon::new(s.kernel(), metricsd::DaemonConfig::default());
+        let mut c = metricsd::MetricsClient::new(d.connector().connect());
+        c.post(&Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        })
+        .unwrap();
+        d.pump();
+        assert!(matches!(c.take().unwrap(), Response::Welcome { .. }));
+        c.post(&Request::Subscribe {
+            cpu_mask: 1,
+            metrics: metrics::INSTRUCTIONS,
+        })
+        .unwrap();
+        d.pump();
+        let sub_id = match c.take().unwrap() {
+            Response::Subscribed { sub_id, .. } => sub_id,
+            other => panic!("{other:?}"),
+        };
+        d.pump();
+        c.post(&Request::Read {
+            sub_id,
+            submit_ns: 0,
+        })
+        .unwrap();
+        d.pump();
+        match c.take().unwrap() {
+            Response::Counters { values, .. } => assert!(values[0].value > 0),
+            other => panic!("{other:?}"),
         }
     }
 

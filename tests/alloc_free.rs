@@ -38,10 +38,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_tick_is_allocation_free() {
-    let mut k = Kernel::boot(
-        MachineSpec::raptor_lake_i7_13700(),
-        KernelConfig::default(),
-    );
+    let mut k = Kernel::boot(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
     let n = k.machine().n_cpus();
     // One immortal compute-bound worker per CPU, pinned so the scheduler
     // reaches a fixed point (no migrations, no run-queue churn).

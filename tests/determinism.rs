@@ -11,12 +11,12 @@
 
 use simcpu::events::ArchEvent;
 use simcpu::machine::MachineSpec;
+use simcpu::phase::Phase;
 use simcpu::power::RaplDomain;
 use simcpu::types::{CpuId, CpuMask};
 use simos::faults::{FaultKind, FaultPlan, TransientErrno};
 use simos::kernel::{ExecMode, Kernel, KernelConfig};
 use simos::perf::{EventConfig, EventFd, PerfAttr, PmuKind, RaplConfig, Target, UncoreConfig};
-use simcpu::phase::Phase;
 use simos::task::{Op, Pid, ScriptedProgram};
 
 // ---- FNV-1a ----------------------------------------------------------------
@@ -51,7 +51,12 @@ impl Fnv {
 /// only CPUs that exist on the smallest preset (skylake_quad has 8 CPUs).
 fn fault_plan() -> FaultPlan {
     FaultPlan::new(0xd15ea5e)
-        .at(10_000_000, FaultKind::CounterWrap { headroom: 5_000_000 })
+        .at(
+            10_000_000,
+            FaultKind::CounterWrap {
+                headroom: 5_000_000,
+            },
+        )
         .at(
             50_000_000,
             FaultKind::CpuOffline {
@@ -110,7 +115,12 @@ fn spawn_workload(k: &mut Kernel) {
         } else {
             CpuMask::first_n(n)
         };
-        k.spawn(&format!("w{i}"), Box::new(ScriptedProgram::new(ops)), mask, 0);
+        k.spawn(
+            &format!("w{i}"),
+            Box::new(ScriptedProgram::new(ops)),
+            mask,
+            0,
+        );
     }
     // Two tasks meet at a barrier mid-run.
     k.register_barrier(1, 2);
@@ -139,9 +149,8 @@ fn open_events(k: &mut Kernel) -> Vec<EventFd> {
         .iter()
         .map(|p| (p.id, p.kind, p.cpus.iter().next().unwrap_or(CpuId(0))))
         .collect();
-    let open = |k: &mut Kernel, attr: PerfAttr, target, group| {
-        k.perf_event_open(attr, target, group).ok()
-    };
+    let open =
+        |k: &mut Kernel, attr: PerfAttr, target, group| k.perf_event_open(attr, target, group).ok();
     for (id, kind, first_cpu) in pmus {
         match kind {
             PmuKind::CoreHw => {

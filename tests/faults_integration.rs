@@ -79,14 +79,22 @@ fn assert_exact_reps(results: &[(u64, u64)], reps: u32) {
         p_total += p;
         e_total += e;
     }
-    assert!(p_total > e_total, "P cores dominate: {p_total} vs {e_total}");
+    assert!(
+        p_total > e_total,
+        "P cores dominate: {p_total} vs {e_total}"
+    );
     assert!(e_total > 0, "some repetitions migrate to E cores");
 }
 
 /// A plan exercising every fault class in one run.
 fn storm_plan(seed: u64) -> FaultPlan {
     FaultPlan::new(seed)
-        .at(0, FaultKind::CounterWrap { headroom: 3_000_000 })
+        .at(
+            0,
+            FaultKind::CounterWrap {
+                headroom: 3_000_000,
+            },
+        )
         .at(
             0,
             FaultKind::TransientOpen {
@@ -268,7 +276,12 @@ fn hotplug_mid_run_keeps_thread_counts_exact_at_100m() {
 /// recovers every count exactly.
 #[test]
 fn counter_wrap_unwraps_exactly_across_100m_instructions() {
-    let plan = FaultPlan::new(77).at(0, FaultKind::CounterWrap { headroom: 2_000_000 });
+    let plan = FaultPlan::new(77).at(
+        0,
+        FaultKind::CounterWrap {
+            headroom: 2_000_000,
+        },
+    );
     let (results, log) = hybrid_run_under(Some(&plan), 100);
     let biases: Vec<u64> = log
         .iter()
@@ -409,10 +422,18 @@ fn rapl_burst_recovered_with_plan_known_hint() {
     };
     run_to(100_000_000);
     let prev = read_pkg();
-    let truth0 = kernel.lock().machine().rapl().energy_total_uj(RaplDomain::Package);
+    let truth0 = kernel
+        .lock()
+        .machine()
+        .rapl()
+        .energy_total_uj(RaplDomain::Package);
     run_to(400_000_000);
     let now = read_pkg();
-    let truth1 = kernel.lock().machine().rapl().energy_total_uj(RaplDomain::Package);
+    let truth1 = kernel
+        .lock()
+        .machine()
+        .rapl()
+        .energy_total_uj(RaplDomain::Package);
 
     let truth = truth1 - truth0;
     let naive = energy_delta_uj(prev, now);
@@ -448,7 +469,12 @@ fn poller_bridges_flaky_sysfs_during_hotplug() {
                     down_ns: Some(300_000_000),
                 },
             )
-            .at(300_000_000, FaultKind::SysfsFlaky { dur_ns: 200_000_000 }),
+            .at(
+                300_000_000,
+                FaultKind::SysfsFlaky {
+                    dur_ns: 200_000_000,
+                },
+            ),
     );
     kernel.lock().spawn(
         "burn",
@@ -478,9 +504,7 @@ fn poller_bridges_flaky_sysfs_during_hotplug() {
         "offline CPU reads 0 kHz during the outage"
     );
     assert!(
-        tr.samples
-            .iter()
-            .any(|s| s.t_s > 0.6 && s.freq_khz[17] > 0),
+        tr.samples.iter().any(|s| s.t_s > 0.6 && s.freq_khz[17] > 0),
         "re-onlined CPU reports a frequency again"
     );
     // The energy series is continuous: one point per surviving pair,

@@ -43,7 +43,10 @@ fn hybrid_100x1m_counts_sum_to_one_million() {
         p_total += p;
         e_total += e;
     }
-    assert!(p_total > e_total, "P cores dominate: {p_total} vs {e_total}");
+    assert!(
+        p_total > e_total,
+        "P cores dominate: {p_total} vs {e_total}"
+    );
     assert!(e_total > 0, "some repetitions migrate to E cores");
 }
 
@@ -59,7 +62,10 @@ fn table2_shape_intel_wins_most_on_mixed_cores() {
     let mut gf = std::collections::HashMap::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
-        for (set, cpulist) in [("p", "0,2,4,6,8,10,12,14"), ("all", "0,2,4,6,8,10,12,14,16-23")] {
+        for (set, cpulist) in [
+            ("p", "0,2,4,6,8,10,12,14"),
+            ("all", "0,2,4,6,8,10,12,14,16-23"),
+        ] {
             for variant in [HplVariant::OpenBlas, HplVariant::IntelMkl] {
                 let driver = driver.clone();
                 let cfg = cfg.clone();
@@ -137,7 +143,9 @@ fn table3_shape_ecore_llc_missrate_tiny() {
             let r = pfm
                 .encode(&format!("{pmu}::LONGEST_LAT_CACHE:REFERENCE"))
                 .unwrap();
-            let m = pfm.encode(&format!("{pmu}::LONGEST_LAT_CACHE:MISS")).unwrap();
+            let m = pfm
+                .encode(&format!("{pmu}::LONGEST_LAT_CACHE:MISS"))
+                .unwrap();
             let leader = k
                 .perf_event_open(r.attr, simos::perf::Target::Cpu(CpuId(cpu)), None)
                 .unwrap();

@@ -248,10 +248,7 @@ fn matrix_time_accounting() {
             let id = k.pmu_by_name(pmu).unwrap().id;
             let fd = k
                 .perf_event_open(
-                    simos::perf::PerfAttr::counting(
-                        id,
-                        simcpu::events::ArchEvent::Instructions,
-                    ),
+                    simos::perf::PerfAttr::counting(id, simcpu::events::ArchEvent::Instructions),
                     simos::perf::Target::Thread(pid),
                     None,
                 )
@@ -265,7 +262,10 @@ fn matrix_time_accounting() {
     let p = k.read_event(fds[0]).unwrap();
     let e = k.read_event(fds[1]).unwrap();
     assert!(p.time_enabled > 0 && p.time_running == 0, "{p:?}");
-    assert!(e.time_enabled > 0 && e.time_running == e.time_enabled, "{e:?}");
+    assert!(
+        e.time_enabled > 0 && e.time_running == e.time_enabled,
+        "{e:?}"
+    );
     assert_eq!(p.value, 0);
     assert_eq!(e.value, 20_000_000);
 }
@@ -312,8 +312,7 @@ fn matrix_walk_every_cpu() {
             .unwrap();
         loop {
             let mut k = kernel.lock();
-            let done = k.task_stats(pid).unwrap().instructions
-                >= (cpu as u64 + 1) * PER_CPU
+            let done = k.task_stats(pid).unwrap().instructions >= (cpu as u64 + 1) * PER_CPU
                 || k.all_exited();
             if done {
                 break;

@@ -25,20 +25,18 @@ fn arb_phase() -> impl Strategy<Value = Phase> {
         0.0f64..0.4,
         0.0f64..0.2,
     )
-        .prop_map(
-            |(inst, mem, ws_log, r1, r2, r3, fpi, vf, br, bm)| Phase {
-                instructions: inst,
-                mem_ref_rate: mem,
-                working_set: 1u64 << ws_log,
-                reuse_l1: r1,
-                reuse_l2: r2,
-                reuse_llc: r3,
-                flops_per_inst: fpi,
-                vector_frac: vf,
-                branch_rate: br,
-                branch_miss_rate: bm,
-            },
-        )
+        .prop_map(|(inst, mem, ws_log, r1, r2, r3, fpi, vf, br, bm)| Phase {
+            instructions: inst,
+            mem_ref_rate: mem,
+            working_set: 1u64 << ws_log,
+            reuse_l1: r1,
+            reuse_l2: r2,
+            reuse_llc: r3,
+            flops_per_inst: fpi,
+            vector_frac: vf,
+            branch_rate: br,
+            branch_miss_rate: bm,
+        })
 }
 
 proptest! {
