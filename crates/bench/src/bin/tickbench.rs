@@ -1,21 +1,27 @@
-//! Tick-throughput benchmark: serial vs parallel execution, per preset.
+//! Tick-throughput benchmark: serial vs parallel vs single-tick, per preset.
 //!
 //! Emits `BENCH_tick.json` so future PRs have a perf baseline to regress
 //! against (`scripts/tier1.sh` runs this in `--quick` mode). For each
 //! machine preset it boots a fully loaded kernel (one immortal dgemm-ish
-//! worker per CPU), measures ticks/second in `ExecMode::Serial` and
-//! `ExecMode::Parallel { threads: 0 }` on fresh kernels, and cross-checks
-//! that both modes retired bit-identical instruction counts (`counter_drift`
-//! must be 0). The speedup column is only meaningful on a multi-core host —
-//! `host_cpus` is recorded so readers can judge (a 1-CPU CI box will
-//! honestly report ≈1× or below).
+//! worker per CPU, phases long enough to span many ticks like the paper's
+//! HPL runs) and measures ticks/second through the production pump —
+//! `tick_batch` with the default `MacroTicks::Auto` coalescing — in
+//! `ExecMode::Serial` and `ExecMode::Parallel { threads: 0 }`, plus a
+//! `MacroTicks::Off` single-tick baseline. Cross-checks: serial, parallel
+//! and single-tick runs must all retire bit-identical instruction counts
+//! (`counter_drift` and `macro_counter_drift` must be 0). The exec-plan
+//! cache hit rate and macro-tick coverage (replayed/total in the timed
+//! window) are reported per preset. The speedup column is only meaningful
+//! on a multi-core host — `host_cpus` is recorded so readers can judge (a
+//! 1-CPU CI box will honestly report ≈1× or below). The warmup rides out
+//! the DVFS slew ramp (~143 ticks), which is correctly non-coalescible.
 //!
 //! Knobs: `--quick` (300 timed ticks instead of 2000), `TICKBENCH_TICKS`.
 
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
 use simcpu::types::CpuMask;
-use simos::kernel::{ExecMode, Kernel, KernelConfig};
+use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
 use simos::task::{Op, Pid};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,24 +30,23 @@ struct ModeResult {
     ticks_per_s: f64,
     /// Total retired instructions across all tasks (drift detector).
     instructions: u64,
+    /// Exec-plan cache hit rate over the whole run, 0.0 if never probed.
+    plan_hit_rate: f64,
+    /// Replayed / total ticks in the timed window.
+    coverage: f64,
 }
 
-fn load_kernel(spec: MachineSpec, mode: ExecMode) -> Kernel {
-    let mut k = Kernel::boot(
-        spec,
-        KernelConfig {
-            exec_mode: mode,
-            ..Default::default()
-        },
-    );
+fn load_kernel(spec: MachineSpec, cfg: KernelConfig) -> Kernel {
+    let mut k = Kernel::boot(spec, cfg);
     let n = k.machine().n_cpus();
     for i in 0..n {
-        // A blocked dgemm-like phase: heavy enough that each tick runs
-        // dozens of cycle batches per CPU, like the paper's HPL runs.
+        // A blocked dgemm-like phase, long enough to outlive the run: each
+        // tick consumes its full cycle budget against one phase, like one
+        // slice of an HPL factorization.
         k.spawn(
             &format!("w{i}"),
             Box::new(move |_: &simos::task::ProgCtx| {
-                Op::Compute(Phase::dgemm(200_000, 8 << 20, 0.35))
+                Op::Compute(Phase::dgemm(1 << 44, 8 << 20, 0.35))
             }),
             CpuMask::from_cpus([i]),
             0,
@@ -50,25 +55,38 @@ fn load_kernel(spec: MachineSpec, mode: ExecMode) -> Kernel {
     k
 }
 
-fn run_mode(spec: MachineSpec, mode: ExecMode, warmup: usize, ticks: usize) -> ModeResult {
-    let mut k = load_kernel(spec, mode);
-    for _ in 0..warmup {
-        k.tick();
-    }
-    let start = Instant::now();
-    for _ in 0..ticks {
-        k.tick();
-    }
-    let secs = start.elapsed().as_secs_f64();
+fn total_instructions(k: &Kernel) -> u64 {
     let mut instructions = 0u64;
     let mut pid = 0;
     while let Some(s) = k.task_stats(Pid(pid)) {
         instructions += s.instructions;
         pid += 1;
     }
+    instructions
+}
+
+fn run_mode(spec: MachineSpec, cfg: KernelConfig, warmup: usize, ticks: usize) -> ModeResult {
+    let mut k = load_kernel(spec, cfg);
+    // Per-tick warmup past the DVFS slew ramp so the timed window measures
+    // the steady state; `tick()` never coalesces.
+    for _ in 0..warmup + 200 {
+        k.tick();
+    }
+    let (replayed_before, _) = k.macro_stats();
+    let start = Instant::now();
+    k.tick_batch(ticks as u64);
+    let secs = start.elapsed().as_secs_f64();
+    let (replayed_after, _) = k.macro_stats();
+    let (hits, misses) = k.plan_cache_stats();
     ModeResult {
         ticks_per_s: ticks as f64 / secs.max(1e-9),
-        instructions,
+        instructions: total_instructions(&k),
+        plan_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        coverage: (replayed_after - replayed_before) as f64 / ticks as f64,
     }
 }
 
@@ -99,15 +117,39 @@ fn main() {
 
     println!("tickbench: {ticks} timed ticks/preset, host_cpus={host_cpus}");
     for (i, (name, spec)) in presets.iter().enumerate() {
-        let serial = run_mode(spec(), ExecMode::Serial, warmup, ticks);
-        let parallel = run_mode(spec(), ExecMode::Parallel { threads: 0 }, warmup, ticks);
+        let cfg = |mode, macro_ticks| KernelConfig {
+            exec_mode: mode,
+            macro_ticks,
+            ..Default::default()
+        };
+        let serial = run_mode(spec(), cfg(ExecMode::Serial, MacroTicks::Auto), warmup, ticks);
+        let parallel = run_mode(
+            spec(),
+            cfg(ExecMode::Parallel { threads: 0 }, MacroTicks::Auto),
+            warmup,
+            ticks,
+        );
+        let single = run_mode(spec(), cfg(ExecMode::Serial, MacroTicks::Off), warmup, ticks);
         let speedup = parallel.ticks_per_s / serial.ticks_per_s;
         let drift = serial.instructions.abs_diff(parallel.instructions);
+        let macro_speedup = serial.ticks_per_s / single.ticks_per_s;
+        let macro_drift = serial.instructions.abs_diff(single.instructions);
         println!(
-            "  {name:<22} serial {:>9.1} t/s   parallel {:>9.1} t/s   speedup {speedup:>5.2}x   drift {drift}",
+            "  {name:<22} serial {:>10.1} t/s   parallel {:>10.1} t/s   speedup {speedup:>5.2}x   drift {drift}",
             serial.ticks_per_s, parallel.ticks_per_s
         );
+        println!(
+            "  {:<22} 1-tick {:>10.1} t/s   macro speedup {macro_speedup:>6.2}x   drift {macro_drift}   coverage {:.1}%   plan hits {:.1}%",
+            "",
+            single.ticks_per_s,
+            100.0 * serial.coverage,
+            100.0 * serial.plan_hit_rate
+        );
         assert_eq!(drift, 0, "{name}: parallel mode drifted from serial");
+        assert_eq!(
+            macro_drift, 0,
+            "{name}: macro-tick run drifted from single-tick run"
+        );
         let _ = writeln!(json, "    \"{name}\": {{");
         let _ = writeln!(
             json,
@@ -120,7 +162,20 @@ fn main() {
             parallel.ticks_per_s
         );
         let _ = writeln!(json, "      \"speedup\": {speedup:.3},");
-        let _ = writeln!(json, "      \"counter_drift\": {drift}");
+        let _ = writeln!(json, "      \"counter_drift\": {drift},");
+        let _ = writeln!(
+            json,
+            "      \"single_tick_ticks_per_s\": {:.2},",
+            single.ticks_per_s
+        );
+        let _ = writeln!(json, "      \"macro_speedup\": {macro_speedup:.3},");
+        let _ = writeln!(json, "      \"macro_coverage\": {:.4},", serial.coverage);
+        let _ = writeln!(json, "      \"macro_counter_drift\": {macro_drift},");
+        let _ = writeln!(
+            json,
+            "      \"plan_hit_rate\": {:.4}",
+            serial.plan_hit_rate
+        );
         let _ = writeln!(
             json,
             "    }}{}",

@@ -48,7 +48,9 @@ fn capacity_hit_prob(ws: u64, cap: u64) -> f64 {
 
 /// Compute the miss profile of `phase` on a core of `uarch` whose share of
 /// the LLC is currently `llc_share_bytes` (0 on machines without an LLC —
-/// RK3399 has no L3, its L2 is last-level).
+/// RK3399 has no L3, its L2 is last-level). Pure in its arguments, which is
+/// what lets [`crate::plan::PlanCache`] memoize the result by exact key.
+#[inline]
 pub fn miss_profile(phase: &Phase, uarch: &UarchParams, llc_share_bytes: u64) -> MissProfile {
     let ws = phase.working_set;
 

@@ -22,6 +22,7 @@
 use crate::cache::analytic::{miss_profile, MissProfile};
 use crate::events::{ArchEvent, EventCounts};
 use crate::phase::Phase;
+use crate::plan::{PlanCache, PlanEntry, PlanKey};
 use crate::uarch::UarchParams;
 
 /// DRAM access latency in nanoseconds (uncontended).
@@ -48,7 +49,7 @@ pub struct ExecContext<'a> {
 }
 
 /// What a slice of execution produced.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecResult {
     /// Instructions retired.
     pub instructions: u64,
@@ -115,6 +116,92 @@ pub fn advance(phase: &Phase, budget_cycles: f64, ctx: &ExecContext<'_>) -> Exec
     if inst == 0 {
         return ExecResult::default();
     }
+    result_for_inst(phase, ctx, &m, cpi, inst)
+}
+
+/// [`advance`] through a [`PlanCache`]: bit-identical results, with the
+/// miss profile + CPI (and, on the common steady path, the whole
+/// [`ExecResult`]) served from the memoized plan instead of recomputed.
+pub fn advance_planned(
+    phase: &Phase,
+    budget_cycles: f64,
+    ctx: &ExecContext<'_>,
+    cache: &mut PlanCache,
+) -> ExecResult {
+    if phase.instructions == 0 || budget_cycles <= 0.0 {
+        return ExecResult::default();
+    }
+    let key = PlanKey::new(phase, ctx);
+    let (slot, hit) = cache.probe(&key);
+    if !hit {
+        let m = miss_profile(phase, ctx.uarch, ctx.llc_share_bytes);
+        let cpi = cpi_with_profile(phase, ctx, &m);
+        cache.slots[slot] = Some(PlanEntry {
+            key,
+            miss: m,
+            cpi,
+            pressure: llc_pressure(phase, ctx.uarch, ctx.llc_share_bytes),
+            last_inst: 0,
+            last_result: None,
+        });
+    }
+    let entry = cache.slots[slot].as_mut().expect("entry just probed");
+    let cpi = entry.cpi;
+    debug_assert!(cpi.is_finite() && cpi > 0.0, "bad cpi {cpi}");
+
+    let max_inst = (budget_cycles / cpi).floor() as u64;
+    let inst = max_inst.min(phase.instructions);
+    if inst == 0 {
+        return ExecResult::default();
+    }
+    if entry.last_inst == inst {
+        if let Some(res) = entry.last_result {
+            return res;
+        }
+    }
+    let miss = entry.miss;
+    let res = result_for_inst(phase, ctx, &miss, cpi, inst);
+    let entry = cache.slots[slot].as_mut().expect("entry still present");
+    entry.last_inst = inst;
+    entry.last_result = Some(res);
+    res
+}
+
+/// [`llc_pressure`] served from the plan cache: the entry's `pressure`
+/// field was computed by the real function on the miss path, so a hit is
+/// bit-identical. Falls back to the direct computation when the phase/ctx
+/// pair has no plan yet (it installs one, so the next call hits).
+pub fn llc_pressure_planned(phase: &Phase, ctx: &ExecContext<'_>, cache: &mut PlanCache) -> f64 {
+    let key = PlanKey::new(phase, ctx);
+    let (slot, hit) = cache.probe(&key);
+    if !hit {
+        let m = miss_profile(phase, ctx.uarch, ctx.llc_share_bytes);
+        cache.slots[slot] = Some(PlanEntry {
+            key,
+            miss: m,
+            cpi: cpi_with_profile(phase, ctx, &m),
+            pressure: llc_pressure(phase, ctx.uarch, ctx.llc_share_bytes),
+            last_inst: 0,
+            last_result: None,
+        });
+    }
+    cache.slots[slot]
+        .as_ref()
+        .expect("entry just probed")
+        .pressure
+}
+
+/// The slice-construction tail shared by [`advance`] and
+/// [`advance_planned`]: given the (possibly memoized) miss profile and CPI,
+/// build the full result for an `inst`-instruction slice. Keeping both
+/// callers on this single body is what makes the planned path bit-identical.
+fn result_for_inst(
+    phase: &Phase,
+    ctx: &ExecContext<'_>,
+    m: &MissProfile,
+    cpi: f64,
+    inst: u64,
+) -> ExecResult {
     let cycles = (inst as f64 * cpi).round() as u64;
     let inst_f = inst as f64;
 

@@ -21,6 +21,8 @@
 //!   cycle-batch execution engine.
 //! * [`phase`] + [`exec`] — the workload-phase execution model: how many
 //!   instructions/cycles/misses a core produces in a time slice.
+//! * [`plan`] — exec-plan memoization: per-seat caches of the derived
+//!   miss profile / CPI / event plan, exact-keyed so hits are bit-identical.
 //! * [`dvfs`], [`power`], [`thermal`] — frequency domains and governors,
 //!   the RAPL power model with PL1/PL2 capping, and lumped-RC thermal
 //!   models with trip-point throttling.
@@ -35,6 +37,7 @@ pub mod events;
 pub mod exec;
 pub mod machine;
 pub mod phase;
+pub mod plan;
 pub mod pmu;
 pub mod power;
 pub mod thermal;

@@ -18,6 +18,7 @@
 use crate::dvfs::{FreqDomain, FreqDomainSpec};
 use crate::events::ArchEvent;
 use crate::exec::ExecContext;
+use crate::plan::PlanCache;
 use crate::pmu::CorePmu;
 use crate::power::{RaplDomain, RaplSpec, RaplState};
 use crate::thermal::{ThermalSpec, ThermalState, TripPoint};
@@ -119,6 +120,10 @@ pub struct CoreSeat {
     /// This CPU's current share of the LLC in bytes (recomputed every
     /// tick by `end_tick`; read-only during execution).
     pub llc_share: u64,
+    /// Memoized exec plans for phases recently run on this seat
+    /// (DESIGN.md §9). Fixed-size and inline: no heap, thread-confined
+    /// along with the rest of the seat.
+    pub plan: PlanCache,
 }
 
 /// Hardware shared across all cores: anything one core's tick may not
@@ -148,6 +153,11 @@ pub struct Machine {
     shared: SharedHw,
     time_ns: Nanos,
     scratch: EndTickScratch,
+    /// Bumped by [`Machine::end_tick`] whenever anything feeding
+    /// [`Machine::exec_context`] changed — a cluster frequency, an LLC
+    /// share, or the memory-contention factor. A macro-tick replay loop
+    /// watches this to know the captured template went stale.
+    exec_epoch: u64,
 }
 
 impl Machine {
@@ -185,6 +195,7 @@ impl Machine {
                     seats.push(CoreSeat {
                         pmu: CorePmu::new(cl.uarch.params()),
                         llc_share: 0,
+                        plan: PlanCache::new(),
                     });
                     cpu_idx += 1;
                 }
@@ -214,6 +225,7 @@ impl Machine {
             cpus,
             seats,
             spec,
+            exec_epoch: 0,
         }
     }
 
@@ -409,11 +421,14 @@ impl Machine {
         self.shared.thermal.step(dt_ns, pkg_w);
 
         // --- DVFS per cluster ---
+        let mut ctx_changed = false;
         let shared = &mut self.shared;
         for (ci, dom) in shared.domains.iter_mut().enumerate() {
             let ct = self.spec.clusters[ci].uarch.params().core_type;
             let cap = shared.thermal.freq_cap_khz(ct);
+            let before = dom.cur_khz();
             dom.step(dt_ns, cluster_util[ci.min(3)], scale, cap);
+            ctx_changed |= dom.cur_khz() != before;
         }
 
         // --- LLC shares & memory contention for next tick ---
@@ -430,16 +445,30 @@ impl Machine {
             let nominal = self.spec.llc_bytes / self.cpus.len() as u64;
             for (seat, &s) in self.seats.iter_mut().zip(self.scratch.shares.iter()) {
                 // An idle CPU keeps a nominal share so cold starts are sane.
-                seat.llc_share = if s == 0 { nominal } else { s };
+                let share = if s == 0 { nominal } else { s };
+                ctx_changed |= share != seat.llc_share;
+                seat.llc_share = share;
             }
         }
-        self.shared.mem_contention = (bw_gbps / self.spec.mem_bw_gbps).max(1.0);
+        let contention = (bw_gbps / self.spec.mem_bw_gbps).max(1.0);
+        ctx_changed |= contention.to_bits() != self.shared.mem_contention.to_bits();
+        self.shared.mem_contention = contention;
+        if ctx_changed {
+            self.exec_epoch += 1;
+        }
     }
 
     // ---- readings ----------------------------------------------------------
 
     pub fn time_ns(&self) -> Nanos {
         self.time_ns
+    }
+
+    /// Generation counter over the inputs of [`Machine::exec_context`]:
+    /// unchanged between two ticks ⇔ every CPU would execute the next tick
+    /// under the exact context it just used.
+    pub fn exec_epoch(&self) -> u64 {
+        self.exec_epoch
     }
 
     pub fn power(&self) -> &PowerReadings {

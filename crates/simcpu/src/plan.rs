@@ -1,0 +1,247 @@
+//! Exec-plan memoization (DESIGN.md §9).
+//!
+//! [`exec::advance`](crate::exec::advance) recomputes the analytic
+//! [`MissProfile`] and the full CPI model on every call — once per phase per
+//! core per tick, plus again for [`exec::llc_pressure`](crate::exec::llc_pressure).
+//! Both are pure functions of the phase *shape* and the execution context, and
+//! on a steady workload those inputs repeat tick after tick. A [`PlanCache`]
+//! memoizes the derived plan per core seat.
+//!
+//! Correctness does not rest on invalidation heuristics: a [`PlanKey`] carries
+//! **every** input the model reads — the nine phase-shape fields (bit-exact,
+//! via `f64::to_bits`), the µarch identity, the core and reference
+//! frequencies, the LLC share, and the contention/SMT factors. A hit therefore
+//! returns exactly the bits a fresh computation would produce; the hash only
+//! picks the direct-mapped slot, and a full key comparison guards every hit.
+//! The epoch counter (bumped by the kernel on fault/hotplug activity) is
+//! belt-and-braces: it drops all slots so no entry can outlive a
+//! fault-injection boundary even if a future input were missed by the key.
+//!
+//! The cache is a fixed inline array — no heap allocation, ever — so plan
+//! lookups keep the tick hot loop allocation-free (`tests/alloc_free.rs`).
+
+use crate::cache::analytic::MissProfile;
+use crate::exec::{ExecContext, ExecResult};
+use crate::phase::Phase;
+use crate::uarch::UarchParams;
+
+/// Direct-mapped slot count per core seat. A seat typically sees one or two
+/// live (phase shape × frequency) combinations at a time; 16 slots absorb
+/// DVFS transients without evicting the steady-state plan.
+pub const PLAN_SLOTS: usize = 16;
+
+/// Exact-match memoization key: every input `exec::advance` reads.
+///
+/// `f64` fields are stored as raw bits so the comparison is bit-exact, and
+/// the µarch is identified by the address of its `&'static UarchParams`.
+/// `Phase::instructions` is deliberately absent — the remaining instruction
+/// count never changes the derived plan, only how much of it is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanKey {
+    uarch: usize,
+    freq_khz: u64,
+    ref_khz: u64,
+    llc_share_bytes: u64,
+    mem_contention: u64,
+    smt_factor: u64,
+    mem_ref_rate: u64,
+    working_set: u64,
+    reuse_l1: u64,
+    reuse_l2: u64,
+    reuse_llc: u64,
+    flops_per_inst: u64,
+    vector_frac: u64,
+    branch_rate: u64,
+    branch_miss_rate: u64,
+}
+
+impl PlanKey {
+    /// Build the key for running `phase` under `ctx`.
+    pub fn new(phase: &Phase, ctx: &ExecContext<'_>) -> PlanKey {
+        PlanKey {
+            uarch: ctx.uarch as *const UarchParams as usize,
+            freq_khz: ctx.freq_khz,
+            ref_khz: ctx.ref_khz,
+            llc_share_bytes: ctx.llc_share_bytes,
+            mem_contention: ctx.mem_contention.to_bits(),
+            smt_factor: ctx.smt_factor.to_bits(),
+            mem_ref_rate: phase.mem_ref_rate.to_bits(),
+            working_set: phase.working_set,
+            reuse_l1: phase.reuse_l1.to_bits(),
+            reuse_l2: phase.reuse_l2.to_bits(),
+            reuse_llc: phase.reuse_llc.to_bits(),
+            flops_per_inst: phase.flops_per_inst.to_bits(),
+            vector_frac: phase.vector_frac.to_bits(),
+            branch_rate: phase.branch_rate.to_bits(),
+            branch_miss_rate: phase.branch_miss_rate.to_bits(),
+        }
+    }
+
+    /// FNV-1a over the key fields, used only for slot selection.
+    fn slot(&self) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            self.uarch as u64,
+            self.freq_khz,
+            self.llc_share_bytes,
+            self.mem_contention,
+            self.smt_factor,
+            self.mem_ref_rate,
+            self.working_set,
+            self.reuse_l1,
+            self.reuse_l2,
+            self.reuse_llc,
+            self.flops_per_inst,
+            self.vector_frac,
+            self.branch_rate,
+            self.branch_miss_rate,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h ^ (h >> 32)) as usize & (PLAN_SLOTS - 1)
+    }
+}
+
+/// A memoized plan: everything `advance` derives before it scales by the
+/// instruction count, plus a one-deep result cache for the common case of
+/// the same slice size recurring every tick.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEntry {
+    pub(crate) key: PlanKey,
+    /// `miss_profile(phase, uarch, llc_share_bytes)` — the CPI-path profile.
+    pub(crate) miss: MissProfile,
+    /// `cpi_with_profile(phase, ctx, &miss)`.
+    pub(crate) cpi: f64,
+    /// `llc_pressure(phase, uarch, llc_share_bytes)` (its own clamped-share
+    /// miss profile, so it is cached separately from `miss`).
+    pub(crate) pressure: f64,
+    /// Instruction count of the most recent slice built from this plan.
+    pub(crate) last_inst: u64,
+    /// The full result for `last_inst`, skipping the event-vector build.
+    pub(crate) last_result: Option<ExecResult>,
+}
+
+/// Per-core-seat plan cache: a fixed, inline, direct-mapped array.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    pub(crate) slots: [Option<PlanEntry>; PLAN_SLOTS],
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache {
+            slots: [None; PLAN_SLOTS],
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Adopt the owner's invalidation epoch, dropping every entry when it
+    /// moved since the last call. Hit/miss totals survive (they describe the
+    /// cache's lifetime, not one epoch).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.slots = [None; PLAN_SLOTS];
+        }
+    }
+
+    /// The slot `key` maps to, and whether it currently holds `key`'s plan.
+    /// Counts the lookup as a hit or a miss.
+    pub(crate) fn probe(&mut self, key: &PlanKey) -> (usize, bool) {
+        let slot = key.slot();
+        let hit = matches!(&self.slots[slot], Some(e) if e.key == *key);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        (slot, hit)
+    }
+
+    /// Lifetime (hits, misses) of plan lookups through this cache.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+    use crate::uarch::{GOLDEN_COVE, GRACEMONT};
+
+    fn ctx(khz: u64) -> ExecContext<'static> {
+        ExecContext {
+            uarch: &GOLDEN_COVE,
+            freq_khz: khz,
+            ref_khz: 2_100_000,
+            llc_share_bytes: 30 << 20,
+            mem_contention: 1.0,
+            smt_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn key_ignores_remaining_instructions_only() {
+        let a = Phase::dgemm(200_000, 8 << 20, 0.35);
+        let mut b = a.clone();
+        b.instructions = 77;
+        let c = ctx(3_000_000);
+        assert_eq!(PlanKey::new(&a, &c), PlanKey::new(&b, &c));
+        // …but every physical input distinguishes keys.
+        let mut hot = ctx(3_000_001);
+        assert_ne!(PlanKey::new(&a, &c), PlanKey::new(&a, &hot));
+        hot = ctx(3_000_000);
+        hot.uarch = &GRACEMONT;
+        assert_ne!(PlanKey::new(&a, &c), PlanKey::new(&a, &hot));
+        hot = ctx(3_000_000);
+        hot.smt_factor = 0.62;
+        assert_ne!(PlanKey::new(&a, &c), PlanKey::new(&a, &hot));
+    }
+
+    #[test]
+    fn planned_advance_is_bit_identical_and_hits() {
+        let p = Phase::dgemm(200_000, 8 << 20, 0.35);
+        let c = ctx(3_300_000);
+        let mut cache = PlanCache::new();
+        let fresh = exec::advance(&p, 1e6, &c);
+        for _ in 0..10 {
+            let planned = exec::advance_planned(&p, 1e6, &c, &mut cache);
+            assert_eq!(planned, fresh);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (9, 1));
+        // Pressure rides the same entry without extra misses.
+        let pr = exec::llc_pressure_planned(&p, &c, &mut cache);
+        assert_eq!(pr, exec::llc_pressure(&p, c.uarch, c.llc_share_bytes));
+        assert_eq!(cache.stats(), (10, 1));
+    }
+
+    #[test]
+    fn epoch_change_drops_entries() {
+        let p = Phase::scalar(1_000_000);
+        let c = ctx(3_000_000);
+        let mut cache = PlanCache::new();
+        let _ = exec::advance_planned(&p, 1e6, &c, &mut cache);
+        let _ = exec::advance_planned(&p, 1e6, &c, &mut cache);
+        assert_eq!(cache.stats().0, 1);
+        cache.set_epoch(1);
+        let _ = exec::advance_planned(&p, 1e6, &c, &mut cache);
+        assert_eq!(cache.stats(), (1, 2), "epoch bump forced a recompute");
+        cache.set_epoch(1);
+        let _ = exec::advance_planned(&p, 1e6, &c, &mut cache);
+        assert_eq!(cache.stats(), (2, 2), "same epoch keeps entries");
+    }
+}

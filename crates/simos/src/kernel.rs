@@ -28,7 +28,6 @@ use rand::SeedableRng;
 use simcpu::events::{ArchEvent, EventCounts};
 use simcpu::exec;
 use simcpu::machine::{CoreSeat, CpuLoad, Machine, MachineSpec};
-use simcpu::pmu::CorePmu;
 use simcpu::power::RaplDomain;
 use simcpu::types::{CoreType, CpuId, CpuMask, Nanos};
 use std::collections::HashMap;
@@ -53,9 +52,12 @@ pub enum Firmware {
 /// depend on cross-thread timing (see DESIGN.md §7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
+    /// Pick at boot: serial unless both the host and the simulated
+    /// machine have enough CPUs for the fan-out to pay for itself.
+    #[default]
+    Auto,
     /// Execute CPUs one after another on the calling thread (reference
     /// path; allocation-free in steady state).
-    #[default]
     Serial,
     /// Fan per-CPU execution out over `threads` host threads via
     /// `std::thread::scope`. `threads: 0` means "ask the host"
@@ -64,9 +66,10 @@ pub enum ExecMode {
 }
 
 impl ExecMode {
-    /// Parse `"serial"`, `"parallel"` or `"parallel:<n>"`.
+    /// Parse `"auto"`, `"serial"`, `"parallel"` or `"parallel:<n>"`.
     pub fn parse(s: &str) -> Option<ExecMode> {
         match s.trim() {
+            "auto" => Some(ExecMode::Auto),
             "serial" => Some(ExecMode::Serial),
             "parallel" => Some(ExecMode::Parallel { threads: 0 }),
             other => {
@@ -78,12 +81,56 @@ impl ExecMode {
         }
     }
 
-    /// Read `SIM_EXEC_MODE` from the environment (default: serial).
+    /// Read `SIM_EXEC_MODE` from the environment (default: auto).
+    ///
+    /// Panics on an unknown value — a typo'd mode silently falling back
+    /// to a default is exactly how benchmark numbers get mislabelled.
     pub fn from_env() -> ExecMode {
-        std::env::var("SIM_EXEC_MODE")
-            .ok()
-            .and_then(|s| ExecMode::parse(&s))
-            .unwrap_or_default()
+        match std::env::var("SIM_EXEC_MODE") {
+            Err(_) => ExecMode::default(),
+            Ok(v) => ExecMode::parse(&v).unwrap_or_else(|| {
+                panic!("SIM_EXEC_MODE: unknown value {v:?} (expected auto|serial|parallel|parallel:<n>)")
+            }),
+        }
+    }
+}
+
+/// Whether the tick loop may coalesce quiescent spans into macro-ticks
+/// (see [`Kernel::tick_batch`]). `Auto` and `Force` behave identically at
+/// runtime — the predicate gates every span either way — but `Force` in a
+/// test names the intent of pinning the feature on against a future Auto
+/// heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MacroTicks {
+    /// Never coalesce; `tick_batch` is a plain tick loop.
+    Off,
+    /// Coalesce whenever the quiescence predicate allows (default).
+    #[default]
+    Auto,
+    /// As `Auto`, pinned on explicitly.
+    Force,
+}
+
+impl MacroTicks {
+    /// Parse `"off"`, `"auto"` or `"force"`.
+    pub fn parse(s: &str) -> Option<MacroTicks> {
+        match s.trim() {
+            "off" => Some(MacroTicks::Off),
+            "auto" => Some(MacroTicks::Auto),
+            "force" => Some(MacroTicks::Force),
+            _ => None,
+        }
+    }
+
+    /// Read `SIM_MACRO_TICKS` from the environment (default: auto).
+    /// Panics on an unknown value, like [`ExecMode::from_env`].
+    pub fn from_env() -> MacroTicks {
+        match std::env::var("SIM_MACRO_TICKS") {
+            Err(_) => MacroTicks::default(),
+            Ok(v) => MacroTicks::parse(&v).unwrap_or_else(|| {
+                panic!("SIM_MACRO_TICKS: unknown value {v:?} (expected off|auto|force)")
+            }),
+        }
     }
 }
 
@@ -102,6 +149,12 @@ pub struct KernelConfig {
     pub firmware: Firmware,
     /// Serial or parallel per-CPU execution within a tick.
     pub exec_mode: ExecMode,
+    /// Memoize per-seat exec plans ([`simcpu::plan`]). Off recomputes the
+    /// miss profile / CPI / event vector from scratch every `advance` —
+    /// the reference the cached path is tested bit-identical against.
+    pub plan_cache: bool,
+    /// Quiescent-span coalescing policy for [`Kernel::tick_batch`].
+    pub macro_ticks: MacroTicks,
 }
 
 impl Default for KernelConfig {
@@ -112,7 +165,9 @@ impl Default for KernelConfig {
             mux_interval_ns: 4_000_000,
             seed: 0x5eed,
             firmware: Firmware::DeviceTree,
-            exec_mode: ExecMode::Serial,
+            exec_mode: ExecMode::Auto,
+            plan_cache: true,
+            macro_ticks: MacroTicks::Auto,
         }
     }
 }
@@ -178,7 +233,17 @@ struct CoreWork {
     /// Who ran here last tick (context-switch accounting).
     prev: Option<Pid>,
     ctx: exec::ExecContext<'static>,
+    /// Plan-cache invalidation epoch (the kernel's fault epoch); the seat
+    /// cache drops its entries when this moves.
+    plan_epoch: u64,
+    /// Whether to route `advance` through the seat's plan cache.
+    use_plan: bool,
 }
+
+/// Upper bound on recorded advance-iterations in a steady template. A
+/// steady tick runs the engine once or twice (full budget, then the
+/// sub-cycle remainder); anything past 8 is not worth replaying.
+const STEADY_ITERS: usize = 8;
 
 /// One core's outputs for the tick, written into its indexed slot.
 #[derive(Debug, Clone, Copy)]
@@ -189,6 +254,20 @@ struct CoreOut {
     /// (context-switched-in, migrated).
     sw: (bool, bool),
     ctrl: Option<CtrlOp>,
+    /// Whether this tick is a *steady template*: the task ran the same
+    /// phase end to end with no op pull, no phase completion, no control
+    /// op and no context switch — so an identical tick (same context,
+    /// enough instructions left) reproduces these outputs exactly.
+    steady: bool,
+    /// Instructions retired this tick (phase decrement during replay).
+    inst_total: u64,
+    /// Core cycles consumed this tick (task-stats replay).
+    cycles_total: u64,
+    /// Per-iteration flops, preserved individually because f64 addition
+    /// is not associative: replay must re-add them in the original order
+    /// to keep `TaskStats::flops` bit-identical.
+    flops_iters: [f64; STEADY_ITERS],
+    n_iters: u8,
 }
 
 impl Default for CoreOut {
@@ -199,6 +278,11 @@ impl Default for CoreOut {
             run_ns: 0,
             sw: (false, false),
             ctrl: None,
+            steady: false,
+            inst_total: 0,
+            cycles_total: 0,
+            flops_iters: [0.0; STEADY_ITERS],
+            n_iters: 0,
         }
     }
 }
@@ -222,6 +306,8 @@ struct TickScratch {
     run_ns: Vec<u64>,
     sw_meta: Vec<(bool, bool)>,
     slots: Vec<ExecSlot>,
+    /// Last tick's full per-CPU outputs — the macro-tick replay templates.
+    outs: Vec<CoreOut>,
 }
 
 impl TickScratch {
@@ -233,6 +319,7 @@ impl TickScratch {
             run_ns: vec![0; n],
             sw_meta: vec![(false, false); n],
             slots: (0..n).map(|_| ExecSlot::default()).collect(),
+            outs: vec![CoreOut::default(); n],
         }
     }
 }
@@ -272,6 +359,19 @@ pub struct Kernel {
     exec_threads: usize,
     /// Reusable per-tick buffers.
     scratch: TickScratch,
+    /// Bumped whenever a fault (or fault reversal) fires — the per-seat
+    /// plan caches drop their entries when this moves. Exec-context
+    /// changes (DVFS, LLC shares, contention) need no bump: they are in
+    /// the plan key itself.
+    fault_epoch: u64,
+    /// Total ticks advanced (real + replayed).
+    tick_count: u64,
+    /// Ticks advanced by macro-tick replay rather than full execution.
+    replayed_ticks: u64,
+    /// Whether the last real tick's `end_tick` left every exec context
+    /// (frequencies, LLC shares, contention) unchanged — the templates it
+    /// recorded are only valid for the next tick if so.
+    ctx_stable: bool,
 }
 
 impl Kernel {
@@ -288,11 +388,24 @@ impl Kernel {
             })
             .collect();
         let pmus = Self::register_pmus(&machine, cfg.firmware);
+        let host_threads = || {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        };
         let exec_threads = match cfg.exec_mode {
             ExecMode::Serial => 0,
-            ExecMode::Parallel { threads: 0 } => std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1),
+            // Auto: the fan-out only pays off with real host parallelism
+            // and enough simulated CPUs to amortise the thread scope.
+            ExecMode::Auto => {
+                let host = host_threads();
+                if host < 2 || n < 8 {
+                    0
+                } else {
+                    host
+                }
+            }
+            ExecMode::Parallel { threads: 0 } => host_threads(),
             ExecMode::Parallel { threads } => threads,
         };
         Kernel {
@@ -315,6 +428,10 @@ impl Kernel {
             core_types: machine.cpus().iter().map(|c| c.core_type()).collect(),
             exec_threads,
             scratch: TickScratch::new(n),
+            fault_epoch: 0,
+            tick_count: 0,
+            replayed_ticks: 0,
+            ctx_stable: false,
             machine,
             cfg,
         }
@@ -613,7 +730,9 @@ impl Kernel {
             return;
         };
         let now = self.time_ns;
+        let mut fired = false;
         while let Some((at, undo)) = fs.pop_due_undo(now) {
+            fired = true;
             match undo {
                 Undo::Reonline(cpu) => {
                     if let Some(slot) = self.online.get_mut(cpu.0) {
@@ -632,6 +751,7 @@ impl Kernel {
             }
         }
         while let Some(fe) = fs.pop_due(now) {
+            fired = true;
             match fe.kind {
                 FaultKind::CpuOffline { cpu, down_ns } => {
                     if self.online.get(cpu.0).copied() == Some(true) {
@@ -700,6 +820,13 @@ impl Kernel {
                     fs.record(now, format!("sysfs flaky for {dur_ns} ns"));
                 }
             }
+        }
+        if fired {
+            // A fault can change anything downstream of the exec model
+            // (hotplug, counter state, energy); cheap blanket invalidation
+            // of every seat's plan cache keeps the correctness argument
+            // local to the key.
+            self.fault_epoch += 1;
         }
         self.faults = Some(fs);
     }
@@ -1091,6 +1218,7 @@ impl Kernel {
         self.scratch.deltas.fill(EventCounts::ZERO);
         self.scratch.run_ns.fill(0);
         self.scratch.sw_meta.fill((false, false));
+        self.scratch.outs.fill(CoreOut::default());
         if self.exec_threads == 0 {
             self.exec_cores_serial(dt);
         } else {
@@ -1120,9 +1248,182 @@ impl Kernel {
         //    energy integrates in end_tick, so the perf counters must read
         //    *after* it — otherwise short measurement windows lag a tick).
         let mem_bytes: f64 = self.scratch.loads.iter().map(|l| l.mem_bytes).sum();
+        let epoch_before = self.machine.exec_epoch();
+        self.machine.end_tick(dt, &self.scratch.loads);
+        self.ctx_stable = self.machine.exec_epoch() == epoch_before;
+        self.perf_package_tick(dt, mem_bytes);
+        self.time_ns += dt;
+        self.tick_count += 1;
+    }
+
+    /// Advance the world by `n` ticks, coalescing quiescent spans into
+    /// macro-ticks when [`KernelConfig::macro_ticks`] allows.
+    ///
+    /// Bit-identical to calling [`Kernel::tick`] `n` times: a span is only
+    /// replayed when the previous tick proved (via its steady per-CPU
+    /// templates and the quiescence predicate) that full execution would
+    /// reproduce the same per-CPU outputs, and the cheap per-tick layers —
+    /// perf accounting, RAPL/thermal/DVFS integration, rotation clocks —
+    /// still run for real on every replayed tick.
+    pub fn tick_batch(&mut self, n: u64) {
+        let mut left = n;
+        while left > 0 {
+            self.tick();
+            left -= 1;
+            if left == 0 || self.cfg.macro_ticks == MacroTicks::Off {
+                continue;
+            }
+            let Some(span) = self.quiescent_span(left) else {
+                continue;
+            };
+            for _ in 0..span {
+                let ctx_stable = self.replay_tick();
+                left -= 1;
+                if !ctx_stable {
+                    // end_tick moved a frequency / LLC share / contention
+                    // figure: the tick just replayed is still exact (a new
+                    // context applies from the *next* tick), but the
+                    // templates are stale from here on.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// How many ticks past the current one may be fast-forwarded by
+    /// replaying last tick's per-CPU templates, or `None` if the world is
+    /// not quiescent. Requires, conservatively:
+    ///
+    /// * every task Exited, or Running exactly where `current` says —
+    ///   with no Runnable/Sleeping/Blocked task anywhere, the scheduler
+    ///   pass is provably a no-op (nothing to wake, place or preempt);
+    /// * no pending instrumentation hooks;
+    /// * every occupied CPU's last tick was a steady template, with
+    ///   enough phase instructions left that no replayed tick (nor the
+    ///   first real tick after) hits the end-of-phase clamp;
+    /// * no fault or fault-undo coming due inside the span.
+    fn quiescent_span(&self, left: u64) -> Option<u64> {
+        if !self.ctx_stable || !self.pending_hooks.is_empty() {
+            return None;
+        }
+        for t in self.tasks.iter().flatten() {
+            match t.state {
+                TaskState::Exited => {}
+                TaskState::Running(cpu) => {
+                    if self.current.get(cpu.0).copied().flatten() != Some(t.pid) {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        let mut span = left;
+        for (ci, slot) in self.current.iter().enumerate() {
+            let Some(pid) = *slot else {
+                continue;
+            };
+            if !self.online[ci] {
+                return None;
+            }
+            let out = &self.scratch.outs[ci];
+            if !out.steady || out.inst_total == 0 {
+                return None;
+            }
+            let ph = self.tasks[pid.0 as usize]
+                .as_ref()
+                .and_then(|t| t.current.as_ref())?;
+            // `advance` clamps to the instructions left in the phase; the
+            // templates are only valid while that clamp cannot engage.
+            // Keeping two spare ticks of headroom covers both the last
+            // replayed tick and the real tick that follows it.
+            let headroom = (ph.instructions / out.inst_total).saturating_sub(2);
+            if headroom == 0 {
+                return None;
+            }
+            span = span.min(headroom);
+        }
+        // Faults fire at the start of the tick whose time has reached
+        // their deadline; every replayed tick skips that check, so the
+        // span must stop short of the first due time.
+        if let Some(due) = self.faults.as_ref().and_then(|f| f.next_due_ns()) {
+            if due <= self.time_ns {
+                return None;
+            }
+            span = span.min((due - self.time_ns).div_ceil(self.cfg.tick_ns));
+        }
+        if span == 0 {
+            None
+        } else {
+            Some(span)
+        }
+    }
+
+    /// Fast-forward one tick by replaying last tick's per-CPU templates:
+    /// phase/stat/PMU deltas come from the recorded outputs, while perf
+    /// accounting, the hardware tick and package counters run for real.
+    /// Returns whether the exec contexts survived `end_tick` unchanged
+    /// (i.e. whether the templates are still valid for another tick).
+    fn replay_tick(&mut self) -> bool {
+        let dt = self.cfg.tick_ns;
+        let n = self.machine.n_cpus();
+        for ci in 0..n {
+            let out = self.scratch.outs[ci];
+            let Some(pid) = self.current[ci] else {
+                self.scratch.loads[ci] = CpuLoad::default();
+                self.scratch.deltas[ci] = EventCounts::ZERO;
+                self.scratch.run_ns[ci] = 0;
+                self.scratch.sw_meta[ci] = (false, false);
+                continue;
+            };
+            let task = self.tasks[pid.0 as usize]
+                .as_mut()
+                .expect("quiescent span: scheduled pid has a task");
+            let ph = task
+                .current
+                .as_mut()
+                .expect("quiescent span: running task has a phase");
+            ph.instructions -= out.inst_total;
+            task.stats.instructions += out.inst_total;
+            task.stats.cycles += out.cycles_total;
+            // f64 addition is order-sensitive: re-add per-iteration flops
+            // exactly as `exec_core` would have.
+            for i in 0..out.n_iters as usize {
+                task.stats.flops += out.flops_iters[i];
+            }
+            let ct_idx = core_type_index(self.core_types[ci]);
+            task.stats.instructions_by_type[ct_idx] += out.inst_total;
+            task.stats.runtime_ns += out.run_ns;
+            task.stats.runtime_ns_by_type[ct_idx] += out.run_ns;
+            task.charge_vruntime(out.run_ns);
+            self.scratch.loads[ci] = out.load;
+            self.scratch.deltas[ci] = out.delta;
+            self.scratch.run_ns[ci] = out.run_ns;
+            self.scratch.sw_meta[ci] = out.sw;
+            self.machine.seats_mut()[ci].pmu.apply(&out.delta);
+        }
+        self.perf_tick(dt);
+        let mem_bytes: f64 = self.scratch.loads.iter().map(|l| l.mem_bytes).sum();
+        let epoch_before = self.machine.exec_epoch();
         self.machine.end_tick(dt, &self.scratch.loads);
         self.perf_package_tick(dt, mem_bytes);
         self.time_ns += dt;
+        self.tick_count += 1;
+        self.replayed_ticks += 1;
+        self.machine.exec_epoch() == epoch_before
+    }
+
+    /// Plan-cache statistics summed over every seat: `(hits, misses)`.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.machine
+            .seats()
+            .iter()
+            .map(|s| s.plan.stats())
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
+    }
+
+    /// Macro-tick statistics: `(replayed_ticks, total_ticks)`.
+    pub fn macro_stats(&self) -> (u64, u64) {
+        (self.replayed_ticks, self.tick_count)
     }
 
     /// Stage [`CoreWork`] for `cpu` if a task is scheduled there.
@@ -1140,6 +1441,8 @@ impl Kernel {
             cpu,
             prev: self.scratch.prev_current[cpu_idx],
             ctx: self.machine.exec_context(cpu, smt_busy),
+            plan_epoch: self.fault_epoch,
+            use_plan: self.cfg.plan_cache,
         })
     }
 
@@ -1177,10 +1480,11 @@ impl Kernel {
                 self.tasks[pid.0 as usize]
                     .as_mut()
                     .expect("scheduled pid has a task"),
-                &mut self.machine.seats_mut()[cpu_idx].pmu,
+                &mut self.machine.seats_mut()[cpu_idx],
                 &mut out,
             );
             self.apply_core_out(cpu_idx, pid, &out);
+            self.scratch.outs[cpu_idx] = out;
         }
     }
 
@@ -1248,6 +1552,7 @@ impl Kernel {
             };
             self.tasks[pid.0 as usize] = Some(task);
             self.apply_core_out(cpu_idx, pid, &out);
+            self.scratch.outs[cpu_idx] = out;
         }
     }
 
@@ -1583,15 +1888,7 @@ fn run_core_chunk(
             continue;
         };
         let task = slot.task.as_mut().expect("staged slot has its task");
-        exec_core(
-            dt,
-            now,
-            work,
-            core_types,
-            task,
-            &mut seat.pmu,
-            &mut slot.out,
-        );
+        exec_core(dt, now, work, core_types, task, seat, &mut slot.out);
     }
 }
 
@@ -1608,7 +1905,7 @@ fn exec_core(
     work: &CoreWork,
     core_types: &[CoreType],
     task: &mut Task,
-    pmu: &mut CorePmu,
+    seat: &mut CoreSeat,
     out: &mut CoreOut,
 ) {
     let cpu = work.cpu;
@@ -1623,6 +1920,7 @@ fn exec_core(
 
     let core_type = core_types[cpu.0];
     let ct_idx = core_type_index(core_type);
+    seat.plan.set_epoch(work.plan_epoch);
 
     // Context-switch and migration accounting.
     let switched_in = work.prev != Some(work.pid);
@@ -1638,6 +1936,12 @@ fn exec_core(
     }
     task.last_cpu = Some(cpu);
     out.sw = (switched_in, migrated);
+    // A tick is a replayable steady template only if the task entered it
+    // mid-phase and left it mid-phase with nothing but plain `advance`
+    // calls in between (no op pull, no completion, no control op, no
+    // context switch): exactly those ticks are input-identical to the
+    // next one modulo the shrinking instruction count.
+    out.steady = !switched_in && task.current.is_some();
 
     loop {
         let budget = cycles_avail - used;
@@ -1646,6 +1950,7 @@ fn exec_core(
         }
         // Ensure there is a current phase.
         if task.current.is_none() {
+            out.steady = false;
             let op = task.injected.pop_front().unwrap_or_else(|| {
                 task.program.next(&ProgCtx {
                     pid: work.pid,
@@ -1683,7 +1988,11 @@ fn exec_core(
         }
         // Advance the current phase.
         let ph = task.current.as_mut().unwrap();
-        let res = exec::advance(ph, budget, ctx);
+        let res = if work.use_plan {
+            exec::advance_planned(ph, budget, ctx, &mut seat.plan)
+        } else {
+            exec::advance(ph, budget, ctx)
+        };
         if res.instructions == 0 {
             // Cannot fit even one instruction in the leftover budget:
             // burn it (partial-cycle stall).
@@ -1695,7 +2004,16 @@ fn exec_core(
         let vec_frac = ph.vector_frac;
         if phase_done {
             task.current = None;
+            out.steady = false;
         }
+        if (out.n_iters as usize) < STEADY_ITERS {
+            out.flops_iters[out.n_iters as usize] = res.flops;
+            out.n_iters += 1;
+        } else {
+            out.steady = false;
+        }
+        out.inst_total += res.instructions;
+        out.cycles_total += res.cycles;
         task.stats.instructions += res.instructions;
         task.stats.cycles += res.cycles;
         task.stats.flops += res.flops;
@@ -1712,8 +2030,15 @@ fn exec_core(
         flops += res.flops;
         let _ = flops;
         if let Some(cur) = task.current.as_ref() {
-            pressure = exec::llc_pressure(cur, ctx.uarch, ctx.llc_share_bytes);
+            pressure = if work.use_plan {
+                exec::llc_pressure_planned(cur, ctx, &mut seat.plan)
+            } else {
+                exec::llc_pressure(cur, ctx.uarch, ctx.llc_share_bytes)
+            };
         }
+    }
+    if out.ctrl.is_some() || task.current.is_none() {
+        out.steady = false;
     }
 
     let util = (used / cycles_avail).clamp(0.0, 1.0);
@@ -1731,7 +2056,7 @@ fn exec_core(
     out.delta = tick_events;
     // Mirror counting into the physical PMU slots (48-bit wrap exercised
     // at the hardware layer).
-    pmu.apply(&tick_events);
+    seat.pmu.apply(&tick_events);
 }
 
 /// Drive a kernel handle until all tasks exit, dispatching instrumentation
@@ -2873,6 +3198,7 @@ mod tests {
 
     #[test]
     fn exec_mode_parses() {
+        assert_eq!(ExecMode::parse("auto"), Some(ExecMode::Auto));
         assert_eq!(ExecMode::parse("serial"), Some(ExecMode::Serial));
         assert_eq!(
             ExecMode::parse("parallel"),
@@ -2884,6 +3210,75 @@ mod tests {
         );
         assert_eq!(ExecMode::parse("parallel:x"), None);
         assert_eq!(ExecMode::parse("turbo"), None);
+        assert_eq!(ExecMode::default(), ExecMode::Auto);
+    }
+
+    #[test]
+    fn macro_ticks_parses() {
+        assert_eq!(MacroTicks::parse("off"), Some(MacroTicks::Off));
+        assert_eq!(MacroTicks::parse("auto"), Some(MacroTicks::Auto));
+        assert_eq!(MacroTicks::parse("force"), Some(MacroTicks::Force));
+        assert_eq!(MacroTicks::parse("on"), None);
+    }
+
+    /// The batched tick loop must be bit-identical to the plain one, and
+    /// must actually coalesce on a long steady phase.
+    #[test]
+    fn tick_batch_matches_single_ticks() {
+        let observe = |k: &Kernel| {
+            let mut v: Vec<(u64, u64, u64, u64)> = Vec::new();
+            for pid in 0..k.tasks.len() {
+                if let Some(st) = k.task_stats(Pid(pid as u32)) {
+                    v.push((
+                        st.instructions,
+                        st.cycles,
+                        st.flops.to_bits(),
+                        st.runtime_ns,
+                    ));
+                }
+            }
+            v
+        };
+        let boot = |macro_ticks: MacroTicks| {
+            let mut k = Kernel::boot(
+                MachineSpec::skylake_quad(),
+                KernelConfig {
+                    exec_mode: ExecMode::Serial,
+                    macro_ticks,
+                    ..Default::default()
+                },
+            );
+            for cpu in 0..2usize {
+                let pid = k.spawn(
+                    &format!("steady{cpu}"),
+                    Box::new(ScriptedProgram::new([Op::Compute(Phase::scalar(
+                        20_000_000_000,
+                    ))])),
+                    CpuMask::from_cpus([cpu]),
+                    0,
+                );
+                let _ = pid;
+            }
+            k
+        };
+        let mut forced = boot(MacroTicks::Force);
+        let mut off = boot(MacroTicks::Off);
+        forced.tick_batch(500);
+        off.tick_batch(500);
+        assert_eq!(forced.time_ns(), off.time_ns());
+        assert_eq!(observe(&forced), observe(&off));
+        assert_eq!(
+            forced
+                .machine()
+                .energy_uj(simcpu::power::RaplDomain::Package),
+            off.machine().energy_uj(simcpu::power::RaplDomain::Package)
+        );
+        let (replayed, total) = forced.macro_stats();
+        assert_eq!(total, 500);
+        // The first ~150 ms are a DVFS ramp (a new frequency every tick,
+        // so no tick is replayable); the steady region coalesces.
+        assert!(replayed > 250, "steady phase should coalesce: {replayed}");
+        assert_eq!(off.macro_stats().0, 0);
     }
 
     /// Boot a kernel in the given mode with a mixed workload: more tasks

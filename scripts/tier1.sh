@@ -39,6 +39,12 @@ echo "== tick throughput (quick, emits BENCH_tick.json) =="
 # bit-for-bit); speedup depends on host_cpus and is judged by the reader.
 cargo run --offline --release -p bench-harness --bin tickbench -- --quick
 
+echo "== exec hot path (quick, emits BENCH_exec.json) =="
+# Hard gate inside: raptor_lake_i7_13700 per-tick serial ticks/s must stay
+# at or above the pre-plan-cache PR-3 baseline recorded in the JSON — a
+# hot-path regression exits nonzero and fails tier1.
+cargo run --offline --release -p bench-harness --bin execbench -- --quick
+
 echo "== metricsd load smoke (quick, emits BENCH_metricsd.json) =="
 # Hard gates inside: counter digests bit-identical across 1/4/8 worker
 # shards AND vs a serial single-client reference; the deliberately slow

@@ -10,7 +10,7 @@
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
 use simcpu::types::CpuMask;
-use simos::kernel::{Kernel, KernelConfig};
+use simos::kernel::{ExecMode, Kernel, KernelConfig};
 use simos::task::Op;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,7 +38,15 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_tick_is_allocation_free() {
-    let mut k = Kernel::boot(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
+    // Serial explicitly: `ExecMode::Auto` may pick the parallel path on a
+    // multicore host, and `thread::scope` allocates per tick by design.
+    let mut k = Kernel::boot(
+        MachineSpec::raptor_lake_i7_13700(),
+        KernelConfig {
+            exec_mode: ExecMode::Serial,
+            ..Default::default()
+        },
+    );
     let n = k.machine().n_cpus();
     // One immortal compute-bound worker per CPU, pinned so the scheduler
     // reaches a fixed point (no migrations, no run-queue churn).

@@ -15,7 +15,7 @@ use simcpu::phase::Phase;
 use simcpu::power::RaplDomain;
 use simcpu::types::{CpuId, CpuMask};
 use simos::faults::{FaultKind, FaultPlan, TransientErrno};
-use simos::kernel::{ExecMode, Kernel, KernelConfig};
+use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
 use simos::perf::{EventConfig, EventFd, PerfAttr, PmuKind, RaplConfig, Target, UncoreConfig};
 use simos::task::{Op, Pid, ScriptedProgram};
 
@@ -237,49 +237,73 @@ fn open_events(k: &mut Kernel) -> Vec<EventFd> {
     fds
 }
 
+/// The mid-run `perf_event_open` at tick 201: draws its wrap bias from the
+/// kernel RNG and races the TransientOpen fault — both must replay
+/// identically whichever tick loop got us here.
+fn mid_open(k: &mut Kernel, fds: &mut Vec<EventFd>, h: &mut Fnv) {
+    let core = k
+        .pmus()
+        .iter()
+        .find(|p| p.kind == PmuKind::CoreHw)
+        .map(|p| p.id)
+        .unwrap();
+    match k.perf_event_open(
+        PerfAttr::counting(core, ArchEvent::RefCycles),
+        Target::Cpu(CpuId(0)),
+        None,
+    ) {
+        Ok(fd) => {
+            k.ioctl_enable(fd, false).unwrap();
+            fds.push(fd);
+            h.str("open:ok");
+        }
+        Err(e) => h.str(&format!("open:{e:?}")),
+    }
+}
+
 /// Run the scenario for 400 ticks and fold all observable state into a hash.
 fn run_case(spec: MachineSpec, mode: ExecMode) -> u64 {
-    let mut k = Kernel::boot(
+    run_case_cfg(
         spec,
         KernelConfig {
             exec_mode: mode,
             seed: 0x5eed_cafe,
             ..Default::default()
         },
-    );
+        false,
+    )
+}
+
+/// [`run_case`] with full config control. `batched: true` drives the run
+/// through two `tick_batch` calls (the mid-run open splitting them) instead
+/// of 400 individual `tick`s — the result must be bit-identical either way.
+fn run_case_cfg(spec: MachineSpec, cfg: KernelConfig, batched: bool) -> u64 {
+    let mut k = Kernel::boot(spec, cfg);
     spawn_workload(&mut k);
     let mut fds = open_events(&mut k);
     k.install_faults(&fault_plan());
 
     let mut h = Fnv::new();
-    for step in 0..400 {
-        k.tick();
-        if step == 200 {
-            // A mid-run open draws its wrap bias from the kernel RNG and
-            // races the TransientOpen fault — both must replay identically.
-            let core = k
-                .pmus()
-                .iter()
-                .find(|p| p.kind == PmuKind::CoreHw)
-                .map(|p| p.id)
-                .unwrap();
-            match k.perf_event_open(
-                PerfAttr::counting(core, ArchEvent::RefCycles),
-                Target::Cpu(CpuId(0)),
-                None,
-            ) {
-                Ok(fd) => {
-                    k.ioctl_enable(fd, false).unwrap();
-                    fds.push(fd);
-                    h.str("open:ok");
-                }
-                Err(e) => h.str(&format!("open:{e:?}")),
+    if batched {
+        k.tick_batch(201);
+        mid_open(&mut k, &mut fds, &mut h);
+        k.tick_batch(199);
+    } else {
+        for step in 0..400 {
+            k.tick();
+            if step == 200 {
+                mid_open(&mut k, &mut fds, &mut h);
             }
         }
     }
+    digest(&mut k, &fds, &mut h);
+    h.0
+}
 
+/// Fold every class of observable state into the hash.
+fn digest(k: &mut Kernel, fds: &[EventFd], h: &mut Fnv) {
     // 1. Every perf event read (value + the three clocks), errors included.
-    for &fd in &fds {
+    for &fd in fds {
         match k.read_event(fd) {
             Ok(v) => {
                 h.u64(v.value);
@@ -335,7 +359,6 @@ fn run_case(spec: MachineSpec, mode: ExecMode) -> u64 {
     for ci in 0..k.machine().n_cpus() {
         h.u64(k.machine().freq_khz(CpuId(ci)));
     }
-    h.0
 }
 
 fn conformance(name: &str, spec: fn() -> MachineSpec) {
@@ -352,6 +375,73 @@ fn conformance(name: &str, spec: fn() -> MachineSpec) {
             "{name}: parallel:{threads} diverged from serial"
         );
     }
+    macro_conformance(name, spec, golden);
+}
+
+/// Macro-tick conformance: `tick_batch` with quiescent coalescing forced on
+/// and forced off must both reproduce the per-tick serial golden hash, even
+/// with the full fault plan and the mid-run open in play.
+fn macro_conformance(name: &str, spec: fn() -> MachineSpec, golden: u64) {
+    for macro_ticks in [MacroTicks::Force, MacroTicks::Off] {
+        let h = run_case_cfg(
+            spec(),
+            KernelConfig {
+                exec_mode: ExecMode::Serial,
+                seed: 0x5eed_cafe,
+                macro_ticks,
+                ..Default::default()
+            },
+            true,
+        );
+        assert_eq!(
+            golden, h,
+            "{name}: batched run with macro_ticks={macro_ticks:?} diverged from per-tick serial"
+        );
+    }
+}
+
+/// A workload built to coalesce: immortal pinned compute tasks whose phases
+/// outlive the run. After the DVFS ramp settles the kernel must fast-forward
+/// most ticks, and the digest must still match the non-coalesced run.
+#[test]
+fn macro_ticks_coalesce_and_match() {
+    let run = |macro_ticks: MacroTicks| {
+        let mut k = Kernel::boot(
+            MachineSpec::skylake_quad(),
+            KernelConfig {
+                exec_mode: ExecMode::Serial,
+                seed: 0x5eed_cafe,
+                macro_ticks,
+                ..Default::default()
+            },
+        );
+        let n = k.machine().n_cpus();
+        for i in 0..n {
+            k.spawn(
+                &format!("w{i}"),
+                Box::new(move |_: &simos::task::ProgCtx| {
+                    Op::Compute(Phase::scalar(20_000_000_000))
+                }),
+                CpuMask::from_cpus([i]),
+                0,
+            );
+        }
+        k.tick_batch(500);
+        let mut h = Fnv::new();
+        digest(&mut k, &[], &mut h);
+        (h.0, k.macro_stats())
+    };
+    let (forced, (replayed, total)) = run(MacroTicks::Force);
+    let (off, (off_replayed, _)) = run(MacroTicks::Off);
+    assert_eq!(forced, off, "macro-tick digest diverged from per-tick run");
+    assert_eq!(total, 500);
+    assert_eq!(off_replayed, 0, "MacroTicks::Off must never coalesce");
+    // The DVFS slew ramp (~143 ticks on skylake_quad) is correctly
+    // non-replayable; the steady tail after it must coalesce.
+    assert!(
+        replayed > 250,
+        "steady phases should coalesce most of the run: {replayed}"
+    );
 }
 
 #[test]

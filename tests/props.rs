@@ -3,13 +3,15 @@
 use proptest::prelude::*;
 use simcpu::cache::setassoc::{Access, SetAssocCache};
 use simcpu::cache::CacheGeometry;
+use simcpu::events::ArchEvent;
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
 use simcpu::power::energy_delta_uj;
-use simcpu::types::CpuMask;
-use simos::kernel::{Kernel, KernelConfig};
+use simcpu::types::{CpuId, CpuMask};
+use simos::faults::{FaultKind, FaultPlan, TransientErrno};
+use simos::kernel::{ExecMode, Kernel, KernelConfig};
 use simos::perf::{PerfAttr, Target};
-use simos::task::{Op, ScriptedProgram};
+use simos::task::{Op, Pid, ScriptedProgram};
 
 /// A random but valid compute phase.
 fn arb_phase() -> impl Strategy<Value = Phase> {
@@ -309,6 +311,108 @@ proptest! {
         let serial = boot(simos::kernel::ExecMode::Serial);
         let parallel = boot(simos::kernel::ExecMode::Parallel { threads });
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Exec-plan cache invalidation: with DVFS ramps, hotplug and every
+    /// fault kind interleaved at random times, a kernel with the plan cache
+    /// enabled must stay bit-identical to one that recomputes every model
+    /// input from scratch (`plan_cache: false`). A stale cache entry —
+    /// e.g. one surviving a frequency change or an LLC-share shift after a
+    /// CPU offline — would shift CPI and show up in the digest.
+    #[test]
+    fn plan_cache_equals_uncached(
+        phases in proptest::collection::vec(arb_phase(), 2..6),
+        fault_picks in proptest::collection::vec((0usize..7, 1u64..110), 1..8),
+        ticks in 40u64..120,
+    ) {
+        let mut plan = FaultPlan::new(0xfaceb00c);
+        for &(kind, at_ms) in &fault_picks {
+            let at = at_ms * 1_000_000;
+            plan = match kind {
+                0 => plan.at(at, FaultKind::CpuOffline {
+                    cpu: CpuId(1),
+                    down_ns: Some(30_000_000),
+                }),
+                1 => plan.at(at, FaultKind::NmiWatchdog {
+                    steal: ArchEvent::Instructions,
+                    hold_ns: Some(20_000_000),
+                }),
+                2 => plan.at(at, FaultKind::TransientOpen {
+                    errno: TransientErrno::Ebusy,
+                    count: 1,
+                }),
+                3 => plan.at(at, FaultKind::TransientRead {
+                    errno: TransientErrno::Eintr,
+                    count: 2,
+                }),
+                4 => plan.at(at, FaultKind::CounterWrap { headroom: 1_000_000 }),
+                5 => plan.at(at, FaultKind::RaplWrapBurst { wraps: 1, extra_uj: 5_000 }),
+                _ => plan.at(at, FaultKind::SysfsFlaky { dur_ns: 10_000_000 }),
+            };
+        }
+        let run = |plan_cache: bool| -> u64 {
+            let mut k = Kernel::boot(
+                MachineSpec::skylake_quad(),
+                KernelConfig {
+                    exec_mode: ExecMode::Serial,
+                    plan_cache,
+                    seed: 0x5eed_cafe,
+                    ..Default::default()
+                },
+            );
+            let n = k.machine().n_cpus();
+            for (i, ph) in phases.iter().enumerate() {
+                let mask = if i % 2 == 0 {
+                    CpuMask::from_cpus([i % n])
+                } else {
+                    CpuMask::first_n(n)
+                };
+                k.spawn(
+                    "w",
+                    Box::new(ScriptedProgram::new([
+                        Op::Compute(ph.clone()),
+                        Op::Compute(Phase::scalar(40_000_000)),
+                        Op::Exit,
+                    ])),
+                    mask,
+                    0,
+                );
+            }
+            k.install_faults(&plan);
+            for _ in 0..ticks {
+                k.tick();
+            }
+            // FNV-1a over everything the exec model influences.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut fold = |v: u64| {
+                for b in v.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            };
+            let mut pid = 0;
+            while let Some(s) = k.task_stats(Pid(pid)) {
+                fold(s.instructions);
+                fold(s.cycles);
+                fold(s.runtime_ns);
+                fold(s.flops.to_bits());
+                pid += 1;
+            }
+            for ci in 0..n {
+                let p = k.machine().pmu(CpuId(ci));
+                for i in 0..p.n_fixed() {
+                    fold(p.read_fixed(i).unwrap());
+                }
+                for i in 0..p.n_gp() {
+                    fold(p.read_gp(i).unwrap());
+                }
+                fold(k.machine().freq_khz(CpuId(ci)));
+            }
+            fold(k.machine().energy_uj(simcpu::power::RaplDomain::Package));
+            fold(k.fault_log().len() as u64);
+            h
+        };
+        prop_assert_eq!(run(true), run(false));
     }
 }
 
