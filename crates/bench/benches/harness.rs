@@ -29,7 +29,13 @@ fn forever_task(kernel: &KernelHandle, cpus: CpuMask) -> simos::task::Pid {
 fn bench_papi_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("papi_read");
     for (label, events) in [
-        ("1group", vec!["adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"]),
+        (
+            "1group",
+            vec![
+                "adl_glc::INST_RETIRED:ANY",
+                "adl_glc::CPU_CLK_UNHALTED:THREAD",
+            ],
+        ),
         (
             "2groups",
             vec![
@@ -40,10 +46,8 @@ fn bench_papi_read(c: &mut Criterion) {
             ],
         ),
     ] {
-        let kernel = Kernel::boot_handle(
-            MachineSpec::raptor_lake_i7_13700(),
-            KernelConfig::default(),
-        );
+        let kernel =
+            Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), KernelConfig::default());
         let pid = forever_task(&kernel, CpuMask::from_cpus([0, 16]));
         let mut papi = Papi::init(kernel.clone()).unwrap();
         let es = papi.create_eventset();
@@ -101,9 +105,7 @@ fn bench_kernel_tick(c: &mut Criterion) {
         for i in 0..ntasks {
             forever_task(&kernel, CpuMask::from_cpus([i % 24]));
         }
-        group.bench_function(label, |b| {
-            b.iter(|| kernel.lock().tick())
-        });
+        group.bench_function(label, |b| b.iter(|| kernel.lock().tick()));
     }
     group.finish();
 }

@@ -39,8 +39,11 @@ fn main() {
         println!(
             "\n{}",
             ascii_chart(
-                &format!("Fig 1({}) {} — core frequency (MHz) vs time (s)",
-                    ['a', 'b'][idx], variant.name()),
+                &format!(
+                    "Fig 1({}) {} — core frequency (MHz) vs time (s)",
+                    ['a', 'b'][idx],
+                    variant.name()
+                ),
                 "MHz",
                 &[("P cores", &p_series), ("E cores", &e_series)],
                 76,

@@ -35,7 +35,6 @@ fn main() {
     std::thread::scope(|s| {
         let handles: Vec<_> = sets
             .iter()
-            
             .map(|(_, cpus)| {
                 let cpus = *cpus;
                 let driver = driver.clone();
@@ -43,7 +42,9 @@ fn main() {
                 s.spawn(move || {
                     let kernel = orangepi_kernel();
                     let runs: Vec<_> = (0..driver.n_runs)
-                        .map(|r| monitored_hpl_run(&kernel, &cfg, HplVariant::OpenBlas, cpus, &driver, r))
+                        .map(|r| {
+                            monitored_hpl_run(&kernel, &cfg, HplVariant::OpenBlas, cpus, &driver, r)
+                        })
                         .collect();
                     telemetry::average_runs(&runs).expect("n_runs >= 1")
                 })
@@ -72,7 +73,11 @@ fn main() {
     println!(
         "\n4 little vs 2 big: {:+.1}% time ({}; paper: little FASTER due to big-core throttling)",
         (t_4little - t_2big) / t_2big * 100.0,
-        if t_4little < t_2big { "little faster ✓" } else { "little slower ✗" },
+        if t_4little < t_2big {
+            "little faster ✓"
+        } else {
+            "little slower ✗"
+        },
     );
     println!(
         "all 6 vs 4 little: {:+.1}% time (paper: only minimal improvement)",

@@ -91,9 +91,7 @@ fn run_legacy(cpus: CpuMask, label: &str, with_noise: bool) {
     }
     let n = results.len().max(1);
     let avg: u64 = results.iter().map(|v| v[0].1).sum::<u64>() / n as u64;
-    println!(
-        "  legacy, {label:<22} glc::INST_RETIRED avg = {avg:>9}   (adding grt event: {err})"
-    );
+    println!("  legacy, {label:<22} glc::INST_RETIRED avg = {avg:>9}   (adding grt event: {err})");
 }
 
 fn papi_kernel(k: &simos::kernel::KernelHandle) -> simos::kernel::KernelHandle {
@@ -104,8 +102,16 @@ fn main() {
     header("§IV.F — papi_hybrid_100m_one_eventset (1 M instructions × 100)");
 
     println!("\nOriginal PAPI (one PMU per EventSet): count depends on pinning —");
-    run_legacy(CpuMask::parse_cpulist("0").unwrap(), "taskset P-core (cpu 0)", false);
-    run_legacy(CpuMask::parse_cpulist("16").unwrap(), "taskset E-core (cpu 16)", false);
+    run_legacy(
+        CpuMask::parse_cpulist("0").unwrap(),
+        "taskset P-core (cpu 0)",
+        false,
+    );
+    run_legacy(
+        CpuMask::parse_cpulist("16").unwrap(),
+        "taskset E-core (cpu 16)",
+        false,
+    );
     run_legacy(CpuMask::first_n(24), "unpinned (noisy system)", true);
 
     println!("\nPatched PAPI (multi-PMU EventSet):");
@@ -114,9 +120,7 @@ fn main() {
     println!("  Average instructions p: {:.0} e: {:.0}", p, e);
     println!("  paper example:          p: 836848 e: 167487");
     let total = p + e;
-    println!(
-        "  sum: {total:.0} (expected ≈1,000,000 + library overhead; paper sums to 1,004,335)"
-    );
+    println!("  sum: {total:.0} (expected ≈1,000,000 + library overhead; paper sums to 1,004,335)");
     let e_share = e / total * 100.0;
     println!("  E-core share: {e_share:.1}% (paper: 16.7%)");
 

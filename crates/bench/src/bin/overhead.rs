@@ -71,7 +71,10 @@ fn main() {
     let scenarios = [
         Scenario {
             label: "1 group  (P events only)",
-            events: &["adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"],
+            events: &[
+                "adl_glc::INST_RETIRED:ANY",
+                "adl_glc::CPU_CLK_UNHALTED:THREAD",
+            ],
         },
         Scenario {
             label: "2 groups (P + E events)",
@@ -129,7 +132,13 @@ fn main() {
     papi.add_named(es, "adl_glc::INST_RETIRED:ANY").unwrap();
     papi.add_named(es, "adl_grt::INST_RETIRED:ANY").unwrap();
     let _ = papi
-        .run_instrumented_task(es, workloads::HOOK_START, workloads::HOOK_STOP, pid, 600_000_000_000)
+        .run_instrumented_task(
+            es,
+            workloads::HOOK_START,
+            workloads::HOOK_STOP,
+            pid,
+            600_000_000_000,
+        )
         .unwrap();
     let s = papi.syscall_stats();
     println!(

@@ -17,16 +17,36 @@ fn main() {
     loop {
         let (t, fp, fe, pw, temp) = {
             let mut k = kernel.lock();
-            for _ in 0..16 { k.tick(); }
-            (k.time_ns(), k.machine().freq_khz(CpuId(0)), k.machine().freq_khz(CpuId(16)),
-             k.machine().power().pkg_w, k.machine().thermal().temp_c())
+            for _ in 0..16 {
+                k.tick();
+            }
+            (
+                k.time_ns(),
+                k.machine().freq_khz(CpuId(0)),
+                k.machine().freq_khz(CpuId(16)),
+                k.machine().power().pkg_w,
+                k.machine().thermal().temp_c(),
+            )
         };
         if t >= next {
             next = t + 20_000_000_000;
-            eprintln!("t={:.3}s fP={:.2}GHz fE={:.2}GHz pkg={:.1}W T={:.1}C solve_started={} ", t as f64/1e9, fp as f64/1e6, fe as f64/1e6, pw, temp, run.solve_time_s().is_some() || run.gflops().is_some());
+            eprintln!(
+                "t={:.3}s fP={:.2}GHz fE={:.2}GHz pkg={:.1}W T={:.1}C solve_started={} ",
+                t as f64 / 1e9,
+                fp as f64 / 1e6,
+                fe as f64 / 1e6,
+                pw,
+                temp,
+                run.solve_time_s().is_some() || run.gflops().is_some()
+            );
         }
-        if run.finished() { break; }
-        if t > 900_000_000_000 { eprintln!("timeout"); break; }
+        if run.finished() {
+            break;
+        }
+        if t > 900_000_000_000 {
+            eprintln!("timeout");
+            break;
+        }
     }
     eprintln!("gflops={:?} solve_s={:?}", run.gflops(), run.solve_time_s());
 }

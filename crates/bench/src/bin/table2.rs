@@ -59,7 +59,11 @@ fn main() {
     let mut rows = Vec::new();
     for (si, (label, _)) in sets.iter().enumerate() {
         let ob = results[si * 2].as_ref().unwrap().gflops.expect("finished");
-        let mkl = results[si * 2 + 1].as_ref().unwrap().gflops.expect("finished");
+        let mkl = results[si * 2 + 1]
+            .as_ref()
+            .unwrap()
+            .gflops
+            .expect("finished");
         let chg = pct_change(ob, mkl);
         let (plabel, pob, pmkl) = PAPER[si];
         assert_eq!(*label, plabel);

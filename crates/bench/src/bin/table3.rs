@@ -59,11 +59,7 @@ fn measure(variant: HplVariant) -> ([f64; 2], [f64; 2]) {
                 )
                 .expect("open ref");
             let llc_miss = k
-                .perf_event_open(
-                    ev("LONGEST_LAT_CACHE:MISS"),
-                    Target::Cpu(cpu),
-                    Some(leader),
-                )
+                .perf_event_open(ev("LONGEST_LAT_CACHE:MISS"), Target::Cpu(cpu), Some(leader))
                 .expect("open miss");
             k.ioctl_enable(leader, true).expect("enable");
             counters.push(CpuCounters {
@@ -86,7 +82,11 @@ fn measure(variant: HplVariant) -> ([f64; 2], [f64; 2]) {
     {
         let mut k = kernel.lock();
         for c in &counters {
-            let idx = if c.core_type == CoreType::Performance { 0 } else { 1 };
+            let idx = if c.core_type == CoreType::Performance {
+                0
+            } else {
+                1
+            };
             inst[idx] += k.read_event(c.inst).unwrap().value;
             llc_ref[idx] += k.read_event(c.llc_ref).unwrap().value;
             llc_miss[idx] += k.read_event(c.llc_miss).unwrap().value;

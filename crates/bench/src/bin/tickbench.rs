@@ -17,13 +17,22 @@
 //! the DVFS slew ramp (~143 ticks), which is correctly non-coalescible.
 //!
 //! Knobs: `--quick` (300 timed ticks instead of 2000), `TICKBENCH_TICKS`.
+//!
+//! `--trace-smoke` runs the observability acceptance check instead of the
+//! benchmark: a 400-tick raptor run with the flight recorder on, a full
+//! fault plan and a live PAPI eventset, exported as Chrome trace-event
+//! JSON and validated with `jsonw::validate` (per-CPU tracks, fault and
+//! macro-tick span events present).
 
+use papi::{Attach, Papi, Preset};
+use simcpu::events::ArchEvent;
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
-use simcpu::types::CpuMask;
+use simcpu::types::{CpuId, CpuMask};
+use simos::faults::{FaultKind, FaultPlan, TransientErrno};
 use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
-use simos::task::{Op, Pid};
-use std::fmt::Write as _;
+use simos::task::{Op, Pid, ScriptedProgram};
+use simtrace::{EventKind, TraceConfig};
 use std::time::Instant;
 
 struct ModeResult {
@@ -90,7 +99,180 @@ fn run_mode(spec: MachineSpec, cfg: KernelConfig, warmup: usize, ticks: usize) -
     }
 }
 
+/// Every fault kind, timed inside a 400-tick (400 ms) run, on CPUs every
+/// preset has. The reversible ones (offline, watchdog) release mid-run so
+/// `fault_undo` events land in the recorder too.
+fn smoke_fault_plan() -> FaultPlan {
+    FaultPlan::new(0x0b5e_7ab1e)
+        .at(
+            10_000_000,
+            FaultKind::CounterWrap {
+                headroom: 5_000_000,
+            },
+        )
+        .at(
+            50_000_000,
+            FaultKind::CpuOffline {
+                cpu: CpuId(1),
+                down_ns: Some(80_000_000),
+            },
+        )
+        .at(
+            70_000_000,
+            FaultKind::NmiWatchdog {
+                steal: ArchEvent::Instructions,
+                hold_ns: Some(60_000_000),
+            },
+        )
+        .at(
+            120_000_000,
+            FaultKind::TransientOpen {
+                errno: TransientErrno::Ebusy,
+                count: 1,
+            },
+        )
+        .at(
+            120_000_000,
+            FaultKind::TransientRead {
+                errno: TransientErrno::Eintr,
+                count: 2,
+            },
+        )
+        .at(
+            160_000_000,
+            FaultKind::RaplWrapBurst {
+                wraps: 1,
+                extra_uj: 10_000,
+            },
+        )
+        .at(180_000_000, FaultKind::SysfsFlaky { dur_ns: 20_000_000 })
+}
+
+/// The trace acceptance run: record everything, export, validate.
+fn trace_smoke() {
+    let kernel = Kernel::boot_handle(
+        MachineSpec::raptor_lake_i7_13700(),
+        KernelConfig {
+            exec_mode: ExecMode::Serial,
+            macro_ticks: MacroTicks::Auto,
+            seed: 0x5eed_cafe,
+            trace: TraceConfig::enabled_with_cap(1 << 16),
+            ..Default::default()
+        },
+    );
+    let n = {
+        let mut k = kernel.lock();
+        let n = k.machine().n_cpus();
+        // Immortal pinned workers make the tail of the run quiescent
+        // (macro-span admits + replays); a few short free tasks churn the
+        // scheduler early (migrations, plan misses).
+        for i in 0..n {
+            k.spawn(
+                &format!("w{i}"),
+                Box::new(move |_: &simos::task::ProgCtx| {
+                    Op::Compute(Phase::dgemm(1 << 44, 8 << 20, 0.35))
+                }),
+                CpuMask::from_cpus([i]),
+                0,
+            );
+        }
+        for j in 0..3u64 {
+            k.spawn(
+                &format!("free{j}"),
+                Box::new(ScriptedProgram::new([
+                    Op::Compute(Phase::scalar(5_000_000 + j * 700_000)),
+                    Op::Compute(Phase::stream(3_000_000, 48 << 20)),
+                    Op::Exit,
+                ])),
+                CpuMask::first_n(n),
+                0,
+            );
+        }
+        k.install_faults(&smoke_fault_plan());
+        n
+    };
+
+    // A live PAPI eventset so the papi track records start/read/stop,
+    // including degraded-quality reads while the watchdog holds a counter.
+    let mut papi = Papi::init(kernel.clone()).expect("papi init");
+    let es = papi.create_eventset();
+    papi.attach(es, Attach::Task(Pid(0))).unwrap();
+    papi.add_preset(es, Preset::TotIns).unwrap();
+    papi.start(es).unwrap();
+    for _ in 0..4 {
+        kernel.lock().tick_batch(100);
+        papi.read_with_quality(es).unwrap();
+    }
+    papi.stop(es).unwrap();
+
+    let mut tracks = kernel.lock().trace_tracks();
+    tracks.push(papi.trace_track());
+    // Arm the post-mortem dump so a failed assert below prints the tail
+    // of every stream instead of just the panic message.
+    simtrace::postmortem::stash(simtrace::text_dump(&tracks, 48));
+
+    let json = simtrace::chrome_trace_json(&tracks);
+    assert!(
+        jsonw::validate(&json),
+        "chrome trace JSON failed strict validation"
+    );
+    for i in 0..n {
+        assert!(
+            json.contains(&format!("\"cpu{i}\"")),
+            "missing per-CPU track cpu{i}"
+        );
+    }
+
+    let mut kinds = std::collections::BTreeSet::new();
+    for t in &tracks {
+        for e in &t.events {
+            kinds.insert(e.kind.name());
+        }
+    }
+    for required in [
+        EventKind::TickBegin,
+        EventKind::TickEnd,
+        EventKind::MacroSpanAdmit,
+        EventKind::MacroSpanReject,
+        EventKind::MacroReplay,
+        EventKind::PlanHit,
+        EventKind::DvfsTransition,
+        EventKind::FaultCpuOffline,
+        EventKind::FaultNmiWatchdog,
+        EventKind::FaultTransientOpen,
+        EventKind::FaultTransientRead,
+        EventKind::FaultCounterWrap,
+        EventKind::FaultRaplWrapBurst,
+        EventKind::FaultSysfsFlaky,
+        EventKind::FaultUndo,
+        EventKind::PapiStart,
+        EventKind::PapiRead,
+        EventKind::PapiStop,
+    ] {
+        assert!(
+            kinds.contains(required.name()),
+            "trace smoke missing event kind {:?}; recorded: {kinds:?}",
+            required.name()
+        );
+    }
+    println!(
+        "trace smoke: OK — {} tracks, {} distinct event kinds, {} bytes of valid chrome JSON",
+        tracks.len(),
+        kinds.len(),
+        json.len()
+    );
+    if let Ok(path) = std::env::var("TICKBENCH_TRACE_OUT") {
+        std::fs::write(&path, &json).expect("write trace JSON");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
+    simtrace::postmortem::install();
+    if std::env::args().any(|a| a == "--trace-smoke") {
+        trace_smoke();
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let ticks = std::env::var("TICKBENCH_TICKS")
         .ok()
@@ -101,35 +283,47 @@ fn main() {
         .map(|v| v.get())
         .unwrap_or(1);
 
-    let presets: [(&str, fn() -> MachineSpec); 4] = [
+    type PresetRow = (&'static str, fn() -> MachineSpec);
+    let presets: [PresetRow; 4] = [
         ("raptor_lake_i7_13700", MachineSpec::raptor_lake_i7_13700),
         ("orangepi_800", MachineSpec::orangepi_800),
         ("skylake_quad", MachineSpec::skylake_quad),
         ("alder_lake_mobile", MachineSpec::alder_lake_mobile),
     ];
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"ticks\": {ticks},");
-    let _ = writeln!(json, "  \"presets\": {{");
+    let mut w = jsonw::JsonWriter::new();
+    w.begin_obj();
+    w.field_u64("host_cpus", host_cpus as u64);
+    w.field_bool("quick", quick);
+    w.field_u64("ticks", ticks as u64);
+    w.key("presets");
+    w.begin_obj();
 
     println!("tickbench: {ticks} timed ticks/preset, host_cpus={host_cpus}");
-    for (i, (name, spec)) in presets.iter().enumerate() {
+    for (name, spec) in presets.iter() {
         let cfg = |mode, macro_ticks| KernelConfig {
             exec_mode: mode,
             macro_ticks,
             ..Default::default()
         };
-        let serial = run_mode(spec(), cfg(ExecMode::Serial, MacroTicks::Auto), warmup, ticks);
+        let serial = run_mode(
+            spec(),
+            cfg(ExecMode::Serial, MacroTicks::Auto),
+            warmup,
+            ticks,
+        );
         let parallel = run_mode(
             spec(),
             cfg(ExecMode::Parallel { threads: 0 }, MacroTicks::Auto),
             warmup,
             ticks,
         );
-        let single = run_mode(spec(), cfg(ExecMode::Serial, MacroTicks::Off), warmup, ticks);
+        let single = run_mode(
+            spec(),
+            cfg(ExecMode::Serial, MacroTicks::Off),
+            warmup,
+            ticks,
+        );
         let speedup = parallel.ticks_per_s / serial.ticks_per_s;
         let drift = serial.instructions.abs_diff(parallel.instructions);
         let macro_speedup = serial.ticks_per_s / single.ticks_per_s;
@@ -150,41 +344,36 @@ fn main() {
             macro_drift, 0,
             "{name}: macro-tick run drifted from single-tick run"
         );
-        let _ = writeln!(json, "    \"{name}\": {{");
-        let _ = writeln!(
-            json,
-            "      \"serial_ticks_per_s\": {:.2},",
-            serial.ticks_per_s
-        );
-        let _ = writeln!(
-            json,
-            "      \"parallel_ticks_per_s\": {:.2},",
-            parallel.ticks_per_s
-        );
-        let _ = writeln!(json, "      \"speedup\": {speedup:.3},");
-        let _ = writeln!(json, "      \"counter_drift\": {drift},");
-        let _ = writeln!(
-            json,
-            "      \"single_tick_ticks_per_s\": {:.2},",
-            single.ticks_per_s
-        );
-        let _ = writeln!(json, "      \"macro_speedup\": {macro_speedup:.3},");
-        let _ = writeln!(json, "      \"macro_coverage\": {:.4},", serial.coverage);
-        let _ = writeln!(json, "      \"macro_counter_drift\": {macro_drift},");
-        let _ = writeln!(
-            json,
-            "      \"plan_hit_rate\": {:.4}",
-            serial.plan_hit_rate
-        );
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if i + 1 < presets.len() { "," } else { "" }
-        );
+        w.key(name);
+        w.begin_obj();
+        w.field_f64("serial_ticks_per_s", round2(serial.ticks_per_s));
+        w.field_f64("parallel_ticks_per_s", round2(parallel.ticks_per_s));
+        w.field_f64("speedup", round3(speedup));
+        w.field_u64("counter_drift", drift);
+        w.field_f64("single_tick_ticks_per_s", round2(single.ticks_per_s));
+        w.field_f64("macro_speedup", round3(macro_speedup));
+        w.field_f64("macro_coverage", round4(serial.coverage));
+        w.field_u64("macro_counter_drift", macro_drift);
+        w.field_f64("plan_hit_rate", round4(serial.plan_hit_rate));
+        w.end_obj();
     }
-    let _ = writeln!(json, "  }}");
-    let _ = writeln!(json, "}}");
+    w.end_obj();
+    w.end_obj();
+    let json = w.finish();
+    assert!(jsonw::validate(&json), "BENCH_tick.json emitter bug");
 
     std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
     println!("wrote BENCH_tick.json");
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 10000.0).round() / 10000.0
 }

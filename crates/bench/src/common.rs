@@ -101,9 +101,7 @@ pub fn pct_change(a: f64, b: f64) -> f64 {
 
 /// Format a paper-vs-measured comparison row.
 pub fn compare_row(label: &str, paper: f64, measured: f64, unit: &str) -> String {
-    format!(
-        "{label:<34} paper: {paper:>10.2} {unit:<7} measured: {measured:>10.2} {unit}"
-    )
+    format!("{label:<34} paper: {paper:>10.2} {unit:<7} measured: {measured:>10.2} {unit}")
 }
 
 /// Print a section header.

@@ -51,6 +51,7 @@ use simcpu::types::{CpuId, Nanos};
 use simos::kernel::KernelHandle;
 use simos::perf::{EventFd, PerfError, PmuKind, ReadValue};
 use simos::task::{HookId, Op, Pid};
+use simtrace::{EventKind, TraceSink, Track};
 use std::collections::HashMap;
 
 /// Library behaviour: the paper's patched stack, or the original.
@@ -204,6 +205,9 @@ pub struct Papi {
     /// 48-bit range (and wrap mid-run); `(raw − base) & COUNTER_MASK`
     /// recovers the exact delta regardless.
     wrap_base: HashMap<EventFd, u64>,
+    /// Flight recorder for the library's own start/stop/read activity,
+    /// inheriting the kernel's trace configuration.
+    trace: TraceSink,
 }
 
 impl Papi {
@@ -225,7 +229,7 @@ impl Papi {
 
     /// Initialize with explicit configuration.
     pub fn init_with(kernel: KernelHandle, cfg: PapiConfig) -> Result<Papi, PapiError> {
-        let (pfm, detection, hwinfo) = {
+        let (pfm, detection, hwinfo, trace) = {
             let k = kernel.lock();
             let pfm = Pfm::initialize(
                 &k,
@@ -236,7 +240,8 @@ impl Papi {
             )?;
             let detection = sysdetect::detect(&k);
             let hwinfo = hwinfo::hardware_info_with(&k, &detection);
-            (pfm, detection, hwinfo)
+            let trace = TraceSink::new(&k.config().trace);
+            (pfm, detection, hwinfo, trace)
         };
         Ok(Papi {
             kernel,
@@ -249,6 +254,7 @@ impl Papi {
                 .expect("built-in preset table is valid"),
             overflow_seen: HashMap::new(),
             wrap_base: HashMap::new(),
+            trace,
         })
     }
 
@@ -276,6 +282,12 @@ impl Papi {
     /// A clone of the kernel handle (for workload setup and telemetry).
     pub fn kernel(&self) -> KernelHandle {
         self.kernel.clone()
+    }
+
+    /// The library's own flight-recorder track (start/stop/read events),
+    /// for merging into an export alongside [`simos::kernel::Kernel::trace_tracks`].
+    pub fn trace_track(&self) -> Track {
+        Track::new("papi", self.trace.events())
     }
 
     /// Cumulative perf syscall overhead (§V.5).
@@ -789,6 +801,11 @@ impl Papi {
         }
         self.wrap_base.extend(bases);
         self.es_mut(id)?.state = EsState::Running;
+        if self.trace.enabled() {
+            let t = self.kernel.lock().time_ns();
+            self.trace
+                .record(t, EventKind::PapiStart, id.0 as u32, 0, 0);
+        }
         Ok(())
     }
 
@@ -809,6 +826,10 @@ impl Papi {
             }
         }
         self.es_mut(id)?.state = EsState::Stopped;
+        if self.trace.enabled() {
+            let t = self.kernel.lock().time_ns();
+            self.trace.record(t, EventKind::PapiStop, id.0 as u32, 0, 0);
+        }
         Ok(values)
     }
 
@@ -833,6 +854,12 @@ impl Papi {
             let (total, _) = entry_value(es, entry, &by_fd, &self.wrap_base)?;
             out.push((entry.label.clone(), total));
         }
+        // The strict path either returned exact/scaled-free values or
+        // errored above, so quality is Ok by construction.
+        if self.trace.enabled() {
+            let t = self.kernel.lock().time_ns();
+            self.trace.record(t, EventKind::PapiRead, id.0 as u32, 0, 0);
+        }
         Ok(out)
     }
 
@@ -846,9 +873,20 @@ impl Papi {
         let (by_fd, _failed) = self.read_groups(id)?;
         let es = self.es(id)?;
         let mut out = Vec::with_capacity(es.entries.len());
+        let mut worst = ReadQuality::Ok;
         for entry in &es.entries {
             let (total, q) = entry_value(es, entry, &by_fd, &self.wrap_base)?;
+            worst = worst.max(q);
             out.push((entry.label.clone(), total, q));
+        }
+        if self.trace.enabled() {
+            let t = self.kernel.lock().time_ns();
+            let q = match worst {
+                ReadQuality::Ok => 0,
+                ReadQuality::Scaled => 1,
+                ReadQuality::Lost => 2,
+            };
+            self.trace.record(t, EventKind::PapiRead, id.0 as u32, q, 0);
         }
         Ok(out)
     }

@@ -31,6 +31,7 @@ use simcpu::types::{CpuId, CpuMask};
 use simos::faults::{FaultKind, FaultPlan};
 use simos::kernel::{Kernel, KernelConfig, KernelHandle};
 use simos::task::{Op, ScriptedProgram};
+use simtrace::metrics::{percentile_of_sorted, Histogram};
 
 const SEED: u64 = 42;
 const TICKS_PER_PUMP: u32 = 20;
@@ -112,14 +113,6 @@ struct ConfigResult {
     latencies_ns: Vec<u64>,
     digest: u64,
     evicted_slow_consumer: bool,
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 /// Drain every pending reply on a client, recording Counters for the
@@ -247,6 +240,41 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
+    // Self-metrics cross-check: the daemon's wire-served read-latency
+    // histogram (one extra pump so the final reads are absorbed) must
+    // match a local histogram over the very latencies this run observed,
+    // and the clock-inversion counter must be zero — client submit times
+    // always trail the virtual serve clock.
+    clients[0]
+        .post(&Request::GetSelfMetrics)
+        .expect("post self-metrics");
+    daemon.pump();
+    let mut wire_hist = None;
+    let mut wire_inversions = 0u64;
+    while let Ok(Some(resp)) = clients[0].try_take() {
+        if let Response::SelfMetrics { counters, hists } = resp {
+            wire_inversions = counters
+                .iter()
+                .find(|(n, _)| n == "latency_inversions")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            wire_hist = hists.into_iter().find(|h| h.name == "read_latency_ns");
+        }
+    }
+    simtrace::postmortem::stash(simtrace::text_dump(&daemon.trace_tracks(), 32));
+    let wire_hist = wire_hist.expect("daemon served a read_latency_ns histogram");
+    let mut local = Histogram::new();
+    for &v in &latencies {
+        local.observe(v);
+    }
+    assert_eq!(wire_hist.count, local.count(), "read count over the wire");
+    assert_eq!(wire_hist.min, local.min(), "latency min over the wire");
+    assert_eq!(wire_hist.max, local.max(), "latency max over the wire");
+    assert_eq!(wire_hist.p50, local.percentile(0.50), "p50 over the wire");
+    assert_eq!(wire_hist.p90, local.percentile(0.90), "p90 over the wire");
+    assert_eq!(wire_hist.p99, local.percentile(0.99), "p99 over the wire");
+    assert_eq!(wire_inversions, 0, "no latency inversions expected");
+
     let mut digest: u64 = 0xcbf29ce484222325;
     for (i, vals) in last.iter().enumerate() {
         fnv1a(&mut digest, &(i as u64).to_le_bytes());
@@ -361,6 +389,8 @@ fn run_reference(n_sessions: usize, pumps: u64) -> u64 {
 }
 
 fn main() {
+    // Assertion failures print the last stashed flight-recorder dump.
+    simtrace::postmortem::install();
     let mut quick = false;
     let mut sessions: Option<usize> = None;
     let mut pumps: Option<u64> = None;
@@ -400,8 +430,8 @@ fn main() {
                 r.reads,
                 r.wall_s,
                 r.reads as f64 / r.wall_s.max(1e-9),
-                percentile(&r.latencies_ns, 0.50),
-                percentile(&r.latencies_ns, 0.99),
+                percentile_of_sorted(&r.latencies_ns, 0.50),
+                percentile_of_sorted(&r.latencies_ns, 0.99),
                 r.digest,
                 r.evicted_slow_consumer
             );
@@ -429,8 +459,14 @@ fn main() {
         w.field_u64("reads", r.reads);
         w.field_f64("wall_s", r.wall_s);
         w.field_f64("reads_per_sec", r.reads as f64 / r.wall_s.max(1e-9));
-        w.field_u64("p50_latency_sim_ns", percentile(&r.latencies_ns, 0.50));
-        w.field_u64("p99_latency_sim_ns", percentile(&r.latencies_ns, 0.99));
+        w.field_u64(
+            "p50_latency_sim_ns",
+            percentile_of_sorted(&r.latencies_ns, 0.50),
+        );
+        w.field_u64(
+            "p99_latency_sim_ns",
+            percentile_of_sorted(&r.latencies_ns, 0.99),
+        );
         w.field_str("digest", &format!("{:016x}", r.digest));
         w.field_bool("evicted_slow_consumer", r.evicted_slow_consumer);
         w.end_obj();

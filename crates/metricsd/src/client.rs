@@ -246,6 +246,18 @@ impl<T: Transport> MetricsClient<T> {
         }
     }
 
+    /// The daemon's self-metrics registry view: named counters plus
+    /// histogram summaries, frozen at the serving pump's start.
+    #[allow(clippy::type_complexity)]
+    pub fn self_metrics(
+        &mut self,
+    ) -> Result<(Vec<(String, u64)>, Vec<crate::wire::HistSummary>), ClientError> {
+        match self.rpc(&Request::GetSelfMetrics)? {
+            Response::SelfMetrics { counters, hists } => Ok((counters, hists)),
+            _ => Err(ClientError::Unexpected("wanted SelfMetrics")),
+        }
+    }
+
     /// Close the session (best-effort; the daemon reaps it next pump).
     pub fn close(&mut self) -> Result<(), ClientError> {
         match self.rpc(&Request::Close)? {

@@ -32,4 +32,4 @@ pub mod wire;
 pub use client::{ClientError, MetricsClient, Transport};
 pub use server::{Connector, Daemon, DaemonConfig, DaemonStats};
 pub use snapshot::{Collector, CpuCounters, SnapshotCache, TickSnapshot};
-pub use wire::{Request, Response, PROTO_VERSION};
+pub use wire::{HistSummary, Request, Response, PROTO_VERSION};

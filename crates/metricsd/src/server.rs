@@ -22,10 +22,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simos::kernel::KernelHandle;
+use simtrace::metrics::Registry;
+use simtrace::{EventKind, TraceSink, Track};
 
 use crate::queue::{ClientPipe, FrameQueue, PushError};
 use crate::snapshot::{Collector, SnapshotCache, TickSnapshot};
-use crate::wire::{errcode, metrics, MetricValue, Request, Response, PROTO_VERSION};
+use crate::wire::{errcode, metrics, HistSummary, MetricValue, Request, Response, PROTO_VERSION};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -93,6 +95,11 @@ struct Session {
 struct Shard {
     sessions: Vec<Session>,
     reads_served: u64,
+    /// Per-shard flight recorder (thread-confined during serving).
+    trace: TraceSink,
+    /// Per-shard self-metrics, absorbed into the daemon's master
+    /// registry at the start of each pump.
+    reg: Registry,
 }
 
 /// Cross-thread connection intake, clonable into acceptor threads.
@@ -155,6 +162,11 @@ pub struct Daemon {
     pumps: u64,
     n_cpus: u32,
     tick_ns: u64,
+    trace: TraceSink,
+    /// Master self-metrics registry: shard registries are absorbed here
+    /// (in shard order) at the start of every pump, so GetSelfMetrics
+    /// answers reflect everything served through the previous pump.
+    reg: Registry,
 }
 
 impl Daemon {
@@ -162,9 +174,13 @@ impl Daemon {
     /// hardware once (via the PAPI layer) to pre-encode the static
     /// hot-query responses, then opens the collector's counters.
     pub fn new(kernel: KernelHandle, cfg: DaemonConfig) -> Daemon {
-        let (n_cpus, tick_ns) = {
+        let (n_cpus, tick_ns, trace_cfg) = {
             let k = kernel.lock();
-            (k.machine().n_cpus() as u32, k.config().tick_ns)
+            (
+                k.machine().n_cpus() as u32,
+                k.config().tick_ns,
+                k.config().trace.clone(),
+            )
         };
         let papi = papi::Papi::init(kernel.clone()).expect("papi init");
         let hw_frame = Response::HardwareInfo {
@@ -187,6 +203,8 @@ impl Daemon {
             .map(|_| Shard {
                 sessions: Vec::new(),
                 reads_served: 0,
+                trace: TraceSink::new(&trace_cfg),
+                reg: Registry::new(),
             })
             .collect();
         Daemon {
@@ -204,6 +222,8 @@ impl Daemon {
             pumps: 0,
             n_cpus,
             tick_ns,
+            trace: TraceSink::new(&trace_cfg),
+            reg: Registry::new(),
         }
     }
 
@@ -243,17 +263,40 @@ impl Daemon {
 
         // 3. Serve every shard from the immutable snapshot.
         let stats_view = self.stats();
+        // Absorb shard self-metrics into the master registry (fixed shard
+        // order keeps merged views deterministic), refresh the gauges, and
+        // freeze this pump's GetSelfMetrics reply before serving begins:
+        // reads served below surface at the *next* pump, like the stats.
+        for shard in &mut self.shards {
+            self.reg.absorb(&mut shard.reg);
+        }
+        self.reg.set("pumps", stats_view.pumps);
+        self.reg.set("sessions", stats_view.sessions);
+        self.reg.set("evictions", stats_view.evictions);
+        self.reg.set("reads_served", stats_view.reads_served);
+        let self_metrics = self_metrics_frame(&self.reg);
+        self.trace
+            .record(snap.time_ns, EventKind::DaemonPump, 0, self.pumps, 0);
         let cfg = &self.cfg;
         let cache = &self.cache;
         let tick_ns = self.tick_ns;
         if n_shards == 1 {
-            serve_shard(&mut self.shards[0], &snap, cache, cfg, stats_view, tick_ns);
+            serve_shard(
+                &mut self.shards[0],
+                &snap,
+                cache,
+                cfg,
+                stats_view,
+                tick_ns,
+                &self_metrics,
+            );
         } else {
             std::thread::scope(|scope| {
                 for shard in &mut self.shards {
                     let snap = &snap;
+                    let self_metrics = &self_metrics;
                     scope.spawn(move || {
-                        serve_shard(shard, snap, cache, cfg, stats_view, tick_ns);
+                        serve_shard(shard, snap, cache, cfg, stats_view, tick_ns, self_metrics);
                     });
                 }
             });
@@ -273,6 +316,50 @@ impl Daemon {
     pub fn n_cpus(&self) -> u32 {
         self.n_cpus
     }
+
+    /// The master self-metrics registry as of the last pump (shard
+    /// registries not yet absorbed are excluded, exactly like the wire
+    /// `GetSelfMetrics` view frozen at pump start).
+    pub fn self_metrics(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Every flight-recorder track: the kernel's (kernel/hw/per-CPU),
+    /// then the daemon pump track and one track per shard.
+    pub fn trace_tracks(&self) -> Vec<Track> {
+        let mut tracks = {
+            let k = self.collector.kernel().lock();
+            k.trace_tracks()
+        };
+        tracks.push(Track::new("daemon", self.trace.events()));
+        for (i, shard) in self.shards.iter().enumerate() {
+            tracks.push(Track::new(format!("shard{i}"), shard.trace.events()));
+        }
+        tracks
+    }
+}
+
+/// Encode the registry as a [`Response::SelfMetrics`] frame.
+fn self_metrics_frame(reg: &Registry) -> Vec<u8> {
+    Response::SelfMetrics {
+        counters: reg
+            .counters()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect(),
+        hists: reg
+            .histograms()
+            .map(|(name, h)| HistSummary {
+                name: name.to_string(),
+                count: h.count(),
+                min: h.min(),
+                max: h.max(),
+                p50: h.percentile(0.50),
+                p90: h.percentile(0.90),
+                p99: h.percentile(0.99),
+            })
+            .collect(),
+    }
+    .encode()
 }
 
 /// The collector takes its own boot snapshot internally; re-derive a
@@ -293,6 +380,7 @@ fn collector_boot_snapshot(c: &Collector) -> Arc<TickSnapshot> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_shard(
     shard: &mut Shard,
     snap: &Arc<TickSnapshot>,
@@ -300,12 +388,19 @@ fn serve_shard(
     cfg: &DaemonConfig,
     stats_view: DaemonStats,
     tick_ns: u64,
+    self_metrics: &[u8],
 ) {
+    let Shard {
+        sessions,
+        reads_served,
+        trace,
+        reg,
+    } = shard;
     // Virtual serving clock for this shard this pump: request k in the
     // shard completes at snapshot-time + (k+1)·serve_ns. More shards →
     // shorter per-shard queues → lower reported tail latency.
     let mut served_in_shard: u64 = 0;
-    for session in &mut shard.sessions {
+    for session in sessions.iter_mut() {
         if session.closed || session.evicted {
             continue;
         }
@@ -314,7 +409,8 @@ fn serve_shard(
         // Stream pushes first (they contend for outbox space like replies).
         if session.stream_every > 0 && snap.tick.is_multiple_of(session.stream_every as u64) {
             for si in 0..session.subs.len() {
-                let resp = counters_response(&session.subs[si], snap, 0, cfg, served_in_shard);
+                let (resp, _, _) =
+                    counters_response(&session.subs[si], snap, 0, cfg, served_in_shard);
                 match session.outbox.push(resp.encode()) {
                     Ok(()) => served_in_shard += 1,
                     Err(PushError::Full) => {
@@ -350,9 +446,12 @@ fn serve_shard(
                 served_in_shard,
                 &stats_view,
                 tick_ns,
+                self_metrics,
+                trace,
+                reg,
             );
             served_in_shard += 1;
-            shard.reads_served += 1;
+            *reads_served += 1;
             match session.outbox.push(reply) {
                 Ok(()) => {
                     // An orderly Close: the ack is in the queue; seal it
@@ -382,6 +481,13 @@ fn serve_shard(
             session.stalled_pumps += 1;
             if session.stalled_pumps > cfg.eviction_grace {
                 session.evicted = true;
+                trace.record(
+                    snap.time_ns,
+                    EventKind::DaemonEvict,
+                    0,
+                    session.id,
+                    session.stalled_pumps as u64,
+                );
                 session.outbox.force_push(
                     Response::Evicted {
                         reason: format!(
@@ -410,6 +516,9 @@ fn handle_frame(
     served_in_shard: u64,
     stats_view: &DaemonStats,
     tick_ns: u64,
+    self_metrics: &[u8],
+    trace: &mut TraceSink,
+    reg: &mut Registry,
 ) -> Vec<u8> {
     let req = match Request::decode(frame) {
         Ok(r) => r,
@@ -486,7 +595,26 @@ fn handle_frame(
             .encode()
         }
         Request::Read { sub_id, submit_ns } => match session.subs.iter().find(|s| s.id == sub_id) {
-            Some(sub) => counters_response(sub, snap, submit_ns, cfg, served_in_shard).encode(),
+            Some(sub) => {
+                let (resp, latency_ns, inverted) =
+                    counters_response(sub, snap, submit_ns, cfg, served_in_shard);
+                reg.observe("read_latency_ns", latency_ns);
+                trace.record(snap.time_ns, EventKind::DaemonServe, sub_id, latency_ns, 0);
+                if inverted {
+                    // The client claims a later last-seen time than this
+                    // serve's virtual completion — a clock inversion that
+                    // the old `min`-clamped formula silently masked.
+                    reg.inc("latency_inversions", 1);
+                    trace.record(
+                        snap.time_ns,
+                        EventKind::LatencyInversion,
+                        sub_id,
+                        submit_ns,
+                        0,
+                    );
+                }
+                resp.encode()
+            }
             None => Response::Err {
                 code: errcode::NO_SUCH_SUB,
                 msg: format!("no subscription {sub_id}"),
@@ -540,6 +668,8 @@ fn handle_frame(
             session.closed = true;
             Response::Closed.encode()
         }
+        // Frozen at pump start, shared by every session this pump.
+        Request::GetSelfMetrics => self_metrics.to_vec(),
     }
 }
 
@@ -550,13 +680,17 @@ fn handle_frame(
 /// * any covered CPU hotplugged since baseline, a stale counter, or a
 ///   sysfs gap affecting a subscribed energy metric → `Scaled` (1),
 /// * otherwise `Ok` (0).
+///
+/// Returns `(response, latency_ns, inverted)`: `inverted` flags a
+/// `submit_ns` later than the virtual serve time (a clock inversion,
+/// reported as zero latency rather than silently clamped away).
 fn counters_response(
     sub: &Subscription,
     snap: &TickSnapshot,
     submit_ns: u64,
     cfg: &DaemonConfig,
     served_in_shard: u64,
-) -> Response {
+) -> (Response, u64, bool) {
     let mut quality = 0u8;
     for (i, c) in snap.cpus.iter().enumerate() {
         if i >= 64 || sub.cpu_mask & (1 << i) == 0 {
@@ -579,12 +713,18 @@ fn counters_response(
         })
         .collect();
     let serve_virtual_ns = snap.time_ns + (served_in_shard + 1) * cfg.serve_ns;
-    Response::Counters {
-        sub_id: sub.id,
-        tick: snap.tick,
-        time_ns: snap.time_ns,
-        latency_ns: serve_virtual_ns.saturating_sub(submit_ns.min(serve_virtual_ns)),
-        quality,
-        values,
-    }
+    let inverted = submit_ns > serve_virtual_ns;
+    let latency_ns = serve_virtual_ns.saturating_sub(submit_ns);
+    (
+        Response::Counters {
+            sub_id: sub.id,
+            tick: snap.tick,
+            time_ns: snap.time_ns,
+            latency_ns,
+            quality,
+            values,
+        },
+        latency_ns,
+        inverted,
+    )
 }

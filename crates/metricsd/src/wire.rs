@@ -58,6 +58,9 @@ pub enum Request {
     Stats,
     /// Orderly goodbye.
     Close,
+    /// The daemon's self-metrics registry: named counters plus
+    /// histogram summaries (count/min/max/p50/p90/p99).
+    GetSelfMetrics,
 }
 
 /// Per-metric value in a counters reply.
@@ -65,6 +68,18 @@ pub enum Request {
 pub struct MetricValue {
     pub metric: u8,
     pub value: u64,
+}
+
+/// One histogram's summary in a [`Response::SelfMetrics`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSummary {
+    pub name: String,
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
 }
 
 /// Daemon → client.
@@ -120,6 +135,10 @@ pub enum Response {
         reason: String,
     },
     Closed,
+    SelfMetrics {
+        counters: Vec<(String, u64)>,
+        hists: Vec<HistSummary>,
+    },
 }
 
 /// Error codes carried by [`Response::Err`].
@@ -276,6 +295,7 @@ impl Request {
             }
             Request::Stats => Enc::new(0x09).finish(),
             Request::Close => Enc::new(0x0a).finish(),
+            Request::GetSelfMetrics => Enc::new(0x0b).finish(),
         }
     }
 
@@ -301,6 +321,7 @@ impl Request {
             },
             0x09 => Request::Stats,
             0x0a => Request::Close,
+            0x0b => Request::GetSelfMetrics,
             _ => return Err(WireError("unknown request tag")),
         };
         d.done()?;
@@ -408,6 +429,25 @@ impl Response {
                 e.finish()
             }
             Response::Closed => Enc::new(0x8a).finish(),
+            Response::SelfMetrics { counters, hists } => {
+                let mut e = Enc::new(0x8b);
+                e.u16(counters.len() as u16);
+                for (name, v) in counters {
+                    e.str(name);
+                    e.u64(*v);
+                }
+                e.u16(hists.len() as u16);
+                for h in hists {
+                    e.str(&h.name);
+                    e.u64(h.count);
+                    e.u64(h.min);
+                    e.u64(h.max);
+                    e.u64(h.p50);
+                    e.u64(h.p90);
+                    e.u64(h.p99);
+                }
+                e.finish()
+            }
         }
     }
 
@@ -481,6 +521,28 @@ impl Response {
             },
             0x89 => Response::Evicted { reason: d.str()? },
             0x8a => Response::Closed,
+            0x8b => {
+                let n = d.u16()? as usize;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = d.str()?;
+                    counters.push((name, d.u64()?));
+                }
+                let n = d.u16()? as usize;
+                let mut hists = Vec::with_capacity(n);
+                for _ in 0..n {
+                    hists.push(HistSummary {
+                        name: d.str()?,
+                        count: d.u64()?,
+                        min: d.u64()?,
+                        max: d.u64()?,
+                        p50: d.u64()?,
+                        p90: d.u64()?,
+                        p99: d.u64()?,
+                    });
+                }
+                Response::SelfMetrics { counters, hists }
+            }
             _ => return Err(WireError("unknown response tag")),
         };
         d.done()?;
@@ -534,6 +596,7 @@ mod tests {
             Request::Stream { every_pumps: 4 },
             Request::Stats,
             Request::Close,
+            Request::GetSelfMetrics,
         ];
         for r in reqs {
             let f = r.encode();
@@ -599,6 +662,21 @@ mod tests {
                 reason: "outbox full for 8 pumps".into(),
             },
             Response::Closed,
+            Response::SelfMetrics {
+                counters: vec![
+                    ("reads_served".into(), 99),
+                    ("latency_inversions".into(), 0),
+                ],
+                hists: vec![HistSummary {
+                    name: "read_latency_ns".into(),
+                    count: 99,
+                    min: 500,
+                    max: 8_000,
+                    p50: 1_023,
+                    p90: 4_095,
+                    p99: 8_000,
+                }],
+            },
         ];
         for r in resps {
             let f = r.encode();
@@ -633,6 +711,21 @@ mod tests {
         let mut f = Response::Closed.encode();
         f[4] = 0xff;
         assert!(Response::decode(&f).is_err());
+        // SelfMetrics cut off mid-histogram.
+        let f = Response::SelfMetrics {
+            counters: vec![("c".into(), 1)],
+            hists: vec![HistSummary {
+                name: "h".into(),
+                count: 1,
+                min: 1,
+                max: 1,
+                p50: 1,
+                p90: 1,
+                p99: 1,
+            }],
+        }
+        .encode();
+        assert!(Response::decode(&f[..f.len() - 4]).is_err());
     }
 
     #[test]

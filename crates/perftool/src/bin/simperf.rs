@@ -3,8 +3,14 @@
 //! ```text
 //! simperf list
 //! simperf stat   [-m machine] [-a] [-C cpulist] [-e ev,ev] [-w workload] [-I ms] [--json]
+//!                [--trace-out FILE]
 //! simperf record [-m machine] [-c period] [-e event] [-w workload]
 //! ```
+//!
+//! `--trace-out FILE` boots the kernel with the flight recorder enabled
+//! and, after the stat run, writes every recorded track (kernel, shared
+//! hardware, one per CPU) as Chrome trace-event JSON — load it in
+//! Perfetto or `chrome://tracing`.
 //!
 //! Workloads: `scalar:N`, `dgemm:N`, `stream:N`, `branchy:N` (N =
 //! instructions), pinned via `-C` or free-running.
@@ -54,6 +60,7 @@ struct Args {
     period: u64,
     interval_ms: Option<u64>,
     json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -66,6 +73,7 @@ fn parse_args(argv: &[String]) -> Args {
         period: 100_000,
         interval_ms: None,
         json: false,
+        trace_out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -97,6 +105,10 @@ fn parse_args(argv: &[String]) -> Args {
                 a.interval_ms = argv[i].parse().ok();
             }
             "--json" => a.json = true,
+            "--trace-out" => {
+                i += 1;
+                a.trace_out = Some(argv[i].clone());
+            }
             other => a.events.push(other.to_string()),
         }
         i += 1;
@@ -105,7 +117,15 @@ fn parse_args(argv: &[String]) -> Args {
 }
 
 fn boot_and_spawn(args: &Args) -> (KernelHandle, Pid) {
-    let kernel = Kernel::boot_handle(machine(&args.machine), KernelConfig::default());
+    let cfg = KernelConfig {
+        trace: if args.trace_out.is_some() {
+            simtrace::TraceConfig::enabled_with_cap(1 << 16)
+        } else {
+            simtrace::TraceConfig::from_env()
+        },
+        ..Default::default()
+    };
+    let kernel = Kernel::boot_handle(machine(&args.machine), cfg);
     let mask = match &args.cpus {
         Some(s) => CpuMask::parse_cpulist(s).unwrap_or_else(|e| {
             eprintln!("bad cpulist: {e}");
@@ -179,6 +199,14 @@ fn main() {
                 } else {
                     println!("{}", res.render());
                 }
+            }
+            if let Some(path) = &args.trace_out {
+                let json = simtrace::chrome_trace_json(&kernel.lock().trace_tracks());
+                std::fs::write(path, &json).unwrap_or_else(|e| {
+                    eprintln!("simperf: writing {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("simperf: wrote trace to {path} ({} bytes)", json.len());
             }
         }
         "record" => {

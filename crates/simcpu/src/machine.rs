@@ -24,6 +24,7 @@ use crate::power::{RaplDomain, RaplSpec, RaplState};
 use crate::thermal::{ThermalSpec, ThermalState, TripPoint};
 use crate::types::{ClusterId, CoreId, CoreType, CpuId, CpuMask, Khz, Nanos};
 use crate::uarch::{Microarch, Vendor};
+use simtrace::{EventKind, TraceConfig, TraceSink};
 
 /// Static description of one cluster of identical cores.
 #[derive(Debug, Clone)]
@@ -124,6 +125,10 @@ pub struct CoreSeat {
     /// (DESIGN.md §9). Fixed-size and inline: no heap, thread-confined
     /// along with the rest of the seat.
     pub plan: PlanCache,
+    /// Per-CPU flight recorder (plan-cache hits/misses). Thread-confined
+    /// with the seat, so per-CPU streams are identical between serial
+    /// and parallel execution by construction.
+    pub trace: TraceSink,
 }
 
 /// Hardware shared across all cores: anything one core's tick may not
@@ -158,6 +163,8 @@ pub struct Machine {
     /// share, or the memory-contention factor. A macro-tick replay loop
     /// watches this to know the captured template went stale.
     exec_epoch: u64,
+    /// Shared-hardware flight recorder (DVFS / thermal transitions).
+    hw_trace: TraceSink,
 }
 
 impl Machine {
@@ -196,6 +203,7 @@ impl Machine {
                         pmu: CorePmu::new(cl.uarch.params()),
                         llc_share: 0,
                         plan: PlanCache::new(),
+                        trace: TraceSink::disabled(),
                     });
                     cpu_idx += 1;
                 }
@@ -226,7 +234,23 @@ impl Machine {
             seats,
             spec,
             exec_epoch: 0,
+            hw_trace: TraceSink::disabled(),
         }
+    }
+
+    /// Install (or replace) the hardware-domain trace sinks: one for the
+    /// shared hardware and one per core seat. Rings are preallocated
+    /// here so the hot loop stays allocation-free with tracing on.
+    pub fn set_trace(&mut self, cfg: &TraceConfig) {
+        self.hw_trace = TraceSink::new(cfg);
+        for seat in &mut self.seats {
+            seat.trace = TraceSink::new(cfg);
+        }
+    }
+
+    /// The shared-hardware flight recorder (DVFS / thermal transitions).
+    pub fn hw_trace(&self) -> &TraceSink {
+        &self.hw_trace
     }
 
     // ---- topology --------------------------------------------------------
@@ -418,7 +442,18 @@ impl Machine {
             .shared
             .rapl
             .step(dt_ns, pkg_w, cores_w, dram_w, meter_w);
+        let throttling_before = self.shared.thermal.throttling();
         self.shared.thermal.step(dt_ns, pkg_w);
+        let throttling_now = self.shared.thermal.throttling();
+        if throttling_now != throttling_before {
+            self.hw_trace.record(
+                self.time_ns,
+                EventKind::ThermalTransition,
+                0,
+                throttling_now as u64,
+                self.shared.thermal.temp_mc() as u64,
+            );
+        }
 
         // --- DVFS per cluster ---
         let mut ctx_changed = false;
@@ -428,7 +463,16 @@ impl Machine {
             let cap = shared.thermal.freq_cap_khz(ct);
             let before = dom.cur_khz();
             dom.step(dt_ns, cluster_util[ci.min(3)], scale, cap);
-            ctx_changed |= dom.cur_khz() != before;
+            if dom.cur_khz() != before {
+                ctx_changed = true;
+                self.hw_trace.record(
+                    self.time_ns,
+                    EventKind::DvfsTransition,
+                    ci as u32,
+                    before,
+                    dom.cur_khz(),
+                );
+            }
         }
 
         // --- LLC shares & memory contention for next tick ---

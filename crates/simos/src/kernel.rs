@@ -30,6 +30,7 @@ use simcpu::exec;
 use simcpu::machine::{CoreSeat, CpuLoad, Machine, MachineSpec};
 use simcpu::power::RaplDomain;
 use simcpu::types::{CoreType, CpuId, CpuMask, Nanos};
+use simtrace::{EventKind, TraceConfig, TraceSink, Track};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -155,6 +156,10 @@ pub struct KernelConfig {
     pub plan_cache: bool,
     /// Quiescent-span coalescing policy for [`Kernel::tick_batch`].
     pub macro_ticks: MacroTicks,
+    /// Flight-recorder tracing (`SIM_TRACE` / `SIM_TRACE_CAP`; see
+    /// `simtrace`). Off by default; timestamps are sim time, so enabling
+    /// it cannot perturb the simulation.
+    pub trace: TraceConfig,
 }
 
 impl Default for KernelConfig {
@@ -168,8 +173,32 @@ impl Default for KernelConfig {
             exec_mode: ExecMode::Auto,
             plan_cache: true,
             macro_ticks: MacroTicks::Auto,
+            trace: TraceConfig::from_env(),
         }
     }
+}
+
+/// Reject reasons recorded in the `code` of a
+/// [`EventKind::MacroSpanReject`] event — why `tick_batch` declined to
+/// coalesce at this tick (DESIGN.md §10).
+pub mod reject {
+    /// `end_tick` moved an exec context (frequency/LLC/contention).
+    pub const CTX_UNSTABLE: u32 = 1;
+    /// Instrumentation hooks are pending dispatch.
+    pub const PENDING_HOOKS: u32 = 2;
+    /// Some task is not Exited/Running-in-place (scheduler not provably
+    /// a no-op).
+    pub const TASKS_NOT_QUIESCENT: u32 = 3;
+    /// An occupied CPU is offline.
+    pub const CPU_OFFLINE: u32 = 4;
+    /// Last tick was not a steady replayable template.
+    pub const UNSTEADY_TEMPLATE: u32 = 5;
+    /// Not enough phase-instruction headroom to avoid the end clamp.
+    pub const NO_HEADROOM: u32 = 6;
+    /// A fault or fault-undo is due now.
+    pub const FAULT_DUE: u32 = 7;
+    /// The computed span collapsed to zero ticks.
+    pub const ZERO_SPAN: u32 = 8;
 }
 
 /// Modeled syscall latencies (ns) — calibrated to the magnitudes reported
@@ -372,12 +401,16 @@ pub struct Kernel {
     /// (frequencies, LLC shares, contention) unchanged — the templates it
     /// recorded are only valid for the next tick if so.
     ctx_stable: bool,
+    /// Kernel-domain flight recorder (ticks, macro spans, migrations,
+    /// faults). Hardware and per-CPU events live in the machine's sinks.
+    trace: TraceSink,
 }
 
 impl Kernel {
     /// Boot a kernel on the given machine.
     pub fn boot(spec: MachineSpec, cfg: KernelConfig) -> Kernel {
-        let machine = Machine::new(spec);
+        let mut machine = Machine::new(spec);
+        machine.set_trace(&cfg.trace);
         let n = machine.n_cpus();
         let topo = machine
             .cpus()
@@ -432,9 +465,28 @@ impl Kernel {
             tick_count: 0,
             replayed_ticks: 0,
             ctx_stable: false,
+            trace: TraceSink::new(&cfg.trace),
             machine,
             cfg,
         }
+    }
+
+    /// Whether flight-recorder tracing is on for this kernel.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Export every flight-recorder stream owned by the kernel and its
+    /// machine: the kernel track, the shared-hardware track, and one
+    /// track per CPU seat.
+    pub fn trace_tracks(&self) -> Vec<Track> {
+        let mut tracks = Vec::with_capacity(2 + self.machine.n_cpus());
+        tracks.push(Track::new("kernel", self.trace.events()));
+        tracks.push(Track::new("hw", self.machine.hw_trace().events()));
+        for (i, seat) in self.machine.seats().iter().enumerate() {
+            tracks.push(Track::new(format!("cpu{i}"), seat.trace.events()));
+        }
+        tracks
     }
 
     /// Boot with default config and wrap in a shareable handle.
@@ -739,6 +791,8 @@ impl Kernel {
                         *slot = true;
                     }
                     self.perf_gen += 1;
+                    self.trace
+                        .record(at, EventKind::FaultUndo, cpu.0 as u32, 1, 0);
                     fs.record(at, format!("cpu{} back online", cpu.0));
                 }
                 Undo::WatchdogRelease(ev) => {
@@ -746,6 +800,7 @@ impl Kernel {
                         fs.watchdog_stolen.remove(pos);
                     }
                     self.perf_gen += 1;
+                    self.trace.record(at, EventKind::FaultUndo, 0, 2, 0);
                     fs.record(at, format!("nmi watchdog released {ev:?}"));
                 }
             }
@@ -776,6 +831,13 @@ impl Kernel {
                         if let Some(d) = down_ns {
                             fs.push_undo(now + d, Undo::Reonline(cpu));
                         }
+                        self.trace.record(
+                            now,
+                            EventKind::FaultCpuOffline,
+                            cpu.0 as u32,
+                            down_ns.unwrap_or(0),
+                            0,
+                        );
                         fs.record(now, format!("cpu{} offline", cpu.0));
                     }
                 }
@@ -787,10 +849,14 @@ impl Kernel {
                     if let Some(d) = hold_ns {
                         fs.push_undo(now + d, Undo::WatchdogRelease(steal));
                     }
+                    self.trace
+                        .record(now, EventKind::FaultNmiWatchdog, 0, hold_ns.unwrap_or(0), 0);
                     fs.record(now, format!("nmi watchdog stole fixed {steal:?}"));
                 }
                 FaultKind::TransientOpen { errno, count } => {
                     fs.arm_open_failures(errno, count);
+                    self.trace
+                        .record(now, EventKind::FaultTransientOpen, 0, count as u64, 0);
                     fs.record(
                         now,
                         format!("next {count} perf_event_open calls fail {errno:?}"),
@@ -798,10 +864,14 @@ impl Kernel {
                 }
                 FaultKind::TransientRead { errno, count } => {
                     fs.arm_read_failures(errno, count);
+                    self.trace
+                        .record(now, EventKind::FaultTransientRead, 0, count as u64, 0);
                     fs.record(now, format!("next {count} perf read calls fail {errno:?}"));
                 }
                 FaultKind::CounterWrap { headroom } => {
                     fs.arm_wrap(headroom);
+                    self.trace
+                        .record(now, EventKind::FaultCounterWrap, 0, headroom, 0);
                     fs.record(
                         now,
                         format!("48-bit counter wrap armed (headroom {headroom})"),
@@ -810,6 +880,8 @@ impl Kernel {
                 FaultKind::RaplWrapBurst { wraps, extra_uj } => {
                     let uj = wraps as u64 * simcpu::power::ENERGY_WRAP_UJ + extra_uj;
                     self.machine.rapl_mut().inject_energy_uj(uj as f64);
+                    self.trace
+                        .record(now, EventKind::FaultRaplWrapBurst, 0, uj, 0);
                     fs.record(
                         now,
                         format!("rapl energy burst: {wraps} wraps + {extra_uj} uj"),
@@ -817,6 +889,8 @@ impl Kernel {
                 }
                 FaultKind::SysfsFlaky { dur_ns } => {
                     // Window membership is precomputed; this entry only logs.
+                    self.trace
+                        .record(now, EventKind::FaultSysfsFlaky, 0, dur_ns, 0);
                     fs.record(now, format!("sysfs flaky for {dur_ns} ns"));
                 }
             }
@@ -1194,6 +1268,9 @@ impl Kernel {
     /// Advance the world by one tick.
     pub fn tick(&mut self) {
         let dt = self.cfg.tick_ns;
+        let tick_idx = self.tick_count;
+        self.trace
+            .record(self.time_ns, EventKind::TickBegin, 0, tick_idx, 0);
 
         // 0. Fire due faults (hotplug, watchdog theft, bursts) before the
         //    scheduler looks at the world.
@@ -1254,6 +1331,8 @@ impl Kernel {
         self.perf_package_tick(dt, mem_bytes);
         self.time_ns += dt;
         self.tick_count += 1;
+        self.trace
+            .record(self.time_ns, EventKind::TickEnd, 0, tick_idx, 0);
     }
 
     /// Advance the world by `n` ticks, coalescing quiescent spans into
@@ -1273,8 +1352,17 @@ impl Kernel {
             if left == 0 || self.cfg.macro_ticks == MacroTicks::Off {
                 continue;
             }
-            let Some(span) = self.quiescent_span(left) else {
-                continue;
+            let span = match self.quiescent_span(left) {
+                Ok(span) => {
+                    self.trace
+                        .record(self.time_ns, EventKind::MacroSpanAdmit, 0, span, 0);
+                    span
+                }
+                Err(reason) => {
+                    self.trace
+                        .record(self.time_ns, EventKind::MacroSpanReject, reason, 0, 0);
+                    continue;
+                }
             };
             for _ in 0..span {
                 let ctx_stable = self.replay_tick();
@@ -1302,19 +1390,22 @@ impl Kernel {
     ///   enough phase instructions left that no replayed tick (nor the
     ///   first real tick after) hits the end-of-phase clamp;
     /// * no fault or fault-undo coming due inside the span.
-    fn quiescent_span(&self, left: u64) -> Option<u64> {
-        if !self.ctx_stable || !self.pending_hooks.is_empty() {
-            return None;
+    fn quiescent_span(&self, left: u64) -> Result<u64, u32> {
+        if !self.ctx_stable {
+            return Err(reject::CTX_UNSTABLE);
+        }
+        if !self.pending_hooks.is_empty() {
+            return Err(reject::PENDING_HOOKS);
         }
         for t in self.tasks.iter().flatten() {
             match t.state {
                 TaskState::Exited => {}
                 TaskState::Running(cpu) => {
                     if self.current.get(cpu.0).copied().flatten() != Some(t.pid) {
-                        return None;
+                        return Err(reject::TASKS_NOT_QUIESCENT);
                     }
                 }
-                _ => return None,
+                _ => return Err(reject::TASKS_NOT_QUIESCENT),
             }
         }
         let mut span = left;
@@ -1323,22 +1414,23 @@ impl Kernel {
                 continue;
             };
             if !self.online[ci] {
-                return None;
+                return Err(reject::CPU_OFFLINE);
             }
             let out = &self.scratch.outs[ci];
             if !out.steady || out.inst_total == 0 {
-                return None;
+                return Err(reject::UNSTEADY_TEMPLATE);
             }
             let ph = self.tasks[pid.0 as usize]
                 .as_ref()
-                .and_then(|t| t.current.as_ref())?;
+                .and_then(|t| t.current.as_ref())
+                .ok_or(reject::UNSTEADY_TEMPLATE)?;
             // `advance` clamps to the instructions left in the phase; the
             // templates are only valid while that clamp cannot engage.
             // Keeping two spare ticks of headroom covers both the last
             // replayed tick and the real tick that follows it.
             let headroom = (ph.instructions / out.inst_total).saturating_sub(2);
             if headroom == 0 {
-                return None;
+                return Err(reject::NO_HEADROOM);
             }
             span = span.min(headroom);
         }
@@ -1347,14 +1439,14 @@ impl Kernel {
         // span must stop short of the first due time.
         if let Some(due) = self.faults.as_ref().and_then(|f| f.next_due_ns()) {
             if due <= self.time_ns {
-                return None;
+                return Err(reject::FAULT_DUE);
             }
             span = span.min((due - self.time_ns).div_ceil(self.cfg.tick_ns));
         }
         if span == 0 {
-            None
+            Err(reject::ZERO_SPAN)
         } else {
-            Some(span)
+            Ok(span)
         }
     }
 
@@ -1365,6 +1457,11 @@ impl Kernel {
     /// (i.e. whether the templates are still valid for another tick).
     fn replay_tick(&mut self) -> bool {
         let dt = self.cfg.tick_ns;
+        let tick_idx = self.tick_count;
+        self.trace
+            .record(self.time_ns, EventKind::TickBegin, 0, tick_idx, 0);
+        self.trace
+            .record(self.time_ns, EventKind::MacroReplay, 0, tick_idx, 0);
         let n = self.machine.n_cpus();
         for ci in 0..n {
             let out = self.scratch.outs[ci];
@@ -1409,6 +1506,8 @@ impl Kernel {
         self.time_ns += dt;
         self.tick_count += 1;
         self.replayed_ticks += 1;
+        self.trace
+            .record(self.time_ns, EventKind::TickEnd, 0, tick_idx, 0);
         self.machine.exec_epoch() == epoch_before
     }
 
@@ -1453,6 +1552,18 @@ impl Kernel {
         self.scratch.deltas[cpu_idx] = out.delta;
         self.scratch.run_ns[cpu_idx] = out.run_ns;
         self.scratch.sw_meta[cpu_idx] = out.sw;
+        if out.sw.1 {
+            // Recorded here (the in-order drain shared by the serial and
+            // parallel paths) so the kernel track is execution-mode
+            // independent.
+            self.trace.record(
+                self.time_ns,
+                EventKind::SchedMigrate,
+                cpu_idx as u32,
+                pid.0 as u64,
+                0,
+            );
+        }
         match out.ctrl {
             Some(CtrlOp::Barrier(id)) => {
                 self.barriers.entry(id).or_default().waiting.push(pid);
@@ -1921,6 +2032,14 @@ fn exec_core(
     let core_type = core_types[cpu.0];
     let ct_idx = core_type_index(core_type);
     seat.plan.set_epoch(work.plan_epoch);
+    // Plan-cache deltas are recorded into the seat's own sink, so this
+    // stays thread-confined (serial == parallel) and costs one branch
+    // when tracing is off.
+    let plan_stats0 = if seat.trace.enabled() {
+        Some(seat.plan.stats())
+    } else {
+        None
+    };
 
     // Context-switch and migration accounting.
     let switched_in = work.prev != Some(work.pid);
@@ -2057,6 +2176,18 @@ fn exec_core(
     // Mirror counting into the physical PMU slots (48-bit wrap exercised
     // at the hardware layer).
     seat.pmu.apply(&tick_events);
+
+    if let Some((h0, m0)) = plan_stats0 {
+        let (h1, m1) = seat.plan.stats();
+        if h1 > h0 {
+            seat.trace
+                .record(now, EventKind::PlanHit, cpu.0 as u32, h1 - h0, 0);
+        }
+        if m1 > m0 {
+            seat.trace
+                .record(now, EventKind::PlanMiss, cpu.0 as u32, m1 - m0, 0);
+        }
+    }
 }
 
 /// Drive a kernel handle until all tasks exit, dispatching instrumentation
@@ -3211,6 +3342,13 @@ mod tests {
         assert_eq!(ExecMode::parse("parallel:x"), None);
         assert_eq!(ExecMode::parse("turbo"), None);
         assert_eq!(ExecMode::default(), ExecMode::Auto);
+        // Same strictness contract as SIM_TRACE/SIM_TRACE_CAP (simtrace):
+        // whitespace is tolerated, anything else unknown is rejected so
+        // `from_env` can panic instead of silently defaulting.
+        assert_eq!(ExecMode::parse(" serial "), Some(ExecMode::Serial));
+        assert_eq!(ExecMode::parse("SERIAL"), None);
+        assert_eq!(ExecMode::parse(""), None);
+        assert_eq!(ExecMode::parse("parallel:"), None);
     }
 
     #[test]
@@ -3219,6 +3357,9 @@ mod tests {
         assert_eq!(MacroTicks::parse("auto"), Some(MacroTicks::Auto));
         assert_eq!(MacroTicks::parse("force"), Some(MacroTicks::Force));
         assert_eq!(MacroTicks::parse("on"), None);
+        assert_eq!(MacroTicks::parse(" force "), Some(MacroTicks::Force));
+        assert_eq!(MacroTicks::parse("Force"), None);
+        assert_eq!(MacroTicks::parse(""), None);
     }
 
     /// The batched tick loop must be bit-identical to the plain one, and

@@ -1,0 +1,433 @@
+//! simtrace — deterministic flight-recorder tracing for the simulated
+//! perf stack.
+//!
+//! Every layer of the workspace (simcpu hardware, the simos kernel, the
+//! PAPI facade, metricsd) owns one or more [`TraceSink`]s: fixed-capacity
+//! ring buffers of sim-time-stamped [`TraceEvent`]s. The contract that
+//! keeps this compatible with the determinism and allocation guarantees
+//! of DESIGN.md §7–§9:
+//!
+//! * **timestamps are sim time, never wall clock** — a traced run and an
+//!   untraced run of the same seed produce bit-identical simulation
+//!   state, and two traced runs produce bit-identical event streams;
+//! * **one branch when off** — [`TraceSink::record`] on a disabled sink
+//!   is a single `bool` test; a disabled sink allocates nothing;
+//! * **zero allocation when on** — the ring is preallocated at
+//!   construction and overwrites its oldest entry when full, so
+//!   recording from the serial hot loop never touches the allocator.
+//!
+//! Recorded streams export through [`export::chrome_trace_json`]
+//! (Perfetto / `chrome://tracing` loadable) and [`export::text_dump`];
+//! [`metrics`] holds the shared self-metrics registry (counters, gauges,
+//! log-bucketed histograms) and [`postmortem`] the last-N-events panic
+//! dump.
+//!
+//! Knobs: `SIM_TRACE` (`off`|`on`) and `SIM_TRACE_CAP` (ring capacity in
+//! events, per sink). Unknown values panic, matching `SIM_EXEC_MODE` —
+//! a typo'd knob silently tracing nothing is how overhead measurements
+//! get mislabelled.
+
+pub mod export;
+pub mod metrics;
+pub mod postmortem;
+
+pub use export::{chrome_trace_json, text_dump, Track};
+
+/// What happened. One enum across every domain so a merged view sorts
+/// trivially; the per-kind payload goes into [`TraceEvent::code`] /
+/// [`TraceEvent::a`] / [`TraceEvent::b`] (documented per variant).
+#[repr(u16)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// Kernel tick span opens. `a` = tick index.
+    TickBegin,
+    /// Kernel tick span closes. `a` = tick index.
+    TickEnd,
+    /// `tick_batch` admitted a quiescent span. `a` = span length (ticks).
+    MacroSpanAdmit,
+    /// `tick_batch` rejected coalescing. `code` = reject reason
+    /// (see `simos::kernel` reject constants / DESIGN.md §10).
+    MacroSpanReject,
+    /// One tick was fast-forwarded by template replay. `a` = tick index.
+    MacroReplay,
+    /// Exec-plan cache hits during one core-tick. `code` = cpu, `a` = hits.
+    PlanHit,
+    /// Exec-plan cache misses during one core-tick. `code` = cpu, `a` = misses.
+    PlanMiss,
+    /// A task ran on a different CPU than last time. `code` = cpu, `a` = pid.
+    SchedMigrate,
+    /// A DVFS domain changed frequency. `code` = cluster, `a` = old kHz,
+    /// `b` = new kHz.
+    DvfsTransition,
+    /// Thermal throttling engaged (`a` = 1) or released (`a` = 0);
+    /// `b` = package temperature (milli-°C).
+    ThermalTransition,
+    /// Fault: CPU hotplugged out. `code` = cpu.
+    FaultCpuOffline,
+    /// Fault: NMI watchdog stole a fixed counter.
+    FaultNmiWatchdog,
+    /// Fault: next `a` perf_event_open calls fail transiently.
+    FaultTransientOpen,
+    /// Fault: next `a` perf read calls fail transiently.
+    FaultTransientRead,
+    /// Fault: 48-bit counter wrap armed. `a` = headroom.
+    FaultCounterWrap,
+    /// Fault: RAPL energy burst. `a` = injected µJ.
+    FaultRaplWrapBurst,
+    /// Fault: sysfs flaky window opened. `a` = duration ns.
+    FaultSysfsFlaky,
+    /// A fault reversal fired (re-online / watchdog release). `code` = cpu
+    /// for re-online, 0 otherwise.
+    FaultUndo,
+    /// PAPI eventset started. `code` = eventset id.
+    PapiStart,
+    /// PAPI eventset stopped. `code` = eventset id.
+    PapiStop,
+    /// PAPI eventset read. `code` = eventset id, `a` = worst
+    /// `ReadQuality` across values (0 ok / 1 scaled / 2 lost).
+    PapiRead,
+    /// metricsd pump completed. `a` = snapshot tick.
+    DaemonPump,
+    /// metricsd served one request. `code` = shard-local serve index
+    /// low bits, `a` = session id.
+    DaemonServe,
+    /// metricsd evicted a slow consumer. `a` = session id.
+    DaemonEvict,
+    /// A Read's `submit_ns` was ahead of the virtual serve clock.
+    /// `a` = submit_ns, `b` = serve_virtual_ns.
+    LatencyInversion,
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TickBegin => "tick_begin",
+            EventKind::TickEnd => "tick_end",
+            EventKind::MacroSpanAdmit => "macro_span_admit",
+            EventKind::MacroSpanReject => "macro_span_reject",
+            EventKind::MacroReplay => "macro_replay",
+            EventKind::PlanHit => "plan_hit",
+            EventKind::PlanMiss => "plan_miss",
+            EventKind::SchedMigrate => "sched_migrate",
+            EventKind::DvfsTransition => "dvfs_transition",
+            EventKind::ThermalTransition => "thermal_transition",
+            EventKind::FaultCpuOffline => "fault_cpu_offline",
+            EventKind::FaultNmiWatchdog => "fault_nmi_watchdog",
+            EventKind::FaultTransientOpen => "fault_transient_open",
+            EventKind::FaultTransientRead => "fault_transient_read",
+            EventKind::FaultCounterWrap => "fault_counter_wrap",
+            EventKind::FaultRaplWrapBurst => "fault_rapl_wrap_burst",
+            EventKind::FaultSysfsFlaky => "fault_sysfs_flaky",
+            EventKind::FaultUndo => "fault_undo",
+            EventKind::PapiStart => "papi_start",
+            EventKind::PapiStop => "papi_stop",
+            EventKind::PapiRead => "papi_read",
+            EventKind::DaemonPump => "daemon_pump",
+            EventKind::DaemonServe => "daemon_serve",
+            EventKind::DaemonEvict => "daemon_evict",
+            EventKind::LatencyInversion => "latency_inversion",
+        }
+    }
+
+    /// Macro-tick bookkeeping emitted only by the coalescing path. A
+    /// Force-vs-Off stream comparison filters these (DESIGN.md §10): the
+    /// simulation they describe is identical, the summary is not.
+    pub fn is_macro_summary(self) -> bool {
+        matches!(
+            self,
+            EventKind::MacroSpanAdmit | EventKind::MacroSpanReject | EventKind::MacroReplay
+        )
+    }
+}
+
+/// One recorded event: 32 bytes, `Copy`, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event (ns).
+    pub t_ns: u64,
+    pub kind: EventKind,
+    /// Small per-kind discriminator (CPU index, reject reason, …).
+    pub code: u32,
+    pub a: u64,
+    pub b: u64,
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next write position once the buffer has wrapped.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    pub fn with_capacity(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.cap {
+            // Capacity was reserved up front: no allocation here.
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events oldest-first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+/// The recording handle a domain owns. Disabled is the common case and
+/// costs one branch per [`TraceSink::record`] and zero bytes of ring.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    on: bool,
+    ring: Ring,
+}
+
+impl TraceSink {
+    /// A sink that records nothing and holds no buffer.
+    pub fn disabled() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Build from config: enabled sinks preallocate their full ring.
+    pub fn new(cfg: &TraceConfig) -> TraceSink {
+        if cfg.enabled {
+            TraceSink {
+                on: true,
+                ring: Ring::with_capacity(cfg.cap),
+            }
+        } else {
+            TraceSink::disabled()
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    #[inline]
+    pub fn record(&mut self, t_ns: u64, kind: EventKind, code: u32, a: u64, b: u64) {
+        if !self.on {
+            return;
+        }
+        self.ring.push(TraceEvent {
+            t_ns,
+            kind,
+            code,
+            a,
+            b,
+        });
+    }
+
+    /// Recorded events oldest-first (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.events()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+/// Default per-sink ring capacity (events). 32 B/event ⇒ 128 KiB/sink.
+pub const DEFAULT_CAP: usize = 4096;
+
+/// Tracing configuration, carried in `KernelConfig` and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    pub enabled: bool,
+    /// Ring capacity per sink, in events.
+    pub cap: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            cap: DEFAULT_CAP,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// An enabled config with capacity `cap`.
+    pub fn enabled_with_cap(cap: usize) -> TraceConfig {
+        TraceConfig { enabled: true, cap }
+    }
+
+    /// Parse `"off"` or `"on"` for `SIM_TRACE`.
+    pub fn parse_enabled(s: &str) -> Option<bool> {
+        match s.trim() {
+            "off" => Some(false),
+            "on" => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Parse a positive ring capacity for `SIM_TRACE_CAP`.
+    pub fn parse_cap(s: &str) -> Option<usize> {
+        match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Read `SIM_TRACE` / `SIM_TRACE_CAP` from the environment (default:
+    /// off, [`DEFAULT_CAP`]).
+    ///
+    /// Panics on an unknown value, like `ExecMode::from_env`: a typo'd
+    /// knob silently not tracing (or silently truncating the ring) is
+    /// exactly how overhead and coverage numbers get mislabelled.
+    pub fn from_env() -> TraceConfig {
+        let enabled = match std::env::var("SIM_TRACE") {
+            Err(_) => false,
+            Ok(v) => TraceConfig::parse_enabled(&v)
+                .unwrap_or_else(|| panic!("SIM_TRACE: unknown value {v:?} (expected off|on)")),
+        };
+        let cap = match std::env::var("SIM_TRACE_CAP") {
+            Err(_) => DEFAULT_CAP,
+            Ok(v) => TraceConfig::parse_cap(&v).unwrap_or_else(|| {
+                panic!("SIM_TRACE_CAP: invalid value {v:?} (expected a positive integer)")
+            }),
+        };
+        TraceConfig { enabled, cap }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            kind: EventKind::TickBegin,
+            code: 0,
+            a: t,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut r = Ring::with_capacity(3);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_holds_no_buffer() {
+        let mut s = TraceSink::disabled();
+        s.record(1, EventKind::TickBegin, 0, 0, 0);
+        assert!(!s.enabled());
+        assert!(s.events().is_empty());
+        assert_eq!(s.ring.buf.capacity(), 0);
+    }
+
+    #[test]
+    fn enabled_sink_records_and_preallocates() {
+        let mut s = TraceSink::new(&TraceConfig::enabled_with_cap(8));
+        assert!(s.enabled());
+        assert_eq!(s.ring.buf.capacity(), 8);
+        s.record(5, EventKind::TickEnd, 1, 2, 3);
+        let e = s.events();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].t_ns, 5);
+        assert_eq!(e[0].kind, EventKind::TickEnd);
+        assert_eq!((e[0].code, e[0].a, e[0].b), (1, 2, 3));
+    }
+
+    #[test]
+    fn sim_trace_parses_strictly() {
+        assert_eq!(TraceConfig::parse_enabled("off"), Some(false));
+        assert_eq!(TraceConfig::parse_enabled(" on "), Some(true));
+        assert_eq!(TraceConfig::parse_enabled("yes"), None);
+        assert_eq!(TraceConfig::parse_enabled("ON"), None);
+        assert_eq!(TraceConfig::parse_enabled(""), None);
+    }
+
+    #[test]
+    fn sim_trace_cap_parses_strictly() {
+        assert_eq!(TraceConfig::parse_cap("1"), Some(1));
+        assert_eq!(TraceConfig::parse_cap(" 4096 "), Some(4096));
+        assert_eq!(TraceConfig::parse_cap("0"), None, "zero-size ring rejected");
+        assert_eq!(TraceConfig::parse_cap("-1"), None);
+        assert_eq!(TraceConfig::parse_cap("4k"), None);
+        assert_eq!(TraceConfig::parse_cap(""), None);
+    }
+
+    #[test]
+    fn event_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<TraceEvent>(), 32);
+    }
+
+    #[test]
+    fn macro_summary_kinds_are_exactly_the_documented_set() {
+        for k in [
+            EventKind::MacroSpanAdmit,
+            EventKind::MacroSpanReject,
+            EventKind::MacroReplay,
+        ] {
+            assert!(k.is_macro_summary());
+        }
+        for k in [
+            EventKind::TickBegin,
+            EventKind::TickEnd,
+            EventKind::SchedMigrate,
+            EventKind::DvfsTransition,
+            EventKind::FaultCpuOffline,
+        ] {
+            assert!(!k.is_macro_summary());
+        }
+    }
+}

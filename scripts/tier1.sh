@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FIRST_PARTY=(simcpu simos pfmlib papi workloads telemetry perftool jsonw metricsd hetero-papi)
+FIRST_PARTY=(simcpu simos pfmlib papi workloads telemetry perftool jsonw metricsd simtrace hetero-papi)
 
 echo "== fmt (first-party, --check) =="
 fmt_args=()
@@ -42,8 +42,17 @@ cargo run --offline --release -p bench-harness --bin tickbench -- --quick
 echo "== exec hot path (quick, emits BENCH_exec.json) =="
 # Hard gate inside: raptor_lake_i7_13700 per-tick serial ticks/s must stay
 # at or above the pre-plan-cache PR-3 baseline recorded in the JSON — a
-# hot-path regression exits nonzero and fails tier1.
-cargo run --offline --release -p bench-harness --bin execbench -- --quick
+# hot-path regression exits nonzero and fails tier1. SIM_TRACE is pinned
+# off so this doubles as the trace-overhead gate: the disabled flight
+# recorder (one branch per record site) must stay within noise of the
+# pre-simtrace floor.
+SIM_TRACE=off cargo run --offline --release -p bench-harness --bin execbench -- --quick
+
+echo "== trace smoke (400-tick traced raptor run, validated chrome JSON) =="
+# Flight recorder on, full fault plan, live PAPI eventset: the exported
+# Chrome trace-event JSON must pass the strict jsonw validator with
+# per-CPU tracks plus fault and macro-tick span events present.
+cargo run --offline --release -p bench-harness --bin tickbench -- --trace-smoke
 
 echo "== metricsd load smoke (quick, emits BENCH_metricsd.json) =="
 # Hard gates inside: counter digests bit-identical across 1/4/8 worker

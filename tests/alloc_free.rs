@@ -36,17 +36,35 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Serialises the two measurement tests: the counter is global, so a
+/// concurrently running sibling test would pollute the windows.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn steady_state_tick_is_allocation_free() {
     // Serial explicitly: `ExecMode::Auto` may pick the parallel path on a
     // multicore host, and `thread::scope` allocates per tick by design.
-    let mut k = Kernel::boot(
-        MachineSpec::raptor_lake_i7_13700(),
-        KernelConfig {
-            exec_mode: ExecMode::Serial,
-            ..Default::default()
-        },
-    );
+    measure_steady_state(KernelConfig {
+        exec_mode: ExecMode::Serial,
+        ..Default::default()
+    });
+}
+
+/// The flight recorder must keep the guarantee when enabled: the ring is
+/// preallocated at boot and `record` overwrites in place, so a traced
+/// steady-state window is still allocation-free.
+#[test]
+fn steady_state_tick_is_allocation_free_with_tracing() {
+    measure_steady_state(KernelConfig {
+        exec_mode: ExecMode::Serial,
+        trace: simtrace::TraceConfig::enabled_with_cap(4096),
+        ..Default::default()
+    });
+}
+
+fn measure_steady_state(cfg: KernelConfig) {
+    let _guard = MEASURE.lock().unwrap();
+    let mut k = Kernel::boot(MachineSpec::raptor_lake_i7_13700(), cfg);
     let n = k.machine().n_cpus();
     // One immortal compute-bound worker per CPU, pinned so the scheduler
     // reaches a fixed point (no migrations, no run-queue churn).

@@ -18,6 +18,7 @@ use simos::faults::{FaultKind, FaultPlan, TransientErrno};
 use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
 use simos::perf::{EventConfig, EventFd, PerfAttr, PmuKind, RaplConfig, Target, UncoreConfig};
 use simos::task::{Op, Pid, ScriptedProgram};
+use simtrace::TraceConfig;
 
 // ---- FNV-1a ----------------------------------------------------------------
 
@@ -442,6 +443,30 @@ fn macro_ticks_coalesce_and_match() {
         replayed > 250,
         "steady phases should coalesce most of the run: {replayed}"
     );
+}
+
+/// The flight recorder is a pure observer: running the full conformance
+/// scenario with tracing on (big enough rings that nothing drops) must
+/// reproduce the untraced serial golden digest bit-for-bit.
+#[test]
+fn tracing_does_not_perturb_the_golden_digest() {
+    let golden = run_case(MachineSpec::skylake_quad(), ExecMode::Serial);
+    for exec_mode in [ExecMode::Serial, ExecMode::Parallel { threads: 3 }] {
+        let traced = run_case_cfg(
+            MachineSpec::skylake_quad(),
+            KernelConfig {
+                exec_mode,
+                seed: 0x5eed_cafe,
+                trace: TraceConfig::enabled_with_cap(1 << 15),
+                ..Default::default()
+            },
+            false,
+        );
+        assert_eq!(
+            golden, traced,
+            "skylake_quad: traced {exec_mode:?} run diverged from untraced serial"
+        );
+    }
 }
 
 #[test]

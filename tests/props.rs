@@ -9,9 +9,10 @@ use simcpu::phase::Phase;
 use simcpu::power::energy_delta_uj;
 use simcpu::types::{CpuId, CpuMask};
 use simos::faults::{FaultKind, FaultPlan, TransientErrno};
-use simos::kernel::{ExecMode, Kernel, KernelConfig};
+use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
 use simos::perf::{PerfAttr, Target};
 use simos::task::{Op, Pid, ScriptedProgram};
+use simtrace::TraceConfig;
 
 /// A random but valid compute phase.
 fn arb_phase() -> impl Strategy<Value = Phase> {
@@ -413,6 +414,91 @@ proptest! {
             h
         };
         prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Mode-invariance of the flight recorder (DESIGN.md §10). With rings
+    /// big enough that nothing drops: (a) Serial and Parallel runs record
+    /// byte-identical event streams on *every* track; (b) a coalescing
+    /// run (`MacroTicks::Force`) matches a non-coalescing one (`Off`) on
+    /// the kernel and hw tracks once the macro-summary bookkeeping kinds
+    /// (`is_macro_summary`) are filtered out — per-CPU tracks are
+    /// excluded from (b) by design, since replayed ticks skip the exec
+    /// layer and so record no plan-cache events.
+    #[test]
+    fn trace_event_order_mode_invariant(
+        progs in proptest::collection::vec(
+            (
+                proptest::collection::vec(arb_phase(), 1..3),
+                proptest::collection::vec(0usize..8, 1..3),
+            ),
+            1..6,
+        ),
+        ticks in 30u64..100,
+        threads in 1usize..4,
+    ) {
+        let run = |mode: ExecMode, macro_ticks: MacroTicks, batched: bool| {
+            let mut k = Kernel::boot(
+                MachineSpec::skylake_quad(),
+                KernelConfig {
+                    exec_mode: mode,
+                    macro_ticks,
+                    seed: 0x5eed_cafe,
+                    trace: TraceConfig::enabled_with_cap(1 << 15),
+                    ..Default::default()
+                },
+            );
+            for (phases, cpus) in &progs {
+                let ops: Vec<Op> = phases
+                    .iter()
+                    .cloned()
+                    .map(Op::Compute)
+                    .chain([Op::Exit])
+                    .collect();
+                k.spawn(
+                    "w",
+                    Box::new(ScriptedProgram::new(ops)),
+                    CpuMask::from_cpus(cpus.iter().copied()),
+                    0,
+                );
+            }
+            if batched {
+                k.tick_batch(ticks);
+            } else {
+                for _ in 0..ticks {
+                    k.tick();
+                }
+            }
+            k.trace_tracks()
+        };
+        let serial = run(ExecMode::Serial, MacroTicks::Off, false);
+        let parallel = run(ExecMode::Parallel { threads }, MacroTicks::Off, false);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(&s.name, &p.name);
+            prop_assert_eq!(
+                &s.events, &p.events,
+                "track {} diverged between serial and parallel", s.name
+            );
+        }
+        let force = run(ExecMode::Serial, MacroTicks::Force, true);
+        let off = run(ExecMode::Serial, MacroTicks::Off, true);
+        for name in ["kernel", "hw"] {
+            let pick = |tracks: &[simtrace::Track]| -> Vec<simtrace::TraceEvent> {
+                tracks
+                    .iter()
+                    .find(|t| t.name == name)
+                    .unwrap()
+                    .events
+                    .iter()
+                    .filter(|e| !e.kind.is_macro_summary())
+                    .copied()
+                    .collect()
+            };
+            prop_assert_eq!(
+                pick(&force), pick(&off),
+                "track {} diverged between MacroTicks::Force and Off", name
+            );
+        }
     }
 }
 
