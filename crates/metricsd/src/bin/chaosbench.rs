@@ -1,0 +1,585 @@
+//! chaosbench — prove the chaos-hardening invariant: a fleet of
+//! resilient clients driven through every transport fault preset (and
+//! through deliberate server overload) ends with counter digests
+//! **bit-identical** to the fault-free run, with zero lost or
+//! duplicated RPCs.
+//!
+//! The schedule is built so that chaos can perturb *when* things
+//! happen but never *what* is measured:
+//!
+//! 1. **Setup on quiescent pumps** — hellos and subscribes run while
+//!    the daemon pumps zero kernel ticks. Counter values are frozen at
+//!    their boot state, so a subscribe delayed three retries by a
+//!    stalled link still baselines the exact same values.
+//! 2. **Exactly R ticking pumps** — the only phase where sim time
+//!    advances. Sessions never touch the kernel, so the counter
+//!    trajectory depends only on this fixed pump count.
+//! 3. **Quiescent drain** — final reads ride out any remaining
+//!    retries/resumes with the counters frozen at their final values.
+//!
+//! The digest covers per-client final `(metric, value)` pairs only —
+//! not ticks or latencies, which legitimately differ under chaos.
+//!
+//! Emits `BENCH_chaos.json` with per-scenario injected-fault counts,
+//! client recovery stats, and daemon self-metrics (retries, sheds,
+//! resumes). Exit status is non-zero on any digest mismatch, lost or
+//! duplicated RPC, lost session, or a fault preset that injected
+//! nothing.
+//!
+//! ```text
+//! chaosbench [--quick] [--clients N] [--rounds R] [--out PATH]
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use metricsd::queue::ClientPipe;
+use metricsd::wire::{fnv64, metrics, Request, Response};
+use metricsd::{
+    ChaosConfig, ChaosStats, ChaosTransport, Connector, Daemon, DaemonConfig, ResilientClient,
+    ResilientConfig, ResilientStats,
+};
+use simcpu::machine::MachineSpec;
+use simcpu::phase::Phase;
+use simcpu::types::{CpuId, CpuMask};
+use simos::faults::{FaultKind, FaultPlan};
+use simos::kernel::{Kernel, KernelConfig, KernelHandle};
+use simos::task::{Op, ScriptedProgram};
+
+const SEED: u64 = 42;
+const TICKS_PER_PUMP: u32 = 10;
+/// Quiescent pumps allowed for setup / drain before declaring a wedge.
+const PHASE_CAP: u64 = 4000;
+
+fn session_mask(i: usize, n_cpus: usize) -> u64 {
+    let width = n_cpus.min(64);
+    let a = i % width;
+    let b = (i * 7 + 3) % width;
+    (1u64 << a) | (1u64 << b)
+}
+
+fn session_metrics(i: usize) -> u8 {
+    (i % metrics::ALL as usize) as u8 + 1
+}
+
+fn session_cadence(i: usize) -> u64 {
+    1 + (i % 4) as u64
+}
+
+/// Same machine as loadgen: fixed seed, standing workload, and a fault
+/// plan (hotplug + flaky sysfs + RAPL wrap) active *inside the kernel*
+/// while the transport layer above it is being tortured.
+fn boot_machine() -> KernelHandle {
+    let kernel = Kernel::boot_handle(
+        MachineSpec::raptor_lake_i7_13700(),
+        KernelConfig {
+            seed: SEED,
+            ..KernelConfig::default()
+        },
+    );
+    {
+        let mut k = kernel.lock();
+        let n_cpus = k.machine().n_cpus();
+        for cpu in (0..n_cpus).step_by(3) {
+            k.spawn(
+                &format!("w{cpu}"),
+                Box::new(ScriptedProgram::new([
+                    Op::Compute(Phase::scalar(u64::MAX / 4)),
+                    Op::Exit,
+                ])),
+                CpuMask::from_cpus([cpu]),
+                0,
+            );
+        }
+        k.install_faults(
+            &FaultPlan::new(SEED)
+                .at(
+                    100_000_000,
+                    FaultKind::CpuOffline {
+                        cpu: CpuId(17),
+                        down_ns: Some(150_000_000),
+                    },
+                )
+                .at(150_000_000, FaultKind::SysfsFlaky { dur_ns: 60_000_000 })
+                .at(
+                    250_000_000,
+                    FaultKind::RaplWrapBurst {
+                        wraps: 2,
+                        extra_uj: 5_000_000,
+                    },
+                ),
+        );
+    }
+    kernel
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+type Dial = Box<dyn FnMut() -> Option<ChaosTransport<ClientPipe>>>;
+
+/// One client of the fleet: a resilient client plus its bench-side
+/// RPC accounting. `begun == completed` at scenario end is the
+/// zero-lost/zero-duplicated claim — every RPC the bench issued came
+/// back exactly once (ResilientClient's single done slot cannot
+/// deliver a result twice for one begin).
+struct Bot {
+    c: ResilientClient<ChaosTransport<ClientPipe>, Dial>,
+    chaos_sink: Arc<Mutex<ChaosStats>>,
+    sub_id: u32,
+    begun: u64,
+    completed: u64,
+    pending_final: bool,
+    final_vals: Option<Vec<(u8, u64)>>,
+}
+
+fn make_bot(connector: &Connector, chaos: ChaosConfig, idx: usize, scenario_seed: u64) -> Bot {
+    let sink = Arc::new(Mutex::new(ChaosStats::default()));
+    let conn = connector.clone();
+    let sink2 = Arc::clone(&sink);
+    let mut attempt: u64 = 0;
+    // Every redial gets a distinct fault plan (mixing the attempt
+    // counter into the seed) — otherwise a link that dies on frame one
+    // replays the same death forever.
+    let dial: Dial = Box::new(move || {
+        attempt += 1;
+        let seed = scenario_seed
+            ^ (idx as u64).wrapping_mul(0x9e3779b97f4a7c15)
+            ^ attempt.wrapping_mul(0xd1b54a32d192ed03);
+        Some(
+            ChaosTransport::new(conn.connect(), chaos.with_seed(seed))
+                .with_shared_stats(Arc::clone(&sink2)),
+        )
+    });
+    let rcfg = ResilientConfig {
+        seed: scenario_seed ^ idx as u64,
+        ..ResilientConfig::default()
+    };
+    Bot {
+        c: ResilientClient::new(dial, rcfg),
+        chaos_sink: sink,
+        sub_id: 0,
+        begun: 0,
+        completed: 0,
+        pending_final: false,
+        final_vals: None,
+    }
+}
+
+fn add_stats(sum: &mut ResilientStats, s: &ResilientStats) {
+    sum.completed += s.completed;
+    sum.retries += s.retries;
+    sum.conn_resets += s.conn_resets;
+    sum.reconnects += s.reconnects;
+    sum.resumes += s.resumes;
+    sum.gap_pumps += s.gap_pumps;
+    sum.overloads += s.overloads;
+    sum.sessions_lost += s.sessions_lost;
+    sum.give_ups += s.give_ups;
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    digest: u64,
+    setup_pumps: u64,
+    drain_pumps: u64,
+    begun: u64,
+    completed: u64,
+    client: ResilientStats,
+    injected: ChaosStats,
+    server: Vec<(&'static str, u64)>,
+}
+
+const SERVER_COUNTERS: [&str; 6] = [
+    "conn_parks",
+    "sessions_resumed",
+    "reqs_shed",
+    "dup_reissues",
+    "bad_checksums",
+    "parked_reaped",
+];
+
+fn run_scenario(
+    name: &'static str,
+    chaos: ChaosConfig,
+    overload: bool,
+    n_clients: usize,
+    rounds: u64,
+) -> ScenarioResult {
+    let dcfg = DaemonConfig {
+        // Overload scenarios concentrate the whole fleet on one shard
+        // with a budget below the steady-state arrival rate, so the
+        // daemon must shed every pump — with a typed Overloaded, never
+        // by eviction. Shard count cannot change the counts (loadgen
+        // proves digests are shard-invariant).
+        shards: if overload { 1 } else { 4 },
+        ticks_per_pump: TICKS_PER_PUMP,
+        shard_budget_per_pump: if overload { 2 } else { 0 },
+        deadline_pumps: if overload { 3 } else { 0 },
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(boot_machine(), dcfg);
+    let n_cpus = daemon.n_cpus() as usize;
+    let connector = daemon.connector();
+    let scenario_seed = fnv64(name.as_bytes());
+
+    let mut bots: Vec<Bot> = (0..n_clients)
+        .map(|i| make_bot(&connector, chaos, i, scenario_seed))
+        .collect();
+
+    // Phase 1 — setup on quiescent pumps: counters frozen at boot
+    // values, so baselines are identical however long chaos delays
+    // each subscribe.
+    for (i, b) in bots.iter_mut().enumerate() {
+        assert!(b.c.begin(&Request::Subscribe {
+            cpu_mask: session_mask(i, n_cpus),
+            metrics: session_metrics(i),
+        }));
+        b.begun += 1;
+    }
+    let mut setup_pumps = 0u64;
+    while bots.iter().any(|b| b.sub_id == 0) {
+        setup_pumps += 1;
+        assert!(setup_pumps < PHASE_CAP, "{name}: setup wedged");
+        for (i, b) in bots.iter_mut().enumerate() {
+            b.c.step();
+            assert!(
+                !b.c.take_session_lost(),
+                "{name}: client {i} lost session in setup"
+            );
+            if let Some(done) = b.c.take_done() {
+                match done {
+                    Ok(Response::Subscribed { sub_id, .. }) => {
+                        b.sub_id = sub_id;
+                        b.completed += 1;
+                    }
+                    other => panic!("{name}: client {i} subscribe answered {other:?}"),
+                }
+            }
+        }
+        daemon.pump_quiescent();
+    }
+
+    // Phase 2 — exactly `rounds` ticking pumps: the only phase where
+    // sim time advances, so every scenario measures the same machine
+    // history.
+    for round in 0..rounds {
+        for (i, b) in bots.iter_mut().enumerate() {
+            if b.c.is_idle() && round % session_cadence(i) == 0 {
+                assert!(b.c.begin(&Request::Read {
+                    sub_id: b.sub_id,
+                    submit_ns: 0,
+                }));
+                b.begun += 1;
+            }
+            b.c.step();
+            assert!(
+                !b.c.take_session_lost(),
+                "{name}: client {i} lost session mid-run"
+            );
+            if let Some(done) = b.c.take_done() {
+                match done {
+                    Ok(_) => b.completed += 1,
+                    Err(e) => panic!("{name}: client {i} rpc failed: {e:?}"),
+                }
+            }
+        }
+        daemon.pump();
+    }
+
+    // Phase 3 — quiescent drain: stragglers finish, then one final
+    // read per client with the counters frozen at their end state.
+    let mut drain_pumps = 0u64;
+    while bots.iter().any(|b| b.final_vals.is_none()) {
+        drain_pumps += 1;
+        assert!(drain_pumps < PHASE_CAP, "{name}: drain wedged");
+        for (i, b) in bots.iter_mut().enumerate() {
+            if b.final_vals.is_some() {
+                continue;
+            }
+            if !b.pending_final && b.c.is_idle() {
+                assert!(b.c.begin(&Request::Read {
+                    sub_id: b.sub_id,
+                    submit_ns: 0,
+                }));
+                b.begun += 1;
+                b.pending_final = true;
+            }
+            b.c.step();
+            assert!(
+                !b.c.take_session_lost(),
+                "{name}: client {i} lost session in drain"
+            );
+            if let Some(done) = b.c.take_done() {
+                let resp = match done {
+                    Ok(r) => r,
+                    Err(e) => panic!("{name}: client {i} drain rpc failed: {e:?}"),
+                };
+                b.completed += 1;
+                if b.pending_final {
+                    match resp {
+                        Response::Counters { values, .. } => {
+                            b.final_vals =
+                                Some(values.iter().map(|v| (v.metric, v.value)).collect());
+                        }
+                        other => panic!("{name}: client {i} final read answered {other:?}"),
+                    }
+                }
+                // else: a straggling main-phase read completing late.
+            }
+        }
+        daemon.pump_quiescent();
+    }
+    // One extra pump so the shards' last self-metrics are absorbed
+    // into the master registry.
+    daemon.pump_quiescent();
+
+    let mut digest: u64 = 0xcbf29ce484222325;
+    let mut begun = 0u64;
+    let mut completed = 0u64;
+    let mut client = ResilientStats::default();
+    for (i, b) in bots.iter().enumerate() {
+        fnv1a(&mut digest, &(i as u64).to_le_bytes());
+        for (metric, value) in b.final_vals.as_ref().expect("final read present") {
+            fnv1a(&mut digest, &[*metric]);
+            fnv1a(&mut digest, &value.to_le_bytes());
+        }
+        let s = b.c.stats();
+        assert_eq!(
+            b.begun, b.completed,
+            "{name}: client {i} lost or dropped an RPC"
+        );
+        assert_eq!(s.give_ups, 0, "{name}: client {i} gave up on an RPC");
+        assert_eq!(s.sessions_lost, 0, "{name}: client {i} lost its session");
+        begun += b.begun;
+        completed += b.completed;
+        add_stats(&mut client, &s);
+    }
+
+    // Transports still alive hold unflushed stats; dropping the fleet
+    // merges them into the shared sinks.
+    let sinks: Vec<Arc<Mutex<ChaosStats>>> =
+        bots.iter().map(|b| Arc::clone(&b.chaos_sink)).collect();
+    drop(bots);
+    let mut injected = ChaosStats::default();
+    for s in &sinks {
+        injected.merge(&s.lock());
+    }
+
+    let server: Vec<(&'static str, u64)> = SERVER_COUNTERS
+        .iter()
+        .map(|&want| {
+            let v = daemon
+                .self_metrics()
+                .counters()
+                .find(|(n, _)| *n == want)
+                .map(|(_, v)| v)
+                .unwrap_or(0);
+            (want, v)
+        })
+        .collect();
+    let server_get = |want: &str| server.iter().find(|(n, _)| *n == want).unwrap().1;
+
+    simtrace::postmortem::stash(simtrace::text_dump(&daemon.trace_tracks(), 32));
+
+    // Cross-checks between the three independent ledgers (injector,
+    // client, daemon). Replies can be lost under chaos, so the daemon
+    // may count recoveries the client never saw — never the reverse.
+    assert!(
+        server_get("sessions_resumed") >= client.resumes,
+        "{name}: daemon resumed fewer sessions than clients observed"
+    );
+    assert!(
+        server_get("conn_parks") >= client.resumes,
+        "{name}: every resume needs a prior park"
+    );
+    if chaos.is_off() {
+        // Loss-free link: every shed reply reaches a client, so the
+        // two ledgers must agree exactly.
+        assert_eq!(
+            server_get("reqs_shed"),
+            client.overloads,
+            "{name}: shed/overload ledgers disagree on a loss-free link"
+        );
+        assert_eq!(
+            injected.total(),
+            0,
+            "{name}: fault-free run injected faults"
+        );
+    } else {
+        assert!(
+            injected.total() > 0,
+            "{name}: chaos preset injected nothing"
+        );
+        assert!(
+            server_get("reqs_shed") >= client.overloads,
+            "{name}: clients observed sheds the daemon never issued"
+        );
+    }
+    if overload {
+        assert!(
+            server_get("reqs_shed") > 0,
+            "{name}: overload scenario never shed"
+        );
+    }
+    if chaos.reset_pm > 0 {
+        assert!(injected.resets > 0, "{name}: reset preset never reset");
+        assert!(client.resumes > 0, "{name}: resets without a single resume");
+    }
+
+    ScenarioResult {
+        name,
+        digest,
+        setup_pumps,
+        drain_pumps,
+        begun,
+        completed,
+        client,
+        injected,
+        server,
+    }
+}
+
+fn main() {
+    simtrace::postmortem::install();
+    let mut quick = false;
+    let mut clients: Option<usize> = None;
+    let mut rounds: Option<u64> = None;
+    let mut out = "BENCH_chaos.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--clients" => {
+                clients = Some(args.next().expect("--clients N").parse().expect("count"))
+            }
+            "--rounds" => rounds = Some(args.next().expect("--rounds R").parse().expect("count")),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--help" | "-h" => {
+                eprintln!("usage: chaosbench [--quick] [--clients N] [--rounds R] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n_clients = clients.unwrap_or(if quick { 6 } else { 10 });
+    let rounds = rounds.unwrap_or(if quick { 24 } else { 60 });
+
+    // (name, chaos preset, server overload knobs on). "none" is the
+    // fault-free reference every other digest must match bit-for-bit.
+    let scenarios: &[(&'static str, &str, bool)] = &[
+        ("none", "off", false),
+        ("reset", "reset", false),
+        ("stall", "stall", false),
+        ("short", "short", false),
+        ("truncate", "truncate", false),
+        ("corrupt", "corrupt", false),
+        ("delay", "delay", false),
+        ("mix", "mix", false),
+        ("heavy", "heavy", false),
+        ("overload", "off", true),
+        ("overload_mix", "mix", true),
+    ];
+
+    eprintln!(
+        "chaosbench: {n_clients} clients, {rounds} ticking rounds, {} scenarios",
+        scenarios.len()
+    );
+    let results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .map(|&(name, preset, overload)| {
+            let chaos = ChaosConfig::preset(preset).expect("known preset");
+            let r = run_scenario(name, chaos, overload, n_clients, rounds);
+            eprintln!(
+                "  {:<13} digest={:016x} rpcs={}/{} retries={} resets={} resumes={} \
+                 overloads={} injected={} shed={}",
+                r.name,
+                r.digest,
+                r.completed,
+                r.begun,
+                r.client.retries,
+                r.client.conn_resets,
+                r.client.resumes,
+                r.client.overloads,
+                r.injected.total(),
+                r.server.iter().find(|(n, _)| *n == "reqs_shed").unwrap().1,
+            );
+            r
+        })
+        .collect();
+
+    let reference = results[0].digest;
+    let all_match = results.iter().all(|r| r.digest == reference);
+
+    let mut w = jsonw::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("bench", "metricsd-chaos");
+    w.field_bool("quick", quick);
+    w.field_u64("clients", n_clients as u64);
+    w.field_u64("rounds", rounds);
+    w.field_u64("ticks_per_pump", TICKS_PER_PUMP as u64);
+    w.field_str("reference_digest", &format!("{reference:016x}"));
+    w.field_bool("all_digests_match", all_match);
+    w.key("scenarios");
+    w.begin_arr();
+    for r in &results {
+        w.begin_obj();
+        w.field_str("name", r.name);
+        w.field_str("digest", &format!("{:016x}", r.digest));
+        w.field_bool("digest_match", r.digest == reference);
+        w.field_u64("setup_pumps", r.setup_pumps);
+        w.field_u64("drain_pumps", r.drain_pumps);
+        w.field_u64("rpcs_begun", r.begun);
+        w.field_u64("rpcs_completed", r.completed);
+        w.key("client");
+        w.begin_obj();
+        w.field_u64("retries", r.client.retries);
+        w.field_u64("conn_resets", r.client.conn_resets);
+        w.field_u64("reconnects", r.client.reconnects);
+        w.field_u64("resumes", r.client.resumes);
+        w.field_u64("gap_pumps", r.client.gap_pumps);
+        w.field_u64("overloads", r.client.overloads);
+        w.field_u64("sessions_lost", r.client.sessions_lost);
+        w.field_u64("give_ups", r.client.give_ups);
+        w.end_obj();
+        w.key("injected");
+        w.begin_obj();
+        w.field_u64("frames_sent", r.injected.frames_sent);
+        w.field_u64("frames_recvd", r.injected.frames_recvd);
+        w.field_u64("resets", r.injected.resets);
+        w.field_u64("stalls", r.injected.stalls);
+        w.field_u64("short_writes", r.injected.short_writes);
+        w.field_u64("truncations", r.injected.truncations);
+        w.field_u64("corruptions", r.injected.corruptions);
+        w.field_u64("delays", r.injected.delays);
+        w.end_obj();
+        w.key("server");
+        w.begin_obj();
+        for (n, v) in &r.server {
+            w.field_u64(n, *v);
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    let json = w.finish();
+    assert!(jsonw::validate(&json), "chaosbench emits valid JSON");
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    if !all_match {
+        eprintln!("FAIL: a chaos scenario's digest diverges from the fault-free reference");
+        std::process::exit(1);
+    }
+}

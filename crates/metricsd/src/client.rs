@@ -57,6 +57,11 @@ pub trait Transport {
     fn send(&mut self, frame: Vec<u8>) -> Result<(), ClientError>;
     fn recv(&mut self, timeout: Duration) -> Option<Vec<u8>>;
     fn try_recv(&mut self) -> Option<Vec<u8>>;
+    /// Tear the connection down from the client side. After this the
+    /// daemon sees an unclean transport death (parking the session for
+    /// resume) rather than an orderly `Close`. Default is a no-op for
+    /// transports with nothing to release.
+    fn shutdown(&mut self) {}
 }
 
 impl Transport for ClientPipe {
@@ -64,6 +69,7 @@ impl Transport for ClientPipe {
         ClientPipe::send(self, frame).map_err(|e| match e {
             PushError::Full => ClientError::Send("inbox full"),
             PushError::Closed => ClientError::Send("connection closed"),
+            PushError::TooBig => ClientError::Send("frame exceeds MAX_FRAME"),
         })
     }
 
@@ -74,6 +80,12 @@ impl Transport for ClientPipe {
     fn try_recv(&mut self) -> Option<Vec<u8>> {
         ClientPipe::try_recv(self)
     }
+
+    fn shutdown(&mut self) {
+        // Closing our tx is what the daemon's reaper reads as a dead
+        // transport (inbox closed + drained).
+        self.tx.close();
+    }
 }
 
 /// A client session.
@@ -81,6 +93,9 @@ pub struct MetricsClient<T: Transport> {
     t: T,
     /// Session id assigned by the daemon's Welcome.
     pub session_id: u64,
+    /// Resume token from the Welcome — pass it in `Request::Resume` to
+    /// pick the session back up after a transport death.
+    pub session_token: u64,
     /// CPU count reported at Hello.
     pub n_cpus: u32,
     /// Sim time of the newest snapshot seen in any reply — the client's
@@ -96,6 +111,7 @@ impl<T: Transport> MetricsClient<T> {
         MetricsClient {
             t,
             session_id: 0,
+            session_token: 0,
             n_cpus: 0,
             last_seen_ns: 0,
             timeout: Duration::from_secs(10),
@@ -160,9 +176,13 @@ impl<T: Transport> MetricsClient<T> {
             proto: PROTO_VERSION,
         })? {
             Response::Welcome {
-                session_id, n_cpus, ..
+                session_id,
+                session_token,
+                n_cpus,
+                ..
             } => {
                 self.session_id = session_id;
+                self.session_token = session_token;
                 self.n_cpus = n_cpus;
                 Ok(())
             }

@@ -22,14 +22,28 @@
 //! and a TCP-loopback listener ([`tcp`]) speaking the same
 //! length-prefixed [`wire`] protocol.
 
+//!
+//! Chaos hardening (see DESIGN.md §11): [`chaos`] injects deterministic
+//! seeded transport faults over any [`client::Transport`]; [`resilient`]
+//! is the reconnecting, resuming client that rides them out via
+//! checksummed sequence envelopes, idempotent reissue, and the daemon's
+//! parked-session resume table; the server side answers overload with
+//! typed `Overloaded` sheds instead of eviction. The `chaosbench` binary
+//! proves the invariant: counter digests under every fault mix are
+//! bit-identical to the fault-free run.
+
+pub mod chaos;
 pub mod client;
 pub mod queue;
+pub mod resilient;
 pub mod server;
 pub mod snapshot;
 pub mod tcp;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosStats, ChaosTransport};
 pub use client::{ClientError, MetricsClient, Transport};
+pub use resilient::{ResilientClient, ResilientConfig, ResilientStats};
 pub use server::{Connector, Daemon, DaemonConfig, DaemonStats};
 pub use snapshot::{Collector, CpuCounters, SnapshotCache, TickSnapshot};
 pub use wire::{HistSummary, Request, Response, PROTO_VERSION};

@@ -11,6 +11,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::wire::MAX_FRAME;
+
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
@@ -19,6 +21,19 @@ pub enum PushError {
     Full,
     /// The other side closed the queue.
     Closed,
+    /// Frame payload exceeds [`MAX_FRAME`] — the in-process path
+    /// enforces the same framing cap as the TCP reader, so an oversized
+    /// or corrupt frame can never occupy unbounded memory on either
+    /// transport.
+    TooBig,
+}
+
+/// The same size cap `tcp::read_frame` applies on the wire: a frame is
+/// `[u32 len][payload]` with `len <= MAX_FRAME`. (Short frames pass —
+/// they decode to a typed `WireError` downstream; only the allocation
+/// bound is the queue's business.)
+fn frame_ok(frame: &[u8]) -> bool {
+    frame.len() <= 4 + MAX_FRAME
 }
 
 struct Inner {
@@ -49,6 +64,9 @@ impl FrameQueue {
 
     /// Enqueue, refusing at capacity (explicit backpressure).
     pub fn push(&self, frame: Vec<u8>) -> Result<(), PushError> {
+        if !frame_ok(&frame) {
+            return Err(PushError::TooBig);
+        }
         let mut g = self.inner.lock();
         if g.closed {
             return Err(PushError::Closed);
@@ -63,6 +81,9 @@ impl FrameQueue {
     /// Enqueue even at capacity by dropping the oldest frame — used for
     /// the final Evicted notice so the slow consumer can learn its fate.
     pub fn force_push(&self, frame: Vec<u8>) {
+        if !frame_ok(&frame) {
+            return;
+        }
         let mut g = self.inner.lock();
         if g.closed {
             return;
@@ -163,6 +184,18 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.try_pop(), Some(vec![2]));
         assert_eq!(q.try_pop(), Some(vec![9]));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_like_tcp() {
+        let q = FrameQueue::new(4);
+        // Right at the cap: accepted.
+        q.push(vec![0u8; 4 + MAX_FRAME]).unwrap();
+        // One byte over: refused by push, ignored by force_push.
+        assert_eq!(q.push(vec![0u8; 4 + MAX_FRAME + 1]), Err(PushError::TooBig));
+        q.force_push(vec![0u8; 4 + MAX_FRAME + 1]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.try_pop().unwrap().len(), 4 + MAX_FRAME);
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! A resuming, reissuing client that survives transport chaos.
+//!
+//! [`ResilientClient`] wraps a dial closure (so it can reconnect as
+//! many times as the link dies) and drives every RPC through the
+//! checksummed [`Request::WithSeq`] envelope. It is *poll-based*: one
+//! [`ResilientClient::step`] per lockstep round, which is what lets
+//! chaosbench hold the whole fleet plus the daemon in a deterministic
+//! round → pump cadence (a blocking client would couple recovery
+//! timing to the host scheduler).
+//!
+//! The recovery ladder, from cheapest to most drastic:
+//!
+//! 1. **Reissue** — no reply within `rpc_timeout_rounds`, or a typed
+//!    refusal (`BAD_CHECKSUM`, `BAD_FRAME`): resend the *same*
+//!    sequence id. The daemon's per-session reply cache makes this
+//!    idempotent — an RPC applied once is never applied twice.
+//! 2. **Back off** — an [`Response::Overloaded`] shed: wait the hinted
+//!    `retry_after_pumps` rounds, then reissue (shed requests were
+//!    never applied, so reissue is safe by construction).
+//! 3. **Reconnect + resume** — a dead transport: redial after a capped
+//!    exponential backoff (deterministic jitter, always ≥ 1 round so
+//!    the daemon reaps the dead session into its parked table first),
+//!    then present the session token in [`Request::Resume`]. On
+//!    [`Response::Resumed`] the subscriptions, stream setting, and
+//!    reply cache all survive; the gap is surfaced via `gap_pumps` and
+//!    via `ReadQuality::Scaled` on resumed subscriptions — explicit,
+//!    never silent.
+//! 4. **Start over** — token expired (`NO_SUCH_TOKEN` after
+//!    `resume_grace` retries) or eviction: fresh `Hello`, and
+//!    [`ResilientClient::take_session_lost`] tells the caller its
+//!    subscriptions are gone and must be rebuilt.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simtrace::{EventKind, TraceSink};
+
+use crate::client::{ClientError, Transport};
+use crate::wire::{errcode, fnv64, Request, Response, PROTO_VERSION};
+
+/// Retry/backoff tuning, all in lockstep rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// Rounds to wait for a reply before reissuing the same seq.
+    pub rpc_timeout_rounds: u32,
+    /// First reconnect backoff (doubles per consecutive failure).
+    pub backoff_base_rounds: u32,
+    /// Backoff ceiling.
+    pub backoff_cap_rounds: u32,
+    /// Reissue attempts per RPC before giving up with `Timeout`.
+    pub max_attempts: u32,
+    /// `NO_SUCH_TOKEN` replies tolerated (the daemon may not have
+    /// parked the old session yet) before falling back to a fresh
+    /// `Hello`.
+    pub resume_grace: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> ResilientConfig {
+        ResilientConfig {
+            rpc_timeout_rounds: 3,
+            backoff_base_rounds: 1,
+            backoff_cap_rounds: 8,
+            max_attempts: 200,
+            resume_grace: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Client-observed recovery counts, for cross-checking against the
+/// chaos injector's stats and the daemon's self-metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilientStats {
+    /// RPCs completed with a reply delivered to the caller.
+    pub completed: u64,
+    /// Same-seq reissues (timeouts and typed refusals).
+    pub retries: u64,
+    /// Transport deaths observed.
+    pub conn_resets: u64,
+    /// Successful re-dials.
+    pub reconnects: u64,
+    /// Sessions resumed from a token.
+    pub resumes: u64,
+    /// Total pumps missed across all resumes (the explicit gap).
+    pub gap_pumps: u64,
+    /// `Overloaded` sheds observed (and waited out).
+    pub overloads: u64,
+    /// Sessions lost for good (token expired or evicted).
+    pub sessions_lost: u64,
+    /// RPCs abandoned after `max_attempts`.
+    pub give_ups: u64,
+}
+
+struct InFlight {
+    seq: u32,
+    /// The full encoded `WithSeq` frame, resent verbatim on reissue.
+    frame: Vec<u8>,
+    /// Sent on the current transport and awaiting a reply.
+    sent: bool,
+    rounds_waiting: u32,
+    /// Overload backoff: rounds to hold before (re)sending.
+    wait_rounds: u32,
+    attempts: u32,
+}
+
+impl InFlight {
+    fn new(seq: u32, req: &Request) -> InFlight {
+        InFlight {
+            seq,
+            frame: Request::with_seq(seq, req).encode(),
+            sent: false,
+            rounds_waiting: 0,
+            wait_rounds: 0,
+            attempts: 0,
+        }
+    }
+}
+
+enum Link {
+    /// No transport; waiting out the reconnect backoff.
+    Down { backoff_left: u32 },
+    /// Transport up, Hello/Resume in flight.
+    Greeting,
+    /// Handshake complete; user RPCs flow.
+    Ready,
+}
+
+/// See the module docs. `T` is the transport the dial closure yields
+/// (typically a [`crate::chaos::ChaosTransport`] in tests and benches).
+pub struct ResilientClient<T: Transport, F: FnMut() -> Option<T>> {
+    dial: F,
+    t: Option<T>,
+    link: Link,
+    cfg: ResilientConfig,
+    rng: StdRng,
+    round: u64,
+    consecutive_fails: u32,
+    resume_denials: u32,
+
+    /// Session identity from the last Welcome/Resumed.
+    pub session_id: u64,
+    session_token: Option<u64>,
+    pub n_cpus: u32,
+    /// Newest tick seen in any reply — the resume cursor.
+    pub last_tick: u64,
+
+    next_seq: u32,
+    greet: Option<InFlight>,
+    user: Option<InFlight>,
+    done: Option<Result<Response, ClientError>>,
+    session_lost: bool,
+    /// Unsolicited pushes (stream Counters, Samples) for the caller.
+    pub pushes: VecDeque<Response>,
+
+    stats: ResilientStats,
+    trace: TraceSink,
+}
+
+impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
+    /// `dial` yields a fresh transport per attempt (or `None` when the
+    /// endpoint is down right now — the client backs off and retries).
+    pub fn new(dial: F, cfg: ResilientConfig) -> ResilientClient<T, F> {
+        ResilientClient {
+            dial,
+            t: None,
+            link: Link::Down { backoff_left: 0 },
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            round: 0,
+            consecutive_fails: 0,
+            resume_denials: 0,
+            session_id: 0,
+            session_token: None,
+            n_cpus: 0,
+            last_tick: 0,
+            next_seq: 1,
+            greet: None,
+            user: None,
+            done: None,
+            session_lost: false,
+            pushes: VecDeque::new(),
+            stats: ResilientStats::default(),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Attach a flight recorder; `ClientRetry` and `ConnReset` events
+    /// land here, timestamped with the client's round counter.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    pub fn stats(&self) -> ResilientStats {
+        self.stats
+    }
+
+    /// Enqueue one RPC. Returns false while a previous RPC is still in
+    /// flight or its result has not been taken.
+    pub fn begin(&mut self, req: &Request) -> bool {
+        if self.user.is_some() || self.done.is_some() {
+            return false;
+        }
+        let seq = self.alloc_seq();
+        self.user = Some(InFlight::new(seq, req));
+        true
+    }
+
+    /// Take the completed RPC's result, if any.
+    pub fn take_done(&mut self) -> Option<Result<Response, ClientError>> {
+        self.done.take()
+    }
+
+    /// No RPC in flight and no result waiting.
+    pub fn is_idle(&self) -> bool {
+        self.user.is_none() && self.done.is_none()
+    }
+
+    /// True once (latched) after the session could not be resumed: the
+    /// daemon no longer has its subscriptions, rebuild them.
+    pub fn take_session_lost(&mut self) -> bool {
+        std::mem::take(&mut self.session_lost)
+    }
+
+    fn alloc_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// One lockstep round: manage the link, drain replies, drive the
+    /// in-flight RPC.
+    pub fn step(&mut self) {
+        self.round += 1;
+        if let Link::Down { backoff_left } = &mut self.link {
+            if *backoff_left > 0 {
+                *backoff_left -= 1;
+                return;
+            }
+            match (self.dial)() {
+                Some(t) => {
+                    self.t = Some(t);
+                    self.stats.reconnects += 1;
+                    self.link = Link::Greeting;
+                    let greet = self.make_greet();
+                    self.greet = Some(greet);
+                }
+                None => {
+                    self.begin_backoff();
+                    return;
+                }
+            }
+        }
+        self.drain_replies();
+        if self.t.is_none() {
+            return;
+        }
+        if matches!(self.link, Link::Greeting) {
+            self.drive(true);
+        } else if matches!(self.link, Link::Ready) {
+            self.drive(false);
+        }
+    }
+
+    /// Hello for a fresh session, Resume when a token is held.
+    fn make_greet(&mut self) -> InFlight {
+        let seq = self.alloc_seq();
+        let req = match self.session_token {
+            Some(session_token) => Request::Resume {
+                session_token,
+                last_tick: self.last_tick,
+            },
+            None => Request::Hello {
+                proto: PROTO_VERSION,
+            },
+        };
+        InFlight::new(seq, &req)
+    }
+
+    /// Capped exponential backoff with deterministic jitter, never
+    /// less than one full round: the daemon must get a pump in to park
+    /// the dead session before a Resume can find it.
+    fn begin_backoff(&mut self) {
+        self.consecutive_fails += 1;
+        let exp = self
+            .cfg
+            .backoff_base_rounds
+            .saturating_mul(1u32 << (self.consecutive_fails - 1).min(16))
+            .min(self.cfg.backoff_cap_rounds)
+            .max(1);
+        let jitter = self.rng.gen_range_u64(0, exp as u64 + 1) as u32;
+        self.link = Link::Down {
+            backoff_left: (exp + jitter).max(1),
+        };
+    }
+
+    /// The transport died: shut it down, record, and back off.
+    fn on_transport_death(&mut self) {
+        if let Some(mut t) = self.t.take() {
+            t.shutdown();
+        }
+        self.stats.conn_resets += 1;
+        self.trace
+            .record(self.round, EventKind::ConnReset, 0, self.round, 0);
+        self.greet = None;
+        // The user RPC survives with its seq: it will be reissued once
+        // the handshake on the next transport completes.
+        if let Some(u) = &mut self.user {
+            u.sent = false;
+            u.rounds_waiting = 0;
+        }
+        self.begin_backoff();
+    }
+
+    fn drain_replies(&mut self) {
+        loop {
+            let Some(t) = self.t.as_mut() else { return };
+            let Some(frame) = t.try_recv() else { return };
+            let resp = match Response::decode(&frame) {
+                Ok(r) => r,
+                // Corrupt reply: drop it; the reissue path recovers.
+                Err(_) => continue,
+            };
+            match resp {
+                Response::SeqReply { seq, crc, inner } => {
+                    if fnv64(&inner) != crc {
+                        continue; // corrupt envelope; reissue recovers
+                    }
+                    let Ok(inner) = Response::decode(&inner) else {
+                        continue;
+                    };
+                    self.on_seq_reply(seq, inner);
+                }
+                Response::Overloaded { retry_after_pumps } => {
+                    // Shed before it was applied: wait the hint out,
+                    // then reissue the same seq.
+                    self.stats.overloads += 1;
+                    let inf = if matches!(self.link, Link::Greeting) {
+                        self.greet.as_mut()
+                    } else {
+                        self.user.as_mut()
+                    };
+                    if let Some(inf) = inf {
+                        inf.sent = false;
+                        inf.rounds_waiting = 0;
+                        inf.wait_rounds = inf.wait_rounds.max(retry_after_pumps.max(1));
+                    }
+                }
+                Response::Err { code, msg } => self.on_plain_err(code, msg),
+                Response::Evicted { .. } => {
+                    // Evicted sessions are not parked: the token is
+                    // dead and so are the subscriptions.
+                    self.session_token = None;
+                    self.session_lost = true;
+                    self.stats.sessions_lost += 1;
+                    if self.user.take().is_some() {
+                        self.done = Some(Err(ClientError::Evicted {
+                            reason: "session evicted".into(),
+                        }));
+                    }
+                    self.on_transport_death();
+                    return;
+                }
+                push @ (Response::Counters { .. } | Response::Sample { .. }) => {
+                    if let Response::Counters { tick, .. } | Response::Sample { tick, .. } = &push {
+                        self.last_tick = self.last_tick.max(*tick);
+                    }
+                    self.pushes.push_back(push);
+                }
+                // A non-enveloped control reply outside a handshake we
+                // recognise — stale or duplicated; ignore.
+                _ => {}
+            }
+        }
+    }
+
+    fn on_seq_reply(&mut self, seq: u32, inner: Response) {
+        if self.greet.as_ref().is_some_and(|g| g.seq == seq) {
+            self.greet = None;
+            self.on_greet_reply(inner);
+            return;
+        }
+        if self.user.as_ref().is_some_and(|u| u.seq == seq) {
+            if let Response::Counters { tick, .. } | Response::Sample { tick, .. } = &inner {
+                self.last_tick = self.last_tick.max(*tick);
+            }
+            self.user = None;
+            self.stats.completed += 1;
+            self.done = Some(match inner {
+                Response::Err { code, msg } => Err(ClientError::Daemon { code, msg }),
+                ok => Ok(ok),
+            });
+        }
+        // Else: a stale duplicate from an earlier reissue; ignore.
+    }
+
+    fn on_greet_reply(&mut self, inner: Response) {
+        match inner {
+            Response::Welcome {
+                session_id,
+                session_token,
+                n_cpus,
+                ..
+            } => {
+                self.session_id = session_id;
+                self.session_token = Some(session_token);
+                self.n_cpus = n_cpus;
+                self.consecutive_fails = 0;
+                self.resume_denials = 0;
+                self.link = Link::Ready;
+            }
+            Response::Resumed {
+                session_id,
+                session_token,
+                cur_tick,
+                gap_pumps,
+            } => {
+                self.session_id = session_id;
+                self.session_token = Some(session_token);
+                self.last_tick = self.last_tick.max(cur_tick);
+                self.stats.resumes += 1;
+                self.stats.gap_pumps += gap_pumps;
+                self.consecutive_fails = 0;
+                self.resume_denials = 0;
+                self.link = Link::Ready;
+            }
+            Response::Err { code, .. } if code == errcode::NO_SUCH_TOKEN => {
+                self.resume_denials += 1;
+                if self.resume_denials > self.cfg.resume_grace {
+                    // Token gone for good: start a fresh session and
+                    // tell the caller its subscriptions died with it.
+                    self.session_token = None;
+                    self.session_lost = true;
+                    self.stats.sessions_lost += 1;
+                    self.resume_denials = 0;
+                }
+                // Re-greet (Resume again within grace — the daemon may
+                // simply not have parked the old session yet — or
+                // Hello after). A fresh seq: the old one's reply is
+                // cached as the denial.
+                let mut greet = self.make_greet();
+                greet.wait_rounds = 1;
+                self.greet = Some(greet);
+            }
+            Response::Err { code, msg } => {
+                // BAD_PROTO and friends: not recoverable by retrying.
+                self.stats.give_ups += 1;
+                if self.user.take().is_some() || self.done.is_none() {
+                    self.done = Some(Err(ClientError::Daemon { code, msg }));
+                }
+                self.link = Link::Down {
+                    backoff_left: u32::MAX,
+                };
+                if let Some(mut t) = self.t.take() {
+                    t.shutdown();
+                }
+            }
+            _ => {
+                // Wrong-shaped greet reply: reissue the handshake.
+                let greet = self.make_greet();
+                self.greet = Some(greet);
+            }
+        }
+    }
+
+    fn on_plain_err(&mut self, code: u16, _msg: String) {
+        // A typed refusal outside the envelope (the daemon could not
+        // attribute a seq): BAD_CHECKSUM / BAD_FRAME mean our request
+        // was mangled in flight — reissue the in-flight seq right away.
+        if code == errcode::BAD_CHECKSUM || code == errcode::BAD_FRAME {
+            let inf = if matches!(self.link, Link::Greeting) {
+                self.greet.as_mut()
+            } else {
+                self.user.as_mut()
+            };
+            if let Some(inf) = inf {
+                inf.sent = false;
+                inf.rounds_waiting = 0;
+            }
+        }
+    }
+
+    /// Drive the greet (handshake) or user in-flight record.
+    fn drive(&mut self, greeting: bool) {
+        enum Act {
+            Nothing,
+            Send {
+                frame: Vec<u8>,
+                seq: u32,
+                attempts: u32,
+            },
+            GaveUp,
+        }
+        let cfg = self.cfg;
+        let act = {
+            let Some(inf) = (if greeting {
+                self.greet.as_mut()
+            } else {
+                self.user.as_mut()
+            }) else {
+                return;
+            };
+            if inf.wait_rounds > 0 {
+                inf.wait_rounds -= 1;
+                Act::Nothing
+            } else if !inf.sent {
+                inf.sent = true;
+                inf.rounds_waiting = 0;
+                Act::Send {
+                    frame: inf.frame.clone(),
+                    seq: inf.seq,
+                    attempts: inf.attempts,
+                }
+            } else {
+                inf.rounds_waiting += 1;
+                if inf.rounds_waiting > cfg.rpc_timeout_rounds {
+                    inf.attempts += 1;
+                    if inf.attempts >= cfg.max_attempts {
+                        Act::GaveUp
+                    } else {
+                        // Reissue next step (same seq — the dedup cache
+                        // makes this safe even if the previous copy was
+                        // actually applied).
+                        inf.sent = false;
+                        Act::Nothing
+                    }
+                } else {
+                    Act::Nothing
+                }
+            }
+        };
+        match act {
+            Act::Nothing => {}
+            Act::Send {
+                frame,
+                seq,
+                attempts,
+            } => {
+                if attempts > 0 {
+                    self.stats.retries += 1;
+                    self.trace
+                        .record(self.round, EventKind::ClientRetry, attempts, seq as u64, 0);
+                }
+                let send_failed = self
+                    .t
+                    .as_mut()
+                    .map(|t| t.send(frame).is_err())
+                    .unwrap_or(true);
+                if send_failed {
+                    self.on_transport_death();
+                }
+            }
+            Act::GaveUp => {
+                self.stats.give_ups += 1;
+                if greeting {
+                    self.greet = None;
+                    self.on_transport_death();
+                } else {
+                    self.user = None;
+                    self.done = Some(Err(ClientError::Timeout));
+                }
+            }
+        }
+    }
+}
+
+/// Blocking convenience for tests and tools that just want the answer:
+/// step until the RPC completes or `max_rounds` elapse, sleeping
+/// `round_wait` per round (pair with a daemon pumped from another
+/// thread).
+pub fn run_to_completion<T: Transport, F: FnMut() -> Option<T>>(
+    c: &mut ResilientClient<T, F>,
+    req: &Request,
+    max_rounds: u64,
+    round_wait: Duration,
+) -> Result<Response, ClientError> {
+    assert!(c.begin(req), "an RPC is already in flight");
+    for _ in 0..max_rounds {
+        c.step();
+        if let Some(done) = c.take_done() {
+            return done;
+        }
+        std::thread::sleep(round_wait);
+    }
+    Err(ClientError::Timeout)
+}

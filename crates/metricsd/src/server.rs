@@ -9,15 +9,37 @@
 //!    to the [`SnapshotCache`] (the single cache-invalidation point),
 //! 3. serves every shard — on scoped threads when `shards > 1` — with
 //!    all reads answered from the immutable snapshot,
-//! 4. reaps closed and evicted sessions.
+//! 4. reaps closed and evicted sessions, **parks** sessions whose
+//!    transport died uncleanly, and TTL-reaps the parked table.
 //!
 //! Backpressure is explicit: a session whose outbox is full keeps its
 //! requests queued in its inbox (nothing is dropped), and a session that
 //! stays stalled for `eviction_grace` consecutive pumps is evicted — a
 //! best-effort [`Response::Evicted`] is forced into its outbox and the
 //! queue closes. The daemon never blocks on a slow consumer.
+//!
+//! Robustness (chaos hardening) layers three mechanisms on top:
+//!
+//! * **Idempotent reissue** — requests wrapped in
+//!   [`Request::WithSeq`] are checksum-verified and deduplicated
+//!   against a small per-session reply cache, so a client that lost a
+//!   reply can reissue the same sequence id without the request being
+//!   applied twice.
+//! * **Session resume** — a session whose transport dies uncleanly
+//!   (inbox closed and drained without an orderly `Close` or an
+//!   eviction) is *parked*: its subscriptions, stream setting, and
+//!   reply cache move to a token-keyed table for
+//!   `resume_ttl_pumps`. A reconnecting client sends
+//!   [`Request::Resume`] with the token from its `Welcome` and
+//!   continues where it left off; resumed subscriptions answer reads
+//!   as `ReadQuality::Scaled` until the client re-baselines them.
+//! * **Load shedding** — with `shard_budget_per_pump` or
+//!   `deadline_pumps` configured, excess or overdue queued requests
+//!   are answered with a typed [`Response::Overloaded`] (carrying a
+//!   retry hint) instead of being applied, evicted, or left to rot.
 
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,7 +49,14 @@ use simtrace::{EventKind, TraceSink, Track};
 
 use crate::queue::{ClientPipe, FrameQueue, PushError};
 use crate::snapshot::{Collector, SnapshotCache, TickSnapshot};
-use crate::wire::{errcode, metrics, HistSummary, MetricValue, Request, Response, PROTO_VERSION};
+use crate::wire::{
+    errcode, fnv64, metrics, HistSummary, MetricValue, Request, Response, PROTO_VERSION,
+};
+
+/// Entries kept in a session's seq-reply dedup cache. Two covers the
+/// resilient client's worst case (one outstanding RPC plus the Resume
+/// that restored it); four leaves slack.
+const REPLY_CACHE: usize = 4;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +78,20 @@ pub struct DaemonConfig {
     pub serve_ns: u64,
     /// Per-session request budget per pump (fairness cap).
     pub max_requests_per_pump: u32,
+    /// Total requests one shard serves per pump before it starts
+    /// shedding (0 = unlimited). Shed requests are answered
+    /// [`Response::Overloaded`] and **never applied**, so reissuing
+    /// them is always safe.
+    pub shard_budget_per_pump: u32,
+    /// Consecutive pumps a session may sit with queued-but-unserved
+    /// requests before they are shed with [`Response::Overloaded`]
+    /// (0 = no deadline).
+    pub deadline_pumps: u32,
+    /// Pumps a parked (dead-transport) session stays resumable before
+    /// its token is reaped and its state dropped.
+    pub resume_ttl_pumps: u64,
+    /// Back-off hint carried in [`Response::Overloaded`] replies.
+    pub retry_after_pumps: u32,
 }
 
 impl Default for DaemonConfig {
@@ -61,6 +104,10 @@ impl Default for DaemonConfig {
             eviction_grace: 8,
             serve_ns: 500,
             max_requests_per_pump: 16,
+            shard_budget_per_pump: 0,
+            deadline_pumps: 0,
+            resume_ttl_pumps: 256,
+            retry_after_pumps: 2,
         }
     }
 }
@@ -76,10 +123,18 @@ struct Subscription {
     /// Per-CPU offline epochs at baseline (full width).
     base_epochs: Vec<u32>,
     base_gaps: u32,
+    /// Set when the subscription survived a session resume: reads
+    /// answer `ReadQuality::Scaled` (the client missed pushes during
+    /// the gap) until the client re-baselines with `ResetSub`.
+    resumed: bool,
 }
 
 struct Session {
     id: u64,
+    /// Resume token: assigned from the id at connect, inherited across
+    /// resumes so the client's token stays valid for its whole logical
+    /// session however many transports it burns through.
+    token: u64,
     inbox: Arc<FrameQueue>,
     outbox: Arc<FrameQueue>,
     helloed: bool,
@@ -88,8 +143,30 @@ struct Session {
     /// Push Counters frames every N pumps (0 = off).
     stream_every: u32,
     stalled_pumps: u32,
+    /// Consecutive pumps this session ended with requests still queued
+    /// (feeds the `deadline_pumps` shed).
+    waiting_pumps: u32,
+    /// Recent `(seq, encoded SeqReply)` pairs for idempotent reissue.
+    reply_cache: VecDeque<(u32, Vec<u8>)>,
     closed: bool,
     evicted: bool,
+}
+
+/// Parked state of a session whose transport died uncleanly, keyed by
+/// token in the daemon's resume table until TTL.
+struct ParkedSession {
+    subs: Vec<Subscription>,
+    next_sub_id: u32,
+    stream_every: u32,
+    reply_cache: VecDeque<(u32, Vec<u8>)>,
+    parked_at_pump: u64,
+}
+
+/// Deterministic token for a fresh session id. FNV-64 of the id bytes:
+/// stable across runs (a feature in the sim — chaosbench digests stay
+/// reproducible), effectively injective over realistic id ranges.
+fn session_token(id: u64) -> u64 {
+    fnv64(&id.to_le_bytes())
 }
 
 struct Shard {
@@ -126,6 +203,7 @@ impl Connector {
         let outbox = FrameQueue::new(outbox_cap);
         self.pending.lock().push(Session {
             id,
+            token: session_token(id),
             inbox: inbox.clone(),
             outbox: outbox.clone(),
             helloed: false,
@@ -133,6 +211,8 @@ impl Connector {
             next_sub_id: 1,
             stream_every: 0,
             stalled_pumps: 0,
+            waiting_pumps: 0,
+            reply_cache: VecDeque::new(),
             closed: false,
             evicted: false,
         });
@@ -152,12 +232,27 @@ pub struct DaemonStats {
     pub pumps: u64,
 }
 
+/// Everything `serve_shard` needs beyond the shard itself, bundled so
+/// the scoped serving threads share one immutable view.
+struct ServeCtx<'a> {
+    snap: &'a Arc<TickSnapshot>,
+    cache: &'a SnapshotCache,
+    cfg: &'a DaemonConfig,
+    stats_view: DaemonStats,
+    tick_ns: u64,
+    self_metrics: &'a [u8],
+    parked: &'a Mutex<HashMap<u64, ParkedSession>>,
+    pump: u64,
+}
+
 pub struct Daemon {
     cfg: DaemonConfig,
     collector: Collector,
     cache: Arc<SnapshotCache>,
     shards: Vec<Shard>,
     connector: Connector,
+    /// Dead-transport sessions awaiting `Resume`, keyed by token.
+    parked: Arc<Mutex<HashMap<u64, ParkedSession>>>,
     evictions: u64,
     pumps: u64,
     n_cpus: u32,
@@ -218,6 +313,7 @@ impl Daemon {
             collector,
             cache,
             shards,
+            parked: Arc::new(Mutex::new(HashMap::new())),
             evictions: 0,
             pumps: 0,
             n_cpus,
@@ -246,8 +342,27 @@ impl Daemon {
         }
     }
 
+    /// Sessions currently parked awaiting resume.
+    pub fn parked_count(&self) -> usize {
+        self.parked.lock().len()
+    }
+
     /// One lockstep serving round. Returns the snapshot it served from.
     pub fn pump(&mut self) -> Arc<TickSnapshot> {
+        self.pump_with_ticks(self.cfg.ticks_per_pump)
+    }
+
+    /// A serving round that advances sim time by **zero** ticks:
+    /// counter values stay frozen while sessions are still admitted,
+    /// served, resumed, and reaped. chaosbench's drain phase uses this
+    /// so a variable-length recovery tail (clients riding out injected
+    /// faults) cannot perturb the final counter digest.
+    pub fn pump_quiescent(&mut self) -> Arc<TickSnapshot> {
+        self.pump_with_ticks(0)
+    }
+
+    /// One serving round over `ticks` kernel ticks.
+    pub fn pump_with_ticks(&mut self, ticks: u32) -> Arc<TickSnapshot> {
         // 1. Admit pending connections to their shards.
         let n_shards = self.shards.len();
         for s in self.connector.pending.lock().drain(..) {
@@ -257,7 +372,7 @@ impl Daemon {
         }
 
         // 2. One kernel pass; publish the snapshot (cache invalidation).
-        let snap = self.collector.advance(self.cfg.ticks_per_pump);
+        let snap = self.collector.advance(ticks);
         self.cache.publish(snap.clone());
         self.pumps += 1;
 
@@ -274,41 +389,78 @@ impl Daemon {
         self.reg.set("sessions", stats_view.sessions);
         self.reg.set("evictions", stats_view.evictions);
         self.reg.set("reads_served", stats_view.reads_served);
+        self.reg
+            .set("parked_sessions", self.parked.lock().len() as u64);
         let self_metrics = self_metrics_frame(&self.reg);
         self.trace
             .record(snap.time_ns, EventKind::DaemonPump, 0, self.pumps, 0);
-        let cfg = &self.cfg;
-        let cache = &self.cache;
-        let tick_ns = self.tick_ns;
+        let ctx = ServeCtx {
+            snap: &snap,
+            cache: &self.cache,
+            cfg: &self.cfg,
+            stats_view,
+            tick_ns: self.tick_ns,
+            self_metrics: &self_metrics,
+            parked: &self.parked,
+            pump: self.pumps,
+        };
         if n_shards == 1 {
-            serve_shard(
-                &mut self.shards[0],
-                &snap,
-                cache,
-                cfg,
-                stats_view,
-                tick_ns,
-                &self_metrics,
-            );
+            serve_shard(&mut self.shards[0], &ctx);
         } else {
             std::thread::scope(|scope| {
                 for shard in &mut self.shards {
-                    let snap = &snap;
-                    let self_metrics = &self_metrics;
-                    scope.spawn(move || {
-                        serve_shard(shard, snap, cache, cfg, stats_view, tick_ns, self_metrics);
-                    });
+                    let ctx = &ctx;
+                    scope.spawn(move || serve_shard(shard, ctx));
                 }
             });
         }
 
-        // 4. Reap.
+        // 4. Reap: drop closed/evicted sessions, park dead transports.
         for shard in &mut self.shards {
-            let before = shard.sessions.len();
-            let evicted_here = shard.sessions.iter().filter(|s| s.evicted).count();
-            shard.sessions.retain(|s| !s.closed && !s.evicted);
-            self.evictions += evicted_here as u64;
-            debug_assert!(shard.sessions.len() + evicted_here <= before + 1);
+            let sessions = std::mem::take(&mut shard.sessions);
+            for s in sessions {
+                if s.evicted {
+                    self.evictions += 1;
+                    continue;
+                }
+                if s.closed {
+                    continue;
+                }
+                if s.inbox.is_closed() && s.inbox.is_empty() {
+                    // Unclean transport death with nothing left to
+                    // serve: park for resume instead of dropping.
+                    self.trace
+                        .record(snap.time_ns, EventKind::ConnReset, 1, s.id, self.pumps);
+                    self.reg.inc("conn_parks", 1);
+                    s.outbox.close();
+                    self.parked.lock().insert(
+                        s.token,
+                        ParkedSession {
+                            subs: s.subs,
+                            next_sub_id: s.next_sub_id,
+                            stream_every: s.stream_every,
+                            reply_cache: s.reply_cache,
+                            parked_at_pump: self.pumps,
+                        },
+                    );
+                    continue;
+                }
+                shard.sessions.push(s);
+            }
+        }
+        // TTL-reap the parked table.
+        let ttl = self.cfg.resume_ttl_pumps;
+        let pumps = self.pumps;
+        let mut reaped = 0u64;
+        self.parked.lock().retain(|_, p| {
+            let keep = pumps.saturating_sub(p.parked_at_pump) <= ttl;
+            if !keep {
+                reaped += 1;
+            }
+            keep
+        });
+        if reaped > 0 {
+            self.reg.inc("parked_reaped", reaped);
         }
         snap
     }
@@ -380,26 +532,27 @@ fn collector_boot_snapshot(c: &Collector) -> Arc<TickSnapshot> {
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn serve_shard(
-    shard: &mut Shard,
-    snap: &Arc<TickSnapshot>,
-    cache: &SnapshotCache,
-    cfg: &DaemonConfig,
-    stats_view: DaemonStats,
-    tick_ns: u64,
-    self_metrics: &[u8],
-) {
+fn serve_shard(shard: &mut Shard, ctx: &ServeCtx<'_>) {
     let Shard {
         sessions,
         reads_served,
         trace,
         reg,
     } = shard;
+    let cfg = ctx.cfg;
+    let snap = ctx.snap;
     // Virtual serving clock for this shard this pump: request k in the
     // shard completes at snapshot-time + (k+1)·serve_ns. More shards →
     // shorter per-shard queues → lower reported tail latency.
     let mut served_in_shard: u64 = 0;
+    // Bounded-work admission: once the shard's pump budget is spent,
+    // remaining queued requests are shed (session-iteration order makes
+    // the shed set deterministic for a fixed schedule).
+    let mut shard_budget: u64 = if cfg.shard_budget_per_pump == 0 {
+        u64::MAX
+    } else {
+        cfg.shard_budget_per_pump as u64
+    };
     for session in sessions.iter_mut() {
         if session.closed || session.evicted {
             continue;
@@ -417,7 +570,7 @@ fn serve_shard(
                         stalled = true;
                         break;
                     }
-                    Err(PushError::Closed) => {
+                    Err(PushError::Closed) | Err(PushError::TooBig) => {
                         session.closed = true;
                         break;
                     }
@@ -428,7 +581,7 @@ fn serve_shard(
         // Serve queued requests FIFO, up to the fairness cap, stopping
         // (not dropping) when the outbox has no room for a reply.
         let mut budget = cfg.max_requests_per_pump;
-        while budget > 0 && !session.closed {
+        while budget > 0 && shard_budget > 0 && !session.closed {
             if session.outbox.len() >= session.outbox.capacity() {
                 stalled = true;
                 break;
@@ -437,19 +590,8 @@ fn serve_shard(
                 break;
             };
             budget -= 1;
-            let reply = handle_frame(
-                session,
-                &frame,
-                snap,
-                cache,
-                cfg,
-                served_in_shard,
-                &stats_view,
-                tick_ns,
-                self_metrics,
-                trace,
-                reg,
-            );
+            shard_budget -= 1;
+            let reply = handle_frame(session, &frame, ctx, served_in_shard, trace, reg);
             served_in_shard += 1;
             *reads_served += 1;
             match session.outbox.push(reply) {
@@ -473,8 +615,41 @@ fn serve_shard(
                     stalled = true;
                     break;
                 }
-                Err(PushError::Closed) => session.closed = true,
+                Err(PushError::Closed) | Err(PushError::TooBig) => session.closed = true,
             }
+        }
+
+        // Load shedding: requests still queued after the serving loop
+        // are answered `Overloaded` — never applied, so reissue is safe
+        // — when either the shard's pump budget ran dry or the session
+        // has waited past its deadline.
+        let over_budget = shard_budget == 0 && !session.inbox.is_empty();
+        let over_deadline = cfg.deadline_pumps > 0
+            && session.waiting_pumps >= cfg.deadline_pumps
+            && !session.inbox.is_empty();
+        if !session.closed && !stalled && (over_budget || over_deadline) {
+            let reason: u32 = if over_budget { 0 } else { 1 };
+            let mut shed_cap = cfg.max_requests_per_pump;
+            while shed_cap > 0 && session.outbox.len() < session.outbox.capacity() {
+                let Some(_dropped) = session.inbox.try_pop() else {
+                    break;
+                };
+                shed_cap -= 1;
+                reg.inc("reqs_shed", 1);
+                trace.record(snap.time_ns, EventKind::LoadShed, reason, session.id, 0);
+                let reply = Response::Overloaded {
+                    retry_after_pumps: cfg.retry_after_pumps,
+                }
+                .encode();
+                if session.outbox.push(reply).is_err() {
+                    break;
+                }
+            }
+            session.waiting_pumps = 0;
+        } else if session.inbox.is_empty() {
+            session.waiting_pumps = 0;
+        } else {
+            session.waiting_pumps += 1;
         }
 
         if stalled {
@@ -506,17 +681,13 @@ fn serve_shard(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Decode one inbound frame and produce the encoded reply, unwrapping
+/// and deduplicating [`Request::WithSeq`] envelopes.
 fn handle_frame(
     session: &mut Session,
     frame: &[u8],
-    snap: &Arc<TickSnapshot>,
-    cache: &SnapshotCache,
-    cfg: &DaemonConfig,
+    ctx: &ServeCtx<'_>,
     served_in_shard: u64,
-    stats_view: &DaemonStats,
-    tick_ns: u64,
-    self_metrics: &[u8],
     trace: &mut TraceSink,
     reg: &mut Registry,
 ) -> Vec<u8> {
@@ -530,7 +701,70 @@ fn handle_frame(
             .encode()
         }
     };
-    if !session.helloed && !matches!(req, Request::Hello { .. }) {
+    match req {
+        Request::WithSeq { seq, crc, inner } => {
+            if fnv64(&inner) != crc {
+                // Corruption slipped past framing: refuse without
+                // applying anything; the client reissues the same seq.
+                reg.inc("bad_checksums", 1);
+                return Response::Err {
+                    code: errcode::BAD_CHECKSUM,
+                    msg: "seq envelope checksum mismatch".into(),
+                }
+                .encode();
+            }
+            if let Some((_, cached)) = session.reply_cache.iter().find(|(s, _)| *s == seq) {
+                // Idempotent reissue: the request was already applied;
+                // re-send the cached reply, apply nothing.
+                reg.inc("dup_reissues", 1);
+                return cached.clone();
+            }
+            let ireq = match Request::decode(&inner) {
+                Ok(Request::WithSeq { .. }) => {
+                    return Response::Err {
+                        code: errcode::BAD_FRAME,
+                        msg: "nested seq envelope".into(),
+                    }
+                    .encode()
+                }
+                Ok(r) => r,
+                Err(e) => {
+                    return Response::Err {
+                        code: errcode::BAD_FRAME,
+                        msg: e.to_string(),
+                    }
+                    .encode()
+                }
+            };
+            let reply = dispatch(session, ireq, ctx, served_in_shard, trace, reg);
+            let wrapped = Response::SeqReply {
+                seq,
+                crc: fnv64(&reply),
+                inner: reply,
+            }
+            .encode();
+            session.reply_cache.push_back((seq, wrapped.clone()));
+            while session.reply_cache.len() > REPLY_CACHE {
+                session.reply_cache.pop_front();
+            }
+            wrapped
+        }
+        other => dispatch(session, other, ctx, served_in_shard, trace, reg),
+    }
+}
+
+/// Apply one (already unwrapped) request to the session.
+fn dispatch(
+    session: &mut Session,
+    req: Request,
+    ctx: &ServeCtx<'_>,
+    served_in_shard: u64,
+    trace: &mut TraceSink,
+    reg: &mut Registry,
+) -> Vec<u8> {
+    let snap = ctx.snap;
+    let cfg = ctx.cfg;
+    if !session.helloed && !matches!(req, Request::Hello { .. } | Request::Resume { .. }) {
         return Response::Err {
             code: errcode::NOT_HELLOED,
             msg: "first frame must be Hello".into(),
@@ -538,6 +772,13 @@ fn handle_frame(
         .encode();
     }
     match req {
+        // Unreachable: handle_frame unwraps (and rejects nested)
+        // envelopes before dispatch.
+        Request::WithSeq { .. } => Response::Err {
+            code: errcode::BAD_FRAME,
+            msg: "nested seq envelope".into(),
+        }
+        .encode(),
         Request::Hello { proto } => {
             if proto != PROTO_VERSION {
                 return Response::Err {
@@ -549,16 +790,62 @@ fn handle_frame(
             session.helloed = true;
             Response::Welcome {
                 session_id: session.id,
+                session_token: session.token,
                 proto: PROTO_VERSION,
                 n_cpus: snap.cpus.len() as u32,
-                tick_ns,
+                tick_ns: ctx.tick_ns,
             }
             .encode()
         }
+        Request::Resume {
+            session_token,
+            last_tick,
+        } => {
+            let restored = ctx.parked.lock().remove(&session_token);
+            match restored {
+                Some(p) => {
+                    session.helloed = true;
+                    session.token = session_token;
+                    session.subs = p.subs;
+                    for sub in &mut session.subs {
+                        sub.resumed = true;
+                    }
+                    session.next_sub_id = p.next_sub_id;
+                    session.stream_every = p.stream_every;
+                    // Restore the dedup cache so a pre-death seq
+                    // reissued after Resume dedups instead of
+                    // double-applying (e.g. a Subscribe whose reply the
+                    // old transport ate).
+                    session.reply_cache.extend(p.reply_cache);
+                    let gap_pumps = ctx.pump.saturating_sub(p.parked_at_pump);
+                    reg.inc("sessions_resumed", 1);
+                    trace.record(
+                        snap.time_ns,
+                        EventKind::SessionResume,
+                        0,
+                        session.id,
+                        gap_pumps,
+                    );
+                    debug_assert!(last_tick <= snap.tick, "client cursor ahead of sim time");
+                    Response::Resumed {
+                        session_id: session.id,
+                        session_token,
+                        cur_tick: snap.tick,
+                        gap_pumps,
+                    }
+                    .encode()
+                }
+                None => Response::Err {
+                    code: errcode::NO_SUCH_TOKEN,
+                    msg: format!("no parked session for token {session_token:#x}"),
+                }
+                .encode(),
+            }
+        }
         // Hot static queries: pre-encoded bytes, no kernel lock, no
         // re-encoding.
-        Request::GetHardwareInfo => cache.hardware_info_frame.clone(),
-        Request::ListPresets => cache.presets_frame.clone(),
+        Request::GetHardwareInfo => ctx.cache.hardware_info_frame.clone(),
+        Request::ListPresets => ctx.cache.presets_frame.clone(),
         Request::Subscribe {
             cpu_mask,
             metrics: m,
@@ -587,6 +874,7 @@ fn handle_frame(
                     .collect(),
                 base_epochs: snap.cpus.iter().map(|c| c.offline_epochs).collect(),
                 base_gaps: snap.sysfs_gaps,
+                resumed: false,
             });
             Response::Subscribed {
                 sub_id,
@@ -628,6 +916,7 @@ fn handle_frame(
                     .collect();
                 sub.base_epochs = snap.cpus.iter().map(|c| c.offline_epochs).collect();
                 sub.base_gaps = snap.sysfs_gaps;
+                sub.resumed = false;
                 Response::Subscribed {
                     sub_id,
                     base_tick: snap.tick,
@@ -658,10 +947,10 @@ fn handle_frame(
             .encode()
         }
         Request::Stats => Response::Stats {
-            sessions: stats_view.sessions,
-            reads_served: stats_view.reads_served,
-            evictions: stats_view.evictions,
-            pumps: stats_view.pumps,
+            sessions: ctx.stats_view.sessions,
+            reads_served: ctx.stats_view.reads_served,
+            evictions: ctx.stats_view.evictions,
+            pumps: ctx.stats_view.pumps,
         }
         .encode(),
         Request::Close => {
@@ -669,7 +958,7 @@ fn handle_frame(
             Response::Closed.encode()
         }
         // Frozen at pump start, shared by every session this pump.
-        Request::GetSelfMetrics => self_metrics.to_vec(),
+        Request::GetSelfMetrics => ctx.self_metrics.to_vec(),
     }
 }
 
@@ -677,8 +966,10 @@ fn handle_frame(
 /// the `ReadQuality` aggregation:
 ///
 /// * any covered CPU currently offline → `Lost` (2),
-/// * any covered CPU hotplugged since baseline, a stale counter, or a
-///   sysfs gap affecting a subscribed energy metric → `Scaled` (1),
+/// * any covered CPU hotplugged since baseline, a stale counter, a
+///   sysfs gap affecting a subscribed energy metric, or a subscription
+///   carried across a session resume (pushes missed during the gap) →
+///   `Scaled` (1),
 /// * otherwise `Ok` (0).
 ///
 /// Returns `(response, latency_ns, inverted)`: `inverted` flags a
@@ -692,6 +983,9 @@ fn counters_response(
     served_in_shard: u64,
 ) -> (Response, u64, bool) {
     let mut quality = 0u8;
+    if sub.resumed {
+        quality = 1;
+    }
     for (i, c) in snap.cpus.iter().enumerate() {
         if i >= 64 || sub.cpu_mask & (1 << i) == 0 {
             continue;

@@ -97,7 +97,10 @@ fn glue(stream: TcpStream, connector: &Connector) {
                         match inbox.push(frame.clone()) {
                             Ok(()) => break,
                             Err(PushError::Full) => std::thread::sleep(POLL),
-                            Err(PushError::Closed) => {
+                            // TooBig cannot happen (read_frame already
+                            // enforces MAX_FRAME); treat it like a dead
+                            // peer if it ever does.
+                            Err(PushError::Closed) | Err(PushError::TooBig) => {
                                 let _ = rd.shutdown(Shutdown::Both);
                                 return;
                             }
@@ -239,5 +242,9 @@ impl Transport for TcpTransport {
 
     fn try_recv(&mut self) -> Option<Vec<u8>> {
         read_frame(&mut self.stream).unwrap_or_default()
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
     }
 }

@@ -32,6 +32,19 @@ pub mod metrics {
     }
 }
 
+/// FNV-1a over a byte slice — the frame checksum used by the
+/// [`Request::WithSeq`] / [`Response::SeqReply`] envelopes so bit-flip
+/// corruption in transit decodes to a typed error instead of silently
+/// becoming a different (valid) frame.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Client → daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -61,6 +74,30 @@ pub enum Request {
     /// The daemon's self-metrics registry: named counters plus
     /// histogram summaries (count/min/max/p50/p90/p99).
     GetSelfMetrics,
+    /// Reconnect handshake: continue a lost session from its cursor.
+    /// Valid as a session's first frame (instead of Hello); answered
+    /// with [`Response::Resumed`] carrying the explicit gap, or a
+    /// `NO_SUCH_TOKEN` error once the token's TTL has lapsed.
+    Resume { session_token: u64, last_tick: u64 },
+    /// Idempotent-reissue envelope: `inner` is a complete encoded
+    /// request frame, `crc` its [`fnv64`]. The daemon deduplicates on
+    /// `seq` — reissuing the same sequence id returns the cached reply
+    /// instead of re-applying the request — and verifies `crc` so
+    /// corruption surfaces as `BAD_CHECKSUM`, never as a different
+    /// valid request.
+    WithSeq { seq: u32, crc: u64, inner: Vec<u8> },
+}
+
+impl Request {
+    /// Wrap a request in a sequence envelope for idempotent reissue.
+    pub fn with_seq(seq: u32, inner: &Request) -> Request {
+        let inner = inner.encode();
+        Request::WithSeq {
+            seq,
+            crc: fnv64(&inner),
+            inner,
+        }
+    }
 }
 
 /// Per-metric value in a counters reply.
@@ -90,6 +127,10 @@ pub enum Response {
         proto: u16,
         n_cpus: u32,
         tick_ns: u64,
+        /// Opaque credential for [`Request::Resume`] after a transport
+        /// loss; the daemon parks a dead session's state under this
+        /// token for `resume_ttl_pumps`.
+        session_token: u64,
     },
     /// `papi_avail --json`-shaped document.
     HardwareInfo {
@@ -139,6 +180,42 @@ pub enum Response {
         counters: Vec<(String, u64)>,
         hists: Vec<HistSummary>,
     },
+    /// Ack for [`Request::Resume`]: the session continues from its
+    /// parked cursor. `gap_pumps > 0` means snapshots were published
+    /// while the client was away — the explicit loss marker (resumed
+    /// subscriptions additionally read as `ReadQuality::Scaled` until
+    /// re-baselined).
+    Resumed {
+        session_id: u64,
+        session_token: u64,
+        cur_tick: u64,
+        gap_pumps: u64,
+    },
+    /// Typed load-shed: the daemon refused to serve this request under
+    /// overload (shard budget exhausted or inbox deadline exceeded).
+    /// The request was NOT applied; retry after `retry_after_pumps`.
+    Overloaded {
+        retry_after_pumps: u32,
+    },
+    /// Reply envelope for a [`Request::WithSeq`]: `inner` is a complete
+    /// encoded response frame, `crc` its [`fnv64`].
+    SeqReply {
+        seq: u32,
+        crc: u64,
+        inner: Vec<u8>,
+    },
+}
+
+impl Response {
+    /// Wrap a reply in a sequence envelope matching a `WithSeq` request.
+    pub fn seq_reply(seq: u32, inner: &Response) -> Response {
+        let inner = inner.encode();
+        Response::SeqReply {
+            seq,
+            crc: fnv64(&inner),
+            inner,
+        }
+    }
 }
 
 /// Error codes carried by [`Response::Err`].
@@ -149,6 +226,12 @@ pub mod errcode {
     pub const UNKNOWN_TAG: u16 = 4;
     pub const NOT_HELLOED: u16 = 5;
     pub const EMPTY_MASK: u16 = 6;
+    /// A `WithSeq`/`SeqReply` envelope's checksum did not match its
+    /// payload — corruption in transit; reissue the request.
+    pub const BAD_CHECKSUM: u16 = 7;
+    /// `Resume` named a token the daemon does not hold (expired TTL,
+    /// never issued, or already reaped).
+    pub const NO_SUCH_TOKEN: u16 = 8;
 }
 
 // ---- encoding --------------------------------------------------------------
@@ -251,6 +334,13 @@ impl<'a> Dec<'a> {
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| WireError("bad utf-8"))
     }
 
+    /// Everything left in the payload (for envelope inner frames).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.b[self.i..];
+        self.i = self.b.len();
+        s
+    }
+
     fn done(&self) -> Result<(), WireError> {
         if self.i == self.b.len() {
             Ok(())
@@ -296,6 +386,22 @@ impl Request {
             Request::Stats => Enc::new(0x09).finish(),
             Request::Close => Enc::new(0x0a).finish(),
             Request::GetSelfMetrics => Enc::new(0x0b).finish(),
+            Request::Resume {
+                session_token,
+                last_tick,
+            } => {
+                let mut e = Enc::new(0x0c);
+                e.u64(*session_token);
+                e.u64(*last_tick);
+                e.finish()
+            }
+            Request::WithSeq { seq, crc, inner } => {
+                let mut e = Enc::new(0x0d);
+                e.u32(*seq);
+                e.u64(*crc);
+                e.buf.extend_from_slice(inner);
+                e.finish()
+            }
         }
     }
 
@@ -322,6 +428,19 @@ impl Request {
             0x09 => Request::Stats,
             0x0a => Request::Close,
             0x0b => Request::GetSelfMetrics,
+            0x0c => Request::Resume {
+                session_token: d.u64()?,
+                last_tick: d.u64()?,
+            },
+            0x0d => {
+                let seq = d.u32()?;
+                let crc = d.u64()?;
+                Request::WithSeq {
+                    seq,
+                    crc,
+                    inner: d.rest().to_vec(),
+                }
+            }
             _ => return Err(WireError("unknown request tag")),
         };
         d.done()?;
@@ -337,12 +456,14 @@ impl Response {
                 proto,
                 n_cpus,
                 tick_ns,
+                session_token,
             } => {
                 let mut e = Enc::new(0x81);
                 e.u64(*session_id);
                 e.u16(*proto);
                 e.u32(*n_cpus);
                 e.u64(*tick_ns);
+                e.u64(*session_token);
                 e.finish()
             }
             Response::HardwareInfo { json } => {
@@ -448,6 +569,31 @@ impl Response {
                 }
                 e.finish()
             }
+            Response::Resumed {
+                session_id,
+                session_token,
+                cur_tick,
+                gap_pumps,
+            } => {
+                let mut e = Enc::new(0x8c);
+                e.u64(*session_id);
+                e.u64(*session_token);
+                e.u64(*cur_tick);
+                e.u64(*gap_pumps);
+                e.finish()
+            }
+            Response::Overloaded { retry_after_pumps } => {
+                let mut e = Enc::new(0x8d);
+                e.u32(*retry_after_pumps);
+                e.finish()
+            }
+            Response::SeqReply { seq, crc, inner } => {
+                let mut e = Enc::new(0x8e);
+                e.u32(*seq);
+                e.u64(*crc);
+                e.buf.extend_from_slice(inner);
+                e.finish()
+            }
         }
     }
 
@@ -459,6 +605,7 @@ impl Response {
                 proto: d.u16()?,
                 n_cpus: d.u32()?,
                 tick_ns: d.u64()?,
+                session_token: d.u64()?,
             },
             0x82 => {
                 let n = d.u32()? as usize;
@@ -543,6 +690,24 @@ impl Response {
                 }
                 Response::SelfMetrics { counters, hists }
             }
+            0x8c => Response::Resumed {
+                session_id: d.u64()?,
+                session_token: d.u64()?,
+                cur_tick: d.u64()?,
+                gap_pumps: d.u64()?,
+            },
+            0x8d => Response::Overloaded {
+                retry_after_pumps: d.u32()?,
+            },
+            0x8e => {
+                let seq = d.u32()?;
+                let crc = d.u64()?;
+                Response::SeqReply {
+                    seq,
+                    crc,
+                    inner: d.rest().to_vec(),
+                }
+            }
             _ => return Err(WireError("unknown response tag")),
         };
         d.done()?;
@@ -597,6 +762,17 @@ mod tests {
             Request::Stats,
             Request::Close,
             Request::GetSelfMetrics,
+            Request::Resume {
+                session_token: 0xdead_beef_cafe_f00d,
+                last_tick: 37,
+            },
+            Request::with_seq(
+                9,
+                &Request::Read {
+                    sub_id: 7,
+                    submit_ns: 123,
+                },
+            ),
         ];
         for r in reqs {
             let f = r.encode();
@@ -612,6 +788,7 @@ mod tests {
                 proto: 1,
                 n_cpus: 24,
                 tick_ns: 1_000_000,
+                session_token: 0x1234_5678_9abc_def0,
             },
             Response::HardwareInfo {
                 json: "{\"x\":1}".into(),
@@ -677,6 +854,16 @@ mod tests {
                     p99: 8_000,
                 }],
             },
+            Response::Resumed {
+                session_id: 43,
+                session_token: 0x1234_5678_9abc_def0,
+                cur_tick: 50,
+                gap_pumps: 13,
+            },
+            Response::Overloaded {
+                retry_after_pumps: 3,
+            },
+            Response::seq_reply(9, &Response::Closed),
         ];
         for r in resps {
             let f = r.encode();
@@ -726,6 +913,50 @@ mod tests {
         }
         .encode();
         assert!(Response::decode(&f[..f.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn seq_envelope_checksums_catch_bit_flips() {
+        let req = Request::Subscribe {
+            cpu_mask: 0b1010,
+            metrics: metrics::ALL,
+        };
+        let mut frame = Request::with_seq(5, &req).encode();
+        // Untouched: checksum verifies and the inner frame decodes back.
+        match Request::decode(&frame).unwrap() {
+            Request::WithSeq { seq, crc, inner } => {
+                assert_eq!(seq, 5);
+                assert_eq!(crc, fnv64(&inner));
+                assert_eq!(Request::decode(&inner).unwrap(), req);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Flip one bit of the inner payload (the cpu_mask byte): the
+        // envelope still decodes, but the checksum no longer matches —
+        // the corruption cannot masquerade as a different valid request.
+        let flip_at = frame.len() - 2;
+        frame[flip_at] ^= 0x04;
+        match Request::decode(&frame).unwrap() {
+            Request::WithSeq { crc, inner, .. } => {
+                assert_ne!(crc, fnv64(&inner), "flip must break the checksum");
+                // And the mutated inner is itself a VALID Subscribe —
+                // exactly the silent-corruption case the crc exists for.
+                assert!(matches!(
+                    Request::decode(&inner),
+                    Ok(Request::Subscribe { .. })
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Same on the response side.
+        let resp = Response::Closed;
+        let mut frame = Response::seq_reply(6, &resp).encode();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x80;
+        match Response::decode(&frame).unwrap() {
+            Response::SeqReply { crc, inner, .. } => assert_ne!(crc, fnv64(&inner)),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Integration tests: many clients, fault degradation, backpressure
-//! eviction, TCP end-to-end, and shard-count determinism.
+//! eviction, TCP end-to-end, shard-count determinism, and the
+//! park/resume + overload-shedding machinery underneath the resilient
+//! client.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use metricsd::wire::{metrics, Request, Response};
-use metricsd::{ClientError, Daemon, DaemonConfig, MetricsClient};
+use metricsd::queue::ClientPipe;
+use metricsd::wire::{errcode, fnv64, metrics, Request, Response};
+use metricsd::{ClientError, Daemon, DaemonConfig, MetricsClient, Transport};
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
 use simcpu::types::{CpuId, CpuMask};
@@ -440,4 +443,369 @@ fn shard_count_does_not_change_served_counts() {
             .any(|(_, value)| *value > 0),
         "the comparison is not vacuous"
     );
+}
+
+/// Send one RPC through the checksummed WithSeq envelope, pump, and
+/// return the enveloped reply (skipping any interleaved pushes).
+fn seq_rpc(t: &mut ClientPipe, daemon: &mut Daemon, seq: u32, req: &Request) -> Response {
+    t.send(Request::with_seq(seq, req).encode()).unwrap();
+    daemon.pump();
+    recv_seq(t, seq)
+}
+
+fn recv_seq(t: &mut ClientPipe, seq: u32) -> Response {
+    loop {
+        let frame = t.recv(Duration::from_secs(1)).expect("reply");
+        match Response::decode(&frame).unwrap() {
+            Response::SeqReply { seq: s, crc, inner } => {
+                assert_eq!(s, seq, "reply matches the in-flight seq");
+                assert_eq!(crc, fnv64(&inner), "envelope checksum holds");
+                return Response::decode(&inner).unwrap();
+            }
+            _ => continue, // stream pushes, eviction notices, …
+        }
+    }
+}
+
+fn self_counter(daemon: &Daemon, name: &str) -> u64 {
+    daemon
+        .self_metrics()
+        .counters()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn dead_transport_parks_and_resume_restores_the_session() {
+    let mut daemon = Daemon::new(boot(None), DaemonConfig::default());
+    let connector = daemon.connector();
+    let mut t = connector.connect();
+
+    let token = match seq_rpc(
+        &mut t,
+        &mut daemon,
+        1,
+        &Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        },
+    ) {
+        Response::Welcome { session_token, .. } => session_token,
+        other => panic!("{other:?}"),
+    };
+    let sub_id = match seq_rpc(
+        &mut t,
+        &mut daemon,
+        2,
+        &Request::Subscribe {
+            cpu_mask: 0b11,
+            metrics: metrics::INSTRUCTIONS,
+        },
+    ) {
+        Response::Subscribed { sub_id, .. } => sub_id,
+        other => panic!("{other:?}"),
+    };
+    let last_tick = match seq_rpc(
+        &mut t,
+        &mut daemon,
+        3,
+        &Request::Read {
+            sub_id,
+            submit_ns: 0,
+        },
+    ) {
+        Response::Counters { tick, quality, .. } => {
+            assert_eq!(quality, 0, "healthy read before the loss");
+            tick
+        }
+        other => panic!("{other:?}"),
+    };
+
+    // Unclean death: no Close, the transport just disappears. The next
+    // pump reaps the session into the parked table instead of dropping
+    // its subscriptions.
+    t.shutdown();
+    daemon.pump();
+    assert_eq!(daemon.parked_count(), 1, "dead session parked, not lost");
+    daemon.pump();
+
+    let mut t2 = connector.connect();
+    match seq_rpc(
+        &mut t2,
+        &mut daemon,
+        4,
+        &Request::Resume {
+            session_token: token,
+            last_tick,
+        },
+    ) {
+        Response::Resumed {
+            session_token,
+            gap_pumps,
+            cur_tick,
+            ..
+        } => {
+            assert_eq!(
+                session_token, token,
+                "the token survives so repeated deaths keep resuming"
+            );
+            assert!(gap_pumps >= 1, "the missed window is explicit");
+            assert!(cur_tick > last_tick);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(daemon.parked_count(), 0);
+
+    // The subscription survived, but the gap is not silent: reads are
+    // Scaled until the client re-baselines.
+    match seq_rpc(
+        &mut t2,
+        &mut daemon,
+        5,
+        &Request::Read {
+            sub_id,
+            submit_ns: 0,
+        },
+    ) {
+        Response::Counters { quality, .. } => {
+            assert_eq!(quality, 1, "resumed subscription reads as Scaled")
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(
+        seq_rpc(&mut t2, &mut daemon, 6, &Request::ResetSub { sub_id }),
+        Response::Subscribed { .. }
+    ));
+    match seq_rpc(
+        &mut t2,
+        &mut daemon,
+        7,
+        &Request::Read {
+            sub_id,
+            submit_ns: 0,
+        },
+    ) {
+        Response::Counters { quality, .. } => {
+            assert_eq!(quality, 0, "re-baselined reads are Ok again")
+        }
+        other => panic!("{other:?}"),
+    }
+
+    daemon.pump();
+    assert_eq!(self_counter(&daemon, "conn_parks"), 1);
+    assert_eq!(self_counter(&daemon, "sessions_resumed"), 1);
+}
+
+#[test]
+fn reply_cache_dedups_reissues_even_across_a_resume() {
+    let mut daemon = Daemon::new(boot(None), DaemonConfig::default());
+    let connector = daemon.connector();
+    let mut t = connector.connect();
+
+    let token = match seq_rpc(
+        &mut t,
+        &mut daemon,
+        1,
+        &Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        },
+    ) {
+        Response::Welcome { session_token, .. } => session_token,
+        other => panic!("{other:?}"),
+    };
+
+    // The same Subscribe frame twice (a paranoid client reissuing into
+    // a slow link): one application, two identical replies.
+    let sub_frame = Request::with_seq(
+        2,
+        &Request::Subscribe {
+            cpu_mask: 1,
+            metrics: metrics::CYCLES,
+        },
+    )
+    .encode();
+    t.send(sub_frame.clone()).unwrap();
+    t.send(sub_frame.clone()).unwrap();
+    daemon.pump();
+    let first = recv_seq(&mut t, 2);
+    let second = recv_seq(&mut t, 2);
+    assert_eq!(first, second, "reissue served from the reply cache");
+    let sub_id = match first {
+        Response::Subscribed { sub_id, .. } => sub_id,
+        other => panic!("{other:?}"),
+    };
+
+    // Kill the transport and resume: the reply cache is part of the
+    // parked state, so a reissue from before the death still dedups
+    // instead of double-subscribing.
+    t.shutdown();
+    daemon.pump();
+    let mut t2 = connector.connect();
+    assert!(matches!(
+        seq_rpc(
+            &mut t2,
+            &mut daemon,
+            3,
+            &Request::Resume {
+                session_token: token,
+                last_tick: 0,
+            },
+        ),
+        Response::Resumed { .. }
+    ));
+    t2.send(sub_frame).unwrap();
+    daemon.pump();
+    match recv_seq(&mut t2, 2) {
+        Response::Subscribed { sub_id: again, .. } => {
+            assert_eq!(again, sub_id, "pre-death reissue dedups after resume")
+        }
+        other => panic!("{other:?}"),
+    }
+
+    daemon.pump();
+    assert_eq!(self_counter(&daemon, "dup_reissues"), 2);
+}
+
+#[test]
+fn overload_sheds_typed_replies_and_never_evicts() {
+    let mut daemon = Daemon::new(
+        boot(None),
+        DaemonConfig {
+            shards: 1,
+            shard_budget_per_pump: 1,
+            retry_after_pumps: 3,
+            ..DaemonConfig::default()
+        },
+    );
+    let connector = daemon.connector();
+    let mut t = connector.connect();
+
+    assert!(matches!(
+        seq_rpc(
+            &mut t,
+            &mut daemon,
+            1,
+            &Request::Hello {
+                proto: metricsd::PROTO_VERSION,
+            },
+        ),
+        Response::Welcome { .. }
+    ));
+    let sub_id = match seq_rpc(
+        &mut t,
+        &mut daemon,
+        2,
+        &Request::Subscribe {
+            cpu_mask: 1,
+            metrics: metrics::ALL,
+        },
+    ) {
+        Response::Subscribed { sub_id, .. } => sub_id,
+        other => panic!("{other:?}"),
+    };
+
+    // Three reads into a budget of one: one served through the
+    // envelope, two shed with a *plain* typed Overloaded (the shed is
+    // pre-decode, so it cannot echo a seq — and the client holds one
+    // RPC in flight, so attribution is unambiguous).
+    for seq in [3, 4, 5] {
+        t.send(
+            Request::with_seq(
+                seq,
+                &Request::Read {
+                    sub_id,
+                    submit_ns: 0,
+                },
+            )
+            .encode(),
+        )
+        .unwrap();
+    }
+    daemon.pump();
+    let mut served = 0;
+    let mut shed = 0;
+    while let Some(frame) = t.try_recv() {
+        match Response::decode(&frame).unwrap() {
+            Response::SeqReply { .. } => served += 1,
+            Response::Overloaded { retry_after_pumps } => {
+                assert_eq!(retry_after_pumps, 3, "the backoff hint rides along");
+                shed += 1;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!((served, shed), (1, 2));
+
+    // Shed requests were never applied, so reissuing them is safe and
+    // eventually drains: budget one per pump.
+    for seq in [4, 5] {
+        assert!(matches!(
+            seq_rpc(
+                &mut t,
+                &mut daemon,
+                seq,
+                &Request::Read {
+                    sub_id,
+                    submit_ns: 0,
+                },
+            ),
+            Response::Counters { .. }
+        ));
+    }
+
+    daemon.pump();
+    assert_eq!(self_counter(&daemon, "reqs_shed"), 2);
+    assert_eq!(daemon.stats().evictions, 0, "overload never evicts");
+    assert_eq!(daemon.stats().sessions, 1, "the session is still live");
+}
+
+#[test]
+fn parked_sessions_expire_after_ttl() {
+    let mut daemon = Daemon::new(
+        boot(None),
+        DaemonConfig {
+            resume_ttl_pumps: 2,
+            ..DaemonConfig::default()
+        },
+    );
+    let connector = daemon.connector();
+    let mut t = connector.connect();
+
+    let token = match seq_rpc(
+        &mut t,
+        &mut daemon,
+        1,
+        &Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        },
+    ) {
+        Response::Welcome { session_token, .. } => session_token,
+        other => panic!("{other:?}"),
+    };
+    t.shutdown();
+    daemon.pump();
+    assert_eq!(daemon.parked_count(), 1);
+
+    // Sit past the TTL; the parked state is reaped for good.
+    for _ in 0..4 {
+        daemon.pump_quiescent();
+    }
+    assert_eq!(daemon.parked_count(), 0, "stale parked session reaped");
+    assert_eq!(self_counter(&daemon, "parked_reaped"), 1);
+
+    let mut t2 = connector.connect();
+    match seq_rpc(
+        &mut t2,
+        &mut daemon,
+        2,
+        &Request::Resume {
+            session_token: token,
+            last_tick: 0,
+        },
+    ) {
+        Response::Err { code, .. } => {
+            assert_eq!(code, errcode::NO_SUCH_TOKEN, "expiry is a typed refusal")
+        }
+        other => panic!("{other:?}"),
+    }
 }

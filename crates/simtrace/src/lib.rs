@@ -96,6 +96,22 @@ pub enum EventKind {
     /// A Read's `submit_ns` was ahead of the virtual serve clock.
     /// `a` = submit_ns, `b` = serve_virtual_ns.
     LatencyInversion,
+    /// A transport connection reset (injected by `metricsd::chaos` or
+    /// observed by a client as a dead transport). `a` = session id (0
+    /// client-side), `b` = operation index at which the reset fired.
+    ConnReset,
+    /// A resilient client retried an RPC (reissue after a lost reply,
+    /// an error reply, or a reconnect). `code` = attempt number,
+    /// `a` = sequence id.
+    ClientRetry,
+    /// A session resumed from its token after a transport loss.
+    /// `a` = session id serving the resume, `b` = gap in pumps between
+    /// the client's cursor and the current snapshot.
+    SessionResume,
+    /// The daemon shed a request instead of serving it (overload
+    /// protection). `code` = shed reason (0 = shard budget exhausted,
+    /// 1 = inbox deadline exceeded), `a` = session id.
+    LoadShed,
 }
 
 impl EventKind {
@@ -126,6 +142,10 @@ impl EventKind {
             EventKind::DaemonServe => "daemon_serve",
             EventKind::DaemonEvict => "daemon_evict",
             EventKind::LatencyInversion => "latency_inversion",
+            EventKind::ConnReset => "conn_reset",
+            EventKind::ClientRetry => "client_retry",
+            EventKind::SessionResume => "session_resume",
+            EventKind::LoadShed => "load_shed",
         }
     }
 

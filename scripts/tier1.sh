@@ -61,4 +61,13 @@ echo "== metricsd load smoke (quick, emits BENCH_metricsd.json) =="
 # recorded for the reader, not asserted.
 cargo run --offline --release -p metricsd --bin loadgen -- --quick
 
+echo "== metricsd chaos smoke (quick, emits BENCH_chaos.json) =="
+# Hard gates inside: with deterministic transport fault injection
+# (resets, stalls, short writes, truncation, bit flips, delays) and
+# deliberate server overload, a resilient-client fleet must end with
+# counter digests bit-identical to the fault-free reference, zero lost
+# or duplicated RPCs, zero lost sessions — and every ledger (injector,
+# client, daemon self-metrics) must agree where the link is loss-free.
+cargo run --offline --release -p metricsd --bin chaosbench -- --quick
+
 echo "tier1: OK"
