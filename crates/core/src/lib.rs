@@ -553,6 +553,8 @@ impl Papi {
             .to_string();
         let encs = match self.cfg.mode {
             PapiMode::Hybrid => self.pfm.encode_on_all_defaults(&native),
+            // Already-prefixed natives (software events) name their PMU.
+            PapiMode::Legacy if native.contains("::") => self.pfm.encode(&native).map(|e| vec![e]),
             PapiMode::Legacy => {
                 let first = self.pfm.default_pmus()[0].pfm_name.clone();
                 self.pfm
@@ -601,6 +603,8 @@ impl Papi {
             .ok_or_else(|| PapiError::PresetUnavailable(preset.papi_name().into()))?;
         let encs = match self.cfg.mode {
             PapiMode::Hybrid => self.pfm.encode_on_all_defaults(native),
+            // Already-prefixed natives (software events) name their PMU.
+            PapiMode::Legacy if native.contains("::") => self.pfm.encode(native).map(|e| vec![e]),
             PapiMode::Legacy => {
                 // One default PMU only.
                 let first = self.pfm.default_pmus()[0].pfm_name.clone();
@@ -1648,6 +1652,54 @@ mod tests {
         assert!(v[1].1 > 0, "E instructions: {v:?}");
         assert!(v[2].1 >= 2, "migrations observed by PAPI: {v:?}");
         assert!(v[3].1 >= v[2].1, "switches ≥ migrations: {v:?}");
+    }
+
+    #[test]
+    fn software_presets_count_in_hybrid_mode() {
+        // The new sw presets resolve through the data table (already
+        // PMU-prefixed → no per-core-type expansion) and count next to a
+        // derived hardware preset in one EventSet.
+        let kernel = boot(MachineSpec::raptor_lake_i7_13700());
+        let pid = spawn_loop(&kernel, CpuMask::from_cpus([0]), 10_000_000);
+        let mut papi = Papi::init(kernel.clone()).unwrap();
+        for name in ["PAPI_CTX_SW", "PAPI_CPU_MIG", "PAPI_PG_FLT", "PAPI_TSK_CLK"] {
+            assert!(papi.preset_names().contains(&name.to_string()), "{name}");
+        }
+        let es = papi.create_eventset();
+        papi.attach(es, Attach::Task(pid)).unwrap();
+        papi.add_preset_named(es, "PAPI_TOT_INS").unwrap();
+        papi.add_preset_named(es, "PAPI_PG_FLT").unwrap();
+        papi.add_preset_named(es, "PAPI_TSK_CLK").unwrap();
+        papi.add_preset_named(es, "PAPI_CPU_MIG").unwrap();
+        papi.start(es).unwrap();
+        run_all(&kernel);
+        let v = papi.stop(es).unwrap();
+        assert_eq!(v[0].1, 10_000_000 + 4_300);
+        // scalar phases (loop + injected overhead) share one 8 KiB
+        // working set: exactly two first-touch faults, ever.
+        assert_eq!(v[1].1, 2, "first-touch faults: {v:?}");
+        assert!(v[2].1 > 0, "task clock advanced: {v:?}");
+        assert_eq!(v[3].1, 0, "pinned task never migrates: {v:?}");
+    }
+
+    #[test]
+    fn software_presets_work_in_legacy_mode() {
+        // Legacy mode must not mangle already-prefixed natives into
+        // "adl_glc::perf_sw::…".
+        let kernel = boot(MachineSpec::raptor_lake_i7_13700());
+        let pid = spawn_loop(&kernel, CpuMask::from_cpus([0]), 1_000_000);
+        let mut papi = Papi::init_legacy(kernel.clone()).unwrap();
+        let es = papi.create_eventset();
+        papi.attach(es, Attach::Task(pid)).unwrap();
+        papi.add_preset_named(es, "PAPI_CTX_SW").unwrap();
+        assert_eq!(
+            papi.native_names(es).unwrap(),
+            vec!["perf_sw::CONTEXT_SWITCHES"]
+        );
+        papi.start(es).unwrap();
+        run_all(&kernel);
+        let v = papi.stop(es).unwrap();
+        assert!(v[0].1 >= 1, "task switched in at least once: {v:?}");
     }
 
     #[test]

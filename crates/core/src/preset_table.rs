@@ -155,6 +155,10 @@ PAPI_FP_OPS,DERIVED_ADD,intel=FP_ARITH_INST_RETIRED:ALL,arm=VFP_SPEC
 PAPI_VEC_INS,DERIVED_ADD,intel=UOPS_RETIRED:VECTOR,arm=ASE_SPEC
 PAPI_RES_STL,DERIVED_ADD,intel=CYCLE_ACTIVITY:STALLS_MEM_ANY,arm=STALL_BACKEND
 PAPI_TLB_DM,DERIVED_ADD,intel=DTLB_LOAD_MISSES:WALK_COMPLETED,arm=DTLB_WALK
+PAPI_CTX_SW,DERIVED_ADD,intel=perf_sw::CONTEXT_SWITCHES,arm=perf_sw::CONTEXT_SWITCHES
+PAPI_CPU_MIG,DERIVED_ADD,intel=perf_sw::CPU_MIGRATIONS,arm=perf_sw::CPU_MIGRATIONS
+PAPI_PG_FLT,DERIVED_ADD,intel=perf_sw::PAGE_FAULTS,arm=perf_sw::PAGE_FAULTS
+PAPI_TSK_CLK,DERIVED_ADD,intel=perf_sw::TASK_CLOCK,arm=perf_sw::TASK_CLOCK
 ";
 
 #[cfg(test)]
@@ -164,7 +168,7 @@ mod tests {
     #[test]
     fn builtin_table_parses() {
         let defs = parse_preset_csv(BUILTIN_CSV).unwrap();
-        assert_eq!(defs.len(), 14);
+        assert_eq!(defs.len(), 18);
         let tot = defs.iter().find(|d| d.name == "PAPI_TOT_INS").unwrap();
         assert_eq!(tot.native_for(Vendor::Intel), Some("INST_RETIRED:ANY"));
         assert_eq!(tot.native_for(Vendor::Arm), Some("INST_RETIRED"));

@@ -46,6 +46,14 @@ pub enum Preset {
     ResStl,
     /// Data TLB misses.
     TlbDm,
+    /// Context switches (software event, kernel-counted).
+    CtxSw,
+    /// Cross-CPU migrations (software event).
+    CpuMig,
+    /// Minor page faults (software event).
+    PgFlt,
+    /// Task clock: wall time the target ran, ns (software event).
+    TskClk,
 }
 
 /// All presets, for enumeration APIs.
@@ -64,6 +72,10 @@ pub const ALL_PRESETS: &[Preset] = &[
     Preset::VecIns,
     Preset::ResStl,
     Preset::TlbDm,
+    Preset::CtxSw,
+    Preset::CpuMig,
+    Preset::PgFlt,
+    Preset::TskClk,
 ];
 
 impl Preset {
@@ -84,6 +96,10 @@ impl Preset {
             Preset::VecIns => "PAPI_VEC_INS",
             Preset::ResStl => "PAPI_RES_STL",
             Preset::TlbDm => "PAPI_TLB_DM",
+            Preset::CtxSw => "PAPI_CTX_SW",
+            Preset::CpuMig => "PAPI_CPU_MIG",
+            Preset::PgFlt => "PAPI_PG_FLT",
+            Preset::TskClk => "PAPI_TSK_CLK",
         }
     }
 
@@ -127,6 +143,13 @@ impl Preset {
             (Preset::ResStl, Vendor::Arm) => Some("STALL_BACKEND"),
             (Preset::TlbDm, Vendor::Intel) => Some("DTLB_LOAD_MISSES:WALK_COMPLETED"),
             (Preset::TlbDm, Vendor::Arm) => Some("DTLB_WALK"),
+            // Software events come from the kernel, not the core PMU:
+            // vendor-independent, already PMU-prefixed so they bypass the
+            // per-core-type hybrid expansion.
+            (Preset::CtxSw, _) => Some("perf_sw::CONTEXT_SWITCHES"),
+            (Preset::CpuMig, _) => Some("perf_sw::CPU_MIGRATIONS"),
+            (Preset::PgFlt, _) => Some("perf_sw::PAGE_FAULTS"),
+            (Preset::TskClk, _) => Some("perf_sw::TASK_CLOCK"),
         }
     }
 }

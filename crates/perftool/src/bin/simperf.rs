@@ -3,9 +3,14 @@
 //! ```text
 //! simperf list
 //! simperf stat   [-m machine] [-a] [-C cpulist] [-e ev,ev] [-w workload] [-I ms] [--json]
-//!                [--trace-out FILE]
+//!                [--regions] [--trace-out FILE]
 //! simperf record [-m machine] [-c period] [-e event] [-w workload]
 //! ```
+//!
+//! `--regions` runs the workload with LIKWID-style marker regions (one
+//! region per workload phase) and prints a per-region, per-core-type
+//! counter table instead of whole-run totals; `-e` then takes `PAPI_*`
+//! preset names (default `PAPI_TOT_INS,PAPI_TOT_CYC,PAPI_CTX_SW`).
 //!
 //! `--trace-out FILE` boots the kernel with the flight recorder enabled
 //! and, after the stat run, writes every recorded track (kernel, shared
@@ -60,6 +65,7 @@ struct Args {
     period: u64,
     interval_ms: Option<u64>,
     json: bool,
+    regions: bool,
     trace_out: Option<String>,
 }
 
@@ -73,6 +79,7 @@ fn parse_args(argv: &[String]) -> Args {
         period: 100_000,
         interval_ms: None,
         json: false,
+        regions: false,
         trace_out: None,
     };
     let mut i = 0;
@@ -105,6 +112,7 @@ fn parse_args(argv: &[String]) -> Args {
                 a.interval_ms = argv[i].parse().ok();
             }
             "--json" => a.json = true,
+            "--regions" => a.regions = true,
             "--trace-out" => {
                 i += 1;
                 a.trace_out = Some(argv[i].clone());
@@ -143,6 +151,88 @@ fn boot_and_spawn(args: &Args) -> (KernelHandle, Pid) {
     (kernel, pid)
 }
 
+/// `simperf stat --regions`: run the workload inside a LIKWID-style
+/// marker region and print the per-region, per-core-type table.
+fn run_region_stat(args: &Args) {
+    use perftool::regions::{begin_hook, end_hook, RegionId, Regions};
+    let cfg = KernelConfig {
+        trace: if args.trace_out.is_some() {
+            simtrace::TraceConfig::enabled_with_cap(1 << 16)
+        } else {
+            simtrace::TraceConfig::from_env()
+        },
+        ..Default::default()
+    };
+    let kernel = Kernel::boot_handle(machine(&args.machine), cfg);
+    let mask = match &args.cpus {
+        Some(s) => CpuMask::parse_cpulist(s).unwrap_or_else(|e| {
+            eprintln!("bad cpulist: {e}");
+            std::process::exit(2);
+        }),
+        None => CpuMask::first_n(kernel.lock().machine().n_cpus()),
+    };
+    let name = args
+        .workload
+        .split(':')
+        .next()
+        .unwrap_or("workload")
+        .to_string();
+    let phase = workload(&args.workload);
+    let r = RegionId(0);
+    let pid = kernel.lock().spawn(
+        "workload",
+        Box::new(ScriptedProgram::new([
+            Op::Call(begin_hook(r)),
+            Op::Compute(phase),
+            Op::Call(end_hook(r)),
+            Op::Exit,
+        ])),
+        mask,
+        0,
+    );
+    let rcfg = perftool::RegionConfig {
+        events: if args.events.is_empty() {
+            vec![
+                "PAPI_TOT_INS".into(),
+                "PAPI_TOT_CYC".into(),
+                "PAPI_CTX_SW".into(),
+            ]
+        } else {
+            args.events.clone()
+        },
+        overhead_instructions: None,
+    };
+    let mut regions = Regions::init(&kernel, pid, &rcfg).unwrap_or_else(|e| {
+        eprintln!("simperf: {e}");
+        std::process::exit(1);
+    });
+    regions.region_init(&name);
+    regions.run_marked(3_600_000_000_000).unwrap_or_else(|e| {
+        eprintln!("simperf: {e}");
+        std::process::exit(1);
+    });
+    let track = regions.trace_track();
+    let report = regions.finish().unwrap_or_else(|e| {
+        eprintln!("simperf: {e}");
+        std::process::exit(1);
+    });
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(path) = &args.trace_out {
+        let mut tracks = kernel.lock().trace_tracks();
+        tracks.push(track);
+        let json = simtrace::chrome_trace_json(&tracks);
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("simperf: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("simperf: wrote trace to {path} ({} bytes)", json.len());
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -159,6 +249,10 @@ fn main() {
         }
         "stat" => {
             let args = parse_args(rest);
+            if args.regions {
+                run_region_stat(&args);
+                return;
+            }
             let (kernel, pid) = boot_and_spawn(&args);
             let cfg = StatConfig {
                 events: if args.events.is_empty() {

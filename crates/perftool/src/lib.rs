@@ -20,9 +20,11 @@
 //! a reusable tool with a CLI (`simperf`).
 
 pub mod record;
+pub mod regions;
 pub mod stat;
 
 pub use record::{RecordConfig, RecordSession, Report};
+pub use regions::{RegionConfig, RegionId, RegionReport, Regions};
 pub use stat::{StatConfig, StatResult, StatRow};
 
 use simcpu::events::ArchEvent;
@@ -36,11 +38,13 @@ pub fn parse_generic_event(name: &str) -> Option<ArchEvent> {
         .find(|e| e.generic_name().eq_ignore_ascii_case(name))
 }
 
-/// The generic event names `simperf list` prints.
+/// The generic event names `simperf list` prints: hardware events first,
+/// then the kernel software events.
 pub fn list_events() -> Vec<&'static str> {
     simcpu::events::ALL_ARCH_EVENTS
         .iter()
         .map(|e| e.generic_name())
+        .chain(stat::SOFTWARE_EVENTS.iter().copied())
         .collect()
 }
 
@@ -51,7 +55,10 @@ mod tests {
     #[test]
     fn generic_names_roundtrip() {
         for name in list_events() {
-            assert!(parse_generic_event(name).is_some(), "{name}");
+            assert!(
+                parse_generic_event(name).is_some() || stat::parse_software_event(name).is_some(),
+                "{name}"
+            );
         }
         assert_eq!(
             parse_generic_event("Instructions"),

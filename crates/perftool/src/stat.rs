@@ -7,10 +7,32 @@
 
 use crate::parse_generic_event;
 use pfmlib::{Pfm, PfmOptions};
+use simcpu::events::ArchEvent;
 use simcpu::types::CpuMask;
 use simos::kernel::{Kernel, KernelHandle};
-use simos::perf::{EventFd, PerfAttr, Target};
+use simos::perf::{EventConfig, EventFd, PerfAttr, Target};
 use simos::task::Pid;
+
+/// Parse a perf-style software event name (`perf stat -e context-switches`).
+/// These count kernel activity, not PMU hardware, so they take no hybrid
+/// expansion — one row regardless of core types.
+pub fn parse_software_event(name: &str) -> Option<EventConfig> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "context-switches" | "cs" => EventConfig::SwContextSwitches,
+        "cpu-migrations" | "migrations" => EventConfig::SwCpuMigrations,
+        "page-faults" | "faults" => EventConfig::SwPageFaults,
+        "task-clock" => EventConfig::SwTaskClock,
+        _ => return None,
+    })
+}
+
+/// The canonical software event names `simperf list` prints.
+pub const SOFTWARE_EVENTS: &[&str] = &[
+    "context-switches",
+    "cpu-migrations",
+    "page-faults",
+    "task-clock",
+];
 
 /// What to count.
 #[derive(Debug, Clone)]
@@ -215,6 +237,33 @@ pub fn arm(
     let hybrid = pfm.default_pmus().len() > 1;
     let mut rows = Vec::new();
     for name in &cfg.events {
+        if let Some(config) = parse_software_event(name) {
+            let sw = pfm
+                .pmu_by_pfm_name("perf_sw")
+                .ok_or_else(|| StatError::UnknownEvent(name.clone()))?
+                .1;
+            let attr = PerfAttr {
+                config,
+                ..PerfAttr::counting(sw.pmu_id, ArchEvent::Instructions)
+            };
+            let mut fds = Vec::new();
+            if cfg.system_wide {
+                let covered = match &cfg.cpus {
+                    Some(m) => sw.cpus.and(m),
+                    None => sw.cpus,
+                };
+                for cpu in covered.iter() {
+                    fds.push(open_and_enable(&mut k, attr, Target::Cpu(cpu))?);
+                }
+            } else {
+                let pid = target.expect("per-task stat needs a pid");
+                fds.push(open_and_enable(&mut k, attr, Target::Thread(pid))?);
+            }
+            if !fds.is_empty() {
+                rows.push((name.clone(), fds));
+            }
+            continue;
+        }
         let arch =
             parse_generic_event(name).ok_or_else(|| StatError::UnknownEvent(name.clone()))?;
         for pmu in pfm.default_pmus() {
@@ -362,6 +411,34 @@ mod tests {
             CpuMask::parse_cpulist(cpus).unwrap(),
             0,
         )
+    }
+
+    #[test]
+    fn software_events_count_without_hybrid_expansion() {
+        let kernel = boot();
+        let pid = spawn(&kernel, "0", 2_000_000);
+        let cfg = StatConfig {
+            events: vec![
+                "instructions".into(),
+                "context-switches".into(),
+                "page-faults".into(),
+                "task-clock".into(),
+                "cpu-migrations".into(),
+            ],
+            system_wide: false,
+            cpus: None,
+        };
+        let session = arm(&kernel, &cfg, Some(pid)).unwrap();
+        kernel.lock().run_to_completion(60_000_000_000);
+        let res = session.finish().unwrap();
+        // 2 hybrid instruction rows + 4 single software rows.
+        assert_eq!(res.rows.len(), 6);
+        assert_eq!(res.total_for("instructions"), 2_000_000);
+        assert!(res.total_for("context-switches") >= 1);
+        // Phase::scalar touches an 8 KiB working set: 2 first-touch faults.
+        assert_eq!(res.total_for("page-faults"), 2);
+        assert!(res.total_for("task-clock") > 0, "ns of runtime");
+        assert_eq!(res.total_for("cpu-migrations"), 0, "pinned");
     }
 
     #[test]

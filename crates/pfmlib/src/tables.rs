@@ -334,6 +334,12 @@ pub static PERF_SW_EVENTS: &[PfmEvent] = &[
         config: EventConfig::SwCpuMigrations,
         umasks: NO_UMASKS,
     },
+    PfmEvent {
+        name: "PAGE_FAULTS",
+        desc: "Minor page faults (first-touch working-set model)",
+        config: EventConfig::SwPageFaults,
+        umasks: NO_UMASKS,
+    },
 ];
 
 pub static UNCORE_LLC_EVENTS: &[PfmEvent] = &[

@@ -124,6 +124,25 @@ impl Phase {
         }
     }
 
+    /// Dependent-load pointer chase over a working set: every reference
+    /// misses whatever level the working set outgrows and nothing can be
+    /// blocked, so latency dominates (the classic lat_mem_rd kernel; the
+    /// Röhl validation suite's "known cache-miss count" workload).
+    pub fn pointer_chase(instructions: u64, working_set: u64) -> Phase {
+        Phase {
+            instructions,
+            mem_ref_rate: 0.33, // one dependent load per 3-inst chase step
+            working_set,
+            reuse_l1: 0.0, // random stride defeats line reuse
+            reuse_l2: 0.0,
+            reuse_llc: 0.0,
+            flops_per_inst: 0.0,
+            vector_frac: 0.0,
+            branch_rate: 0.05,
+            branch_miss_rate: 0.001,
+        }
+    }
+
     /// A busy-wait: spins in L1 doing nothing useful (used to model
     /// synchronization/barrier wait loops when modeled as active spinning).
     pub fn spin(instructions: u64) -> Phase {
@@ -200,6 +219,7 @@ mod tests {
             Phase::scalar(1_000_000),
             Phase::branchy(1_000_000),
             Phase::spin(1_000),
+            Phase::pointer_chase(1_000_000, 64 << 20),
         ] {
             p.validate().unwrap();
         }

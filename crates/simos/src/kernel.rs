@@ -274,14 +274,29 @@ struct CoreWork {
 /// sub-cycle remainder); anything past 8 is not worth replaying.
 const STEADY_ITERS: usize = 8;
 
+/// Simulated page size for the first-touch page-fault model.
+const PAGE_BYTES: u64 = 4096;
+
+/// Software-event deltas observed on one CPU during one tick; the source
+/// the software PMU counts from in [`Kernel::perf_tick`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SwDelta {
+    /// The running task was context-switched in this tick.
+    switched_in: bool,
+    /// The running task arrived from a different CPU this tick.
+    migrated: bool,
+    /// Minor page faults charged this tick (first-touch model: pages of a
+    /// freshly installed phase's working set never touched before).
+    page_faults: u32,
+}
+
 /// One core's outputs for the tick, written into its indexed slot.
 #[derive(Debug, Clone, Copy)]
 struct CoreOut {
     load: CpuLoad,
     delta: EventCounts,
     run_ns: u64,
-    /// (context-switched-in, migrated).
-    sw: (bool, bool),
+    sw: SwDelta,
     ctrl: Option<CtrlOp>,
     /// Whether this tick is a *steady template*: the task ran the same
     /// phase end to end with no op pull, no phase completion, no control
@@ -305,7 +320,7 @@ impl Default for CoreOut {
             load: CpuLoad::default(),
             delta: EventCounts::ZERO,
             run_ns: 0,
-            sw: (false, false),
+            sw: SwDelta::default(),
             ctrl: None,
             steady: false,
             inst_total: 0,
@@ -333,7 +348,7 @@ struct TickScratch {
     loads: Vec<CpuLoad>,
     deltas: Vec<EventCounts>,
     run_ns: Vec<u64>,
-    sw_meta: Vec<(bool, bool)>,
+    sw_meta: Vec<SwDelta>,
     slots: Vec<ExecSlot>,
     /// Last tick's full per-CPU outputs — the macro-tick replay templates.
     outs: Vec<CoreOut>,
@@ -346,7 +361,7 @@ impl TickScratch {
             loads: vec![CpuLoad::default(); n],
             deltas: vec![EventCounts::ZERO; n],
             run_ns: vec![0; n],
-            sw_meta: vec![(false, false); n],
+            sw_meta: vec![SwDelta::default(); n],
             slots: (0..n).map(|_| ExecSlot::default()).collect(),
             outs: vec![CoreOut::default(); n],
         }
@@ -945,7 +960,8 @@ impl Kernel {
                 PmuKind::Software,
                 EventConfig::SwTaskClock
                 | EventConfig::SwContextSwitches
-                | EventConfig::SwCpuMigrations,
+                | EventConfig::SwCpuMigrations
+                | EventConfig::SwPageFaults,
             ) => {}
             _ => return Err(PerfError::BadConfig),
         }
@@ -1294,7 +1310,7 @@ impl Kernel {
         self.scratch.loads.fill(CpuLoad::default());
         self.scratch.deltas.fill(EventCounts::ZERO);
         self.scratch.run_ns.fill(0);
-        self.scratch.sw_meta.fill((false, false));
+        self.scratch.sw_meta.fill(SwDelta::default());
         self.scratch.outs.fill(CoreOut::default());
         if self.exec_threads == 0 {
             self.exec_cores_serial(dt);
@@ -1469,7 +1485,7 @@ impl Kernel {
                 self.scratch.loads[ci] = CpuLoad::default();
                 self.scratch.deltas[ci] = EventCounts::ZERO;
                 self.scratch.run_ns[ci] = 0;
-                self.scratch.sw_meta[ci] = (false, false);
+                self.scratch.sw_meta[ci] = SwDelta::default();
                 continue;
             };
             let task = self.tasks[pid.0 as usize]
@@ -1552,7 +1568,7 @@ impl Kernel {
         self.scratch.deltas[cpu_idx] = out.delta;
         self.scratch.run_ns[cpu_idx] = out.run_ns;
         self.scratch.sw_meta[cpu_idx] = out.sw;
-        if out.sw.1 {
+        if out.sw.migrated {
             // Recorded here (the in-order drain shared by the serial and
             // parallel paths) so the kernel track is execution-mode
             // independent.
@@ -1829,11 +1845,12 @@ impl Kernel {
                         ev.time_enabled += active_ns;
                         ev.time_matched += active_ns;
                         ev.time_running += active_ns;
-                        let (switched_in, migrated) = self.scratch.sw_meta[cpu_idx];
+                        let sw = self.scratch.sw_meta[cpu_idx];
                         let delta = match ev.attr.config {
                             EventConfig::SwTaskClock => active_ns,
-                            EventConfig::SwContextSwitches => switched_in as u64,
-                            EventConfig::SwCpuMigrations => migrated as u64,
+                            EventConfig::SwContextSwitches => sw.switched_in as u64,
+                            EventConfig::SwCpuMigrations => sw.migrated as u64,
+                            EventConfig::SwPageFaults => sw.page_faults as u64,
                             _ => 0,
                         };
                         if delta > 0 {
@@ -2054,7 +2071,11 @@ fn exec_core(
         }
     }
     task.last_cpu = Some(cpu);
-    out.sw = (switched_in, migrated);
+    out.sw = SwDelta {
+        switched_in,
+        migrated,
+        page_faults: 0,
+    };
     // A tick is a replayable steady template only if the task entered it
     // mid-phase and left it mid-phase with nothing but plain `advance`
     // calls in between (no op pull, no completion, no control op, no
@@ -2081,6 +2102,18 @@ fn exec_core(
                 Op::Compute(ph) => {
                     debug_assert!(ph.validate().is_ok(), "invalid phase from program");
                     if ph.instructions > 0 {
+                        // First-touch minor faults: pages of this phase's
+                        // working set beyond the task's address-space
+                        // high-water mark fault in now. Charged at phase
+                        // install (an op-pull tick, never a steady macro
+                        // template), so replay stays fault-exact for free.
+                        let pages = ph.working_set.div_ceil(PAGE_BYTES);
+                        if pages > task.touched_pages {
+                            let faulted = pages - task.touched_pages;
+                            task.touched_pages = pages;
+                            task.stats.page_faults += faulted;
+                            out.sw.page_faults += faulted as u32;
+                        }
                         task.current = Some(ph);
                     }
                     continue;
@@ -2866,6 +2899,81 @@ mod tests {
             ctx >= mig,
             "every migration implies a switch-in: {ctx} >= {mig}"
         );
+    }
+
+    #[test]
+    fn software_page_faults_follow_first_touch_high_water() {
+        // Two phases: 8 KiB scalar (2 pages), then a 64 KiB stream
+        // (16 pages). The high-water model faults 2, then 14 more; a
+        // third phase inside the existing footprint faults nothing.
+        let mut k = raptor();
+        let pid = k.spawn(
+            "pf",
+            Box::new(ScriptedProgram::new([
+                Op::Compute(Phase::scalar(1_000_000)),
+                Op::Compute(Phase::stream(1_000_000, 64 * 1024)),
+                Op::Compute(Phase::scalar(1_000_000)),
+                Op::Exit,
+            ])),
+            CpuMask::from_cpus([0]),
+            0,
+        );
+        let sw = k.pmu_by_name("software").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr {
+                    config: EventConfig::SwPageFaults,
+                    ..PerfAttr::counting(sw, ArchEvent::Instructions)
+                },
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.run_to_completion(60_000_000_000);
+        let flt = k.read_event(fd).unwrap().value;
+        let st = k.task_stats(pid).unwrap();
+        assert_eq!(st.page_faults, 16, "2 + 14 + 0 first-touch faults");
+        assert_eq!(flt, st.page_faults, "perf and stats agree on faults");
+    }
+
+    #[test]
+    fn hotplug_migration_counted_exactly_once() {
+        // Regression for the hotplug undo path: offline cpu0 (one genuine
+        // migration to cpu1), then bring it back. Sticky placement keeps
+        // the running task where it is, so neither the offline nor the
+        // re-online may add a second migration — in the task stats or in
+        // the software PMU.
+        let mut k = raptor();
+        let pid = spawn_loop(&mut k, CpuMask::from_cpus([0, 1]), 500_000_000);
+        let sw = k.pmu_by_name("software").unwrap().id;
+        let fd = k
+            .perf_event_open(
+                PerfAttr {
+                    config: EventConfig::SwCpuMigrations,
+                    ..PerfAttr::counting(sw, ArchEvent::Instructions)
+                },
+                Target::Thread(pid),
+                None,
+            )
+            .unwrap();
+        k.ioctl_enable(fd, false).unwrap();
+        k.install_faults(&FaultPlan::new(11).at(
+            10_000_000,
+            FaultKind::CpuOffline {
+                cpu: CpuId(0),
+                down_ns: Some(20_000_000),
+            },
+        ));
+        k.run_to_completion(100_000_000_000);
+        assert!(k.cpu_online(CpuId(0)), "cpu0 came back");
+        let st = k.task_stats(pid).unwrap();
+        assert_eq!(st.instructions, 500_000_000);
+        assert_eq!(
+            st.migrations, 1,
+            "exactly one migration across offline + undo"
+        );
+        assert_eq!(k.read_event(fd).unwrap().value, 1);
     }
 
     #[test]

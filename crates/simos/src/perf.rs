@@ -94,6 +94,10 @@ pub enum EventConfig {
     SwContextSwitches,
     /// Cross-CPU migrations of the target (PERF_COUNT_SW_CPU_MIGRATIONS).
     SwCpuMigrations,
+    /// Minor page faults of the target (PERF_COUNT_SW_PAGE_FAULTS).
+    /// First-touch model: installing a compute phase faults in the pages
+    /// of its working set that the task has never touched before.
+    SwPageFaults,
 }
 
 /// The subset of `perf_event_attr` the simulation honours.

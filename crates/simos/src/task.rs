@@ -122,6 +122,8 @@ pub struct TaskStats {
     pub migrations: u64,
     /// Number of migrations that changed core *type* (P↔E).
     pub core_type_migrations: u64,
+    /// Minor page faults (first-touch working-set model).
+    pub page_faults: u64,
     /// Instructions retired per core type, indexed like
     /// `[Performance, Efficiency, Mid, Uniform]`.
     pub instructions_by_type: [u64; 4],
@@ -164,6 +166,9 @@ pub struct Task {
     pub vruntime: f64,
     /// CPU the task last ran on (for migration accounting + cache warmth).
     pub last_cpu: Option<CpuId>,
+    /// High-water mark of 4 KiB pages the task has ever touched — the
+    /// address-space size backing the first-touch page-fault model.
+    pub touched_pages: u64,
     pub stats: TaskStats,
 }
 
@@ -187,6 +192,7 @@ impl Task {
             injected: VecDeque::new(),
             vruntime: 0.0,
             last_cpu: None,
+            touched_pages: 0,
             stats: TaskStats::default(),
         }
     }

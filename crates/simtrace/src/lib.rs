@@ -112,6 +112,12 @@ pub enum EventKind {
     /// protection). `code` = shed reason (0 = shard budget exhausted,
     /// 1 = inbox deadline exceeded), `a` = session id.
     LoadShed,
+    /// A marker region opened (`perftool::regions`). `code` = region id,
+    /// `a` = nesting depth after the begin.
+    RegionBegin,
+    /// A marker region closed. `code` = region id, `a` = nesting depth
+    /// before the end.
+    RegionEnd,
 }
 
 impl EventKind {
@@ -146,6 +152,8 @@ impl EventKind {
             EventKind::ClientRetry => "client_retry",
             EventKind::SessionResume => "session_resume",
             EventKind::LoadShed => "load_shed",
+            EventKind::RegionBegin => "region_begin",
+            EventKind::RegionEnd => "region_end",
         }
     }
 

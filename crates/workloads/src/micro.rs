@@ -13,7 +13,7 @@
 
 use parking_lot::Mutex;
 use simcpu::phase::Phase;
-use simcpu::types::{CpuMask, Nanos};
+use simcpu::types::{CoreType, CpuMask, Nanos};
 use simos::kernel::KernelHandle;
 use simos::task::{HookId, Op, Pid, ProgCtx};
 use std::sync::Arc;
@@ -191,6 +191,227 @@ pub fn spawn_branchy(kernel: &KernelHandle, cpus: CpuMask, instructions: u64) ->
     kernel.lock().spawn("branchy", Box::new(program), cpus, 0)
 }
 
+// ---- Analytic validation kernels (Röhl-style) ------------------------------
+//
+// Röhl et al. validate hardware events by running kernels whose event
+// counts are *known in closed form* and checking the measured values land
+// in analytic bounds. These kernels are built so every bound follows from
+// the phase's statistical mix (instructions, branch/vector rates), the
+// first-touch page-fault model (ceil(ws / 4 KiB)), or the scheduling
+// structure (one switch-in per region entry / sleep wake-up) — nothing is
+// calibrated against the simulator's own output.
+
+/// Simulated page size (must match `simos`' first-touch fault model).
+const ANALYTIC_PAGE_BYTES: u64 = 4096;
+
+/// Which analytic kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyticKind {
+    /// Instruction-retire loop: L1-resident scalar ALU work.
+    Retire,
+    /// Memory-bound stream over a cache-busting working set.
+    Stream,
+    /// Dependent-load pointer chase (latency-bound, zero reuse).
+    PointerChase,
+    /// Context-switch-heavy server loop: compute bursts separated by
+    /// deterministic request-arrival sleeps (a metricsd-style poller
+    /// cadence), so software-event counts are part of the closed form.
+    Server,
+}
+
+/// One analytic kernel instance with its closed-form expectations.
+#[derive(Debug, Clone)]
+pub struct Analytic {
+    pub kind: AnalyticKind,
+    /// Total instructions retired inside the marked region.
+    pub instructions: u64,
+    /// Working set, bytes (fixes the page-fault count).
+    pub working_set: u64,
+    /// Compute bursts inside the region (>1 only for `Server`).
+    pub bursts: u32,
+    /// Inter-burst sleep, ns (`Server` only).
+    pub sleep_ns: Nanos,
+}
+
+impl Analytic {
+    pub fn retire(instructions: u64) -> Analytic {
+        Analytic {
+            kind: AnalyticKind::Retire,
+            instructions,
+            working_set: 8 * 1024, // Phase::scalar's L1-resident set
+            bursts: 1,
+            sleep_ns: 0,
+        }
+    }
+
+    pub fn stream(instructions: u64, working_set: u64) -> Analytic {
+        Analytic {
+            kind: AnalyticKind::Stream,
+            instructions,
+            working_set,
+            bursts: 1,
+            sleep_ns: 0,
+        }
+    }
+
+    pub fn pointer_chase(instructions: u64, working_set: u64) -> Analytic {
+        Analytic {
+            kind: AnalyticKind::PointerChase,
+            instructions,
+            working_set,
+            bursts: 1,
+            sleep_ns: 0,
+        }
+    }
+
+    /// `sleep_ns` must exceed the scheduler tick (default 1 ms) for the
+    /// closed-form context-switch count to hold: a sub-tick sleep wakes
+    /// before the next scheduling pass ever sees the task blocked, so no
+    /// switch is observable.
+    pub fn server(instructions: u64, bursts: u32, sleep_ns: Nanos) -> Analytic {
+        Analytic {
+            kind: AnalyticKind::Server,
+            instructions,
+            working_set: 8 * 1024, // scalar bursts
+            bursts: bursts.max(1),
+            sleep_ns,
+        }
+    }
+
+    /// The standard 4-kernel validation suite, `instructions` each.
+    pub fn suite(instructions: u64) -> Vec<Analytic> {
+        vec![
+            Analytic::retire(instructions),
+            Analytic::stream(instructions, 64 << 20),
+            Analytic::pointer_chase(instructions, 32 << 20),
+            Analytic::server(instructions, 16, 2_000_000),
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            AnalyticKind::Retire => "retire",
+            AnalyticKind::Stream => "stream",
+            AnalyticKind::PointerChase => "chase",
+            AnalyticKind::Server => "server",
+        }
+    }
+
+    /// The phase executed per burst.
+    fn phase(&self, instructions: u64) -> Phase {
+        match self.kind {
+            AnalyticKind::Retire | AnalyticKind::Server => Phase::scalar(instructions),
+            AnalyticKind::Stream => Phase::stream(instructions, self.working_set),
+            AnalyticKind::PointerChase => Phase::pointer_chase(instructions, self.working_set),
+        }
+    }
+
+    /// The events every kernel's expectations cover: 4 hardware presets
+    /// (exactly the GP-counter budget of the smallest core PMU, so no
+    /// group is ever multiplex-scaled) + the 4 software presets.
+    pub fn events() -> Vec<String> {
+        [
+            "PAPI_TOT_INS",
+            "PAPI_BR_INS",
+            "PAPI_BR_MSP",
+            "PAPI_VEC_INS",
+            "PAPI_CTX_SW",
+            "PAPI_CPU_MIG",
+            "PAPI_PG_FLT",
+            "PAPI_TSK_CLK",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// Closed-form expected counts, `event -> (lo, hi)` inclusive, for a
+    /// run pinned to one CPU of `core_type` with the region markers of
+    /// [`Analytic::spawn_marked`]. Bounds are core-type-independent by
+    /// construction (the mix rates and the fault/switch structure don't
+    /// depend on the microarchitecture); the matrix's per-core-type check
+    /// is that the counts land on *that* core type's PMU row.
+    pub fn expected_counts(&self, _core_type: CoreType) -> Vec<(String, (u64, u64))> {
+        let n = self.instructions;
+        let ph = self.phase(n);
+        // Per-slice rounding slack: each op-pull/tick slice rounds every
+        // derived event once (≤0.5 each way); bound the slice count by
+        // instructions/tick plus burst boundaries, generously.
+        let slack = 64 + n / 50_000 + 2 * self.bursts as u64;
+        let rated = |rate: f64| -> (u64, u64) {
+            let x = n as f64 * rate;
+            (
+                (x.floor() as u64).saturating_sub(slack),
+                x.ceil() as u64 + slack,
+            )
+        };
+        let pages = self.working_set.div_ceil(ANALYTIC_PAGE_BYTES);
+        let b = self.bursts as u64;
+        vec![
+            ("PAPI_TOT_INS".into(), (n, n)),
+            ("PAPI_BR_INS".into(), rated(ph.branch_rate)),
+            (
+                "PAPI_BR_MSP".into(),
+                rated(ph.branch_rate * ph.branch_miss_rate),
+            ),
+            ("PAPI_VEC_INS".into(), rated(ph.vector_frac)),
+            // One switch-in entering the region, one per sleep wake-up.
+            ("PAPI_CTX_SW".into(), (b, b + 1)),
+            ("PAPI_CPU_MIG".into(), (0, 0)),
+            ("PAPI_PG_FLT".into(), (pages, pages)),
+            // Sanity bracket: ≥0.01 ns and ≤1 µs of runtime per
+            // instruction covers every modeled core at any frequency.
+            ("PAPI_TSK_CLK".into(), (n / 100, n.saturating_mul(1_000))),
+        ]
+    }
+
+    /// Spawn the kernel with marker hooks around the measured region:
+    /// `begin; burst (sleep burst)*; end; exit`. The caller supplies the
+    /// hook ids (e.g. `perftool::regions::{begin_hook, end_hook}`) so
+    /// this crate stays independent of the region library.
+    pub fn spawn_marked(
+        &self,
+        kernel: &KernelHandle,
+        cpus: CpuMask,
+        begin: HookId,
+        end: HookId,
+    ) -> Pid {
+        let bursts = self.bursts.max(1);
+        let per_burst = self.instructions / bursts as u64;
+        let remainder = self.instructions - per_burst * bursts as u64;
+        let spec = self.clone();
+        let mut burst = 0u32;
+        let mut step = 0u8; // 0 begin, 1 compute, 2 sleep-or-end
+        let program = move |_: &ProgCtx| -> Op {
+            match step {
+                0 => {
+                    step = 1;
+                    Op::Call(begin)
+                }
+                1 => {
+                    step = 2;
+                    let extra = if burst == 0 { remainder } else { 0 };
+                    Op::Compute(spec.phase(per_burst + extra))
+                }
+                2 => {
+                    burst += 1;
+                    if burst < bursts {
+                        step = 1;
+                        // Deterministic request-arrival gap (fixed
+                        // cadence: the closed form counts its wake-ups).
+                        Op::Sleep(spec.sleep_ns.max(1))
+                    } else {
+                        step = 3;
+                        Op::Call(end)
+                    }
+                }
+                _ => Op::Exit,
+            }
+        };
+        kernel.lock().spawn(self.name(), Box::new(program), cpus, 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +512,36 @@ mod tests {
             "P cores should still dominate: {st:?}"
         );
         assert!(st.core_type_migrations > 0);
+    }
+
+    #[test]
+    fn analytic_kernels_conserve_instructions_and_mark() {
+        let begin = HookId(0x5247_0000);
+        let end = HookId(0x5247_0001);
+        for a in Analytic::suite(5_000_000) {
+            let kernel = raptor();
+            let pid = a.spawn_marked(&kernel, CpuMask::from_cpus([0]), begin, end);
+            let mut hooks = Vec::new();
+            simos::kernel::run_with_hooks(&kernel, 120_000_000_000, |_, p, h| {
+                assert_eq!(p, pid);
+                hooks.push(h);
+            });
+            assert_eq!(hooks, vec![begin, end], "{}", a.name());
+            let st = kernel.lock().task_stats(pid).unwrap();
+            assert_eq!(st.instructions, 5_000_000, "{}", a.name());
+            let (lo, hi) = a
+                .expected_counts(CoreType::Performance)
+                .into_iter()
+                .find(|(e, _)| e == "PAPI_PG_FLT")
+                .unwrap()
+                .1;
+            assert!(
+                (lo..=hi).contains(&st.page_faults),
+                "{}: {} faults outside [{lo},{hi}]",
+                a.name(),
+                st.page_faults
+            );
+        }
     }
 
     #[test]

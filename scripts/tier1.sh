@@ -29,6 +29,15 @@ args=()
 for c in "${FIRST_PARTY[@]}"; do args+=(-p "$c"); done
 cargo clippy --offline "${args[@]}" --all-targets -- -D warnings
 
+echo "== event validation (Röhl matrix, emits BENCH_validation.json) =="
+# Hard gates inside: every analytic kernel × core type × hardware+software
+# event lands in its closed-form bounds on the correct core type's PMU
+# row, and software events stay exact (ReadQuality::Ok) under hotplug and
+# NMI counter theft while hardware reads degrade. Set VALIDATION_QUICK=1
+# for the quick subset: the instruction count shrinks but the full
+# kernel × core-type × event matrix shape is kept.
+VALIDATION_QUICK="${VALIDATION_QUICK:-}" cargo test --offline --test event_validation
+
 echo "== bench (compile only) =="
 cargo bench --offline --workspace --no-run
 

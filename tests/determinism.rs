@@ -195,6 +195,7 @@ fn open_events(k: &mut Kernel) -> Vec<EventFd> {
                     EventConfig::SwTaskClock,
                     EventConfig::SwContextSwitches,
                     EventConfig::SwCpuMigrations,
+                    EventConfig::SwPageFaults,
                 ] {
                     let attr = PerfAttr {
                         pmu_type: id,
@@ -348,6 +349,7 @@ fn digest(k: &mut Kernel, fds: &[EventFd], h: &mut Fnv) {
         h.f64(s.flops);
         h.u64(s.migrations);
         h.u64(s.core_type_migrations);
+        h.u64(s.page_faults);
         for v in s.instructions_by_type {
             h.u64(v);
         }
@@ -377,6 +379,67 @@ fn conformance(name: &str, spec: fn() -> MachineSpec) {
         );
     }
     macro_conformance(name, spec, golden);
+    region_conformance(name, spec);
+}
+
+/// Marker-region conformance: a full `Regions` measurement (hybrid
+/// hardware presets per core type + the software presets, region hooks,
+/// report rendering) folded into a digest must replay bit-identically
+/// and match across exec modes on every preset.
+fn region_conformance(name: &str, spec: fn() -> MachineSpec) {
+    use perftool::regions::{begin_hook, end_hook, RegionConfig, RegionId, Regions};
+    use workloads::micro::Analytic;
+    let run = |mode: ExecMode| -> u64 {
+        let kernel = Kernel::boot_handle(
+            spec(),
+            KernelConfig {
+                exec_mode: mode,
+                seed: 0x5eed_cafe,
+                ..Default::default()
+            },
+        );
+        let r = RegionId(0);
+        let kern = Analytic::server(2_000_000, 4, 2_000_000);
+        let n_cpus = kernel.lock().machine().n_cpus();
+        let pid = kern.spawn_marked(
+            &kernel,
+            CpuMask::first_n(n_cpus),
+            begin_hook(r),
+            end_hook(r),
+        );
+        let cfg = RegionConfig {
+            events: Analytic::events(),
+            overhead_instructions: None,
+        };
+        let mut regions = Regions::init(&kernel, pid, &cfg).unwrap();
+        regions.region_init(kern.name());
+        regions.run_marked(600_000_000_000).unwrap();
+        let report = regions.finish().unwrap();
+        let mut h = Fnv::new();
+        for reg in &report.regions {
+            h.str(&reg.name);
+            h.u64(reg.count);
+            h.u64(reg.time_ns);
+            for c in &reg.counters {
+                h.str(&c.event);
+                h.str(&c.native);
+                h.u64(c.value);
+            }
+        }
+        h.str(&report.render());
+        h.0
+    };
+    let golden = run(ExecMode::Serial);
+    assert_eq!(
+        golden,
+        run(ExecMode::Serial),
+        "{name}: marker-region serial replay diverged"
+    );
+    assert_eq!(
+        golden,
+        run(ExecMode::Parallel { threads: 3 }),
+        "{name}: marker-region parallel run diverged from serial"
+    );
 }
 
 /// Macro-tick conformance: `tick_batch` with quiescent coalescing forced on

@@ -314,6 +314,90 @@ proptest! {
         prop_assert_eq!(serial, parallel);
     }
 
+    /// Software-event determinism: the kernel-side PMU (task clock,
+    /// context switches, migrations, page faults) is fed from scheduler
+    /// state, not hardware counters, so its reads must be bit-identical —
+    /// value and all three clocks — across the serial and parallel exec
+    /// paths and across macro-tick coalescing, for any workload shape.
+    #[test]
+    fn software_events_mode_invariant(
+        progs in proptest::collection::vec(
+            (
+                proptest::collection::vec(arb_phase(), 1..4),
+                0u64..4_000_000,                                 // sleep ns
+                proptest::collection::vec(0usize..24, 1..4),     // affinity
+            ),
+            1..6,
+        ),
+        ticks in 20u64..120,
+        threads in 1usize..5,
+    ) {
+        let run = |mode: ExecMode, macro_ticks: MacroTicks, batched: bool| {
+            let mut k = Kernel::boot(
+                MachineSpec::raptor_lake_i7_13700(),
+                KernelConfig {
+                    exec_mode: mode,
+                    macro_ticks,
+                    seed: 0x5eed_cafe,
+                    ..Default::default()
+                },
+            );
+            let sw = k.pmu_by_name("software").unwrap().id;
+            let mut fds = Vec::new();
+            for (phases, sleep_ns, cpus) in &progs {
+                let mut ops: Vec<Op> = Vec::new();
+                for (i, ph) in phases.iter().enumerate() {
+                    ops.push(Op::Compute(ph.clone()));
+                    if i == 0 && *sleep_ns > 0 {
+                        ops.push(Op::Sleep(*sleep_ns));
+                    }
+                }
+                ops.push(Op::Exit);
+                let pid = k.spawn(
+                    "w",
+                    Box::new(ScriptedProgram::new(ops)),
+                    CpuMask::from_cpus(cpus.iter().copied()),
+                    0,
+                );
+                for cfg in [
+                    simos::perf::EventConfig::SwTaskClock,
+                    simos::perf::EventConfig::SwContextSwitches,
+                    simos::perf::EventConfig::SwCpuMigrations,
+                    simos::perf::EventConfig::SwPageFaults,
+                ] {
+                    let attr = simos::perf::PerfAttr {
+                        pmu_type: sw,
+                        config: cfg,
+                        disabled: true,
+                        sample_period: 0,
+                        pinned: false,
+                    };
+                    fds.push(k.perf_event_open(attr, Target::Thread(pid), None).unwrap());
+                }
+            }
+            for &fd in &fds {
+                k.ioctl_enable(fd, false).unwrap();
+            }
+            if batched {
+                k.tick_batch(ticks);
+            } else {
+                for _ in 0..ticks {
+                    k.tick();
+                }
+            }
+            fds.into_iter()
+                .map(|fd| k.read_event(fd).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let golden = run(ExecMode::Serial, MacroTicks::Off, false);
+        let parallel = run(ExecMode::Parallel { threads }, MacroTicks::Off, false);
+        prop_assert_eq!(&golden, &parallel, "parallel diverged from serial");
+        let forced = run(ExecMode::Serial, MacroTicks::Force, true);
+        prop_assert_eq!(&golden, &forced, "macro-tick coalescing diverged");
+        let batched_off = run(ExecMode::Serial, MacroTicks::Off, true);
+        prop_assert_eq!(&golden, &batched_off, "batched per-tick run diverged");
+    }
+
     /// Exec-plan cache invalidation: with DVFS ramps, hotplug and every
     /// fault kind interleaved at random times, a kernel with the plan cache
     /// enabled must stay bit-identical to one that recomputes every model
