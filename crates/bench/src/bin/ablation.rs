@@ -101,14 +101,14 @@ fn main() {
     // --- 3: scheduler capacity awareness under contention ---
     println!("\n[3] §IV.F-style unpinned loop under P-core noise bursts:");
     println!("{:<44} {:>12} {:>12}", "scheduler", "P share", "migrations");
-    for (label, aware) in [
-        ("capacity-aware (ITMT/EAS-like)", true),
-        ("naive (first-fit)", false),
+    for (label, sched) in [
+        ("capacity-aware (ITMT/EAS-like)", simos::SchedName::Cfs),
+        ("naive (first-fit)", simos::SchedName::CfsUnaware),
     ] {
         let kernel = Kernel::boot_handle(
             MachineSpec::raptor_lake_i7_13700(),
             KernelConfig {
-                hetero_aware_sched: aware,
+                sched,
                 ..Default::default()
             },
         );

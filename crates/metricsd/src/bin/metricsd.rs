@@ -5,7 +5,12 @@
 //!
 //! ```text
 //! metricsd [--listen ADDR] [--shards N] [--pumps N] [--pump-ms MS] [--machine NAME]
+//!          [--sched NAME]
 //! ```
+//!
+//! `--sched` picks the kernel scheduler from the `simsched` registry
+//! (`cfs|cfs_unaware|vtime|capacity|thermal`); unknown names are
+//! rejected at startup. Defaults to `SIM_SCHED` / `cfs`.
 
 use metricsd::{Daemon, DaemonConfig};
 use simcpu::machine::MachineSpec;
@@ -13,6 +18,7 @@ use simcpu::phase::Phase;
 use simcpu::types::CpuMask;
 use simos::kernel::{Kernel, KernelConfig};
 use simos::task::{Op, ScriptedProgram};
+use simos::SchedName;
 
 fn main() {
     let mut listen = "127.0.0.1:0".to_string();
@@ -20,6 +26,7 @@ fn main() {
     let mut pumps = 2000u64;
     let mut pump_ms = 5u64;
     let mut machine = "raptor".to_string();
+    let mut sched: Option<SchedName> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,10 +48,19 @@ fn main() {
                     .expect("pump period")
             }
             "--machine" => machine = args.next().expect("--machine NAME"),
+            "--sched" => {
+                let name = args.next().expect("--sched NAME");
+                sched = Some(SchedName::parse(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scheduler '{name}' (cfs|cfs_unaware|vtime|capacity|thermal)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: metricsd [--listen ADDR] [--shards N] [--pumps N] \
-                     [--pump-ms MS] [--machine raptor|skylake]"
+                     [--pump-ms MS] [--machine raptor|skylake] [--sched NAME]"
                 );
                 return;
             }
@@ -63,7 +79,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let kernel = Kernel::boot_handle(spec, KernelConfig::default());
+    let mut cfg = KernelConfig::default();
+    if let Some(s) = sched {
+        cfg.sched = s;
+    }
+    let kernel = Kernel::boot_handle(spec, cfg);
     let n_cpus = kernel.lock().machine().n_cpus();
     // A standing workload so served counters move: one long-running
     // scalar worker per fourth CPU.

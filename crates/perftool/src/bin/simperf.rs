@@ -3,8 +3,8 @@
 //! ```text
 //! simperf list
 //! simperf stat   [-m machine] [-a] [-C cpulist] [-e ev,ev] [-w workload] [-I ms] [--json]
-//!                [--regions] [--trace-out FILE]
-//! simperf record [-m machine] [-c period] [-e event] [-w workload]
+//!                [--regions] [--trace-out FILE] [--sched name]
+//! simperf record [-m machine] [-c period] [-e event] [-w workload] [--sched name]
 //! ```
 //!
 //! `--regions` runs the workload with LIKWID-style marker regions (one
@@ -19,6 +19,10 @@
 //!
 //! Workloads: `scalar:N`, `dgemm:N`, `stream:N`, `branchy:N` (N =
 //! instructions), pinned via `-C` or free-running.
+//!
+//! `--sched name` selects the kernel scheduler from the `simsched`
+//! registry (`cfs|cfs_unaware|vtime|capacity|thermal`); unknown names
+//! are rejected. Defaults to `SIM_SCHED` / `cfs`.
 
 use perftool::{list_events, RecordConfig, StatConfig};
 use simcpu::machine::MachineSpec;
@@ -26,6 +30,14 @@ use simcpu::phase::Phase;
 use simcpu::types::CpuMask;
 use simos::kernel::{Kernel, KernelConfig, KernelHandle};
 use simos::task::{Op, Pid, ScriptedProgram};
+use simos::SchedName;
+
+fn sched(name: &str) -> SchedName {
+    SchedName::parse(name).unwrap_or_else(|| {
+        eprintln!("unknown scheduler '{name}' (cfs|cfs_unaware|vtime|capacity|thermal)");
+        std::process::exit(2);
+    })
+}
 
 fn machine(name: &str) -> MachineSpec {
     match name {
@@ -67,6 +79,7 @@ struct Args {
     json: bool,
     regions: bool,
     trace_out: Option<String>,
+    sched: Option<SchedName>,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -81,6 +94,7 @@ fn parse_args(argv: &[String]) -> Args {
         json: false,
         regions: false,
         trace_out: None,
+        sched: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -117,6 +131,10 @@ fn parse_args(argv: &[String]) -> Args {
                 i += 1;
                 a.trace_out = Some(argv[i].clone());
             }
+            "--sched" => {
+                i += 1;
+                a.sched = Some(sched(&argv[i]));
+            }
             other => a.events.push(other.to_string()),
         }
         i += 1;
@@ -125,7 +143,7 @@ fn parse_args(argv: &[String]) -> Args {
 }
 
 fn boot_and_spawn(args: &Args) -> (KernelHandle, Pid) {
-    let cfg = KernelConfig {
+    let mut cfg = KernelConfig {
         trace: if args.trace_out.is_some() {
             simtrace::TraceConfig::enabled_with_cap(1 << 16)
         } else {
@@ -133,6 +151,9 @@ fn boot_and_spawn(args: &Args) -> (KernelHandle, Pid) {
         },
         ..Default::default()
     };
+    if let Some(s) = args.sched {
+        cfg.sched = s;
+    }
     let kernel = Kernel::boot_handle(machine(&args.machine), cfg);
     let mask = match &args.cpus {
         Some(s) => CpuMask::parse_cpulist(s).unwrap_or_else(|e| {
@@ -155,7 +176,7 @@ fn boot_and_spawn(args: &Args) -> (KernelHandle, Pid) {
 /// marker region and print the per-region, per-core-type table.
 fn run_region_stat(args: &Args) {
     use perftool::regions::{begin_hook, end_hook, RegionId, Regions};
-    let cfg = KernelConfig {
+    let mut cfg = KernelConfig {
         trace: if args.trace_out.is_some() {
             simtrace::TraceConfig::enabled_with_cap(1 << 16)
         } else {
@@ -163,6 +184,9 @@ fn run_region_stat(args: &Args) {
         },
         ..Default::default()
     };
+    if let Some(s) = args.sched {
+        cfg.sched = s;
+    }
     let kernel = Kernel::boot_handle(machine(&args.machine), cfg);
     let mask = match &args.cpus {
         Some(s) => CpuMask::parse_cpulist(s).unwrap_or_else(|e| {

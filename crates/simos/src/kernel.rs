@@ -18,7 +18,7 @@ use crate::perf::{
     schedule_groups_with, EventConfig, EventFd, GroupReq, PerfAttr, PerfError, PerfEvent, PmuDesc,
     PmuKind, RaplConfig, ReadValue, Target, UncoreConfig,
 };
-use crate::sched::{SchedCpu, Scheduler};
+use crate::simsched::{HwView, KernelCtx, SchedCpu, SchedName, SchedPass, Scheduler};
 use crate::task::{
     core_type_index, BlockReason, HookId, Op, Pid, ProgCtx, Program, Task, TaskState, TaskStats,
 };
@@ -140,8 +140,9 @@ impl MacroTicks {
 pub struct KernelConfig {
     /// Simulation tick, ns.
     pub tick_ns: Nanos,
-    /// Capacity-aware (hetero-aware) scheduling.
-    pub hetero_aware_sched: bool,
+    /// Scheduling policy, from the [`crate::simsched`] registry
+    /// (`SIM_SCHED`; default `cfs`, the legacy capacity-aware policy).
+    pub sched: SchedName,
     /// Multiplex rotation interval, ns.
     pub mux_interval_ns: Nanos,
     /// RNG seed (determinism).
@@ -166,7 +167,7 @@ impl Default for KernelConfig {
     fn default() -> KernelConfig {
         KernelConfig {
             tick_ns: 1_000_000,
-            hetero_aware_sched: true,
+            sched: SchedName::from_env(),
             mux_interval_ns: 4_000_000,
             seed: 0x5eed,
             firmware: Firmware::DeviceTree,
@@ -199,6 +200,11 @@ pub mod reject {
     pub const FAULT_DUE: u32 = 7;
     /// The computed span collapsed to zero ticks.
     pub const ZERO_SPAN: u32 = 8;
+    /// The scheduling policy refused to certify a fixed point
+    /// ([`crate::simsched::Scheduler::quiescent`] returned false): its
+    /// `tick` hook could migrate, or its decisions track state that keeps
+    /// evolving between passes (e.g. temperature).
+    pub const SCHED_NOT_STEADY: u32 = 9;
 }
 
 /// Modeled syscall latencies (ns) — calibrated to the magnitudes reported
@@ -376,7 +382,16 @@ pub type KernelHandle = Arc<Mutex<Kernel>>;
 pub struct Kernel {
     machine: Machine,
     cfg: KernelConfig,
-    scheduler: Scheduler,
+    scheduler: Box<dyn Scheduler + Send>,
+    /// Policy-independent scheduling mechanics + reusable pass scratch.
+    sched_pass: SchedPass,
+    /// Per-CPU current cluster frequency (kHz), refreshed each tick for
+    /// the scheduler's [`HwView`].
+    sched_freq: Vec<u64>,
+    /// Per-CPU nominal maximum frequency (kHz), fixed at boot.
+    sched_max_khz: Vec<u64>,
+    /// Lowest configured thermal trip (milli-°C), fixed at boot.
+    first_trip_mc: i64,
     topo: Vec<SchedCpu>,
     tasks: Vec<Option<Task>>,
     current: Vec<Option<Pid>>,
@@ -456,8 +471,25 @@ impl Kernel {
             ExecMode::Parallel { threads: 0 } => host_threads(),
             ExecMode::Parallel { threads } => threads,
         };
+        let sched_max_khz: Vec<u64> = machine
+            .cpus()
+            .iter()
+            .map(|c| machine.cluster_spec(c.cluster).f_max_khz)
+            .collect();
+        let first_trip_mc = machine
+            .thermal()
+            .spec()
+            .trips
+            .iter()
+            .map(|t| (t.temp_c * 1000.0) as i64)
+            .min()
+            .unwrap_or(i64::MAX);
         Kernel {
-            scheduler: Scheduler::new(cfg.hetero_aware_sched),
+            scheduler: cfg.sched.instantiate(),
+            sched_pass: SchedPass::default(),
+            sched_freq: vec![0; n],
+            sched_max_khz,
+            first_trip_mc,
             topo,
             tasks: Vec::new(),
             current: vec![None; n],
@@ -1281,6 +1313,21 @@ impl Kernel {
 
     // ---- the tick ------------------------------------------------------------
 
+    /// Thermal inputs for the scheduler's [`HwView`]: per-core-type
+    /// frequency caps (indexed by [`core_type_index`]), package
+    /// temperature (milli-°C) and the throttling latch.
+    fn thermal_snapshot(&self) -> ([u64; 4], i64, bool) {
+        use simcpu::types::CoreType as Ct;
+        let th = self.machine.thermal();
+        let caps = [
+            th.freq_cap_khz(Ct::Performance),
+            th.freq_cap_khz(Ct::Efficiency),
+            th.freq_cap_khz(Ct::Mid),
+            th.freq_cap_khz(Ct::Uniform),
+        ];
+        (caps, th.temp_mc(), th.throttling())
+    }
+
     /// Advance the world by one tick.
     pub fn tick(&mut self) {
         let dt = self.cfg.tick_ns;
@@ -1293,15 +1340,32 @@ impl Kernel {
         self.apply_due_faults();
 
         // 1. Scheduling (keeping the previous assignment for context-switch
-        //    and migration accounting).
+        //    and migration accounting): drive the pluggable policy's hooks
+        //    through the shared pass mechanics.
         self.scratch.prev_current.clear();
         self.scratch.prev_current.extend_from_slice(&self.current);
-        self.scheduler.assign_masked(
+        for ci in 0..self.sched_freq.len() {
+            self.sched_freq[ci] = self.machine.freq_khz(simcpu::types::CpuId(ci));
+        }
+        let (thermal_cap_khz, temp_mc, throttling) = self.thermal_snapshot();
+        let hw = HwView {
+            freq_khz: &self.sched_freq,
+            max_khz: &self.sched_max_khz,
+            thermal_cap_khz,
+            temp_mc,
+            first_trip_mc: self.first_trip_mc,
+            throttling,
+        };
+        self.sched_pass.run(
+            &mut *self.scheduler,
             &self.topo,
             &self.online,
+            &self.core_types,
+            &hw,
             &mut self.tasks,
             &mut self.current,
             self.time_ns,
+            &mut self.trace,
         );
 
         // 2. Execute each CPU into its indexed scratch slot. Both paths
@@ -1422,6 +1486,36 @@ impl Kernel {
                     }
                 }
                 _ => return Err(reject::TASKS_NOT_QUIESCENT),
+            }
+        }
+        // The run queue is provably empty; now the *policy* must certify
+        // that replaying over the frozen assignment is a fixed point (its
+        // `tick` hook would emit no migration, and none of its inputs keep
+        // evolving between passes). `ctx_stable` holds here, so the
+        // frequency snapshot from the last real tick is still current; the
+        // thermal figures are re-read because temperature integrates every
+        // tick without bumping the exec epoch.
+        {
+            let (thermal_cap_khz, temp_mc, throttling) = self.thermal_snapshot();
+            let hw = HwView {
+                freq_khz: &self.sched_freq,
+                max_khz: &self.sched_max_khz,
+                thermal_cap_khz,
+                temp_mc,
+                first_trip_mc: self.first_trip_mc,
+                throttling,
+            };
+            let ctx = KernelCtx {
+                now_ns: self.time_ns,
+                topo: &self.topo,
+                online: &self.online,
+                current: &self.current,
+                running: self.sched_pass.running_views(),
+                core_types: &self.core_types,
+                hw: &hw,
+            };
+            if !self.scheduler.quiescent(&ctx) {
+                return Err(reject::SCHED_NOT_STEADY);
             }
         }
         let mut span = left;
@@ -3468,6 +3562,29 @@ mod tests {
         assert_eq!(MacroTicks::parse(" force "), Some(MacroTicks::Force));
         assert_eq!(MacroTicks::parse("Force"), None);
         assert_eq!(MacroTicks::parse(""), None);
+    }
+
+    /// `SIM_SCHED` follows the same strict-parse contract as
+    /// `SIM_EXEC_MODE` / `SIM_MACRO_TICKS`: trimmed exact names only, so
+    /// `SchedName::from_env` panics rather than silently defaulting.
+    #[test]
+    fn sim_sched_parses_like_the_other_env_knobs() {
+        assert_eq!(SchedName::parse("cfs"), Some(SchedName::Cfs));
+        assert_eq!(SchedName::parse(" thermal "), Some(SchedName::Thermal));
+        assert_eq!(SchedName::parse("CFS"), None);
+        assert_eq!(SchedName::parse("fifo"), None);
+        assert_eq!(SchedName::parse(""), None);
+        // The registry names are what KernelConfig::default accepts.
+        for name in SchedName::ALL {
+            let k = Kernel::boot(
+                MachineSpec::skylake_quad(),
+                KernelConfig {
+                    sched: name,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(k.scheduler.name(), name.as_str());
+        }
     }
 
     /// The batched tick loop must be bit-identical to the plain one, and

@@ -6,9 +6,12 @@
 //! * [`task`] — processes/threads as streams of workload operations
 //!   (compute phases, barriers, instrumentation hooks), with affinity
 //!   masks (`taskset`), nice levels and per-task statistics.
-//! * [`sched`] — a CFS-like scheduler: weighted vruntime fairness,
-//!   per-tick preemption, idle-CPU placement with optional capacity
-//!   (hetero) awareness, and migration accounting.
+//! * [`simsched`] — pluggable scheduling (scx-style): a [`simsched::Scheduler`]
+//!   trait with `enqueue`/`select_cpu`/`dispatch`/`tick` hooks over a
+//!   read-only [`simsched::KernelCtx`], a registry (`SIM_SCHED`) of
+//!   policies — the CFS-like legacy default, pure vtime fairness,
+//!   capacity packing, thermal steering — and the shared pass mechanics
+//!   (wakeups, hotplug vacating, run queue, migration accounting).
 //! * [`perf`] — the `perf_event_open` analogue, faithful to the semantics
 //!   the paper leans on: one PMU per event, groups cannot span PMUs,
 //!   per-thread events count **only while the thread runs on a core whose
@@ -29,11 +32,12 @@
 pub mod faults;
 pub mod kernel;
 pub mod perf;
-pub mod sched;
+pub mod simsched;
 pub mod sysfs;
 pub mod task;
 
 pub use faults::{FaultKind, FaultPlan, FaultRecord, TransientErrno};
 pub use kernel::{ExecMode, Kernel, KernelConfig, KernelHandle, SyscallStats};
 pub use perf::{EventFd, PerfAttr, PerfError, PmuDesc, PmuKind, ReadValue, Target};
+pub use simsched::{KernelCtx, Migration, SchedName, Scheduler, TaskView};
 pub use task::{HookId, Op, Pid, ProgCtx, Program, TaskStats};

@@ -1,0 +1,230 @@
+//! The legacy hard-coded policy, ported hook-for-hook.
+//!
+//! `CfsLike` is the reference scheduler: vruntime run queue (the default
+//! `enqueue`), additive placement scoring in `select_cpu`, granularity-
+//! bounded laggard preemption (the default `dispatch`), no rebalancing.
+//! Its digests are proven bit-identical to the pre-`simsched` kernel by
+//! the golden constants in `tests/determinism.rs`.
+//!
+//! Placement prefers idle CPUs, idle *cores* before busy SMT siblings,
+//! and — when capacity awareness is on, as in post-ITMT/EAS kernels —
+//! higher-capacity cores first, which is why unpinned work lands on
+//! P-cores and spills to E-cores under contention (the behaviour behind
+//! the paper's §IV.F hybrid test split of ≈84 % P / ≈16 % E).
+
+use super::{KernelCtx, Scheduler, TaskView};
+
+/// CFS-like placement. `aware = true` (registry `cfs`) scores CPUs by
+/// capacity like a hybrid-aware kernel; `aware = false` (registry
+/// `cfs_unaware`) breaks ties toward low indices like a kernel that
+/// cannot tell P from E cores.
+#[derive(Debug, Clone, Copy)]
+pub struct CfsLike {
+    aware: bool,
+}
+
+impl CfsLike {
+    pub fn new(aware: bool) -> CfsLike {
+        CfsLike { aware }
+    }
+}
+
+impl Scheduler for CfsLike {
+    fn name(&self) -> &'static str {
+        if self.aware {
+            "cfs"
+        } else {
+            "cfs_unaware"
+        }
+    }
+
+    fn select_cpu(&mut self, ctx: &KernelCtx, task: &TaskView) -> Option<usize> {
+        let mut best: Option<(i64, usize)> = None;
+        for (ci, tc) in ctx.topo.iter().enumerate() {
+            if !ctx.is_free(ci) || !task.affinity.contains(simcpu::types::CpuId(ci)) {
+                continue;
+            }
+            // Score: capacity (if aware), idle-sibling bonus, warmth.
+            let mut score: i64 = 0;
+            if self.aware {
+                score += tc.capacity as i64 * 100;
+            }
+            if !ctx.sibling_busy(ci) {
+                // A whole idle core beats sharing a busy one, even a
+                // higher-capacity one (the capacity term spans ≤102k).
+                score += 150_000;
+            }
+            if task.last_cpu == Some(ci) {
+                score += 10_000; // cache warmth
+            }
+            if !self.aware {
+                score -= ci as i64; // stable low-index preference
+            }
+            if best.map(|(s, _)| score > s).unwrap_or(true) {
+                best = Some((score, ci));
+            }
+        }
+        best.map(|(_, ci)| ci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{assign, assign_masked, table};
+    use super::super::SchedCpu;
+    use super::*;
+    use crate::task::{BlockReason, Pid, TaskState};
+    use simcpu::types::{CpuId, CpuMask};
+
+    fn topo_hybrid() -> Vec<SchedCpu> {
+        super::super::tests::topo_hybrid()
+    }
+
+    fn aware() -> CfsLike {
+        CfsLike::new(true)
+    }
+
+    #[test]
+    fn aware_placement_prefers_big_cores() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        assign(&mut aware(), &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)), "lone task should land on a P cpu");
+    }
+
+    #[test]
+    fn unaware_placement_uses_low_index() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        assign(&mut CfsLike::new(false), &topo, &mut tasks, &mut cur, 0);
+        // Index 0 has an idle sibling like index 2/3; ties break low-index.
+        assert_eq!(cur[0], Some(Pid(0)));
+    }
+
+    #[test]
+    fn spreads_to_whole_cores_before_smt() {
+        let topo = topo_hybrid();
+        let mut tasks = table(2, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        assign(&mut aware(), &topo, &mut tasks, &mut cur, 0);
+        // Second task should take an E cpu (whole core) rather than the
+        // P sibling (cpu1).
+        assert!(cur[1].is_none(), "SMT sibling should stay idle: {cur:?}");
+        assert!(cur[2].is_some() || cur[3].is_some());
+    }
+
+    #[test]
+    fn respects_affinity() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::from_cpus([3]));
+        let mut cur = vec![None; 4];
+        assign(&mut aware(), &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[3], Some(Pid(0)));
+        assert!(cur[0].is_none());
+    }
+
+    #[test]
+    fn preempts_laggard_for_low_vruntime_waiter() {
+        let topo = vec![SchedCpu {
+            capacity: 1024,
+            sibling: None,
+        }];
+        let mut tasks = table(2, CpuMask::first_n(1));
+        // Task 0 running with big vruntime; task 1 fresh.
+        tasks[0].as_mut().unwrap().vruntime = 50_000_000.0;
+        let mut cur = vec![Some(Pid(0))];
+        tasks[0].as_mut().unwrap().state = TaskState::Running(CpuId(0));
+        assign(&mut aware(), &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(1)), "laggard should be preempted");
+        assert_eq!(tasks[0].as_ref().unwrap().state, TaskState::Runnable);
+    }
+
+    #[test]
+    fn no_preemption_within_granularity() {
+        let topo = vec![SchedCpu {
+            capacity: 1024,
+            sibling: None,
+        }];
+        let mut tasks = table(2, CpuMask::first_n(1));
+        tasks[0].as_mut().unwrap().vruntime = 1_000_000.0; // < 3 ms lead
+        let mut cur = vec![Some(Pid(0))];
+        tasks[0].as_mut().unwrap().state = TaskState::Running(CpuId(0));
+        assign(&mut aware(), &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)));
+    }
+
+    #[test]
+    fn wakes_sleepers() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        tasks[0].as_mut().unwrap().state = TaskState::Blocked(BlockReason::SleepUntil(5_000));
+        let mut cur = vec![None; 4];
+        let mut s = aware();
+        assign(&mut s, &topo, &mut tasks, &mut cur, 1_000);
+        assert!(cur.iter().all(|c| c.is_none()), "still asleep");
+        assign(&mut s, &topo, &mut tasks, &mut cur, 5_000);
+        assert!(cur.iter().any(|c| c.is_some()), "woken and placed");
+    }
+
+    #[test]
+    fn blocked_task_is_unscheduled() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let mut s = aware();
+        assign(&mut s, &topo, &mut tasks, &mut cur, 0);
+        assert!(cur[0].is_some());
+        tasks[0].as_mut().unwrap().state = TaskState::Blocked(BlockReason::Barrier(7));
+        assign(&mut s, &topo, &mut tasks, &mut cur, 1_000_000);
+        assert!(cur.iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn affinity_change_migrates_running_task() {
+        // Regression: sched_setaffinity must move a *running* task off a
+        // CPU its new mask excludes, immediately at the next tick.
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let mut s = aware();
+        assign(&mut s, &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)));
+        tasks[0].as_mut().unwrap().affinity = CpuMask::from_cpus([3]);
+        assign(&mut s, &topo, &mut tasks, &mut cur, 1_000_000);
+        assert_eq!(cur[0], None, "old slot vacated");
+        assert_eq!(cur[3], Some(Pid(0)), "moved to the allowed CPU");
+    }
+
+    #[test]
+    fn offline_cpu_is_vacated_and_avoided() {
+        let topo = topo_hybrid();
+        let mut tasks = table(1, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let mut s = aware();
+        assign(&mut s, &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)), "starts on the big core");
+        // cpu0 goes offline: the task must migrate off it this tick and
+        // never come back while it stays down.
+        let online = vec![false, true, true, true];
+        assign_masked(&mut s, &topo, &online, &mut tasks, &mut cur, 1_000_000);
+        assert_eq!(cur[0], None, "offline slot vacated");
+        assert!(cur[1..].contains(&Some(Pid(0))), "{cur:?}");
+        assign_masked(&mut s, &topo, &online, &mut tasks, &mut cur, 2_000_000);
+        assert_eq!(cur[0], None);
+    }
+
+    #[test]
+    fn sticky_placement_keeps_running_task() {
+        let topo = topo_hybrid();
+        let mut tasks = table(2, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        let mut s = aware();
+        assign(&mut s, &topo, &mut tasks, &mut cur, 0);
+        let snapshot = cur.clone();
+        // Nothing changed: assignment stays identical.
+        assign(&mut s, &topo, &mut tasks, &mut cur, 1_000_000);
+        assert_eq!(cur, snapshot);
+    }
+}

@@ -1,0 +1,61 @@
+//! Pure global vtime fairness, no topology heuristics.
+//!
+//! `VtimeFair` is the minimal scheduler on top of the framework defaults:
+//! the run queue *is* the policy. Tasks drain lowest vruntime first (the
+//! default `enqueue`), placement takes the first free allowed CPU in
+//! index order, and the default laggard preemption round-robins
+//! equal-weight tasks at the granularity cadence. It is topology-blind by
+//! design — the control arm of the tournament: any gap between it and
+//! `CapacityAware`/`ThermalSteer` is attributable to hardware awareness,
+//! not queueing discipline.
+
+use super::{KernelCtx, Scheduler, TaskView};
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VtimeFair;
+
+impl Scheduler for VtimeFair {
+    fn name(&self) -> &'static str {
+        "vtime"
+    }
+
+    fn select_cpu(&mut self, ctx: &KernelCtx, task: &TaskView) -> Option<usize> {
+        ctx.idle_cpus()
+            .find(|&ci| task.affinity.contains(simcpu::types::CpuId(ci)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::topo_hybrid;
+    use super::super::tests::{assign, table};
+    use super::*;
+    use crate::task::Pid;
+    use simcpu::types::CpuMask;
+
+    #[test]
+    fn fills_low_indices_first() {
+        let topo = topo_hybrid();
+        let mut sched = VtimeFair;
+        let mut tasks = table(3, CpuMask::first_n(4));
+        let mut cur = vec![None; 4];
+        assign(&mut sched, &topo, &mut tasks, &mut cur, 0);
+        assert_eq!(cur[0], Some(Pid(0)));
+        assert_eq!(cur[1], Some(Pid(1)));
+        assert_eq!(cur[2], Some(Pid(2)));
+        assert_eq!(cur[3], None);
+    }
+
+    #[test]
+    fn lowest_vruntime_places_first_when_short() {
+        let topo = topo_hybrid();
+        let mut sched = VtimeFair;
+        let mut tasks = table(2, CpuMask::from_cpus([0]));
+        tasks[0].as_mut().unwrap().vruntime = 90_000_000.0;
+        tasks[1].as_mut().unwrap().vruntime = 1_000_000.0;
+        let mut cur = vec![None; 4];
+        assign(&mut sched, &topo, &mut tasks, &mut cur, 0);
+        // One slot, two contenders: the lower vruntime drains first.
+        assert_eq!(cur[0], Some(Pid(1)));
+    }
+}

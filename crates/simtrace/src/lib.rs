@@ -118,6 +118,17 @@ pub enum EventKind {
     /// A marker region closed. `code` = region id, `a` = nesting depth
     /// before the end.
     RegionEnd,
+    /// The scheduler placed a queued task on a free CPU (`select_cpu`).
+    /// `code` = cpu, `a` = pid. Fires only when an unplaced task lands,
+    /// never for tasks staying put — steady-state ticks emit nothing, so
+    /// MacroTicks Force≡Off holds on the kernel track.
+    SchedDispatch,
+    /// The scheduler preempted a running task (`dispatch`). `code` = cpu,
+    /// `a` = winning pid, `b` = evicted pid.
+    SchedPreempt,
+    /// The scheduler's `tick` hook migrated a running task to a free CPU.
+    /// `code` = destination cpu, `a` = pid, `b` = source cpu.
+    SchedRebalance,
 }
 
 impl EventKind {
@@ -154,6 +165,9 @@ impl EventKind {
             EventKind::LoadShed => "load_shed",
             EventKind::RegionBegin => "region_begin",
             EventKind::RegionEnd => "region_end",
+            EventKind::SchedDispatch => "sched_dispatch",
+            EventKind::SchedPreempt => "sched_preempt",
+            EventKind::SchedRebalance => "sched_rebalance",
         }
     }
 

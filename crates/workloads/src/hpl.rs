@@ -277,6 +277,47 @@ pub fn spawn_hpl_tuned(
     }
     let nthreads = cpus.count();
     assert!(nthreads > 0, "HPL needs at least one CPU");
+    let masks: Vec<CpuMask> = cpus.iter().map(|c| CpuMask::from_cpus([c.0])).collect();
+    spawn_hpl_masked(kernel, cfg, variant, params, &masks)
+}
+
+/// Spawn `nthreads` *unpinned* HPL workers, every one free to run anywhere
+/// in `cpus`: placement (and any later migration) is entirely the
+/// scheduler's call. This is the scheduler-tournament entry point — the
+/// pinned [`spawn_hpl`] measures the *machine* (the paper's taskset/OMP
+/// affinity runs), this variant measures the *policy*.
+pub fn spawn_hpl_free(
+    kernel: &KernelHandle,
+    cfg: HplConfig,
+    variant: HplVariant,
+    tuning: HplTuning,
+    cpus: CpuMask,
+    nthreads: usize,
+) -> HplRun {
+    let mut params = variant.params();
+    if let Some(v) = tuning.spin_wait {
+        params.spin_wait = v;
+    }
+    if let Some(v) = tuning.dynamic_chunks_per_thread {
+        params.dynamic_chunks_per_thread = v;
+    }
+    if let Some(v) = tuning.reuse_llc {
+        params.reuse_llc = v;
+    }
+    assert!(nthreads > 0, "HPL needs at least one worker");
+    assert!(!cpus.is_empty(), "HPL needs at least one CPU");
+    let masks = vec![cpus; nthreads];
+    spawn_hpl_masked(kernel, cfg, variant, params, &masks)
+}
+
+fn spawn_hpl_masked(
+    kernel: &KernelHandle,
+    cfg: HplConfig,
+    variant: HplVariant,
+    params: VariantParams,
+    masks: &[CpuMask],
+) -> HplRun {
+    let nthreads = masks.len();
     let iters = cfg.iterations() as usize;
     let shared = Arc::new(Mutex::new(HplShared {
         cfg: cfg.clone(),
@@ -298,15 +339,12 @@ pub fn spawn_hpl_tuned(
     }));
 
     let mut pids = Vec::with_capacity(nthreads);
-    for (ti, cpu) in cpus.iter().enumerate() {
+    for (ti, mask) in masks.iter().enumerate() {
         let sh = Arc::clone(&shared);
         let program = worker_program(sh, ti, nthreads);
-        let pid = kernel.lock().spawn(
-            &format!("hpl-{}-t{ti}", variant.name()),
-            program,
-            CpuMask::from_cpus([cpu.0]),
-            0,
-        );
+        let pid = kernel
+            .lock()
+            .spawn(&format!("hpl-{}-t{ti}", variant.name()), program, *mask, 0);
         pids.push(pid);
     }
     HplRun {

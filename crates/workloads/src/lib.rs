@@ -14,6 +14,7 @@
 pub mod hpl;
 pub mod lu;
 pub mod micro;
+pub mod tournament;
 
 pub use hpl::{
     run_to_completion, spawn_hpl, spawn_hpl_tuned, HplConfig, HplRun, HplTuning, HplVariant,

@@ -13,6 +13,20 @@ cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(simcpu simos pfmlib papi workloads telemetry perftool jsonw metricsd simtrace hetero-papi)
 
+# `tier1.sh --sched-smoke`: just the scheduler-tournament gate plus the
+# exec hot-path floor — the fast loop while iterating on a scheduler.
+if [[ "${1:-}" == "--sched-smoke" ]]; then
+    echo "== sched smoke: tournament (quick, emits BENCH_sched.json) =="
+    # Hard gates inside schedbench: bit-identical Serial replay
+    # (drift == 0), capacity beats cfs on the Table II straggler
+    # scenario, thermal beats cfs on the Table IV inversion scenario.
+    cargo run --offline --release -p bench-harness --bin schedbench -- --quick
+    echo "== sched smoke: exec hot path floor =="
+    SIM_TRACE=off cargo run --offline --release -p bench-harness --bin execbench -- --quick
+    echo "tier1 --sched-smoke: OK"
+    exit 0
+fi
+
 echo "== fmt (first-party, --check) =="
 fmt_args=()
 for c in "${FIRST_PARTY[@]}"; do fmt_args+=(-p "$c"); done
@@ -69,6 +83,13 @@ echo "== metricsd load smoke (quick, emits BENCH_metricsd.json) =="
 # consumer must be evicted, not wedge the daemon. Throughput/latency are
 # recorded for the reader, not asserted.
 cargo run --offline --release -p metricsd --bin loadgen -- --quick
+
+echo "== scheduler tournament (quick, emits BENCH_sched.json) =="
+# Hard gates inside: bit-identical Serial replay (drift == 0); the
+# capacity-aware scheduler must beat CfsLike on the Table II straggler
+# scenario and the thermal-steering one must beat it on the Table IV
+# inversion scenario — the paper pathologies stay reproduced AND fixed.
+cargo run --offline --release -p bench-harness --bin schedbench -- --quick
 
 echo "== metricsd chaos smoke (quick, emits BENCH_chaos.json) =="
 # Hard gates inside: with deterministic transport fault injection

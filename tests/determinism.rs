@@ -17,6 +17,7 @@ use simcpu::types::{CpuId, CpuMask};
 use simos::faults::{FaultKind, FaultPlan, TransientErrno};
 use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
 use simos::perf::{EventConfig, EventFd, PerfAttr, PmuKind, RaplConfig, Target, UncoreConfig};
+use simos::simsched::SchedName;
 use simos::task::{Op, Pid, ScriptedProgram};
 use simtrace::TraceConfig;
 
@@ -275,6 +276,8 @@ fn run_case(spec: MachineSpec, mode: ExecMode) -> u64 {
         false,
     )
 }
+
+type SpecFn = fn() -> MachineSpec;
 
 /// [`run_case`] with full config control. `batched: true` drives the run
 /// through two `tick_batch` calls (the mid-run open splitting them) instead
@@ -550,4 +553,95 @@ fn determinism_skylake_quad() {
 #[test]
 fn determinism_alder_lake_mobile() {
     conformance("alder_lake_mobile", MachineSpec::alder_lake_mobile);
+}
+
+/// The `simsched` refactor is behavior-preserving: `CfsLike` (registry
+/// `cfs`, the default) must reproduce the digests captured on this exact
+/// scenario *before* scheduling moved behind the trait. These constants
+/// are load-bearing — a change here means the hook decomposition altered
+/// scheduling behavior, not just its plumbing.
+#[test]
+fn cfs_like_matches_pre_simsched_goldens() {
+    let presets: [(&str, SpecFn, u64); 4] = [
+        (
+            "raptor_lake_i7_13700",
+            MachineSpec::raptor_lake_i7_13700,
+            0x0b7f_a56e_dfec_38c2,
+        ),
+        (
+            "orangepi_800",
+            MachineSpec::orangepi_800,
+            0x92de_d6f2_fd8d_2058,
+        ),
+        (
+            "skylake_quad",
+            MachineSpec::skylake_quad,
+            0x1368_c33f_45ab_1c52,
+        ),
+        (
+            "alder_lake_mobile",
+            MachineSpec::alder_lake_mobile,
+            0x5762_914c_9745_2649,
+        ),
+    ];
+    for (name, spec, golden) in presets {
+        let h = run_case_cfg(
+            spec(),
+            KernelConfig {
+                exec_mode: ExecMode::Serial,
+                seed: 0x5eed_cafe,
+                sched: SchedName::Cfs,
+                ..Default::default()
+            },
+            false,
+        );
+        assert_eq!(
+            h, golden,
+            "{name}: CfsLike digest diverged from the pre-simsched golden"
+        );
+    }
+}
+
+/// Every registered scheduler honours the determinism contract on the full
+/// conformance scenario (all 7 fault kinds, mid-run open): same seed ⇒
+/// bit-identical digests across Serial vs Parallel execution and across
+/// per-tick vs batched (`MacroTicks::Force`/`Off`) tick loops.
+#[test]
+fn every_scheduler_is_deterministic() {
+    let presets: [(&str, SpecFn); 2] = [
+        ("raptor_lake_i7_13700", MachineSpec::raptor_lake_i7_13700),
+        ("orangepi_800", MachineSpec::orangepi_800),
+    ];
+    for sched in SchedName::ALL {
+        for (name, spec) in presets {
+            let cfg = |exec_mode, macro_ticks| KernelConfig {
+                exec_mode,
+                macro_ticks,
+                seed: 0x5eed_cafe,
+                sched,
+                ..Default::default()
+            };
+            let golden = run_case_cfg(spec(), cfg(ExecMode::Serial, MacroTicks::Auto), false);
+            let par = run_case_cfg(
+                spec(),
+                cfg(ExecMode::Parallel { threads: 3 }, MacroTicks::Auto),
+                false,
+            );
+            assert_eq!(
+                golden,
+                par,
+                "{}/{name}: parallel diverged from serial",
+                sched.as_str()
+            );
+            for macro_ticks in [MacroTicks::Force, MacroTicks::Off] {
+                let batched = run_case_cfg(spec(), cfg(ExecMode::Serial, macro_ticks), true);
+                assert_eq!(
+                    golden,
+                    batched,
+                    "{}/{name}: batched macro_ticks={macro_ticks:?} diverged",
+                    sched.as_str()
+                );
+            }
+        }
+    }
 }

@@ -270,3 +270,83 @@ fn legacy_vs_patched_matrix() {
     patched.add_named(es2, "rapl::RAPL_ENERGY_PKG").unwrap();
     assert_eq!(patched.num_groups(es2).unwrap(), 3);
 }
+
+/// Scheduler tournament, Table II side: CfsLike's idle-core bonus parks
+/// half the 16-worker team on E cores (the all-core straggler the paper
+/// measures as OpenBLAS losing 18.5 % vs P-only); capacity-aware packing
+/// onto P SMT siblings removes it. Same scenarios `schedbench` publishes
+/// to BENCH_sched.json, at smoke scale.
+#[test]
+fn sched_tournament_capacity_kills_the_table2_straggler() {
+    use simos::kernel::ExecMode;
+    use simos::SchedName;
+    use workloads::tournament::{raptor_scenario, run_case};
+
+    let sc = raptor_scenario(64);
+    let cfs = run_case(&sc, SchedName::Cfs, ExecMode::Serial);
+    let cap = run_case(&sc, SchedName::Capacity, ExecMode::Serial);
+
+    // CfsLike reproduces the pathology: a meaningful slice of the team's
+    // instructions retire on E cores, and the solve pays for it.
+    assert!(
+        cfs.big_core_share_pct < 90.0,
+        "cfs should spill onto E cores: {:.1}% on P",
+        cfs.big_core_share_pct
+    );
+    // CapacityAware packs the team onto P SMT siblings instead.
+    assert!(
+        cap.big_core_share_pct > 99.0,
+        "capacity should pack P cores: {:.1}% on P",
+        cap.big_core_share_pct
+    );
+    assert!(
+        cap.gflops > cfs.gflops * 1.05,
+        "straggler removed: capacity {:.2} GF vs cfs {:.2} GF",
+        cap.gflops,
+        cfs.gflops
+    );
+}
+
+/// Scheduler tournament, Table IV side: on the pre-soaked RK3399,
+/// capacity-only placement keeps hammering the A72s into the trip
+/// ladder until the whole package (A53s included) is frequency-capped;
+/// thermal steering latches its derate near the first trip and finishes
+/// faster on the LITTLE cluster — Fig. 4's inversion, as a scheduling
+/// decision.
+#[test]
+fn sched_tournament_thermal_steer_avoids_the_table4_inversion() {
+    use simos::kernel::ExecMode;
+    use simos::SchedName;
+    use workloads::tournament::{orangepi_scenario, run_case};
+
+    let sc = orangepi_scenario(4);
+    let cfs = run_case(&sc, SchedName::Cfs, ExecMode::Serial);
+    let thm = run_case(&sc, SchedName::Thermal, ExecMode::Serial);
+
+    // CfsLike reproduces the pathology: the big cores do most of the
+    // work and drag the package over the A53 trip point.
+    assert!(
+        cfs.big_core_share_pct > 50.0,
+        "cfs should favor the A72s: {:.1}% on big",
+        cfs.big_core_share_pct
+    );
+    // ThermalSteer runs the solve on the LITTLE cluster…
+    assert!(
+        thm.big_core_share_pct < 20.0,
+        "thermal should steer to the A53s: {:.1}% on big",
+        thm.big_core_share_pct
+    );
+    // …and both finishes sooner and spends less energy doing it.
+    assert!(
+        thm.gflops > cfs.gflops * 1.03,
+        "inversion avoided: thermal {:.2} GF vs cfs {:.2} GF",
+        thm.gflops,
+        cfs.gflops
+    );
+    assert!(
+        thm.energy_uj < cfs.energy_uj,
+        "cool placement is also the cheaper one: {:.0} vs {:.0} uJ",
+        thm.energy_uj,
+        cfs.energy_uj
+    );
+}

@@ -11,6 +11,7 @@ use simcpu::types::{CpuId, CpuMask};
 use simos::faults::{FaultKind, FaultPlan, TransientErrno};
 use simos::kernel::{ExecMode, Kernel, KernelConfig, MacroTicks};
 use simos::perf::{PerfAttr, Target};
+use simos::simsched::SchedName;
 use simos::task::{Op, Pid, ScriptedProgram};
 use simtrace::TraceConfig;
 
@@ -214,6 +215,110 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Pluggable-scheduler invariants, for *every* registered policy,
+    /// under all 7 fault kinds: (1) no task is ever left running on an
+    /// offline CPU — hotplug (with re-online racing the policy's own
+    /// migrations) must vacate and stay vacated; (2) migrations stay
+    /// exactly-once-counted (the PR 7 invariant): the per-task
+    /// `migrations` stat must equal the number of placement changes
+    /// observable from outside via `task_state`, however the policy
+    /// shuffles tasks between ticks.
+    #[test]
+    fn schedulers_respect_hotplug_and_count_migrations_once(
+        sched_pick in 0usize..5,
+        n_tasks in 2usize..8,
+        pin_bits in 0u64..256,
+        fault_picks in proptest::collection::vec((0usize..7, 1u64..90), 1..6),
+        ticks in 40u64..110,
+    ) {
+        let sched = SchedName::ALL[sched_pick];
+        let mut plan = FaultPlan::new(0xfaceb00c);
+        for &(kind, at_ms) in &fault_picks {
+            let at = at_ms * 1_000_000;
+            plan = match kind {
+                0 => plan.at(at, FaultKind::CpuOffline {
+                    cpu: CpuId(1),
+                    down_ns: Some(25_000_000),
+                }),
+                1 => plan.at(at, FaultKind::NmiWatchdog {
+                    steal: ArchEvent::Instructions,
+                    hold_ns: Some(20_000_000),
+                }),
+                2 => plan.at(at, FaultKind::TransientOpen {
+                    errno: TransientErrno::Ebusy,
+                    count: 1,
+                }),
+                3 => plan.at(at, FaultKind::TransientRead {
+                    errno: TransientErrno::Eintr,
+                    count: 2,
+                }),
+                4 => plan.at(at, FaultKind::CounterWrap { headroom: 1_000_000 }),
+                5 => plan.at(at, FaultKind::RaplWrapBurst { wraps: 1, extra_uj: 5_000 }),
+                _ => plan.at(at, FaultKind::SysfsFlaky { dur_ns: 10_000_000 }),
+            };
+        }
+        let mut k = Kernel::boot(
+            MachineSpec::skylake_quad(),
+            KernelConfig {
+                exec_mode: ExecMode::Serial,
+                seed: 0x5eed_cafe,
+                sched,
+                ..Default::default()
+            },
+        );
+        let n = k.machine().n_cpus();
+        let mut pids = Vec::new();
+        for i in 0..n_tasks {
+            // A mix of pinned tasks (some pinned to the CPU that goes
+            // offline) and free tasks that the policy may move at will.
+            let mask = if (pin_bits >> i) & 1 == 1 {
+                CpuMask::from_cpus([i % n])
+            } else {
+                CpuMask::first_n(n)
+            };
+            pids.push(k.spawn(
+                "w",
+                Box::new(ScriptedProgram::new([
+                    Op::Compute(Phase::scalar(u64::MAX / 4)),
+                    Op::Exit,
+                ])),
+                mask,
+                0,
+            ));
+        }
+        k.install_faults(&plan);
+        let mut last_seen: Vec<Option<CpuId>> = vec![None; pids.len()];
+        let mut expected_migrations = 0u64;
+        for _ in 0..ticks {
+            k.tick();
+            for (i, &pid) in pids.iter().enumerate() {
+                if let Some(simos::task::TaskState::Running(cpu)) = k.task_state(pid) {
+                    prop_assert!(
+                        k.cpu_online(cpu),
+                        "{}: pid {} running on offline cpu{}",
+                        sched.as_str(), pid.0, cpu.0
+                    );
+                    if let Some(prev) = last_seen[i] {
+                        if prev != cpu {
+                            expected_migrations += 1;
+                        }
+                    }
+                    last_seen[i] = Some(cpu);
+                }
+            }
+        }
+        let counted: u64 = pids
+            .iter()
+            .filter_map(|&p| k.task_stats(p))
+            .map(|s| s.migrations)
+            .sum();
+        prop_assert_eq!(
+            counted, expected_migrations,
+            "{}: migration stat drifted from observed placement changes",
+            sched.as_str()
+        );
     }
 
     /// CpuMask parse/format round-trips.
