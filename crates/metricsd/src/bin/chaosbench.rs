@@ -37,8 +37,8 @@ use parking_lot::Mutex;
 use metricsd::queue::ClientPipe;
 use metricsd::wire::{fnv64, metrics, Request, Response};
 use metricsd::{
-    ChaosConfig, ChaosStats, ChaosTransport, Connector, Daemon, DaemonConfig, ResilientClient,
-    ResilientConfig, ResilientStats,
+    ChaosConfig, ChaosStats, ChaosTransport, Connector, Daemon, DaemonConfig, MirrorOutcome,
+    ResilientClient, ResilientConfig, ResilientStats, StreamMirror,
 };
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
@@ -136,6 +136,31 @@ struct Bot {
     completed: u64,
     pending_final: bool,
     final_vals: Option<Vec<(u8, u64)>>,
+    /// Every third bot is also a delta-stream subscriber: it mirrors
+    /// the daemon's per-tick counter state from keyframe/delta pushes
+    /// and must end every scenario synced (CRC-verified), whatever the
+    /// transport did to the push stream in between.
+    mirror: Option<StreamMirror>,
+    /// Delta stream acked by the daemon.
+    stream_ready: bool,
+    /// Mirror desynced (gap or CRC): nack with `AckTick 0` when idle.
+    need_nack: bool,
+}
+
+/// Feed any queued pushes through the bot's mirror. A delta that does
+/// not apply flips `need_nack`; the bot resolves it with an `AckTick 0`
+/// RPC at the next idle step, and the daemon answers the nack with a
+/// keyframe on the following push.
+fn drain_pushes(b: &mut Bot) {
+    while let Some(push) = b.c.pushes.pop_front() {
+        if let Some(m) = b.mirror.as_mut() {
+            match m.apply(&push) {
+                MirrorOutcome::Applied => b.need_nack = false,
+                MirrorOutcome::NeedKeyframe => b.need_nack = true,
+                MirrorOutcome::NotStream => {}
+            }
+        }
+    }
 }
 
 fn make_bot(connector: &Connector, chaos: ChaosConfig, idx: usize, scenario_seed: u64) -> Bot {
@@ -168,6 +193,9 @@ fn make_bot(connector: &Connector, chaos: ChaosConfig, idx: usize, scenario_seed
         completed: 0,
         pending_final: false,
         final_vals: None,
+        mirror: idx.is_multiple_of(3).then(StreamMirror::new),
+        stream_ready: false,
+        need_nack: false,
     }
 }
 
@@ -193,6 +221,10 @@ struct ScenarioResult {
     client: ResilientStats,
     injected: ChaosStats,
     server: Vec<(&'static str, u64)>,
+    delta_bots: u64,
+    stream_keyframes: u64,
+    stream_deltas: u64,
+    stream_desyncs: u64,
 }
 
 const SERVER_COUNTERS: [&str; 6] = [
@@ -265,19 +297,57 @@ fn run_scenario(
         daemon.pump_quiescent();
     }
 
+    // Phase 1b — delta subscribers enable their push stream, still on
+    // quiescent pumps (pushes begin flowing, frozen at boot values).
+    for b in bots.iter_mut().filter(|b| b.mirror.is_some()) {
+        assert!(b.c.begin(&Request::StreamDeltas { every_pumps: 1 }));
+        b.begun += 1;
+    }
+    while bots.iter().any(|b| b.mirror.is_some() && !b.stream_ready) {
+        setup_pumps += 1;
+        assert!(setup_pumps < PHASE_CAP, "{name}: stream setup wedged");
+        for (i, b) in bots.iter_mut().enumerate() {
+            b.c.step();
+            drain_pushes(b);
+            assert!(
+                !b.c.take_session_lost(),
+                "{name}: client {i} lost session in stream setup"
+            );
+            if let Some(done) = b.c.take_done() {
+                match done {
+                    Ok(Response::Subscribed { .. }) => {
+                        b.stream_ready = true;
+                        b.completed += 1;
+                    }
+                    other => panic!("{name}: client {i} stream setup answered {other:?}"),
+                }
+            }
+        }
+        daemon.pump_quiescent();
+    }
+
     // Phase 2 — exactly `rounds` ticking pumps: the only phase where
     // sim time advances, so every scenario measures the same machine
-    // history.
+    // history. Delta mirrors ride along: a push eaten by chaos shows up
+    // as a base-tick gap, the mirror nacks, and the daemon heals the
+    // stream with a keyframe — all without perturbing a single counter.
     for round in 0..rounds {
         for (i, b) in bots.iter_mut().enumerate() {
-            if b.c.is_idle() && round % session_cadence(i) == 0 {
-                assert!(b.c.begin(&Request::Read {
-                    sub_id: b.sub_id,
-                    submit_ns: 0,
-                }));
-                b.begun += 1;
+            if b.c.is_idle() {
+                if b.need_nack {
+                    assert!(b.c.begin(&Request::AckTick { tick: 0 }));
+                    b.begun += 1;
+                    b.need_nack = false;
+                } else if round % session_cadence(i) == 0 {
+                    assert!(b.c.begin(&Request::Read {
+                        sub_id: b.sub_id,
+                        submit_ns: 0,
+                    }));
+                    b.begun += 1;
+                }
             }
             b.c.step();
+            drain_pushes(b);
             assert!(
                 !b.c.take_session_lost(),
                 "{name}: client {i} lost session mid-run"
@@ -311,6 +381,7 @@ fn run_scenario(
                 b.pending_final = true;
             }
             b.c.step();
+            drain_pushes(b);
             assert!(
                 !b.c.take_session_lost(),
                 "{name}: client {i} lost session in drain"
@@ -335,6 +406,48 @@ fn run_scenario(
         }
         daemon.pump_quiescent();
     }
+
+    // Phase 3b — stream settle: every delta mirror must converge to a
+    // CRC-verified synced state with no RPC left in flight. Chaos may
+    // have eaten the latest keyframe (or may corrupt one mid-settle),
+    // so keep nacking/stepping until a clean pass: all mirrors synced
+    // AND all clients idle, checked together so a late desync re-enters
+    // the loop instead of slipping past the ledger asserts. Pushes
+    // continue on quiescent pumps; counters stay frozen.
+    let mut settle_pumps = 0u64;
+    loop {
+        let converged = bots.iter().all(|b| {
+            b.c.is_idle()
+                && b.mirror
+                    .as_ref()
+                    .is_none_or(|m| m.synced && m.keyframes >= 1 && !b.need_nack)
+        });
+        if converged {
+            break;
+        }
+        settle_pumps += 1;
+        assert!(settle_pumps < PHASE_CAP, "{name}: stream settle wedged");
+        for (i, b) in bots.iter_mut().enumerate() {
+            if b.need_nack && b.c.is_idle() {
+                assert!(b.c.begin(&Request::AckTick { tick: 0 }));
+                b.begun += 1;
+                b.need_nack = false;
+            }
+            b.c.step();
+            drain_pushes(b);
+            assert!(
+                !b.c.take_session_lost(),
+                "{name}: client {i} lost session in settle"
+            );
+            if let Some(done) = b.c.take_done() {
+                match done {
+                    Ok(_) => b.completed += 1,
+                    Err(e) => panic!("{name}: client {i} settle rpc failed: {e:?}"),
+                }
+            }
+        }
+        daemon.pump_quiescent();
+    }
     // One extra pump so the shards' last self-metrics are absorbed
     // into the master registry.
     daemon.pump_quiescent();
@@ -343,7 +456,22 @@ fn run_scenario(
     let mut begun = 0u64;
     let mut completed = 0u64;
     let mut client = ResilientStats::default();
+    let mut delta_bots = 0u64;
+    let mut stream_keyframes = 0u64;
+    let mut stream_deltas = 0u64;
+    let mut stream_desyncs = 0u64;
     for (i, b) in bots.iter().enumerate() {
+        if let Some(m) = &b.mirror {
+            assert!(m.synced, "{name}: client {i} mirror ended unsynced");
+            assert!(
+                m.keyframes >= 1,
+                "{name}: client {i} mirror never saw a keyframe"
+            );
+            delta_bots += 1;
+            stream_keyframes += m.keyframes;
+            stream_deltas += m.deltas;
+            stream_desyncs += m.desyncs;
+        }
         fnv1a(&mut digest, &(i as u64).to_le_bytes());
         for (metric, value) in b.final_vals.as_ref().expect("final read present") {
             fnv1a(&mut digest, &[*metric]);
@@ -442,6 +570,10 @@ fn run_scenario(
         client,
         injected,
         server,
+        delta_bots,
+        stream_keyframes,
+        stream_deltas,
+        stream_desyncs,
     }
 }
 
@@ -501,7 +633,7 @@ fn main() {
             let r = run_scenario(name, chaos, overload, n_clients, rounds);
             eprintln!(
                 "  {:<13} digest={:016x} rpcs={}/{} retries={} resets={} resumes={} \
-                 overloads={} injected={} shed={}",
+                 overloads={} injected={} shed={} stream(kf={} d={} desync={})",
                 r.name,
                 r.digest,
                 r.completed,
@@ -512,6 +644,9 @@ fn main() {
                 r.client.overloads,
                 r.injected.total(),
                 r.server.iter().find(|(n, _)| *n == "reqs_shed").unwrap().1,
+                r.stream_keyframes,
+                r.stream_deltas,
+                r.stream_desyncs,
             );
             r
         })
@@ -540,6 +675,13 @@ fn main() {
         w.field_u64("drain_pumps", r.drain_pumps);
         w.field_u64("rpcs_begun", r.begun);
         w.field_u64("rpcs_completed", r.completed);
+        w.key("stream");
+        w.begin_obj();
+        w.field_u64("delta_subscribers", r.delta_bots);
+        w.field_u64("keyframes_applied", r.stream_keyframes);
+        w.field_u64("deltas_applied", r.stream_deltas);
+        w.field_u64("desyncs_recovered", r.stream_desyncs);
+        w.end_obj();
         w.key("client");
         w.begin_obj();
         w.field_u64("retries", r.client.retries);

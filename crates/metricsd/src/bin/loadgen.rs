@@ -13,18 +13,42 @@
 //! subscriptions on a 1-shard daemon. Throughput and latency are
 //! allowed to differ; counts are not.
 //!
+//! Two latency views are reported side by side:
+//!
+//! * **sim-ns** — the daemon's virtual serving clock (snapshot time +
+//!   position in the shard's queue). Deterministic, byte-identical
+//!   across runs; this is the *modelled* latency.
+//! * **wall-clock ns** — request→response time measured at the client
+//!   with a real clock (post `Read` → drain `Counters`, FIFO per
+//!   session). Noisy, host-dependent; this is the *actual* latency.
+//!
+//! Each shard config runs `--reps` times (digests must match every
+//! rep); the best rep by throughput is reported, which filters
+//! scheduler noise out of the scaling comparison.
+//!
+//! A separate **high-fanout** phase drives 100k+ concurrent sessions —
+//! almost all push-stream subscribers ([`Request::StreamDeltas`]), plus
+//! a small reader pool — through the same daemon at 8 shards, counting
+//! delivered frames and verifying sampled client mirrors stay
+//! CRC-synced. Zero evictions are tolerated there: every session
+//! drains, so any eviction is a stall-grace calibration bug.
+//!
 //! Emits `BENCH_metricsd.json`. Exit status is non-zero on any digest
-//! mismatch or a missing eviction.
+//! mismatch, eviction-ledger mismatch, or (with `--gate-scaling` /
+//! `--floor-per-core`) a violated performance gate.
 //!
 //! ```text
-//! loadgen [--quick] [--sessions N] [--pumps T] [--out PATH]
+//! loadgen [--quick] [--sessions N] [--pumps T] [--reps R] [--out PATH]
+//!         [--gate-scaling] [--floor-per-core N]
+//!         [--fanout-sessions N] [--fanout-pumps T] [--no-fanout]
 //! ```
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use metricsd::queue::ClientPipe;
 use metricsd::wire::{metrics, Request, Response};
-use metricsd::{Daemon, DaemonConfig, MetricsClient};
+use metricsd::{Daemon, DaemonConfig, MetricsClient, MirrorOutcome, StreamMirror};
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
 use simcpu::types::{CpuId, CpuMask};
@@ -35,6 +59,17 @@ use simtrace::metrics::{percentile_of_sorted, Histogram};
 
 const SEED: u64 = 42;
 const TICKS_PER_PUMP: u32 = 20;
+/// Outbox-full pumps tolerated before eviction. Explicit (not the
+/// config default) because the whole bench is calibrated against it:
+/// healthy sessions drain every pump and must never come near it, and
+/// the slow consumer must cross it well before the run ends.
+const STALL_GRACE_PUMPS: u32 = 8;
+
+fn cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
 
 /// Deterministic per-session subscription shape.
 fn session_mask(i: usize, n_cpus: usize) -> u64 {
@@ -110,16 +145,28 @@ struct ConfigResult {
     shards: usize,
     reads: u64,
     wall_s: f64,
+    /// Daemon's virtual serving clock, sorted.
     latencies_ns: Vec<u64>,
+    /// Client-measured request→response wall clock, sorted.
+    wall_latencies_ns: Vec<u64>,
     digest: u64,
     evicted_slow_consumer: bool,
+    /// Evictions beyond the one deliberate slow consumer. Must be 0:
+    /// a healthy session being evicted means the stall grace is
+    /// miscalibrated for the workload.
+    healthy_evictions: u64,
+    reps_run: u64,
 }
 
 /// Drain every pending reply on a client, recording Counters for the
-/// digest/latency accounting.
+/// digest/latency accounting. `posted` carries the wall-clock post time
+/// of every in-flight Read, FIFO — replies to a session come back in
+/// request order, so front-of-queue is always the match.
 fn drain(
     c: &mut MetricsClient<ClientPipe>,
+    posted: &mut VecDeque<Instant>,
     latencies: &mut Vec<u64>,
+    wall_latencies: &mut Vec<u64>,
     reads: &mut u64,
     last_counters: &mut Vec<(u8, u64)>,
 ) {
@@ -130,6 +177,9 @@ fn drain(
         {
             *reads += 1;
             latencies.push(latency_ns);
+            if let Some(t) = posted.pop_front() {
+                wall_latencies.push(t.elapsed().as_nanos() as u64);
+            }
             last_counters.clear();
             last_counters.extend(values.iter().map(|v| (v.metric, v.value)));
         }
@@ -137,12 +187,13 @@ fn drain(
 }
 
 /// One full load run against a daemon with `shards` worker shards.
-fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
+fn run_once(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
     let mut daemon = Daemon::new(
         boot_machine(),
         DaemonConfig {
             shards,
             ticks_per_pump: TICKS_PER_PUMP,
+            stall_grace_pumps: STALL_GRACE_PUMPS,
             ..DaemonConfig::default()
         },
     );
@@ -201,6 +252,8 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
 
     // Steady state: deterministic read cadence, thousands in flight.
     let mut latencies: Vec<u64> = Vec::new();
+    let mut wall_latencies: Vec<u64> = Vec::new();
+    let mut posted: Vec<VecDeque<Instant>> = vec![VecDeque::new(); n_sessions];
     let mut reads: u64 = 0;
     let mut last: Vec<Vec<(u8, u64)>> = vec![Vec::new(); n_sessions];
     let t0 = Instant::now();
@@ -213,6 +266,7 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
                     submit_ns,
                 })
                 .expect("post read");
+                posted[i].push_back(Instant::now());
             }
             // A sprinkle of hot-path queries served from the cache.
             if i % 97 == 0 && pump % 5 == 0 {
@@ -221,7 +275,14 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
         }
         daemon.pump();
         for (i, c) in clients.iter_mut().enumerate() {
-            drain(c, &mut latencies, &mut reads, &mut last[i]);
+            drain(
+                c,
+                &mut posted[i],
+                &mut latencies,
+                &mut wall_latencies,
+                &mut reads,
+                &mut last[i],
+            );
         }
     }
 
@@ -233,10 +294,18 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
             submit_ns,
         })
         .expect("post final read");
+        posted[i].push_back(Instant::now());
     }
     daemon.pump();
     for (i, c) in clients.iter_mut().enumerate() {
-        drain(c, &mut latencies, &mut reads, &mut last[i]);
+        drain(
+            c,
+            &mut posted[i],
+            &mut latencies,
+            &mut wall_latencies,
+            &mut reads,
+            &mut last[i],
+        );
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
@@ -244,7 +313,8 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
     // histogram (one extra pump so the final reads are absorbed) must
     // match a local histogram over the very latencies this run observed,
     // and the clock-inversion counter must be zero — client submit times
-    // always trail the virtual serve clock.
+    // always trail the virtual serve clock. Wall-clock timing must never
+    // leak in here: the wire histogram is all sim-ns.
     clients[0]
         .post(&Request::GetSelfMetrics)
         .expect("post self-metrics");
@@ -297,16 +367,213 @@ fn run_config(shards: usize, n_sessions: usize, pumps: u64) -> ConfigResult {
             Ok(None) | Err(_) => break,
         }
     }
-    let evicted = saw_evicted && daemon.stats().evictions == 1;
+    let evictions = daemon.stats().evictions;
+    let evicted = saw_evicted && evictions >= 1;
 
     latencies.sort_unstable();
+    wall_latencies.sort_unstable();
     ConfigResult {
         shards,
         reads,
         wall_s,
         latencies_ns: latencies,
+        wall_latencies_ns: wall_latencies,
         digest,
         evicted_slow_consumer: evicted,
+        healthy_evictions: evictions.saturating_sub(1),
+        reps_run: 1,
+    }
+}
+
+/// Run every shard config `reps` times with the reps *interleaved*
+/// (1, 4, 8, 1, 4, 8, …) so a transient host slowdown hits each config
+/// equally instead of swallowing one config's entire rep budget.
+/// Digests (and the eviction ledger) must be identical every rep; the
+/// best rep by reads/s is kept per config so the scaling comparison
+/// measures the daemon, not a scheduler hiccup.
+fn run_best_of(
+    shard_counts: &[usize],
+    n_sessions: usize,
+    pumps: u64,
+    reps: u64,
+) -> Vec<ConfigResult> {
+    let mut best: Vec<Option<ConfigResult>> = shard_counts.iter().map(|_| None).collect();
+    for rep in 0..reps.max(1) {
+        for (slot, &shards) in shard_counts.iter().enumerate() {
+            let r = run_once(shards, n_sessions, pumps);
+            assert_eq!(
+                r.healthy_evictions, 0,
+                "shards={shards} rep={rep}: healthy session evicted (stall grace miscalibrated)"
+            );
+            if let Some(b) = &best[slot] {
+                assert_eq!(
+                    b.digest, r.digest,
+                    "shards={shards}: digest changed between reps {rep}"
+                );
+            }
+            let better = best[slot]
+                .as_ref()
+                .is_none_or(|b| r.reads as f64 / r.wall_s > b.reads as f64 / b.wall_s);
+            if better {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    best.into_iter()
+        .map(|b| {
+            let mut r = b.expect("at least one rep");
+            r.reps_run = reps.max(1);
+            r
+        })
+        .collect()
+}
+
+struct FanoutResult {
+    sessions: u64,
+    subscribers: u64,
+    readers: u64,
+    pumps: u64,
+    wall_s: f64,
+    frames: u64,
+    /// Client-measured request→response wall clock for the reader pool.
+    wall_latencies_ns: Vec<u64>,
+    mirrors_checked: u64,
+    evictions: u64,
+}
+
+/// High-fanout phase: `n_sessions` concurrent sessions on an 8-shard
+/// daemon, almost all of them `StreamDeltas` push subscribers (one
+/// pre-encoded frame shared by every subscriber per pump), plus a small
+/// pool of classic readers measured with wall-clock latency. Every 16th
+/// subscriber runs a full [`StreamMirror`] and must end CRC-synced.
+fn run_fanout(n_sessions: usize, pumps: u64) -> FanoutResult {
+    const READERS: usize = 512;
+    const MIRROR_EVERY: usize = 16;
+    let mut daemon = Daemon::new(
+        boot_machine(),
+        DaemonConfig {
+            shards: 8,
+            ticks_per_pump: TICKS_PER_PUMP,
+            stall_grace_pumps: STALL_GRACE_PUMPS,
+            ..DaemonConfig::default()
+        },
+    );
+    let n_cpus = daemon.n_cpus() as usize;
+    let connector = daemon.connector();
+    let readers = READERS.min(n_sessions);
+
+    let mut clients: Vec<MetricsClient<ClientPipe>> = (0..n_sessions)
+        .map(|_| MetricsClient::new(connector.connect()))
+        .collect();
+
+    // Setup pump 1: hellos.
+    for c in clients.iter_mut() {
+        c.post(&Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        })
+        .expect("post hello");
+    }
+    daemon.pump();
+    for c in clients.iter_mut() {
+        while let Ok(Some(_)) = c.try_take() {}
+    }
+
+    // Setup pump 2: everyone subscribes to the delta stream; the reader
+    // pool also takes a counter subscription.
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.post(&Request::StreamDeltas { every_pumps: 1 })
+            .expect("post stream-deltas");
+        if i < readers {
+            c.post(&Request::Subscribe {
+                cpu_mask: session_mask(i, n_cpus),
+                metrics: session_metrics(i),
+            })
+            .expect("post subscribe");
+        }
+    }
+    daemon.pump();
+    let mut sub_ids = vec![0u32; readers];
+    for (i, c) in clients.iter_mut().enumerate() {
+        while let Ok(Some(resp)) = c.try_take() {
+            if let Response::Subscribed { sub_id, .. } = resp {
+                if i < readers && sub_id != 0 {
+                    sub_ids[i] = sub_id;
+                }
+            }
+        }
+    }
+
+    // Steady state: every subscriber drains its push each pump (sampled
+    // ones through a full mirror), readers post a Read each pump.
+    let mut mirrors: Vec<StreamMirror> = (0..n_sessions)
+        .step_by(MIRROR_EVERY)
+        .map(|_| StreamMirror::new())
+        .collect();
+    let mut posted: Vec<VecDeque<Instant>> = vec![VecDeque::new(); readers];
+    let mut wall_latencies: Vec<u64> = Vec::new();
+    let mut frames: u64 = 0;
+    let t0 = Instant::now();
+    for _pump in 0..pumps {
+        for (i, c) in clients.iter_mut().enumerate().take(readers) {
+            let submit_ns = c.last_seen_ns;
+            c.post(&Request::Read {
+                sub_id: sub_ids[i],
+                submit_ns,
+            })
+            .expect("post read");
+            posted[i].push_back(Instant::now());
+        }
+        daemon.pump();
+        for (i, c) in clients.iter_mut().enumerate() {
+            while let Ok(Some(resp)) = c.try_take() {
+                match resp {
+                    Response::TickKeyframe { .. } | Response::TickDelta { .. } => {
+                        frames += 1;
+                        if i % MIRROR_EVERY == 0 {
+                            match mirrors[i / MIRROR_EVERY].apply(&resp) {
+                                MirrorOutcome::Applied => {}
+                                MirrorOutcome::NeedKeyframe => {
+                                    panic!("fanout: session {i} mirror desynced: {resp:?}")
+                                }
+                                MirrorOutcome::NotStream => unreachable!(),
+                            }
+                        }
+                    }
+                    Response::Counters { .. } => {
+                        if let Some(t) = posted.get_mut(i).and_then(|q| q.pop_front()) {
+                            wall_latencies.push(t.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    for (mi, m) in mirrors.iter().enumerate() {
+        let i = mi * MIRROR_EVERY;
+        assert!(m.synced, "fanout: session {i} mirror ended unsynced");
+        assert!(m.desyncs == 0, "fanout: session {i} mirror desynced");
+        assert!(m.keyframes >= 1, "fanout: session {i} saw no keyframe");
+    }
+    let evictions = daemon.stats().evictions;
+    assert_eq!(
+        evictions, 0,
+        "fanout: healthy sessions were evicted under fanout load"
+    );
+
+    wall_latencies.sort_unstable();
+    FanoutResult {
+        sessions: n_sessions as u64,
+        subscribers: n_sessions as u64,
+        readers: readers as u64,
+        pumps,
+        wall_s,
+        frames,
+        wall_latencies_ns: wall_latencies,
+        mirrors_checked: mirrors.len() as u64,
+        evictions,
     }
 }
 
@@ -394,7 +661,19 @@ fn main() {
     let mut quick = false;
     let mut sessions: Option<usize> = None;
     let mut pumps: Option<u64> = None;
+    let mut reps: Option<u64> = None;
     let mut out = "BENCH_metricsd.json".to_string();
+    let mut gate_scaling = false;
+    // Wall-clock noise margin for the scaling gate. Serving is flat
+    // across shard counts by design, so the two rates are equal in
+    // expectation and a strict `>=` would flip on timer jitter; 5%
+    // absorbs that while still catching real regressions (the per-pump
+    // thread-spawn bug this guards against cost 30%).
+    let mut scaling_tolerance = 0.05;
+    let mut floor_per_core: Option<f64> = None;
+    let mut fanout_sessions: Option<usize> = None;
+    let mut fanout_pumps: Option<u64> = None;
+    let mut no_fanout = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -404,9 +683,47 @@ fn main() {
                 sessions = Some(args.next().expect("--sessions N").parse().expect("count"))
             }
             "--pumps" => pumps = Some(args.next().expect("--pumps T").parse().expect("count")),
+            "--reps" => reps = Some(args.next().expect("--reps R").parse().expect("count")),
             "--out" => out = args.next().expect("--out PATH"),
+            "--gate-scaling" => gate_scaling = true,
+            "--scaling-tolerance" => {
+                scaling_tolerance = args
+                    .next()
+                    .expect("--scaling-tolerance FRAC")
+                    .parse()
+                    .expect("fraction");
+            }
+            "--floor-per-core" => {
+                floor_per_core = Some(
+                    args.next()
+                        .expect("--floor-per-core N")
+                        .parse()
+                        .expect("reads/s"),
+                )
+            }
+            "--fanout-sessions" => {
+                fanout_sessions = Some(
+                    args.next()
+                        .expect("--fanout-sessions N")
+                        .parse()
+                        .expect("count"),
+                )
+            }
+            "--fanout-pumps" => {
+                fanout_pumps = Some(
+                    args.next()
+                        .expect("--fanout-pumps T")
+                        .parse()
+                        .expect("count"),
+                )
+            }
+            "--no-fanout" => no_fanout = true,
             "--help" | "-h" => {
-                eprintln!("usage: loadgen [--quick] [--sessions N] [--pumps T] [--out PATH]");
+                eprintln!(
+                    "usage: loadgen [--quick] [--sessions N] [--pumps T] [--reps R] [--out PATH]\n\
+                     \u{20}      [--gate-scaling] [--scaling-tolerance FRAC] [--floor-per-core N]\n\
+                     \u{20}      [--fanout-sessions N] [--fanout-pumps T] [--no-fanout]"
+                );
                 return;
             }
             other => {
@@ -415,34 +732,84 @@ fn main() {
             }
         }
     }
-    let n_sessions = sessions.unwrap_or(if quick { 200 } else { 1200 });
+    let n_sessions = sessions.unwrap_or(if quick { 1024 } else { 2048 });
     let pumps = pumps.unwrap_or(if quick { 16 } else { 40 });
+    let reps = reps.unwrap_or(3);
+    let fanout_sessions = fanout_sessions.unwrap_or(100_000);
+    let fanout_pumps = fanout_pumps.unwrap_or(if quick { 6 } else { 10 });
+    let n_cores = cores();
 
-    eprintln!("loadgen: {n_sessions} sessions, {pumps} pumps, shards 1/4/8 + serial reference");
-    let results: Vec<ConfigResult> = [1usize, 4, 8]
-        .iter()
-        .map(|&s| {
-            let r = run_config(s, n_sessions, pumps);
-            eprintln!(
-                "  shards={}: {} reads in {:.3}s ({:.0} reads/s), p50={}ns p99={}ns, \
+    eprintln!(
+        "loadgen: {n_sessions} sessions, {pumps} pumps, {reps} reps, \
+         shards 1/4/8 + serial reference ({n_cores} cores)"
+    );
+    let results = run_best_of(&[1, 4, 8], n_sessions, pumps, reps);
+    for r in &results {
+        eprintln!(
+            "  shards={}: {} reads in {:.3}s ({:.0} reads/s, {:.0}/core), \
+                 sim p50={}ns p99={}ns, wall p50={}ns p99={}ns, \
                  digest={:016x}, evicted_slow_consumer={}",
-                r.shards,
-                r.reads,
-                r.wall_s,
-                r.reads as f64 / r.wall_s.max(1e-9),
-                percentile_of_sorted(&r.latencies_ns, 0.50),
-                percentile_of_sorted(&r.latencies_ns, 0.99),
-                r.digest,
-                r.evicted_slow_consumer
-            );
-            r
-        })
-        .collect();
+            r.shards,
+            r.reads,
+            r.wall_s,
+            r.reads as f64 / r.wall_s.max(1e-9),
+            r.reads as f64 / r.wall_s.max(1e-9) / n_cores as f64,
+            percentile_of_sorted(&r.latencies_ns, 0.50),
+            percentile_of_sorted(&r.latencies_ns, 0.99),
+            percentile_of_sorted(&r.wall_latencies_ns, 0.50),
+            percentile_of_sorted(&r.wall_latencies_ns, 0.99),
+            r.digest,
+            r.evicted_slow_consumer
+        );
+    }
     let reference = run_reference(n_sessions, pumps);
     eprintln!("  serial reference digest={reference:016x}");
 
+    let fanout = if no_fanout {
+        None
+    } else {
+        eprintln!("loadgen: high-fanout phase, {fanout_sessions} sessions, {fanout_pumps} pumps");
+        let f = run_fanout(fanout_sessions, fanout_pumps);
+        eprintln!(
+            "  fanout: {} sessions ({} subscribers, {} readers), {} frames in {:.3}s \
+             ({:.0} frames/s, {:.0}/core), reader wall p50={}ns p99={}ns, \
+             {} mirrors CRC-synced, evictions={}",
+            f.sessions,
+            f.subscribers,
+            f.readers,
+            f.frames,
+            f.wall_s,
+            f.frames as f64 / f.wall_s.max(1e-9),
+            f.frames as f64 / f.wall_s.max(1e-9) / n_cores as f64,
+            percentile_of_sorted(&f.wall_latencies_ns, 0.50),
+            percentile_of_sorted(&f.wall_latencies_ns, 0.99),
+            f.mirrors_checked,
+            f.evictions,
+        );
+        Some(f)
+    };
+
     let digests_match = results.iter().all(|r| r.digest == reference);
-    let evictions_ok = results.iter().all(|r| r.evicted_slow_consumer);
+    let evictions_ok = results
+        .iter()
+        .all(|r| r.evicted_slow_consumer && r.healthy_evictions == 0);
+    let rps = |r: &ConfigResult| r.reads as f64 / r.wall_s.max(1e-9);
+    let rps_1 = results
+        .iter()
+        .find(|r| r.shards == 1)
+        .map(rps)
+        .unwrap_or(0.0);
+    let rps_8 = results
+        .iter()
+        .find(|r| r.shards == 8)
+        .map(rps)
+        .unwrap_or(0.0);
+    let scaling_ok = rps_8 >= rps_1;
+    let scaling_gate_ok = rps_8 >= rps_1 * (1.0 - scaling_tolerance);
+    let min_per_core = results
+        .iter()
+        .map(|r| rps(r) / n_cores as f64)
+        .fold(f64::INFINITY, f64::min);
 
     let mut w = jsonw::JsonWriter::new();
     w.begin_obj();
@@ -450,7 +817,10 @@ fn main() {
     w.field_bool("quick", quick);
     w.field_u64("sessions", n_sessions as u64);
     w.field_u64("pumps", pumps);
+    w.field_u64("reps", reps);
     w.field_u64("ticks_per_pump", TICKS_PER_PUMP as u64);
+    w.field_u64("stall_grace_pumps", STALL_GRACE_PUMPS as u64);
+    w.field_u64("cores", n_cores);
     w.key("configs");
     w.begin_arr();
     for r in &results {
@@ -458,7 +828,8 @@ fn main() {
         w.field_u64("shards", r.shards as u64);
         w.field_u64("reads", r.reads);
         w.field_f64("wall_s", r.wall_s);
-        w.field_f64("reads_per_sec", r.reads as f64 / r.wall_s.max(1e-9));
+        w.field_f64("reads_per_sec", rps(r));
+        w.field_f64("reads_per_sec_per_core", rps(r) / n_cores as f64);
         w.field_u64(
             "p50_latency_sim_ns",
             percentile_of_sorted(&r.latencies_ns, 0.50),
@@ -467,14 +838,53 @@ fn main() {
             "p99_latency_sim_ns",
             percentile_of_sorted(&r.latencies_ns, 0.99),
         );
+        w.field_u64(
+            "p50_latency_wall_ns",
+            percentile_of_sorted(&r.wall_latencies_ns, 0.50),
+        );
+        w.field_u64(
+            "p99_latency_wall_ns",
+            percentile_of_sorted(&r.wall_latencies_ns, 0.99),
+        );
         w.field_str("digest", &format!("{:016x}", r.digest));
         w.field_bool("evicted_slow_consumer", r.evicted_slow_consumer);
+        w.field_u64("healthy_evictions", r.healthy_evictions);
         w.end_obj();
     }
     w.end_arr();
+    if let Some(f) = &fanout {
+        w.key("fanout");
+        w.begin_obj();
+        w.field_u64("sessions", f.sessions);
+        w.field_u64("subscribers", f.subscribers);
+        w.field_u64("readers", f.readers);
+        w.field_u64("pumps", f.pumps);
+        w.field_f64("wall_s", f.wall_s);
+        w.field_u64("frames", f.frames);
+        w.field_f64("frames_per_sec", f.frames as f64 / f.wall_s.max(1e-9));
+        w.field_f64(
+            "frames_per_sec_per_core",
+            f.frames as f64 / f.wall_s.max(1e-9) / n_cores as f64,
+        );
+        w.field_u64(
+            "reader_p50_wall_ns",
+            percentile_of_sorted(&f.wall_latencies_ns, 0.50),
+        );
+        w.field_u64(
+            "reader_p99_wall_ns",
+            percentile_of_sorted(&f.wall_latencies_ns, 0.99),
+        );
+        w.field_u64("mirrors_checked", f.mirrors_checked);
+        w.field_u64("evictions", f.evictions);
+        w.end_obj();
+    }
     w.field_str("serial_reference_digest", &format!("{reference:016x}"));
     w.field_bool("digests_match", digests_match);
     w.field_bool("evictions_ok", evictions_ok);
+    w.field_bool("scaling_ok", scaling_ok);
+    w.field_bool("scaling_gate_ok", scaling_gate_ok);
+    w.field_f64("scaling_tolerance", scaling_tolerance);
+    w.field_f64("min_reads_per_sec_per_core", min_per_core);
     w.end_obj();
     let json = w.finish();
     assert!(jsonw::validate(&json), "loadgen emits valid JSON");
@@ -487,7 +897,21 @@ fn main() {
         std::process::exit(1);
     }
     if !evictions_ok {
-        eprintln!("FAIL: slow consumer was not evicted");
+        eprintln!("FAIL: eviction ledger wrong (missing slow-consumer eviction or a healthy one)");
         std::process::exit(1);
+    }
+    if gate_scaling && !scaling_gate_ok {
+        eprintln!(
+            "FAIL: 8-shard throughput regressed below 1-shard \
+             ({rps_8:.0} < {rps_1:.0} - {:.0}%)",
+            scaling_tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    if let Some(floor) = floor_per_core {
+        if min_per_core < floor {
+            eprintln!("FAIL: per-core throughput floor violated ({min_per_core:.0} < {floor:.0})");
+            std::process::exit(1);
+        }
     }
 }

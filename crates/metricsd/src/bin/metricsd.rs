@@ -4,9 +4,14 @@
 //! starts the sharded daemon, binds a TCP-loopback listener, and pumps.
 //!
 //! ```text
-//! metricsd [--listen ADDR] [--shards N] [--pumps N] [--pump-ms MS] [--machine NAME]
-//!          [--sched NAME]
+//! metricsd [--listen ADDR] [--shards N] [--workers N] [--pumps N] [--pump-ms MS]
+//!          [--machine NAME] [--sched NAME]
 //! ```
+//!
+//! `--workers` caps the serving pool (0 = auto: one per available
+//! core, never more than shards; a single worker serves all shards
+//! inline on the pump thread). Shard count fixes determinism; worker
+//! count only fixes parallelism — digests are identical either way.
 //!
 //! `--sched` picks the kernel scheduler from the `simsched` registry
 //! (`cfs|cfs_unaware|vtime|capacity|thermal`); unknown names are
@@ -23,6 +28,7 @@ use simos::SchedName;
 fn main() {
     let mut listen = "127.0.0.1:0".to_string();
     let mut shards = 4usize;
+    let mut workers = 0usize;
     let mut pumps = 2000u64;
     let mut pump_ms = 5u64;
     let mut machine = "raptor".to_string();
@@ -38,6 +44,13 @@ fn main() {
                     .expect("--shards N")
                     .parse()
                     .expect("shard count")
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .expect("--workers N")
+                    .parse()
+                    .expect("worker count")
             }
             "--pumps" => pumps = args.next().expect("--pumps N").parse().expect("pump count"),
             "--pump-ms" => {
@@ -59,7 +72,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: metricsd [--listen ADDR] [--shards N] [--pumps N] \
+                    "usage: metricsd [--listen ADDR] [--shards N] [--workers N] [--pumps N] \
                      [--pump-ms MS] [--machine raptor|skylake] [--sched NAME]"
                 );
                 return;
@@ -103,15 +116,18 @@ fn main() {
         kernel,
         DaemonConfig {
             shards,
+            workers,
             ..DaemonConfig::default()
         },
     );
     let listener =
         metricsd::tcp::Listener::spawn(daemon.connector(), &listen).expect("bind listener");
     println!(
-        "metricsd listening on {} ({} shards)",
+        "metricsd listening on {} ({} shards, {} worker{})",
         listener.addr(),
-        shards
+        shards,
+        daemon.workers(),
+        if daemon.workers() == 1 { "" } else { "s" }
     );
 
     for _ in 0..pumps {

@@ -13,7 +13,7 @@
 use std::time::Duration;
 
 use crate::queue::{ClientPipe, PushError};
-use crate::wire::{Request, Response, WireError, PROTO_VERSION};
+use crate::wire::{stream_crc, Request, Response, WireError, PROTO_VERSION};
 
 #[derive(Debug)]
 pub enum ClientError {
@@ -153,7 +153,9 @@ impl<T: Transport> MetricsClient<T> {
 
     fn observe(&mut self, resp: &Response) {
         match resp {
-            Response::Counters { time_ns, .. } | Response::Sample { time_ns, .. } => {
+            Response::Counters { time_ns, .. }
+            | Response::Sample { time_ns, .. }
+            | Response::TickKeyframe { time_ns, .. } => {
                 self.last_seen_ns = self.last_seen_ns.max(*time_ns);
             }
             _ => {}
@@ -248,6 +250,25 @@ impl<T: Transport> MetricsClient<T> {
         }
     }
 
+    /// Ask the daemon to push delta-encoded tick frames every
+    /// `every_pumps` pumps (0 disables). Feed the pushed
+    /// `TickKeyframe`/`TickDelta` frames to a [`StreamMirror`].
+    pub fn stream_deltas(&mut self, every_pumps: u32) -> Result<(), ClientError> {
+        match self.rpc(&Request::StreamDeltas { every_pumps })? {
+            Response::Subscribed { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ack")),
+        }
+    }
+
+    /// Report the mirror's position to the daemon. `tick == 0` is a
+    /// nack: the next push will be a full keyframe.
+    pub fn ack_tick(&mut self, tick: u64) -> Result<(), ClientError> {
+        match self.rpc(&Request::AckTick { tick })? {
+            Response::Subscribed { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ack")),
+        }
+    }
+
     /// Daemon-wide serving statistics.
     pub fn stats(&mut self) -> Result<crate::server::DaemonStats, ClientError> {
         match self.rpc(&Request::Stats)? {
@@ -283,6 +304,120 @@ impl<T: Transport> MetricsClient<T> {
         match self.rpc(&Request::Close)? {
             Response::Closed => Ok(()),
             _ => Err(ClientError::Unexpected("wanted Closed")),
+        }
+    }
+}
+
+/// What [`StreamMirror::apply`] did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorOutcome {
+    /// The frame advanced the mirror.
+    Applied,
+    /// The frame could not be applied (unsynced mirror, base-tick gap,
+    /// CPU-count mismatch, or CRC failure after apply). The mirror is
+    /// now unsynced; send [`Request::AckTick`] with `tick == 0` to nack
+    /// and the daemon will push a keyframe.
+    NeedKeyframe,
+    /// Not a stream frame; the caller should handle it itself.
+    NotStream,
+}
+
+/// Client-side reconstruction of the daemon's per-tick counter state
+/// from a delta-encoded push stream.
+///
+/// Feed every pushed [`Response`] through [`StreamMirror::apply`]:
+/// keyframes (re)establish the full state, deltas advance it, and the
+/// per-frame CRC — computed by the daemon over the post-apply state —
+/// proves the reconstruction is bit-exact. Any gap flips the mirror to
+/// unsynced until the next keyframe; deltas carry no online-flag
+/// changes (a hotplug forces a keyframe on the daemon side via the
+/// CRC/nack path, since frozen counters no longer match).
+#[derive(Debug, Default, Clone)]
+pub struct StreamMirror {
+    /// True once a keyframe has landed and every frame since applied.
+    pub synced: bool,
+    /// Tick of the last applied frame.
+    pub tick: u64,
+    /// Sim time of the last applied frame.
+    pub time_ns: u64,
+    /// Package temperature (milli-°C) at `tick`.
+    pub temp_mc: i64,
+    /// Cumulative package energy (µJ) at `tick`.
+    pub energy_uj: u64,
+    /// Per-CPU cumulative (instructions, cycles) at `tick`.
+    pub cpus: Vec<(u64, u64)>,
+    /// Per-CPU online flags as of the last keyframe.
+    pub online: Vec<bool>,
+    /// Keyframes applied.
+    pub keyframes: u64,
+    /// Deltas applied.
+    pub deltas: u64,
+    /// Frames that forced a resync (gap or CRC mismatch).
+    pub desyncs: u64,
+}
+
+impl StreamMirror {
+    pub fn new() -> StreamMirror {
+        StreamMirror::default()
+    }
+
+    /// Apply one pushed frame. See [`MirrorOutcome`].
+    pub fn apply(&mut self, resp: &Response) -> MirrorOutcome {
+        match resp {
+            Response::TickKeyframe {
+                tick,
+                time_ns,
+                temp_mc,
+                energy_uj,
+                crc,
+                cpus,
+            } => {
+                self.tick = *tick;
+                self.time_ns = *time_ns;
+                self.temp_mc = *temp_mc;
+                self.energy_uj = *energy_uj;
+                self.cpus = cpus.iter().map(|c| (c.instructions, c.cycles)).collect();
+                self.online = cpus.iter().map(|c| c.online).collect();
+                if stream_crc(self.tick, self.energy_uj, &self.cpus) != *crc {
+                    self.synced = false;
+                    self.desyncs += 1;
+                    return MirrorOutcome::NeedKeyframe;
+                }
+                self.synced = true;
+                self.keyframes += 1;
+                MirrorOutcome::Applied
+            }
+            Response::TickDelta {
+                base_tick,
+                tick,
+                d_time_ns,
+                temp_mc,
+                d_energy_uj,
+                crc,
+                cpu_deltas,
+            } => {
+                if !self.synced || *base_tick != self.tick || cpu_deltas.len() != self.cpus.len() {
+                    self.synced = false;
+                    self.desyncs += 1;
+                    return MirrorOutcome::NeedKeyframe;
+                }
+                self.tick = *tick;
+                self.time_ns += *d_time_ns;
+                self.temp_mc = *temp_mc;
+                self.energy_uj = self.energy_uj.wrapping_add(*d_energy_uj as u64);
+                for ((ins, cyc), (d_ins, d_cyc)) in self.cpus.iter_mut().zip(cpu_deltas) {
+                    *ins = ins.wrapping_add(*d_ins as u64);
+                    *cyc = cyc.wrapping_add(*d_cyc as u64);
+                }
+                if stream_crc(self.tick, self.energy_uj, &self.cpus) != *crc {
+                    self.synced = false;
+                    self.desyncs += 1;
+                    return MirrorOutcome::NeedKeyframe;
+                }
+                self.deltas += 1;
+                MirrorOutcome::Applied
+            }
+            _ => MirrorOutcome::NotStream,
         }
     }
 }

@@ -32,9 +32,21 @@
 //! proves the invariant: counter digests under every fault mix are
 //! bit-identical to the fault-free run.
 
+//!
+//! Transport core (DESIGN.md §14): shards run a readiness-based reactor
+//! — sessions flag their inboxes via an atomic readiness bit and idle
+//! sessions are skipped without touching a lock — served by a persistent
+//! [`reactor::WorkerPool`] sized to the host (`min(shards, cores)`), so
+//! shard count is a determinism domain and worker count a parallelism
+//! domain. Subscribers can opt into delta-encoded push streaming
+//! ([`wire::Request::StreamDeltas`]): one pre-encoded keyframe/delta
+//! pair per pump shared by every subscriber, with client-side
+//! [`client::StreamMirror`] reconstruction and CRC self-validation.
+
 pub mod chaos;
 pub mod client;
 pub mod queue;
+pub mod reactor;
 pub mod resilient;
 pub mod server;
 pub mod snapshot;
@@ -42,8 +54,8 @@ pub mod tcp;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosStats, ChaosTransport};
-pub use client::{ClientError, MetricsClient, Transport};
+pub use client::{ClientError, MetricsClient, MirrorOutcome, StreamMirror, Transport};
 pub use resilient::{ResilientClient, ResilientConfig, ResilientStats};
 pub use server::{Connector, Daemon, DaemonConfig, DaemonStats};
-pub use snapshot::{Collector, CpuCounters, SnapshotCache, TickSnapshot};
-pub use wire::{HistSummary, Request, Response, PROTO_VERSION};
+pub use snapshot::{Collector, CpuCounters, SnapshotCache, StreamFrames, TickSnapshot};
+pub use wire::{CpuKeyframe, FrameDecoder, HistSummary, Request, Response, PROTO_VERSION};

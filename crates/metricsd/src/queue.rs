@@ -1,13 +1,27 @@
 //! Bounded frame queues — the in-process transport and the daemon's
 //! per-session mailboxes.
 //!
+//! Two additions serve the reactor:
+//!
+//! * **Readiness** — every successful push sets a lock-free ready flag
+//!   the serving loop consumes with [`FrameQueue::take_ready`]. This is
+//!   the in-process analogue of epoll readiness: a shard's event loop
+//!   skips sessions whose flag is clear instead of locking each inbox,
+//!   so 100k mostly-idle subscribers cost an atomic load per pump, not
+//!   a mutex acquisition.
+//! * **Shared frames** — [`FrameQueue::push_shared`] enqueues an
+//!   `Arc<Vec<u8>>` so N subscribers of the same stream push share one
+//!   encode; the bytes are only materialised per-consumer at pop time
+//!   (and not at all when a single owner remains).
+//!
 //! The vendored `parking_lot` has no `Condvar`, so blocking receives
 //! spin with `yield_now`; in daemon use the queues are drained in
-//! lockstep with `pump()` and the blocking path only matters for the
-//! TCP glue threads.
+//! lockstep with `pump()` and the blocking path only matters for
+//! blocking client transports.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,8 +50,32 @@ fn frame_ok(frame: &[u8]) -> bool {
     frame.len() <= 4 + MAX_FRAME
 }
 
+/// A queued frame: owned bytes, or a shared pre-encoded frame fanned
+/// out to many sessions.
+enum FrameBuf {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl FrameBuf {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            FrameBuf::Owned(v) => v,
+            FrameBuf::Shared(a) => a,
+        }
+    }
+
+    fn into_vec(self) -> Vec<u8> {
+        match self {
+            FrameBuf::Owned(v) => v,
+            // Last consumer standing takes the buffer without a copy.
+            FrameBuf::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
 struct Inner {
-    q: VecDeque<Vec<u8>>,
+    q: VecDeque<FrameBuf>,
     closed: bool,
 }
 
@@ -45,6 +83,13 @@ struct Inner {
 pub struct FrameQueue {
     inner: Mutex<Inner>,
     cap: usize,
+    /// Set by every successful push; consumed by [`take_ready`]. A set
+    /// flag means "a push happened since the last take" — the serving
+    /// loop combines it with its own knowledge of leftover input to
+    /// decide whether the session needs work this pump.
+    ///
+    /// [`take_ready`]: FrameQueue::take_ready
+    ready: AtomicBool,
 }
 
 impl FrameQueue {
@@ -55,6 +100,7 @@ impl FrameQueue {
                 closed: false,
             }),
             cap: cap.max(1),
+            ready: AtomicBool::new(false),
         })
     }
 
@@ -67,6 +113,19 @@ impl FrameQueue {
         if !frame_ok(&frame) {
             return Err(PushError::TooBig);
         }
+        self.push_buf(FrameBuf::Owned(frame))
+    }
+
+    /// Enqueue a shared pre-encoded frame (stream fan-out: one encode,
+    /// N queues). Same backpressure semantics as [`FrameQueue::push`].
+    pub fn push_shared(&self, frame: Arc<Vec<u8>>) -> Result<(), PushError> {
+        if !frame_ok(&frame) {
+            return Err(PushError::TooBig);
+        }
+        self.push_buf(FrameBuf::Shared(frame))
+    }
+
+    fn push_buf(&self, frame: FrameBuf) -> Result<(), PushError> {
         let mut g = self.inner.lock();
         if g.closed {
             return Err(PushError::Closed);
@@ -75,6 +134,8 @@ impl FrameQueue {
             return Err(PushError::Full);
         }
         g.q.push_back(frame);
+        drop(g);
+        self.ready.store(true, Ordering::Release);
         Ok(())
     }
 
@@ -91,11 +152,30 @@ impl FrameQueue {
         while g.q.len() >= self.cap {
             g.q.pop_front();
         }
-        g.q.push_back(frame);
+        g.q.push_back(FrameBuf::Owned(frame));
+        drop(g);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Consume the readiness flag: true iff a push landed since the
+    /// last call. Lock-free — the reactor's idle-session fast path.
+    pub fn take_ready(&self) -> bool {
+        self.ready.swap(false, Ordering::Acquire)
     }
 
     pub fn try_pop(&self) -> Option<Vec<u8>> {
-        self.inner.lock().q.pop_front()
+        self.inner.lock().q.pop_front().map(FrameBuf::into_vec)
+    }
+
+    /// Drain up to `max` frames into `out` under one lock — the write
+    /// side's coalescing primitive. Returns how many were taken.
+    pub fn pop_many(&self, max: usize, out: &mut Vec<Vec<u8>>) -> usize {
+        let mut g = self.inner.lock();
+        let n = max.min(g.q.len());
+        for _ in 0..n {
+            out.push(g.q.pop_front().unwrap().into_vec());
+        }
+        n
     }
 
     /// Pop, spinning until a frame arrives, the queue closes empty, or
@@ -106,7 +186,7 @@ impl FrameQueue {
             {
                 let mut g = self.inner.lock();
                 if let Some(f) = g.q.pop_front() {
-                    return Some(f);
+                    return Some(f.into_vec());
                 }
                 if g.closed {
                     return None;
@@ -127,6 +207,11 @@ impl FrameQueue {
         self.inner.lock().q.is_empty()
     }
 
+    /// Total queued payload bytes (write-side accounting).
+    pub fn queued_bytes(&self) -> usize {
+        self.inner.lock().q.iter().map(|f| f.as_slice().len()).sum()
+    }
+
     pub fn is_closed(&self) -> bool {
         self.inner.lock().closed
     }
@@ -134,6 +219,8 @@ impl FrameQueue {
     /// Close: further pushes fail, pops drain what remains.
     pub fn close(&self) {
         self.inner.lock().closed = true;
+        // Wake readiness consumers so a closed session is noticed.
+        self.ready.store(true, Ordering::Release);
     }
 }
 
@@ -219,5 +306,56 @@ mod tests {
         let got = q.pop_blocking(Duration::from_secs(2));
         t.join().unwrap();
         assert_eq!(got, Some(vec![7]));
+    }
+
+    #[test]
+    fn shared_frames_fan_out_one_encode_to_many_queues() {
+        let frame = Arc::new(vec![1, 2, 3]);
+        let queues: Vec<_> = (0..3).map(|_| FrameQueue::new(4)).collect();
+        for q in &queues {
+            q.push_shared(frame.clone()).unwrap();
+        }
+        drop(frame);
+        for q in &queues {
+            assert_eq!(q.try_pop(), Some(vec![1, 2, 3]));
+        }
+        // Shared frames respect capacity and the size cap.
+        let q = FrameQueue::new(1);
+        q.push_shared(Arc::new(vec![0])).unwrap();
+        assert_eq!(q.push_shared(Arc::new(vec![0])), Err(PushError::Full));
+        assert_eq!(
+            q.push_shared(Arc::new(vec![0; 4 + MAX_FRAME + 1])),
+            Err(PushError::TooBig)
+        );
+    }
+
+    #[test]
+    fn readiness_flag_is_set_by_push_and_consumed_once() {
+        let q = FrameQueue::new(4);
+        assert!(!q.take_ready(), "fresh queue is idle");
+        q.push(vec![1]).unwrap();
+        assert!(q.take_ready());
+        assert!(!q.take_ready(), "flag consumed");
+        q.force_push(vec![2]);
+        assert!(q.take_ready());
+        q.push_shared(Arc::new(vec![3])).unwrap();
+        assert!(q.take_ready());
+        // Close also raises readiness so dead sessions are noticed.
+        q.close();
+        assert!(q.take_ready());
+    }
+
+    #[test]
+    fn pop_many_drains_in_order_under_one_lock() {
+        let q = FrameQueue::new(8);
+        for i in 0..5u8 {
+            q.push(vec![i]).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_many(3, &mut out), 3);
+        assert_eq!(out, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(q.pop_many(10, &mut out), 2);
+        assert_eq!(out.len(), 5);
+        assert_eq!(q.pop_many(1, &mut out), 0);
     }
 }

@@ -1,0 +1,208 @@
+//! Persistent worker pool for parallel shard serving.
+//!
+//! The old pump spawned one scoped thread per shard per pump. At
+//! thousands of pumps per second that spawn cost dominates — and on a
+//! host with fewer cores than shards it is pure overhead: the threads
+//! time-slice on the same core the pump thread already owns, so the
+//! daemon pays thread-creation latency for zero parallelism (the
+//! measured 30% reads/s regression from 1 → 8 shards).
+//!
+//! This module decouples the two axes:
+//!
+//! * **Shards** stay a determinism domain: session placement, serve
+//!   order, and the digest never depend on how many workers exist.
+//! * **Workers** are a parallelism domain: `min(shards, cores)`
+//!   persistent threads, created once at daemon start.
+//!
+//! Each pump the owner distributes the shards round-robin across
+//! worker slots, bumps a generation counter, and unparks the workers.
+//! Workers serve their assigned shards in index order and publish the
+//! generation back; the owner spin-then-yield waits for all workers,
+//! then moves the shards back into index order. No channels, no
+//! allocation on the hot path, no thread creation after startup.
+//!
+//! When the host resolves to a single worker the [`crate::server::Daemon`]
+//! skips the pool entirely and serves shards inline on the pump thread
+//! — the fast path that restores flat 1 → N shard scaling on small
+//! hosts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::server::{serve_shard, PumpCtx, Shard};
+
+/// Work handed to one worker for one pump: the shards it owns this
+/// generation (tagged with their index in the daemon's shard vector)
+/// plus the frozen pump context.
+struct Job {
+    shards: Vec<(usize, Shard)>,
+    ctx: Option<PumpCtx>,
+}
+
+/// Shared mailbox between the pool owner and one worker thread.
+struct Slot {
+    job: Mutex<Job>,
+    /// Generation the owner wants served. Written by the owner
+    /// (Release) after the job is staged; read by the worker (Acquire).
+    go: AtomicU64,
+    /// Last generation the worker finished. Written by the worker
+    /// (Release) after shards are stored back; read by the owner
+    /// (Acquire).
+    done: AtomicU64,
+    stop: AtomicBool,
+}
+
+struct Worker {
+    slot: Arc<Slot>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of persistent serving threads, sized once at daemon
+/// start. See the module docs for the ownership protocol.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+    generation: u64,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let workers = (0..n)
+            .map(|_| {
+                let slot = Arc::new(Slot {
+                    job: Mutex::new(Job {
+                        shards: Vec::new(),
+                        ctx: None,
+                    }),
+                    go: AtomicU64::new(0),
+                    done: AtomicU64::new(0),
+                    stop: AtomicBool::new(false),
+                });
+                let worker_slot = slot.clone();
+                let handle = std::thread::Builder::new()
+                    .name("metricsd-worker".into())
+                    .spawn(move || worker_loop(&worker_slot))
+                    .expect("spawn worker thread");
+                Worker {
+                    slot,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool {
+            workers,
+            generation: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Serve every shard for this pump, fanned out across the workers.
+    ///
+    /// Shards move into worker slots and back; on return `shards` is in
+    /// its original index order with all sessions served, exactly as if
+    /// each shard had been served inline in order.
+    pub(crate) fn serve(&mut self, shards: &mut Vec<Shard>, ctx: &PumpCtx) {
+        let n = self.workers.len();
+        self.generation += 1;
+        let generation = self.generation;
+
+        // Stage: round-robin shards over slots, tagged with their index
+        // so the collection phase can restore order.
+        let mut staged: Vec<Vec<(usize, Shard)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, shard) in shards.drain(..).enumerate() {
+            staged[i % n].push((i, shard));
+        }
+        for (w, batch) in self.workers.iter().zip(staged) {
+            {
+                let mut job = w.slot.job.lock().expect("worker slot poisoned");
+                job.shards = batch;
+                job.ctx = Some(ctx.clone());
+            }
+            w.slot.go.store(generation, Ordering::Release);
+            w.handle
+                .as_ref()
+                .expect("worker thread running")
+                .thread()
+                .unpark();
+        }
+
+        // Wait: short spin for the common sub-millisecond pump, then
+        // yield so a worker sharing this core can run.
+        for w in &self.workers {
+            let mut spins = 0u32;
+            while w.slot.done.load(Ordering::Acquire) != generation {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        // Collect: move shards back and restore index order.
+        let mut tagged: Vec<(usize, Shard)> = Vec::with_capacity(shards.capacity());
+        for w in &self.workers {
+            let mut job = w.slot.job.lock().expect("worker slot poisoned");
+            tagged.append(&mut job.shards);
+            job.ctx = None;
+        }
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        shards.extend(tagged.into_iter().map(|(_, s)| s));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            w.slot.stop.store(true, Ordering::Release);
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                handle.thread().unpark();
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(slot: &Slot) {
+    let mut served = 0u64;
+    loop {
+        let go = slot.go.load(Ordering::Acquire);
+        if go == served {
+            if slot.stop.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::park();
+            continue;
+        }
+        {
+            let mut job = slot.job.lock().expect("owner slot poisoned");
+            let ctx = job.ctx.clone().expect("job staged with ctx");
+            // Shards arrive pre-sorted by index within this slot, so
+            // serve order within a worker is deterministic.
+            for (_, shard) in job.shards.iter_mut() {
+                serve_shard(shard, &ctx);
+            }
+        }
+        served = go;
+        slot.done.store(served, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_spins_up_and_shuts_down_cleanly() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.len(), 3);
+        drop(pool); // must not hang
+    }
+}

@@ -369,8 +369,15 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
                     self.on_transport_death();
                     return;
                 }
-                push @ (Response::Counters { .. } | Response::Sample { .. }) => {
-                    if let Response::Counters { tick, .. } | Response::Sample { tick, .. } = &push {
+                push @ (Response::Counters { .. }
+                | Response::Sample { .. }
+                | Response::TickKeyframe { .. }
+                | Response::TickDelta { .. }) => {
+                    if let Response::Counters { tick, .. }
+                    | Response::Sample { tick, .. }
+                    | Response::TickKeyframe { tick, .. }
+                    | Response::TickDelta { tick, .. } = &push
+                    {
                         self.last_tick = self.last_tick.max(*tick);
                     }
                     self.pushes.push_back(push);

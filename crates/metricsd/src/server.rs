@@ -7,15 +7,27 @@
 //! 1. admits pending connections into their shards,
 //! 2. advances the kernel once and publishes the new [`TickSnapshot`]
 //!    to the [`SnapshotCache`] (the single cache-invalidation point),
-//! 3. serves every shard — on scoped threads when `shards > 1` — with
-//!    all reads answered from the immutable snapshot,
+//!    which also pre-encodes this pump's shared delta-stream frames,
+//! 3. serves every shard from the immutable snapshot — on the
+//!    **persistent reactor workers** (`crate::reactor`) when the host
+//!    has parallelism to exploit, inline on the pump thread otherwise.
+//!    Shard count is a *determinism* domain (request interleaving per
+//!    shard), worker count a *parallelism* one; decoupling them is what
+//!    lets 8 shards cost the same as 1 on a single-core host instead of
+//!    paying eight thread spawns per pump,
 //! 4. reaps closed and evicted sessions, **parks** sessions whose
 //!    transport died uncleanly, and TTL-reaps the parked table.
 //!
+//! Serving is readiness-based: every `FrameQueue` push raises a
+//! lock-free flag, and the serve loop skips sessions with no raised
+//! flag, no carried-over input, and no stream push due — an idle
+//! subscriber costs one atomic swap per pump, which is what makes
+//! 100k-session fan-out tractable.
+//!
 //! Backpressure is explicit: a session whose outbox is full keeps its
 //! requests queued in its inbox (nothing is dropped), and a session that
-//! stays stalled for `eviction_grace` consecutive pumps is evicted — a
-//! best-effort [`Response::Evicted`] is forced into its outbox and the
+//! stays stalled for `stall_grace_pumps` consecutive pumps is evicted —
+//! a best-effort [`Response::Evicted`] is forced into its outbox and the
 //! queue closes. The daemon never blocks on a slow consumer.
 //!
 //! Robustness (chaos hardening) layers three mechanisms on top:
@@ -48,7 +60,8 @@ use simtrace::metrics::Registry;
 use simtrace::{EventKind, TraceSink, Track};
 
 use crate::queue::{ClientPipe, FrameQueue, PushError};
-use crate::snapshot::{Collector, SnapshotCache, TickSnapshot};
+use crate::reactor::WorkerPool;
+use crate::snapshot::{Collector, SnapshotCache, StreamFrames, TickSnapshot};
 use crate::wire::{
     errcode, fnv64, metrics, HistSummary, MetricValue, Request, Response, PROTO_VERSION,
 };
@@ -71,8 +84,11 @@ pub struct DaemonConfig {
     pub outbox_cap: usize,
     /// Per-session inbox capacity (frames).
     pub inbox_cap: usize,
-    /// Consecutive stalled pumps tolerated before eviction.
-    pub eviction_grace: u32,
+    /// The stall grace: consecutive pumps a session may sit with a full
+    /// outbox (a push attempted and refused) before it is evicted as a
+    /// slow consumer. Healthy sessions that drain every pump never
+    /// accumulate stalled pumps and are never evicted.
+    pub stall_grace_pumps: u32,
     /// Virtual serving cost per request (sim-ns), the queueing term in
     /// reported latency.
     pub serve_ns: u64,
@@ -92,6 +108,12 @@ pub struct DaemonConfig {
     pub resume_ttl_pumps: u64,
     /// Back-off hint carried in [`Response::Overloaded`] replies.
     pub retry_after_pumps: u32,
+    /// Reactor worker threads serving shards each pump. `0` (the
+    /// default) sizes to `min(shards, available_parallelism)` — on a
+    /// single-core host that is 1 and shards are served inline on the
+    /// pump thread with zero cross-thread handoff. Aggregate counts and
+    /// digests are identical at any value.
+    pub workers: usize,
 }
 
 impl Default for DaemonConfig {
@@ -101,13 +123,14 @@ impl Default for DaemonConfig {
             ticks_per_pump: 20,
             outbox_cap: 64,
             inbox_cap: 64,
-            eviction_grace: 8,
+            stall_grace_pumps: 8,
             serve_ns: 500,
             max_requests_per_pump: 16,
             shard_budget_per_pump: 0,
             deadline_pumps: 0,
             resume_ttl_pumps: 256,
             retry_after_pumps: 2,
+            workers: 0,
         }
     }
 }
@@ -142,10 +165,20 @@ struct Session {
     next_sub_id: u32,
     /// Push Counters frames every N pumps (0 = off).
     stream_every: u32,
+    /// Push delta-encoded snapshot frames every N pumps (0 = off).
+    delta_every: u32,
+    /// Tick the delta subscriber's mirror is believed to hold: the
+    /// last successfully pushed frame's tick. `None` forces a keyframe
+    /// (stream start, resume, or client nack).
+    stream_base: Option<u64>,
     stalled_pumps: u32,
     /// Consecutive pumps this session ended with requests still queued
     /// (feeds the `deadline_pumps` shed).
     waiting_pumps: u32,
+    /// Serve-loop memory: the last pump ended with input still queued
+    /// (budget or backpressure), so the readiness skip must not apply
+    /// even though no new push raised the inbox flag.
+    pending_input: bool,
     /// Recent `(seq, encoded SeqReply)` pairs for idempotent reissue.
     reply_cache: VecDeque<(u32, Vec<u8>)>,
     closed: bool,
@@ -154,10 +187,11 @@ struct Session {
 
 /// Parked state of a session whose transport died uncleanly, keyed by
 /// token in the daemon's resume table until TTL.
-struct ParkedSession {
+pub(crate) struct ParkedSession {
     subs: Vec<Subscription>,
     next_sub_id: u32,
     stream_every: u32,
+    delta_every: u32,
     reply_cache: VecDeque<(u32, Vec<u8>)>,
     parked_at_pump: u64,
 }
@@ -169,7 +203,7 @@ fn session_token(id: u64) -> u64 {
     fnv64(&id.to_le_bytes())
 }
 
-struct Shard {
+pub(crate) struct Shard {
     sessions: Vec<Session>,
     reads_served: u64,
     /// Per-shard flight recorder (thread-confined during serving).
@@ -210,8 +244,11 @@ impl Connector {
             subs: Vec::new(),
             next_sub_id: 1,
             stream_every: 0,
+            delta_every: 0,
+            stream_base: None,
             stalled_pumps: 0,
             waiting_pumps: 0,
+            pending_input: false,
             reply_cache: VecDeque::new(),
             closed: false,
             evicted: false,
@@ -232,16 +269,19 @@ pub struct DaemonStats {
     pub pumps: u64,
 }
 
-/// Everything `serve_shard` needs beyond the shard itself, bundled so
-/// the scoped serving threads share one immutable view.
-struct ServeCtx<'a> {
-    snap: &'a Arc<TickSnapshot>,
-    cache: &'a SnapshotCache,
-    cfg: &'a DaemonConfig,
+/// Everything `serve_shard` needs beyond the shard itself. Owned (all
+/// `Arc`/`Copy`) so the persistent reactor workers — which outlive any
+/// single pump — can hold it without borrowing from the pump frame.
+#[derive(Clone)]
+pub(crate) struct PumpCtx {
+    snap: Arc<TickSnapshot>,
+    stream: Arc<StreamFrames>,
+    cache: Arc<SnapshotCache>,
+    cfg: DaemonConfig,
     stats_view: DaemonStats,
     tick_ns: u64,
-    self_metrics: &'a [u8],
-    parked: &'a Mutex<HashMap<u64, ParkedSession>>,
+    self_metrics: Arc<Vec<u8>>,
+    parked: Arc<Mutex<HashMap<u64, ParkedSession>>>,
     pump: u64,
 }
 
@@ -250,6 +290,9 @@ pub struct Daemon {
     collector: Collector,
     cache: Arc<SnapshotCache>,
     shards: Vec<Shard>,
+    /// Persistent reactor workers (`None` = serve inline: one worker
+    /// would just be the pump thread with extra handoff).
+    pool: Option<WorkerPool>,
     connector: Connector,
     /// Dead-transport sessions awaiting `Resume`, keyed by token.
     parked: Arc<Mutex<HashMap<u64, ParkedSession>>>,
@@ -294,7 +337,7 @@ impl Daemon {
         let collector = Collector::new(kernel);
         let first = collector_boot_snapshot(&collector);
         let cache = Arc::new(SnapshotCache::new(first, hw_frame, presets_frame));
-        let shards = (0..cfg.shards.max(1))
+        let shards: Vec<Shard> = (0..cfg.shards.max(1))
             .map(|_| Shard {
                 sessions: Vec::new(),
                 reads_served: 0,
@@ -302,6 +345,17 @@ impl Daemon {
                 reg: Registry::new(),
             })
             .collect();
+        // Workers are a parallelism decision, shards a determinism one:
+        // never spawn more workers than the host can actually run.
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+        .min(shards.len());
+        let pool = (workers >= 2).then(|| WorkerPool::new(workers));
         Daemon {
             connector: Connector {
                 pending: Arc::new(Mutex::new(Vec::new())),
@@ -313,6 +367,7 @@ impl Daemon {
             collector,
             cache,
             shards,
+            pool,
             parked: Arc::new(Mutex::new(HashMap::new())),
             evictions: 0,
             pumps: 0,
@@ -345,6 +400,13 @@ impl Daemon {
     /// Sessions currently parked awaiting resume.
     pub fn parked_count(&self) -> usize {
         self.parked.lock().len()
+    }
+
+    /// Parallel serving workers (1 = shards served inline on the pump
+    /// thread — the fast path when the host has a single core or a
+    /// single shard).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.len())
     }
 
     /// One lockstep serving round. Returns the snapshot it served from.
@@ -391,28 +453,31 @@ impl Daemon {
         self.reg.set("reads_served", stats_view.reads_served);
         self.reg
             .set("parked_sessions", self.parked.lock().len() as u64);
-        let self_metrics = self_metrics_frame(&self.reg);
+        let self_metrics = Arc::new(self_metrics_frame(&self.reg));
         self.trace
             .record(snap.time_ns, EventKind::DaemonPump, 0, self.pumps, 0);
-        let ctx = ServeCtx {
-            snap: &snap,
-            cache: &self.cache,
-            cfg: &self.cfg,
+        let ctx = PumpCtx {
+            snap: snap.clone(),
+            stream: self.cache.stream_frames(),
+            cache: self.cache.clone(),
+            cfg: self.cfg.clone(),
             stats_view,
             tick_ns: self.tick_ns,
-            self_metrics: &self_metrics,
-            parked: &self.parked,
+            self_metrics,
+            parked: self.parked.clone(),
             pump: self.pumps,
         };
-        if n_shards == 1 {
-            serve_shard(&mut self.shards[0], &ctx);
-        } else {
-            std::thread::scope(|scope| {
+        match &mut self.pool {
+            // Persistent workers: distribute shards, one generation
+            // barrier, no per-pump thread spawns.
+            Some(pool) => pool.serve(&mut self.shards, &ctx),
+            // No host parallelism to exploit: serve every shard inline
+            // on the pump thread, in shard order.
+            None => {
                 for shard in &mut self.shards {
-                    let ctx = &ctx;
-                    scope.spawn(move || serve_shard(shard, ctx));
+                    serve_shard(shard, &ctx);
                 }
-            });
+            }
         }
 
         // 4. Reap: drop closed/evicted sessions, park dead transports.
@@ -439,6 +504,7 @@ impl Daemon {
                             subs: s.subs,
                             next_sub_id: s.next_sub_id,
                             stream_every: s.stream_every,
+                            delta_every: s.delta_every,
                             reply_cache: s.reply_cache,
                             parked_at_pump: self.pumps,
                         },
@@ -532,19 +598,22 @@ fn collector_boot_snapshot(c: &Collector) -> Arc<TickSnapshot> {
     })
 }
 
-fn serve_shard(shard: &mut Shard, ctx: &ServeCtx<'_>) {
+pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
     let Shard {
         sessions,
         reads_served,
         trace,
         reg,
     } = shard;
-    let cfg = ctx.cfg;
-    let snap = ctx.snap;
+    let cfg = &ctx.cfg;
+    let snap = &ctx.snap;
     // Virtual serving clock for this shard this pump: request k in the
     // shard completes at snapshot-time + (k+1)·serve_ns. More shards →
     // shorter per-shard queues → lower reported tail latency.
     let mut served_in_shard: u64 = 0;
+    let mut pushes: u64 = 0;
+    let mut examined: u64 = 0;
+    let mut skipped: u64 = 0;
     // Bounded-work admission: once the shard's pump budget is spent,
     // remaining queued requests are shed (session-iteration order makes
     // the shed set deterministic for a fixed schedule).
@@ -557,10 +626,62 @@ fn serve_shard(shard: &mut Shard, ctx: &ServeCtx<'_>) {
         if session.closed || session.evicted {
             continue;
         }
+        // Readiness fast path: nothing pushed since last pump, nothing
+        // carried over, no stream due → the session is idle. One atomic
+        // swap, no mutex. Equivalent to a full pass in which nothing
+        // happens, so the stall/deadline counters reset exactly as that
+        // pass would have reset them.
+        let input_hint = session.inbox.take_ready() || session.pending_input;
+        let stream_due =
+            session.stream_every > 0 && snap.tick.is_multiple_of(session.stream_every as u64);
+        let delta_due =
+            session.delta_every > 0 && snap.tick.is_multiple_of(session.delta_every as u64);
+        if !input_hint && !stream_due && !delta_due {
+            session.stalled_pumps = 0;
+            session.waiting_pumps = 0;
+            skipped += 1;
+            continue;
+        }
+        examined += 1;
         let mut stalled = false;
 
-        // Stream pushes first (they contend for outbox space like replies).
-        if session.stream_every > 0 && snap.tick.is_multiple_of(session.stream_every as u64) {
+        // Delta-stream push: the shared pre-encoded frame for this pump
+        // (one encode, N subscribers). The delta applies only to a
+        // mirror holding exactly the previous publish; any gap — first
+        // push, a push missed under backpressure, a resume, a client
+        // nack — falls back to the keyframe.
+        if delta_due {
+            let sf = &ctx.stream;
+            let frame = match (session.stream_base, &sf.delta) {
+                (Some(base), Some(delta)) if base == sf.base_tick => delta.clone(),
+                _ => sf.keyframe.clone(),
+            };
+            let is_delta = !Arc::ptr_eq(&frame, &sf.keyframe);
+            match session.outbox.push_shared(frame) {
+                Ok(()) => {
+                    session.stream_base = Some(sf.tick);
+                    served_in_shard += 1;
+                    pushes += 1;
+                    reg.inc(
+                        if is_delta {
+                            "stream_delta_pushes"
+                        } else {
+                            "stream_keyframe_pushes"
+                        },
+                        1,
+                    );
+                }
+                Err(PushError::Full) => {
+                    // Gap: stream_base stays behind, so the next
+                    // successful push self-selects the keyframe.
+                    stalled = true;
+                }
+                Err(PushError::Closed) | Err(PushError::TooBig) => session.closed = true,
+            }
+        }
+
+        // Stream pushes next (they contend for outbox space like replies).
+        if !session.closed && stream_due {
             for si in 0..session.subs.len() {
                 let (resp, _, _) =
                     counters_response(&session.subs[si], snap, 0, cfg, served_in_shard);
@@ -654,7 +775,7 @@ fn serve_shard(shard: &mut Shard, ctx: &ServeCtx<'_>) {
 
         if stalled {
             session.stalled_pumps += 1;
-            if session.stalled_pumps > cfg.eviction_grace {
+            if session.stalled_pumps > cfg.stall_grace_pumps {
                 session.evicted = true;
                 trace.record(
                     snap.time_ns,
@@ -678,6 +799,27 @@ fn serve_shard(shard: &mut Shard, ctx: &ServeCtx<'_>) {
         } else {
             session.stalled_pumps = 0;
         }
+
+        // Carry-over hint: input left queued (budget exhaustion, stall)
+        // must re-arm the session for the next pump even if the client
+        // pushes nothing new in between.
+        session.pending_input = !session.inbox.is_empty();
+    }
+    if examined + skipped > 0 {
+        trace.record(
+            snap.time_ns,
+            EventKind::ReactorWakeup,
+            ctx.pump as u32,
+            examined,
+            skipped,
+        );
+        trace.record(
+            snap.time_ns,
+            EventKind::ReactorFlush,
+            ctx.pump as u32,
+            served_in_shard,
+            pushes,
+        );
     }
 }
 
@@ -686,7 +828,7 @@ fn serve_shard(shard: &mut Shard, ctx: &ServeCtx<'_>) {
 fn handle_frame(
     session: &mut Session,
     frame: &[u8],
-    ctx: &ServeCtx<'_>,
+    ctx: &PumpCtx,
     served_in_shard: u64,
     trace: &mut TraceSink,
     reg: &mut Registry,
@@ -757,13 +899,13 @@ fn handle_frame(
 fn dispatch(
     session: &mut Session,
     req: Request,
-    ctx: &ServeCtx<'_>,
+    ctx: &PumpCtx,
     served_in_shard: u64,
     trace: &mut TraceSink,
     reg: &mut Registry,
 ) -> Vec<u8> {
-    let snap = ctx.snap;
-    let cfg = ctx.cfg;
+    let snap = &*ctx.snap;
+    let cfg = &ctx.cfg;
     if !session.helloed && !matches!(req, Request::Hello { .. } | Request::Resume { .. }) {
         return Response::Err {
             code: errcode::NOT_HELLOED,
@@ -812,6 +954,10 @@ fn dispatch(
                     }
                     session.next_sub_id = p.next_sub_id;
                     session.stream_every = p.stream_every;
+                    session.delta_every = p.delta_every;
+                    // The mirror on the other side is stale by however
+                    // long the session was parked: force a keyframe.
+                    session.stream_base = None;
                     // Restore the dedup cache so a pre-death seq
                     // reissued after Resume dedups instead of
                     // double-applying (e.g. a Subscribe whose reply the
@@ -940,6 +1086,33 @@ fn dispatch(
         .encode(),
         Request::Stream { every_pumps } => {
             session.stream_every = every_pumps;
+            Response::Subscribed {
+                sub_id: 0,
+                base_tick: snap.tick,
+            }
+            .encode()
+        }
+        Request::StreamDeltas { every_pumps } => {
+            session.delta_every = every_pumps;
+            // No base yet (or the client explicitly restarted the
+            // stream): the first push is always a keyframe.
+            session.stream_base = None;
+            Response::Subscribed {
+                sub_id: 0,
+                base_tick: snap.tick,
+            }
+            .encode()
+        }
+        Request::AckTick { tick } => {
+            // Client-side cursor update. `tick == 0` (or any tick the
+            // daemon has moved past without a matching publish) is a
+            // nack: the next push falls back to a keyframe because the
+            // recorded base won't match the current frame's base_tick.
+            session.stream_base = if tick == 0 {
+                None
+            } else {
+                Some(tick.min(snap.tick))
+            };
             Response::Subscribed {
                 sub_id: 0,
                 base_tick: snap.tick,

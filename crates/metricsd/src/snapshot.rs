@@ -289,11 +289,88 @@ impl Collector {
     }
 }
 
+/// The delta stream's pre-encoded frames for one published snapshot:
+/// encoded **once** per pump and fanned out to every subscriber via
+/// `FrameQueue::push_shared` — N subscribers share one encode.
+pub struct StreamFrames {
+    /// Tick the frames describe (the published snapshot's tick).
+    pub tick: u64,
+    /// Tick of the previously published snapshot — the only base a
+    /// subscriber can apply [`StreamFrames::delta`] from.
+    pub base_tick: u64,
+    /// Full-state `Response::TickKeyframe` frame bytes.
+    pub keyframe: Arc<Vec<u8>>,
+    /// `Response::TickDelta` frame bytes vs the previous publish, or
+    /// `None` when there is no usable base (boot).
+    pub delta: Option<Arc<Vec<u8>>>,
+}
+
+fn snap_cpu_pairs(snap: &TickSnapshot) -> Vec<(u64, u64)> {
+    snap.cpus
+        .iter()
+        .map(|c| (c.instructions, c.cycles))
+        .collect()
+}
+
+fn build_stream_frames(prev: &TickSnapshot, snap: &TickSnapshot) -> StreamFrames {
+    let pairs = snap_cpu_pairs(snap);
+    let crc = crate::wire::stream_crc(snap.tick, snap.energy_pkg_uj, &pairs);
+    let keyframe = crate::wire::Response::TickKeyframe {
+        tick: snap.tick,
+        time_ns: snap.time_ns,
+        temp_mc: snap.temp_mc,
+        energy_uj: snap.energy_pkg_uj,
+        crc,
+        cpus: snap
+            .cpus
+            .iter()
+            .map(|c| crate::wire::CpuKeyframe {
+                online: c.online,
+                instructions: c.instructions,
+                cycles: c.cycles,
+            })
+            .collect(),
+    }
+    .encode();
+    let delta = (prev.tick < snap.tick && prev.cpus.len() == snap.cpus.len()).then(|| {
+        Arc::new(
+            crate::wire::Response::TickDelta {
+                base_tick: prev.tick,
+                tick: snap.tick,
+                d_time_ns: snap.time_ns.saturating_sub(prev.time_ns),
+                temp_mc: snap.temp_mc,
+                d_energy_uj: snap.energy_pkg_uj.wrapping_sub(prev.energy_pkg_uj) as i64,
+                crc,
+                cpu_deltas: snap
+                    .cpus
+                    .iter()
+                    .zip(&prev.cpus)
+                    .map(|(c, p)| {
+                        (
+                            c.instructions.wrapping_sub(p.instructions) as i64,
+                            c.cycles.wrapping_sub(p.cycles) as i64,
+                        )
+                    })
+                    .collect(),
+            }
+            .encode(),
+        )
+    });
+    StreamFrames {
+        tick: snap.tick,
+        base_tick: prev.tick,
+        keyframe: Arc::new(keyframe),
+        delta,
+    }
+}
+
 /// Lock-free-ish cache of the latest snapshot plus pre-encoded static
-/// responses (hardware info, preset list). Hot queries are answered
-/// from here without ever taking the kernel lock.
+/// responses (hardware info, preset list) and the delta stream's
+/// shared frames. Hot queries are answered from here without ever
+/// taking the kernel lock.
 pub struct SnapshotCache {
     latest: RwLock<Arc<TickSnapshot>>,
+    stream: RwLock<Arc<StreamFrames>>,
     /// Pre-encoded `Response::HardwareInfo` frame bytes.
     pub hardware_info_frame: Vec<u8>,
     /// Pre-encoded `Response::Presets` frame bytes.
@@ -306,20 +383,33 @@ impl SnapshotCache {
         hardware_info_frame: Vec<u8>,
         presets_frame: Vec<u8>,
     ) -> SnapshotCache {
+        let stream = build_stream_frames(&first, &first);
         SnapshotCache {
             latest: RwLock::new(first),
+            stream: RwLock::new(Arc::new(stream)),
             hardware_info_frame,
             presets_frame,
         }
     }
 
     /// Publish a new snapshot — the pump's single point of invalidation.
+    /// Also encodes this pump's keyframe + delta frames exactly once.
     pub fn publish(&self, snap: Arc<TickSnapshot>) {
+        let frames = {
+            let prev = self.latest.read();
+            build_stream_frames(&prev, &snap)
+        };
         *self.latest.write() = snap;
+        *self.stream.write() = Arc::new(frames);
     }
 
     pub fn latest(&self) -> Arc<TickSnapshot> {
         self.latest.read().clone()
+    }
+
+    /// The delta stream's shared frames for the latest publish.
+    pub fn stream_frames(&self) -> Arc<StreamFrames> {
+        self.stream.read().clone()
     }
 }
 

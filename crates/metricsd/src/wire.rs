@@ -45,6 +45,27 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Checksum over the counter state a delta stream describes: the client
+/// mirror recomputes this after applying every [`Response::TickDelta`]
+/// or [`Response::TickKeyframe`], so a desynchronised mirror (lost or
+/// corrupted delta) is detected immediately instead of drifting.
+pub fn stream_crc(tick: u64, energy_uj: u64, cpus: &[(u64, u64)]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    mix(tick);
+    mix(energy_uj);
+    for &(ins, cyc) in cpus {
+        mix(ins);
+        mix(cyc);
+    }
+    h
+}
+
 /// Client → daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -86,6 +107,18 @@ pub enum Request {
     /// corruption surfaces as `BAD_CHECKSUM`, never as a different
     /// valid request.
     WithSeq { seq: u32, crc: u64, inner: Vec<u8> },
+    /// Subscribe to the delta-encoded snapshot stream: every
+    /// `every_pumps` pumps (0 cancels) the daemon pushes a
+    /// [`Response::TickDelta`] against the session's last-pushed base
+    /// tick, falling back to a [`Response::TickKeyframe`] on any gap
+    /// (first push, missed push under backpressure, session resume, or
+    /// a client nack via [`Request::AckTick`]).
+    StreamDeltas { every_pumps: u32 },
+    /// Delta-stream cursor ack/nack: tells the daemon which tick the
+    /// client mirror actually holds. A desynchronised mirror sends its
+    /// own (older) tick, which can no longer match the next delta's
+    /// base — forcing a keyframe.
+    AckTick { tick: u64 },
 }
 
 impl Request {
@@ -105,6 +138,14 @@ impl Request {
 pub struct MetricValue {
     pub metric: u8,
     pub value: u64,
+}
+
+/// One CPU's absolute counter state in a [`Response::TickKeyframe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuKeyframe {
+    pub online: bool,
+    pub instructions: u64,
+    pub cycles: u64,
 }
 
 /// One histogram's summary in a [`Response::SelfMetrics`] reply.
@@ -204,6 +245,33 @@ pub enum Response {
         crc: u64,
         inner: Vec<u8>,
     },
+    /// Delta-stream keyframe: the full per-CPU counter state at `tick`.
+    /// Pushed when the daemon cannot prove the client holds the
+    /// previous tick (stream start, backpressure gap, resume, nack).
+    /// `crc` is [`stream_crc`] over the carried state.
+    TickKeyframe {
+        tick: u64,
+        time_ns: u64,
+        temp_mc: i64,
+        energy_uj: u64,
+        crc: u64,
+        cpus: Vec<CpuKeyframe>,
+    },
+    /// Delta-stream increment from `base_tick` (the previously
+    /// published tick) to `tick`. Counter deltas are zigzag varints of
+    /// the wrapping difference, so frozen (offline) CPUs cost one byte
+    /// each and counter wraps stay exact. `crc` is [`stream_crc`] over
+    /// the *post-apply* state — the client mirror verifies it after
+    /// applying and nacks on mismatch.
+    TickDelta {
+        base_tick: u64,
+        tick: u64,
+        d_time_ns: u64,
+        temp_mc: i64,
+        d_energy_uj: i64,
+        crc: u64,
+        cpu_deltas: Vec<(i64, i64)>,
+    },
 }
 
 impl Response {
@@ -275,6 +343,27 @@ impl Enc {
             .extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
     }
 
+    /// LEB128: small counter deltas cost one byte instead of eight.
+    fn vu64(&mut self, mut v: u64) {
+        loop {
+            let mut b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v != 0 {
+                b |= 0x80;
+            }
+            self.buf.push(b);
+            if v == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Zigzag + LEB128 for signed deltas (frozen counters encode as one
+    /// zero byte; wrapping differences stay exact).
+    fn vi64(&mut self, v: i64) {
+        self.vu64(((v << 1) ^ (v >> 63)) as u64);
+    }
+
     fn finish(mut self) -> Vec<u8> {
         let payload = (self.buf.len() - 4) as u32;
         self.buf[..4].copy_from_slice(&payload.to_le_bytes());
@@ -332,6 +421,30 @@ impl<'a> Dec<'a> {
     fn str(&mut self) -> Result<String, WireError> {
         let n = self.u16()? as usize;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| WireError("bad utf-8"))
+    }
+
+    fn vu64(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(WireError("varint overflows u64"));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError("varint too long"));
+            }
+        }
+    }
+
+    fn vi64(&mut self) -> Result<i64, WireError> {
+        let z = self.vu64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
     /// Everything left in the payload (for envelope inner frames).
@@ -402,6 +515,16 @@ impl Request {
                 e.buf.extend_from_slice(inner);
                 e.finish()
             }
+            Request::StreamDeltas { every_pumps } => {
+                let mut e = Enc::new(0x0e);
+                e.u32(*every_pumps);
+                e.finish()
+            }
+            Request::AckTick { tick } => {
+                let mut e = Enc::new(0x0f);
+                e.u64(*tick);
+                e.finish()
+            }
         }
     }
 
@@ -441,6 +564,10 @@ impl Request {
                     inner: d.rest().to_vec(),
                 }
             }
+            0x0e => Request::StreamDeltas {
+                every_pumps: d.u32()?,
+            },
+            0x0f => Request::AckTick { tick: d.u64()? },
             _ => return Err(WireError("unknown request tag")),
         };
         d.done()?;
@@ -594,6 +721,51 @@ impl Response {
                 e.buf.extend_from_slice(inner);
                 e.finish()
             }
+            Response::TickKeyframe {
+                tick,
+                time_ns,
+                temp_mc,
+                energy_uj,
+                crc,
+                cpus,
+            } => {
+                let mut e = Enc::new(0x8f);
+                e.vu64(*tick);
+                e.vu64(*time_ns);
+                e.i64(*temp_mc);
+                e.vu64(*energy_uj);
+                e.u64(*crc);
+                e.u16(cpus.len() as u16);
+                for c in cpus {
+                    e.u8(u8::from(c.online));
+                    e.vu64(c.instructions);
+                    e.vu64(c.cycles);
+                }
+                e.finish()
+            }
+            Response::TickDelta {
+                base_tick,
+                tick,
+                d_time_ns,
+                temp_mc,
+                d_energy_uj,
+                crc,
+                cpu_deltas,
+            } => {
+                let mut e = Enc::new(0x90);
+                e.vu64(*base_tick);
+                e.vu64(*tick);
+                e.vu64(*d_time_ns);
+                e.i64(*temp_mc);
+                e.vi64(*d_energy_uj);
+                e.u64(*crc);
+                e.u16(cpu_deltas.len() as u16);
+                for (di, dc) in cpu_deltas {
+                    e.vi64(*di);
+                    e.vi64(*dc);
+                }
+                e.finish()
+            }
         }
     }
 
@@ -708,10 +880,118 @@ impl Response {
                     inner: d.rest().to_vec(),
                 }
             }
+            0x8f => {
+                let tick = d.vu64()?;
+                let time_ns = d.vu64()?;
+                let temp_mc = d.i64()?;
+                let energy_uj = d.vu64()?;
+                let crc = d.u64()?;
+                let n = d.u16()? as usize;
+                let mut cpus = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    cpus.push(CpuKeyframe {
+                        online: d.u8()? != 0,
+                        instructions: d.vu64()?,
+                        cycles: d.vu64()?,
+                    });
+                }
+                Response::TickKeyframe {
+                    tick,
+                    time_ns,
+                    temp_mc,
+                    energy_uj,
+                    crc,
+                    cpus,
+                }
+            }
+            0x90 => {
+                let base_tick = d.vu64()?;
+                let tick = d.vu64()?;
+                let d_time_ns = d.vu64()?;
+                let temp_mc = d.i64()?;
+                let d_energy_uj = d.vi64()?;
+                let crc = d.u64()?;
+                let n = d.u16()? as usize;
+                let mut cpu_deltas = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    cpu_deltas.push((d.vi64()?, d.vi64()?));
+                }
+                Response::TickDelta {
+                    base_tick,
+                    tick,
+                    d_time_ns,
+                    temp_mc,
+                    d_energy_uj,
+                    crc,
+                    cpu_deltas,
+                }
+            }
             _ => return Err(WireError("unknown response tag")),
         };
         d.done()?;
         Ok(resp)
+    }
+}
+
+/// Incremental frame decoder for byte-stream transports: feed reads as
+/// they arrive, pop complete frames as they become available. One
+/// rolling buffer absorbs partial frames across read boundaries, so a
+/// single readiness event can drain many pipelined requests without
+/// per-read staging buffers.
+///
+/// A length prefix above [`MAX_FRAME`] is a framing error the stream
+/// cannot recover from (the frame boundary is lost): `next_frame`
+/// returns the typed error on every subsequent call and the caller
+/// must drop the connection.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Absorb freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, keeping the buffer
+        // bounded by one partial frame plus one read.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame (`[len][tag][payload]`, length
+    /// prefix included), `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError("frame exceeds MAX_FRAME"));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[self.start..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
     }
 }
 
@@ -773,6 +1053,8 @@ mod tests {
                     submit_ns: 123,
                 },
             ),
+            Request::StreamDeltas { every_pumps: 1 },
+            Request::AckTick { tick: 420 },
         ];
         for r in reqs {
             let f = r.encode();
@@ -864,6 +1146,34 @@ mod tests {
                 retry_after_pumps: 3,
             },
             Response::seq_reply(9, &Response::Closed),
+            Response::TickKeyframe {
+                tick: 40,
+                time_ns: 2_000_000,
+                temp_mc: 41_500,
+                energy_uj: 9_999,
+                crc: 0xfeed_f00d,
+                cpus: vec![
+                    CpuKeyframe {
+                        online: true,
+                        instructions: u64::MAX,
+                        cycles: 7,
+                    },
+                    CpuKeyframe {
+                        online: false,
+                        instructions: 0,
+                        cycles: 0,
+                    },
+                ],
+            },
+            Response::TickDelta {
+                base_tick: 40,
+                tick: 60,
+                d_time_ns: 1_000_000,
+                temp_mc: 42_000,
+                d_energy_uj: -3,
+                crc: 0xdead_cafe,
+                cpu_deltas: vec![(1_000_000, 2_500_000), (0, 0), (-1, i64::MIN)],
+            },
         ];
         for r in resps {
             let f = r.encode();
@@ -957,6 +1267,81 @@ mod tests {
             Response::SeqReply { crc, inner, .. } => assert_ne!(crc, fnv64(&inner)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn varints_round_trip_edge_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut e = Enc::new(0x01);
+            e.vu64(v);
+            let f = e.finish();
+            let mut d = Dec { b: &f[5..], i: 0 };
+            assert_eq!(d.vu64().unwrap(), v);
+            d.done().unwrap();
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut e = Enc::new(0x01);
+            e.vi64(v);
+            let f = e.finish();
+            let mut d = Dec { b: &f[5..], i: 0 };
+            assert_eq!(d.vi64().unwrap(), v);
+            d.done().unwrap();
+        }
+        // A ten-byte continuation chain overflows u64: typed error.
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut d = Dec { b: &over, i: 0 };
+        assert!(d.vu64().is_err());
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_split_and_pipelined_frames() {
+        let frames = [
+            Request::Hello { proto: 1 }.encode(),
+            Request::Read {
+                sub_id: 3,
+                submit_ns: 999,
+            }
+            .encode(),
+            Request::Close.encode(),
+        ];
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        // One byte at a time: every boundary is a partial frame.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.feed(&[*b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames.to_vec());
+        assert_eq!(dec.buffered(), 0);
+        // All at once: one feed drains all three.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames.to_vec());
+    }
+
+    #[test]
+    fn frame_decoder_oversized_prefix_is_a_sticky_typed_error() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(dec.next_frame().is_err());
+        dec.feed(&[0; 64]);
+        assert!(dec.next_frame().is_err(), "desync cannot self-heal");
+    }
+
+    #[test]
+    fn stream_crc_tracks_state_changes() {
+        let base = stream_crc(10, 500, &[(100, 200), (7, 9)]);
+        assert_eq!(base, stream_crc(10, 500, &[(100, 200), (7, 9)]));
+        assert_ne!(base, stream_crc(11, 500, &[(100, 200), (7, 9)]));
+        assert_ne!(base, stream_crc(10, 501, &[(100, 200), (7, 9)]));
+        assert_ne!(base, stream_crc(10, 500, &[(101, 200), (7, 9)]));
     }
 
     #[test]

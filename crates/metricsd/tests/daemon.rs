@@ -190,7 +190,7 @@ fn slow_consumer_is_evicted_daemon_keeps_serving() {
     let mut daemon = Daemon::new(
         boot(None),
         DaemonConfig {
-            eviction_grace: 4,
+            stall_grace_pumps: 4,
             ..DaemonConfig::default()
         },
     );
@@ -808,4 +808,163 @@ fn parked_sessions_expire_after_ttl() {
         }
         other => panic!("{other:?}"),
     }
+}
+
+#[test]
+fn delta_stream_pushes_keyframe_then_deltas_and_mirror_tracks() {
+    use metricsd::{MirrorOutcome, StreamMirror};
+
+    let mut daemon = Daemon::new(boot(None), DaemonConfig::default());
+    let connector = daemon.connector();
+    let mut t = connector.connect();
+
+    t.send(
+        Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    daemon.pump();
+    let frame = t.recv(Duration::from_secs(1)).expect("welcome");
+    assert!(matches!(
+        Response::decode(&frame).unwrap(),
+        Response::Welcome { .. }
+    ));
+
+    t.send(Request::StreamDeltas { every_pumps: 1 }.encode())
+        .unwrap();
+    daemon.pump();
+    let frame = t.recv(Duration::from_secs(1)).expect("stream ack");
+    assert!(matches!(
+        Response::decode(&frame).unwrap(),
+        Response::Subscribed { .. }
+    ));
+
+    // Every subsequent pump pushes exactly one stream frame: a keyframe
+    // first (no base yet), bit-exact deltas afterwards.
+    let mut mirror = StreamMirror::new();
+    let mut last_snap = None;
+    for _ in 0..6 {
+        last_snap = Some(daemon.pump());
+        while let Some(frame) = t.try_recv() {
+            let resp = Response::decode(&frame).unwrap();
+            match mirror.apply(&resp) {
+                MirrorOutcome::Applied => {}
+                MirrorOutcome::NeedKeyframe => panic!("healthy stream desynced: {resp:?}"),
+                MirrorOutcome::NotStream => panic!("unexpected non-stream push: {resp:?}"),
+            }
+        }
+    }
+    let snap = last_snap.unwrap();
+    assert!(mirror.synced, "mirror synced after healthy stream");
+    assert_eq!(mirror.keyframes, 1, "exactly one keyframe to bootstrap");
+    assert_eq!(mirror.deltas, 5, "every later pump arrived as a delta");
+    assert_eq!(mirror.desyncs, 0);
+    assert_eq!(mirror.tick, snap.tick, "mirror caught up to the daemon");
+    assert_eq!(mirror.time_ns, snap.time_ns);
+    assert_eq!(mirror.energy_uj, snap.energy_pkg_uj);
+    let want: Vec<(u64, u64)> = snap
+        .cpus
+        .iter()
+        .map(|c| (c.instructions, c.cycles))
+        .collect();
+    assert_eq!(mirror.cpus, want, "per-CPU counters reconstructed exactly");
+
+    // A client nack (AckTick 0) forces the next push back to a keyframe.
+    t.send(Request::AckTick { tick: 0 }.encode()).unwrap();
+    daemon.pump();
+    daemon.pump();
+    let mut saw_keyframe = false;
+    while let Some(frame) = t.try_recv() {
+        let resp = Response::decode(&frame).unwrap();
+        if matches!(resp, Response::TickKeyframe { .. }) {
+            saw_keyframe = true;
+        }
+        match mirror.apply(&resp) {
+            MirrorOutcome::Applied | MirrorOutcome::NotStream => {}
+            MirrorOutcome::NeedKeyframe => panic!("nack recovery desynced: {resp:?}"),
+        }
+    }
+    assert!(saw_keyframe, "nack forced a fresh keyframe");
+    assert!(mirror.synced);
+    assert_eq!(mirror.desyncs, 0);
+}
+
+#[test]
+fn forced_worker_pool_matches_inline_serving_bit_for_bit() {
+    // The worker pool is a parallelism domain only: forcing it on (even
+    // on a single-core host) must not change a single served value
+    // relative to inline serving, for any shard count.
+    let run = |shards: usize, workers: usize| -> Vec<Vec<(u8, u64)>> {
+        let kernel = boot(None);
+        let mut daemon = Daemon::new(
+            kernel,
+            DaemonConfig {
+                shards,
+                workers,
+                ..DaemonConfig::default()
+            },
+        );
+        if workers > 0 {
+            assert_eq!(daemon.workers(), workers.min(shards), "pool forced on");
+        }
+        let connector = daemon.connector();
+        let mut clients: Vec<_> = (0..24)
+            .map(|_| MetricsClient::new(connector.connect()))
+            .collect();
+        for c in clients.iter_mut() {
+            c.post(&Request::Hello {
+                proto: metricsd::PROTO_VERSION,
+            })
+            .unwrap();
+        }
+        daemon.pump();
+        for c in clients.iter_mut() {
+            c.take().unwrap();
+        }
+        let mut subs = vec![0u32; clients.len()];
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.post(&Request::Subscribe {
+                cpu_mask: 1 << (i % 24),
+                metrics: 1 + (i % 7) as u8,
+            })
+            .unwrap();
+        }
+        daemon.pump();
+        for (i, c) in clients.iter_mut().enumerate() {
+            subs[i] = match c.take().unwrap() {
+                Response::Subscribed { sub_id, .. } => sub_id,
+                other => panic!("{other:?}"),
+            };
+        }
+        for _ in 0..6 {
+            daemon.pump();
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.post(&Request::Read {
+                sub_id: subs[i],
+                submit_ns: 0,
+            })
+            .unwrap();
+        }
+        daemon.pump();
+        clients
+            .iter_mut()
+            .map(|c| match c.take().unwrap() {
+                Response::Counters { values, .. } => {
+                    values.into_iter().map(|v| (v.metric, v.value)).collect()
+                }
+                other => panic!("{other:?}"),
+            })
+            .collect()
+    };
+    let inline = run(4, 0);
+    let pooled = run(4, 2);
+    let pooled_wide = run(8, 3);
+    assert_eq!(inline, pooled, "worker pool is invisible in served data");
+    assert_eq!(
+        inline, pooled_wide,
+        "shard/worker mix is invisible in served data"
+    );
 }

@@ -6,13 +6,14 @@
 //! recoverable values.
 
 use metricsd::wire::{
-    fnv64, HistSummary, MetricValue, Request, Response, MAX_FRAME, PROTO_VERSION,
+    fnv64, CpuKeyframe, FrameDecoder, HistSummary, MetricValue, Request, Response, MAX_FRAME,
+    PROTO_VERSION,
 };
 use proptest::prelude::*;
 
 /// Build one of every request variant from a generated value pool.
 fn request_from(sel: u8, a: u64, b: u64, c: u32, d: u8, e: u16) -> Request {
-    match sel % 13 {
+    match sel % 15 {
         0 => Request::Hello { proto: e },
         1 => Request::GetHardwareInfo,
         2 => Request::ListPresets,
@@ -34,6 +35,8 @@ fn request_from(sel: u8, a: u64, b: u64, c: u32, d: u8, e: u16) -> Request {
             session_token: a,
             last_tick: b,
         },
+        12 => Request::StreamDeltas { every_pumps: c },
+        13 => Request::AckTick { tick: a },
         _ => Request::with_seq(
             c,
             &Request::Read {
@@ -56,7 +59,7 @@ fn response_from(
     s: String,
     vals: Vec<MetricValue>,
 ) -> Response {
-    match sel % 13 {
+    match sel % 15 {
         0 => Response::Welcome {
             session_id: a,
             proto: PROTO_VERSION,
@@ -115,6 +118,34 @@ fn response_from(
             cur_tick: a ^ b,
             gap_pumps: b,
         },
+        12 => Response::TickKeyframe {
+            tick: a,
+            time_ns: b,
+            temp_mc: a as i64,
+            energy_uj: b ^ a,
+            crc: a.rotate_left(17),
+            cpus: vec![
+                CpuKeyframe {
+                    online: d & 1 == 1,
+                    instructions: a,
+                    cycles: b,
+                },
+                CpuKeyframe {
+                    online: d & 2 == 2,
+                    instructions: u64::MAX - a,
+                    cycles: 0,
+                },
+            ],
+        },
+        13 => Response::TickDelta {
+            base_tick: a,
+            tick: a.wrapping_add(1),
+            d_time_ns: b,
+            temp_mc: b as i64,
+            d_energy_uj: a as i64,
+            crc: b.rotate_left(33),
+            cpu_deltas: vec![(a as i64, -(c as i64)), (i64::MIN, i64::MAX)],
+        },
         _ => Response::Overloaded {
             retry_after_pumps: c,
         },
@@ -127,7 +158,7 @@ proptest! {
     /// Every request variant survives encode → decode unchanged.
     #[test]
     fn requests_round_trip(
-        sel in 0u8..13,
+        sel in 0u8..15,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
@@ -143,7 +174,7 @@ proptest! {
     /// SeqReply envelopes carry a checksum that matches their payload.
     #[test]
     fn responses_round_trip(
-        sel in 0u8..14,
+        sel in 0u8..16,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
@@ -155,7 +186,7 @@ proptest! {
             0..6,
         ),
     ) {
-        let resp = if sel == 13 {
+        let resp = if sel == 15 {
             Response::seq_reply(c, &response_from(d, a, b, c, d, e, s, vals))
         } else {
             response_from(sel, a, b, c, d, e, s, vals)
@@ -172,7 +203,7 @@ proptest! {
     /// prefix no longer matches, so nothing partial ever half-decodes.
     #[test]
     fn truncated_frames_are_typed_errors(
-        sel in 0u8..13,
+        sel in 0u8..15,
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
         cut in 0.0f64..1.0,
@@ -189,7 +220,7 @@ proptest! {
     /// (which is why RPCs ride in checksummed WithSeq envelopes).
     #[test]
     fn bit_flips_never_panic(
-        sel in 0u8..13,
+        sel in 0u8..15,
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
         pos in 0.0f64..1.0,
@@ -244,5 +275,129 @@ proptest! {
         framed.extend_from_slice(&body);
         let _ = Request::decode(&framed);
         let _ = Response::decode(&framed);
+    }
+
+    /// Pipelined decode, part 1: a run of frames chopped at arbitrary
+    /// byte boundaries — including mid-prefix and mid-payload splits,
+    /// and chunks carrying several whole frames at once — reassembles
+    /// to exactly the original frame sequence in order.
+    #[test]
+    fn frame_decoder_survives_arbitrary_chunking(
+        sels in proptest::collection::vec(0u8..15, 1..8),
+        a in 0u64..u64::MAX,
+        c in 0u32..u32::MAX,
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+    ) {
+        let frames: Vec<Vec<u8>> = sels
+            .iter()
+            .map(|&sel| request_from(sel, a, a ^ 9, c, 5, 3).encode())
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+        // Cut points anywhere in the stream, dedup'd and sorted: every
+        // chunk between neighbours becomes one `feed`.
+        let mut points: Vec<usize> = cuts.iter().map(|&x| x % (stream.len() + 1)).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for w in points.windows(2) {
+            dec.feed(&stream[w[0]..w[1]]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(dec.buffered(), 0);
+        // Every reassembled frame still decodes to the request it was.
+        for (f, &sel) in got.iter().zip(&sels) {
+            prop_assert_eq!(
+                Request::decode(f).unwrap(),
+                request_from(sel, a, a ^ 9, c, 5, 3)
+            );
+        }
+    }
+
+    /// Pipelined decode, part 2: byte-at-a-time delivery — the worst
+    /// possible read pattern — yields the same frames as one big read.
+    #[test]
+    fn frame_decoder_byte_at_a_time_matches_bulk(
+        sels in proptest::collection::vec(0u8..15, 1..5),
+        a in 0u64..u64::MAX,
+        c in 0u32..u32::MAX,
+    ) {
+        let frames: Vec<Vec<u8>> = sels
+            .iter()
+            .map(|&sel| request_from(sel, a, !a, c, 1, 8).encode())
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+
+        let mut bulk = FrameDecoder::new();
+        bulk.feed(&stream);
+        let mut bulk_got = Vec::new();
+        while let Some(f) = bulk.next_frame().unwrap() {
+            bulk_got.push(f);
+        }
+
+        let mut drip = FrameDecoder::new();
+        let mut drip_got = Vec::new();
+        for b in &stream {
+            drip.feed(std::slice::from_ref(b));
+            while let Some(f) = drip.next_frame().unwrap() {
+                drip_got.push(f);
+            }
+        }
+        prop_assert_eq!(&bulk_got, &frames);
+        prop_assert_eq!(&drip_got, &frames);
+    }
+
+    /// Pipelined decode, part 3: valid frames followed by garbage.
+    /// Every leading frame is recovered intact; the garbage either
+    /// waits as an incomplete frame (plausible prefix) or surfaces as
+    /// the decoder's sticky typed error (oversized prefix) — never a
+    /// panic, and never a torn or invented frame.
+    #[test]
+    fn frame_decoder_trailing_garbage_never_desyncs(
+        sels in proptest::collection::vec(0u8..15, 1..5),
+        a in 0u64..u64::MAX,
+        c in 0u32..u32::MAX,
+        garbage in proptest::collection::vec(0u8..u8::MAX, 1..48),
+    ) {
+        let frames: Vec<Vec<u8>> = sels
+            .iter()
+            .map(|&sel| request_from(sel, a, a ^ 0xFF, c, 9, 4).encode())
+            .collect();
+        let mut stream: Vec<u8> = frames.concat();
+        stream.extend_from_slice(&garbage);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut errored = false;
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => got.push(f),
+                Ok(None) => break,
+                Err(_) => {
+                    errored = true;
+                    // Sticky: the error repeats rather than resyncing
+                    // into the garbage.
+                    prop_assert!(dec.next_frame().is_err());
+                    break;
+                }
+            }
+        }
+        // All the real frames arrived before anything else happened.
+        prop_assert!(got.len() >= frames.len());
+        prop_assert_eq!(&got[..frames.len()], &frames[..]);
+        // Any extra "frame" must be a self-consistent slice of the
+        // garbage tail (the decoder cannot tell it from a real one);
+        // each still carries a sane length prefix.
+        for extra in &got[frames.len()..] {
+            prop_assert!(extra.len() >= 4);
+            let len = u32::from_le_bytes([extra[0], extra[1], extra[2], extra[3]]) as usize;
+            prop_assert_eq!(extra.len(), 4 + len);
+        }
+        let _ = errored;
     }
 }

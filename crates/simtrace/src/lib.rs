@@ -129,6 +129,14 @@ pub enum EventKind {
     /// The scheduler's `tick` hook migrated a running task to a free CPU.
     /// `code` = destination cpu, `a` = pid, `b` = source cpu.
     SchedRebalance,
+    /// A shard's reactor loop woke and examined its sessions for this
+    /// pump. `a` = sessions with work (readiness hits), `b` = sessions
+    /// skipped as idle (no queued input, no stream due).
+    ReactorWakeup,
+    /// A shard's reactor loop finished enqueueing this pump's output.
+    /// `a` = frames enqueued (replies + pushes), `b` = stream/delta
+    /// pushes among them.
+    ReactorFlush,
 }
 
 impl EventKind {
@@ -168,6 +176,8 @@ impl EventKind {
             EventKind::SchedDispatch => "sched_dispatch",
             EventKind::SchedPreempt => "sched_preempt",
             EventKind::SchedRebalance => "sched_rebalance",
+            EventKind::ReactorWakeup => "reactor_wakeup",
+            EventKind::ReactorFlush => "reactor_flush",
         }
     }
 
