@@ -24,6 +24,8 @@
 //! JSON and validated with `jsonw::validate` (per-CPU tracks, fault and
 //! macro-tick span events present).
 
+use metricsd::wire::{Request, Response};
+use metricsd::{Daemon, DaemonConfig, MetricsClient};
 use papi::{Attach, Papi, Preset};
 use simcpu::events::ArchEvent;
 use simcpu::machine::MachineSpec;
@@ -265,6 +267,94 @@ fn trace_smoke() {
         std::fs::write(&path, &json).expect("write trace JSON");
         println!("wrote {path}");
     }
+    daemon_span_smoke();
+}
+
+/// The causal-tracing half of the smoke: an in-process metricsd daemon
+/// with a traced client, every RPC sampled, exported to Perfetto JSON.
+/// Asserts the export carries linked span slices on both sides of the
+/// wire AND flow arrows (`"ph":"s"` / `"ph":"f"`) stitching them into
+/// one request-scoped lane.
+fn daemon_span_smoke() {
+    let trace_cfg = TraceConfig::enabled_with_cap(1 << 14);
+    let kernel = Kernel::boot_handle(
+        MachineSpec::skylake_quad(),
+        KernelConfig {
+            seed: 0x5eed_cafe,
+            trace: trace_cfg.clone(),
+            ..Default::default()
+        },
+    );
+    kernel.lock().spawn(
+        "w0",
+        Box::new(ScriptedProgram::new([
+            Op::Compute(Phase::scalar(u64::MAX / 4)),
+            Op::Exit,
+        ])),
+        CpuMask::from_cpus([0]),
+        0,
+    );
+    let mut daemon = Daemon::new(kernel, DaemonConfig::default());
+    let connector = daemon.connector();
+    let mut c = MetricsClient::new(connector.connect());
+    c.enable_tracing(&trace_cfg, 1); // sample every RPC
+
+    c.post(&Request::Hello {
+        proto: metricsd::PROTO_VERSION,
+    })
+    .expect("post hello");
+    daemon.pump();
+    while let Ok(Some(_)) = c.try_take() {}
+    c.post(&Request::Subscribe {
+        cpu_mask: u64::MAX,
+        metrics: 0xff,
+    })
+    .expect("post subscribe");
+    daemon.pump();
+    let mut sub_id = None;
+    while let Ok(Some(resp)) = c.try_take() {
+        if let Response::Subscribed { sub_id: s, .. } = resp {
+            sub_id = Some(s);
+        }
+    }
+    let sub_id = sub_id.expect("subscribed");
+    for _ in 0..6 {
+        let trace_id = c
+            .post_traced(&Request::Read {
+                sub_id,
+                submit_ns: 0,
+            })
+            .expect("post read");
+        assert_ne!(trace_id, 0, "every RPC is sampled at sample_every=1");
+        daemon.pump();
+        while let Ok(Some(_)) = c.try_take() {}
+    }
+
+    let mut tracks = daemon.trace_tracks();
+    tracks.push(c.trace_track());
+    simtrace::postmortem::stash(simtrace::text_dump(&tracks, 48));
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    for t in &tracks {
+        for e in &t.events {
+            match e.kind {
+                EventKind::SpanBegin => begins += 1,
+                EventKind::SpanEnd => ends += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(begins >= 6 && ends >= 6, "spans on both ends of the wire");
+    let json = simtrace::chrome_trace_json(&tracks);
+    assert!(jsonw::validate(&json), "daemon span smoke: invalid JSON");
+    assert!(json.contains("\"ph\":\"s\""), "missing flow start arrows");
+    assert!(json.contains("\"ph\":\"f\""), "missing flow finish arrows");
+    assert!(json.contains("rpc:client"), "missing client span slices");
+    assert!(json.contains("rpc:shard"), "missing shard span slices");
+    println!(
+        "daemon span smoke: OK — {begins} span begins / {ends} ends, flow-linked, {} bytes",
+        json.len()
+    );
 }
 
 fn main() {

@@ -35,10 +35,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use metricsd::queue::ClientPipe;
-use metricsd::wire::{fnv64, metrics, Request, Response};
+use metricsd::wire::{agg, fnv64, metrics, series, Request, Response};
 use metricsd::{
     ChaosConfig, ChaosStats, ChaosTransport, Connector, Daemon, DaemonConfig, MirrorOutcome,
-    ResilientClient, ResilientConfig, ResilientStats, StreamMirror,
+    ResilientClient, ResilientConfig, ResilientStats, SloSpec, StreamMirror,
 };
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
@@ -185,8 +185,15 @@ fn make_bot(connector: &Connector, chaos: ChaosConfig, idx: usize, scenario_seed
         seed: scenario_seed ^ idx as u64,
         ..ResilientConfig::default()
     };
+    let mut c = ResilientClient::new(dial, rcfg);
+    // Every 8th RPC rides the `Traced` envelope through whatever the
+    // chaos preset does to the link — corrupted trace headers must come
+    // back as typed refusals and reissue like any other frame, and the
+    // scenario digests (compared against the fault-free reference)
+    // prove sampling perturbs nothing.
+    c.set_trace_sampling(8);
     Bot {
-        c: ResilientClient::new(dial, rcfg),
+        c,
         chaos_sink: sink,
         sub_id: 0,
         begun: 0,
@@ -218,6 +225,8 @@ struct ScenarioResult {
     drain_pumps: u64,
     begun: u64,
     completed: u64,
+    queries_ok: u64,
+    health_ok: u64,
     client: ResilientStats,
     injected: ChaosStats,
     server: Vec<(&'static str, u64)>,
@@ -253,6 +262,10 @@ fn run_scenario(
         ticks_per_pump: TICKS_PER_PUMP,
         shard_budget_per_pump: if overload { 2 } else { 0 },
         deadline_pumps: if overload { 3 } else { 0 },
+        // An impossible p99 target keeps the SLO watchdog busy while
+        // the transport misbehaves; `GetHealth` rows must stay typed
+        // and decodable through every preset.
+        slos: vec![SloSpec::p99_latency_ns(1, 4)],
         ..DaemonConfig::default()
     };
     let mut daemon = Daemon::new(boot_machine(), dcfg);
@@ -406,6 +419,60 @@ fn run_scenario(
         }
         daemon.pump_quiescent();
     }
+
+    // Phase 3c — ranged history queries and the SLO health row through
+    // the same chaotic links: read-only, so they reissue freely and
+    // cannot perturb the counter digest; replies must stay typed
+    // (`RangeReply`/`Health`), never a panic or a silent drop.
+    let mut queries_ok = 0u64;
+    let mut health_ok = 0u64;
+    for (i, b) in bots.iter_mut().enumerate() {
+        let req = if i % 2 == 0 {
+            Request::QueryRange {
+                series: series::READS,
+                agg: agg::SUM,
+                start_tick: 0,
+                end_tick: u64::MAX,
+                max_points: 64,
+            }
+        } else {
+            Request::GetHealth
+        };
+        assert!(b.c.begin(&req));
+        b.begun += 1;
+    }
+    let mut query_pumps = 0u64;
+    while bots.iter().any(|b| !b.c.is_idle()) {
+        query_pumps += 1;
+        assert!(query_pumps < PHASE_CAP, "{name}: query phase wedged");
+        for (i, b) in bots.iter_mut().enumerate() {
+            b.c.step();
+            drain_pushes(b);
+            assert!(
+                !b.c.take_session_lost(),
+                "{name}: client {i} lost session in query phase"
+            );
+            if let Some(done) = b.c.take_done() {
+                match done {
+                    Ok(Response::RangeReply { .. }) => {
+                        queries_ok += 1;
+                        b.completed += 1;
+                    }
+                    Ok(Response::Health { slos, .. }) => {
+                        assert!(!slos.is_empty(), "{name}: health reply lost its SLO rows");
+                        health_ok += 1;
+                        b.completed += 1;
+                    }
+                    other => panic!("{name}: client {i} query answered {other:?}"),
+                }
+            }
+        }
+        daemon.pump_quiescent();
+    }
+    assert!(
+        queries_ok >= 1 && health_ok >= 1,
+        "{name}: query/health phase served nothing (queries={queries_ok} health={health_ok})"
+    );
 
     // Phase 3b — stream settle: every delta mirror must converge to a
     // CRC-verified synced state with no RPC left in flight. Chaos may
@@ -567,6 +634,8 @@ fn run_scenario(
         drain_pumps,
         begun,
         completed,
+        queries_ok,
+        health_ok,
         client,
         injected,
         server,
@@ -675,6 +744,8 @@ fn main() {
         w.field_u64("drain_pumps", r.drain_pumps);
         w.field_u64("rpcs_begun", r.begun);
         w.field_u64("rpcs_completed", r.completed);
+        w.field_u64("range_queries_ok", r.queries_ok);
+        w.field_u64("health_queries_ok", r.health_ok);
         w.key("stream");
         w.begin_obj();
         w.field_u64("delta_subscribers", r.delta_bots);

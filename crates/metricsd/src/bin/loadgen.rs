@@ -47,8 +47,8 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use metricsd::queue::ClientPipe;
-use metricsd::wire::{metrics, Request, Response};
-use metricsd::{Daemon, DaemonConfig, MetricsClient, MirrorOutcome, StreamMirror};
+use metricsd::wire::{agg, metrics, series, Request, Response, MAX_RANGE_POINTS};
+use metricsd::{Daemon, DaemonConfig, MetricsClient, MirrorOutcome, SloSpec, StreamMirror};
 use simcpu::machine::MachineSpec;
 use simcpu::phase::Phase;
 use simcpu::types::{CpuId, CpuMask};
@@ -56,6 +56,7 @@ use simos::faults::{FaultKind, FaultPlan};
 use simos::kernel::{Kernel, KernelConfig, KernelHandle};
 use simos::task::{Op, ScriptedProgram};
 use simtrace::metrics::{percentile_of_sorted, Histogram};
+use simtrace::{EventKind, TraceConfig};
 
 const SEED: u64 = 42;
 const TICKS_PER_PUMP: u32 = 20;
@@ -91,13 +92,24 @@ fn session_cadence(i: usize) -> u64 {
 /// workload, and a fault plan that exercises hotplug + flaky sysfs +
 /// RAPL wrap bursts while serving.
 fn boot_machine() -> KernelHandle {
-    let kernel = Kernel::boot_handle(
-        MachineSpec::raptor_lake_i7_13700(),
-        KernelConfig {
-            seed: SEED,
-            ..KernelConfig::default()
-        },
-    );
+    boot_with(KernelConfig {
+        seed: SEED,
+        ..KernelConfig::default()
+    })
+}
+
+/// Same machine with the flight recorder forced on (the query/tracing
+/// phase needs spans regardless of `SIM_TRACE`).
+fn boot_machine_traced(trace: TraceConfig) -> KernelHandle {
+    boot_with(KernelConfig {
+        seed: SEED,
+        trace,
+        ..KernelConfig::default()
+    })
+}
+
+fn boot_with(cfg: KernelConfig) -> KernelHandle {
+    let kernel = Kernel::boot_handle(MachineSpec::raptor_lake_i7_13700(), cfg);
     {
         let mut k = kernel.lock();
         let n_cpus = k.machine().n_cpus();
@@ -655,6 +667,382 @@ fn run_reference(n_sessions: usize, pumps: u64) -> u64 {
     digest
 }
 
+struct QueryPhaseResult {
+    shards: usize,
+    /// Counters replies observed locally — must equal the wire SUM.
+    reads: u64,
+    /// RangeReply frames served during the throughput storm.
+    queries: u64,
+    storm_wall_s: f64,
+    /// QueryRange(LATENCY_NS, P99) over the whole run.
+    p99_sim_ns: u64,
+    history_digest: u64,
+    /// Total watchdog breaches across all configured SLOs.
+    breaches: u64,
+    /// Exemplar trace id from the breached p99 SLO (0 when untraced).
+    exemplar_trace_id: u64,
+    /// Exemplar resolved to recorded spans on both ends of the wire.
+    exemplar_resolved: bool,
+    /// Perfetto export validated, with at least one flow arrow.
+    flow_json_ok: bool,
+    perfetto_json: String,
+}
+
+/// History/SLO/tracing phase: a deliberately small, fully deterministic
+/// run (serve_ns = 0, so the latency histogram is independent of shard
+/// geometry) that proves
+///
+/// * `QueryRange` answers match the client's own local accounting ±0,
+/// * answers and the whole history digest are bit-identical across
+///   shard counts,
+/// * an impossible p99 target induces `SloBreach`es whose exemplar
+///   trace id resolves to spans recorded on both sides of the wire,
+/// * the Perfetto export stitches sampled requests across the
+///   client/shard/collector tracks with flow arrows.
+fn run_query_phase(shards: usize, n_sessions: usize, pumps: u64, traced: bool) -> QueryPhaseResult {
+    const SAMPLE_EVERY: u32 = 4;
+    const STORM_PUMPS: u64 = 8;
+    const STORM_QUERIES_PER_SESSION: u32 = 8;
+    let trace_cfg = if traced {
+        TraceConfig::enabled_with_cap(1 << 16)
+    } else {
+        TraceConfig::default()
+    };
+    let mut daemon = Daemon::new(
+        boot_machine_traced(trace_cfg.clone()),
+        DaemonConfig {
+            shards,
+            ticks_per_pump: TICKS_PER_PUMP,
+            stall_grace_pumps: STALL_GRACE_PUMPS,
+            // Zero queueing term: latency depends only on snapshot
+            // time, never on position in a shard's queue, so the
+            // histogram (and every percentile query) is shard-invariant.
+            serve_ns: 0,
+            slos: vec![
+                // 1 sim-ns p99 is impossible once any read is served:
+                // the guaranteed breach generator.
+                SloSpec::p99_latency_ns(1, 4),
+                // Never breached here — proves rows stay independent.
+                SloSpec::evictions_per_window(1_000_000, 4),
+            ],
+            ..DaemonConfig::default()
+        },
+    );
+    let n_cpus = daemon.n_cpus() as usize;
+    let connector = daemon.connector();
+    let mut clients: Vec<MetricsClient<ClientPipe>> = (0..n_sessions)
+        .map(|_| MetricsClient::new(connector.connect()))
+        .collect();
+    if traced {
+        for c in clients.iter_mut() {
+            c.enable_tracing(&trace_cfg, SAMPLE_EVERY);
+        }
+    }
+
+    for c in clients.iter_mut() {
+        c.post(&Request::Hello {
+            proto: metricsd::PROTO_VERSION,
+        })
+        .expect("post hello");
+    }
+    daemon.pump();
+    for c in clients.iter_mut() {
+        while let Ok(Some(_)) = c.try_take() {}
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.post(&Request::Subscribe {
+            cpu_mask: session_mask(i, n_cpus),
+            metrics: session_metrics(i),
+        })
+        .expect("post subscribe");
+    }
+    daemon.pump();
+    let mut sub_ids = vec![0u32; n_sessions];
+    for (i, c) in clients.iter_mut().enumerate() {
+        while let Ok(Some(resp)) = c.try_take() {
+            if let Response::Subscribed { sub_id, .. } = resp {
+                sub_ids[i] = sub_id;
+            }
+        }
+        assert!(sub_ids[i] != 0, "query phase: session {i} subscribed");
+    }
+
+    // Steady state: every session reads every pump (sampled requests go
+    // out in the `Traced` envelope); the local histogram mirrors what
+    // the daemon's history must report back.
+    let mut local = Histogram::new();
+    let mut reads = 0u64;
+    for _pump in 0..pumps {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let submit_ns = c.last_seen_ns;
+            let req = Request::Read {
+                sub_id: sub_ids[i],
+                submit_ns,
+            };
+            if traced {
+                c.post_traced(&req).expect("post traced read");
+            } else {
+                c.post(&req).expect("post read");
+            }
+        }
+        daemon.pump();
+        for c in clients.iter_mut() {
+            while let Ok(Some(resp)) = c.try_take() {
+                if let Response::Counters { latency_ns, .. } = resp {
+                    reads += 1;
+                    local.observe(latency_ns);
+                }
+            }
+        }
+    }
+
+    // Correctness queries: served one pump later, which is exactly the
+    // lag the history contract promises (queries during pump N see
+    // rollups through pump N-1 — and every read above is in by now).
+    clients[0]
+        .post(&Request::QueryRange {
+            series: series::READS,
+            agg: agg::SUM,
+            start_tick: 0,
+            end_tick: u64::MAX,
+            max_points: MAX_RANGE_POINTS as u32,
+        })
+        .expect("post sum query");
+    clients[0]
+        .post(&Request::QueryRange {
+            series: series::LATENCY_NS,
+            agg: agg::P99,
+            start_tick: 0,
+            end_tick: u64::MAX,
+            max_points: 1,
+        })
+        .expect("post p99 query");
+    clients[0]
+        .post(&Request::GetHealth)
+        .expect("post get-health");
+    daemon.pump();
+    let mut wire_sum: Option<u64> = None;
+    let mut wire_p99: Option<u64> = None;
+    let mut health: Option<(u64, Vec<metricsd::wire::SloHealth>)> = None;
+    while let Ok(Some(resp)) = clients[0].try_take() {
+        match resp {
+            Response::RangeReply {
+                series: s, points, ..
+            } if s == series::READS => {
+                wire_sum = Some(points.iter().map(|p| p.1).sum());
+            }
+            Response::RangeReply {
+                series: s, points, ..
+            } if s == series::LATENCY_NS => {
+                wire_p99 = Some(points[0].1);
+            }
+            Response::Health { pumps, slos } => health = Some((pumps, slos)),
+            _ => {}
+        }
+    }
+    let wire_sum = wire_sum.expect("SUM(READS) answered");
+    let wire_p99 = wire_p99.expect("P99(LATENCY_NS) answered");
+    let (_, slos) = health.expect("GetHealth answered");
+    assert_eq!(
+        wire_sum, reads,
+        "shards={shards}: wire SUM(READS) != locally observed reads"
+    );
+    assert_eq!(
+        wire_p99,
+        local.percentile(0.99),
+        "shards={shards}: wire p99 != local histogram p99"
+    );
+    let breaches: u64 = slos.iter().map(|s| s.breaches).sum();
+    let p99_row = slos
+        .iter()
+        .find(|s| s.kind == metricsd::SloKind::P99LatencyNs as u8)
+        .expect("p99 SLO row present");
+    let evict_row = slos
+        .iter()
+        .find(|s| s.kind == metricsd::SloKind::EvictionsPerWindow as u8)
+        .expect("eviction SLO row present");
+    assert!(
+        p99_row.breaches >= 1,
+        "shards={shards}: impossible p99 target never breached"
+    );
+    assert_eq!(
+        evict_row.breaches, 0,
+        "shards={shards}: eviction SLO breached without evictions"
+    );
+    let exemplar_trace_id = p99_row.exemplar_trace_id;
+
+    // Exemplar resolution: the id the watchdog hands out must point at
+    // spans recorded by a client AND inside the daemon.
+    let daemon_tracks = daemon.trace_tracks();
+    let has_span = |evs: &[simtrace::TraceEvent], id: u64| {
+        evs.iter()
+            .any(|e| matches!(e.kind, EventKind::SpanBegin) && e.a == id)
+    };
+    let exemplar_resolved = if traced {
+        assert!(
+            exemplar_trace_id != 0,
+            "shards={shards}: traced run produced no exemplar"
+        );
+        let in_daemon = daemon_tracks
+            .iter()
+            .any(|t| has_span(&t.events, exemplar_trace_id));
+        let in_client = clients
+            .iter()
+            .any(|c| has_span(&c.trace_track().events, exemplar_trace_id));
+        assert!(
+            in_daemon && in_client,
+            "shards={shards}: exemplar {exemplar_trace_id:#x} did not resolve \
+             (daemon={in_daemon} client={in_client})"
+        );
+        true
+    } else {
+        assert_eq!(
+            exemplar_trace_id, 0,
+            "shards={shards}: untraced run leaked an exemplar"
+        );
+        false
+    };
+
+    // One Perfetto timeline across client + daemon tracks, flow-linked.
+    let (flow_json_ok, perfetto_json) = if traced {
+        let mut tracks = Vec::new();
+        for c in clients.iter().take(8) {
+            tracks.push(c.trace_track());
+        }
+        tracks.extend(daemon_tracks);
+        let json = simtrace::chrome_trace_json(&tracks);
+        assert!(jsonw::validate(&json), "Perfetto export is valid JSON");
+        assert!(
+            json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""),
+            "shards={shards}: no flow arrows in the Perfetto export"
+        );
+        (true, json)
+    } else {
+        (false, String::new())
+    };
+
+    // Throughput storm: how fast does QueryRange serve when hammered?
+    let t0 = Instant::now();
+    let mut queries = 0u64;
+    for _ in 0..STORM_PUMPS {
+        for c in clients.iter_mut() {
+            for _ in 0..STORM_QUERIES_PER_SESSION {
+                c.post(&Request::QueryRange {
+                    series: series::READS,
+                    agg: agg::SUM,
+                    start_tick: 0,
+                    end_tick: u64::MAX,
+                    max_points: 64,
+                })
+                .expect("post storm query");
+            }
+        }
+        daemon.pump();
+        for c in clients.iter_mut() {
+            while let Ok(Some(resp)) = c.try_take() {
+                if matches!(resp, Response::RangeReply { .. }) {
+                    queries += 1;
+                }
+            }
+        }
+    }
+    let storm_wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        queries,
+        n_sessions as u64 * STORM_PUMPS * STORM_QUERIES_PER_SESSION as u64,
+        "shards={shards}: storm queries lost"
+    );
+
+    let history_digest = daemon.history().read().digest();
+    QueryPhaseResult {
+        shards,
+        reads,
+        queries,
+        storm_wall_s,
+        p99_sim_ns: wire_p99,
+        history_digest,
+        breaches,
+        exemplar_trace_id,
+        exemplar_resolved,
+        flow_json_ok,
+        perfetto_json,
+    }
+}
+
+struct QuerySuite {
+    queries_per_sec: f64,
+    p99_sim_ns: u64,
+    breaches: u64,
+    exemplar_resolved: bool,
+}
+
+/// Run the query phase traced at 1/4/8 shards plus an untraced 1-shard
+/// control; assert every cross-config invariant. Returns the summary
+/// for the bench JSON and optionally writes the Perfetto timeline.
+fn run_query_suite(n_sessions: usize, pumps: u64, trace_out: Option<&str>) -> QuerySuite {
+    let traced: Vec<QueryPhaseResult> = [1usize, 4, 8]
+        .iter()
+        .map(|&s| run_query_phase(s, n_sessions, pumps, true))
+        .collect();
+    for r in &traced {
+        eprintln!(
+            "  query shards={}: {} reads, p99={}ns, {} queries in {:.3}s ({:.0}/s), \
+             breaches={}, exemplar={:#x}, history_digest={:016x}",
+            r.shards,
+            r.reads,
+            r.p99_sim_ns,
+            r.queries,
+            r.storm_wall_s,
+            r.queries as f64 / r.storm_wall_s.max(1e-9),
+            r.breaches,
+            r.exemplar_trace_id,
+            r.history_digest,
+        );
+    }
+    let base = &traced[0];
+    for r in &traced[1..] {
+        assert_eq!(
+            r.p99_sim_ns, base.p99_sim_ns,
+            "QueryRange p99 differs across shard counts"
+        );
+        assert_eq!(
+            r.history_digest, base.history_digest,
+            "history digest differs across shard counts"
+        );
+        assert_eq!(r.reads, base.reads, "reads differ across shard counts");
+        assert_eq!(
+            r.exemplar_trace_id, base.exemplar_trace_id,
+            "SLO exemplar differs across shard counts"
+        );
+    }
+    // Tracing must not perturb the measurement: the untraced control
+    // reports the same reads and p99 (its history digest differs only
+    // by the exemplar ids, which is why it is not compared).
+    let control = run_query_phase(1, n_sessions, pumps, false);
+    assert_eq!(
+        control.reads, base.reads,
+        "tracing changed the number of reads served"
+    );
+    assert_eq!(
+        control.p99_sim_ns, base.p99_sim_ns,
+        "tracing changed the served latency distribution"
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(path, &base.perfetto_json).expect("write trace JSON");
+        eprintln!("  wrote {path}");
+    }
+    let best_qps = traced
+        .iter()
+        .map(|r| r.queries as f64 / r.storm_wall_s.max(1e-9))
+        .fold(0.0f64, f64::max);
+    QuerySuite {
+        queries_per_sec: best_qps,
+        p99_sim_ns: base.p99_sim_ns,
+        breaches: base.breaches,
+        exemplar_resolved: base.exemplar_resolved && base.flow_json_ok,
+    }
+}
+
 fn main() {
     // Assertion failures print the last stashed flight-recorder dump.
     simtrace::postmortem::install();
@@ -674,6 +1062,9 @@ fn main() {
     let mut fanout_sessions: Option<usize> = None;
     let mut fanout_pumps: Option<u64> = None;
     let mut no_fanout = false;
+    let mut query_smoke = false;
+    let mut floor_queries: Option<f64> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -718,11 +1109,22 @@ fn main() {
                 )
             }
             "--no-fanout" => no_fanout = true,
+            "--query-smoke" => query_smoke = true,
+            "--floor-queries" => {
+                floor_queries = Some(
+                    args.next()
+                        .expect("--floor-queries N")
+                        .parse()
+                        .expect("queries/s"),
+                )
+            }
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--quick] [--sessions N] [--pumps T] [--reps R] [--out PATH]\n\
                      \u{20}      [--gate-scaling] [--scaling-tolerance FRAC] [--floor-per-core N]\n\
-                     \u{20}      [--fanout-sessions N] [--fanout-pumps T] [--no-fanout]"
+                     \u{20}      [--fanout-sessions N] [--fanout-pumps T] [--no-fanout]\n\
+                     \u{20}      [--query-smoke] [--floor-queries N] [--trace-out PATH]"
                 );
                 return;
             }
@@ -738,6 +1140,27 @@ fn main() {
     let fanout_sessions = fanout_sessions.unwrap_or(100_000);
     let fanout_pumps = fanout_pumps.unwrap_or(if quick { 6 } else { 10 });
     let n_cores = cores();
+
+    // Fast path for tier-1: just the query/SLO/tracing phase, with its
+    // full cross-shard + exemplar + flow-export assertions.
+    if query_smoke {
+        eprintln!("loadgen: query smoke, shards 1/4/8 + untraced control");
+        let suite = run_query_suite(64, 24, trace_out.as_deref());
+        if let Some(floor) = floor_queries {
+            if suite.queries_per_sec < floor {
+                eprintln!(
+                    "FAIL: query throughput floor violated ({:.0} < {floor:.0})",
+                    suite.queries_per_sec
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "loadgen: query smoke OK ({:.0} queries/s, {} breaches, exemplar resolved)",
+            suite.queries_per_sec, suite.breaches
+        );
+        return;
+    }
 
     eprintln!(
         "loadgen: {n_sessions} sessions, {pumps} pumps, {reps} reps, \
@@ -788,6 +1211,13 @@ fn main() {
         );
         Some(f)
     };
+
+    eprintln!("loadgen: query/SLO phase, shards 1/4/8 + untraced control");
+    let query_suite = run_query_suite(
+        if quick { 64 } else { 128 },
+        if quick { 24 } else { 32 },
+        trace_out.as_deref(),
+    );
 
     let digests_match = results.iter().all(|r| r.digest == reference);
     let evictions_ok = results
@@ -878,6 +1308,13 @@ fn main() {
         w.field_u64("evictions", f.evictions);
         w.end_obj();
     }
+    w.key("queries");
+    w.begin_obj();
+    w.field_f64("queries_per_sec", query_suite.queries_per_sec);
+    w.field_u64("p99_latency_sim_ns", query_suite.p99_sim_ns);
+    w.field_u64("slo_breaches", query_suite.breaches);
+    w.field_bool("exemplar_resolved", query_suite.exemplar_resolved);
+    w.end_obj();
     w.field_str("serial_reference_digest", &format!("{reference:016x}"));
     w.field_bool("digests_match", digests_match);
     w.field_bool("evictions_ok", evictions_ok);
@@ -911,6 +1348,15 @@ fn main() {
     if let Some(floor) = floor_per_core {
         if min_per_core < floor {
             eprintln!("FAIL: per-core throughput floor violated ({min_per_core:.0} < {floor:.0})");
+            std::process::exit(1);
+        }
+    }
+    if let Some(floor) = floor_queries {
+        if query_suite.queries_per_sec < floor {
+            eprintln!(
+                "FAIL: query throughput floor violated ({:.0} < {floor:.0})",
+                query_suite.queries_per_sec
+            );
             std::process::exit(1);
         }
     }

@@ -12,8 +12,10 @@
 
 use std::time::Duration;
 
+use simtrace::{span, EventKind, TraceConfig, TraceSink, Track};
+
 use crate::queue::{ClientPipe, PushError};
-use crate::wire::{stream_crc, Request, Response, WireError, PROTO_VERSION};
+use crate::wire::{stream_crc, Request, Response, TraceCtx, WireError, PROTO_VERSION};
 
 #[derive(Debug)]
 pub enum ClientError {
@@ -102,6 +104,16 @@ pub struct MetricsClient<T: Transport> {
     /// clock for stamping `submit_ns`.
     pub last_seen_ns: u64,
     timeout: Duration,
+    /// Client-side flight recorder for causal spans (disabled by
+    /// default: tracing costs one branch per call).
+    trace: TraceSink,
+    /// Sample every Nth RPC when tracing (0 = trace nothing).
+    sample_every: u32,
+    /// Monotonic client-side request sequence — with the session token,
+    /// the seed of every sampled request's deterministic trace id.
+    rpcs: u64,
+    /// Trace id of the most recently sampled RPC.
+    last_trace_id: u64,
 }
 
 impl<T: Transport> MetricsClient<T> {
@@ -115,6 +127,10 @@ impl<T: Transport> MetricsClient<T> {
             n_cpus: 0,
             last_seen_ns: 0,
             timeout: Duration::from_secs(10),
+            trace: TraceSink::disabled(),
+            sample_every: 0,
+            rpcs: 0,
+            last_trace_id: 0,
         }
     }
 
@@ -122,9 +138,47 @@ impl<T: Transport> MetricsClient<T> {
         self.timeout = timeout;
     }
 
+    /// Enable causal tracing: every `sample_every`-th RPC is wrapped in
+    /// a [`Request::Traced`] envelope (trace id derived from the
+    /// session token and the request sequence — seeded sim state, never
+    /// wall clock) and records linked `rpc:client` spans here.
+    pub fn enable_tracing(&mut self, cfg: &TraceConfig, sample_every: u32) {
+        self.trace = TraceSink::new(cfg);
+        self.sample_every = sample_every;
+    }
+
+    /// The client-side span track for export.
+    pub fn trace_track(&self) -> Track {
+        Track::new("client", self.trace.events())
+    }
+
     /// Fire a request without waiting for the reply.
     pub fn post(&mut self, req: &Request) -> Result<(), ClientError> {
         self.t.send(req.encode())
+    }
+
+    /// As [`MetricsClient::post`], sampling every Nth request into the
+    /// causal trace (see [`MetricsClient::enable_tracing`]). Returns
+    /// the trace id when sampled, 0 otherwise. The client hop is an
+    /// instantaneous span at post time: lockstep drivers drain replies
+    /// out of band, so there is no reply to close a longer slice
+    /// against — the flow arrows into the daemon hops still link.
+    pub fn post_traced(&mut self, req: &Request) -> Result<u64, ClientError> {
+        match self.sample_rpc(req) {
+            Some((frame, trace_id)) => {
+                let now = self.last_seen_ns;
+                self.trace
+                    .record(now, EventKind::SpanBegin, span::CLIENT, trace_id, 0);
+                self.trace
+                    .record(now, EventKind::SpanEnd, span::CLIENT, trace_id, 0);
+                self.t.send(frame)?;
+                Ok(trace_id)
+            }
+            None => {
+                self.post(req)?;
+                Ok(0)
+            }
+        }
     }
 
     /// Non-blocking: decode the next pending reply, if any.
@@ -160,11 +214,74 @@ impl<T: Transport> MetricsClient<T> {
             }
             _ => {}
         }
+        // Stream pushes carry no envelope: the receipt span derives the
+        // snapshot's flow id from the tick, exactly as the collector
+        // and the pushing shard did, so the hops link without any wire
+        // bytes.
+        if self.trace.enabled() {
+            if let Response::TickKeyframe { tick, .. } | Response::TickDelta { tick, .. } = resp {
+                let flow = span::snapshot_flow_id(*tick);
+                let t = self.last_seen_ns;
+                self.trace
+                    .record(t, EventKind::SpanBegin, span::PUSH, flow, 0);
+                self.trace
+                    .record(t, EventKind::SpanEnd, span::PUSH, flow, 0);
+            }
+        }
+    }
+
+    /// If this call is sampled, the encoded traced frame and its trace
+    /// id; otherwise `None` (the caller sends the plain request).
+    fn sample_rpc(&mut self, req: &Request) -> Option<(Vec<u8>, u64)> {
+        self.rpcs += 1;
+        if !self.trace.enabled()
+            || self.sample_every == 0
+            || !self.rpcs.is_multiple_of(self.sample_every as u64)
+        {
+            return None;
+        }
+        let trace_id = span::rpc_trace_id(self.session_token, self.rpcs);
+        self.last_trace_id = trace_id;
+        let ctx = TraceCtx {
+            trace_id,
+            parent_span: 0,
+            sampled: true,
+        };
+        Some((Request::traced(ctx, req).encode(), trace_id))
+    }
+
+    /// Trace id of the most recently sampled RPC (0 = none yet) —
+    /// lets tests resolve an SLO exemplar back to this client.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     fn rpc(&mut self, req: &Request) -> Result<Response, ClientError> {
-        self.post(req)?;
-        let resp = self.take()?;
+        let resp = match self.sample_rpc(req) {
+            Some((frame, trace_id)) => {
+                self.trace.record(
+                    self.last_seen_ns,
+                    EventKind::SpanBegin,
+                    span::CLIENT,
+                    trace_id,
+                    0,
+                );
+                self.t.send(frame)?;
+                let resp = self.take();
+                self.trace.record(
+                    self.last_seen_ns,
+                    EventKind::SpanEnd,
+                    span::CLIENT,
+                    trace_id,
+                    0,
+                );
+                resp?
+            }
+            None => {
+                self.post(req)?;
+                self.take()?
+            }
+        };
         match resp {
             Response::Err { code, msg } => Err(ClientError::Daemon { code, msg }),
             Response::Evicted { reason } => Err(ClientError::Evicted { reason }),
@@ -296,6 +413,36 @@ impl<T: Transport> MetricsClient<T> {
         match self.rpc(&Request::GetSelfMetrics)? {
             Response::SelfMetrics { counters, hists } => Ok((counters, hists)),
             _ => Err(ClientError::Unexpected("wanted SelfMetrics")),
+        }
+    }
+
+    /// Ranged query over the daemon's rollup history. Returns the raw
+    /// [`Response::RangeReply`].
+    pub fn query_range(
+        &mut self,
+        series: u8,
+        agg: u8,
+        start_tick: u64,
+        end_tick: u64,
+        max_points: u32,
+    ) -> Result<Response, ClientError> {
+        match self.rpc(&Request::QueryRange {
+            series,
+            agg,
+            start_tick,
+            end_tick,
+            max_points,
+        })? {
+            r @ Response::RangeReply { .. } => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted RangeReply")),
+        }
+    }
+
+    /// The SLO watchdog's breach state, one row per configured SLO.
+    pub fn get_health(&mut self) -> Result<(u64, Vec<crate::wire::SloHealth>), ClientError> {
+        match self.rpc(&Request::GetHealth)? {
+            Response::Health { pumps, slos } => Ok((pumps, slos)),
+            _ => Err(ClientError::Unexpected("wanted Health")),
         }
     }
 

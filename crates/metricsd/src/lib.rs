@@ -45,6 +45,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod history;
 pub mod queue;
 pub mod reactor;
 pub mod resilient;
@@ -55,6 +56,7 @@ pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosStats, ChaosTransport};
 pub use client::{ClientError, MetricsClient, MirrorOutcome, StreamMirror, Transport};
+pub use history::{Breach, History, RangeResult, Rollup, Scratch, SloKind, SloSpec};
 pub use resilient::{ResilientClient, ResilientConfig, ResilientStats};
 pub use server::{Connector, Daemon, DaemonConfig, DaemonStats};
 pub use snapshot::{Collector, CpuCounters, SnapshotCache, StreamFrames, TickSnapshot};

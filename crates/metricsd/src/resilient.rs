@@ -35,10 +35,10 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simtrace::{EventKind, TraceSink};
+use simtrace::{span, EventKind, TraceSink};
 
 use crate::client::{ClientError, Transport};
-use crate::wire::{errcode, fnv64, Request, Response, PROTO_VERSION};
+use crate::wire::{errcode, fnv64, Request, Response, TraceCtx, PROTO_VERSION};
 
 /// Retry/backoff tuning, all in lockstep rounds.
 #[derive(Debug, Clone, Copy)]
@@ -99,7 +99,14 @@ pub struct ResilientStats {
 struct InFlight {
     seq: u32,
     /// The full encoded `WithSeq` frame, resent verbatim on reissue.
+    /// A sampled RPC carries the `Traced` envelope outermost, so every
+    /// reissue propagates the *same* trace id — retries of one logical
+    /// request stitch into one timeline.
     frame: Vec<u8>,
+    /// Nonzero when the frame carries a sampled trace context.
+    trace_id: u64,
+    /// The client-hop span has been opened (first real send).
+    span_opened: bool,
     /// Sent on the current transport and awaiting a reply.
     sent: bool,
     rounds_waiting: u32,
@@ -113,6 +120,26 @@ impl InFlight {
         InFlight {
             seq,
             frame: Request::with_seq(seq, req).encode(),
+            trace_id: 0,
+            span_opened: false,
+            sent: false,
+            rounds_waiting: 0,
+            wait_rounds: 0,
+            attempts: 0,
+        }
+    }
+
+    fn traced(seq: u32, req: &Request, trace_id: u64) -> InFlight {
+        let ctx = TraceCtx {
+            trace_id,
+            parent_span: 0,
+            sampled: true,
+        };
+        InFlight {
+            seq,
+            frame: Request::traced(ctx, &Request::with_seq(seq, req)).encode(),
+            trace_id,
+            span_opened: false,
             sent: false,
             rounds_waiting: 0,
             wait_rounds: 0,
@@ -159,6 +186,9 @@ pub struct ResilientClient<T: Transport, F: FnMut() -> Option<T>> {
 
     stats: ResilientStats,
     trace: TraceSink,
+    /// Wrap every Nth user RPC in a sampled `Traced` envelope (0 = off).
+    trace_sample_every: u32,
+    last_trace_id: u64,
 }
 
 impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
@@ -186,6 +216,8 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
             pushes: VecDeque::new(),
             stats: ResilientStats::default(),
             trace: TraceSink::disabled(),
+            trace_sample_every: 0,
+            last_trace_id: 0,
         }
     }
 
@@ -199,6 +231,18 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
         &self.trace
     }
 
+    /// Sample every Nth user RPC into a causal trace (0 disables). The
+    /// trace id is derived from (session token, seq), so it is
+    /// deterministic and stable across reissues and reconnects.
+    pub fn set_trace_sampling(&mut self, every: u32) {
+        self.trace_sample_every = every;
+    }
+
+    /// Trace id of the most recently sampled RPC (0 = none yet).
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
     pub fn stats(&self) -> ResilientStats {
         self.stats
     }
@@ -210,7 +254,15 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
             return false;
         }
         let seq = self.alloc_seq();
-        self.user = Some(InFlight::new(seq, req));
+        let sampled = self.trace_sample_every > 0
+            && (seq as u64).is_multiple_of(self.trace_sample_every as u64);
+        self.user = Some(if sampled {
+            let trace_id = span::rpc_trace_id(self.session_token.unwrap_or(0), seq as u64);
+            self.last_trace_id = trace_id;
+            InFlight::traced(seq, req, trace_id)
+        } else {
+            InFlight::new(seq, req)
+        });
         true
     }
 
@@ -399,6 +451,11 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
             if let Response::Counters { tick, .. } | Response::Sample { tick, .. } = &inner {
                 self.last_tick = self.last_tick.max(*tick);
             }
+            let trace_id = self.user.as_ref().map_or(0, |u| u.trace_id);
+            if trace_id != 0 {
+                self.trace
+                    .record(self.round, EventKind::SpanEnd, span::CLIENT, trace_id, 0);
+            }
             self.user = None;
             self.stats.completed += 1;
             self.done = Some(match inner {
@@ -503,6 +560,7 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
                 frame: Vec<u8>,
                 seq: u32,
                 attempts: u32,
+                trace_id: u64,
             },
             GaveUp,
         }
@@ -521,10 +579,13 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
             } else if !inf.sent {
                 inf.sent = true;
                 inf.rounds_waiting = 0;
+                let open_span = inf.trace_id != 0 && !inf.span_opened;
+                inf.span_opened = true;
                 Act::Send {
                     frame: inf.frame.clone(),
                     seq: inf.seq,
                     attempts: inf.attempts,
+                    trace_id: if open_span { inf.trace_id } else { 0 },
                 }
             } else {
                 inf.rounds_waiting += 1;
@@ -550,7 +611,14 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
                 frame,
                 seq,
                 attempts,
+                trace_id,
             } => {
+                // The span opens at first send only: reissues extend the
+                // one open slice instead of unbalancing Begin/End pairs.
+                if trace_id != 0 && !greeting {
+                    self.trace
+                        .record(self.round, EventKind::SpanBegin, span::CLIENT, trace_id, 0);
+                }
                 if attempts > 0 {
                     self.stats.retries += 1;
                     self.trace
@@ -571,6 +639,16 @@ impl<T: Transport, F: FnMut() -> Option<T>> ResilientClient<T, F> {
                     self.greet = None;
                     self.on_transport_death();
                 } else {
+                    let trace_id = self.user.as_ref().map_or(0, |u| u.trace_id);
+                    if trace_id != 0 {
+                        self.trace.record(
+                            self.round,
+                            EventKind::SpanEnd,
+                            span::CLIENT,
+                            trace_id,
+                            0,
+                        );
+                    }
                     self.user = None;
                     self.done = Some(Err(ClientError::Timeout));
                 }

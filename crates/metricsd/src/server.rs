@@ -50,15 +50,16 @@
 //!   are answered with a typed [`Response::Overloaded`] (carrying a
 //!   retry hint) instead of being applied, evicted, or left to rot.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simos::kernel::KernelHandle;
 use simtrace::metrics::Registry;
-use simtrace::{EventKind, TraceSink, Track};
+use simtrace::{span, EventKind, TraceSink, Track};
 
+use crate::history::{History, Rollup, Scratch, SloSpec};
 use crate::queue::{ClientPipe, FrameQueue, PushError};
 use crate::reactor::WorkerPool;
 use crate::snapshot::{Collector, SnapshotCache, StreamFrames, TickSnapshot};
@@ -114,6 +115,12 @@ pub struct DaemonConfig {
     /// pump thread with zero cross-thread handoff. Aggregate counts and
     /// digests are identical at any value.
     pub workers: usize,
+    /// Per-tier frame capacity of the rollup history ring (floored at
+    /// [`crate::history::TIER_FANOUT`]).
+    pub history_cap: usize,
+    /// Declarative SLO targets the watchdog evaluates after every pump
+    /// (empty = watchdog off; `GetHealth` answers zero rows).
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for DaemonConfig {
@@ -131,6 +138,8 @@ impl Default for DaemonConfig {
             resume_ttl_pumps: 256,
             retry_after_pumps: 2,
             workers: 0,
+            history_cap: 512,
+            slos: Vec::new(),
         }
     }
 }
@@ -211,6 +220,10 @@ pub(crate) struct Shard {
     /// Per-shard self-metrics, absorbed into the daemon's master
     /// registry at the start of each pump.
     reg: Registry,
+    /// This pump's serving history (reads, latency histogram, exemplar
+    /// candidates), absorbed into the daemon's [`History`] in shard
+    /// order after serving.
+    scratch: Scratch,
 }
 
 /// Cross-thread connection intake, clonable into acceptor threads.
@@ -281,6 +294,12 @@ pub(crate) struct PumpCtx {
     stats_view: DaemonStats,
     tick_ns: u64,
     self_metrics: Arc<Vec<u8>>,
+    /// Pre-encoded `Response::Health` frame, frozen at pump start from
+    /// the watchdog state through the previous pump.
+    health: Arc<Vec<u8>>,
+    /// The rollup history. Read-locked by `QueryRange` dispatch; the
+    /// only writer is the pump thread, after serving completes.
+    history: Arc<RwLock<History>>,
     parked: Arc<Mutex<HashMap<u64, ParkedSession>>>,
     pump: u64,
 }
@@ -301,6 +320,18 @@ pub struct Daemon {
     n_cpus: u32,
     tick_ns: u64,
     trace: TraceSink,
+    /// Rollup history + SLO watchdog (one writer: the pump thread).
+    history: Arc<RwLock<History>>,
+    /// This pump's frozen `GetHealth` reply.
+    health_frame: Arc<Vec<u8>>,
+    /// Per-CPU cluster index (0 = the machine's first core type — the
+    /// big/P cluster on hybrids — 1 = everything else).
+    cluster_of: Vec<u8>,
+    /// Per-cluster (instructions, cycles) sums at the previous pump,
+    /// the rollup delta baseline.
+    prev_cluster: [[u64; 2]; 2],
+    /// Snapshot time of the previous pump (rate denominators).
+    prev_time_ns: u64,
     /// Master self-metrics registry: shard registries are absorbed here
     /// (in shard order) at the start of every pump, so GetSelfMetrics
     /// answers reflect everything served through the previous pump.
@@ -312,12 +343,24 @@ impl Daemon {
     /// hardware once (via the PAPI layer) to pre-encode the static
     /// hot-query responses, then opens the collector's counters.
     pub fn new(kernel: KernelHandle, cfg: DaemonConfig) -> Daemon {
-        let (n_cpus, tick_ns, trace_cfg) = {
+        let (n_cpus, tick_ns, trace_cfg, cluster_of) = {
             let k = kernel.lock();
+            let machine = k.machine();
+            // Cluster partition for the history's per-cluster series:
+            // cluster 0 is the machine's first core type (the big/P
+            // cluster on hybrids), cluster 1 everything else. On
+            // homogeneous machines cluster 1 stays empty.
+            let first_type = machine.core_types()[0];
+            let cluster_of: Vec<u8> = machine
+                .cpus()
+                .iter()
+                .map(|c| u8::from(c.core_type() != first_type))
+                .collect();
             (
-                k.machine().n_cpus() as u32,
+                machine.n_cpus() as u32,
                 k.config().tick_ns,
                 k.config().trace.clone(),
+                cluster_of,
             )
         };
         let papi = papi::Papi::init(kernel.clone()).expect("papi init");
@@ -334,8 +377,10 @@ impl Daemon {
         }
         .encode();
         drop(papi);
-        let collector = Collector::new(kernel);
+        let mut collector = Collector::new(kernel);
+        collector.set_trace(TraceSink::new(&trace_cfg));
         let first = collector_boot_snapshot(&collector);
+        let prev_time_ns = first.time_ns;
         let cache = Arc::new(SnapshotCache::new(first, hw_frame, presets_frame));
         let shards: Vec<Shard> = (0..cfg.shards.max(1))
             .map(|_| Shard {
@@ -343,8 +388,17 @@ impl Daemon {
                 reads_served: 0,
                 trace: TraceSink::new(&trace_cfg),
                 reg: Registry::new(),
+                scratch: Scratch::default(),
             })
             .collect();
+        let history = History::new(cfg.history_cap, cfg.slos.clone());
+        let health_frame = Arc::new(
+            Response::Health {
+                pumps: 0,
+                slos: history.health(),
+            }
+            .encode(),
+        );
         // Workers are a parallelism decision, shards a determinism one:
         // never spawn more workers than the host can actually run.
         let workers = if cfg.workers > 0 {
@@ -374,6 +428,11 @@ impl Daemon {
             n_cpus,
             tick_ns,
             trace: TraceSink::new(&trace_cfg),
+            history: Arc::new(RwLock::new(history)),
+            health_frame,
+            cluster_of,
+            prev_cluster: [[0; 2]; 2],
+            prev_time_ns,
             reg: Registry::new(),
         }
     }
@@ -464,6 +523,8 @@ impl Daemon {
             stats_view,
             tick_ns: self.tick_ns,
             self_metrics,
+            health: self.health_frame.clone(),
+            history: self.history.clone(),
             parked: self.parked.clone(),
             pump: self.pumps,
         };
@@ -528,6 +589,66 @@ impl Daemon {
         if reaped > 0 {
             self.reg.inc("parked_reaped", reaped);
         }
+
+        // 5. History: fold this pump's serving into one rollup frame.
+        // Runs after serving and reaping — workers are done, shards are
+        // exclusively owned — so scratches absorb in shard order, the
+        // only deterministic order there is. Queries served during pump
+        // N therefore see rollups through pump N-1.
+        let mut cluster = [[0u64; 2]; 2];
+        for (i, c) in snap.cpus.iter().enumerate() {
+            let cl = self.cluster_of.get(i).copied().unwrap_or(0) as usize;
+            cluster[cl][0] += c.instructions;
+            cluster[cl][1] += c.cycles;
+        }
+        let mut rollup = Rollup {
+            pump: self.pumps,
+            first_tick: snap.tick,
+            last_tick: snap.tick,
+            first_time_ns: self.prev_time_ns,
+            last_time_ns: snap.time_ns,
+            reads: 0,
+            stale_reads: 0,
+            evictions: 0,
+            sheds: 0,
+            cluster_instructions: [
+                cluster[0][0].saturating_sub(self.prev_cluster[0][0]),
+                cluster[1][0].saturating_sub(self.prev_cluster[1][0]),
+            ],
+            cluster_cycles: [
+                cluster[0][1].saturating_sub(self.prev_cluster[0][1]),
+                cluster[1][1].saturating_sub(self.prev_cluster[1][1]),
+            ],
+            latency: Default::default(),
+            slow_ns: 0,
+            exemplar: 0,
+        };
+        self.prev_cluster = cluster;
+        self.prev_time_ns = snap.time_ns;
+        for shard in &mut self.shards {
+            shard.scratch.absorb_into(&mut rollup);
+        }
+        let (breaches, health) = {
+            let mut h = self.history.write();
+            (h.push(rollup), h.health())
+        };
+        for b in &breaches {
+            self.trace.record(
+                snap.time_ns,
+                EventKind::SloBreach,
+                b.slo as u32,
+                b.exemplar,
+                b.observed,
+            );
+            self.reg.inc("slo_breaches", 1);
+        }
+        self.health_frame = Arc::new(
+            Response::Health {
+                pumps: self.pumps,
+                slos: health,
+            }
+            .encode(),
+        );
         snap
     }
 
@@ -543,17 +664,25 @@ impl Daemon {
     }
 
     /// Every flight-recorder track: the kernel's (kernel/hw/per-CPU),
-    /// then the daemon pump track and one track per shard.
+    /// then the daemon pump track, the collector track, and one track
+    /// per shard.
     pub fn trace_tracks(&self) -> Vec<Track> {
         let mut tracks = {
             let k = self.collector.kernel().lock();
             k.trace_tracks()
         };
         tracks.push(Track::new("daemon", self.trace.events()));
+        tracks.push(Track::new("collector", self.collector.trace_events()));
         for (i, shard) in self.shards.iter().enumerate() {
             tracks.push(Track::new(format!("shard{i}"), shard.trace.events()));
         }
         tracks
+    }
+
+    /// Read access to the rollup history (what `QueryRange` serves
+    /// from), for tests and local cross-checks.
+    pub fn history(&self) -> Arc<RwLock<History>> {
+        self.history.clone()
     }
 }
 
@@ -604,6 +733,7 @@ pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
         reads_served,
         trace,
         reg,
+        scratch,
     } = shard;
     let cfg = &ctx.cfg;
     let snap = &ctx.snap;
@@ -662,6 +792,12 @@ pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
                     session.stream_base = Some(sf.tick);
                     served_in_shard += 1;
                     pushes += 1;
+                    // The push hop of the snapshot's flow: collector
+                    // (producer) → shard (fan-out) → client (mirror),
+                    // all deriving the same id from the tick alone.
+                    let flow = span::snapshot_flow_id(sf.tick);
+                    trace.record(snap.time_ns, EventKind::SpanBegin, span::PUSH, flow, 0);
+                    trace.record(snap.time_ns, EventKind::SpanEnd, span::PUSH, flow, 0);
                     reg.inc(
                         if is_delta {
                             "stream_delta_pushes"
@@ -712,7 +848,7 @@ pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
             };
             budget -= 1;
             shard_budget -= 1;
-            let reply = handle_frame(session, &frame, ctx, served_in_shard, trace, reg);
+            let reply = handle_frame(session, &frame, ctx, served_in_shard, trace, reg, scratch);
             served_in_shard += 1;
             *reads_served += 1;
             match session.outbox.push(reply) {
@@ -756,6 +892,7 @@ pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
                     break;
                 };
                 shed_cap -= 1;
+                scratch.sheds += 1;
                 reg.inc("reqs_shed", 1);
                 trace.record(snap.time_ns, EventKind::LoadShed, reason, session.id, 0);
                 let reply = Response::Overloaded {
@@ -777,6 +914,7 @@ pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
             session.stalled_pumps += 1;
             if session.stalled_pumps > cfg.stall_grace_pumps {
                 session.evicted = true;
+                scratch.evictions += 1;
                 trace.record(
                     snap.time_ns,
                     EventKind::DaemonEvict,
@@ -824,7 +962,9 @@ pub(crate) fn serve_shard(shard: &mut Shard, ctx: &PumpCtx) {
 }
 
 /// Decode one inbound frame and produce the encoded reply, unwrapping
-/// and deduplicating [`Request::WithSeq`] envelopes.
+/// and deduplicating [`Request::WithSeq`] envelopes and unwrapping the
+/// [`Request::Traced`] causal envelope (always the outermost layer).
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     session: &mut Session,
     frame: &[u8],
@@ -832,6 +972,7 @@ fn handle_frame(
     served_in_shard: u64,
     trace: &mut TraceSink,
     reg: &mut Registry,
+    scratch: &mut Scratch,
 ) -> Vec<u8> {
     let req = match Request::decode(frame) {
         Ok(r) => r,
@@ -843,6 +984,83 @@ fn handle_frame(
             .encode()
         }
     };
+    // Unwrap the causal envelope first: it is semantically transparent
+    // (the inner request is served identically), so goldens are
+    // unaffected — its only effect is the linked spans recorded here.
+    let (tctx, req) = match req {
+        Request::Traced { ctx: tc, inner } => match Request::decode(&inner) {
+            Ok(Request::Traced { .. }) => {
+                return Response::Err {
+                    code: errcode::BAD_FRAME,
+                    msg: "nested trace envelope".into(),
+                }
+                .encode()
+            }
+            Ok(r) => (Some(tc), r),
+            Err(e) => {
+                return Response::Err {
+                    code: errcode::BAD_FRAME,
+                    msg: e.to_string(),
+                }
+                .encode()
+            }
+        },
+        other => (None, other),
+    };
+    let trace_id = match tctx {
+        Some(tc) if tc.sampled => tc.trace_id,
+        _ => 0,
+    };
+    if trace_id != 0 {
+        // The serving loop's unwrap is the in-process reactor hop (the
+        // tcpio thread records its own when the bytes crossed TCP); the
+        // shard span wraps the dispatch below. A read's shard span also
+        // joins the snapshot flow of the tick it serves from, stitching
+        // the RPC timeline to the collector's.
+        let t = ctx.snap.time_ns;
+        trace.record(t, EventKind::SpanBegin, span::REACTOR, trace_id, 0);
+        trace.record(t, EventKind::SpanEnd, span::REACTOR, trace_id, 0);
+        let joined = if matches!(req, Request::Read { .. }) {
+            span::snapshot_flow_id(ctx.snap.tick)
+        } else {
+            0
+        };
+        trace.record(t, EventKind::SpanBegin, span::SHARD, trace_id, joined);
+        let reply = handle_unwrapped(
+            session,
+            req,
+            ctx,
+            served_in_shard,
+            trace,
+            reg,
+            scratch,
+            trace_id,
+        );
+        trace.record(
+            ctx.snap.time_ns,
+            EventKind::SpanEnd,
+            span::SHARD,
+            trace_id,
+            0,
+        );
+        return reply;
+    }
+    handle_unwrapped(session, req, ctx, served_in_shard, trace, reg, scratch, 0)
+}
+
+/// Seq-envelope handling and dispatch for an already trace-unwrapped
+/// request.
+#[allow(clippy::too_many_arguments)]
+fn handle_unwrapped(
+    session: &mut Session,
+    req: Request,
+    ctx: &PumpCtx,
+    served_in_shard: u64,
+    trace: &mut TraceSink,
+    reg: &mut Registry,
+    scratch: &mut Scratch,
+    trace_id: u64,
+) -> Vec<u8> {
     match req {
         Request::WithSeq { seq, crc, inner } => {
             if fnv64(&inner) != crc {
@@ -869,6 +1087,13 @@ fn handle_frame(
                     }
                     .encode()
                 }
+                Ok(Request::Traced { .. }) => {
+                    return Response::Err {
+                        code: errcode::BAD_FRAME,
+                        msg: "trace envelope must be outermost".into(),
+                    }
+                    .encode()
+                }
                 Ok(r) => r,
                 Err(e) => {
                     return Response::Err {
@@ -878,7 +1103,16 @@ fn handle_frame(
                     .encode()
                 }
             };
-            let reply = dispatch(session, ireq, ctx, served_in_shard, trace, reg);
+            let reply = dispatch(
+                session,
+                ireq,
+                ctx,
+                served_in_shard,
+                trace,
+                reg,
+                scratch,
+                trace_id,
+            );
             let wrapped = Response::SeqReply {
                 seq,
                 crc: fnv64(&reply),
@@ -891,11 +1125,23 @@ fn handle_frame(
             }
             wrapped
         }
-        other => dispatch(session, other, ctx, served_in_shard, trace, reg),
+        other => dispatch(
+            session,
+            other,
+            ctx,
+            served_in_shard,
+            trace,
+            reg,
+            scratch,
+            trace_id,
+        ),
     }
 }
 
-/// Apply one (already unwrapped) request to the session.
+/// Apply one (already unwrapped) request to the session. `trace_id` is
+/// nonzero only for a sampled traced request — it feeds the history
+/// scratch so SLO breaches can name an exemplar.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     session: &mut Session,
     req: Request,
@@ -903,6 +1149,8 @@ fn dispatch(
     served_in_shard: u64,
     trace: &mut TraceSink,
     reg: &mut Registry,
+    scratch: &mut Scratch,
+    trace_id: u64,
 ) -> Vec<u8> {
     let snap = &*ctx.snap;
     let cfg = &ctx.cfg;
@@ -919,6 +1167,11 @@ fn dispatch(
         Request::WithSeq { .. } => Response::Err {
             code: errcode::BAD_FRAME,
             msg: "nested seq envelope".into(),
+        }
+        .encode(),
+        Request::Traced { .. } => Response::Err {
+            code: errcode::BAD_FRAME,
+            msg: "trace envelope must be outermost".into(),
         }
         .encode(),
         Request::Hello { proto } => {
@@ -1032,6 +1285,8 @@ fn dispatch(
             Some(sub) => {
                 let (resp, latency_ns, inverted) =
                     counters_response(sub, snap, submit_ns, cfg, served_in_shard);
+                let stale = !matches!(resp, Response::Counters { quality: 0, .. });
+                scratch.observe_read(latency_ns, stale, trace_id);
                 reg.observe("read_latency_ns", latency_ns);
                 trace.record(snap.time_ns, EventKind::DaemonServe, sub_id, latency_ns, 0);
                 if inverted {
@@ -1132,6 +1387,36 @@ fn dispatch(
         }
         // Frozen at pump start, shared by every session this pump.
         Request::GetSelfMetrics => ctx.self_metrics.to_vec(),
+        Request::QueryRange {
+            series,
+            agg,
+            start_tick,
+            end_tick,
+            max_points,
+        } => match ctx
+            .history
+            .read()
+            .query(series, agg, start_tick, end_tick, max_points)
+        {
+            Ok(r) => Response::RangeReply {
+                series,
+                agg,
+                tier: r.tier,
+                count: r.count,
+                min: r.min,
+                max: r.max,
+                points: r.points,
+            }
+            .encode(),
+            Err(msg) => Response::Err {
+                code: errcode::BAD_QUERY,
+                msg: msg.into(),
+            }
+            .encode(),
+        },
+        // Frozen at pump start from the watchdog state through the
+        // previous pump, shared by every session this pump.
+        Request::GetHealth => ctx.health.to_vec(),
     }
 }
 

@@ -17,6 +17,7 @@ use simcpu::types::CpuId;
 use simos::kernel::KernelHandle;
 use simos::perf::{EventFd, PerfAttr, Target};
 use simos::sysfs;
+use simtrace::{span, EventKind, TraceEvent, TraceSink};
 use std::sync::Arc;
 
 use crate::wire::metrics;
@@ -114,6 +115,11 @@ pub struct Collector {
     prev_raw_pkg_uj: Option<u64>,
     sysfs_gaps: u32,
     temp_mc: i64,
+    /// Flight recorder for the collector's own spans: every pump's
+    /// kernel pass records a `collect` span carrying the snapshot flow
+    /// id derived from the tick, so RPC reads and stream pushes served
+    /// from that snapshot stitch back to the pass that produced it.
+    trace: TraceSink,
 }
 
 impl Collector {
@@ -171,6 +177,7 @@ impl Collector {
             prev_raw_pkg_uj: None,
             sysfs_gaps: 0,
             temp_mc: 0,
+            trace: TraceSink::disabled(),
         };
         // Boot snapshot (tick 0): no simulation ticks, just a read pass.
         c.sample(0);
@@ -180,11 +187,32 @@ impl Collector {
     /// Advance the simulation `ticks` ticks and take the next snapshot.
     pub fn advance(&mut self, ticks: u32) -> Arc<TickSnapshot> {
         self.tick += 1;
-        self.sample(ticks)
+        if !self.trace.enabled() {
+            // Off path: one branch, no extra kernel lock.
+            return self.sample(ticks);
+        }
+        let begin_ns = self.kernel.lock().time_ns();
+        let flow = span::snapshot_flow_id(self.tick);
+        self.trace
+            .record(begin_ns, EventKind::SpanBegin, span::COLLECTOR, flow, 0);
+        let snap = self.sample(ticks);
+        self.trace
+            .record(snap.time_ns, EventKind::SpanEnd, span::COLLECTOR, flow, 0);
+        snap
     }
 
     pub fn kernel(&self) -> &KernelHandle {
         &self.kernel
+    }
+
+    /// Install the collector's flight recorder (disabled by default).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Recorded collector spans, oldest-first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
     }
 
     fn sample(&mut self, ticks: u32) -> Arc<TickSnapshot> {

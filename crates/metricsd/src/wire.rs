@@ -32,6 +32,107 @@ pub mod metrics {
     }
 }
 
+/// History series a [`Request::QueryRange`] can name. Counter series
+/// aggregate with `SUM`/`RATE`; `LATENCY_NS` is a histogram series and
+/// aggregates with the percentile aggregations.
+pub mod series {
+    /// Reads served per pump (counter).
+    pub const READS: u8 = 0;
+    /// Reads answered with degraded quality per pump (counter).
+    pub const STALE_READS: u8 = 1;
+    /// Sessions evicted per pump (counter).
+    pub const EVICTIONS: u8 = 2;
+    /// Requests shed under overload per pump (counter).
+    pub const SHEDS: u8 = 3;
+    /// Read-latency histogram per pump (log₂ buckets, ns).
+    pub const LATENCY_NS: u8 = 4;
+    /// Instructions retired per pump on cluster 0 / cluster 1 (counter;
+    /// cluster 1 reads as zero on homogeneous machines).
+    pub const CLUSTER0_INSTRUCTIONS: u8 = 5;
+    pub const CLUSTER1_INSTRUCTIONS: u8 = 6;
+    /// Cycles per pump on cluster 0 / cluster 1 (counter).
+    pub const CLUSTER0_CYCLES: u8 = 7;
+    pub const CLUSTER1_CYCLES: u8 = 8;
+    /// One past the last valid series id.
+    pub const COUNT: u8 = 9;
+}
+
+/// Aggregations a [`Request::QueryRange`] can ask for.
+pub mod agg {
+    /// Per-frame sums, one point per surviving rollup frame.
+    pub const SUM: u8 = 0;
+    /// Events per simulated second over the whole range (single point).
+    pub const RATE: u8 = 1;
+    /// Percentiles of the merged histogram over the whole range
+    /// (single point). Only valid on histogram series.
+    pub const P50: u8 = 2;
+    pub const P90: u8 = 3;
+    pub const P99: u8 = 4;
+    /// One past the last valid aggregation id.
+    pub const COUNT: u8 = 5;
+}
+
+/// Hard cap on points in one [`Response::RangeReply`] — the query path
+/// downsamples to a coarser tier rather than exceed it, so a reply
+/// frame stays bounded no matter the range.
+pub const MAX_RANGE_POINTS: usize = 512;
+
+/// Hard cap on SLO rows in one [`Response::Health`] frame.
+pub const MAX_SLOS: usize = 64;
+
+/// Causal trace context carried by the [`Request::Traced`] envelope:
+/// 13 bytes at a fixed offset right after the tag, so transport hops
+/// (the tcpio reactor) can record their span with [`TraceCtx::peek`] —
+/// no full decode, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Flow id linking every hop's spans (see `simtrace::span` — even,
+    /// derived from session token + client sequence, never wall clock).
+    pub trace_id: u64,
+    /// The client-side span ordinal that sent this request (0 = root).
+    pub parent_span: u32,
+    /// Sampling bit: hops record spans only when set, so an enabled
+    /// recorder with sampling off still costs one branch per frame.
+    pub sampled: bool,
+}
+
+impl TraceCtx {
+    /// Cheap transport-level peek: if `frame` is a complete Traced
+    /// envelope, return its context without decoding the inner frame.
+    pub fn peek(frame: &[u8]) -> Option<TraceCtx> {
+        if frame.len() < 18 || frame[4] != 0x10 {
+            return None;
+        }
+        Some(TraceCtx {
+            trace_id: u64::from_le_bytes(frame[5..13].try_into().unwrap()),
+            parent_span: u32::from_le_bytes(frame[13..17].try_into().unwrap()),
+            sampled: frame[17] != 0,
+        })
+    }
+}
+
+/// One SLO's evaluation state in a [`Response::Health`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloHealth {
+    /// Target kind (0 = p99 latency ns, 1 = evictions per window,
+    /// 2 = stale-read fraction in ppm) — mirrors `history::SloKind`.
+    pub kind: u8,
+    /// The declared target value in the kind's unit.
+    pub target: u64,
+    /// Trailing evaluation window, in pumps.
+    pub window_pumps: u32,
+    /// Windows evaluated in breach so far.
+    pub breaches: u64,
+    /// Pump index of the most recent breach (0 = never).
+    pub last_breach_pump: u64,
+    /// Worst observed value across breached windows.
+    pub worst: u64,
+    /// trace_id of the slowest sampled request inside the most recently
+    /// breached window (0 = none was sampled) — resolves to recorded
+    /// `SpanBegin`/`SpanEnd` events on the client and shard tracks.
+    pub exemplar_trace_id: u64,
+}
+
 /// FNV-1a over a byte slice — the frame checksum used by the
 /// [`Request::WithSeq`] / [`Response::SeqReply`] envelopes so bit-flip
 /// corruption in transit decodes to a typed error instead of silently
@@ -119,6 +220,27 @@ pub enum Request {
     /// own (older) tick, which can no longer match the next delta's
     /// base — forcing a keyframe.
     AckTick { tick: u64 },
+    /// Causal-trace envelope: `inner` is a complete encoded request
+    /// frame; the context travels at a fixed offset so every hop can
+    /// record linked spans ([`TraceCtx::peek`]). Semantically
+    /// transparent — the daemon serves the inner request identically
+    /// with or without the envelope, so traced goldens stay
+    /// bit-identical.
+    Traced { ctx: TraceCtx, inner: Vec<u8> },
+    /// Ranged query over the daemon's rollup history: aggregate
+    /// `series` with `agg` over snapshot ticks `[start_tick, end_tick]`
+    /// (inclusive), returning at most `max_points` points (clamped to
+    /// [`MAX_RANGE_POINTS`]; the daemon picks the finest downsampling
+    /// tier that fits).
+    QueryRange {
+        series: u8,
+        agg: u8,
+        start_tick: u64,
+        end_tick: u64,
+        max_points: u32,
+    },
+    /// The SLO watchdog's current breach state.
+    GetHealth,
 }
 
 impl Request {
@@ -129,6 +251,14 @@ impl Request {
             seq,
             crc: fnv64(&inner),
             inner,
+        }
+    }
+
+    /// Wrap a request in a causal-trace envelope.
+    pub fn traced(ctx: TraceCtx, inner: &Request) -> Request {
+        Request::Traced {
+            ctx,
+            inner: inner.encode(),
         }
     }
 }
@@ -272,6 +402,27 @@ pub enum Response {
         crc: u64,
         cpu_deltas: Vec<(i64, i64)>,
     },
+    /// Reply to [`Request::QueryRange`]: `points` are `(tick, value)`
+    /// pairs from downsampling `tier` (0 = per-pump). For the
+    /// percentile aggregations a single point carries the merged
+    /// percentile and `count`/`min`/`max` describe the merged histogram
+    /// (the loadgen cross-check asserts all four against its local
+    /// histogram, ±0).
+    RangeReply {
+        series: u8,
+        agg: u8,
+        tier: u8,
+        count: u64,
+        min: u64,
+        max: u64,
+        points: Vec<(u64, u64)>,
+    },
+    /// Reply to [`Request::GetHealth`]: one row per configured SLO,
+    /// frozen once per pump.
+    Health {
+        pumps: u64,
+        slos: Vec<SloHealth>,
+    },
 }
 
 impl Response {
@@ -300,6 +451,9 @@ pub mod errcode {
     /// `Resume` named a token the daemon does not hold (expired TTL,
     /// never issued, or already reaped).
     pub const NO_SUCH_TOKEN: u16 = 8;
+    /// A `QueryRange` named an unknown series/aggregation, an inverted
+    /// range, or asked for zero points.
+    pub const BAD_QUERY: u16 = 9;
 }
 
 // ---- encoding --------------------------------------------------------------
@@ -525,6 +679,31 @@ impl Request {
                 e.u64(*tick);
                 e.finish()
             }
+            Request::Traced { ctx, inner } => {
+                let mut e = Enc::new(0x10);
+                // Fixed layout: TraceCtx::peek reads these 13 bytes.
+                e.u64(ctx.trace_id);
+                e.u32(ctx.parent_span);
+                e.u8(u8::from(ctx.sampled));
+                e.buf.extend_from_slice(inner);
+                e.finish()
+            }
+            Request::QueryRange {
+                series,
+                agg,
+                start_tick,
+                end_tick,
+                max_points,
+            } => {
+                let mut e = Enc::new(0x11);
+                e.u8(*series);
+                e.u8(*agg);
+                e.u64(*start_tick);
+                e.u64(*end_tick);
+                e.u32(*max_points);
+                e.finish()
+            }
+            Request::GetHealth => Enc::new(0x12).finish(),
         }
     }
 
@@ -568,6 +747,25 @@ impl Request {
                 every_pumps: d.u32()?,
             },
             0x0f => Request::AckTick { tick: d.u64()? },
+            0x10 => {
+                let ctx = TraceCtx {
+                    trace_id: d.u64()?,
+                    parent_span: d.u32()?,
+                    sampled: d.u8()? != 0,
+                };
+                Request::Traced {
+                    ctx,
+                    inner: d.rest().to_vec(),
+                }
+            }
+            0x11 => Request::QueryRange {
+                series: d.u8()?,
+                agg: d.u8()?,
+                start_tick: d.u64()?,
+                end_tick: d.u64()?,
+                max_points: d.u32()?,
+            },
+            0x12 => Request::GetHealth,
             _ => return Err(WireError("unknown request tag")),
         };
         d.done()?;
@@ -766,6 +964,44 @@ impl Response {
                 }
                 e.finish()
             }
+            Response::RangeReply {
+                series,
+                agg,
+                tier,
+                count,
+                min,
+                max,
+                points,
+            } => {
+                let mut e = Enc::new(0x91);
+                e.u8(*series);
+                e.u8(*agg);
+                e.u8(*tier);
+                e.vu64(*count);
+                e.vu64(*min);
+                e.vu64(*max);
+                e.u16(points.len() as u16);
+                for (tick, value) in points {
+                    e.vu64(*tick);
+                    e.vu64(*value);
+                }
+                e.finish()
+            }
+            Response::Health { pumps, slos } => {
+                let mut e = Enc::new(0x92);
+                e.vu64(*pumps);
+                e.u8(slos.len() as u8);
+                for s in slos {
+                    e.u8(s.kind);
+                    e.vu64(s.target);
+                    e.u32(s.window_pumps);
+                    e.vu64(s.breaches);
+                    e.vu64(s.last_breach_pump);
+                    e.vu64(s.worst);
+                    e.u64(s.exemplar_trace_id);
+                }
+                e.finish()
+            }
         }
     }
 
@@ -926,6 +1162,51 @@ impl Response {
                     cpu_deltas,
                 }
             }
+            0x91 => {
+                let series = d.u8()?;
+                let agg = d.u8()?;
+                let tier = d.u8()?;
+                let count = d.vu64()?;
+                let min = d.vu64()?;
+                let max = d.vu64()?;
+                let n = d.u16()? as usize;
+                if n > MAX_RANGE_POINTS {
+                    return Err(WireError("range reply exceeds MAX_RANGE_POINTS"));
+                }
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    points.push((d.vu64()?, d.vu64()?));
+                }
+                Response::RangeReply {
+                    series,
+                    agg,
+                    tier,
+                    count,
+                    min,
+                    max,
+                    points,
+                }
+            }
+            0x92 => {
+                let pumps = d.vu64()?;
+                let n = d.u8()? as usize;
+                if n > MAX_SLOS {
+                    return Err(WireError("health reply exceeds MAX_SLOS"));
+                }
+                let mut slos = Vec::with_capacity(n);
+                for _ in 0..n {
+                    slos.push(SloHealth {
+                        kind: d.u8()?,
+                        target: d.vu64()?,
+                        window_pumps: d.u32()?,
+                        breaches: d.vu64()?,
+                        last_breach_pump: d.vu64()?,
+                        worst: d.vu64()?,
+                        exemplar_trace_id: d.u64()?,
+                    });
+                }
+                Response::Health { pumps, slos }
+            }
             _ => return Err(WireError("unknown response tag")),
         };
         d.done()?;
@@ -1055,10 +1336,52 @@ mod tests {
             ),
             Request::StreamDeltas { every_pumps: 1 },
             Request::AckTick { tick: 420 },
+            Request::traced(
+                TraceCtx {
+                    trace_id: 0x1234_5678_9abc_def0 & !1,
+                    parent_span: 3,
+                    sampled: true,
+                },
+                &Request::Read {
+                    sub_id: 7,
+                    submit_ns: 99,
+                },
+            ),
+            Request::QueryRange {
+                series: series::LATENCY_NS,
+                agg: agg::P99,
+                start_tick: 0,
+                end_tick: u64::MAX,
+                max_points: 128,
+            },
+            Request::GetHealth,
         ];
         for r in reqs {
             let f = r.encode();
             assert_eq!(Request::decode(&f).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn trace_ctx_peeks_without_decoding() {
+        let ctx = TraceCtx {
+            trace_id: 0xfeed_f00d_dead_0002,
+            parent_span: 17,
+            sampled: true,
+        };
+        let frame = Request::traced(ctx, &Request::Stats).encode();
+        assert_eq!(TraceCtx::peek(&frame), Some(ctx));
+        // Non-envelope frames and short frames peek to None, never panic.
+        assert_eq!(TraceCtx::peek(&Request::Stats.encode()), None);
+        assert_eq!(TraceCtx::peek(&frame[..10]), None);
+        assert_eq!(TraceCtx::peek(&[]), None);
+        // The inner frame round-trips from the decoded envelope.
+        match Request::decode(&frame).unwrap() {
+            Request::Traced { ctx: got, inner } => {
+                assert_eq!(got, ctx);
+                assert_eq!(Request::decode(&inner).unwrap(), Request::Stats);
+            }
+            other => panic!("{other:?}"),
         }
     }
 
@@ -1174,6 +1497,51 @@ mod tests {
                 crc: 0xdead_cafe,
                 cpu_deltas: vec![(1_000_000, 2_500_000), (0, 0), (-1, i64::MIN)],
             },
+            Response::RangeReply {
+                series: series::READS,
+                agg: agg::SUM,
+                tier: 1,
+                count: 3,
+                min: 10,
+                max: 900,
+                points: vec![(20, 10), (40, 500), (60, 900)],
+            },
+            Response::RangeReply {
+                series: series::LATENCY_NS,
+                agg: agg::P99,
+                tier: 0,
+                count: 4096,
+                min: 500,
+                max: u64::MAX,
+                points: vec![(80, 16_383)],
+            },
+            Response::Health {
+                pumps: 77,
+                slos: vec![
+                    SloHealth {
+                        kind: 0,
+                        target: 10_000,
+                        window_pumps: 8,
+                        breaches: 2,
+                        last_breach_pump: 70,
+                        worst: 32_767,
+                        exemplar_trace_id: 0xaaaa_bbbb_cccc_0002,
+                    },
+                    SloHealth {
+                        kind: 2,
+                        target: 0,
+                        window_pumps: 4,
+                        breaches: 0,
+                        last_breach_pump: 0,
+                        worst: 0,
+                        exemplar_trace_id: 0,
+                    },
+                ],
+            },
+            Response::Health {
+                pumps: 1,
+                slos: vec![],
+            },
         ];
         for r in resps {
             let f = r.encode();
@@ -1223,6 +1591,41 @@ mod tests {
         }
         .encode();
         assert!(Response::decode(&f[..f.len() - 4]).is_err());
+        // A RangeReply whose declared point count exceeds the bound is
+        // refused before any allocation of that size.
+        let mut e = Enc::new(0x91);
+        e.u8(0);
+        e.u8(0);
+        e.u8(0);
+        e.vu64(0);
+        e.vu64(0);
+        e.vu64(0);
+        e.u16(MAX_RANGE_POINTS as u16 + 1);
+        let f = e.finish();
+        assert_eq!(
+            Response::decode(&f),
+            Err(WireError("range reply exceeds MAX_RANGE_POINTS"))
+        );
+        // Same for a Health frame with too many SLO rows.
+        let mut e = Enc::new(0x92);
+        e.vu64(1);
+        e.u8(MAX_SLOS as u8 + 1);
+        let f = e.finish();
+        assert_eq!(
+            Response::decode(&f),
+            Err(WireError("health reply exceeds MAX_SLOS"))
+        );
+        // Truncated trace envelope: too short for the fixed context.
+        let f = Request::traced(
+            TraceCtx {
+                trace_id: 2,
+                parent_span: 0,
+                sampled: false,
+            },
+            &Request::Stats,
+        )
+        .encode();
+        assert!(Request::decode(&f[..10]).is_err());
     }
 
     #[test]

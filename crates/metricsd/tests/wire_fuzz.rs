@@ -6,14 +6,14 @@
 //! recoverable values.
 
 use metricsd::wire::{
-    fnv64, CpuKeyframe, FrameDecoder, HistSummary, MetricValue, Request, Response, MAX_FRAME,
-    PROTO_VERSION,
+    fnv64, CpuKeyframe, FrameDecoder, HistSummary, MetricValue, Request, Response, SloHealth,
+    TraceCtx, MAX_FRAME, PROTO_VERSION,
 };
 use proptest::prelude::*;
 
 /// Build one of every request variant from a generated value pool.
 fn request_from(sel: u8, a: u64, b: u64, c: u32, d: u8, e: u16) -> Request {
-    match sel % 15 {
+    match sel % 18 {
         0 => Request::Hello { proto: e },
         1 => Request::GetHardwareInfo,
         2 => Request::ListPresets,
@@ -37,12 +37,34 @@ fn request_from(sel: u8, a: u64, b: u64, c: u32, d: u8, e: u16) -> Request {
         },
         12 => Request::StreamDeltas { every_pumps: c },
         13 => Request::AckTick { tick: a },
-        _ => Request::with_seq(
+        14 => Request::with_seq(
             c,
             &Request::Read {
                 sub_id: c ^ 1,
                 submit_ns: b,
             },
+        ),
+        15 => Request::QueryRange {
+            series: d % 10,
+            agg: d % 6,
+            start_tick: a,
+            end_tick: b,
+            max_points: c,
+        },
+        16 => Request::GetHealth,
+        _ => Request::traced(
+            TraceCtx {
+                trace_id: a,
+                parent_span: c,
+                sampled: d & 1 == 1,
+            },
+            &Request::with_seq(
+                c,
+                &Request::Read {
+                    sub_id: c,
+                    submit_ns: b,
+                },
+            ),
         ),
     }
 }
@@ -59,7 +81,7 @@ fn response_from(
     s: String,
     vals: Vec<MetricValue>,
 ) -> Response {
-    match sel % 15 {
+    match sel % 17 {
         0 => Response::Welcome {
             session_id: a,
             proto: PROTO_VERSION,
@@ -146,8 +168,40 @@ fn response_from(
             crc: b.rotate_left(33),
             cpu_deltas: vec![(a as i64, -(c as i64)), (i64::MIN, i64::MAX)],
         },
-        _ => Response::Overloaded {
+        14 => Response::Overloaded {
             retry_after_pumps: c,
+        },
+        15 => Response::RangeReply {
+            series: d % 10,
+            agg: d % 6,
+            tier: d % 4,
+            count: a,
+            min: b.min(a),
+            max: b.max(a),
+            points: vec![(a, b), (b, a ^ c as u64)],
+        },
+        _ => Response::Health {
+            pumps: a,
+            slos: vec![
+                SloHealth {
+                    kind: d % 3,
+                    target: a,
+                    window_pumps: c,
+                    breaches: b,
+                    last_breach_pump: a ^ b,
+                    worst: b,
+                    exemplar_trace_id: a & !1,
+                },
+                SloHealth {
+                    kind: 2,
+                    target: u64::MAX - a,
+                    window_pumps: c ^ 1,
+                    breaches: 0,
+                    last_breach_pump: 0,
+                    worst: 0,
+                    exemplar_trace_id: 0,
+                },
+            ],
         },
     }
 }
@@ -158,7 +212,7 @@ proptest! {
     /// Every request variant survives encode → decode unchanged.
     #[test]
     fn requests_round_trip(
-        sel in 0u8..15,
+        sel in 0u8..18,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
@@ -174,7 +228,7 @@ proptest! {
     /// SeqReply envelopes carry a checksum that matches their payload.
     #[test]
     fn responses_round_trip(
-        sel in 0u8..16,
+        sel in 0u8..18,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
@@ -186,7 +240,7 @@ proptest! {
             0..6,
         ),
     ) {
-        let resp = if sel == 15 {
+        let resp = if sel == 17 {
             Response::seq_reply(c, &response_from(d, a, b, c, d, e, s, vals))
         } else {
             response_from(sel, a, b, c, d, e, s, vals)
@@ -199,11 +253,48 @@ proptest! {
         prop_assert_eq!(decoded, resp);
     }
 
+    /// A nested Traced envelope still round-trips the *codec* cleanly
+    /// (decode is structural; outermost-only is server policy, answered
+    /// with a typed BAD_FRAME — see the history integration tests) and
+    /// its context stays peekable without recursion.
+    #[test]
+    fn nested_traced_envelopes_decode_without_recursion(
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in 0u32..u32::MAX,
+        d in 0u8..u8::MAX,
+    ) {
+        let ctx = TraceCtx { trace_id: a, parent_span: c, sampled: d & 1 == 1 };
+        let inner = Request::traced(ctx, &Request::Read { sub_id: c, submit_ns: b });
+        let nested = Request::Traced { ctx, inner: inner.encode() };
+        let frame = nested.encode();
+        prop_assert_eq!(Request::decode(&frame).unwrap(), nested);
+        prop_assert_eq!(TraceCtx::peek(&frame), Some(ctx));
+    }
+
+    /// Any strict prefix of a RangeReply or Health frame is a typed
+    /// error too — the new observability responses half-decode as
+    /// little as every older variant.
+    #[test]
+    fn truncated_observability_responses_are_typed_errors(
+        sel in 15u8..17,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in 0u32..u32::MAX,
+        d in 0u8..u8::MAX,
+        cut in 0.0f64..1.0,
+    ) {
+        let frame = response_from(sel, a, b, c, d, 1, String::new(), Vec::new()).encode();
+        let keep = (frame.len() as f64 * cut) as usize;
+        prop_assert!(keep < frame.len());
+        prop_assert!(Response::decode(&frame[..keep]).is_err());
+    }
+
     /// Any strict prefix of a valid frame is a typed error: the length
     /// prefix no longer matches, so nothing partial ever half-decodes.
     #[test]
     fn truncated_frames_are_typed_errors(
-        sel in 0u8..15,
+        sel in 0u8..18,
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
         cut in 0.0f64..1.0,
@@ -220,7 +311,7 @@ proptest! {
     /// (which is why RPCs ride in checksummed WithSeq envelopes).
     #[test]
     fn bit_flips_never_panic(
-        sel in 0u8..15,
+        sel in 0u8..18,
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
         pos in 0.0f64..1.0,
@@ -283,7 +374,7 @@ proptest! {
     /// to exactly the original frame sequence in order.
     #[test]
     fn frame_decoder_survives_arbitrary_chunking(
-        sels in proptest::collection::vec(0u8..15, 1..8),
+        sels in proptest::collection::vec(0u8..18, 1..8),
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
         cuts in proptest::collection::vec(0usize..4096, 0..12),
@@ -323,7 +414,7 @@ proptest! {
     /// possible read pattern — yields the same frames as one big read.
     #[test]
     fn frame_decoder_byte_at_a_time_matches_bulk(
-        sels in proptest::collection::vec(0u8..15, 1..5),
+        sels in proptest::collection::vec(0u8..18, 1..5),
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
     ) {
@@ -359,7 +450,7 @@ proptest! {
     /// panic, and never a torn or invented frame.
     #[test]
     fn frame_decoder_trailing_garbage_never_desyncs(
-        sels in proptest::collection::vec(0u8..15, 1..5),
+        sels in proptest::collection::vec(0u8..18, 1..5),
         a in 0u64..u64::MAX,
         c in 0u32..u32::MAX,
         garbage in proptest::collection::vec(0u8..u8::MAX, 1..48),

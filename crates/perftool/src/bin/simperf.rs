@@ -295,6 +295,7 @@ fn main() {
                 eprintln!("simperf: {e}");
                 std::process::exit(1);
             });
+            let mut stat_track = None;
             if let Some(ms) = args.interval_ms {
                 let snaps =
                     perftool::stat::run_interval(session, ms * 1_000_000, 3_600_000_000_000)
@@ -317,9 +318,15 @@ fn main() {
                 } else {
                     println!("{}", res.render());
                 }
+                stat_track = Some(simtrace::Track {
+                    name: "simperf".into(),
+                    events: res.span_events,
+                });
             }
             if let Some(path) = &args.trace_out {
-                let json = simtrace::chrome_trace_json(&kernel.lock().trace_tracks());
+                let mut tracks = kernel.lock().trace_tracks();
+                tracks.extend(stat_track);
+                let json = simtrace::chrome_trace_json(&tracks);
                 std::fs::write(path, &json).unwrap_or_else(|e| {
                     eprintln!("simperf: writing {path}: {e}");
                     std::process::exit(1);

@@ -12,6 +12,7 @@ use simcpu::types::CpuMask;
 use simos::kernel::{Kernel, KernelHandle};
 use simos::perf::{EventConfig, EventFd, PerfAttr, Target};
 use simos::task::Pid;
+use simtrace::{span, EventKind, TraceEvent, TraceSink};
 
 /// Parse a perf-style software event name (`perf stat -e context-switches`).
 /// These count kernel activity, not PMU hardware, so they take no hybrid
@@ -86,6 +87,9 @@ impl StatRow {
 pub struct StatResult {
     pub rows: Vec<StatRow>,
     pub wall_s: f64,
+    /// The measurement-window span (arm → finish) in sim time, for the
+    /// `--trace-out` timeline. Empty when kernel tracing is off.
+    pub span_events: Vec<TraceEvent>,
 }
 
 impl StatResult {
@@ -191,6 +195,9 @@ pub struct StatSession {
     /// (label, fds-to-sum).
     rows: Vec<(String, Vec<EventFd>)>,
     t0_ns: u64,
+    /// Records the measurement window as a span when kernel tracing is
+    /// enabled; a disabled sink otherwise (record is a no-op branch).
+    trace: TraceSink,
 }
 
 /// Errors from setup.
@@ -298,10 +305,12 @@ pub fn arm(
         }
     }
     let t0_ns = k.time_ns();
+    let trace = TraceSink::new(&k.config().trace);
     Ok(StatSession {
         kernel: kernel.clone(),
         rows,
         t0_ns,
+        trace,
     })
 }
 
@@ -313,9 +322,18 @@ fn open_and_enable(k: &mut Kernel, attr: PerfAttr, target: Target) -> Result<Eve
 
 impl StatSession {
     /// Read everything and build the report.
-    pub fn finish(self) -> Result<StatResult, StatError> {
+    pub fn finish(mut self) -> Result<StatResult, StatError> {
         let mut k = self.kernel.lock();
-        let wall_s = (k.time_ns() - self.t0_ns) as f64 / 1e9;
+        let end_ns = k.time_ns();
+        let wall_s = (end_ns - self.t0_ns) as f64 / 1e9;
+        // One balanced span covering the measurement window. The flow id
+        // is a pure function of the (seeded) arm time, so the export is
+        // deterministic run to run.
+        let flow = span::snapshot_flow_id(self.t0_ns);
+        self.trace
+            .record(self.t0_ns, EventKind::SpanBegin, span::STAT, flow, 0);
+        self.trace
+            .record(end_ns, EventKind::SpanEnd, span::STAT, flow, 0);
         let mut rows = Vec::new();
         for (label, fds) in &self.rows {
             let mut value = 0u64;
@@ -334,7 +352,11 @@ impl StatSession {
                 time_running: tr,
             });
         }
-        Ok(StatResult { rows, wall_s })
+        Ok(StatResult {
+            rows,
+            wall_s,
+            span_events: self.trace.events(),
+        })
     }
 }
 
@@ -573,6 +595,47 @@ mod tests {
             arm(&kernel, &cfg, Some(pid)),
             Err(StatError::UnknownEvent(_))
         ));
+    }
+
+    #[test]
+    fn stat_span_lands_in_trace_export() {
+        let kernel = Kernel::boot_handle(
+            MachineSpec::raptor_lake_i7_13700(),
+            KernelConfig {
+                trace: simtrace::TraceConfig::enabled_with_cap(1 << 12),
+                ..KernelConfig::default()
+            },
+        );
+        let pid = spawn(&kernel, "0", 1_000_000);
+        let cfg = StatConfig {
+            events: vec!["instructions".into()],
+            system_wide: false,
+            cpus: None,
+        };
+        let session = arm(&kernel, &cfg, Some(pid)).unwrap();
+        kernel.lock().run_to_completion(60_000_000_000);
+        let res = session.finish().unwrap();
+        // One balanced SpanBegin/SpanEnd pair covering the window.
+        assert_eq!(res.span_events.len(), 2);
+        assert_eq!(res.span_events[0].kind, EventKind::SpanBegin);
+        assert_eq!(res.span_events[1].kind, EventKind::SpanEnd);
+        assert_eq!(res.span_events[0].code, span::STAT);
+        assert!(res.span_events[1].t_ns > res.span_events[0].t_ns);
+        let mut tracks = kernel.lock().trace_tracks();
+        tracks.push(simtrace::Track::new("simperf", res.span_events.clone()));
+        let json = simtrace::chrome_trace_json(&tracks);
+        assert!(jsonw::validate(&json), "{json}");
+        assert!(json.contains("\"name\":\"stat\""), "{json}");
+        assert!(json.contains("simperf"), "{json}");
+    }
+
+    #[test]
+    fn stat_span_empty_when_tracing_off() {
+        let kernel = boot();
+        let pid = spawn(&kernel, "0", 1_000);
+        let session = arm(&kernel, &StatConfig::default_events(), Some(pid)).unwrap();
+        kernel.lock().run_to_completion(60_000_000_000);
+        assert!(session.finish().unwrap().span_events.is_empty());
     }
 
     #[test]

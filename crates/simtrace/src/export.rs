@@ -11,7 +11,7 @@
 //! free; `jsonw::validate` in the bench bins is the external check that
 //! the output is well-formed.
 
-use crate::{EventKind, TraceEvent};
+use crate::{span, EventKind, TraceEvent};
 
 /// One named event stream (a CPU, "kernel", "hw", "papi", a daemon shard).
 #[derive(Debug, Clone)]
@@ -51,6 +51,10 @@ fn push_event(out: &mut String, tid: usize, e: &TraceEvent) {
     let (name, ph) = match e.kind {
         EventKind::TickBegin => ("tick", "B"),
         EventKind::TickEnd => ("tick", "E"),
+        // Causal spans render as duration slices named by hop so a
+        // request reads as `rpc:client` / `rpc:shard` bars in Perfetto.
+        EventKind::SpanBegin => (span::hop_name(e.code), "B"),
+        EventKind::SpanEnd => (span::hop_name(e.code), "E"),
         k => (k.name(), "i"),
     };
     out.push_str("{\"name\":\"");
@@ -93,8 +97,61 @@ pub fn chrome_trace_json(tracks: &[Track]) -> String {
             push_event(&mut out, tid, e);
         }
     }
+    push_flow_events(&mut out, tracks);
     out.push_str("]}");
     out
+}
+
+/// Stitch causal spans into Perfetto flow arrows: every `SpanBegin`
+/// participates in the flow of its primary id (`a`) and, when nonzero,
+/// the secondary id it joins (`b` — e.g. a shard serve span joining the
+/// snapshot flow it read from). A flow with ≥ 2 participating slices
+/// emits `"s"` (start) at the earliest, `"t"` steps between, and `"f"`
+/// with `"bp":"e"` at the last, all bound to the enclosing span slice by
+/// matching (pid, tid, ts).
+fn push_flow_events(out: &mut String, tracks: &[Track]) {
+    use std::collections::BTreeMap;
+    // flow id -> [(t_ns, tid, scan order)] in deterministic track order.
+    let mut flows: BTreeMap<u64, Vec<(u64, usize, usize)>> = BTreeMap::new();
+    let mut order = 0usize;
+    for (i, track) in tracks.iter().enumerate() {
+        let tid = i + 1;
+        for e in &track.events {
+            if e.kind != EventKind::SpanBegin {
+                continue;
+            }
+            for id in [e.a, e.b] {
+                if id != 0 {
+                    flows.entry(id).or_default().push((e.t_ns, tid, order));
+                }
+            }
+            order += 1;
+        }
+    }
+    for (id, mut hops) in flows {
+        if hops.len() < 2 {
+            continue;
+        }
+        hops.sort();
+        let last = hops.len() - 1;
+        for (i, (t_ns, tid, _)) in hops.into_iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            out.push_str(&format!(
+                ",{{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"{ph}\",\"id\":{id},\"pid\":1,\"tid\":{tid},\"ts\":"
+            ));
+            push_ts(out, t_ns);
+            if ph == "f" {
+                out.push_str(",\"bp\":\"e\"");
+            }
+            out.push('}');
+        }
+    }
 }
 
 /// Compact per-track text dump of the last `last_n` events — the
@@ -193,6 +250,107 @@ mod tests {
         );
         let json = chrome_trace_json(&[t]);
         assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    fn span(t_ns: u64, kind: EventKind, code: u32, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            kind,
+            code,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn spans_render_as_named_slices_with_flow_arrows() {
+        let rpc = span::rpc_trace_id(0xf00, 1);
+        let snap = span::snapshot_flow_id(9);
+        let tracks = vec![
+            Track::new(
+                "client",
+                vec![
+                    span(100, EventKind::SpanBegin, span::CLIENT, rpc, 0),
+                    span(900, EventKind::SpanEnd, span::CLIENT, rpc, 0),
+                ],
+            ),
+            Track::new(
+                "shard0",
+                vec![
+                    span(300, EventKind::SpanBegin, span::SHARD, rpc, snap),
+                    span(400, EventKind::SpanEnd, span::SHARD, rpc, snap),
+                ],
+            ),
+            Track::new(
+                "collector",
+                vec![
+                    span(10, EventKind::SpanBegin, span::COLLECTOR, snap, 0),
+                    span(20, EventKind::SpanEnd, span::COLLECTOR, snap, 0),
+                ],
+            ),
+        ];
+        let json = chrome_trace_json(&tracks);
+        assert!(json.contains("\"rpc:client\""));
+        assert!(json.contains("\"rpc:shard\""));
+        assert!(json.contains("\"collect\""));
+        // The RPC flow has 2 hops and the snapshot flow 2 hops: one
+        // "s" + one "f" each, no "t" steps.
+        assert_eq!(json.matches("\"ph\":\"s\",\"id\":").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"f\",\"id\":").count(), 2);
+        assert!(json.contains(&format!("\"id\":{rpc}")));
+        assert!(json.contains(&format!("\"id\":{snap}")));
+        assert!(json.contains("\"bp\":\"e\""));
+    }
+
+    #[test]
+    fn single_hop_spans_emit_no_flow() {
+        let t = Track::new(
+            "client",
+            vec![
+                span(1, EventKind::SpanBegin, span::CLIENT, 42, 0),
+                span(2, EventKind::SpanEnd, span::CLIENT, 42, 0),
+            ],
+        );
+        let json = chrome_trace_json(&[t]);
+        assert!(!json.contains("\"cat\":\"flow\""), "lone span, no arrow");
+    }
+
+    #[test]
+    fn three_hop_flow_has_a_step_in_the_middle() {
+        let id = 44u64;
+        let tracks: Vec<Track> = (0..3)
+            .map(|i| {
+                Track::new(
+                    format!("hop{i}"),
+                    vec![span(
+                        100 * (i as u64 + 1),
+                        EventKind::SpanBegin,
+                        span::REACTOR,
+                        id,
+                        0,
+                    )],
+                )
+            })
+            .collect();
+        let json = chrome_trace_json(&tracks);
+        assert_eq!(json.matches("\"ph\":\"s\",\"id\":44").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\",\"id\":44").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\",\"id\":44").count(), 1);
+    }
+
+    #[test]
+    fn text_dump_names_every_kind() {
+        // One event of every kind: the dump must never print a raw
+        // discriminant (the pre-fix failure mode for late additions).
+        let events: Vec<TraceEvent> = crate::ALL_EVENT_KINDS
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| span(i as u64, k, 0, 0, 0))
+            .collect();
+        let dump = text_dump(&[Track::new("all", events)], usize::MAX);
+        for &k in crate::ALL_EVENT_KINDS {
+            assert!(dump.contains(k.name()), "dump missing {:?}", k.name());
+        }
     }
 
     #[test]

@@ -137,7 +137,65 @@ pub enum EventKind {
     /// `a` = frames enqueued (replies + pushes), `b` = stream/delta
     /// pushes among them.
     ReactorFlush,
+    /// A causal span opened at one hop of a traced request or stream
+    /// push. `code` = hop ([`span`] constants), `a` = flow id (the
+    /// trace_id this span belongs to), `b` = secondary flow id joined at
+    /// this hop (0 = none) — e.g. a shard serve span joins the snapshot
+    /// flow of the tick it read from.
+    SpanBegin,
+    /// The matching span closed. Same payload as [`EventKind::SpanBegin`].
+    SpanEnd,
+    /// The SLO watchdog observed a breached target over its trailing
+    /// window. `code` = SLO index in the daemon config, `a` = exemplar
+    /// trace_id (the slowest sampled request inside the window, 0 if
+    /// none was sampled), `b` = observed value in the target's unit.
+    SloBreach,
 }
+
+/// Every [`EventKind`], in discriminant order. The exporter and the
+/// name round-trip test iterate this instead of hand-listing kinds, so
+/// a variant added without a name fails the build, not the dump.
+pub const ALL_EVENT_KINDS: &[EventKind] = &[
+    EventKind::TickBegin,
+    EventKind::TickEnd,
+    EventKind::MacroSpanAdmit,
+    EventKind::MacroSpanReject,
+    EventKind::MacroReplay,
+    EventKind::PlanHit,
+    EventKind::PlanMiss,
+    EventKind::SchedMigrate,
+    EventKind::DvfsTransition,
+    EventKind::ThermalTransition,
+    EventKind::FaultCpuOffline,
+    EventKind::FaultNmiWatchdog,
+    EventKind::FaultTransientOpen,
+    EventKind::FaultTransientRead,
+    EventKind::FaultCounterWrap,
+    EventKind::FaultRaplWrapBurst,
+    EventKind::FaultSysfsFlaky,
+    EventKind::FaultUndo,
+    EventKind::PapiStart,
+    EventKind::PapiStop,
+    EventKind::PapiRead,
+    EventKind::DaemonPump,
+    EventKind::DaemonServe,
+    EventKind::DaemonEvict,
+    EventKind::LatencyInversion,
+    EventKind::ConnReset,
+    EventKind::ClientRetry,
+    EventKind::SessionResume,
+    EventKind::LoadShed,
+    EventKind::RegionBegin,
+    EventKind::RegionEnd,
+    EventKind::SchedDispatch,
+    EventKind::SchedPreempt,
+    EventKind::SchedRebalance,
+    EventKind::ReactorWakeup,
+    EventKind::ReactorFlush,
+    EventKind::SpanBegin,
+    EventKind::SpanEnd,
+    EventKind::SloBreach,
+];
 
 impl EventKind {
     pub fn name(self) -> &'static str {
@@ -178,7 +236,17 @@ impl EventKind {
             EventKind::SchedRebalance => "sched_rebalance",
             EventKind::ReactorWakeup => "reactor_wakeup",
             EventKind::ReactorFlush => "reactor_flush",
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::SloBreach => "slo_breach",
         }
+    }
+
+    /// Inverse of [`EventKind::name`]: the kind whose stable name is
+    /// `s`, if any. Tooling that filters text dumps by kind name parses
+    /// through here so a renamed variant breaks loudly.
+    pub fn from_name(s: &str) -> Option<EventKind> {
+        ALL_EVENT_KINDS.iter().copied().find(|k| k.name() == s)
     }
 
     /// Macro-tick bookkeeping emitted only by the coalescing path. A
@@ -324,6 +392,76 @@ impl TraceSink {
     }
 }
 
+/// Causal-span hop codes and deterministic flow-id derivation, shared
+/// by every layer that records [`EventKind::SpanBegin`] /
+/// [`EventKind::SpanEnd`] pairs.
+///
+/// Two id families partition the 64-bit space by parity so an RPC flow
+/// can never collide with a snapshot flow:
+///
+/// * **RPC trace ids** ([`span::rpc_trace_id`]) are even — derived from
+///   the session token and the client-side request sequence, both of
+///   which are themselves seeded sim-state, never wall clock;
+/// * **snapshot flow ids** ([`span::snapshot_flow_id`]) are odd —
+///   derived from the collector tick, so the producer (collector), the
+///   push path (shard) and the consumer (client mirror) all compute the
+///   same id independently, without carrying bytes on the wire.
+pub mod span {
+    /// Hop: the client posting an RPC / observing its reply.
+    pub const CLIENT: u32 = 1;
+    /// Hop: the transport reactor moving the framed bytes (tcpio thread
+    /// for TCP, the serving loop's unwrap for in-process pipes).
+    pub const REACTOR: u32 = 2;
+    /// Hop: the shard dispatching the request.
+    pub const SHARD: u32 = 3;
+    /// Hop: the collector producing the tick snapshot a read served
+    /// from (joined into RPC flows via `TraceEvent::b`).
+    pub const COLLECTOR: u32 = 4;
+    /// Hop: a stream/delta push fanning a snapshot out to subscribers.
+    pub const PUSH: u32 = 5;
+    /// Hop: a `simperf stat` measurement window (arm → finish).
+    pub const STAT: u32 = 6;
+
+    /// Human-readable hop name (Perfetto slice title).
+    pub fn hop_name(code: u32) -> &'static str {
+        match code {
+            CLIENT => "rpc:client",
+            REACTOR => "rpc:reactor",
+            SHARD => "rpc:shard",
+            COLLECTOR => "collect",
+            PUSH => "push",
+            STAT => "stat",
+            _ => "span",
+        }
+    }
+
+    /// FNV-1a over the concatenated little-endian words — the same hash
+    /// family `metricsd::wire::fnv64` uses for session tokens, so trace
+    /// ids inherit its determinism argument (seeded inputs only).
+    fn fnv64_words(words: &[u64]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in words {
+            for byte in w.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// The trace id of a sampled RPC: even, nonzero, a pure function of
+    /// (session token, client request sequence).
+    pub fn rpc_trace_id(session_token: u64, seq: u64) -> u64 {
+        (fnv64_words(&[session_token, seq]) & !1).max(2)
+    }
+
+    /// The flow id of the snapshot produced at `tick`: odd, a pure
+    /// function of the tick index.
+    pub fn snapshot_flow_id(tick: u64) -> u64 {
+        fnv64_words(&[tick]) | 1
+    }
+}
+
 /// Default per-sink ring capacity (events). 32 B/event ⇒ 128 KiB/sink.
 pub const DEFAULT_CAP: usize = 4096;
 
@@ -461,6 +599,53 @@ mod tests {
     #[test]
     fn event_is_32_bytes() {
         assert_eq!(std::mem::size_of::<TraceEvent>(), 32);
+    }
+
+    #[test]
+    fn every_kind_has_a_unique_name_that_round_trips() {
+        // The PR-5 regression this guards: a kind added after the name
+        // table froze would print its raw discriminant in text_dump.
+        let mut seen = std::collections::BTreeSet::new();
+        for &k in ALL_EVENT_KINDS {
+            let name = k.name();
+            assert!(!name.is_empty());
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{name:?} is not a stable snake_case name"
+            );
+            assert!(seen.insert(name), "duplicate event name {name:?}");
+            assert_eq!(EventKind::from_name(name), Some(k), "{name} round-trips");
+        }
+        assert_eq!(EventKind::from_name("no_such_event"), None);
+    }
+
+    #[test]
+    fn all_event_kinds_table_is_in_discriminant_order_and_complete() {
+        for (i, &k) in ALL_EVENT_KINDS.iter().enumerate() {
+            assert_eq!(k as u16, i as u16, "{:?} out of order", k);
+        }
+        // Appending a variant without extending the table leaves the
+        // last listed discriminant short of the real tail.
+        assert_eq!(
+            *ALL_EVENT_KINDS.last().unwrap(),
+            EventKind::SloBreach,
+            "ALL_EVENT_KINDS must end at the newest variant"
+        );
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_parity_partitioned() {
+        let rpc = span::rpc_trace_id(0xdead_beef, 7);
+        assert_eq!(rpc, span::rpc_trace_id(0xdead_beef, 7), "pure function");
+        assert_eq!(rpc & 1, 0, "rpc ids are even");
+        assert!(rpc >= 2);
+        assert_ne!(rpc, span::rpc_trace_id(0xdead_beef, 8));
+        let snap = span::snapshot_flow_id(42);
+        assert_eq!(snap & 1, 1, "snapshot ids are odd");
+        assert_eq!(snap, span::snapshot_flow_id(42));
+        assert_ne!(snap, span::snapshot_flow_id(43));
+        assert_eq!(span::hop_name(span::CLIENT), "rpc:client");
+        assert_eq!(span::hop_name(99), "span");
     }
 
     #[test]

@@ -27,6 +27,21 @@ if [[ "${1:-}" == "--sched-smoke" ]]; then
     exit 0
 fi
 
+# `tier1.sh --query-smoke`: just the history/SLO/tracing gate — the
+# fast loop while iterating on the observability stack.
+if [[ "${1:-}" == "--query-smoke" ]]; then
+    echo "== query smoke: history + SLO + causal tracing =="
+    # Hard gates inside: QueryRange answers match the clients' local
+    # accounting ±0 and are bit-identical across 1/4/8 shards; the
+    # impossible p99 SLO breaches with an exemplar trace id that
+    # resolves to recorded spans; the Perfetto export validates with
+    # flow arrows; queries/s clears the floor.
+    cargo run --offline --release -p metricsd --bin loadgen -- \
+        --query-smoke --floor-queries 20000
+    echo "tier1 --query-smoke: OK"
+    exit 0
+fi
+
 echo "== fmt (first-party, --check) =="
 fmt_args=()
 for c in "${FIRST_PARTY[@]}"; do fmt_args+=(-p "$c"); done
@@ -87,9 +102,13 @@ echo "== metricsd load smoke (quick, emits BENCH_metricsd.json) =="
 # by design — the reactor serves shards inline when only one core is
 # available, so any gap is a serving-layer regression, cf. the 30%
 # per-pump thread-spawn bug), and per-core reads/s must clear a floor
-# set at ~1/6 of the measured rate to absorb slow CI hosts.
+# set at ~1/6 of the measured rate to absorb slow CI hosts. The query
+# phase additionally gates the observability stack: QueryRange answers
+# ±0 vs local accounting and bit-identical across shard counts, SLO
+# breach exemplars resolving to recorded spans, a validated flow-linked
+# Perfetto export, and a queries/s floor.
 cargo run --offline --release -p metricsd --bin loadgen -- --quick \
-    --gate-scaling --floor-per-core 200000
+    --gate-scaling --floor-per-core 200000 --floor-queries 20000
 
 echo "== scheduler tournament (quick, emits BENCH_sched.json) =="
 # Hard gates inside: bit-identical Serial replay (drift == 0); the

@@ -62,6 +62,67 @@ fn steady_state_tick_is_allocation_free_with_tracing() {
     });
 }
 
+/// Causal-span recording with tracing off (`SIM_TRACE` unset) must cost
+/// one branch and zero allocations: every hop in the request path calls
+/// `record` unconditionally, so a disabled sink that allocated would
+/// tax untraced production runs.
+#[test]
+fn disabled_span_recording_is_allocation_free() {
+    use simtrace::{span, EventKind, TraceConfig, TraceSink};
+    let _guard = MEASURE.lock().unwrap();
+    let mut sink = TraceSink::new(&TraceConfig::default());
+    assert!(!sink.enabled());
+    // Min over several windows, like the tick-loop tests: sibling test
+    // threads spinning up allocate against the same global counter, so
+    // any single window can be polluted — but a `record` that allocated
+    // would show in *every* window.
+    let mut min_window = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for i in 0..100_000u64 {
+            let trace_id = span::rpc_trace_id(0xfeed, i);
+            sink.record(i, EventKind::SpanBegin, span::CLIENT, trace_id, 0);
+            sink.record(i, EventKind::SpanBegin, span::SHARD, trace_id, 1);
+            sink.record(i + 1, EventKind::SpanEnd, span::SHARD, trace_id, 1);
+            sink.record(i + 1, EventKind::SpanEnd, span::CLIENT, trace_id, 0);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        min_window = min_window.min(after - before);
+    }
+    assert_eq!(
+        min_window, 0,
+        "disabled span recording allocated in every 400k-record window"
+    );
+    assert!(sink.events().is_empty(), "disabled sink recorded events");
+}
+
+/// And with the recorder on, the ring is preallocated at construction:
+/// recording past the cap overwrites in place, never grows.
+#[test]
+fn enabled_span_recording_is_allocation_free_after_construction() {
+    use simtrace::{span, EventKind, TraceConfig, TraceSink};
+    let _guard = MEASURE.lock().unwrap();
+    let mut sink = TraceSink::new(&TraceConfig::enabled_with_cap(1024));
+    // Warm-up: fill the ring once so wrap-around is the steady state.
+    for i in 0..2048u64 {
+        sink.record(i, EventKind::SpanBegin, span::CLIENT, i | 2, 0);
+    }
+    let mut min_window = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for i in 0..100_000u64 {
+            sink.record(i, EventKind::SpanBegin, span::CLIENT, i | 2, 0);
+            sink.record(i + 1, EventKind::SpanEnd, span::CLIENT, i | 2, 0);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        min_window = min_window.min(after - before);
+    }
+    assert_eq!(
+        min_window, 0,
+        "ring-buffer span recording allocated in every window"
+    );
+}
+
 fn measure_steady_state(cfg: KernelConfig) {
     let _guard = MEASURE.lock().unwrap();
     let mut k = Kernel::boot(MachineSpec::raptor_lake_i7_13700(), cfg);
